@@ -1,0 +1,99 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a paper table, but the paper's Sec. V motivates each mechanism:
+
+* A1 — the admissible heuristic (A* vs Dijkstra node counts);
+* A2 — canonicalization level (NONE / U2 / PU2 node counts, Sec. V-B);
+* A3 — improved multi-pair reduction vs plain GH steps (workflow sparse
+  path, the source of the Table-V sparse gains);
+* A4 — exact core synthesis on/off inside the workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, samples
+
+from repro.core.astar import SearchConfig, astar_search
+from repro.core.canonical import CanonLevel
+from repro.core.heuristic import zero_heuristic
+from repro.qsp.config import QSPConfig
+from repro.qsp.workflow import prepare_state
+from repro.states.families import dicke_state
+from repro.states.random_states import benchmark_suite
+from repro.utils.tables import format_table
+
+
+def test_a1_heuristic_ablation(benchmark, results_emitter):
+    state = dicke_state(4, 1)
+    cfg = SearchConfig(max_nodes=500_000, time_limit=120)
+    with_h = astar_search(state, cfg)
+    without_h = astar_search(state, cfg, heuristic=zero_heuristic)
+    assert with_h.cnot_cost == without_h.cnot_cost
+    rows = [["A* (entanglement h)", with_h.cnot_cost,
+             with_h.stats.nodes_expanded],
+            ["Dijkstra (h = 0)", without_h.cnot_cost,
+             without_h.stats.nodes_expanded]]
+    results_emitter("ablation_heuristic", format_table(
+        ["search", "CNOTs", "nodes expanded"], rows,
+        title="A1 - admissible heuristic ablation on |D^1_4>"))
+    benchmark.pedantic(lambda: astar_search(state, cfg).cnot_cost,
+                       rounds=1, iterations=1)
+
+
+def test_a2_canonicalization_ablation(benchmark, results_emitter):
+    state = dicke_state(4, 1)
+    rows = []
+    for level in (CanonLevel.NONE, CanonLevel.U2, CanonLevel.PU2):
+        cfg = SearchConfig(max_nodes=500_000, time_limit=180,
+                           canon_level=level)
+        res = astar_search(state, cfg)
+        rows.append([level.name, res.cnot_cost, res.stats.nodes_expanded,
+                     f"{res.stats.elapsed_seconds:.2f}"])
+    assert len({r[1] for r in rows}) == 1, "cost must be level-invariant"
+    assert rows[2][2] <= rows[0][2], "PU2 must prune at least as much"
+    results_emitter("ablation_canonicalization", format_table(
+        ["equivalence", "CNOTs", "nodes expanded", "time (s)"], rows,
+        title="A2 - state compression ablation on |D^1_4> (Table III's "
+              "mechanism in action)"))
+    benchmark.pedantic(
+        lambda: astar_search(state, SearchConfig(max_nodes=500_000,
+                                                 time_limit=60)).cnot_cost,
+        rounds=1, iterations=1)
+
+
+def test_a3_reduction_ablation(benchmark, results_emitter):
+    rows = []
+    for n in (8, 10, 12):
+        states = benchmark_suite(n, sparse=True, count=samples())
+        improved = float(np.mean(
+            [prepare_state(s).cnot_cost for s in states]))
+        plain = float(np.mean(
+            [prepare_state(s, QSPConfig(improved_reduction=False)).cnot_cost
+             for s in states]))
+        assert improved <= plain + 1e-9
+        rows.append([n, round(plain, 1), round(improved, 1)])
+    results_emitter("ablation_reduction", format_table(
+        ["n", "GH steps only", "multi-pair merges"], rows,
+        title="A3 - improved sparse reduction ablation (avg CNOTs)"))
+    benchmark.pedantic(
+        lambda: prepare_state(benchmark_suite(10, True, 1)[0]).cnot_cost,
+        rounds=1, iterations=1)
+
+
+def test_a4_exact_core_ablation(benchmark, results_emitter):
+    rows = []
+    for n in (6, 8, 10):
+        states = benchmark_suite(n, sparse=True, count=samples())
+        with_exact = float(np.mean(
+            [prepare_state(s).cnot_cost for s in states]))
+        without = float(np.mean(
+            [prepare_state(s, QSPConfig(use_exact=False)).cnot_cost
+             for s in states]))
+        rows.append([n, round(without, 1), round(with_exact, 1)])
+    results_emitter("ablation_exact_core", format_table(
+        ["n", "reduction only", "reduction + exact core"], rows,
+        title="A4 - exact-core ablation on sparse states (avg CNOTs)"))
+    benchmark.pedantic(
+        lambda: prepare_state(benchmark_suite(8, True, 1)[0]).cnot_cost,
+        rounds=1, iterations=1)

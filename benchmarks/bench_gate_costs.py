@@ -1,0 +1,45 @@
+"""E2 — Table I: CNOT costs of the gate library.
+
+Regenerates the cost table by *measuring* each cost (counting CX gates in
+the lowered circuit, verified equal to the model), and benchmarks the
+Gray-code multiplexor decomposition that realizes the MCRy cost.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CRYGate, CXGate, MCRYGate, RYGate
+from repro.utils.tables import format_table
+
+
+def _lowered_cx_count(gate) -> int:
+    qc = QCircuit(max(gate.qubits()) + 1)
+    qc.append(gate)
+    return sum(1 for g in qc.decompose() if g.name == "cx")
+
+
+def test_table1_gate_costs(benchmark, results_emitter):
+    gates = {
+        "Ry": RYGate(target=0, theta=0.5),
+        "CNOT": CXGate.make(0, 1),
+        "CRy": CRYGate.make(0, 1, 0.5),
+        "MCRy(k=2)": MCRYGate(target=2, controls=((0, 1), (1, 1)), theta=0.5),
+        "MCRy(k=3)": MCRYGate(target=3,
+                              controls=((0, 1), (1, 1), (2, 0)), theta=0.5),
+        "MCRy(k=4)": MCRYGate(
+            target=4, controls=((0, 1), (1, 1), (2, 0), (3, 1)), theta=0.5),
+    }
+    rows = []
+    for name, gate in gates.items():
+        measured = _lowered_cx_count(gate)
+        assert measured == gate.cnot_cost()
+        rows.append([name, gate.cnot_cost(), measured])
+    results_emitter("table1_gate_costs", format_table(
+        ["operator", "model cost", "measured CX after lowering"], rows,
+        title="Table I - CNOT costs of the gate library"))
+
+    big = MCRYGate(target=8, controls=tuple((i, 1) for i in range(8)),
+                   theta=0.5)
+    benchmark(lambda: _lowered_cx_count(big))

@@ -1,0 +1,48 @@
+"""E1 — Figures 1-3: the motivating example of Section III.
+
+The target is ``(|000> + |011> + |101> + |110>)/2``.  The paper reports:
+qubit reduction 6 CNOTs (Fig. 1), cardinality reduction 7 CNOTs (Fig. 2),
+exact synthesis 2 CNOTs (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.baselines.mflow import mflow_synthesize
+from repro.baselines.nflow import nflow_synthesize
+from repro.core.exact import synthesize_exact
+from repro.sim.verify import assert_prepares
+from repro.states.qstate import QState
+from repro.utils.tables import format_table
+
+PSI = QState.uniform(3, [0b000, 0b011, 0b101, 0b110])
+PAPER = {"qubit reduction (Fig. 1)": 6,
+         "cardinality reduction (Fig. 2)": 7,
+         "exact synthesis (Fig. 3)": 2}
+
+
+def test_motivating_example(benchmark, results_emitter):
+    nflow = nflow_synthesize(PSI)
+    mflow = mflow_synthesize(PSI)
+    exact = synthesize_exact(PSI)
+    for circuit in (nflow, mflow, exact.circuit):
+        assert_prepares(circuit, PSI)
+
+    rows = [
+        ["qubit reduction (Fig. 1)", PAPER["qubit reduction (Fig. 1)"],
+         nflow.cnot_cost()],
+        ["cardinality reduction (Fig. 2)",
+         PAPER["cardinality reduction (Fig. 2)"], mflow.cnot_cost()],
+        ["exact synthesis (Fig. 3)", PAPER["exact synthesis (Fig. 3)"],
+         exact.cnot_cost],
+    ]
+    text = format_table(["method", "paper CNOTs", "ours CNOTs"], rows,
+                        title="Motivating example (Sec. III), "
+                              "|psi> = (|000>+|011>+|101>+|110>)/2")
+    text += "\n\nexact 2-CNOT circuit (Fig. 3):\n" + exact.circuit.draw()
+    results_emitter("motivating_example", text)
+
+    assert exact.cnot_cost == 2
+    assert exact.optimal
+    benchmark(lambda: synthesize_exact(PSI).cnot_cost)

@@ -1,0 +1,52 @@
+"""EX3 — search-engine ablation: Dijkstra / A* / combined-A* / IDA* / beam.
+
+All optimal engines must return the same CNOT cost on every instance; the
+table records expansions and wall time, quantifying the value of the
+paper's admissible heuristic (A* vs Dijkstra) and of the Schmidt-cut
+extension.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.astar import SearchConfig
+from repro.experiments.search_variants import (
+    search_variant_rows,
+    search_variants_experiment,
+)
+from repro.states.families import dicke_state, ghz_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_uniform_state
+
+
+def _instances():
+    return [
+        ("motivating", QState.uniform(3, [0b000, 0b011, 0b101, 0b110])),
+        ("ghz4", ghz_state(4)),
+        ("dicke(4,2)", dicke_state(4, 2)),
+        ("rand(4,4)", random_uniform_state(4, 4, seed=3)),
+        ("rand(4,8)", random_uniform_state(4, 8, seed=4)),
+    ]
+
+
+def test_search_variants(benchmark, results_emitter):
+    budget = SearchConfig(max_nodes=250_000, time_limit=120.0)
+    instances = _instances()
+    rows = search_variant_rows(instances, budget)
+
+    for label, _ in instances:
+        per = [r for r in rows if r.instance == label]
+        optimum = {r.cnot_cost for r in per if r.optimal}
+        assert len(optimum) == 1, f"{label}: optimal engines disagree"
+        dijkstra = next(r for r in per if r.engine == "dijkstra")
+        astar = next(r for r in per if r.engine == "astar(paper)")
+        assert astar.nodes_expanded <= dijkstra.nodes_expanded
+
+    table = search_variants_experiment(instances, budget)
+    results_emitter("ex3_search_variants", table.to_text())
+
+    benchmark.pedantic(
+        lambda: search_variant_rows(
+            [("ghz4", ghz_state(4))], SearchConfig(max_nodes=50_000)),
+        rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""E3 — Table III: number of canonical 4-qubit uniform states.
+
+Counts equivalence classes of all C(16, m) uniform 4-qubit states under
+U(2) and P U(2).  The raw column is exact combinatorics; the compressed
+columns depend on the canonicalization rules (ours is sound but heuristic,
+like the paper's), so EXPERIMENTS.md compares both number sets — the
+headline is the magnitude of the compression.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, full_scale
+
+from repro.core.enumeration import count_canonical_uniform_states
+from repro.utils.tables import format_table
+
+PAPER = {
+    1: (16, 1, 1), 2: (120, 11, 3), 3: (560, 35, 6), 4: (1820, 118, 16),
+    5: (4368, 273, 27), 6: (8008, 525, 47), 7: (11440, 715, 56),
+    8: (12870, 828, 68),
+}
+
+
+def test_table3_canonical_counts(benchmark, results_emitter):
+    max_m = 8 if full_scale() else 5
+    rows = []
+    for m in range(1, max_m + 1):
+        row = count_canonical_uniform_states(4, m)
+        paper_raw, paper_u2, paper_pu2 = PAPER[m]
+        assert row.raw == paper_raw
+        assert row.pu2 <= row.u2 <= row.raw
+        rows.append([m, row.raw, paper_u2, row.u2, paper_pu2, row.pu2])
+    results_emitter("table3_canonical", format_table(
+        ["m", "|V_G|", "|V_G/U(2)| paper", "|V_G/U(2)| ours",
+         "|V_G/PU(2)| paper", "|V_G/PU(2)| ours"], rows,
+        title="Table III - canonical 4-qubit uniform states"
+              + ("" if full_scale() else "  (m<=5; REPRO_BENCH_FULL=1 for m<=8)")))
+
+    benchmark.pedantic(
+        lambda: count_canonical_uniform_states(4, 3), rounds=1, iterations=1)

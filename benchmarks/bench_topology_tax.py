@@ -1,0 +1,46 @@
+"""EX2 — topology tax: routed CNOT cost on restricted coupling maps.
+
+The paper's tables assume all-to-all coupling; this bench reports what the
+synthesized circuits cost after SWAP routing on line / ring / grid devices
+and how much a smarter placement recovers.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.topology_tax import (
+    topology_tax_experiment,
+    topology_tax_rows,
+)
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.random_states import random_sparse_state
+
+
+def _states():
+    return [
+        ("ghz5", ghz_state(5)),
+        ("w5", w_state(5)),
+        ("dicke(4,2)", dicke_state(4, 2)),
+        ("sparse(5,5)", random_sparse_state(5, seed=7)),
+    ]
+
+
+def test_topology_tax(benchmark, results_emitter):
+    states = _states()
+    rows = topology_tax_rows(states, placements=("trivial", "greedy"))
+    # every routed circuit verified; full topology has zero overhead
+    assert all(r.verified for r in rows)
+    assert all(r.overhead_percent == 0.0
+               for r in rows if r.topology == "full")
+    # restricted topologies never beat all-to-all
+    for r in rows:
+        assert r.physical_cnots >= r.logical_cnots
+
+    table = topology_tax_experiment(states, placements=("trivial", "greedy"))
+    results_emitter("ex2_topology_tax", table.to_text())
+
+    benchmark.pedantic(
+        lambda: topology_tax_rows([("ghz5", ghz_state(5))],
+                                  placements=("greedy",)),
+        rounds=1, iterations=1)

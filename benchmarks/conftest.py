@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_SAMPLES``   — random states per table row (default 3; paper: 100).
+* ``REPRO_BENCH_FULL``— set to 1 to run paper-scale sizes (slow).
+
+Every benchmark prints its paper-style table and also writes it under
+``benchmarks/results/`` so the artifact survives output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def samples() -> int:
+    return int(os.environ.get("REPRO_SAMPLES", "3"))
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    # stderr survives pytest's capture settings better than stdout
+    print(f"\n{text}", file=sys.stderr)
+
+
+@pytest.fixture
+def results_emitter():
+    return emit

@@ -1,0 +1,50 @@
+"""Preparing complex-amplitude states with the phase oracle (extension).
+
+Run with::
+
+    python examples/complex_amplitudes.py
+
+The paper's flows handle real amplitudes; its Sec. VI-A notes that a phase
+oracle extends them to arbitrary complex states.  This example prepares a
+complex state (e.g. a discrete-Fourier-like profile), verifying the result
+against the simulator up to global phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.opt.phase import phase_oracle_circuit, prepare_complex
+from repro.sim.statevector import simulate_circuit
+from repro.circuits.resources import estimate_resources
+
+
+def main() -> None:
+    n = 3
+    dim = 1 << n
+    # A Fourier-like complex profile over a sparse support.
+    vec = np.zeros(dim, dtype=complex)
+    support = [0, 3, 5, 6]
+    for rank, idx in enumerate(support):
+        vec[idx] = np.exp(2j * np.pi * rank / len(support)) / 2.0
+
+    circuit = prepare_complex(vec)
+    out = simulate_circuit(circuit)
+    ref = support[0]
+    phase = out[ref] / vec[ref]
+    ok = np.allclose(out, phase * vec, atol=1e-7)
+    print(f"target  : {np.round(vec, 3)}")
+    print(f"prepared: {np.round(out, 3)}")
+    print(f"match up to global phase: {ok}")
+    print("\nresources:")
+    print(estimate_resources(circuit))
+
+    print("\nStandalone phase oracle on a uniform superposition:")
+    phases = np.linspace(0, np.pi, dim)
+    oracle = phase_oracle_circuit(phases)
+    print(f"oracle CNOTs: {oracle.cnot_cost()} "
+          f"(diagonal over {dim} basis states)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Device-aware preparation: paying the topology tax.
+
+Run with::
+
+    python examples/device_routing.py
+
+The paper's CNOT counts assume all-to-all coupling.  This example prepares
+a W state on progressively harsher topologies (full, grid, ring, line,
+star) with the architecture pipeline — placement, SWAP routing, and
+simulator verification — and reports the routed CNOT cost per topology
+and placement strategy.
+"""
+
+from __future__ import annotations
+
+from repro.arch import CouplingMap, prepare_on_device
+from repro.states.families import w_state
+
+
+def main() -> None:
+    target = w_state(5)
+    print(f"target: |W_5>  (5 qubits, cardinality {target.cardinality})\n")
+
+    devices = [
+        CouplingMap.full(5),
+        CouplingMap.grid(2, 3),
+        CouplingMap.ring(5),
+        CouplingMap.line(5),
+        CouplingMap.star(5),
+    ]
+
+    header = (f"{'topology':>9}  {'placement':>9}  {'logical':>7}  "
+              f"{'routed':>6}  {'SWAPs':>5}  {'overhead':>8}  verified")
+    print(header)
+    print("-" * len(header))
+    for device in devices:
+        for placement in ("trivial", "greedy"):
+            result = prepare_on_device(target, device, placement=placement)
+            overhead = result.overhead_cnots
+            print(f"{device.name:>9}  {placement:>9}  "
+                  f"{result.logical_cnots:>7}  {result.physical_cnots:>6}  "
+                  f"{result.routed.swap_count:>5}  {overhead:>8}  "
+                  f"{result.verified}")
+
+    print("\nEvery routed circuit is verified against the target up to the")
+    print("final layout permutation (wire labels are free for state prep).")
+
+
+if __name__ == "__main__":
+    main()

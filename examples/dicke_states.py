@@ -1,0 +1,57 @@
+"""Dicke state preparation: automation vs manual design (paper Sec. VI-B).
+
+Run with::
+
+    python examples/dicke_states.py
+
+Reproduces the paper's headline: exact synthesis prepares ``|D^2_4>`` with
+6 CNOTs where the best manual design needs 12 — the first time design
+automation beat hand-crafted circuits for this family.  Also compares the
+W-state rows, where the 3n-5 manual cascade is already optimal.
+"""
+
+from __future__ import annotations
+
+from repro import assert_prepares, dicke_state, synthesize_exact
+from repro.baselines.dicke_manual import (
+    dicke_circuit,
+    manual_cnot_count,
+    w_state_circuit,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("== The headline: |D^2_4> ==")
+    target = dicke_state(4, 2)
+    result = synthesize_exact(target, max_nodes=200_000, time_limit=120)
+    assert_prepares(result.circuit, target)
+    print(f"manual design (Mukherjee et al.): {manual_cnot_count(4, 2)} CNOTs")
+    print(f"exact synthesis                 : {result.cnot_cost} CNOTs "
+          f"(optimal: {result.optimal})")
+    print("\nsynthesized circuit (cf. paper Fig. 6):")
+    print(result.circuit.draw())
+
+    print("\n== W states (k = 1): manual cascade is already optimal ==")
+    rows = []
+    for n in (3, 4, 5):
+        manual = w_state_circuit(n)
+        assert_prepares(manual, dicke_state(n, 1))
+        exact = synthesize_exact(dicke_state(n, 1), max_nodes=150_000,
+                                 time_limit=120)
+        rows.append([n, manual.cnot_cost(), exact.cnot_cost,
+                     "yes" if exact.optimal else "best-effort"])
+    print(format_table(["n", "manual 3n-5", "exact", "proven optimal"], rows))
+
+    print("\n== Deterministic Bartschi-Eidenbenz circuits (verified) ==")
+    rows = []
+    for n, k in ((4, 2), (5, 2), (6, 3)):
+        circuit = dicke_circuit(n, k)
+        assert_prepares(circuit, dicke_state(n, k))
+        rows.append([n, k, circuit.cnot_cost(), manual_cnot_count(n, k)])
+    print(format_table(["n", "k", "B-E circuit CNOTs",
+                        "best manual count"], rows))
+
+
+if __name__ == "__main__":
+    main()

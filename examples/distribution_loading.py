@@ -1,0 +1,52 @@
+"""Amplitude encoding of classical distributions (QML/finance workload).
+
+Run with::
+
+    python examples/distribution_loading.py
+
+Loading ``sum_x sqrt(p_x)|x>`` is the QSP workload behind quantum
+Monte-Carlo pricing and QML feature maps — one of the applications the
+paper's introduction cites.  This example encodes a Gaussian and a
+binomial distribution, synthesizes preparation circuits through the
+paper's workflow, verifies them, and compares the CNOT cost against the
+n-flow baseline.
+"""
+
+from __future__ import annotations
+
+from repro import prepare_state
+from repro.baselines.nflow import nflow_cnot_count
+from repro.sim.sparse import sparse_prepares
+from repro.states.special import (
+    binomial_state,
+    domain_wall_state,
+    gaussian_state,
+)
+
+
+def main() -> None:
+    workloads = [
+        ("gaussian(3 qubits)", gaussian_state(3)),
+        ("gaussian(4 qubits)", gaussian_state(4)),
+        ("binomial(3 qubits)", binomial_state(3)),
+        ("domain-wall(6)", domain_wall_state(6)),
+    ]
+
+    header = (f"{'distribution':>19}  {'n':>2}  {'m':>3}  {'ours':>5}  "
+              f"{'n-flow':>6}  verified")
+    print(header)
+    print("-" * len(header))
+    for label, state in workloads:
+        result = prepare_state(state)
+        ok = sparse_prepares(result.circuit, state)
+        print(f"{label:>19}  {state.num_qubits:>2}  {state.cardinality:>3}  "
+              f"{result.cnot_cost:>5}  "
+              f"{nflow_cnot_count(state.num_qubits):>6}  {ok}")
+
+    print("\nDense encodings (gaussian/binomial over all 2^n points) cost")
+    print("close to the n-flow's 2^n - 2 bound; structured sparse families")
+    print("like domain walls are far cheaper through the sparse workflow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Noise-aware comparison: CNOT savings as preparation fidelity.
+
+Run with::
+
+    python examples/noise_fidelity.py
+
+The paper minimizes CNOT count because CNOTs dominate NISQ noise (Sec. I).
+This example makes that concrete: it prepares |D^2_4> with the exact
+synthesis (6 CNOTs), the m-flow (18), and the n-flow (14), then scores all
+three circuits under the same depolarizing noise model with the exact
+density-matrix simulator and the analytic no-fault bound.
+"""
+
+from __future__ import annotations
+
+from repro import dicke_state, prepare_state
+from repro.baselines.mflow import mflow_synthesize
+from repro.baselines.nflow import nflow_synthesize
+from repro.sim.noise import (
+    NoiseModel,
+    analytic_fidelity_bound,
+    density_matrix_fidelity,
+    monte_carlo_fidelity,
+)
+
+
+def main() -> None:
+    target = dicke_state(4, 2)
+    noise = NoiseModel(p_cx=1e-2, p_1q=1e-3)
+    print(f"target : |D^2_4>  ({target.cardinality} basis states)")
+    print(f"noise  : depolarizing p_cx={noise.p_cx}, p_1q={noise.p_1q}\n")
+
+    circuits = {
+        "ours (exact)": prepare_state(target).circuit,
+        "m-flow": mflow_synthesize(target),
+        "n-flow": nflow_synthesize(target),
+    }
+
+    header = (f"{'method':>14}  {'CNOTs':>5}  {'bound':>8}  "
+              f"{'exact':>8}  {'sampled':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, circuit in circuits.items():
+        bound = analytic_fidelity_bound(circuit, noise)
+        exact = density_matrix_fidelity(circuit, target, noise)
+        sampled = monte_carlo_fidelity(circuit, target, noise,
+                                       shots=2000, seed=1)
+        print(f"{name:>14}  {circuit.cnot_cost():>5}  {bound:>8.4f}  "
+              f"{exact:>8.4f}  {sampled:>8.4f}")
+
+    ours = density_matrix_fidelity(circuits["ours (exact)"], target, noise)
+    mflow = density_matrix_fidelity(circuits["m-flow"], target, noise)
+    print(f"\nexact synthesis cuts the infidelity by "
+          f"{100 * (1 - (1 - ours) / (1 - mflow)):.0f}% vs m-flow "
+          f"on this state")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: synthesize a minimum-CNOT preparation circuit.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds the motivating-example state of the paper (Sec. III), synthesizes
+it exactly (2 CNOTs, vs 6-7 for the reduction flows), verifies the circuit
+on the statevector simulator, and exports OpenQASM.
+"""
+
+from __future__ import annotations
+
+from repro import QState, assert_prepares, synthesize_exact, to_qasm
+from repro.circuits.resources import estimate_resources
+
+
+def main() -> None:
+    # |psi> = (|000> + |011> + |101> + |110>) / 2
+    target = QState.uniform(3, [0b000, 0b011, 0b101, 0b110])
+    print(f"target state : {target.pretty()}")
+    print(f"qubits       : {target.num_qubits}")
+    print(f"cardinality  : {target.cardinality}")
+    print(f"sparse?      : {target.is_sparse()}")
+
+    result = synthesize_exact(target)
+    print(f"\nCNOT count   : {result.cnot_cost} "
+          f"(proven optimal: {result.optimal})")
+    print(f"search stats : {result.stats.nodes_expanded} nodes expanded "
+          f"in {result.stats.elapsed_seconds:.3f}s")
+
+    print("\ncircuit:")
+    print(result.circuit.draw())
+
+    # Every synthesized circuit can be independently verified by simulation.
+    assert_prepares(result.circuit, target)
+    print("\nverified: circuit prepares the target (up to global sign)")
+
+    print("\nresource report:")
+    print(estimate_resources(result.circuit))
+
+    print("\nOpenQASM 2.0:")
+    print(to_qasm(result.circuit))
+
+
+if __name__ == "__main__":
+    main()

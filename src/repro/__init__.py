@@ -1,0 +1,92 @@
+"""repro — Quantum State Preparation Using an Exact CNOT Synthesis
+Formulation (DATE 2024 reproduction).
+
+Public API tour
+---------------
+States (:mod:`repro.states`)
+    ``QState`` (sparse real-amplitude states), ``dicke_state``, ``w_state``,
+    ``ghz_state``, random benchmark generators, entanglement analysis.
+Circuits (:mod:`repro.circuits`)
+    ``QCircuit``, the gate set with Table-I CNOT costs, Gray-code
+    multiplexor decomposition, OpenQASM 2 I/O.
+Simulation (:mod:`repro.sim`)
+    Statevector simulator and verification helpers.
+Exact synthesis (:mod:`repro.core`)
+    ``ExactSynthesizer`` — the paper's shortest-path formulation (A* with
+    canonicalization), plus the anytime beam variant.
+Workflow (:mod:`repro.qsp`)
+    ``prepare_state`` / ``prepare`` — the scalable Fig.-5 workflow
+    (sparse/dense reduction + exact core).
+Baselines (:mod:`repro.baselines`)
+    m-flow, n-flow, one-ancilla hybrid, manual Dicke/W designs.
+Extensions (:mod:`repro.opt`, :mod:`repro.arch`, :mod:`repro.sim.noise`)
+    Peephole + commutation optimization, device placement/routing
+    (``prepare_on_device``), depolarizing-noise fidelity estimation,
+    complex-amplitude phase oracle.
+
+Quickstart
+----------
+>>> from repro import dicke_state, synthesize_exact
+>>> result = synthesize_exact(dicke_state(4, 2))
+>>> result.cnot_cost
+6
+"""
+
+from repro.arch import CouplingMap, prepare_on_device
+from repro.circuits import QCircuit, estimate_resources, from_qasm, to_qasm
+from repro.core import (
+    ExactConfig,
+    ExactSynthesizer,
+    SearchConfig,
+    SearchResult,
+    synthesize_exact,
+)
+from repro.qsp import QSPConfig, QSPResult, compare_methods, prepare, prepare_state
+from repro.sim import (
+    NoiseModel,
+    assert_prepares,
+    prepares_state,
+    simulate_circuit,
+    sparse_prepares,
+)
+from repro.states import (
+    QState,
+    dicke_state,
+    ghz_state,
+    random_dense_state,
+    random_sparse_state,
+    w_state,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "QState",
+    "QCircuit",
+    "dicke_state",
+    "w_state",
+    "ghz_state",
+    "random_dense_state",
+    "random_sparse_state",
+    "ExactSynthesizer",
+    "ExactConfig",
+    "SearchConfig",
+    "SearchResult",
+    "synthesize_exact",
+    "QSPConfig",
+    "QSPResult",
+    "prepare",
+    "prepare_state",
+    "compare_methods",
+    "simulate_circuit",
+    "prepares_state",
+    "assert_prepares",
+    "to_qasm",
+    "from_qasm",
+    "estimate_resources",
+    "CouplingMap",
+    "prepare_on_device",
+    "NoiseModel",
+    "sparse_prepares",
+]

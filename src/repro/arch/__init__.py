@@ -1,0 +1,52 @@
+"""Architecture-aware compilation (extension).
+
+The paper's cost model assumes all-to-all connectivity; this subpackage
+quantifies and pays the *topology tax* of real devices:
+
+* :mod:`repro.arch.topologies` — coupling maps (line, ring, grid, star,
+  heavy-hex, tree, full);
+* :mod:`repro.arch.placement` — initial placement (greedy, annealed);
+* :mod:`repro.arch.router` — SWAP-insertion routing with lookahead;
+* :mod:`repro.arch.swap_network` — token swapping for permutations;
+* :mod:`repro.arch.flow` — end-to-end ``prepare_on_device``.
+"""
+
+from repro.arch.flow import (
+    DeviceResult,
+    expected_physical_vector,
+    prepare_on_device,
+    routed_prepares,
+)
+from repro.arch.placement import (
+    annealed_placement,
+    greedy_placement,
+    interaction_graph,
+    placement_cost,
+    trivial_placement,
+)
+from repro.arch.router import RoutedCircuit, restore_layout, route_circuit
+from repro.arch.swap_network import (
+    apply_swap_sequence,
+    permutation_swaps,
+    swap_sequence_cost,
+)
+from repro.arch.topologies import CouplingMap
+
+__all__ = [
+    "CouplingMap",
+    "RoutedCircuit",
+    "DeviceResult",
+    "route_circuit",
+    "restore_layout",
+    "prepare_on_device",
+    "routed_prepares",
+    "expected_physical_vector",
+    "trivial_placement",
+    "greedy_placement",
+    "annealed_placement",
+    "interaction_graph",
+    "placement_cost",
+    "permutation_swaps",
+    "apply_swap_sequence",
+    "swap_sequence_cost",
+]

@@ -1,0 +1,134 @@
+"""End-to-end device-aware state preparation.
+
+Chains the paper's synthesis workflow with placement and routing:
+
+1. synthesize a minimum-CNOT logical circuit (:func:`repro.qsp.prepare_state`);
+2. decompose to ``{X, Ry, CX}``;
+3. place logical qubits on the device (:mod:`repro.arch.placement`);
+4. route with SWAP insertion (:mod:`repro.arch.router`);
+5. verify that the physical circuit prepares the target on the final
+   layout's wires (small registers only).
+
+The routed CNOT count quantifies the topology tax on top of the paper's
+all-to-all numbers, which is the deployment question the paper's
+introduction raises but leaves to the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.placement import (
+    annealed_placement,
+    greedy_placement,
+    trivial_placement,
+)
+from repro.arch.router import RoutedCircuit, route_circuit
+from repro.arch.topologies import CouplingMap
+from repro.circuits.circuit import QCircuit
+from repro.constants import SIM_ATOL
+from repro.exceptions import CircuitError, VerificationError
+from repro.qsp.config import QSPConfig
+from repro.qsp.workflow import prepare_state
+from repro.sim.statevector import simulate_circuit
+from repro.states.qstate import QState
+from repro.utils.bits import bit_mask, bit_of
+
+__all__ = ["DeviceResult", "prepare_on_device", "routed_prepares",
+           "expected_physical_vector"]
+
+_VERIFY_MAX_QUBITS = 12
+
+_PLACEMENT_STRATEGIES = ("trivial", "greedy", "annealed")
+
+
+@dataclass
+class DeviceResult:
+    """Outcome of device-aware preparation.
+
+    ``logical_cnots`` is the paper-model cost before routing;
+    ``physical_cnots`` after.  ``verified`` is ``None`` when the register
+    was too large to simulate.
+    """
+
+    routed: RoutedCircuit
+    logical_circuit: QCircuit
+    logical_cnots: int
+    physical_cnots: int
+    placement_strategy: str
+    verified: bool | None = None
+
+    @property
+    def overhead_cnots(self) -> int:
+        """Topology tax: CNOTs added by routing."""
+        return self.physical_cnots - self.logical_cnots
+
+
+def prepare_on_device(state: QState, cmap: CouplingMap,
+                      config: QSPConfig | None = None,
+                      placement: str = "greedy",
+                      seed: int = 0) -> DeviceResult:
+    """Synthesize, place, route, and verify ``state`` on ``cmap``.
+
+    ``placement`` is one of ``'trivial'``, ``'greedy'``, ``'annealed'``.
+    """
+    if placement not in _PLACEMENT_STRATEGIES:
+        raise CircuitError(
+            f"unknown placement {placement!r}; "
+            f"choose from {_PLACEMENT_STRATEGIES}")
+    if state.num_qubits > cmap.size:
+        raise CircuitError(
+            f"state needs {state.num_qubits} qubits, device has {cmap.size}")
+    if not cmap.is_connected():
+        raise CircuitError("cannot route on a disconnected coupling map")
+
+    logical = prepare_state(state, config).circuit.decompose()
+    if placement == "trivial":
+        layout = trivial_placement(logical.num_qubits, cmap)
+    elif placement == "greedy":
+        layout = greedy_placement(logical, cmap)
+    else:
+        layout = annealed_placement(logical, cmap, seed=seed)
+
+    routed = route_circuit(logical, cmap, layout)
+    verified: bool | None = None
+    if cmap.size <= _VERIFY_MAX_QUBITS:
+        verified = routed_prepares(routed, state)
+        if not verified:
+            raise VerificationError(
+                "routed circuit failed to prepare the target state")
+    return DeviceResult(routed=routed, logical_circuit=logical,
+                        logical_cnots=logical.cnot_cost(),
+                        physical_cnots=routed.cnot_cost,
+                        placement_strategy=placement, verified=verified)
+
+
+def expected_physical_vector(state: QState, final_layout: list[int],
+                             num_physical: int) -> np.ndarray:
+    """Dense physical statevector with logical qubit ``i`` living on
+    physical wire ``final_layout[i]`` and every other wire in ``|0>``."""
+    if len(final_layout) != state.num_qubits:
+        raise CircuitError("layout width does not match the state")
+    vec = np.zeros(1 << num_physical, dtype=np.float64)
+    n = state.num_qubits
+    for index, amp in state.items():
+        phys_index = 0
+        for logical in range(n):
+            if bit_of(index, logical, n):
+                phys_index |= bit_mask(final_layout[logical], num_physical)
+        vec[phys_index] = amp
+    return vec
+
+
+def routed_prepares(routed: RoutedCircuit, state: QState,
+                    atol: float = SIM_ATOL) -> bool:
+    """Check the routed circuit prepares ``state`` up to the final layout
+    (and a global sign, as everywhere in the real-amplitude setting)."""
+    vec = simulate_circuit(routed.circuit)
+    expected = expected_physical_vector(state, routed.final_layout,
+                                        routed.circuit.num_qubits)
+    vec = np.real_if_close(vec)
+    return bool(np.allclose(vec, expected, atol=atol) or
+                np.allclose(vec, -expected, atol=atol))

@@ -1,0 +1,193 @@
+"""Initial placement of logical qubits onto a coupling map.
+
+For state preparation the wire labeling is free (the paper's qubit
+permutation equivalence, Sec. V-B), so a good initial placement directly
+reduces routed CNOT cost.  Three strategies, in increasing effort:
+
+* :func:`trivial_placement` — identity (baseline for ablations);
+* :func:`greedy_placement` — match the most-interacting logical qubits to
+  the best-connected physical region, one qubit at a time;
+* :func:`annealed_placement` — simulated annealing over swaps of the
+  greedy placement, scored by the routed-distance objective.
+
+A *placement* is a list ``p`` with ``p[logical] = physical``, always a
+partial injection of logical wires into the physical register.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.arch.topologies import CouplingMap
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "interaction_graph",
+    "placement_cost",
+    "trivial_placement",
+    "greedy_placement",
+    "annealed_placement",
+    "validate_placement",
+]
+
+
+def interaction_graph(circuit: QCircuit) -> np.ndarray:
+    """Symmetric matrix of pairwise two-qubit interaction counts.
+
+    Entry ``[a, b]`` counts the decomposed CNOTs the circuit executes
+    between logical qubits ``a`` and ``b``.
+    """
+    n = circuit.num_qubits
+    weights = np.zeros((n, n), dtype=np.int64)
+    for gate in circuit.decompose():
+        if gate.name != "cx":
+            continue
+        a = gate.controls[0][0]
+        b = gate.target
+        weights[a, b] += 1
+        weights[b, a] += 1
+    return weights
+
+
+def validate_placement(placement: list[int], num_logical: int,
+                       cmap: CouplingMap) -> None:
+    """Raise :class:`CircuitError` unless ``placement`` injects
+    ``num_logical`` wires into the physical register."""
+    if len(placement) != num_logical:
+        raise CircuitError(
+            f"placement covers {len(placement)} wires, need {num_logical}")
+    if len(set(placement)) != len(placement):
+        raise CircuitError(f"placement repeats a physical qubit: {placement}")
+    for phys in placement:
+        if not 0 <= phys < cmap.size:
+            raise CircuitError(
+                f"physical qubit {phys} outside register of {cmap.size}")
+
+
+def placement_cost(weights: np.ndarray, placement: list[int],
+                   cmap: CouplingMap) -> float:
+    """Interaction-weighted sum of physical distances.
+
+    The exact routed cost depends on SWAP scheduling; this distance-weighted
+    proxy is the standard placement objective and is what the annealer
+    minimizes.
+    """
+    n = weights.shape[0]
+    total = 0.0
+    for a in range(n):
+        for b in range(a + 1, n):
+            w = weights[a, b]
+            if w:
+                total += w * cmap.distance(placement[a], placement[b])
+    return total
+
+
+def trivial_placement(num_logical: int, cmap: CouplingMap) -> list[int]:
+    """Identity placement: logical ``i`` on physical ``i``."""
+    if num_logical > cmap.size:
+        raise CircuitError(
+            f"{num_logical} logical qubits exceed {cmap.size} physical")
+    return list(range(num_logical))
+
+
+def greedy_placement(circuit: QCircuit, cmap: CouplingMap) -> list[int]:
+    """Interaction-guided greedy placement.
+
+    Seeds the heaviest-interacting logical qubit on the best-connected
+    physical qubit, then repeatedly places the unplaced logical qubit with
+    the strongest ties to already-placed ones on the free physical qubit
+    minimizing weighted distance to its placed partners.
+    """
+    n = circuit.num_qubits
+    if n > cmap.size:
+        raise CircuitError(
+            f"{n} logical qubits exceed {cmap.size} physical")
+    weights = interaction_graph(circuit)
+    placement: dict[int, int] = {}
+    free_phys = set(range(cmap.size))
+
+    order = sorted(range(n), key=lambda q: -int(weights[q].sum()))
+    seed_logical = order[0]
+    seed_physical = max(range(cmap.size), key=lambda p: cmap.degree(p))
+    placement[seed_logical] = seed_physical
+    free_phys.discard(seed_physical)
+
+    remaining = [q for q in order if q != seed_logical]
+    while remaining:
+        # the unplaced logical qubit most attached to the placed set
+        def attachment(q: int) -> int:
+            return int(sum(weights[q, p] for p in placement))
+        remaining.sort(key=attachment, reverse=True)
+        logical = remaining.pop(0)
+
+        def phys_score(phys: int) -> float:
+            score = 0.0
+            for placed_logical, placed_phys in placement.items():
+                w = weights[logical, placed_logical]
+                if w:
+                    score += w * cmap.distance(phys, placed_phys)
+            if score == 0.0:
+                # no ties yet: prefer staying near the placed cluster
+                score = min((cmap.distance(phys, p)
+                             for p in placement.values()), default=0)
+            return score
+
+        best = min(sorted(free_phys), key=phys_score)
+        placement[logical] = best
+        free_phys.discard(best)
+
+    return [placement[q] for q in range(n)]
+
+
+def annealed_placement(circuit: QCircuit, cmap: CouplingMap,
+                       iterations: int = 2000, seed: int = 0,
+                       start: list[int] | None = None) -> list[int]:
+    """Simulated-annealing refinement of a placement.
+
+    Moves are swaps of two positions (two used, or one used and one free
+    physical qubit).  Geometric cooling; accepts uphill moves with the
+    Metropolis rule.  Deterministic for a fixed ``seed``.
+    """
+    n = circuit.num_qubits
+    weights = interaction_graph(circuit)
+    current = list(start) if start is not None else \
+        greedy_placement(circuit, cmap)
+    validate_placement(current, n, cmap)
+    rng = np.random.default_rng(seed)
+
+    cost = placement_cost(weights, current, cmap)
+    best, best_cost = list(current), cost
+    if n < 2 or iterations <= 0:
+        return best
+
+    temp_start = max(1.0, cost / 4.0)
+    temp_end = 0.01
+    free = sorted(set(range(cmap.size)) - set(current))
+
+    for step in range(iterations):
+        frac = step / max(1, iterations - 1)
+        temperature = temp_start * (temp_end / temp_start) ** frac
+        candidate = list(current)
+        if free and rng.random() < 0.3:
+            # relocate one logical qubit onto a free physical slot
+            i = int(rng.integers(n))
+            j = int(rng.integers(len(free)))
+            candidate[i], free_slot = free[j], candidate[i]
+            new_free = list(free)
+            new_free[j] = free_slot
+        else:
+            i, j = rng.choice(n, size=2, replace=False)
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+            new_free = free
+        new_cost = placement_cost(weights, candidate, cmap)
+        delta = new_cost - cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature,
+                                                              1e-12)):
+            current, cost = candidate, new_cost
+            free = sorted(new_free) if new_free is not free else free
+            if cost < best_cost:
+                best, best_cost = list(current), cost
+    return best

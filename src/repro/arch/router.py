@@ -1,0 +1,222 @@
+"""SWAP-insertion routing onto a coupling map.
+
+Takes any circuit over ``{X, Ry, Rz, CX}`` (call :meth:`QCircuit.decompose`
+first for higher-level gates) and produces an equivalent *physical* circuit
+in which every CNOT acts on a coupled pair, by inserting SWAPs (3 CNOTs
+each) along shortest physical paths.
+
+The router is the greedy nearest-neighbour scheme with a SABRE-style
+lookahead tie-break: when a CNOT's endpoints are ``d`` hops apart it walks
+the pair together along a shortest path, choosing at each hop the swap that
+most helps the next few pending CNOTs.
+
+State preparation never needs the final layout restored — the output wire
+labeling is free — so :class:`RoutedCircuit` reports the final layout
+instead of appending an unmapping network (ask :func:`restore_layout` for
+one explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.placement import trivial_placement, validate_placement
+from repro.arch.topologies import CouplingMap
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, Gate
+from repro.exceptions import CircuitError
+
+__all__ = ["RoutedCircuit", "route_circuit", "swap_gates", "restore_layout"]
+
+#: How many upcoming CNOTs the lookahead tie-break inspects.
+_LOOKAHEAD = 8
+#: Weight of the lookahead term relative to the current CNOT's distance.
+_LOOKAHEAD_WEIGHT = 0.5
+
+
+@dataclass
+class RoutedCircuit:
+    """Result of routing a logical circuit onto a coupling map.
+
+    Attributes
+    ----------
+    circuit:
+        Physical circuit (every CX endpoint pair is coupled).  Gate indices
+        refer to *physical* qubits.
+    initial_layout / final_layout:
+        ``layout[logical] = physical`` before/after execution.  SWAPs move
+        logical qubits around, so the two differ whenever routing happened.
+    swap_count:
+        Number of SWAPs inserted (each contributes 3 CNOTs).
+    """
+
+    circuit: QCircuit
+    initial_layout: list[int]
+    final_layout: list[int]
+    swap_count: int = 0
+    coupling: CouplingMap | None = field(default=None, repr=False)
+
+    @property
+    def cnot_cost(self) -> int:
+        return self.circuit.cnot_cost()
+
+    def overhead(self, logical_circuit: QCircuit) -> int:
+        """Extra CNOTs paid for the topology (routed minus unrouted)."""
+        return self.cnot_cost - logical_circuit.decompose().cnot_cost()
+
+
+def swap_gates(a: int, b: int) -> list[Gate]:
+    """A SWAP between physical qubits as its 3-CNOT expansion."""
+    return [CXGate.make(a, b), CXGate.make(b, a), CXGate.make(a, b)]
+
+
+def route_circuit(circuit: QCircuit, cmap: CouplingMap,
+                  placement: list[int] | None = None) -> RoutedCircuit:
+    """Insert SWAPs so every CNOT acts on a coupled physical pair.
+
+    Parameters
+    ----------
+    circuit:
+        Logical circuit; must already be over ``{X, Ry, Rz, CX}``
+        (single-qubit gates plus plain/negated CNOT).
+    cmap:
+        Target coupling map; must be connected on the used region.
+    placement:
+        Initial layout ``placement[logical] = physical``; identity by
+        default.  See :mod:`repro.arch.placement` for good choices.
+
+    Raises
+    ------
+    CircuitError
+        On multi-control gates (decompose first) or a disconnected map.
+    """
+    n = circuit.num_qubits
+    if placement is None:
+        placement = trivial_placement(n, cmap)
+    validate_placement(placement, n, cmap)
+
+    layout = list(placement)            # layout[logical] = physical
+    physical = QCircuit(max(cmap.size, 1))
+    swap_count = 0
+
+    pending = list(circuit.gates)
+    future_pairs = _cx_pairs(pending)
+
+    for position, gate in enumerate(pending):
+        if gate.num_controls > 1:
+            raise CircuitError(
+                f"route_circuit needs a decomposed circuit, found {gate}")
+        if gate.num_controls == 0:
+            physical.append(gate.remap({gate.target: layout[gate.target]}))
+            continue
+
+        control = gate.controls[0][0]
+        target = gate.target
+        while not cmap.is_adjacent(layout[control], layout[target]):
+            swap = _choose_swap(layout, control, target, cmap,
+                                future_pairs[position:])
+            _apply_swap(layout, physical, swap)
+            swap_count += 1
+        physical.append(gate.remap({control: layout[control],
+                                    target: layout[target]}))
+
+    return RoutedCircuit(circuit=physical, initial_layout=list(placement),
+                         final_layout=layout, swap_count=swap_count,
+                         coupling=cmap)
+
+
+def restore_layout(routed: RoutedCircuit) -> RoutedCircuit:
+    """Append a SWAP network returning every logical qubit to its initial
+    physical position (when the unmapped wire order matters downstream)."""
+    if routed.coupling is None:
+        raise CircuitError("routed circuit lost its coupling map")
+    from repro.arch.swap_network import permutation_swaps
+
+    layout = list(routed.final_layout)
+    circuit = QCircuit(routed.circuit.num_qubits, routed.circuit.gates)
+    swaps = permutation_swaps(
+        routed.coupling,
+        {src: dst for src, dst in zip(layout, routed.initial_layout)})
+    count = routed.swap_count
+    for a, b in swaps:
+        circuit.extend(swap_gates(a, b))
+        _record_swap(layout, a, b)
+        count += 1
+    if layout != routed.initial_layout:
+        raise CircuitError("restore_layout failed to realize the permutation")
+    return RoutedCircuit(circuit=circuit,
+                         initial_layout=routed.initial_layout,
+                         final_layout=layout, swap_count=count,
+                         coupling=routed.coupling)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _cx_pairs(gates: list[Gate]) -> list[tuple[int, int] | None]:
+    """Per-gate logical CX endpoints (``None`` for single-qubit gates)."""
+    out: list[tuple[int, int] | None] = []
+    for g in gates:
+        if g.num_controls == 1:
+            out.append((g.controls[0][0], g.target))
+        else:
+            out.append(None)
+    return out
+
+
+def _choose_swap(layout: list[int], control: int, target: int,
+                 cmap: CouplingMap,
+                 upcoming: list[tuple[int, int] | None]) -> tuple[int, int]:
+    """Pick the physical swap that brings ``control``/``target`` together,
+    tie-broken by the next few pending CNOTs (SABRE-style lookahead)."""
+    phys_c, phys_t = layout[control], layout[target]
+
+    candidates: list[tuple[int, int]] = []
+    for phys in (phys_c, phys_t):
+        for neighbor in cmap.neighbors(phys):
+            candidates.append((min(phys, neighbor), max(phys, neighbor)))
+    candidates = sorted(set(candidates))
+
+    def score(swap: tuple[int, int]) -> float:
+        trial = list(layout)
+        _record_swap(trial, *swap)
+        primary = cmap.distance(trial[control], trial[target])
+        look = 0.0
+        seen = 0
+        for pair in upcoming:
+            if pair is None:
+                continue
+            seen += 1
+            if seen > _LOOKAHEAD:
+                break
+            look += cmap.distance(trial[pair[0]], trial[pair[1]])
+        return primary + _LOOKAHEAD_WEIGHT * look
+
+    best = min(candidates, key=score)
+    # Guard against a stuck router: the chosen swap must strictly reduce
+    # the primary distance or leave it equal with a better lookahead;
+    # falling back to the shortest-path hop guarantees progress.
+    trial = list(layout)
+    _record_swap(trial, *best)
+    if cmap.distance(trial[control], trial[target]) >= \
+            cmap.distance(phys_c, phys_t):
+        path = cmap.shortest_path(phys_c, phys_t)
+        best = (min(path[0], path[1]), max(path[0], path[1]))
+    return best
+
+
+def _record_swap(layout: list[int], a: int, b: int) -> None:
+    """Update ``layout`` after swapping physical qubits ``a`` and ``b``."""
+    for logical, phys in enumerate(layout):
+        if phys == a:
+            layout[logical] = b
+        elif phys == b:
+            layout[logical] = a
+
+
+def _apply_swap(layout: list[int], physical: QCircuit,
+                swap: tuple[int, int]) -> None:
+    physical.extend(swap_gates(*swap))
+    _record_swap(layout, *swap)

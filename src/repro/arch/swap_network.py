@@ -1,0 +1,121 @@
+"""Permutation routing by token swapping.
+
+Realizes a permutation of physical qubits using SWAPs restricted to
+coupling-map edges — the classic *token swapping* problem.  Exact token
+swapping is NP-hard; the greedy cycle-walking heuristic here is the
+standard 2-approximation-style approach: repeatedly pick a misplaced token
+and walk it one edge along a shortest path toward its destination,
+preferring swaps that also help (or at least do not hurt) the other token.
+
+Used by :func:`repro.arch.router.restore_layout` and useful on its own to
+realize the wire permutations that the paper's ``P``-equivalence
+(Sec. V-B) treats as free on symmetric topologies — this module quantifies
+exactly what they cost on a *restricted* topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.arch.topologies import CouplingMap
+from repro.exceptions import CircuitError
+
+__all__ = ["permutation_swaps", "apply_swap_sequence", "swap_sequence_cost"]
+
+
+def permutation_swaps(cmap: CouplingMap,
+                      destination: Mapping[int, int]) -> list[tuple[int, int]]:
+    """Edge-restricted SWAP sequence realizing a permutation.
+
+    Parameters
+    ----------
+    cmap:
+        Coupling map; swaps are restricted to its edges.
+    destination:
+        ``destination[src] = dst``: the token currently on physical qubit
+        ``src`` must end on ``dst``.  Qubits absent from the mapping are
+        fixed points.
+
+    Returns
+    -------
+    List of ``(a, b)`` physical swaps; applying them in order moves every
+    token home.
+
+    Raises
+    ------
+    CircuitError
+        If ``destination`` is not a permutation or the map is disconnected
+        where connectivity is required.
+    """
+    perm = _complete_permutation(cmap, destination)
+    # token[q] = the destination of the token currently sitting on q
+    token = dict(perm)
+    swaps: list[tuple[int, int]] = []
+
+    moved = {q for q, dst in perm.items() if dst != q}
+    if not moved:
+        return swaps
+    component = _routing_component(cmap, moved)
+
+    # Spanning-tree elimination: repeatedly pick a tree leaf, walk its
+    # destined token home along tree edges, then lock the leaf.  Each
+    # phase homes one token permanently, so the loop always terminates.
+    import networkx as nx
+
+    tree = nx.minimum_spanning_tree(cmap.graph.subgraph(component))
+    while tree.number_of_nodes() > 1:
+        leaf = min(v for v in tree.nodes() if tree.degree[v] <= 1)
+        source = next(q for q, dst in token.items() if dst == leaf)
+        if source != leaf:
+            path = nx.shortest_path(tree, source, leaf)
+            for here, there in zip(path, path[1:]):
+                swaps.append((min(here, there), max(here, there)))
+                token[here], token[there] = token[there], token[here]
+        tree.remove_node(leaf)
+    return swaps
+
+
+def apply_swap_sequence(positions: Mapping[int, int],
+                        swaps: list[tuple[int, int]]) -> dict[int, int]:
+    """Apply swaps to a ``{qubit: token}`` assignment; returns a new dict."""
+    out = dict(positions)
+    for a, b in swaps:
+        va = out.get(a, a)
+        vb = out.get(b, b)
+        out[a], out[b] = vb, va
+    return out
+
+
+def swap_sequence_cost(swaps: list[tuple[int, int]]) -> int:
+    """CNOT cost of a swap sequence (3 CNOTs per SWAP)."""
+    return 3 * len(swaps)
+
+
+def _routing_component(cmap: CouplingMap, moved: set[int]) -> set[int]:
+    """The connected physical region hosting every moved token.
+
+    Raises :class:`CircuitError` when the moved tokens span multiple
+    components (no swap sequence can cross a gap).
+    """
+    import networkx as nx
+
+    for nodes in nx.connected_components(cmap.graph):
+        if moved <= nodes:
+            return set(nodes)
+    raise CircuitError(
+        "permutation moves tokens across disconnected coupling regions")
+
+
+def _complete_permutation(cmap: CouplingMap,
+                          destination: Mapping[int, int]) -> dict[int, int]:
+    perm = {q: q for q in range(cmap.size)}
+    for src, dst in destination.items():
+        if not 0 <= src < cmap.size or not 0 <= dst < cmap.size:
+            raise CircuitError(
+                f"permutation entry {src}->{dst} outside register "
+                f"of size {cmap.size}")
+        perm[src] = dst
+    values = sorted(perm.values())
+    if values != list(range(cmap.size)):
+        raise CircuitError(f"not a permutation: {dict(destination)}")
+    return perm

@@ -1,0 +1,266 @@
+"""Device coupling topologies.
+
+The paper motivates CNOT minimization with the *coupling constraints* of
+NISQ devices (Sec. I) and its permutation equivalence explicitly assumes a
+symmetric coupling graph (Sec. V-B).  This module provides the device-side
+half of that story: a :class:`CouplingMap` describing which physical qubit
+pairs support a native CNOT, together with the standard topology families
+used by real machines.
+
+A :class:`CouplingMap` is an undirected graph on physical qubits
+``0 .. size - 1`` (CNOT direction can always be reversed with free local
+gates in the paper's cost model, so undirected edges suffice).
+
+Topology families
+-----------------
+``line``       linear nearest-neighbour chain (ion traps, early IBM chips)
+``ring``       chain with a wrap-around edge
+``grid``       2D square lattice (Google Sycamore style)
+``star``       one hub connected to all leaves (some NV-center devices)
+``full``       all-to-all (trapped ions with global buses; also the
+               implicit topology of the paper's cost model)
+``heavy_hex``  IBM's heavy-hexagon lattice
+``tree``       balanced binary tree (photonic switch networks)
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.exceptions import CircuitError
+
+__all__ = ["CouplingMap"]
+
+
+class CouplingMap:
+    """An undirected coupling graph over physical qubits ``0 .. size - 1``.
+
+    Wraps :class:`networkx.Graph` with quantum-compilation conveniences:
+    all-pairs distances (cached), adjacency tests, shortest paths, and the
+    named constructors used throughout the test suite and benchmarks.
+
+    Examples
+    --------
+    >>> cmap = CouplingMap.line(4)
+    >>> cmap.distance(0, 3)
+    3
+    >>> cmap.is_adjacent(1, 2)
+    True
+    """
+
+    __slots__ = ("_graph", "_dist", "_name")
+
+    def __init__(self, edges: Iterable[tuple[int, int]], size: int | None = None,
+                 name: str = "custom"):
+        graph = nx.Graph()
+        edge_list = [(int(a), int(b)) for a, b in edges]
+        for a, b in edge_list:
+            if a == b:
+                raise CircuitError(f"self-loop on physical qubit {a}")
+            if a < 0 or b < 0:
+                raise CircuitError(f"negative physical qubit in edge ({a},{b})")
+        nodes = {q for e in edge_list for q in e}
+        if size is None:
+            size = max(nodes) + 1 if nodes else 0
+        if nodes and max(nodes) >= size:
+            raise CircuitError(
+                f"edge endpoint {max(nodes)} outside register of size {size}")
+        graph.add_nodes_from(range(size))
+        graph.add_edges_from(edge_list)
+        self._graph = graph
+        self._dist: dict[int, dict[int, int]] | None = None
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Named constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def line(cls, size: int) -> "CouplingMap":
+        """Linear chain ``0 - 1 - ... - size-1``."""
+        _require_size(size)
+        return cls(((i, i + 1) for i in range(size - 1)), size, name="line")
+
+    @classmethod
+    def ring(cls, size: int) -> "CouplingMap":
+        """Cycle; needs ``size >= 3`` for a proper ring."""
+        _require_size(size)
+        if size < 3:
+            return cls.line(size)
+        edges = [(i, (i + 1) % size) for i in range(size)]
+        return cls(edges, size, name="ring")
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        """2D square lattice, row-major physical numbering."""
+        if rows < 1 or cols < 1:
+            raise CircuitError(f"bad grid shape {rows}x{cols}")
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(edges, rows * cols, name=f"grid{rows}x{cols}")
+
+    @classmethod
+    def star(cls, size: int) -> "CouplingMap":
+        """Hub qubit 0 connected to every other qubit."""
+        _require_size(size)
+        return cls(((0, i) for i in range(1, size)), size, name="star")
+
+    @classmethod
+    def full(cls, size: int) -> "CouplingMap":
+        """All-to-all connectivity (the paper's implicit cost model)."""
+        _require_size(size)
+        return cls(itertools.combinations(range(size), 2), size, name="full")
+
+    @classmethod
+    def tree(cls, size: int) -> "CouplingMap":
+        """Balanced binary tree: parent of node ``i > 0`` is ``(i-1)//2``."""
+        _require_size(size)
+        return cls(((i, (i - 1) // 2) for i in range(1, size)), size,
+                   name="tree")
+
+    @classmethod
+    def heavy_hex(cls, distance: int = 3) -> "CouplingMap":
+        """IBM heavy-hexagon lattice of code distance ``distance`` (odd).
+
+        Built as the subdivision of a hexagonal lattice: every edge of the
+        hex lattice carries an extra qubit, so all nodes have degree <= 3.
+        """
+        if distance < 3 or distance % 2 == 0:
+            raise CircuitError("heavy-hex distance must be an odd int >= 3")
+        hexagonal = nx.hexagonal_lattice_graph(distance // 2 + 1,
+                                               distance // 2 + 1)
+        heavy = _subdivide(hexagonal)
+        relabeled = nx.convert_node_labels_to_integers(heavy)
+        return cls(relabeled.edges(), relabeled.number_of_nodes(),
+                   name=f"heavy_hex_d{distance}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of physical qubits."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying (shared, do-not-mutate) networkx graph."""
+        return self._graph
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of coupling edges, each as ``(min, max)``."""
+        return sorted((min(a, b), max(a, b)) for a, b in self._graph.edges())
+
+    def degree(self, qubit: int) -> int:
+        self._check(qubit)
+        return self._graph.degree[qubit]
+
+    def neighbors(self, qubit: int) -> list[int]:
+        self._check(qubit)
+        return sorted(self._graph.neighbors(qubit))
+
+    def is_adjacent(self, a: int, b: int) -> bool:
+        self._check(a)
+        self._check(b)
+        return self._graph.has_edge(a, b)
+
+    def is_connected(self) -> bool:
+        if self.size == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path hop count between physical qubits ``a`` and ``b``.
+
+        Raises :class:`CircuitError` when the two sit in different
+        components.
+        """
+        self._check(a)
+        self._check(b)
+        dist = self._distances().get(a, {}).get(b)
+        if dist is None:
+            raise CircuitError(f"physical qubits {a} and {b} are disconnected")
+        return dist
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One shortest physical path from ``a`` to ``b`` (inclusive)."""
+        self._check(a)
+        self._check(b)
+        try:
+            return nx.shortest_path(self._graph, a, b)
+        except nx.NetworkXNoPath as exc:
+            raise CircuitError(
+                f"physical qubits {a} and {b} are disconnected") from exc
+
+    def diameter(self) -> int:
+        """Largest pairwise distance (requires a connected map)."""
+        if not self.is_connected():
+            raise CircuitError("diameter undefined on a disconnected map")
+        return nx.diameter(self._graph)
+
+    def is_full(self) -> bool:
+        """True when every pair is directly coupled."""
+        n = self.size
+        return self._graph.number_of_edges() == n * (n - 1) // 2
+
+    def subgraph_distance_sum(self, nodes: Iterable[int]) -> int:
+        """Sum of pairwise distances among ``nodes`` (placement quality)."""
+        nodes = list(nodes)
+        return sum(self.distance(a, b)
+                   for a, b in itertools.combinations(nodes, 2))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _distances(self) -> dict[int, dict[int, int]]:
+        if self._dist is None:
+            self._dist = {
+                src: dict(lengths) for src, lengths in
+                nx.all_pairs_shortest_path_length(self._graph)
+            }
+        return self._dist
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self.size:
+            raise CircuitError(
+                f"physical qubit {qubit} outside register of size {self.size}")
+
+    def __repr__(self) -> str:
+        return (f"CouplingMap({self._name!r}, size={self.size}, "
+                f"edges={self._graph.number_of_edges()})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CouplingMap):
+            return NotImplemented
+        return self.size == other.size and self.edges() == other.edges()
+
+
+def _subdivide(graph: nx.Graph) -> nx.Graph:
+    """Insert one auxiliary node on every edge (heavy-hex construction)."""
+    out = nx.Graph()
+    out.add_nodes_from(graph.nodes())
+    for a, b in graph.edges():
+        mid = ("mid", a, b)
+        out.add_edge(a, mid)
+        out.add_edge(mid, b)
+    return out
+
+
+def _require_size(size: int) -> None:
+    if size < 1:
+        raise CircuitError(f"topology needs at least one qubit, got {size}")

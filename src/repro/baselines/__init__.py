@@ -1,0 +1,39 @@
+"""Baseline synthesis methods the paper compares against."""
+
+from repro.baselines.dicke_manual import (
+    dicke_circuit,
+    manual_cnot_count,
+    w_state_circuit,
+)
+from repro.baselines.hybrid import hybrid_cnot_count, hybrid_synthesize, isolating_cube
+from repro.baselines.mflow import (
+    dif_qubits,
+    mflow_cnot_count,
+    mflow_reduction_moves,
+    mflow_synthesize,
+)
+from repro.baselines.nflow import (
+    angle_tree_levels,
+    multiplexor_angles_for_level,
+    nflow_cnot_count,
+    nflow_synthesize,
+    qubit_reduction_prefix,
+)
+
+__all__ = [
+    "dicke_circuit",
+    "manual_cnot_count",
+    "w_state_circuit",
+    "hybrid_synthesize",
+    "hybrid_cnot_count",
+    "isolating_cube",
+    "dif_qubits",
+    "mflow_synthesize",
+    "mflow_cnot_count",
+    "mflow_reduction_moves",
+    "nflow_synthesize",
+    "nflow_cnot_count",
+    "angle_tree_levels",
+    "multiplexor_angles_for_level",
+    "qubit_reduction_prefix",
+]

@@ -1,0 +1,114 @@
+"""One-ancilla hybrid baseline (substitute for Mozafari et al., PRA 2022).
+
+The cited hybrid method walks a decision diagram of the target state using
+one ancilla qubit.  Its exact gate sequence is intricate; what the paper
+uses it for is a baseline column with (a) one ancilla and (b) costs between
+the n-flow and the m-flow on dense states and above the m-flow on sparse
+ones.  We substitute a *path-accumulation* method in the same spirit —
+documented in DESIGN.md/EXPERIMENTS.md:
+
+Invariant after step ``i`` (register ``|x>|a>``, ancilla last)::
+
+    sum_{j<=i} c_j |x_j>|0>  +  r_i |x_i>|1>,   r_i = sqrt(1 - sum c_j^2)
+
+Step ``i+1``:
+
+1. **Walk** — CNOTs from the ancilla move the ``a=1`` component from
+   ``x_i`` to ``x_{i+1}`` (one CX per differing bit).
+2. **Split** — a multi-controlled ``Ry`` on the ancilla, controlled on a
+   literal cube containing ``x_{i+1}`` but excluding every already-prepared
+   ``x_j`` (greedy cover), peels amplitude ``c_{i+1}`` off into ``a=0``.
+   The final step rotates by ``pi``, emptying the ancilla exactly.
+
+Every circuit it returns is verified by simulation against
+``|target> (x) |0>_ancilla``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, MCRYGate, CRYGate, XGate
+from repro.exceptions import SynthesisError
+from repro.states.qstate import QState
+from repro.utils.bits import bit_of
+
+__all__ = ["hybrid_synthesize", "hybrid_cnot_count", "isolating_cube"]
+
+
+def isolating_cube(target_index: int, excluded: list[int], num_qubits: int
+                   ) -> list[tuple[int, int]]:
+    """Greedy minimal literal cube containing ``target_index`` and excluding
+    every index in ``excluded``.
+
+    Each literal fixes one qubit to the target's bit value; literals are
+    chosen to knock out as many remaining excluded indices as possible.
+    """
+    remaining = [e for e in excluded if e != target_index]
+    literals: list[tuple[int, int]] = []
+    while remaining:
+        best_q = -1
+        best_kill: list[int] = []
+        for q in range(num_qubits):
+            value = bit_of(target_index, q, num_qubits)
+            kill = [e for e in remaining if bit_of(e, q, num_qubits) != value]
+            if len(kill) > len(best_kill):
+                best_q, best_kill = q, kill
+        if best_q < 0:
+            raise SynthesisError(
+                "excluded index equals the target index; no cube exists")
+        literals.append((best_q, bit_of(target_index, best_q, num_qubits)))
+        remaining = [e for e in remaining if e not in set(best_kill)]
+    return literals
+
+
+def hybrid_synthesize(state: QState) -> QCircuit:
+    """Prepare ``state (x) |0>_ancilla`` on ``n + 1`` qubits.
+
+    The ancilla is wire ``n`` and returns to ``|0>`` exactly.
+    """
+    n = state.num_qubits
+    ancilla = n
+    circuit = QCircuit(n + 1)
+    order = sorted(state.index_set)
+    amps = {i: state.amplitude(i) for i in order}
+
+    circuit.append(XGate(target=ancilla))
+    pattern = 0
+    remaining_sq = 1.0
+    for step, x in enumerate(order):
+        # Walk the a=1 component from ``pattern`` to ``x``.
+        diff = pattern ^ x
+        for q in range(n):
+            if (diff >> (n - 1 - q)) & 1:
+                circuit.append(CXGate.make(ancilla, q))
+        pattern = x
+        # Split off amplitude c_x (last step transfers everything).
+        c = amps[x]
+        remaining = math.sqrt(max(remaining_sq, 0.0))
+        if step == len(order) - 1:
+            half = -math.copysign(math.pi / 2.0, c) if remaining > 0 else 0.0
+        else:
+            ratio = max(-1.0, min(1.0, c / remaining)) if remaining > 0 else 0.0
+            half = -math.asin(ratio)
+        theta = 2.0 * half
+        cube = isolating_cube(x, order[:step], n)
+        controls = tuple(cube)
+        if not controls:
+            # Only possible on the first step (nothing to exclude yet): a
+            # bare Ry is safe because the ancilla carries all amplitude.
+            circuit.ry(ancilla, theta)
+        elif len(controls) == 1:
+            (q, v), = controls
+            circuit.append(CRYGate.make(q, ancilla, theta, phase=v))
+        else:
+            circuit.append(MCRYGate(target=ancilla, controls=controls,
+                                    theta=theta))
+        remaining_sq -= c * c
+    return circuit
+
+
+def hybrid_cnot_count(state: QState) -> int:
+    """CNOT cost of the hybrid circuit under the Table-I model."""
+    return hybrid_synthesize(state).cnot_cost()

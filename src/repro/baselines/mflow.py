@@ -1,0 +1,157 @@
+"""Cardinality-reduction baseline — the paper's "m-flow" [15].
+
+Reimplements the sparse state-preparation algorithm of Gleinig & Hoefler
+(DAC 2021).  Working backward from the target, each step merges two basis
+states until one remains (which free X/Ry gates map to ``|0...0>``):
+
+1. ``dif_qubits`` — greedily pick literals ``(qubit, value)`` that restrict
+   the index set until exactly two basis states ``b'``, ``b''`` remain.
+   The literal cube then isolates the pair within the whole index set.
+2. Align — pick a differing position ``p`` (never a cube qubit, since the
+   pair agrees on those); for every other differing position ``r``, a CNOT
+   ``CX(p -> r)`` makes the pair agree on ``r``.  These CNOTs touch only
+   non-cube qubits, so the cube keeps isolating the (transformed) pair.
+3. Merge — one multi-controlled ``Ry`` on ``p``, controlled on the cube
+   literals, folds the pair into one index (cost ``2**k`` for ``k``
+   literals, Table I).
+
+The implementation emits :class:`~repro.core.moves.Move` objects, so circuit
+reconstruction and verification reuse the exact-synthesis machinery.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QCircuit
+from repro.core.moves import CXMove, MergeMove, Move, merge_angle, moves_to_circuit
+from repro.exceptions import SynthesisError
+from repro.states.qstate import QState
+from repro.utils.bits import bit_of
+
+__all__ = [
+    "dif_qubits",
+    "mflow_reduction_moves",
+    "mflow_synthesize",
+    "mflow_cnot_count",
+]
+
+
+def dif_qubits(indices: list[int], num_qubits: int,
+               minimize_literals: bool = False
+               ) -> tuple[list[tuple[int, int]], list[int]]:
+    """Greedy literal selection isolating two indices (GH Algorithm 1).
+
+    Returns ``(literals, pair)`` where successively intersecting the index
+    set with each ``(qubit, value)`` literal leaves exactly ``pair``.
+    Prefers the smallest restriction that keeps at least two candidates, so
+    literal counts stay near ``log2(m)``.
+
+    ``minimize_literals`` adds a redundant-literal dropping pass that the
+    original algorithm does not have; the faithful baseline leaves it off,
+    while our improved reduction (:mod:`repro.qsp.reduction`) turns it on.
+    """
+    if len(indices) < 2:
+        raise SynthesisError("need at least two indices to isolate a pair")
+    literals: list[tuple[int, int]] = []
+    bucket = list(indices)
+    while len(bucket) > 2:
+        best: tuple[int, int, int] | None = None  # (count, qubit, value)
+        fallback: tuple[int, int, int] | None = None
+        for q in range(num_qubits):
+            ones = sum(bit_of(i, q, num_qubits) for i in bucket)
+            zeros = len(bucket) - ones
+            for value, count in ((0, zeros), (1, ones)):
+                if count == len(bucket) or count == 0:
+                    continue  # constant column / empty side
+                if count >= 2:
+                    if best is None or count < best[0]:
+                        best = (count, q, value)
+                else:  # count == 1: only usable through the other side
+                    other = len(bucket) - 1
+                    if fallback is None or other < fallback[0]:
+                        fallback = (other, q, 1 - value)
+        chosen = best if best is not None else fallback
+        if chosen is None:
+            raise SynthesisError("identical indices in the bucket")
+        _, q, value = chosen
+        literals.append((q, value))
+        bucket = [i for i in bucket if bit_of(i, q, num_qubits) == value]
+    if not minimize_literals:
+        return literals, sorted(bucket)
+    # Improvement over GH: drop literals that are no longer needed (each
+    # dropped literal halves the merge rotation's cost).
+    pair = set(bucket)
+    kept: list[tuple[int, int]] = []
+    for pos, lit in enumerate(literals):
+        trial = kept + literals[pos + 1:]
+        selected = {i for i in indices
+                    if all(bit_of(i, q, num_qubits) == v for q, v in trial)}
+        if selected != pair:
+            kept.append(lit)
+    return kept, sorted(bucket)
+
+
+def _merge_step(state: QState, minimize_literals: bool = False
+                ) -> tuple[list[Move], QState]:
+    """One GH merge: isolate a pair, align it, fold it.  Returns the moves
+    applied (backward direction) and the new state."""
+    n = state.num_qubits
+    indices = sorted(state.index_set)
+    literals, (b1, b2) = dif_qubits(indices, n, minimize_literals)
+    moves: list[Move] = []
+    current = state
+
+    diff = b1 ^ b2
+    positions = [q for q in range(n) if (diff >> (n - 1 - q)) & 1]
+    # Cube qubits agree on the pair, so differing positions avoid the cube.
+    p = positions[0]
+    for r in positions[1:]:
+        move = CXMove(control=p, phase=1, target=r)
+        moves.append(move)
+        current = move.apply(current)
+        mask = 1 << (n - 1 - r)
+        if bit_of(b1, p, n) == 1:
+            b1 ^= mask
+        else:
+            b2 ^= mask
+
+    lo, hi = (b1, b2) if bit_of(b1, p, n) == 0 else (b2, b1)
+    a0 = current.amplitude(lo)
+    a1 = current.amplitude(hi)
+    theta = merge_angle(a0, a1, direction=0)
+    merge = MergeMove(target=p, theta=theta, controls=tuple(literals))
+    moves.append(merge)
+    current = merge.apply(current)
+    return moves, current
+
+
+def mflow_reduction_moves(state: QState,
+                          stop_cardinality: int = 1,
+                          minimize_literals: bool = False
+                          ) -> tuple[list[Move], QState]:
+    """Run merge steps until the cardinality reaches ``stop_cardinality``.
+
+    ``stop_cardinality=1`` is the full baseline; larger values give the
+    partial reduction used by the workflow's sparse path, which also turns
+    on ``minimize_literals`` (our refinement over the faithful baseline).
+    """
+    if stop_cardinality < 1:
+        raise SynthesisError("stop_cardinality must be >= 1")
+    moves: list[Move] = []
+    current = state
+    while current.cardinality > stop_cardinality:
+        step_moves, current = _merge_step(current, minimize_literals)
+        moves.extend(step_moves)
+    return moves, current
+
+
+def mflow_synthesize(state: QState) -> QCircuit:
+    """Prepare ``state`` with the full cardinality-reduction flow."""
+    moves, final_state = mflow_reduction_moves(state)
+    return moves_to_circuit(moves, final_state, state.num_qubits)
+
+
+def mflow_cnot_count(state: QState) -> int:
+    """CNOT cost of the m-flow circuit for ``state`` (without building the
+    full gate-level circuit)."""
+    moves, _ = mflow_reduction_moves(state)
+    return sum(m.cost for m in moves)

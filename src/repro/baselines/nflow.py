@@ -1,0 +1,111 @@
+"""Qubit-reduction baseline — the paper's "n-flow" [13].
+
+The n-flow prepares an arbitrary real state one qubit at a time: qubit
+``d`` receives a rotation multiplexor controlled by qubits ``0..d-1`` whose
+angles reproduce the conditional amplitude distribution.  Without pruning,
+the CNOT count is exactly ``sum_{d=1}^{n-1} 2^d = 2**n - 2`` for every
+state, which is precisely the n-flow column of Tables IV and V.
+
+The angle tree: level ``d`` holds one nonnegative value per length-``d``
+prefix, ``L[d][p] = sqrt(sum of amp^2 under p)``; leaves keep their sign.
+``Ry`` angles are ``2*atan2(right, left)``, which reproduces all leaf signs
+exactly (real states are Ry-preparable up to global sign — here even the
+global sign is exact because internal values are nonnegative).
+
+:func:`qubit_reduction_prefix` exposes the partial flow used by our
+workflow's dense path: reduce qubits ``keep..n-1`` with *pruned*
+multiplexors, hand the ``keep``-qubit core to the exact engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.decompose import multiplexed_rotation_gates
+from repro.exceptions import SynthesisError
+from repro.states.qstate import QState
+
+__all__ = [
+    "angle_tree_levels",
+    "multiplexor_angles_for_level",
+    "nflow_synthesize",
+    "nflow_cnot_count",
+    "qubit_reduction_prefix",
+]
+
+
+def angle_tree_levels(state: QState) -> list[np.ndarray]:
+    """Prefix-norm levels ``L[0..n]``; ``L[n]`` is the signed amplitude
+    vector, ``L[d][p] = sqrt(L[d+1][2p]^2 + L[d+1][2p+1]^2)``."""
+    levels: list[np.ndarray] = [None] * (state.num_qubits + 1)  # type: ignore
+    levels[state.num_qubits] = state.to_vector()
+    for d in range(state.num_qubits - 1, -1, -1):
+        child = levels[d + 1]
+        levels[d] = np.sqrt(child[0::2] ** 2 + child[1::2] ** 2)
+    return levels
+
+
+def multiplexor_angles_for_level(levels: list[np.ndarray], depth: int
+                                 ) -> np.ndarray:
+    """Ry angles of the multiplexor preparing qubit ``depth``.
+
+    ``alphas[p] = 2 * atan2(L[depth+1][2p+1], L[depth+1][2p])``; zero
+    branches produce zero angles.
+    """
+    child = levels[depth + 1]
+    left = child[0::2]
+    right = child[1::2]
+    return 2.0 * np.arctan2(right, left)
+
+
+def nflow_synthesize(state: QState, prune: bool = False) -> QCircuit:
+    """Prepare ``state`` with the qubit-reduction flow.
+
+    ``prune=False`` reproduces the baseline cost ``2**n - 2`` exactly;
+    ``prune=True`` drops zero rotations and parity-merges CNOTs (our
+    workflow's improved variant).
+    """
+    n = state.num_qubits
+    levels = angle_tree_levels(state)
+    circuit = QCircuit(n)
+    for d in range(n):
+        alphas = multiplexor_angles_for_level(levels, d)
+        gates = multiplexed_rotation_gates(list(range(d)), d, alphas,
+                                           prune=prune)
+        circuit.extend(gates)
+    return circuit
+
+
+def nflow_cnot_count(num_qubits: int) -> int:
+    """Closed-form baseline cost: ``2**n - 2``."""
+    if num_qubits < 1:
+        raise SynthesisError("need at least one qubit")
+    return (1 << num_qubits) - 2
+
+
+def qubit_reduction_prefix(state: QState, keep: int
+                           ) -> tuple[QState, QCircuit]:
+    """Reduce qubits ``keep..n-1``, returning the core and suffix circuit.
+
+    The returned ``core`` is a ``keep``-qubit state (the prefix-norm level
+    ``L[keep]``, all amplitudes nonnegative); ``suffix`` holds the pruned
+    multiplexors for qubits ``keep..n-1`` on the full register.  Preparing
+    ``core`` on qubits ``0..keep-1`` and then running ``suffix`` prepares
+    ``state`` exactly.
+    """
+    n = state.num_qubits
+    if not 1 <= keep <= n:
+        raise SynthesisError(f"keep={keep} out of range for {n} qubits")
+    levels = angle_tree_levels(state)
+    suffix = QCircuit(n)
+    for d in range(keep, n):
+        alphas = multiplexor_angles_for_level(levels, d)
+        suffix.extend(multiplexed_rotation_gates(list(range(d)), d, alphas,
+                                                 prune=True))
+    core_vec = levels[keep]
+    norm = math.sqrt(float(np.sum(core_vec ** 2)))
+    core = QState.from_vector(core_vec / norm)
+    return core, suffix

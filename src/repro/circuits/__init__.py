@@ -1,0 +1,48 @@
+"""Circuit IR: gates with Table-I CNOT costs, circuits, decomposition,
+OpenQASM 2 I/O, and resource estimation."""
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.decompose import (
+    decompose_circuit,
+    decompose_gate,
+    multiplexed_rotation_gates,
+    multiplexor_angles,
+    multiplexor_cnot_count,
+)
+from repro.circuits.gates import (
+    CRYGate,
+    CRZGate,
+    CXGate,
+    Gate,
+    MCRYGate,
+    MCXGate,
+    RYGate,
+    RZGate,
+    XGate,
+    normalize_angle,
+)
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.resources import ResourceReport, estimate_resources
+
+__all__ = [
+    "QCircuit",
+    "Gate",
+    "XGate",
+    "RYGate",
+    "RZGate",
+    "CXGate",
+    "CRYGate",
+    "CRZGate",
+    "MCRYGate",
+    "MCXGate",
+    "normalize_angle",
+    "decompose_gate",
+    "decompose_circuit",
+    "multiplexed_rotation_gates",
+    "multiplexor_angles",
+    "multiplexor_cnot_count",
+    "to_qasm",
+    "from_qasm",
+    "ResourceReport",
+    "estimate_resources",
+]

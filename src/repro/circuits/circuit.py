@@ -1,0 +1,234 @@
+"""Quantum circuit container.
+
+A :class:`QCircuit` is an ordered gate list over a fixed register.  Gates are
+applied left to right: circuit ``[g1, g2]`` realizes the operator
+``U = U(g2) @ U(g1)``.
+
+The CNOT cost of a circuit is the sum of its gates' Table-I costs; calling
+:meth:`QCircuit.decompose` lowers everything to ``{X, Ry, CX}`` with exactly
+that many ``CX`` gates (checked in the test suite).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.circuits.gates import CXGate, Gate, RYGate, RZGate, XGate
+from repro.exceptions import CircuitError
+
+__all__ = ["QCircuit"]
+
+
+class QCircuit:
+    """An ordered list of gates on ``num_qubits`` qubits.
+
+    Examples
+    --------
+    >>> qc = QCircuit(2)
+    >>> _ = qc.ry(0, 3.14159 / 2).cx(0, 1)
+    >>> qc.cnot_cost()
+    1
+    """
+
+    __slots__ = ("_n", "_gates")
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()):
+        if num_qubits < 1:
+            raise CircuitError(f"need at least one qubit, got {num_qubits}")
+        self._n = num_qubits
+        self._gates: list[Gate] = []
+        for g in gates:
+            self.append(g)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self._n
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """Immutable view of the gate list."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, i):
+        return self._gates[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QCircuit):
+            return NotImplemented
+        return self._n == other._n and self._gates == other._gates
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QCircuit":
+        """Append a gate (validating qubit indices); returns ``self``."""
+        for q in gate.qubits():
+            if not 0 <= q < self._n:
+                raise CircuitError(
+                    f"gate {gate} touches qubit {q}, register has {self._n}")
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QCircuit":
+        for g in gates:
+            self.append(g)
+        return self
+
+    def compose(self, other: "QCircuit") -> "QCircuit":
+        """Append another circuit's gates (same register width)."""
+        if other._n != self._n:
+            raise CircuitError(
+                f"cannot compose {other._n}-qubit circuit onto {self._n}")
+        return self.extend(other._gates)
+
+    # Fluent gate constructors -------------------------------------------------
+
+    def x(self, target: int) -> "QCircuit":
+        return self.append(XGate(target=target))
+
+    def ry(self, target: int, theta: float) -> "QCircuit":
+        return self.append(RYGate(target=target, theta=theta))
+
+    def rz(self, target: int, theta: float) -> "QCircuit":
+        return self.append(RZGate(target=target, theta=theta))
+
+    def cx(self, control: int, target: int, phase: int = 1) -> "QCircuit":
+        return self.append(CXGate.make(control, target, phase))
+
+    def cry(self, control: int, target: int, theta: float,
+            phase: int = 1) -> "QCircuit":
+        from repro.circuits.gates import CRYGate
+        return self.append(CRYGate.make(control, target, theta, phase))
+
+    def mcry(self, controls: list[tuple[int, int]], target: int,
+             theta: float) -> "QCircuit":
+        from repro.circuits.gates import CRYGate, MCRYGate, RYGate as _RY
+        if not controls:
+            return self.append(_RY(target=target, theta=theta))
+        if len(controls) == 1:
+            (c, p), = controls
+            return self.append(CRYGate.make(c, target, theta, p))
+        return self.append(MCRYGate.make(controls, target, theta))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def cnot_cost(self) -> int:
+        """Total CNOT cost under the paper's Table-I model."""
+        return sum(g.cnot_cost() for g in self._gates)
+
+    def count_by_name(self) -> dict[str, int]:
+        """Histogram of gate mnemonics."""
+        out: dict[str, int] = {}
+        for g in self._gates:
+            out[g.name] = out.get(g.name, 0) + 1
+        return out
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one layer on its qubits."""
+        level = [0] * self._n
+        for g in self._gates:
+            qs = g.qubits()
+            start = max(level[q] for q in qs)
+            for q in qs:
+                level[q] = start + 1
+        return max(level, default=0)
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only gates with nonzero CNOT cost."""
+        level = [0] * self._n
+        for g in self._gates:
+            if g.cnot_cost() == 0:
+                continue
+            qs = g.qubits()
+            start = max(level[q] for q in qs)
+            for q in qs:
+                level[q] = start + 1
+        return max(level, default=0)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "QCircuit":
+        """The adjoint circuit (reversed order, inverted gates)."""
+        return QCircuit(self._n, (g.inverse() for g in reversed(self._gates)))
+
+    def remap(self, mapping: dict[int, int]) -> "QCircuit":
+        """Relabel qubits; ``mapping`` must be a bijection on the register."""
+        if sorted(mapping.keys()) != list(range(self._n)) or \
+                sorted(mapping.values()) != list(range(self._n)):
+            raise CircuitError(f"not a register bijection: {mapping}")
+        return QCircuit(self._n, (g.remap(mapping) for g in self._gates))
+
+    def decompose(self) -> "QCircuit":
+        """Lower to ``{X, Ry, Rz, CX}``; see :mod:`repro.circuits.decompose`."""
+        from repro.circuits.decompose import decompose_circuit
+        return decompose_circuit(self)
+
+    def embedded(self, num_qubits: int,
+                 placement: list[int] | None = None) -> "QCircuit":
+        """Embed into a wider register.
+
+        ``placement[i]`` is the wide-register wire carrying this circuit's
+        qubit ``i`` (defaults to identity).
+        """
+        if num_qubits < self._n:
+            raise CircuitError("target register narrower than circuit")
+        placement = placement if placement is not None else list(range(self._n))
+        if len(placement) != self._n or len(set(placement)) != self._n:
+            raise CircuitError(f"bad placement {placement}")
+        mapping = {i: w for i, w in enumerate(placement)}
+        wide = QCircuit(num_qubits)
+        for g in self._gates:
+            wide.append(g.remap(mapping))
+        return wide
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"QCircuit(n={self._n}, gates={len(self._gates)}, "
+                f"cnots={self.cnot_cost()})")
+
+    def draw(self) -> str:
+        """ASCII rendering, one column per gate.
+
+        ``*``/``o`` mark positive/negative controls, boxes mark targets.
+        """
+        if not self._gates:
+            return "\n".join(f"q{q}: -" for q in range(self._n))
+        columns: list[list[str]] = []
+        for g in self._gates:
+            label = {"x": "X", "cx": "X", "mcx": "X"}.get(g.name)
+            if label is None:
+                label = "R" + g.name[-1].upper()
+            col = ["-"] * self._n
+            lo = min(g.qubits())
+            hi = max(g.qubits())
+            for q in range(lo, hi + 1):
+                col[q] = "|"
+            for q, p in g.controls:
+                col[q] = "*" if p else "o"
+            col[g.target] = label
+            columns.append(col)
+        width = max(len(c) for col in columns for c in col)
+        lines = []
+        for q in range(self._n):
+            cells = [col[q].center(width, "-" if col[q] == "-" else " ")
+                     for col in columns]
+            lines.append(f"q{q}: -" + "-".join(cells) + "-")
+        return "\n".join(lines)

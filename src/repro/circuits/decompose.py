@@ -1,0 +1,198 @@
+"""Lowering controlled rotations to ``{X, Ry, Rz, CX}``.
+
+The workhorse is the Gray-code **rotation multiplexor** (uniformly controlled
+rotation, Möttönen et al., PRL 93, 130502): a bank of rotations
+``Ry(alpha_j)`` selected by ``k`` control qubits compiles to exactly ``2**k``
+CNOTs and ``2**k`` rotations.  A single-pattern ``MCRy`` is the special case
+where one ``alpha_j`` is nonzero — hence Table I's ``2**k`` CNOT cost.
+
+Construction sketch (circuit order)::
+
+    Ry(phi_0) CX(c(0)) Ry(phi_1) CX(c(1)) ... Ry(phi_{2^k-1}) CX(c(2^k-1))
+
+where ``c(i)`` is the control qubit at the bit position where consecutive
+Gray codes differ.  Commuting the CNOTs through the rotations shows that
+control pattern ``j`` receives a net rotation of
+``sum_i (-1)^{popcount(j & gray(i))} * phi_i``, so the multiplexor angles are
+the (scaled) Walsh-Hadamard transform of the target angles, permuted by the
+Gray code.
+
+When many ``alpha_j`` vanish, zero rotations are skipped and the CNOTs
+between surviving rotations are merged by XOR-parity, which only ever
+*reduces* the CNOT count (used by the dense qubit-reduction flow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import (
+    CRYGate,
+    CRZGate,
+    CXGate,
+    Gate,
+    MCRYGate,
+    MCXGate,
+    RYGate,
+    RZGate,
+    XGate,
+)
+from repro.exceptions import CircuitError
+from repro.utils.bits import gray_code
+
+__all__ = [
+    "multiplexor_angles",
+    "multiplexed_rotation_gates",
+    "decompose_gate",
+    "decompose_circuit",
+    "multiplexor_cnot_count",
+]
+
+#: Rotations smaller than this are dropped when pruning the multiplexor.
+ANGLE_TOL = 1e-12
+
+
+def _fwht(values: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh-Hadamard transform (unnormalized)."""
+    out = np.array(values, dtype=np.float64, copy=True)
+    n = out.shape[0]
+    h = 1
+    while h < n:
+        for start in range(0, n, h * 2):
+            a = out[start:start + h].copy()
+            b = out[start + h:start + 2 * h].copy()
+            out[start:start + h] = a + b
+            out[start + h:start + 2 * h] = a - b
+        h *= 2
+    return out
+
+
+def multiplexor_angles(alphas: np.ndarray) -> np.ndarray:
+    """Rotation angles ``phi`` of the Gray-code multiplexor.
+
+    ``phi_i = (1/2^k) * WHT(alpha)[gray(i)]``, the unique solution of
+    ``sum_i (-1)^{popcount(j & gray(i))} phi_i = alpha_j`` for all ``j``.
+    """
+    alphas = np.asarray(alphas, dtype=np.float64)
+    size = alphas.shape[0]
+    if size & (size - 1):
+        raise CircuitError(f"angle vector length {size} not a power of two")
+    wht = _fwht(alphas) / size
+    return np.array([wht[gray_code(i)] for i in range(size)])
+
+
+def multiplexed_rotation_gates(controls: list[int], target: int,
+                               alphas: np.ndarray,
+                               axis: str = "y",
+                               prune: bool = True) -> list[Gate]:
+    """Gate list of a uniformly controlled rotation.
+
+    Parameters
+    ----------
+    controls:
+        Control qubits; ``controls[0]`` is the most significant bit of the
+        pattern index ``j``.
+    target:
+        Target qubit.
+    alphas:
+        ``2**k`` target angles, ``alphas[j]`` applied for control pattern
+        ``j``.
+    axis:
+        ``"y"`` (Ry) or ``"z"`` (Rz, used by the phase oracle).
+    prune:
+        Skip zero rotations and parity-merge the CNOTs in between.
+
+    Returns at most ``2**k`` CNOTs; exactly ``2**k`` when nothing prunes.
+    """
+    if axis not in ("y", "z"):
+        raise CircuitError(f"unsupported rotation axis {axis!r}")
+    rot = RYGate if axis == "y" else RZGate
+    k = len(controls)
+    alphas = np.asarray(alphas, dtype=np.float64)
+    if alphas.shape[0] != (1 << k):
+        raise CircuitError(
+            f"need {1 << k} angles for {k} controls, got {alphas.shape[0]}")
+    if k == 0:
+        theta = float(alphas[0])
+        return [] if (prune and abs(theta) < ANGLE_TOL) \
+            else [rot(target=target, theta=theta)]
+
+    phis = multiplexor_angles(alphas)
+    gates: list[Gate] = []
+    pending = 0  # XOR parity mask of CNOT toggles not yet emitted
+
+    def flush() -> None:
+        nonlocal pending
+        for bitpos in range(k):
+            if (pending >> bitpos) & 1:
+                # pattern bit ``bitpos`` (LSB = 0) is control
+                # ``controls[k - 1 - bitpos]``
+                gates.append(CXGate.make(controls[k - 1 - bitpos], target))
+        pending = 0
+
+    size = 1 << k
+    for i in range(size):
+        phi = float(phis[i])
+        if not prune or abs(phi) > ANGLE_TOL:
+            flush()
+            gates.append(rot(target=target, theta=phi))
+        toggle = gray_code(i) ^ gray_code((i + 1) % size)
+        pending ^= toggle
+    flush()
+    return gates
+
+
+def multiplexor_cnot_count(num_controls: int) -> int:
+    """CNOT count of the unpruned multiplexor: ``2**k`` (``0`` for ``k=0``)."""
+    return 0 if num_controls == 0 else 1 << num_controls
+
+
+def _mcry_like(gate: Gate, axis: str) -> list[Gate]:
+    """Decompose a single-pattern multi-controlled rotation."""
+    controls = [q for q, _ in gate.controls]
+    k = len(controls)
+    pattern = 0
+    for d, (_, phase) in enumerate(gate.controls):
+        if phase:
+            pattern |= 1 << (k - 1 - d)
+    alphas = np.zeros(1 << k)
+    alphas[pattern] = gate.theta  # type: ignore[attr-defined]
+    # Never prune here: the single-pattern transform has all +-theta/2^k
+    # entries, and emitting all of them realizes the advertised 2**k cost.
+    return multiplexed_rotation_gates(controls, gate.target, alphas,
+                                      axis=axis, prune=False)
+
+
+def decompose_gate(gate: Gate) -> list[Gate]:
+    """Rewrite one gate over ``{X, Ry, Rz, CX}``.
+
+    The emitted CX count always equals ``gate.cnot_cost()``.
+    """
+    if isinstance(gate, (XGate, RYGate, RZGate)):
+        return [gate]
+    if isinstance(gate, CXGate):
+        control, phase = gate.controls[0]
+        if phase == 1:
+            return [gate]
+        # Negated control: conjugate by free X gates.
+        return [XGate(target=control),
+                CXGate.make(control, gate.target),
+                XGate(target=control)]
+    if isinstance(gate, (CRYGate, MCRYGate)):
+        return _mcry_like(gate, axis="y")
+    if isinstance(gate, CRZGate):
+        return _mcry_like(gate, axis="z")
+    if isinstance(gate, MCXGate):
+        raise CircuitError(
+            "MCX has no exact {CNOT, Ry} form (a relative phase remains); "
+            "synthesis algorithms in this library never emit it")
+    raise CircuitError(f"cannot decompose {type(gate).__name__}")
+
+
+def decompose_circuit(circuit: QCircuit) -> QCircuit:
+    """Lower every gate of a circuit to ``{X, Ry, Rz, CX}``."""
+    out = QCircuit(circuit.num_qubits)
+    for gate in circuit:
+        out.extend(decompose_gate(gate))
+    return out

@@ -1,0 +1,394 @@
+"""Quantum gate definitions with the paper's CNOT cost model (Table I).
+
+Every gate in this library is a (multi-)controlled single-qubit operation:
+a 2x2 base matrix acting on ``target``, activated when each control qubit
+matches its control phase.  This uniform shape keeps the simulator, the
+decomposer, and the QASM printer simple.
+
+CNOT costs (Table I):
+
+=============  =================  ==========
+gate           controls ``k``     CNOT cost
+=============  =================  ==========
+``Ry``/``Rz``  0                  0
+``X``          0                  0
+``CX``         1                  1
+``CRy``        1                  2
+``MCRy``       k >= 2             ``2**k``
+=============  =================  ==========
+
+The ``MCRy`` cost is realized exactly by the Gray-code multiplexor in
+:mod:`repro.circuits.decompose` (and matches the paper's motivating example,
+where boxes with 1 and 2 controls cost ``2**1 + 2**2 = 6`` CNOTs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "Gate",
+    "XGate",
+    "RYGate",
+    "RZGate",
+    "CXGate",
+    "CRYGate",
+    "MCRYGate",
+    "MCXGate",
+    "CRZGate",
+    "normalize_angle",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle into ``(-2*pi, 2*pi)`` (Ry has a 4*pi period, but all
+    angles we produce live comfortably inside one turn)."""
+    theta = math.fmod(theta, 2.0 * _TWO_PI)
+    if theta > _TWO_PI:
+        theta -= 2.0 * _TWO_PI
+    elif theta < -_TWO_PI:
+        theta += 2.0 * _TWO_PI
+    return theta
+
+
+@dataclass(frozen=True)
+class Gate:
+    """Base class: a controlled single-qubit operation.
+
+    Attributes
+    ----------
+    target:
+        Qubit the 2x2 base matrix acts on.
+    controls:
+        Tuple of ``(qubit, phase)`` pairs; the gate fires when every control
+        qubit equals its phase (``1`` = ordinary control, ``0`` = negated).
+    """
+
+    target: int
+    controls: tuple[tuple[int, int], ...] = field(default=())
+
+    def __post_init__(self):
+        seen = {self.target}
+        for q, p in self.controls:
+            if q in seen:
+                raise CircuitError(
+                    f"duplicate qubit {q} in {type(self).__name__}")
+            if p not in (0, 1):
+                raise CircuitError(f"control phase must be 0/1, got {p}")
+            seen.add(q)
+
+    # -- interface ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Lower-case mnemonic (e.g. ``'cx'``, ``'mcry'``)."""
+        raise NotImplementedError
+
+    def base_matrix(self) -> np.ndarray:
+        """The 2x2 matrix applied on ``target`` when controls fire."""
+        raise NotImplementedError
+
+    def cnot_cost(self) -> int:
+        """CNOT cost after decomposition to ``{CNOT, Ry}`` (Table I)."""
+        raise NotImplementedError
+
+    def inverse(self) -> "Gate":
+        """The inverse gate (same cost)."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.controls)
+
+    def qubits(self) -> tuple[int, ...]:
+        """All qubits touched, controls first then target."""
+        return tuple(q for q, _ in self.controls) + (self.target,)
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """Return the same gate acting on relabeled qubits."""
+        kwargs = {
+            "target": mapping[self.target],
+            "controls": tuple((mapping[q], p) for q, p in self.controls),
+        }
+        if hasattr(self, "theta"):
+            kwargs["theta"] = self.theta  # type: ignore[attr-defined]
+        return type(self)(**kwargs)
+
+    def _controls_repr(self) -> str:
+        return ", ".join(f"{q}={'+' if p else '-'}" for q, p in self.controls)
+
+    def __str__(self) -> str:
+        angle = getattr(self, "theta", None)
+        parts = [self.name, f"t={self.target}"]
+        if self.controls:
+            parts.append(f"c[{self._controls_repr()}]")
+        if angle is not None:
+            parts.append(f"theta={angle:.6f}")
+        return "(" + " ".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# Concrete gates
+# ----------------------------------------------------------------------
+
+_X_MATRIX = np.array([[0.0, 1.0], [1.0, 0.0]])
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]])
+
+
+def _rz_matrix(theta: float) -> np.ndarray:
+    return np.array([
+        [np.exp(-0.5j * theta), 0.0],
+        [0.0, np.exp(0.5j * theta)],
+    ])
+
+
+@dataclass(frozen=True)
+class XGate(Gate):
+    """Pauli-X (bit flip).  Free in the CNOT cost model."""
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.controls:
+            raise CircuitError("use CXGate/MCXGate for controlled X")
+
+    @property
+    def name(self) -> str:
+        return "x"
+
+    def base_matrix(self) -> np.ndarray:
+        return _X_MATRIX
+
+    def cnot_cost(self) -> int:
+        return 0
+
+    def inverse(self) -> "XGate":
+        return self
+
+
+@dataclass(frozen=True)
+class RYGate(Gate):
+    """Single-qubit Y rotation ``Ry(theta)`` (Eq. 1).  Free."""
+
+    theta: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.controls:
+            raise CircuitError("use CRYGate/MCRYGate for controlled Ry")
+
+    @property
+    def name(self) -> str:
+        return "ry"
+
+    def base_matrix(self) -> np.ndarray:
+        return _ry_matrix(self.theta)
+
+    def cnot_cost(self) -> int:
+        return 0
+
+    def inverse(self) -> "RYGate":
+        return RYGate(target=self.target, theta=-self.theta)
+
+
+@dataclass(frozen=True)
+class RZGate(Gate):
+    """Single-qubit Z rotation (used by the complex-amplitude phase oracle
+    extension, :mod:`repro.opt.phase`).  Free."""
+
+    theta: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.controls:
+            raise CircuitError("use CRZGate for controlled Rz")
+
+    @property
+    def name(self) -> str:
+        return "rz"
+
+    def base_matrix(self) -> np.ndarray:
+        return _rz_matrix(self.theta)
+
+    def cnot_cost(self) -> int:
+        return 0
+
+    def inverse(self) -> "RZGate":
+        return RZGate(target=self.target, theta=-self.theta)
+
+
+@dataclass(frozen=True)
+class CXGate(Gate):
+    """CNOT.  ``phase=0`` controls are free (absorbed X conjugation), so the
+    cost is 1 either way."""
+
+    def __post_init__(self):
+        super().__post_init__()
+        if len(self.controls) != 1:
+            raise CircuitError("CXGate takes exactly one control")
+
+    @classmethod
+    def make(cls, control: int, target: int, phase: int = 1) -> "CXGate":
+        """Convenience constructor: ``CXGate.make(c, t)``."""
+        return cls(target=target, controls=((control, phase),))
+
+    @property
+    def control(self) -> int:
+        return self.controls[0][0]
+
+    @property
+    def phase(self) -> int:
+        return self.controls[0][1]
+
+    @property
+    def name(self) -> str:
+        return "cx"
+
+    def base_matrix(self) -> np.ndarray:
+        return _X_MATRIX
+
+    def cnot_cost(self) -> int:
+        return 1
+
+    def inverse(self) -> "CXGate":
+        return self
+
+
+@dataclass(frozen=True)
+class CRYGate(Gate):
+    """Singly-controlled Ry.  Cost 2 (Table I)."""
+
+    theta: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if len(self.controls) != 1:
+            raise CircuitError("CRYGate takes exactly one control")
+
+    @classmethod
+    def make(cls, control: int, target: int, theta: float,
+             phase: int = 1) -> "CRYGate":
+        return cls(target=target, controls=((control, phase),), theta=theta)
+
+    @property
+    def control(self) -> int:
+        return self.controls[0][0]
+
+    @property
+    def phase(self) -> int:
+        return self.controls[0][1]
+
+    @property
+    def name(self) -> str:
+        return "cry"
+
+    def base_matrix(self) -> np.ndarray:
+        return _ry_matrix(self.theta)
+
+    def cnot_cost(self) -> int:
+        return 2
+
+    def inverse(self) -> "CRYGate":
+        return CRYGate(target=self.target, controls=self.controls,
+                       theta=-self.theta)
+
+
+@dataclass(frozen=True)
+class MCRYGate(Gate):
+    """Multi-controlled Ry with ``k >= 1`` controls.  Cost ``2**k``."""
+
+    theta: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not self.controls:
+            raise CircuitError("MCRYGate needs at least one control")
+
+    @classmethod
+    def make(cls, controls: list[tuple[int, int]], target: int,
+             theta: float) -> "MCRYGate":
+        return cls(target=target, controls=tuple(controls), theta=theta)
+
+    @property
+    def name(self) -> str:
+        return "mcry"
+
+    def base_matrix(self) -> np.ndarray:
+        return _ry_matrix(self.theta)
+
+    def cnot_cost(self) -> int:
+        return 1 << len(self.controls)
+
+    def inverse(self) -> "MCRYGate":
+        return MCRYGate(target=self.target, controls=self.controls,
+                        theta=-self.theta)
+
+
+@dataclass(frozen=True)
+class MCXGate(Gate):
+    """Multi-controlled X with ``k >= 2`` controls.
+
+    Implemented (and costed) as ``MCRy(pi)`` plus sign bookkeeping:
+    ``2**k`` CNOTs.  Only used by baseline constructions.
+    """
+
+    def __post_init__(self):
+        super().__post_init__()
+        if len(self.controls) < 2:
+            raise CircuitError("MCXGate needs at least two controls")
+
+    @property
+    def name(self) -> str:
+        return "mcx"
+
+    def base_matrix(self) -> np.ndarray:
+        return _X_MATRIX
+
+    def cnot_cost(self) -> int:
+        return 1 << len(self.controls)
+
+    def inverse(self) -> "MCXGate":
+        return self
+
+
+@dataclass(frozen=True)
+class CRZGate(Gate):
+    """Singly-controlled Rz (phase oracle extension).  Cost 2."""
+
+    theta: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if len(self.controls) != 1:
+            raise CircuitError("CRZGate takes exactly one control")
+
+    @classmethod
+    def make(cls, control: int, target: int, theta: float,
+             phase: int = 1) -> "CRZGate":
+        return cls(target=target, controls=((control, phase),), theta=theta)
+
+    @property
+    def name(self) -> str:
+        return "crz"
+
+    def base_matrix(self) -> np.ndarray:
+        return _rz_matrix(self.theta)
+
+    def cnot_cost(self) -> int:
+        return 2
+
+    def inverse(self) -> "CRZGate":
+        return CRZGate(target=self.target, controls=self.controls,
+                       theta=-self.theta)

@@ -1,0 +1,137 @@
+"""OpenQASM 2.0 export and a small importer.
+
+Export lowers the circuit to ``{x, ry, rz, cx}`` first (so any OpenQASM 2
+consumer can ingest it); import accepts that same subset plus ``cry``/``crz``
+from other tools.
+
+Only a single quantum register is supported — state preparation circuits
+never need more.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Iterable
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CRYGate, CRZGate, CXGate, RYGate, RZGate, XGate
+from repro.exceptions import QasmError
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def _fmt_angle(theta: float) -> str:
+    """Render an angle, preferring exact multiples of pi for readability."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        for num in range(-16 * denom, 16 * denom + 1):
+            if num == 0:
+                continue
+            if abs(theta - num * math.pi / denom) < 1e-12:
+                frac = f"pi/{denom}" if denom > 1 else "pi"
+                if num == 1:
+                    return frac
+                if num == -1:
+                    return f"-{frac}"
+                return f"{num}*{frac}"
+    if abs(theta) < 1e-15:
+        return "0"
+    return repr(theta)
+
+
+def to_qasm(circuit: QCircuit) -> str:
+    """Serialize a circuit as OpenQASM 2.0 over ``{x, ry, rz, cx}``."""
+    lowered = circuit.decompose()
+    lines = [_HEADER + f"qreg q[{circuit.num_qubits}];"]
+    for gate in lowered:
+        if isinstance(gate, XGate):
+            lines.append(f"x q[{gate.target}];")
+        elif isinstance(gate, RYGate):
+            lines.append(f"ry({_fmt_angle(gate.theta)}) q[{gate.target}];")
+        elif isinstance(gate, RZGate):
+            lines.append(f"rz({_fmt_angle(gate.theta)}) q[{gate.target}];")
+        elif isinstance(gate, CXGate):
+            if gate.phase != 1:  # decompose() already removed these
+                raise QasmError("negative-control cx after decomposition")
+            lines.append(f"cx q[{gate.control}],q[{gate.target}];")
+        else:
+            raise QasmError(f"unexpected gate {gate.name} after lowering")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(
+    r"^\s*(?P<name>[a-z]+)\s*(?:\((?P<angle>[^)]*)\))?\s*"
+    r"(?P<args>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;\s*$")
+_QUBIT_RE = re.compile(r"q\[(\d+)\]")
+
+# Minimal, safe angle expression evaluator: numbers, pi, + - * /, parens.
+_ANGLE_RE = re.compile(r"^[\d\s.eE+\-*/()pi]*$")
+
+
+def _eval_angle(text: str) -> float:
+    text = text.strip()
+    if not text:
+        raise QasmError("empty angle")
+    if not _ANGLE_RE.match(text):
+        raise QasmError(f"unsupported angle expression: {text!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}}, {"pi": math.pi}))
+    except Exception as exc:  # noqa: BLE001 - surface as QasmError
+        raise QasmError(f"cannot evaluate angle {text!r}: {exc}") from exc
+
+
+def _iter_statements(text: str) -> Iterable[str]:
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if line:
+            yield line
+
+
+def from_qasm(text: str) -> QCircuit:
+    """Parse OpenQASM 2.0 over ``{x, ry, rz, cx, cry, crz}``.
+
+    Raises :class:`~repro.exceptions.QasmError` on anything else.
+    """
+    num_qubits: int | None = None
+    circuit: QCircuit | None = None
+    for line in _iter_statements(text):
+        if line.startswith("OPENQASM") or line.startswith("include"):
+            continue
+        m = re.match(r"^qreg\s+q\[(\d+)\]\s*;\s*$", line)
+        if m:
+            if num_qubits is not None:
+                raise QasmError("multiple qreg declarations")
+            num_qubits = int(m.group(1))
+            circuit = QCircuit(num_qubits)
+            continue
+        if line.startswith(("creg", "barrier", "measure")):
+            continue
+        tok = _TOKEN_RE.match(line)
+        if not tok:
+            raise QasmError(f"cannot parse: {line!r}")
+        if circuit is None:
+            raise QasmError("gate before qreg declaration")
+        name = tok.group("name")
+        qubits = [int(q) for q in _QUBIT_RE.findall(tok.group("args"))]
+        angle = tok.group("angle")
+        if name == "x" and len(qubits) == 1:
+            circuit.x(qubits[0])
+        elif name == "ry" and len(qubits) == 1:
+            circuit.ry(qubits[0], _eval_angle(angle or ""))
+        elif name == "rz" and len(qubits) == 1:
+            circuit.rz(qubits[0], _eval_angle(angle or ""))
+        elif name == "cx" and len(qubits) == 2:
+            circuit.cx(qubits[0], qubits[1])
+        elif name == "cry" and len(qubits) == 2:
+            circuit.append(CRYGate.make(qubits[0], qubits[1],
+                                        _eval_angle(angle or "")))
+        elif name == "crz" and len(qubits) == 2:
+            circuit.append(CRZGate.make(qubits[0], qubits[1],
+                                        _eval_angle(angle or "")))
+        else:
+            raise QasmError(f"unsupported gate {name!r} in {line!r}")
+    if circuit is None:
+        raise QasmError("no qreg declaration found")
+    return circuit

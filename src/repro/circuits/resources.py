@@ -1,0 +1,65 @@
+"""Resource estimation for synthesized circuits.
+
+The paper's objective is the CNOT count; depth and gate histograms are the
+usual secondary metrics an open-source release reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QCircuit
+
+__all__ = ["ResourceReport", "estimate_resources"]
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Summary of a circuit's cost.
+
+    Attributes
+    ----------
+    num_qubits: register width.
+    num_gates: gates before lowering.
+    cnot_count: Table-I CNOT cost (== CX count after lowering).
+    single_qubit_rotations: Ry/Rz count after lowering.
+    depth: full-gate depth after lowering.
+    two_qubit_depth: depth over CX layers only.
+    histogram: gate-name histogram before lowering.
+    """
+
+    num_qubits: int
+    num_gates: int
+    cnot_count: int
+    single_qubit_rotations: int
+    depth: int
+    two_qubit_depth: int
+    histogram: dict[str, int]
+
+    def __str__(self) -> str:
+        lines = [
+            f"qubits            : {self.num_qubits}",
+            f"gates (high level): {self.num_gates}",
+            f"CNOTs             : {self.cnot_count}",
+            f"1q rotations      : {self.single_qubit_rotations}",
+            f"depth             : {self.depth}",
+            f"2q depth          : {self.two_qubit_depth}",
+            "histogram         : " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.histogram.items())),
+        ]
+        return "\n".join(lines)
+
+
+def estimate_resources(circuit: QCircuit) -> ResourceReport:
+    """Compute a :class:`ResourceReport` for a circuit."""
+    lowered = circuit.decompose()
+    rotations = sum(1 for g in lowered if g.name in ("ry", "rz"))
+    return ResourceReport(
+        num_qubits=circuit.num_qubits,
+        num_gates=len(circuit),
+        cnot_count=lowered.cnot_cost(),
+        single_qubit_rotations=rotations,
+        depth=lowered.depth(),
+        two_qubit_depth=lowered.two_qubit_depth(),
+        histogram=circuit.count_by_name(),
+    )

@@ -1,0 +1,53 @@
+"""Numeric conventions shared across the library.
+
+Amplitudes are real floats.  Two amplitudes are considered equal when they
+agree after rounding to :data:`AMP_DECIMALS` decimal places; this quantization
+is what makes states hashable and the state-transition graph finite at a given
+precision level (the paper's ``epsilon``, Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Decimal places used when quantizing amplitudes for hashing/equality.
+AMP_DECIMALS: int = 10
+
+#: Absolute tolerance matching the quantization above.
+ATOL: float = 0.5 * 10.0 ** (-AMP_DECIMALS)
+
+#: Looser tolerance for simulator round-trip comparisons.
+SIM_ATOL: float = 1e-8
+
+#: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
+#: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
+
+
+def mcry_cnot_cost(num_controls: int) -> int:
+    """CNOT cost of an ``MCRy`` gate with ``num_controls`` controls.
+
+    Matches Table I of the paper (and the motivating example, where boxes
+    with 1 and 2 controls cost ``2**1 + 2**2 = 6`` CNOTs), realized exactly
+    by the Gray-code multiplexor in :mod:`repro.circuits.decompose`.
+    """
+    if num_controls < 0:
+        raise ValueError("negative control count")
+    if num_controls == 0:
+        return 0
+    return 1 << num_controls
+
+
+def quantize(amp: float) -> float:
+    """Round an amplitude to the library-wide precision.
+
+    ``-0.0`` is normalized to ``0.0`` so that hashing is stable.
+    """
+    q = round(amp, AMP_DECIMALS)
+    if q == 0.0:
+        return 0.0
+    return q
+
+
+def amps_close(a: float, b: float, atol: float = ATOL) -> bool:
+    """True when two amplitudes agree within ``atol``."""
+    return math.isclose(a, b, rel_tol=0.0, abs_tol=atol)

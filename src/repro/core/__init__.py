@@ -1,0 +1,82 @@
+"""Exact CNOT synthesis: the paper's shortest-path formulation.
+
+Moves (:mod:`repro.core.moves`, :mod:`repro.core.transitions`) define the
+state transition graph; :mod:`repro.core.canonical` compresses it;
+:mod:`repro.core.astar` solves it optimally; :mod:`repro.core.beam` provides
+the anytime fallback; :class:`ExactSynthesizer` is the public entry point.
+"""
+
+from repro.core.astar import SearchConfig, SearchResult, SearchStats, astar_search
+from repro.core.beam import BeamConfig, beam_search
+from repro.core.canonical import (
+    CanonLevel,
+    canonical_key,
+    canonicalize,
+    pin_separable_qubits,
+    xflip_minimize,
+)
+from repro.core.enumeration import (
+    CanonicalCountRow,
+    canonical_count_table,
+    count_canonical_uniform_states,
+)
+from repro.core.exact import ExactConfig, ExactSynthesizer, synthesize_exact
+from repro.core.heuristic import (
+    combined_heuristic,
+    entanglement_heuristic,
+    scaled_heuristic,
+    schmidt_cut_heuristic,
+    schmidt_rank,
+    zero_heuristic,
+)
+from repro.core.idastar import IDAStarConfig, idastar_search
+from repro.core.moves import (
+    CXMove,
+    MergeMove,
+    Move,
+    XMove,
+    apply_controlled_ry,
+    merge_angle,
+    moves_to_circuit,
+    product_state_rotations,
+)
+from repro.core.transitions import enumerate_cx, enumerate_merges, successors
+
+__all__ = [
+    "SearchConfig",
+    "SearchResult",
+    "SearchStats",
+    "astar_search",
+    "BeamConfig",
+    "beam_search",
+    "CanonLevel",
+    "canonical_key",
+    "canonicalize",
+    "pin_separable_qubits",
+    "xflip_minimize",
+    "CanonicalCountRow",
+    "canonical_count_table",
+    "count_canonical_uniform_states",
+    "ExactConfig",
+    "ExactSynthesizer",
+    "synthesize_exact",
+    "entanglement_heuristic",
+    "scaled_heuristic",
+    "zero_heuristic",
+    "combined_heuristic",
+    "schmidt_cut_heuristic",
+    "schmidt_rank",
+    "IDAStarConfig",
+    "idastar_search",
+    "Move",
+    "XMove",
+    "CXMove",
+    "MergeMove",
+    "apply_controlled_ry",
+    "merge_angle",
+    "moves_to_circuit",
+    "product_state_rotations",
+    "enumerate_cx",
+    "enumerate_merges",
+    "successors",
+]

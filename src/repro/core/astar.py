@@ -1,0 +1,211 @@
+"""A* search over the state transition graph (paper Algorithm 1).
+
+The search runs *backward* from the target state to (any state equivalent
+to) the ground state.  Key implementation points:
+
+* **Concrete states, canonical pruning.**  The open list holds concrete
+  states with concrete parent pointers, so path reconstruction directly
+  yields a circuit.  Dominance checks use the canonical key of each state's
+  equivalence class (``Pi(phi)`` in Algorithm 1): if a member of the class
+  was already reached at an equal-or-lower ``g``, the new state is pruned.
+  Class members are mutually convertible at zero CNOT cost, so the optimal
+  *cost* always survives pruning.
+* **Early goal.**  A fully separable state (``h = 0``) is a goal: the
+  remaining work is one free ``Ry`` per qubit, emitted directly.
+* **Re-expansion safe.**  A better ``g`` for an already-seen class re-opens
+  it, which keeps the search optimal even if the heuristic were
+  inconsistent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QCircuit
+from repro.core.canonical import CanonLevel, canonical_key
+from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.moves import Move, moves_to_circuit
+from repro.core.transitions import successors
+from repro.exceptions import SearchBudgetExceeded
+from repro.states.analysis import num_entangled_qubits
+from repro.states.qstate import QState
+from repro.utils.timing import Stopwatch
+
+__all__ = ["SearchConfig", "SearchStats", "SearchResult", "astar_search"]
+
+
+@dataclass
+class SearchConfig:
+    """Tuning knobs of the exact search.
+
+    Attributes
+    ----------
+    max_nodes:
+        Expansion budget; exceeding it raises
+        :class:`~repro.exceptions.SearchBudgetExceeded`.
+    time_limit:
+        Wall-clock budget in seconds (``None`` = unlimited).
+    canon_level:
+        Equivalence used for pruning (paper Sec. V-B); ``PU2`` assumes a
+        symmetric coupling graph, exactly as the paper discusses.
+    max_merge_controls:
+        Cap on MCRy merge controls (``None`` = ``n - 1``, the complete set).
+    weight:
+        Heuristic weight; ``1.0`` is admissible/optimal, larger trades
+        optimality for speed (results are flagged accordingly).
+    include_x_moves:
+        Explicit free X moves (redundant at ``canon_level >= U2``).
+    tie_cap / perm_cap:
+        Canonicalization enumeration caps (soundness never depends on them).
+    """
+
+    max_nodes: int = 200_000
+    time_limit: float | None = None
+    canon_level: CanonLevel = CanonLevel.PU2
+    max_merge_controls: int | None = None
+    weight: float = 1.0
+    include_x_moves: bool = False
+    tie_cap: int = 256
+    perm_cap: int = 24
+
+
+@dataclass
+class SearchStats:
+    """Counters reported with every search result."""
+
+    nodes_expanded: int = 0
+    nodes_generated: int = 0
+    nodes_pruned: int = 0
+    max_queue: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a (possibly budgeted) search."""
+
+    circuit: QCircuit
+    cnot_cost: int
+    optimal: bool
+    moves: list[Move] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def astar_search(target: QState, config: SearchConfig | None = None,
+                 heuristic: HeuristicFn | None = None) -> SearchResult:
+    """Find a minimum-CNOT preparation circuit for ``target``.
+
+    Raises
+    ------
+    SearchBudgetExceeded
+        When ``max_nodes`` or ``time_limit`` is hit before the ground state
+        is reached.  The exception carries the best proven lower bound.
+    """
+    config = config or SearchConfig()
+    if heuristic is None:
+        heuristic = entanglement_heuristic
+    weight = config.weight
+    stopwatch = Stopwatch(config.time_limit)
+    stats = SearchStats()
+
+    canon_cache: dict = {}
+
+    def canon(state: QState):
+        key = state.key()
+        val = canon_cache.get(key)
+        if val is None:
+            val = canonical_key(state, config.canon_level,
+                                tie_cap=config.tie_cap,
+                                perm_cap=config.perm_cap)
+            canon_cache[key] = val
+        return val
+
+    counter = itertools.count()
+    open_heap: list[tuple[float, int, int, QState]] = []
+    best_g: dict = {}
+    parent: dict = {}
+    h_cache: dict = {}
+
+    def h_of(state: QState) -> float:
+        key = state.key()
+        val = h_cache.get(key)
+        if val is None:
+            val = heuristic(state)
+            h_cache[key] = val
+        return val
+
+    def push(state: QState, g: int) -> None:
+        f = g + weight * h_of(state)
+        heapq.heappush(open_heap, (f, g, next(counter), state))
+        stats.nodes_generated += 1
+        stats.max_queue = max(stats.max_queue, len(open_heap))
+
+    start_key = canon(target)
+    best_g[start_key] = 0
+    push(target, 0)
+    best_f_popped = 0.0
+
+    while open_heap:
+        f, g, _, state = heapq.heappop(open_heap)
+        ckey = canon(state)
+        if g > best_g.get(ckey, g):
+            stats.nodes_pruned += 1
+            continue
+        best_f_popped = max(best_f_popped, f)
+
+        if num_entangled_qubits(state) == 0:
+            moves = _reconstruct(parent, target, state)
+            circuit = moves_to_circuit(moves, state, target.num_qubits)
+            stats.elapsed_seconds = stopwatch.elapsed()
+            return SearchResult(circuit=circuit, cnot_cost=g,
+                                optimal=(weight <= 1.0), moves=moves,
+                                stats=stats)
+
+        stats.nodes_expanded += 1
+        if stats.nodes_expanded > config.max_nodes or stopwatch.expired():
+            stats.elapsed_seconds = stopwatch.elapsed()
+            raise SearchBudgetExceeded(
+                f"search budget exhausted after {stats.nodes_expanded} "
+                f"expansions ({stats.elapsed_seconds:.1f}s); "
+                f"proven lower bound {int(best_f_popped)}",
+                lower_bound=int(best_f_popped))
+
+        for move, nxt in successors(
+                state,
+                max_merge_controls=config.max_merge_controls,
+                include_x_moves=config.include_x_moves):
+            g2 = g + move.cost
+            nkey = canon(nxt)
+            if g2 >= best_g.get(nkey, float("inf")):
+                stats.nodes_pruned += 1
+                continue
+            best_g[nkey] = g2
+            parent[nxt.key()] = (state, move)
+            push(nxt, g2)
+
+    raise SearchBudgetExceeded(
+        "open list exhausted without reaching the ground state "
+        "(move set incomplete for this configuration)",
+        lower_bound=int(best_f_popped))
+
+
+def _reconstruct(parent: dict, start: QState, goal: QState) -> list[Move]:
+    """Walk parent pointers from the goal back to the start state."""
+    moves: list[Move] = []
+    current = goal
+    start_key = start.key()
+    guard = 0
+    while current.key() != start_key:
+        entry = parent.get(current.key())
+        if entry is None:
+            raise SearchBudgetExceeded("broken parent chain (internal error)")
+        prev, move = entry
+        moves.append(move)
+        current = prev
+        guard += 1
+        if guard > 1_000_000:
+            raise SearchBudgetExceeded("parent chain cycle (internal error)")
+    moves.reverse()
+    return moves

@@ -1,0 +1,152 @@
+"""Anytime beam search over the same transition graph as the A* engine.
+
+The exact A* search is provably optimal but can exhaust its budget on
+larger instances (deep Dicke states).  The beam variant keeps the ``width``
+most promising states per level (scored by ``g + w*h``), always terminates,
+and returns the best feasible circuit found — flagged ``optimal=False``.
+
+It shares moves, canonicalization, and circuit reconstruction with the A*
+engine, so any circuit it returns is verified the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.astar import SearchResult, SearchStats
+from repro.core.canonical import CanonLevel, canonical_key
+from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.moves import Move, moves_to_circuit
+from repro.core.transitions import successors
+from repro.exceptions import SynthesisError
+from repro.states.analysis import num_entangled_qubits
+from repro.states.qstate import QState
+from repro.utils.timing import Stopwatch
+
+__all__ = ["BeamConfig", "beam_search"]
+
+
+@dataclass
+class BeamConfig:
+    """Beam-search knobs.
+
+    ``width`` states survive each level; ``heuristic_weight`` biases the
+    score toward quickly-separable states; ``max_depth`` bounds the number
+    of levels (a merge happens at least every few moves on any sensible
+    path, so ``4 * n * m`` is generous).
+    """
+
+    width: int = 128
+    heuristic_weight: float = 1.5
+    max_depth: int | None = None
+    canon_level: CanonLevel = CanonLevel.PU2
+    time_limit: float | None = None
+    max_merge_controls: int | None = None
+    tie_cap: int = 256
+    perm_cap: int = 24
+
+
+@dataclass
+class _Node:
+    state: QState
+    g: int
+    path: tuple[Move, ...]
+
+
+def beam_search(target: QState, config: BeamConfig | None = None,
+                heuristic: HeuristicFn | None = None) -> SearchResult:
+    """Best-effort synthesis; always returns a valid circuit.
+
+    Raises :class:`~repro.exceptions.SynthesisError` only if no separable
+    state is ever reached (which cannot happen with the complete move set
+    and a sane depth bound).
+    """
+    config = config or BeamConfig()
+    if heuristic is None:
+        heuristic = entanglement_heuristic
+    stopwatch = Stopwatch(config.time_limit)
+    stats = SearchStats()
+    n = target.num_qubits
+    max_depth = config.max_depth
+    if max_depth is None:
+        max_depth = 4 * n * max(2, target.cardinality)
+
+    def canon(state: QState):
+        return canonical_key(state, config.canon_level,
+                             tie_cap=config.tie_cap,
+                             perm_cap=config.perm_cap)
+
+    best: SearchResult | None = None
+    beam = [_Node(state=target, g=0, path=())]
+    seen_g: dict = {canon(target): 0}
+
+    for _depth in range(max_depth):
+        if stopwatch.expired():
+            break
+        candidates: list[tuple[float, int, _Node]] = []
+        tiebreak = 0
+        for node in beam:
+            if num_entangled_qubits(node.state) == 0:
+                if best is None or node.g < best.cnot_cost:
+                    moves = list(node.path)
+                    circuit = moves_to_circuit(moves, node.state, n)
+                    stats.elapsed_seconds = stopwatch.elapsed()
+                    best = SearchResult(circuit=circuit, cnot_cost=node.g,
+                                        optimal=False, moves=moves,
+                                        stats=stats)
+                continue
+            stats.nodes_expanded += 1
+            for move, nxt in successors(
+                    node.state,
+                    max_merge_controls=config.max_merge_controls):
+                g2 = node.g + move.cost
+                if best is not None and g2 >= best.cnot_cost:
+                    continue  # cannot improve the incumbent
+                ckey = canon(nxt)
+                prev = seen_g.get(ckey)
+                if prev is not None and prev <= g2:
+                    stats.nodes_pruned += 1
+                    continue
+                seen_g[ckey] = g2
+                stats.nodes_generated += 1
+                score = g2 + config.heuristic_weight * heuristic(nxt)
+                tiebreak += 1
+                candidates.append(
+                    (score, tiebreak,
+                     _Node(state=nxt, g=g2, path=node.path + (move,))))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        beam = [node for _, _, node in candidates[:config.width]]
+
+    # Flush any separable states left in the final beam.
+    for node in beam:
+        if num_entangled_qubits(node.state) == 0 and \
+                (best is None or node.g < best.cnot_cost):
+            moves = list(node.path)
+            circuit = moves_to_circuit(moves, node.state, n)
+            best = SearchResult(circuit=circuit, cnot_cost=node.g,
+                                optimal=False, moves=moves, stats=stats)
+
+    # Completion: finish the most promising frontier nodes with cardinality
+    # reduction, so the beam always returns a feasible circuit even when it
+    # timed out before disentangling anything.
+    from repro.baselines.mflow import mflow_reduction_moves
+
+    frontier = sorted(beam, key=lambda nd: (
+        nd.g + config.heuristic_weight * heuristic(nd.state)))
+    for node in frontier[:3] if frontier else []:
+        if num_entangled_qubits(node.state) == 0:
+            continue
+        tail_moves, final_state = mflow_reduction_moves(node.state)
+        g_total = node.g + sum(m.cost for m in tail_moves)
+        if best is None or g_total < best.cnot_cost:
+            moves = list(node.path) + tail_moves
+            circuit = moves_to_circuit(moves, final_state, n)
+            best = SearchResult(circuit=circuit, cnot_cost=g_total,
+                                optimal=False, moves=moves, stats=stats)
+
+    if best is None:
+        raise SynthesisError("beam search produced no feasible circuit")
+    best.stats.elapsed_seconds = stopwatch.elapsed()
+    return best

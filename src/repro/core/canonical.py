@@ -1,0 +1,275 @@
+"""State compression by canonicalization (paper Sec. V-B).
+
+Two states are equivalent when a zero-CNOT-cost transformation maps one to
+the other:
+
+* ``U(2)`` — free single-qubit gates.  In the real (X-Z plane) setting these
+  are ``Ry`` rotations and ``X`` flips; their reachable index-set effects
+  are (a) translating the index set by any XOR mask (``X`` flips) and
+  (b) rotating a *separable* qubit onto ``|0>``.
+* ``P`` — qubit permutation (wire relabeling; free because the ground state
+  is symmetric — the paper's "symmetric coupling graph" assumption).
+
+:func:`canonical_key` maps every member of an equivalence class to (ideally)
+one representative key.  The construction is *sound by design*: it only
+applies genuinely free transformations, so two states that receive the same
+key are always truly equivalent.  Where exhaustive minimization would be too
+expensive (many tied qubits / large symmetric cells), it falls back to a
+deterministic greedy choice — the key may then split a class into a few
+representatives, which weakens pruning but never breaks optimality.
+
+This module is the hot path of the A* search, so the internals work on raw
+``(index, amplitude)`` tuples instead of :class:`QState` objects.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from itertools import islice, permutations
+
+from repro.constants import quantize
+from repro.states.qstate import QState, StateKey
+from repro.utils.bits import permute_index
+
+__all__ = ["CanonLevel", "pin_separable_qubits", "xflip_minimize",
+           "canonicalize", "canonical_key"]
+
+
+class CanonLevel(enum.Enum):
+    """How aggressively states are identified.
+
+    * ``NONE`` — no compression (``V_G``).
+    * ``U2``   — free single-qubit gates (``V_G / U(2)``).
+    * ``PU2``  — additionally qubit permutation (``V_G / P U(2)``).
+    """
+
+    NONE = 0
+    U2 = 1
+    PU2 = 2
+
+
+Items = tuple[tuple[int, float], ...]
+
+
+# ----------------------------------------------------------------------
+# U(2): separable-qubit pinning
+# ----------------------------------------------------------------------
+
+def pin_separable_qubits(state: QState) -> QState:
+    """Rotate every separable qubit onto ``|0>`` (a free ``Ry``/``X``).
+
+    This is the paper's "filter out separable qubits": after pinning, the
+    entangled core is all that distinguishes the state.  Iterates to a
+    fixpoint since pinning one qubit can expose separability of another.
+    """
+    from repro.states.analysis import _cofactor_ratio
+
+    current = state
+    changed = True
+    while changed:
+        changed = False
+        n = current.num_qubits
+        for q in range(n):
+            ratio = _cofactor_ratio(current, q)
+            if ratio is None or ratio == 0.0:
+                continue  # entangled, or already pinned at |0>
+            if math.isinf(ratio):
+                current = current.apply_x(q)
+                changed = True
+                continue
+            scale = math.sqrt(1.0 + ratio * ratio)
+            amps = {i0: a0 * scale
+                    for i0, a0 in current.cofactor(q, 0).items()}
+            current = QState(n, amps, normalize=False)
+            changed = True
+    return current
+
+
+# ----------------------------------------------------------------------
+# Raw-tuple helpers (hot path)
+# ----------------------------------------------------------------------
+
+def _raw_items(state: QState) -> Items:
+    # state.key() caches the quantized, index-sorted entries.
+    return state.key()[1]
+
+
+def _flip_key(items: Items, mask: int) -> Items:
+    return tuple(sorted((idx ^ mask, amp) for idx, amp in items))
+
+
+def _sign_fix(items: Items) -> Items:
+    """Global-phase normalization: first amplitude positive."""
+    if items and items[0][1] < 0.0:
+        return tuple((idx, quantize(-amp)) for idx, amp in items)
+    return items
+
+
+def _xflip_min_raw(items: Items, num_qubits: int, tie_cap: int) -> Items:
+    """X-translate the index set to a canonical position.
+
+    An X flip on qubit ``q`` XORs every index with the bit of ``q``; the
+    reachable set under all flips is ``{indices ^ v}`` for any mask ``v``.
+    We restrict candidate masks to those translating one of the
+    maximum-magnitude-amplitude indices to the origin — a flip-covariant
+    (hence sound) rule — and pick the lexicographically smallest key.
+    ``tie_cap`` bounds how many candidate masks are tried (the heavy-index
+    set is usually tiny; uniform states make it all of ``S``).
+    """
+    best_amp = max(abs(amp) for _, amp in items)
+    masks = [idx for idx, amp in items if abs(amp) == best_amp]
+    best: Items | None = None
+    for mask in masks[:max(1, tie_cap)]:
+        cand = _flip_key(items, mask)
+        if best is None or cand < best:
+            best = cand
+    return best  # type: ignore[return-value]
+
+
+def xflip_minimize(state: QState, tie_cap: int = 4096) -> QState:
+    """Public QState-level wrapper of the X-flip canonicalization."""
+    items = _xflip_min_raw(_raw_items(state), state.num_qubits, tie_cap)
+    return QState(state.num_qubits, dict(items), normalize=False)
+
+
+# ----------------------------------------------------------------------
+# Permutation
+# ----------------------------------------------------------------------
+
+def _qubit_signature(items: Items, num_qubits: int, q: int) -> tuple:
+    """Permutation- and flip-invariant fingerprint of one qubit."""
+    shift = num_qubits - 1 - q
+    col = [(abs(amp), (idx >> shift) & 1) for idx, amp in items]
+    direct = tuple(sorted(col))
+    flipped = tuple(sorted((a, 1 - b) for a, b in col))
+    return min(direct, flipped)
+
+
+def _permute_items(items: Items, ordering: list[int], num_qubits: int
+                   ) -> Items:
+    return tuple(sorted((permute_index(idx, ordering, num_qubits), amp)
+                        for idx, amp in items))
+
+
+def _cell_symmetric(items: Items, cell: list[int], num_qubits: int) -> bool:
+    """True when the state is invariant under every adjacent transposition
+    of the cell's qubits (hence under its full symmetric group)."""
+    base = tuple(sorted(items))
+    for a, b in zip(cell, cell[1:]):
+        ordering = list(range(num_qubits))
+        ordering[a], ordering[b] = ordering[b], ordering[a]
+        if _permute_items(items, ordering, num_qubits) != base:
+            return False
+    return True
+
+
+def _pair_signature(items: Items, num_qubits: int, qa: int, qb: int) -> tuple:
+    """Flip-invariant fingerprint of a qubit pair's joint columns.
+
+    A count table over ``(|amp|, bit_a, bit_b)`` minimized over the four
+    flip combinations — O(m) with tiny sorts (uniform states collapse to a
+    handful of table entries).
+    """
+    sa = num_qubits - 1 - qa
+    sb = num_qubits - 1 - qb
+    table: dict[tuple[float, int, int], int] = {}
+    for idx, amp in items:
+        key = (abs(amp), (idx >> sa) & 1, (idx >> sb) & 1)
+        table[key] = table.get(key, 0) + 1
+    entries = list(table.items())
+    variants = []
+    for fa in (0, 1):
+        for fb in (0, 1):
+            variants.append(tuple(sorted(
+                ((a, ba ^ fa, bb ^ fb), c) for (a, ba, bb), c in entries)))
+    return min(variants)
+
+
+def _permutation_candidates(items: Items, num_qubits: int,
+                            perm_cap: int) -> list[list[int]]:
+    """Candidate qubit orderings: qubits sorted by signature, with capped
+    enumeration inside signature-tied cells (skipped entirely for cells the
+    state is symmetric on — e.g. every qubit of a Dicke state)."""
+    sigs: dict[int, tuple] = {
+        q: _qubit_signature(items, num_qubits, q) for q in range(num_qubits)}
+    cells: dict[tuple, list[int]] = {}
+    for q in range(num_qubits):
+        cells.setdefault(sigs[q], []).append(q)
+    product = 1
+    for cell in cells.values():
+        for i in range(2, len(cell) + 1):
+            product *= i
+    if product > perm_cap and num_qubits > 2:
+        # One round of pairwise refinement splits most accidental ties.
+        pair_sigs = {
+            q: tuple(sorted(_pair_signature(items, num_qubits, q, p)
+                            for p in range(num_qubits) if p != q))
+            for q in range(num_qubits)}
+        sigs = {q: (sigs[q], pair_sigs[q]) for q in range(num_qubits)}
+        cells = {}
+        for q in range(num_qubits):
+            cells.setdefault(sigs[q], []).append(q)
+    ordered_cells = [cells[s] for s in sorted(cells)]
+
+    per_cell_options: list[list[tuple[int, ...]]] = []
+    total = 1
+    for cell in ordered_cells:
+        if len(cell) == 1 or _cell_symmetric(items, cell, num_qubits):
+            per_cell_options.append([tuple(cell)])
+            continue
+        budget = max(1, perm_cap // total)
+        options = list(islice(permutations(cell), budget))
+        per_cell_options.append(options)
+        total *= len(options)
+
+    candidates: list[list[int]] = []
+
+    def build(i: int, acc: list[int]) -> None:
+        if len(candidates) >= perm_cap:
+            return
+        if i == len(per_cell_options):
+            candidates.append(list(acc))
+            return
+        for option in per_cell_options[i]:
+            build(i + 1, acc + list(option))
+            if len(candidates) >= perm_cap:
+                return
+
+    build(0, [])
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def _canonical_items(state: QState, level: CanonLevel, tie_cap: int,
+                     perm_cap: int) -> tuple[int, Items]:
+    if level is CanonLevel.NONE:
+        return state.num_qubits, _raw_items(state)
+    pinned = pin_separable_qubits(state)
+    n = pinned.num_qubits
+    items = _raw_items(pinned)
+    if level is CanonLevel.U2:
+        return n, _sign_fix(_xflip_min_raw(items, n, tie_cap))
+    best: Items | None = None
+    for ordering in _permutation_candidates(items, n, perm_cap):
+        permuted = _permute_items(items, ordering, n)
+        cand = _sign_fix(_xflip_min_raw(permuted, n, tie_cap))
+        if best is None or cand < best:
+            best = cand
+    return n, best  # type: ignore[return-value]
+
+
+def canonicalize(state: QState, level: CanonLevel = CanonLevel.PU2,
+                 tie_cap: int = 4096, perm_cap: int = 48) -> QState:
+    """Return a concrete canonical representative of the state's class."""
+    n, items = _canonical_items(state, level, tie_cap, perm_cap)
+    return QState(n, dict(items), normalize=False)
+
+
+def canonical_key(state: QState, level: CanonLevel = CanonLevel.PU2,
+                  tie_cap: int = 4096, perm_cap: int = 48) -> StateKey:
+    """Hashable key of the state's equivalence class (see module doc)."""
+    return _canonical_items(state, level, tie_cap, perm_cap)

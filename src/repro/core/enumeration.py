@@ -1,0 +1,63 @@
+"""Equivalence-class counting for uniform states (paper Table III).
+
+Table III reports, for 4-qubit uniform states of cardinality ``m``, the raw
+graph size ``|V_G| = C(16, m)`` and the compressed sizes ``|V_G / U(2)|``
+and ``|V_G / P U(2)|`` under the canonicalization of Sec. V-B.
+
+Exact class counts depend on how complete the canonicalization is; ours is
+sound (never merges inequivalent states) but, like the paper's, heuristic —
+EXPERIMENTS.md compares both sets of numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.canonical import CanonLevel, canonical_key
+from repro.states.qstate import QState
+
+__all__ = ["CanonicalCountRow", "count_canonical_uniform_states",
+           "canonical_count_table"]
+
+
+@dataclass(frozen=True)
+class CanonicalCountRow:
+    """One row of Table III."""
+
+    cardinality: int
+    raw: int
+    u2: int
+    pu2: int
+
+
+def count_canonical_uniform_states(num_qubits: int, cardinality: int,
+                                   tie_cap: int = 4096,
+                                   perm_cap: int = 5040) -> CanonicalCountRow:
+    """Count canonical classes of uniform states with the given cardinality.
+
+    Enumerates all ``C(2**n, m)`` index sets, so keep ``n`` small (the
+    paper uses ``n = 4``).
+    """
+    dim = 1 << num_qubits
+    raw = math.comb(dim, cardinality)
+    u2_keys: set = set()
+    pu2_keys: set = set()
+    for indices in combinations(range(dim), cardinality):
+        state = QState.uniform(num_qubits, indices)
+        u2_keys.add(canonical_key(state, CanonLevel.U2, tie_cap=tie_cap))
+        pu2_keys.add(canonical_key(state, CanonLevel.PU2, tie_cap=tie_cap,
+                                   perm_cap=perm_cap))
+    return CanonicalCountRow(cardinality=cardinality, raw=raw,
+                             u2=len(u2_keys), pu2=len(pu2_keys))
+
+
+def canonical_count_table(num_qubits: int = 4, max_cardinality: int = 8,
+                          tie_cap: int = 4096, perm_cap: int = 5040
+                          ) -> list[CanonicalCountRow]:
+    """All rows ``m = 1 .. max_cardinality`` of Table III."""
+    return [count_canonical_uniform_states(num_qubits, m,
+                                           tie_cap=tie_cap,
+                                           perm_cap=perm_cap)
+            for m in range(1, max_cardinality + 1)]

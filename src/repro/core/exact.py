@@ -1,0 +1,89 @@
+"""Public facade of the exact CNOT synthesis engine.
+
+:class:`ExactSynthesizer` wraps the A* search (optimal within budget) with
+an optional beam-search fallback (anytime, never fails), and verifies every
+produced circuit by simulation when the register is small enough.
+
+Example
+-------
+>>> from repro.states import dicke_state
+>>> from repro.core import ExactSynthesizer
+>>> result = ExactSynthesizer().synthesize(dicke_state(4, 2))
+>>> result.cnot_cost <= 12  # manual design needs 12
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.astar import SearchConfig, SearchResult, astar_search
+from repro.core.beam import BeamConfig, beam_search
+from repro.exceptions import SearchBudgetExceeded, SynthesisError
+from repro.states.qstate import QState
+
+__all__ = ["ExactSynthesizer", "ExactConfig", "SearchResult"]
+
+_VERIFY_MAX_QUBITS = 14
+
+
+@dataclass
+class ExactConfig:
+    """Configuration of the synthesis facade.
+
+    ``search`` configures the optimal A* engine; when it exhausts its
+    budget and ``beam_fallback`` is set, the beam engine (configured by
+    ``beam``) supplies a feasible, non-optimal circuit instead of failing.
+    """
+
+    search: SearchConfig = None  # type: ignore[assignment]
+    beam: BeamConfig = None      # type: ignore[assignment]
+    beam_fallback: bool = True
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.search is None:
+            self.search = SearchConfig()
+        if self.beam is None:
+            self.beam = BeamConfig()
+
+
+class ExactSynthesizer:
+    """Minimum-CNOT state preparation via the shortest-path formulation."""
+
+    def __init__(self, config: ExactConfig | None = None):
+        self.config = config or ExactConfig()
+
+    def synthesize(self, state: QState) -> SearchResult:
+        """Synthesize a preparation circuit for ``state``.
+
+        Returns a :class:`~repro.core.astar.SearchResult`; ``optimal`` is
+        true only when the A* search completed with an admissible heuristic.
+        """
+        try:
+            result = astar_search(state, self.config.search)
+        except SearchBudgetExceeded as exc:
+            if not self.config.beam_fallback:
+                raise
+            result = beam_search(state, self.config.beam)
+            result = replace(result, optimal=False)
+        if self.config.verify and state.num_qubits <= _VERIFY_MAX_QUBITS:
+            from repro.sim.verify import assert_prepares
+            assert_prepares(result.circuit, state)
+        return result
+
+    def lower_bound(self, state: QState) -> int:
+        """Cheap admissible lower bound on the optimal CNOT count."""
+        from repro.core.heuristic import entanglement_heuristic
+        return int(entanglement_heuristic(state))
+
+
+def synthesize_exact(state: QState, max_nodes: int = 200_000,
+                     time_limit: float | None = None,
+                     beam_fallback: bool = True) -> SearchResult:
+    """One-call convenience wrapper around :class:`ExactSynthesizer`."""
+    cfg = ExactConfig(search=SearchConfig(max_nodes=max_nodes,
+                                          time_limit=time_limit),
+                      beam=BeamConfig(time_limit=time_limit),
+                      beam_fallback=beam_fallback)
+    return ExactSynthesizer(cfg).synthesize(state)

@@ -1,0 +1,233 @@
+"""Backward transition operators — the library ``L_QSP`` (paper Sec. IV-B).
+
+The search of Algorithm 1 walks from the *target* state toward the ground
+state, so every move here is a **backward** operator: applying it to the
+current state takes one step toward ``|0...0>``.  The preparation circuit is
+recovered by inverting the moves in reverse order
+(:func:`moves_to_circuit`).
+
+All moves are single-target amplitude-preserving (AP) transitions:
+
+* :class:`XMove` — free bit flip; permutes the index set.
+* :class:`CXMove` — CNOT (either control polarity, cost 1); permutes the
+  index set.
+* :class:`MergeMove` — a (multi-controlled) ``Ry`` at exactly the angle that
+  *merges* every selected index pair ``(x, x ^ e_t)`` into one index,
+  combining amplitudes as ``sqrt(a0^2 + a1^2)`` — the paper's AP merge.
+  Cost 0 / 2 / ``2**k`` for 0 / 1 / ``k`` controls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import CRYGate, CXGate, Gate, MCRYGate, RYGate, XGate
+from repro.constants import ATOL, mcry_cnot_cost
+from repro.exceptions import StateError
+from repro.states.qstate import QState
+from repro.utils.bits import bit_of, flip_bit
+
+__all__ = [
+    "Move",
+    "XMove",
+    "CXMove",
+    "MergeMove",
+    "apply_controlled_ry",
+    "merge_angle",
+    "moves_to_circuit",
+    "product_state_rotations",
+]
+
+
+def apply_controlled_ry(state: QState, controls: tuple[tuple[int, int], ...],
+                        target: int, theta: float,
+                        drop_tol: float = ATOL) -> QState:
+    """Apply a (multi-controlled) ``Ry(theta)`` to a sparse state, exactly.
+
+    This is the generic sparse-gate application used by :class:`MergeMove`;
+    it is valid for *any* angle (indices outside the control cube pass
+    through untouched; selected pairs are mixed).  The move enumerator only
+    ever constructs angles that merge, but keeping the application generic
+    means the state evolution is exact by construction.
+    """
+    n = state.num_qubits
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    out: dict[int, float] = {}
+    done: set[int] = set()
+    for idx, amp in state.items():
+        if any(bit_of(idx, q, n) != p for q, p in controls):
+            out[idx] = out.get(idx, 0.0) + amp
+            continue
+        if idx in done:
+            continue
+        partner = flip_bit(idx, target, n)
+        a_partner = state.amplitude(partner)
+        done.add(idx)
+        done.add(partner)
+        if bit_of(idx, target, n) == 0:
+            a0, a1 = amp, a_partner
+            i0, i1 = idx, partner
+        else:
+            a0, a1 = a_partner, amp
+            i0, i1 = partner, idx
+        new0 = c * a0 - s * a1
+        new1 = s * a0 + c * a1
+        if abs(new0) > drop_tol:
+            out[i0] = out.get(i0, 0.0) + new0
+        if abs(new1) > drop_tol:
+            out[i1] = out.get(i1, 0.0) + new1
+    return QState(n, out, normalize=False)
+
+
+def merge_angle(a0: float, a1: float, direction: int) -> float:
+    """Backward rotation angle that merges the pair ``(a0, a1)``.
+
+    ``direction = 0`` sends the pair to ``(sqrt(a0^2+a1^2), 0)`` — amplitude
+    lands on the ``target=0`` index; ``direction = 1`` sends it to
+    ``(0, sqrt(a0^2+a1^2))``.  The merged amplitude is always positive.
+    """
+    if direction == 0:
+        return -2.0 * math.atan2(a1, a0)
+    if direction == 1:
+        return 2.0 * math.atan2(a0, a1)
+    raise ValueError(f"direction must be 0 or 1, got {direction}")
+
+
+@dataclass(frozen=True)
+class Move:
+    """A backward state-transition operator with a fixed CNOT cost."""
+
+    @property
+    def cost(self) -> int:
+        raise NotImplementedError
+
+    def apply(self, state: QState) -> QState:
+        """Apply the backward operator (one step toward the ground state)."""
+        raise NotImplementedError
+
+    def backward_gate(self) -> Gate:
+        """The backward operator as a gate (for debugging/inspection)."""
+        raise NotImplementedError
+
+    def forward_gates(self) -> list[Gate]:
+        """Gates appended to the *preparation* circuit for this move
+        (the inverse of the backward operator)."""
+        return [self.backward_gate().inverse()]
+
+
+@dataclass(frozen=True)
+class XMove(Move):
+    """Free Pauli-X on one qubit (index-set translation)."""
+
+    qubit: int
+
+    @property
+    def cost(self) -> int:
+        return 0
+
+    def apply(self, state: QState) -> QState:
+        return state.apply_x(self.qubit)
+
+    def backward_gate(self) -> Gate:
+        return XGate(target=self.qubit)
+
+
+@dataclass(frozen=True)
+class CXMove(Move):
+    """CNOT with control polarity ``phase`` — cost 1 (Table I)."""
+
+    control: int
+    phase: int
+    target: int
+
+    @property
+    def cost(self) -> int:
+        return 1
+
+    def apply(self, state: QState) -> QState:
+        return state.apply_cx(self.control, self.target, self.phase)
+
+    def backward_gate(self) -> Gate:
+        return CXGate.make(self.control, self.target, self.phase)
+
+
+@dataclass(frozen=True)
+class MergeMove(Move):
+    """(Multi-controlled) ``Ry`` merge — the AP cardinality-reducing move.
+
+    ``controls`` is a tuple of ``(qubit, phase)`` literals defining the cube
+    the rotation acts on; ``theta`` is the backward angle produced by
+    :func:`merge_angle`.  Validity (every selected index is paired and all
+    selected pairs share one amplitude ratio) is established by the
+    enumerator in :mod:`repro.core.transitions`.
+    """
+
+    target: int
+    theta: float
+    controls: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def cost(self) -> int:
+        return mcry_cnot_cost(len(self.controls))
+
+    def apply(self, state: QState) -> QState:
+        return apply_controlled_ry(state, self.controls, self.target,
+                                   self.theta)
+
+    def backward_gate(self) -> Gate:
+        if not self.controls:
+            return RYGate(target=self.target, theta=self.theta)
+        if len(self.controls) == 1:
+            return CRYGate(target=self.target, controls=self.controls,
+                           theta=self.theta)
+        return MCRYGate(target=self.target, controls=self.controls,
+                        theta=self.theta)
+
+
+def product_state_rotations(state: QState) -> list[Gate]:
+    """Free finishing gates for a fully separable state.
+
+    When the search reaches a product state ``(x)_q (alpha_q|0> +
+    beta_q|1>)``, zero CNOTs remain: the preparation circuit *starts* with
+    one ``Ry`` per qubit.  Returns those forward gates (identity rotations
+    omitted).  Raises :class:`StateError` if the state is entangled.
+    """
+    from repro.states.analysis import _cofactor_ratio
+
+    n = state.num_qubits
+    gates: list[Gate] = []
+    for q in range(n):
+        ratio = _cofactor_ratio(state, q)
+        if ratio is None:
+            raise StateError(f"qubit {q} is not separable")
+        if ratio == 0.0:
+            continue  # already |0>
+        if math.isinf(ratio):
+            gates.append(XGate(target=q))
+            continue
+        alpha = 1.0 / math.sqrt(1.0 + ratio * ratio)
+        beta = ratio * alpha
+        gates.append(RYGate(target=q, theta=2.0 * math.atan2(beta, alpha)))
+    return gates
+
+
+def moves_to_circuit(moves: list[Move], final_state: QState,
+                     num_qubits: int) -> "object":
+    """Assemble the preparation circuit from a backward move path.
+
+    ``moves`` is the path from the target state to ``final_state`` (a fully
+    separable state).  The circuit is::
+
+        [per-qubit Ry for final_state]  +  [inverse(moves) reversed]
+
+    so that running it on ``|0...0>`` yields the target (up to global sign).
+    """
+    from repro.circuits.circuit import QCircuit
+
+    circuit = QCircuit(num_qubits)
+    circuit.extend(product_state_rotations(final_state))
+    for move in reversed(moves):
+        circuit.extend(move.forward_gates())
+    return circuit

@@ -1,0 +1,166 @@
+"""Successor enumeration over the AP transition library ``L_QSP``.
+
+Given a state, :func:`successors` yields every backward move the paper's
+formulation allows, together with the resulting state:
+
+* **CX moves** — all ``(control, polarity, target)`` triples that actually
+  change the state (cost 1 each).
+* **Merge moves** — for every target qubit ``t`` and every control cube
+  (conjunction of literals on other qubits, up to ``max_merge_controls``
+  controls), a ``Ry``/``CRy``/``MCRy`` merge is valid when
+
+  1. every selected index has its ``t``-partner selected too (a lone index
+     would be split into superposition — not amplitude-preserving), and
+  2. all selected pairs share one amplitude ratio, so a single angle merges
+     them simultaneously.
+
+  Both merge directions (amplitude landing on the ``t=0`` or ``t=1`` index)
+  are emitted; cubes selecting a pair set already reachable with fewer
+  controls are skipped.
+
+With ``max_merge_controls = n - 1`` the move set is complete: any two basis
+states can be isolated by a cube and merged (this is how the cardinality
+reduction baseline works), so every state can reach the ground state.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.moves import CXMove, MergeMove, Move, XMove, merge_angle
+from repro.states.qstate import QState
+from repro.utils.bits import bit_of, flip_bit
+
+__all__ = ["successors", "enumerate_merges", "enumerate_cx"]
+
+#: Relative tolerance for the common-ratio test of a merge.
+_RATIO_RTOL = 1e-9
+
+
+def _pairs_and_singles(state: QState, target: int
+                       ) -> tuple[list[tuple[int, float, float]], list[int]]:
+    """Split the index set by the ``target`` pairing.
+
+    Returns ``(pairs, singles)`` where each pair is ``(i0, a0, a1)`` with
+    ``i0`` the index with target bit 0, and singles are indices whose
+    partner is absent.
+    """
+    n = state.num_qubits
+    pairs: list[tuple[int, float, float]] = []
+    singles: list[int] = []
+    seen: set[int] = set()
+    for idx, amp in state.items():
+        if idx in seen:
+            continue
+        partner = flip_bit(idx, target, n)
+        partner_amp = state.amplitude(partner)
+        if partner_amp == 0.0:
+            singles.append(idx)
+            continue
+        seen.add(idx)
+        seen.add(partner)
+        if bit_of(idx, target, n) == 0:
+            pairs.append((idx, amp, partner_amp))
+        else:
+            pairs.append((partner, partner_amp, amp))
+    return pairs, singles
+
+
+def _ratios_consistent(group: list[tuple[int, float, float]]) -> bool:
+    """True when all pairs share one amplitude ratio ``a1/a0`` (so one
+    rotation angle merges them all)."""
+    _, a0_ref, a1_ref = group[0]
+    scale = abs(a0_ref) + abs(a1_ref)
+    for _, a0, a1 in group[1:]:
+        # Cross-product test avoids dividing by small amplitudes.
+        if abs(a1 * a0_ref - a1_ref * a0) > _RATIO_RTOL * scale * (abs(a0) + abs(a1)):
+            return False
+    return True
+
+
+def enumerate_merges(state: QState, target: int,
+                     max_controls: int | None = None
+                     ) -> list[MergeMove]:
+    """All valid merge moves on ``target`` (see module docstring)."""
+    n = state.num_qubits
+    pairs, singles = _pairs_and_singles(state, target)
+    if not pairs:
+        return []
+    if max_controls is None:
+        max_controls = n - 1
+    max_controls = min(max_controls, n - 1)
+    other = [q for q in range(n) if q != target]
+    moves: list[MergeMove] = []
+    emitted: set[tuple[frozenset[int], int]] = set()
+
+    for k in range(0, max_controls + 1):
+        for subset in combinations(other, k):
+            pair_buckets: dict[tuple[int, ...], list[tuple[int, float, float]]] = {}
+            for pair in pairs:
+                pattern = tuple(bit_of(pair[0], q, n) for q in subset)
+                pair_buckets.setdefault(pattern, []).append(pair)
+            single_patterns = {
+                tuple(bit_of(idx, q, n) for q in subset) for idx in singles}
+            for pattern, group in pair_buckets.items():
+                if pattern in single_patterns:
+                    continue  # the cube would split a lone index
+                if not _ratios_consistent(group):
+                    continue
+                selected = frozenset(p[0] for p in group)
+                controls = tuple(zip(subset, pattern))
+                _, a0, a1 = group[0]
+                for direction in (0, 1):
+                    dedupe = (selected, direction)
+                    if dedupe in emitted:
+                        continue  # same effect, cheaper cube already found
+                    emitted.add(dedupe)
+                    theta = merge_angle(a0, a1, direction)
+                    moves.append(MergeMove(target=target, theta=theta,
+                                           controls=controls))
+    return moves
+
+
+def enumerate_cx(state: QState) -> list[CXMove]:
+    """All CX moves that change the state."""
+    n = state.num_qubits
+    moves: list[CXMove] = []
+    for control in range(n):
+        col_has = [False, False]
+        for idx in state.index_set:
+            col_has[bit_of(idx, control, n)] = True
+            if col_has[0] and col_has[1]:
+                break
+        for target in range(n):
+            if target == control:
+                continue
+            for phase in (0, 1):
+                if not col_has[phase]:
+                    continue  # no index selected; identity
+                moves.append(CXMove(control=control, phase=phase,
+                                    target=target))
+    return moves
+
+
+def successors(state: QState, max_merge_controls: int | None = None,
+               include_x_moves: bool = False
+               ) -> list[tuple[Move, QState]]:
+    """Enumerate ``(move, next_state)`` arcs leaving ``state``.
+
+    Successors equal to the input state are dropped (self-loops cannot be
+    on a shortest path).
+    """
+    out: list[tuple[Move, QState]] = []
+    key = state.key()
+    if include_x_moves:
+        for q in range(state.num_qubits):
+            nxt = state.apply_x(q)
+            if nxt.key() != key:
+                out.append((XMove(qubit=q), nxt))
+    for move in enumerate_cx(state):
+        nxt = move.apply(state)
+        if nxt.key() != key:
+            out.append((move, nxt))
+    for target in range(state.num_qubits):
+        for move in enumerate_merges(state, target, max_merge_controls):
+            out.append((move, move.apply(state)))
+    return out

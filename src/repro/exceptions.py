@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StateError",
+    "NormalizationError",
+    "CircuitError",
+    "QasmError",
+    "SynthesisError",
+    "SearchBudgetExceeded",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StateError(ReproError):
+    """Invalid quantum state construction or manipulation."""
+
+
+class NormalizationError(StateError):
+    """A state vector does not have unit norm."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit or gate construction."""
+
+
+class QasmError(CircuitError):
+    """Malformed OpenQASM input or unsupported construct."""
+
+
+class SynthesisError(ReproError):
+    """A synthesis algorithm could not produce a circuit."""
+
+
+class SearchBudgetExceeded(SynthesisError):
+    """The exact search exhausted its node or time budget.
+
+    Carries the best lower bound proven so far (``lower_bound``) and, when a
+    feasible but unproven solution was found, that incumbent circuit.
+    """
+
+    def __init__(self, message: str, lower_bound: int = 0, incumbent=None):
+        super().__init__(message)
+        self.lower_bound = lower_bound
+        self.incumbent = incumbent
+
+
+class VerificationError(ReproError):
+    """A synthesized circuit does not prepare its target state."""

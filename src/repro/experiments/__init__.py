@@ -1,0 +1,40 @@
+"""Programmatic experiment runners (extension).
+
+Structured runners behind the benchmark harness for the experiments that
+go beyond the paper's tables: the noise-motivation fidelity gap, the
+device-topology tax, and the search-engine ablation.  Each returns an
+:class:`~repro.experiments.report.ExperimentTable` renderable as text
+(benchmark artifacts) or Markdown (EXPERIMENTS.md).
+"""
+
+from repro.experiments.noise_gap import (
+    NoiseGapRow,
+    noise_gap_experiment,
+    noise_gap_rows,
+)
+from repro.experiments.report import ExperimentTable
+from repro.experiments.search_variants import (
+    VariantRow,
+    search_variant_rows,
+    search_variants_experiment,
+)
+from repro.experiments.topology_tax import (
+    TopologyTaxRow,
+    standard_devices,
+    topology_tax_experiment,
+    topology_tax_rows,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "NoiseGapRow",
+    "noise_gap_experiment",
+    "noise_gap_rows",
+    "TopologyTaxRow",
+    "topology_tax_experiment",
+    "topology_tax_rows",
+    "standard_devices",
+    "VariantRow",
+    "search_variants_experiment",
+    "search_variant_rows",
+]

@@ -1,0 +1,74 @@
+"""Structured experiment results and renderers.
+
+Experiment runners return an :class:`ExperimentTable` — experiment id,
+headers, rows, and free-form notes — that renders to the fixed-width text
+used by the benchmark harness and to Markdown for EXPERIMENTS.md.
+Keeping the result structured (instead of pre-formatted strings) lets the
+CLI, the benchmarks, and the documentation pipeline share one source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_table
+
+__all__ = ["ExperimentTable"]
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's outcome as a renderable table.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id matching DESIGN.md's experiment index (e.g. ``"E4"``).
+    title:
+        Human-readable headline.
+    headers / rows:
+        Tabular payload; cells may be any ``str()``-able value.
+    notes:
+        Bullet points appended under the table (assumptions, budgets).
+    paper_reference:
+        Where in the paper the artifact lives (e.g. ``"Table IV"``).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_reference: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row width {len(cells)} != header width {len(self.headers)}")
+        self.rows.append(list(cells))
+
+    def to_text(self) -> str:
+        """Fixed-width rendering (benchmark results artifact format)."""
+        title = f"{self.experiment_id} - {self.title}"
+        if self.paper_reference:
+            title += f" [{self.paper_reference}]"
+        text = format_table(self.headers, self.rows, title=title)
+        for note in self.notes:
+            text += f"\n  note: {note}"
+        return text
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering (EXPERIMENTS.md format)."""
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        if self.paper_reference:
+            lines.append(f"*Paper artifact: {self.paper_reference}*")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Extensions: peephole optimization, coupling-aware costs, phase oracle."""
+
+from repro.opt.graysynth import (
+    diagonal_to_phase_polynomial,
+    graysynth_order,
+    phase_polynomial_circuit,
+)
+from repro.opt.linear import (
+    cnot_circuit_to_matrix,
+    matrix_to_cnot_circuit,
+    pmh_synthesize,
+    resynthesize_cnot_blocks,
+)
+from repro.opt.mapping import (
+    best_placement,
+    grid_coupling,
+    line_coupling,
+    ring_coupling,
+    routed_cnot_cost,
+)
+from repro.opt.commute import commuting_cancellation, gates_commute
+from repro.opt.passes import cancel_inverse_pairs, fuse_rotations, optimize_circuit
+from repro.opt.pipeline import PostOptReport, postoptimize
+from repro.opt.phase import phase_oracle_circuit, prepare_complex
+
+__all__ = [
+    "optimize_circuit",
+    "cancel_inverse_pairs",
+    "fuse_rotations",
+    "commuting_cancellation",
+    "gates_commute",
+    "PostOptReport",
+    "postoptimize",
+    "line_coupling",
+    "ring_coupling",
+    "grid_coupling",
+    "routed_cnot_cost",
+    "best_placement",
+    "phase_oracle_circuit",
+    "prepare_complex",
+    "diagonal_to_phase_polynomial",
+    "graysynth_order",
+    "phase_polynomial_circuit",
+    "cnot_circuit_to_matrix",
+    "matrix_to_cnot_circuit",
+    "pmh_synthesize",
+    "resynthesize_cnot_blocks",
+]

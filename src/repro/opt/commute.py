@@ -1,0 +1,100 @@
+"""Commutation-aware gate cancellation (extension).
+
+The peephole pass (:mod:`repro.opt.passes`) only merges gates that are
+*adjacent* on their wires.  This pass additionally slides gates through
+gates they commute with, which catches the classic pattern the multiplexor
+flows emit::
+
+    CX(0,1)  Ry(2, a)  CX(0,1)   ->   Ry(2, a)
+
+Commutation rules used (sufficient, not complete):
+
+* two CNOTs commute when neither control feeds the other's target;
+* a single-qubit rotation commutes with any gate not touching its wire;
+* an ``Ry`` on wire ``t`` commutes with a CNOT *targeting* ``t``?  No —
+  only diagonal gates commute through controls, and nothing single-qubit
+  commutes through a CNOT target except X; we keep the safe subset:
+  disjoint supports, plus CX/CX with the rule above, plus X through a
+  CX control of matching polarity semantics is *not* assumed.
+
+The pass never changes the circuit unitary (property-tested against the
+dense simulator on random circuits).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, Gate, RYGate, RZGate, XGate
+
+__all__ = ["gates_commute", "commuting_cancellation"]
+
+
+def gates_commute(a: Gate, b: Gate) -> bool:
+    """Conservative commutation test (False when unsure)."""
+    qubits_a = set(a.qubits())
+    qubits_b = set(b.qubits())
+    if not (qubits_a & qubits_b):
+        return True
+    if isinstance(a, CXGate) and isinstance(b, CXGate):
+        # CX(c1,t1) and CX(c2,t2) commute iff c1 != t2 and c2 != t1
+        # (shared controls or shared targets are fine); polarities only
+        # matter on shared wires where the rule already decides.
+        return a.control != b.target and b.control != a.target
+    if isinstance(a, (RZGate,)) and isinstance(b, CXGate):
+        # Rz commutes through a CNOT control
+        return a.target == b.control
+    if isinstance(b, (RZGate,)) and isinstance(a, CXGate):
+        return b.target == a.control
+    if isinstance(a, XGate) and isinstance(b, CXGate):
+        # X commutes through a CNOT target
+        return a.target == b.target
+    if isinstance(b, XGate) and isinstance(a, CXGate):
+        return b.target == a.target
+    if isinstance(a, (RYGate, RZGate)) and isinstance(b, (RYGate, RZGate)):
+        # same-wire rotations about the same axis commute
+        return type(a) is type(b)
+    return False
+
+
+def _cancels(a: Gate, b: Gate) -> bool:
+    """True when ``a`` directly followed by ``b`` is the identity."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (XGate, CXGate)):
+        return a == b
+    return False
+
+
+def commuting_cancellation(circuit: QCircuit,
+                           window: int = 32) -> QCircuit:
+    """Cancel self-inverse pairs separated by commuting gates.
+
+    For each gate, scans up to ``window`` earlier surviving gates; if an
+    identical self-inverse gate is found and every gate in between
+    commutes with it, both are dropped.  Runs in one forward sweep;
+    composing with :func:`repro.opt.passes.optimize_circuit` afterwards
+    picks up newly adjacent rotations.
+    """
+    survivors: list[Gate | None] = []
+    for gate in circuit:
+        placed = False
+        if isinstance(gate, (XGate, CXGate)):
+            # walk backward through commuting survivors
+            scanned = 0
+            for i in range(len(survivors) - 1, -1, -1):
+                earlier = survivors[i]
+                if earlier is None:
+                    continue
+                scanned += 1
+                if scanned > window:
+                    break
+                if _cancels(earlier, gate):
+                    survivors[i] = None
+                    placed = True
+                    break
+                if not gates_commute(earlier, gate):
+                    break
+        if not placed:
+            survivors.append(gate)
+    return QCircuit(circuit.num_qubits,
+                    (g for g in survivors if g is not None))

@@ -1,0 +1,162 @@
+"""GraySynth-style phase-polynomial synthesis (Amy-Azimzadeh-Mosca).
+
+The paper's complex-amplitude pathway (Sec. VI-A, ref. [27]) uses a phase
+oracle: a diagonal operator ``|x> -> e^{i f(x)} |x>`` where ``f`` is a
+*phase polynomial* ``f(x) = sum_P theta_P * <P, x mod 2>`` over parities
+``P`` of the input bits.  Such operators are exactly the {CNOT, Rz}
+circuits, and GraySynth orders the parities so consecutive ones differ
+little, sharing CNOTs between rotations.
+
+This module implements:
+
+* :func:`phase_polynomial_circuit` — synthesize ``{(parity, angle)}`` terms
+  into a CNOT+Rz circuit whose final linear map is the identity (restored
+  with PMH synthesis);
+* :func:`diagonal_to_phase_polynomial` — convert an arbitrary diagonal
+  phase profile into its parity spectrum (a scaled Walsh-Hadamard
+  transform), connecting it to :mod:`repro.opt.phase`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, RZGate
+from repro.exceptions import CircuitError
+from repro.opt.linear import pmh_synthesize
+
+__all__ = [
+    "diagonal_to_phase_polynomial",
+    "phase_polynomial_circuit",
+    "graysynth_order",
+]
+
+_ANGLE_TOL = 1e-12
+
+
+def diagonal_to_phase_polynomial(phases: np.ndarray
+                                 ) -> list[tuple[int, float]]:
+    """Parity spectrum of a diagonal phase profile.
+
+    ``e^{i phases[x]} = e^{i c} * prod_P e^{i theta_P (-1)^{<P,x>} / ...}``
+    — concretely, writing ``phases`` in the Walsh basis
+    ``phases[x] = sum_P hat[P] * (-1)^{popcount(P & x)}`` and noting that
+    ``(-1)^{<P,x>} = 1 - 2*(P.x mod 2)``, each nonzero Walsh coefficient
+    with ``P != 0`` becomes a parity term ``(P, -2 * hat[P])`` (the ``P=0``
+    term is a global phase and is dropped).
+    """
+    phases = np.asarray(phases, dtype=np.float64)
+    size = phases.shape[0]
+    if size & (size - 1):
+        raise CircuitError(f"length {size} is not a power of two")
+    # Walsh-Hadamard transform (self-inverse up to 1/size).
+    hat = phases.copy()
+    h = 1
+    while h < size:
+        for start in range(0, size, h * 2):
+            a = hat[start:start + h].copy()
+            b = hat[start + h:start + 2 * h].copy()
+            hat[start:start + h] = a + b
+            hat[start + h:start + 2 * h] = a - b
+        h *= 2
+    hat /= size
+    terms = []
+    for parity in range(1, size):
+        if abs(hat[parity]) > _ANGLE_TOL:
+            terms.append((parity, -2.0 * float(hat[parity])))
+    return terms
+
+
+def graysynth_order(parities: list[int]) -> list[int]:
+    """Order parities to minimize successive Hamming distance (greedy
+    nearest-neighbour chain seeded at the lightest parity)."""
+    if not parities:
+        return []
+    remaining = sorted(set(parities), key=lambda p: (bin(p).count("1"), p))
+    order = [remaining.pop(0)]
+    while remaining:
+        last = order[-1]
+        nxt = min(remaining,
+                  key=lambda p: (bin(p ^ last).count("1"), p))
+        remaining.remove(nxt)
+        order.append(nxt)
+    return order
+
+
+def phase_polynomial_circuit(num_qubits: int,
+                             terms: list[tuple[int, float]]) -> QCircuit:
+    """Synthesize ``|x> -> e^{i sum theta_P (P.x mod 2)} |x>``.
+
+    Parities are encoded as integers with qubit 0 as the most significant
+    bit (library convention).  Strategy: maintain the linear state of the
+    wires; for each parity (in GraySynth order) steer one wire to hold it
+    with CNOTs, apply ``Rz`` there, and finally restore the identity map
+    with PMH synthesis.
+    """
+    if num_qubits < 1:
+        raise CircuitError("need at least one qubit")
+    circuit = QCircuit(num_qubits)
+    angle_of: dict[int, float] = {}
+    for parity, theta in terms:
+        if not 0 < parity < (1 << num_qubits):
+            raise CircuitError(f"parity {parity} out of range")
+        angle_of[parity] = angle_of.get(parity, 0.0) + theta
+    pending = {p: t for p, t in angle_of.items() if abs(t) > _ANGLE_TOL}
+    if not pending:
+        return circuit
+
+    # wires[i] = parity currently carried by wire i (as an integer mask).
+    wires = [1 << (num_qubits - 1 - q) for q in range(num_qubits)]
+
+    def wire_bit(parity: int, q: int) -> int:
+        return (parity >> (num_qubits - 1 - q)) & 1
+
+    def _solve_subset(parity: int) -> list[int]:
+        """Wires whose XOR equals ``parity`` (unique: rows are invertible)."""
+        rows = list(wires)
+        combo = [1 << i for i in range(num_qubits)]  # track row subsets
+        target = parity
+        subset_mask = 0
+        for bitpos in range(num_qubits):
+            bit = 1 << (num_qubits - 1 - bitpos)
+            pivot = next((i for i in range(bitpos, num_qubits)
+                          if rows[i] & bit), None)
+            if pivot is None:
+                continue
+            rows[bitpos], rows[pivot] = rows[pivot], rows[bitpos]
+            combo[bitpos], combo[pivot] = combo[pivot], combo[bitpos]
+            for i in range(num_qubits):
+                if i != bitpos and rows[i] & bit:
+                    rows[i] ^= rows[bitpos]
+                    combo[i] ^= combo[bitpos]
+            if target & bit:
+                target ^= rows[bitpos]
+                subset_mask ^= combo[bitpos]
+        if target:
+            raise CircuitError(f"parity {parity:b} not in the row space")
+        return [i for i in range(num_qubits) if (subset_mask >> i) & 1]
+
+    for parity in graysynth_order(list(pending)):
+        theta = pending[parity]
+        if parity in wires:
+            host = wires.index(parity)
+        else:
+            subset = _solve_subset(parity)
+            # Host the parity on the subset wire already closest to it.
+            host = min(subset,
+                       key=lambda q: bin(wires[q] ^ parity).count("1"))
+            for helper in subset:
+                if helper != host:
+                    circuit.append(CXGate.make(helper, host))
+                    wires[host] ^= wires[helper]
+        circuit.append(RZGate(target=host, theta=theta))
+
+    # Restore the identity linear map.
+    mat = np.zeros((num_qubits, num_qubits), dtype=np.uint8)
+    for i, parity in enumerate(wires):
+        for q in range(num_qubits):
+            mat[i, q] = wire_bit(parity, q)
+    for gate in reversed(pmh_synthesize(mat)):
+        circuit.append(gate)
+    return circuit

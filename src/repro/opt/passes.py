@@ -1,0 +1,115 @@
+"""Peephole circuit optimization passes.
+
+Synthesis flows occasionally emit adjacent gate pairs that cancel (e.g. the
+un-pruned multiplexor's trailing CNOT against the next multiplexor's leading
+one) or rotations that fuse.  These passes clean that up without changing
+the circuit's unitary:
+
+* ``cancel_inverse_pairs`` — adjacent self-inverse duplicates (X, CX) and
+  exact inverse rotations vanish;
+* ``fuse_rotations`` — adjacent same-axis rotations on the same wire (and
+  same controls) add their angles; near-zero rotations are dropped.
+
+Adjacency is tracked per qubit: two gates are adjacent when no gate between
+them touches any common qubit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import (
+    CRYGate,
+    CRZGate,
+    CXGate,
+    Gate,
+    MCRYGate,
+    RYGate,
+    RZGate,
+    XGate,
+)
+
+__all__ = ["optimize_circuit", "cancel_inverse_pairs", "fuse_rotations"]
+
+_ANGLE_EPS = 1e-12
+
+
+def _is_rotation(gate: Gate) -> bool:
+    return isinstance(gate, (RYGate, RZGate, CRYGate, CRZGate, MCRYGate))
+
+
+def _same_frame(a: Gate, b: Gate) -> bool:
+    """Same gate type acting on the same target with the same controls."""
+    return (type(a) is type(b) and a.target == b.target
+            and a.controls == b.controls)
+
+
+def _fused(a: Gate, b: Gate) -> Gate | None:
+    """Fuse two adjacent rotations in the same frame; None when the sum is
+    an identity."""
+    theta = a.theta + b.theta  # type: ignore[attr-defined]
+    if abs(math.remainder(theta, 4.0 * math.pi)) < _ANGLE_EPS:
+        return None
+    return type(a)(target=a.target, controls=a.controls, theta=theta)
+
+
+def _one_pass(circuit: QCircuit) -> tuple[QCircuit, bool]:
+    out: list[Gate] = []
+    last_touch: dict[int, int] = {}
+    changed = False
+    for gate in circuit:
+        qubits = gate.qubits()
+        frontier = max((last_touch.get(q, -1) for q in qubits), default=-1)
+        prev = out[frontier] if frontier >= 0 else None
+        merged = False
+        if prev is not None and _same_frame(prev, gate):
+            if isinstance(gate, (XGate, CXGate)):
+                out[frontier] = None  # type: ignore[call-overload]
+                merged = True
+            elif _is_rotation(gate):
+                fusion = _fused(prev, gate)
+                out[frontier] = fusion  # type: ignore[call-overload]
+                merged = True
+        if merged:
+            changed = True
+            # Rebuild the frontier map (indices may now point at holes, but
+            # holes never match _same_frame, so correctness is preserved).
+            if out[frontier] is None:
+                for q in qubits:
+                    last_touch.pop(q, None)
+            continue
+        if _is_rotation(gate) and not gate.controls and \
+                abs(math.remainder(gate.theta,  # type: ignore[attr-defined]
+                                   4.0 * math.pi)) < _ANGLE_EPS:
+            changed = True
+            continue  # drop identity rotations
+        out.append(gate)
+        idx = len(out) - 1
+        for q in qubits:
+            last_touch[q] = idx
+    result = QCircuit(circuit.num_qubits,
+                      (g for g in out if g is not None))
+    return result, changed
+
+
+def cancel_inverse_pairs(circuit: QCircuit) -> QCircuit:
+    """Single cleanup pass (see module docstring)."""
+    result, _ = _one_pass(circuit)
+    return result
+
+
+def fuse_rotations(circuit: QCircuit) -> QCircuit:
+    """Alias of :func:`cancel_inverse_pairs` — fusion happens in the same
+    sweep."""
+    return cancel_inverse_pairs(circuit)
+
+
+def optimize_circuit(circuit: QCircuit, max_rounds: int = 16) -> QCircuit:
+    """Run cleanup passes to a fixpoint (bounded by ``max_rounds``)."""
+    current = circuit
+    for _ in range(max_rounds):
+        current, changed = _one_pass(current)
+        if not changed:
+            break
+    return current

@@ -1,0 +1,70 @@
+"""Complex-amplitude preparation via a phase oracle (extension).
+
+The paper prepares real states and notes (Sec. VI-A) that "employing a
+phase oracle, we can prepare arbitrary states with complex amplitudes"
+[Amy et al.].  This module implements that extension:
+
+1. prepare the magnitude state ``sum |c_x| |x>`` with the real workflow;
+2. apply the diagonal ``D = diag(e^{i phi_x})`` synthesized from Rz
+   rotation multiplexors (zero-angle segments pruned), dropping one global
+   phase.
+
+The diagonal recursion: a multiplexed ``Rz`` on the last qubit realizes the
+phase *differences* of each sibling pair, leaving a diagonal on one fewer
+qubit carrying the pair *averages*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.decompose import multiplexed_rotation_gates
+from repro.exceptions import StateError
+from repro.qsp.config import QSPConfig
+from repro.qsp.workflow import prepare_state
+from repro.states.qstate import QState
+
+__all__ = ["phase_oracle_circuit", "prepare_complex"]
+
+
+def phase_oracle_circuit(phases: np.ndarray, prune: bool = True) -> QCircuit:
+    """Circuit implementing ``|x> -> e^{i phases[x]} |x>`` up to one global
+    phase, built from Rz multiplexors (at most ``2**n - n - 1`` CNOTs after
+    pruning; exactly ``2**n - 2`` unpruned, like a rotation cascade)."""
+    phases = np.asarray(phases, dtype=np.float64)
+    size = phases.shape[0]
+    n = int(round(np.log2(size)))
+    if 1 << n != size:
+        raise StateError(f"phase vector length {size} not a power of two")
+    circuit = QCircuit(n)
+    current = phases
+    for depth in range(n - 1, -1, -1):
+        diffs = current[1::2] - current[0::2]
+        circuit.extend(multiplexed_rotation_gates(
+            list(range(depth)), depth, diffs, axis="z", prune=prune))
+        current = 0.5 * (current[0::2] + current[1::2])
+    return circuit
+
+
+def prepare_complex(vector: np.ndarray,
+                    config: QSPConfig | None = None) -> QCircuit:
+    """Prepare an arbitrary normalized complex statevector (up to global
+    phase): real workflow on the magnitudes + phase oracle."""
+    vec = np.asarray(vector, dtype=np.complex128)
+    norm = float(np.linalg.norm(vec))
+    if abs(norm - 1.0) > 1e-6:
+        vec = vec / norm
+    mags = np.abs(vec)
+    magnitude_state = QState.from_vector(mags)
+    circuit = prepare_state(magnitude_state, config).circuit
+    phases = np.where(mags > 1e-12, np.angle(vec), 0.0)
+    # The magnitude circuit may prepare -|mags|; fold that sign into the
+    # oracle would be wrong per-amplitude, so verify and fix globally.
+    from repro.sim.statevector import simulate_circuit
+    produced = simulate_circuit(circuit)
+    ref = int(np.argmax(mags))
+    if produced[ref].real < 0:
+        phases = phases + np.pi  # global flip; harmless where mags == 0
+    circuit.compose(phase_oracle_circuit(phases).embedded(circuit.num_qubits))
+    return circuit

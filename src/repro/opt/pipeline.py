@@ -1,0 +1,78 @@
+"""Post-synthesis optimization pipeline (extension).
+
+Chains the library's independent cleanup passes into one fixpoint loop:
+
+1. :func:`repro.opt.passes.optimize_circuit` — adjacent inverse-pair
+   cancellation and rotation fusion;
+2. :func:`repro.opt.commute.commuting_cancellation` — self-inverse pairs
+   separated by commuting gates;
+3. :func:`repro.opt.linear.resynthesize_cnot_blocks` — PMH resynthesis of
+   plain-CNOT runs.
+
+Applied to circuits from the *baseline* flows this measures how much of
+the paper's exact-synthesis advantage a classic peephole pipeline can and
+cannot recover (spoiler: the structural constraints the paper identifies
+are not peephole-repairable — see ``benchmarks/bench_postopt.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QCircuit
+from repro.opt.commute import commuting_cancellation
+from repro.opt.linear import resynthesize_cnot_blocks
+from repro.opt.passes import optimize_circuit
+
+__all__ = ["PostOptReport", "postoptimize"]
+
+
+@dataclass
+class PostOptReport:
+    """Before/after accounting of one pipeline run."""
+
+    circuit: QCircuit
+    cnots_before: int
+    cnots_after: int
+    rounds: int
+
+    @property
+    def cnots_saved(self) -> int:
+        return self.cnots_before - self.cnots_after
+
+    @property
+    def percent_saved(self) -> float:
+        if self.cnots_before == 0:
+            return 0.0
+        return 100.0 * self.cnots_saved / self.cnots_before
+
+
+def postoptimize(circuit: QCircuit, max_rounds: int = 8,
+                 resynthesize: bool = True) -> PostOptReport:
+    """Run the cleanup pipeline to a CNOT-count fixpoint.
+
+    The input circuit should be decomposed (``{X, Ry, Rz, CX}``) for the
+    commutation and PMH stages to see through it; higher-level gates pass
+    through the peephole stage untouched.  Every stage preserves the
+    circuit unitary (property-tested), so the pipeline is safe to apply
+    to any synthesis output.
+    """
+    before = circuit.decompose().cnot_cost()
+    current = circuit
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        previous_cost = current.decompose().cnot_cost()
+        current = optimize_circuit(current)
+        lowered = current.decompose()
+        lowered = commuting_cancellation(lowered)
+        if resynthesize:
+            lowered = resynthesize_cnot_blocks(lowered)
+        lowered = optimize_circuit(lowered)
+        if lowered.cnot_cost() >= previous_cost:
+            break
+        current = lowered
+    return PostOptReport(circuit=current,
+                         cnots_before=before,
+                         cnots_after=current.decompose().cnot_cost(),
+                         rounds=rounds)

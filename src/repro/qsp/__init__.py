@@ -1,0 +1,22 @@
+"""Scalable QSP workflow (Fig. 5): reduction + exact core synthesis."""
+
+from repro.qsp.config import QSPConfig, default_exact_config
+from repro.qsp.extraction import CoreExtraction, embed_core_circuit, extract_core
+from repro.qsp.reduction import ReductionConfig, reduce_cardinality
+from repro.qsp.solver import MethodComparison, compare_methods, prepare
+from repro.qsp.workflow import QSPResult, prepare_state
+
+__all__ = [
+    "QSPConfig",
+    "default_exact_config",
+    "CoreExtraction",
+    "extract_core",
+    "embed_core_circuit",
+    "ReductionConfig",
+    "reduce_cardinality",
+    "MethodComparison",
+    "compare_methods",
+    "prepare",
+    "QSPResult",
+    "prepare_state",
+]

@@ -1,0 +1,144 @@
+"""Entangled-core extraction.
+
+The exact engine should only ever see the *entangled core* of a state:
+separable qubits are handled by free local gates (the paper's
+canonicalization "filters out separable qubits", and the workflow thresholds
+``n <= 4`` refer to the core).  :func:`extract_core` factors a state as::
+
+    |psi>  =  (local 1-qubit states on separable wires)  (x)  |core>
+
+returning the core on a narrowed register, the placement of core qubits on
+the original wires, and the free local gates for the separable wires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import Gate, RYGate, XGate
+from repro.exceptions import StateError
+from repro.states.qstate import QState
+from repro.utils.bits import bit_of
+
+__all__ = ["CoreExtraction", "extract_core", "embed_core_circuit"]
+
+
+@dataclass
+class CoreExtraction:
+    """Factorization of a state into local gates and an entangled core.
+
+    Attributes
+    ----------
+    core:
+        The entangled core, or ``None`` when the state is fully separable.
+    placement:
+        ``placement[i]`` = original wire carrying core qubit ``i``.
+    local_gates:
+        Free gates (X / Ry) preparing the separable wires.
+    num_qubits:
+        Original register width.
+    """
+
+    core: QState | None
+    placement: list[int]
+    local_gates: list[Gate] = field(default_factory=list)
+    num_qubits: int = 0
+
+
+def _separable_ratio(items: list[tuple[int, float]], n: int, q: int
+                     ) -> float | None:
+    """Raw-tuple version of the cofactor proportionality test."""
+    cof0: dict[int, float] = {}
+    cof1: dict[int, float] = {}
+    shift = n - 1 - q
+    bit = 1 << shift
+    for idx, amp in items:
+        if idx & bit:
+            cof1[idx & ~bit] = amp
+        else:
+            cof0[idx] = amp
+    if not cof1:
+        return 0.0
+    if not cof0:
+        return math.inf
+    if cof0.keys() != cof1.keys():
+        return None
+    ratio: float | None = None
+    for idx, a0 in cof0.items():
+        r = cof1[idx] / a0
+        if ratio is None:
+            ratio = r
+        elif abs(r - ratio) > 1e-8 * max(1.0, abs(ratio)):
+            return None
+    return ratio
+
+
+def _drop_qubit(items: list[tuple[int, float]], n: int, q: int,
+                ratio: float) -> list[tuple[int, float]]:
+    """Remove a separable qubit, folding its amplitude into the rest."""
+    shift = n - 1 - q
+    bit = 1 << shift
+    low_mask = bit - 1
+    out: list[tuple[int, float]] = []
+    if math.isinf(ratio):
+        scale, keep_value = 1.0, 1
+    else:
+        scale, keep_value = math.sqrt(1.0 + ratio * ratio), 0
+    for idx, amp in items:
+        if ((idx >> shift) & 1) != keep_value:
+            continue
+        narrowed = ((idx >> (shift + 1)) << shift) | (idx & low_mask)
+        out.append((narrowed, amp * scale))
+    return out
+
+
+def extract_core(state: QState) -> CoreExtraction:
+    """Factor out every separable qubit (to a fixpoint)."""
+    n = state.num_qubits
+    items = list(state.items())
+    wires = list(range(n))  # original wire of each current position
+    gates: list[Gate] = []
+    changed = True
+    while changed and wires:
+        changed = False
+        width = len(wires)
+        for pos in range(width):
+            ratio = _separable_ratio(items, width, pos)
+            if ratio is None:
+                continue
+            wire = wires[pos]
+            if math.isinf(ratio):
+                gates.append(XGate(target=wire))
+            elif ratio != 0.0:
+                alpha = 1.0 / math.sqrt(1.0 + ratio * ratio)
+                beta = ratio * alpha
+                gates.append(RYGate(target=wire,
+                                    theta=2.0 * math.atan2(beta, alpha)))
+            items = _drop_qubit(items, width, pos, ratio)
+            del wires[pos]
+            changed = True
+            break
+    if not wires:
+        return CoreExtraction(core=None, placement=[], local_gates=gates,
+                              num_qubits=n)
+    core = QState(len(wires), dict(items), normalize=True)
+    return CoreExtraction(core=core, placement=wires, local_gates=gates,
+                          num_qubits=n)
+
+
+def embed_core_circuit(extraction: CoreExtraction,
+                       core_circuit: QCircuit | None) -> QCircuit:
+    """Rebuild a full-register circuit from a core circuit and the free
+    local gates of an extraction."""
+    n = extraction.num_qubits
+    circuit = QCircuit(n)
+    if core_circuit is not None:
+        if extraction.core is None:
+            raise StateError("core circuit given for a separable state")
+        if core_circuit.num_qubits != len(extraction.placement):
+            raise StateError("core circuit width does not match placement")
+        circuit.compose(core_circuit.embedded(n, extraction.placement))
+    circuit.extend(extraction.local_gates)
+    return circuit

@@ -1,0 +1,133 @@
+"""Improved cardinality reduction — the workflow's sparse-path engine.
+
+The baseline m-flow merges exactly one basis-state pair per step.  Our
+reduction keeps the same backward-move vocabulary but chooses, at every
+step, the move with the best *cost per merged pair* among:
+
+* every valid AP merge the exact engine knows about (``Ry`` merges are
+  free and can fold many pairs at once; ``CRy``/``MCRy`` merges fold all
+  consistent pairs inside a cube), and
+* the Gleinig-Hoefler pair merge (CNOT alignment + cube rotation) as the
+  guaranteed-progress fallback.
+
+On the uniform-amplitude benchmark states, amplitude ratios are frequently
+consistent across many pairs, so multi-pair merges fire often — this is
+where the workflow's sparse-state advantage over the m-flow baseline comes
+from (Sec. VI-C reports 32% on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.mflow import _merge_step
+from repro.core.moves import Move
+from repro.core.transitions import enumerate_merges
+from repro.exceptions import SynthesisError
+from repro.states.qstate import QState
+
+__all__ = ["ReductionConfig", "reduce_cardinality"]
+
+
+@dataclass
+class ReductionConfig:
+    """Knobs of the improved reduction.
+
+    ``max_merge_controls`` bounds the cube size considered for multi-pair
+    merges (``2**k`` cost grows quickly, and the GH fallback usually beats
+    large cubes).  A candidate multi-pair merge is taken only when its
+    cost-per-merged-pair beats ``gh_cost_estimate`` (the typical cost of
+    one GH step).
+    """
+
+    max_merge_controls: int = 2
+    prefer_free_merges: bool = True
+
+
+def _cardinality_drop(state: QState, move: Move) -> int:
+    return state.cardinality - move.apply(state).cardinality
+
+
+def _best_multi_merge(state: QState, config: ReductionConfig
+                      ) -> tuple[Move, int] | None:
+    """Cheapest-per-pair AP merge currently available, if any."""
+    best: tuple[float, int, Move] | None = None
+    for target in range(state.num_qubits):
+        for move in enumerate_merges(state, target,
+                                     max_controls=config.max_merge_controls):
+            drop = _cardinality_drop(state, move)
+            if drop < 1:
+                continue
+            score = move.cost / drop
+            if best is None or score < best[0] or \
+                    (score == best[0] and drop > best[1]):
+                best = (score, drop, move)
+    if best is None:
+        return None
+    return best[2], best[1]
+
+
+def reduce_cardinality(state: QState, stop_cardinality: int = 1,
+                       stop_entangled: int | None = None,
+                       config: ReductionConfig | None = None
+                       ) -> tuple[list[Move], QState]:
+    """Apply backward moves until the state is small enough.
+
+    Stops when ``cardinality <= stop_cardinality`` and (when given) the
+    number of entangled qubits is ``<= stop_entangled``.  Returns the moves
+    applied and the final state.
+    """
+    from repro.states.analysis import num_entangled_qubits
+
+    if stop_cardinality < 1:
+        raise SynthesisError("stop_cardinality must be >= 1")
+    config = config or ReductionConfig()
+
+    def done(current: QState) -> bool:
+        if current.cardinality > stop_cardinality:
+            return False
+        if stop_entangled is not None and \
+                num_entangled_qubits(current) > stop_entangled:
+            return False
+        return True
+
+    def greedy() -> tuple[list[Move], QState]:
+        moves: list[Move] = []
+        current = state
+        while not done(current):
+            if current.cardinality == 1:
+                break  # a basis state; only free gates remain
+            choice = _best_multi_merge(current, config)
+            if choice is not None:
+                move, drop = choice
+                # Peek at what one GH step would cost here; take the
+                # multi-merge only when it is at least as cost-effective.
+                gh_moves, _ = _merge_step(current, minimize_literals=True)
+                gh_cost = sum(m.cost for m in gh_moves)
+                if move.cost == 0 or \
+                        move.cost * 1 <= max(gh_cost, 1) * drop:
+                    moves.append(move)
+                    current = move.apply(current)
+                    continue
+            step_moves, current = _merge_step(current,
+                                              minimize_literals=True)
+            moves.extend(step_moves)
+        return moves, current
+
+    def plain_gh() -> tuple[list[Move], QState]:
+        moves: list[Move] = []
+        current = state
+        while not done(current) and current.cardinality > 1:
+            step_moves, current = _merge_step(current,
+                                              minimize_literals=True)
+            moves.extend(step_moves)
+        return moves, current
+
+    # Greedy multi-merging is usually cheaper but can lose to the GH order
+    # on adversarial instances; returning the better of the two makes the
+    # improved reduction dominate the baseline by construction.
+    greedy_result = greedy()
+    gh_result = plain_gh()
+    greedy_cost = sum(m.cost for m in greedy_result[0])
+    gh_cost = sum(m.cost for m in gh_result[0])
+    return greedy_result if greedy_cost <= gh_cost else gh_result

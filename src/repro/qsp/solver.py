@@ -1,0 +1,70 @@
+"""Top-level convenience API.
+
+:func:`prepare` is the one-call entry point a downstream user wants;
+:func:`compare_methods` runs every synthesis flow on one state and reports
+CNOT counts side by side (the shape of the paper's evaluation tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.hybrid import hybrid_synthesize
+from repro.baselines.mflow import mflow_synthesize
+from repro.baselines.nflow import nflow_synthesize
+from repro.circuits.circuit import QCircuit
+from repro.qsp.config import QSPConfig
+from repro.qsp.workflow import QSPResult, prepare_state
+from repro.states.qstate import QState
+
+__all__ = ["prepare", "compare_methods", "MethodComparison"]
+
+
+def prepare(state: QState, config: QSPConfig | None = None) -> QCircuit:
+    """Synthesize a preparation circuit for ``state`` (paper workflow)."""
+    return prepare_state(state, config).circuit
+
+
+@dataclass
+class MethodComparison:
+    """CNOT counts of every method on one target state.
+
+    ``hybrid`` uses one ancilla (reported on ``n + 1`` wires), matching the
+    paper's setup.
+    """
+
+    num_qubits: int
+    cardinality: int
+    mflow: int
+    nflow: int
+    hybrid: int
+    ours: int
+    ours_result: QSPResult
+
+    def as_row(self) -> list:
+        return [self.num_qubits, self.cardinality, self.mflow, self.nflow,
+                self.hybrid, self.ours]
+
+
+def compare_methods(state: QState, config: QSPConfig | None = None,
+                    include_hybrid: bool = True,
+                    include_mflow: bool = True) -> MethodComparison:
+    """Run m-flow, n-flow, hybrid, and our workflow on ``state``.
+
+    The two flags allow skipping the quadratic-cost baselines on large
+    dense inputs (the paper marks those TLE).
+    """
+    ours = prepare_state(state, config)
+    mflow_cost = mflow_synthesize(state).cnot_cost() if include_mflow else -1
+    nflow_cost = nflow_synthesize(state).cnot_cost()
+    hybrid_cost = hybrid_synthesize(state).cnot_cost() \
+        if include_hybrid else -1
+    return MethodComparison(
+        num_qubits=state.num_qubits,
+        cardinality=state.cardinality,
+        mflow=mflow_cost,
+        nflow=nflow_cost,
+        hybrid=hybrid_cost,
+        ours=ours.cnot_cost,
+        ours_result=ours,
+    )

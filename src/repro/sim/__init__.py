@@ -1,0 +1,50 @@
+"""Statevector simulation and circuit verification (Qiskit substitute)."""
+
+from repro.sim.equivalence import circuits_equivalent, probe_equivalent
+from repro.sim.noise import (
+    NoiseModel,
+    analytic_fidelity_bound,
+    density_matrix_fidelity,
+    monte_carlo_fidelity,
+    noisy_density_matrix,
+    state_fidelity,
+)
+from repro.sim.sparse import (
+    apply_gate_sparse,
+    simulate_sparse,
+    sparse_fidelity,
+    sparse_prepares,
+)
+from repro.sim.statevector import apply_gate, simulate_circuit, simulate_to_state
+from repro.sim.unitary import circuit_unitary, gate_unitary, unitaries_equal
+from repro.sim.verify import (
+    assert_prepares,
+    fidelity,
+    prepares_state,
+    verification_report,
+)
+
+__all__ = [
+    "NoiseModel",
+    "analytic_fidelity_bound",
+    "density_matrix_fidelity",
+    "monte_carlo_fidelity",
+    "noisy_density_matrix",
+    "state_fidelity",
+    "circuits_equivalent",
+    "probe_equivalent",
+    "apply_gate",
+    "apply_gate_sparse",
+    "simulate_sparse",
+    "sparse_fidelity",
+    "sparse_prepares",
+    "simulate_circuit",
+    "simulate_to_state",
+    "circuit_unitary",
+    "gate_unitary",
+    "unitaries_equal",
+    "assert_prepares",
+    "fidelity",
+    "prepares_state",
+    "verification_report",
+]

@@ -1,0 +1,71 @@
+"""Circuit equivalence checking.
+
+Two strategies, chosen by register width:
+
+* **Exact** (small ``n``): compare full unitaries, optionally up to global
+  phase.
+* **Probing** (any ``n`` the simulator can hold): apply both circuits to a
+  batch of random complex states; equal outputs on ``k`` random probes
+  bound the failure probability exponentially in ``k`` (random states are
+  almost surely cyclic vectors, so a single probe already separates
+  distinct unitaries with probability 1 — multiple probes guard against
+  numerically marginal cases).
+
+The synthesis flows use this to validate optimization passes on circuits
+too wide for ``O(4**n)`` unitary construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.sim.statevector import simulate_circuit
+from repro.sim.unitary import circuit_unitary, unitaries_equal
+
+__all__ = ["circuits_equivalent", "probe_equivalent"]
+
+_EXACT_MAX_QUBITS = 8
+
+
+def probe_equivalent(a: QCircuit, b: QCircuit, probes: int = 4,
+                     seed: int = 2024, atol: float = 1e-7,
+                     up_to_global_phase: bool = True) -> bool:
+    """Randomized equivalence test (see module docstring)."""
+    if a.num_qubits != b.num_qubits:
+        return False
+    rng = np.random.default_rng(seed)
+    dim = 1 << a.num_qubits
+    for _ in range(max(1, probes)):
+        vec = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+        vec /= np.linalg.norm(vec)
+        out_a = simulate_circuit(a, initial=vec)
+        out_b = simulate_circuit(b, initial=vec)
+        if up_to_global_phase:
+            ref = int(np.argmax(np.abs(out_a)))
+            if abs(out_b[ref]) < atol:
+                return False
+            phase = out_a[ref] / out_b[ref]
+            if abs(abs(phase) - 1.0) > 1e-6 or \
+                    not np.allclose(out_a, phase * out_b, atol=atol):
+                return False
+        elif not np.allclose(out_a, out_b, atol=atol):
+            return False
+    return True
+
+
+def circuits_equivalent(a: QCircuit, b: QCircuit,
+                        up_to_global_phase: bool = True,
+                        atol: float = 1e-8) -> bool:
+    """Equivalence check, exact when feasible, probing otherwise."""
+    if a.num_qubits != b.num_qubits:
+        return False
+    if a.num_qubits > 20:
+        raise CircuitError("register too wide even for probing")
+    if a.num_qubits <= _EXACT_MAX_QUBITS:
+        return unitaries_equal(circuit_unitary(a), circuit_unitary(b),
+                               atol=atol,
+                               up_to_global_phase=up_to_global_phase)
+    return probe_equivalent(a, b, up_to_global_phase=up_to_global_phase,
+                            atol=max(atol, 1e-7))

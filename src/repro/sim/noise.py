@@ -1,0 +1,226 @@
+"""Noisy execution model: why CNOT count is the objective.
+
+The paper's premise (Sec. I/II-B) is that on NISQ hardware "CNOTs introduce
+more noise than single-qubit gates", so minimizing the CNOT count directly
+improves preparation fidelity.  This module makes that premise quantitative
+with three estimators of the fidelity between the ideal target state and
+the noisy prepared state, all driven by a :class:`NoiseModel` of
+depolarizing strength per gate:
+
+* :func:`analytic_fidelity_bound` — the closed-form product
+  ``prod (1 - p_g)`` over gates: the probability that *no* gate faults,
+  a lower bound that every practitioner uses for back-of-envelope sizing;
+* :func:`density_matrix_fidelity` — exact evolution of the density matrix
+  through depolarizing channels (``O(4**n)`` memory, small ``n`` only);
+* :func:`monte_carlo_fidelity` — Pauli-trajectory sampling, scaling to
+  wider registers at the price of sampling error.
+
+The three agree in their regimes (checked by the test suite), and the
+benchmark ``benchmarks/bench_noise_motivation.py`` uses them to turn the
+paper's CNOT-count tables into fidelity gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.sim.statevector import apply_gate
+from repro.sim.unitary import gate_unitary
+from repro.states.qstate import QState
+
+__all__ = [
+    "NoiseModel",
+    "analytic_fidelity_bound",
+    "density_matrix_fidelity",
+    "monte_carlo_fidelity",
+    "noisy_density_matrix",
+    "state_fidelity",
+]
+
+_DENSITY_MAX_QUBITS = 8
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Depolarizing noise strengths per gate class.
+
+    ``p_cx`` is applied (as a two-qubit depolarizing channel) after every
+    CNOT of the *decomposed* circuit; ``p_1q`` (single-qubit channel) after
+    every single-qubit gate.  Typical NISQ numbers: ``p_cx`` around 1e-2,
+    ``p_1q`` one order of magnitude smaller — the gap the paper's objective
+    exploits.
+    """
+
+    p_cx: float = 1e-2
+    p_1q: float = 1e-3
+
+    def __post_init__(self):
+        for name, p in (("p_cx", self.p_cx), ("p_1q", self.p_1q)):
+            if not 0.0 <= p <= 1.0:
+                raise CircuitError(f"{name} must be a probability, got {p}")
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        return cls(p_cx=0.0, p_1q=0.0)
+
+    def gate_error(self, num_qubits_touched: int) -> float:
+        """Depolarizing strength for a gate touching that many qubits."""
+        return self.p_cx if num_qubits_touched >= 2 else self.p_1q
+
+
+def analytic_fidelity_bound(circuit: QCircuit, noise: NoiseModel) -> float:
+    """No-fault probability ``prod_g (1 - p_g)`` of the decomposed circuit.
+
+    A depolarizing fault of strength ``p`` leaves the state untouched only
+    on the no-error branch, so the product of no-error probabilities lower
+    bounds the final state fidelity (faults cannot conspire to help more
+    than they hurt, up to the small identity component of the error
+    channel — the density-matrix estimator measures the exact value).
+    """
+    low = circuit.decompose()
+    bound = 1.0
+    for gate in low:
+        bound *= 1.0 - noise.gate_error(len(gate.qubits()))
+    return bound
+
+
+def state_fidelity(target: QState, rho: np.ndarray) -> float:
+    """``<psi| rho |psi>`` for a pure target state."""
+    vec = target.to_vector().astype(np.complex128)
+    if rho.shape != (vec.size, vec.size):
+        raise CircuitError(
+            f"density matrix shape {rho.shape} does not match the state")
+    return float(np.real(np.conj(vec) @ rho @ vec))
+
+
+def noisy_density_matrix(circuit: QCircuit, noise: NoiseModel) -> np.ndarray:
+    """Exact density matrix after the decomposed circuit with a
+    depolarizing channel following every gate."""
+    low = circuit.decompose()
+    n = low.num_qubits
+    if n > _DENSITY_MAX_QUBITS:
+        raise CircuitError(
+            f"density simulation limited to {_DENSITY_MAX_QUBITS} qubits, "
+            f"got {n}")
+    dim = 1 << n
+    rho = np.zeros((dim, dim), dtype=np.complex128)
+    rho[0, 0] = 1.0
+    for gate in low:
+        unitary = gate_unitary(gate, n)
+        rho = unitary @ rho @ unitary.conj().T
+        rho = _depolarize(rho, gate.qubits(), noise.gate_error(
+            len(gate.qubits())), n)
+    return rho
+
+
+def density_matrix_fidelity(circuit: QCircuit, target: QState,
+                            noise: NoiseModel) -> float:
+    """Exact fidelity of the noisy preparation against ``target``."""
+    return state_fidelity(target, noisy_density_matrix(circuit, noise))
+
+
+def monte_carlo_fidelity(circuit: QCircuit, target: QState,
+                         noise: NoiseModel, shots: int = 2000,
+                         seed: int = 0) -> float:
+    """Pauli-trajectory estimate of the preparation fidelity.
+
+    Each shot runs the decomposed circuit as a pure-state trajectory,
+    inserting a uniformly random non-identity Pauli on a gate's qubits with
+    probability ``p * (4**k) / (4**k - 1)``... more precisely, sampling the
+    Kraus decomposition of the depolarizing channel exactly: with
+    probability ``1 - p`` nothing happens, otherwise one of the ``4**k``
+    Pauli strings (including identity) is applied uniformly.
+    """
+    low = circuit.decompose()
+    n = low.num_qubits
+    rng = np.random.default_rng(seed)
+    tvec = target.to_vector().astype(np.complex128)
+    total = 0.0
+    pauli_names = ("I", "X", "Y", "Z")
+    for _ in range(shots):
+        vec = np.zeros(1 << n, dtype=np.complex128)
+        vec[0] = 1.0
+        for gate in low:
+            apply_gate(vec, gate, n)
+            qubits = gate.qubits()
+            p = noise.gate_error(len(qubits))
+            if p > 0.0 and rng.random() < p:
+                for q in qubits:
+                    name = pauli_names[rng.integers(4)]
+                    if name != "I":
+                        vec = _apply_pauli(vec, name, q, n)
+        overlap = np.vdot(tvec, vec)
+        total += float(np.real(overlap * np.conj(overlap)))
+    return total / shots
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _apply_pauli(vec: np.ndarray, name: str, qubit: int,
+                 n: int) -> np.ndarray:
+    """Apply a single-qubit Pauli to a dense statevector."""
+    dim = vec.size
+    shift = n - 1 - qubit
+    idx = np.arange(dim)
+    flipped = idx ^ (1 << shift)
+    bit = (idx >> shift) & 1
+    if name == "X":
+        return vec[flipped]
+    if name == "Z":
+        out = vec.copy()
+        out[bit == 1] *= -1.0
+        return out
+    if name == "Y":
+        out = vec[flipped].astype(np.complex128)
+        out[bit == 1] *= 1j
+        out[bit == 0] *= -1j
+        return out
+    raise CircuitError(f"unknown Pauli {name!r}")
+
+
+def _pauli_operator(names: tuple[str, ...], qubits: tuple[int, ...],
+                    n: int) -> np.ndarray:
+    """Dense operator of a Pauli string on selected qubits."""
+    ops = ["I"] * n
+    for name, q in zip(names, qubits):
+        ops[q] = name
+    out = np.array([[1.0]], dtype=np.complex128)
+    for name in ops:
+        out = np.kron(out, _PAULIS[name])
+    return out
+
+
+def _depolarize(rho: np.ndarray, qubits: tuple[int, ...], p: float,
+                n: int) -> np.ndarray:
+    """Depolarizing channel of strength ``p`` on ``qubits``:
+
+    ``rho -> (1-p) rho + p/4**k sum_P  P rho P``  (sum over all ``4**k``
+    Pauli strings, identity included — the uniform Pauli-twirl form whose
+    no-error branch matches the Monte Carlo sampler exactly).
+    """
+    if p <= 0.0:
+        return rho
+    k = len(qubits)
+    num_strings = 4 ** k
+    mixed = np.zeros_like(rho)
+    import itertools
+
+    for names in itertools.product("IXYZ", repeat=k):
+        op = _pauli_operator(names, qubits, n)
+        mixed += op @ rho @ op.conj().T
+    return (1.0 - p) * rho + (p / num_strings) * mixed

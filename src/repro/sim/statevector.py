@@ -1,0 +1,100 @@
+"""Dense statevector simulator.
+
+This module substitutes the Qiskit simulator the paper uses for verification
+(Sec. VI-A): it applies each gate — uniformly modeled as a controlled
+single-qubit operation — to a dense ``2**n`` vector with vectorized numpy
+index arithmetic.
+
+Qubit 0 is the most significant bit of the basis index, matching
+:mod:`repro.states.qstate`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+from repro.states.qstate import QState
+
+__all__ = ["apply_gate", "simulate_circuit", "simulate_to_state"]
+
+
+def _selection(num_qubits: int, gate: Gate) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs ``(i0, i1)`` the gate mixes: ``i0`` has target bit 0,
+    ``i1`` target bit 1, and both satisfy every control."""
+    dim = 1 << num_qubits
+    idx = np.arange(dim, dtype=np.intp)
+    t_shift = num_qubits - 1 - gate.target
+    sel = ((idx >> t_shift) & 1) == 0
+    for q, p in gate.controls:
+        shift = num_qubits - 1 - q
+        sel &= ((idx >> shift) & 1) == p
+    i0 = idx[sel]
+    i1 = i0 | (1 << t_shift)
+    return i0, i1
+
+
+def apply_gate(vector: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate in place and return the vector."""
+    if vector.shape[0] != (1 << num_qubits):
+        raise CircuitError(
+            f"vector length {vector.shape[0]} != 2**{num_qubits}")
+    mat = gate.base_matrix()
+    if np.iscomplexobj(mat) and not np.iscomplexobj(vector):
+        raise CircuitError("complex gate on real vector; "
+                           "allocate the vector as complex128")
+    i0, i1 = _selection(num_qubits, gate)
+    a = vector[i0]
+    b = vector[i1]
+    vector[i0] = mat[0, 0] * a + mat[0, 1] * b
+    vector[i1] = mat[1, 0] * a + mat[1, 1] * b
+    return vector
+
+
+def simulate_circuit(circuit: QCircuit,
+                     initial: np.ndarray | QState | None = None,
+                     dtype=np.complex128) -> np.ndarray:
+    """Run a circuit and return the final statevector.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to execute (gates applied left to right).
+    initial:
+        Starting vector or :class:`QState`; defaults to ``|0...0>``.
+    dtype:
+        Vector dtype.  ``complex128`` by default so Rz gates are legal; pass
+        ``float64`` for Ry/CNOT-only circuits when speed matters.
+    """
+    dim = 1 << circuit.num_qubits
+    if initial is None:
+        vec = np.zeros(dim, dtype=dtype)
+        vec[0] = 1.0
+    elif isinstance(initial, QState):
+        if initial.num_qubits != circuit.num_qubits:
+            raise CircuitError("initial state register width mismatch")
+        vec = initial.to_vector().astype(dtype)
+    else:
+        vec = np.array(initial, dtype=dtype, copy=True)
+        if vec.shape[0] != dim:
+            raise CircuitError(
+                f"initial vector length {vec.shape[0]} != {dim}")
+    for gate in circuit:
+        apply_gate(vec, gate, circuit.num_qubits)
+    return vec
+
+
+def simulate_to_state(circuit: QCircuit,
+                      initial: np.ndarray | QState | None = None,
+                      atol: float = 1e-9) -> QState:
+    """Run a circuit and return the (real) final state as a :class:`QState`.
+
+    Raises if the final vector has a non-negligible imaginary part — real
+    targets prepared with Ry/CNOT circuits never do.
+    """
+    vec = simulate_circuit(circuit, initial)
+    if np.max(np.abs(vec.imag)) > 1e-8:
+        raise CircuitError("final state is not real; use simulate_circuit")
+    return QState.from_vector(vec.real, atol=atol)

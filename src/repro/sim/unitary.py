@@ -1,0 +1,66 @@
+"""Full-unitary construction for small circuits.
+
+Useful for testing gate decompositions exactly: two circuits are equivalent
+iff their unitaries agree (optionally up to global phase).  Cost is
+``O(4**n)`` — keep ``n`` small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import Gate
+from repro.sim.statevector import apply_gate
+
+__all__ = ["gate_unitary", "circuit_unitary", "unitaries_equal"]
+
+_MAX_QUBITS = 12
+
+
+def _check_width(num_qubits: int) -> None:
+    if num_qubits > _MAX_QUBITS:
+        raise ValueError(
+            f"unitary construction limited to {_MAX_QUBITS} qubits")
+
+
+def gate_unitary(gate: Gate, num_qubits: int) -> np.ndarray:
+    """Dense ``2**n x 2**n`` matrix of a single gate."""
+    _check_width(num_qubits)
+    dim = 1 << num_qubits
+    mat = np.eye(dim, dtype=np.complex128)
+    for col in range(dim):
+        apply_gate(mat[:, col], gate, num_qubits)
+    return mat
+
+
+def circuit_unitary(circuit: QCircuit) -> np.ndarray:
+    """Dense unitary of a whole circuit (gates applied left to right)."""
+    _check_width(circuit.num_qubits)
+    dim = 1 << circuit.num_qubits
+    mat = np.eye(dim, dtype=np.complex128)
+    for col in range(dim):
+        vec = mat[:, col].copy()
+        for gate in circuit:
+            apply_gate(vec, gate, circuit.num_qubits)
+        mat[:, col] = vec
+    return mat
+
+
+def unitaries_equal(u: np.ndarray, v: np.ndarray, atol: float = 1e-9,
+                    up_to_global_phase: bool = False) -> bool:
+    """Compare two unitaries, optionally modulo a global phase."""
+    if u.shape != v.shape:
+        return False
+    if not up_to_global_phase:
+        return bool(np.allclose(u, v, atol=atol))
+    # Align on the largest entry of u to fix the phase.
+    flat = np.argmax(np.abs(u))
+    ref_u = u.reshape(-1)[flat]
+    ref_v = v.reshape(-1)[flat]
+    if abs(ref_v) < atol:
+        return False
+    phase = ref_u / ref_v
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(u, phase * v, atol=atol))

@@ -1,0 +1,65 @@
+"""Verification of state-preparation circuits.
+
+Matches the paper's workflow (Sec. VI-A): every synthesized circuit is
+checked against its target by simulation.  Because all circuits here are
+Ry/CNOT circuits on real targets, comparison is up to a global ``+-1`` sign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import VerificationError
+from repro.sim.statevector import simulate_circuit
+from repro.states.qstate import QState
+
+__all__ = [
+    "prepares_state",
+    "assert_prepares",
+    "fidelity",
+    "verification_report",
+]
+
+
+def fidelity(circuit: QCircuit, target: QState,
+             initial: QState | None = None) -> float:
+    """``|<target|C|initial>|^2`` (initial defaults to ``|0...0>``)."""
+    vec = simulate_circuit(circuit, initial)
+    overlap = np.vdot(target.to_vector().astype(np.complex128), vec)
+    return float(abs(overlap) ** 2)
+
+
+def prepares_state(circuit: QCircuit, target: QState,
+                   atol: float = 1e-7,
+                   initial: QState | None = None) -> bool:
+    """True when ``C|0...0>`` equals the target up to global phase."""
+    return fidelity(circuit, target, initial) >= 1.0 - atol
+
+
+def verification_report(circuit: QCircuit, target: QState,
+                        initial: QState | None = None) -> str:
+    """Readable diagnostic comparing the produced and target states."""
+    vec = simulate_circuit(circuit, initial)
+    produced = np.round(vec, 6)
+    nonzero = np.nonzero(np.abs(produced) > 1e-6)[0]
+    lines = [f"fidelity = {fidelity(circuit, target, initial):.9f}",
+             f"target   = {target.pretty()}",
+             "produced = " + " ".join(
+                 f"{produced[i].real:+.4f}"
+                 + (f"{produced[i].imag:+.4f}j" if abs(produced[i].imag) > 1e-6 else "")
+                 + f"|{i:0{circuit.num_qubits}b}>"
+                 for i in nonzero[:16])]
+    if nonzero.size > 16:
+        lines[-1] += f" ... (+{nonzero.size - 16} more)"
+    return "\n".join(lines)
+
+
+def assert_prepares(circuit: QCircuit, target: QState,
+                    atol: float = 1e-7,
+                    initial: QState | None = None) -> None:
+    """Raise :class:`VerificationError` when the circuit misses its target."""
+    if not prepares_state(circuit, target, atol=atol, initial=initial):
+        raise VerificationError(
+            "circuit does not prepare the target state\n"
+            + verification_report(circuit, target, initial))

@@ -1,0 +1,69 @@
+"""Named quantum state families used throughout the paper's evaluation.
+
+* **Dicke states** ``|D^k_n>`` — uniform superposition of all ``n``-bit basis
+  states with Hamming weight ``k`` (Sec. VI-B).
+* **W states** — the ``k = 1`` Dicke states.
+* **GHZ states** — ``(|0...0> + |1...1>)/sqrt(2)`` (used by the paper to
+  show the heuristic may underestimate).
+* **Uniform states** over an arbitrary index set (Table III enumeration).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.exceptions import StateError
+from repro.states.qstate import QState
+from repro.utils.bits import indices_with_weight
+
+__all__ = [
+    "dicke_state",
+    "w_state",
+    "ghz_state",
+    "uniform_state",
+    "product_state",
+    "dicke_cardinality",
+]
+
+
+def dicke_cardinality(num_qubits: int, weight: int) -> int:
+    """Cardinality ``C(n, k)`` of the Dicke state ``|D^k_n>``."""
+    return math.comb(num_qubits, weight)
+
+
+def dicke_state(num_qubits: int, weight: int) -> QState:
+    """The Dicke state ``|D^k_n>``.
+
+    >>> dicke_state(3, 1).cardinality
+    3
+    """
+    if not 0 <= weight <= num_qubits:
+        raise StateError(
+            f"Dicke weight {weight} out of range for {num_qubits} qubits")
+    indices = indices_with_weight(num_qubits, weight)
+    return QState.uniform(num_qubits, indices)
+
+
+def w_state(num_qubits: int) -> QState:
+    """The W state ``|D^1_n>``."""
+    return dicke_state(num_qubits, 1)
+
+
+def ghz_state(num_qubits: int) -> QState:
+    """The GHZ state ``(|0...0> + |1...1>)/sqrt(2)``."""
+    if num_qubits < 2:
+        raise StateError("GHZ needs at least 2 qubits")
+    return QState.uniform(num_qubits, [0, (1 << num_qubits) - 1])
+
+
+def uniform_state(num_qubits: int, indices: Iterable[int]) -> QState:
+    """Uniform superposition over an arbitrary index set."""
+    return QState.uniform(num_qubits, indices)
+
+
+def product_state(bits: str) -> QState:
+    """Computational basis product state from a bitstring, e.g. ``'0110'``."""
+    if not bits or any(c not in "01" for c in bits):
+        raise StateError(f"not a bitstring: {bits!r}")
+    return QState.basis(len(bits), int(bits, 2))

@@ -1,0 +1,100 @@
+"""Seeded random state generators matching the paper's benchmark suites.
+
+Sec. VI-C samples, for each parameter setting, random states that are
+
+* **dense**: cardinality ``m = 2**(n-1)`` — half of the basis occupied, and
+* **sparse**: cardinality ``m = n``.
+
+The paper tests *uniform* states ("Although we test uniform states to compare
+with related works, our implementation applies to any state with real
+amplitudes"), so the default generators give uniform amplitudes over a random
+index set; ``random_real_state`` draws random real amplitudes instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import StateError
+from repro.states.qstate import QState
+
+__all__ = [
+    "random_uniform_state",
+    "random_real_state",
+    "random_dense_state",
+    "random_sparse_state",
+    "benchmark_suite",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _random_index_set(num_qubits: int, cardinality: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    dim = 1 << num_qubits
+    if not 1 <= cardinality <= dim:
+        raise StateError(
+            f"cardinality {cardinality} out of range for {num_qubits} qubits")
+    if cardinality > dim // 2:
+        # Sampling without replacement is cheaper on the complement.
+        excluded = rng.choice(dim, size=dim - cardinality, replace=False)
+        mask = np.ones(dim, dtype=bool)
+        mask[excluded] = False
+        return np.nonzero(mask)[0]
+    return rng.choice(dim, size=cardinality, replace=False)
+
+
+def random_uniform_state(num_qubits: int, cardinality: int,
+                         seed: int | np.random.Generator | None = None) -> QState:
+    """Uniform superposition over a uniformly random index set of the given
+    cardinality (the paper's benchmark distribution)."""
+    rng = _rng(seed)
+    indices = _random_index_set(num_qubits, cardinality, rng)
+    return QState.uniform(num_qubits, (int(i) for i in indices))
+
+
+def random_real_state(num_qubits: int, cardinality: int,
+                      seed: int | np.random.Generator | None = None) -> QState:
+    """Random signed real amplitudes (Gaussian, then normalized) over a
+    random index set."""
+    rng = _rng(seed)
+    indices = _random_index_set(num_qubits, cardinality, rng)
+    while True:
+        amps = rng.standard_normal(len(indices))
+        if np.linalg.norm(amps) > 1e-6:
+            break
+    return QState(num_qubits,
+                  {int(i): float(a) for i, a in zip(indices, amps)})
+
+
+def random_dense_state(num_qubits: int,
+                       seed: int | np.random.Generator | None = None,
+                       uniform: bool = True) -> QState:
+    """Paper's dense benchmark state: ``m = 2**(n-1)``."""
+    m = 1 << (num_qubits - 1)
+    maker = random_uniform_state if uniform else random_real_state
+    return maker(num_qubits, m, seed)
+
+
+def random_sparse_state(num_qubits: int,
+                        seed: int | np.random.Generator | None = None,
+                        uniform: bool = True) -> QState:
+    """Paper's sparse benchmark state: ``m = n``."""
+    maker = random_uniform_state if uniform else random_real_state
+    return maker(num_qubits, num_qubits, seed)
+
+
+def benchmark_suite(num_qubits: int, sparse: bool, count: int,
+                    seed: int = 2024, uniform: bool = True) -> list[QState]:
+    """A reproducible list of benchmark states for one table row.
+
+    The seed stream is derived from ``(seed, num_qubits, sparse)`` so each
+    row of Table V gets an independent, stable sample.
+    """
+    rng = np.random.default_rng((seed, num_qubits, int(sparse)))
+    maker = random_sparse_state if sparse else random_dense_state
+    return [maker(num_qubits, rng, uniform=uniform) for _ in range(count)]

@@ -1,0 +1,250 @@
+"""Extended state families (extension).
+
+Beyond the paper's benchmark families (:mod:`repro.states.families`), these
+are the application states its introduction motivates: entanglement
+resources for communication (Bell pairs, graph/cluster states), metrology
+probes (spin-squeezing inputs), and amplitude encodings of classical
+probability distributions for quantum machine learning and finance — all
+real-amplitude, hence directly preparable by the paper's workflow.
+
+Graph and hypergraph states carry amplitudes ``+-1/sqrt(2**n)``:
+``|G> = prod_{e in E} CZ_e  H^n |0>``, so the amplitude of ``|x>`` is
+``(-1)^{#induced edges of x}/sqrt(2**n)`` — real, as required.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import StateError
+from repro.states.qstate import QState
+from repro.utils.bits import bit_of
+
+__all__ = [
+    "bell_state",
+    "graph_state",
+    "cluster_state_1d",
+    "cluster_state_2d",
+    "hypergraph_state",
+    "distribution_state",
+    "gaussian_state",
+    "binomial_state",
+    "exponential_state",
+    "bitstring_superposition",
+    "domain_wall_state",
+    "unary_encoding_state",
+]
+
+
+def bell_state(kind: int = 0) -> QState:
+    """One of the four Bell states (real-amplitude form).
+
+    ``kind``: 0 = ``(|00>+|11>)/sqrt2``, 1 = ``(|00>-|11>)/sqrt2``,
+    2 = ``(|01>+|10>)/sqrt2``, 3 = ``(|01>-|10>)/sqrt2``.
+    """
+    table = {
+        0: {0b00: 1.0, 0b11: 1.0},
+        1: {0b00: 1.0, 0b11: -1.0},
+        2: {0b01: 1.0, 0b10: 1.0},
+        3: {0b01: 1.0, 0b10: -1.0},
+    }
+    if kind not in table:
+        raise StateError(f"Bell kind must be 0..3, got {kind}")
+    inv = 1.0 / math.sqrt(2.0)
+    return QState(2, {i: a * inv for i, a in table[kind].items()})
+
+
+def graph_state(graph: nx.Graph, num_qubits: int | None = None) -> QState:
+    """The graph state of ``graph`` (nodes must be ``0 .. n-1``).
+
+    Amplitude of ``|x>`` is ``(-1)^{e(x)} / sqrt(2**n)`` where ``e(x)``
+    counts the edges of ``graph`` with both endpoints set in ``x``.
+    """
+    nodes = sorted(graph.nodes())
+    if num_qubits is None:
+        num_qubits = (max(nodes) + 1) if nodes else 1
+    if nodes and (nodes[0] < 0 or nodes[-1] >= num_qubits):
+        raise StateError(
+            f"graph nodes {nodes[0]}..{nodes[-1]} outside register "
+            f"of {num_qubits}")
+    n = num_qubits
+    if n > 20:
+        raise StateError(f"graph state on {n} qubits is too dense to store")
+    edges = [(int(a), int(b)) for a, b in graph.edges()]
+    inv = 1.0 / math.sqrt(float(1 << n))
+    amplitudes: dict[int, float] = {}
+    for index in range(1 << n):
+        parity = 0
+        for a, b in edges:
+            if bit_of(index, a, n) and bit_of(index, b, n):
+                parity ^= 1
+        amplitudes[index] = -inv if parity else inv
+    return QState(n, amplitudes)
+
+
+def cluster_state_1d(num_qubits: int) -> QState:
+    """Linear cluster state (graph state of the path graph)."""
+    if num_qubits < 1:
+        raise StateError("cluster state needs at least one qubit")
+    return graph_state(nx.path_graph(num_qubits), num_qubits)
+
+
+def cluster_state_2d(rows: int, cols: int) -> QState:
+    """2D cluster state (graph state of the grid graph), row-major qubits."""
+    if rows < 1 or cols < 1:
+        raise StateError(f"bad cluster shape {rows}x{cols}")
+    grid = nx.convert_node_labels_to_integers(nx.grid_2d_graph(rows, cols),
+                                              ordering="sorted")
+    return graph_state(grid, rows * cols)
+
+
+def hypergraph_state(num_qubits: int,
+                     hyperedges: Iterable[Sequence[int]]) -> QState:
+    """Hypergraph state: ``C^k Z`` on every hyperedge applied to ``H^n|0>``.
+
+    The amplitude of ``|x>`` flips sign once per hyperedge fully contained
+    in the support of ``x``.
+    """
+    if num_qubits < 1 or num_qubits > 20:
+        raise StateError(f"hypergraph state width {num_qubits} unsupported")
+    edge_list: list[tuple[int, ...]] = []
+    for edge in hyperedges:
+        qubits = tuple(sorted(set(int(q) for q in edge)))
+        if not qubits:
+            raise StateError("empty hyperedge")
+        if qubits[0] < 0 or qubits[-1] >= num_qubits:
+            raise StateError(f"hyperedge {qubits} outside the register")
+        edge_list.append(qubits)
+    n = num_qubits
+    inv = 1.0 / math.sqrt(float(1 << n))
+    amplitudes: dict[int, float] = {}
+    for index in range(1 << n):
+        parity = 0
+        for qubits in edge_list:
+            if all(bit_of(index, q, n) for q in qubits):
+                parity ^= 1
+        amplitudes[index] = -inv if parity else inv
+    return QState(n, amplitudes)
+
+
+def distribution_state(weights: Sequence[float],
+                       num_qubits: int | None = None) -> QState:
+    """Amplitude encoding ``sum_x sqrt(p_x) |x>`` of a distribution.
+
+    ``weights`` are unnormalized non-negative probabilities over basis
+    indices ``0 .. len-1``; zero entries are dropped (keeping the state
+    sparse).  This is the QML/finance loading workload the paper's
+    introduction cites as a QSP application.
+    """
+    weights = list(weights)
+    if not weights:
+        raise StateError("empty weight vector")
+    if any(w < 0 for w in weights):
+        raise StateError("negative probability weight")
+    total = float(sum(weights))
+    if total <= 0:
+        raise StateError("weights sum to zero")
+    if num_qubits is None:
+        num_qubits = max(1, (len(weights) - 1).bit_length())
+    if len(weights) > (1 << num_qubits):
+        raise StateError(
+            f"{len(weights)} weights exceed 2**{num_qubits} basis states")
+    amplitudes = {i: math.sqrt(w / total)
+                  for i, w in enumerate(weights) if w > 0}
+    return QState(num_qubits, amplitudes)
+
+
+def gaussian_state(num_qubits: int, mean: float | None = None,
+                   std: float | None = None) -> QState:
+    """Discretized Gaussian amplitude encoding on ``2**n`` grid points."""
+    size = 1 << num_qubits
+    mean = (size - 1) / 2.0 if mean is None else mean
+    std = size / 6.0 if std is None else std
+    if std <= 0:
+        raise StateError("std must be positive")
+    xs = np.arange(size, dtype=np.float64)
+    weights = np.exp(-0.5 * ((xs - mean) / std) ** 2)
+    return distribution_state(list(weights), num_qubits)
+
+
+def binomial_state(num_qubits: int, probability: float = 0.5) -> QState:
+    """Binomial(B(2**n - 1, p)) amplitude encoding — the lattice random
+    walk used in option-pricing QSP demos."""
+    if not 0.0 < probability < 1.0:
+        raise StateError("binomial probability must lie in (0, 1)")
+    size = 1 << num_qubits
+    trials = size - 1
+    log_p = math.log(probability)
+    log_q = math.log(1.0 - probability)
+    weights = [math.exp(math.lgamma(trials + 1) - math.lgamma(k + 1)
+                        - math.lgamma(trials - k + 1)
+                        + k * log_p + (trials - k) * log_q)
+               for k in range(size)]
+    return distribution_state(weights, num_qubits)
+
+
+def exponential_state(num_qubits: int, rate: float = 1.0) -> QState:
+    """Exponential-decay amplitude encoding ``p_x ~ exp(-rate * x / 2**n)``."""
+    if rate <= 0:
+        raise StateError("rate must be positive")
+    size = 1 << num_qubits
+    weights = [math.exp(-rate * x / size) for x in range(size)]
+    return distribution_state(weights, num_qubits)
+
+
+def bitstring_superposition(bitstrings: Iterable[str],
+                            amplitudes: Iterable[float] | None = None
+                            ) -> QState:
+    """State over explicit bitstrings, e.g. ``['000', '011', '101']``.
+
+    Uniform when ``amplitudes`` is omitted; otherwise paired with the
+    (unnormalized, possibly signed) amplitudes.
+    """
+    bits = list(bitstrings)
+    if not bits:
+        raise StateError("no bitstrings given")
+    width = len(bits[0])
+    if any(len(b) != width or any(c not in "01" for c in b) for b in bits):
+        raise StateError("bitstrings must share a width and be binary")
+    indices = [int(b, 2) for b in bits]
+    if len(set(indices)) != len(indices):
+        raise StateError("duplicate bitstring")
+    if amplitudes is None:
+        return QState.uniform(width, indices)
+    amps = list(amplitudes)
+    if len(amps) != len(indices):
+        raise StateError("amplitude count does not match bitstrings")
+    return QState(width, dict(zip(indices, amps)))
+
+
+def domain_wall_state(num_qubits: int) -> QState:
+    """Uniform superposition of all ``0^a 1^b`` domain-wall strings
+    (``n + 1`` of them) — a sparse family with long-range structure."""
+    if num_qubits < 1:
+        raise StateError("need at least one qubit")
+    indices = [(1 << k) - 1 for k in range(num_qubits + 1)]
+    return QState.uniform(num_qubits, indices)
+
+
+def unary_encoding_state(values: Sequence[float]) -> QState:
+    """Unary (one-hot) amplitude encoding: ``sum_i c_i |e_i>`` with
+    ``e_i`` the one-hot string with qubit ``i`` set — the W-state-like
+    encoding used by variational finance circuits."""
+    values = [float(v) for v in values]
+    if not values:
+        raise StateError("empty value vector")
+    norm = math.sqrt(sum(v * v for v in values))
+    if norm <= 0:
+        raise StateError("all-zero value vector")
+    n = len(values)
+    amplitudes = {1 << (n - 1 - i): v / norm
+                  for i, v in enumerate(values) if v != 0.0}
+    return QState(n, amplitudes)
+
+
+def _apply_map(fn: Callable[[int], float], size: int) -> list[float]:
+    return [fn(i) for i in range(size)]

@@ -1,0 +1,40 @@
+"""Shared utilities (bit manipulation, table rendering, timing)."""
+
+from repro.utils.bits import (
+    bit_mask,
+    bit_of,
+    bitstring_to_index,
+    changed_bit,
+    flip_bit,
+    gray_code,
+    gray_code_sequence,
+    hamming_distance,
+    index_to_bitstring,
+    indices_with_weight,
+    iter_indices,
+    permute_index,
+    popcount,
+    set_bit,
+)
+from repro.utils.tables import format_table, geometric_mean
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "bit_mask",
+    "bit_of",
+    "bitstring_to_index",
+    "changed_bit",
+    "flip_bit",
+    "gray_code",
+    "gray_code_sequence",
+    "hamming_distance",
+    "index_to_bitstring",
+    "indices_with_weight",
+    "iter_indices",
+    "permute_index",
+    "popcount",
+    "set_bit",
+    "format_table",
+    "geometric_mean",
+    "Stopwatch",
+]

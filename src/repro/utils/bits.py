@@ -1,0 +1,150 @@
+"""Bit-twiddling helpers shared across the library.
+
+Basis-state indices are plain Python integers.  Following the paper's
+``|q1 q2 ... qn>`` notation, **qubit 0 is the most significant bit** of the
+index: for a 3-qubit system the basis state ``|011>`` (``q1 = 0``, ``q2 = 1``,
+``q3 = 1``) is the integer ``0b011 = 3``.
+
+All helpers take ``num_qubits`` explicitly, since the integer alone does not
+carry the register width.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit_of",
+    "set_bit",
+    "flip_bit",
+    "bit_mask",
+    "popcount",
+    "hamming_distance",
+    "index_to_bitstring",
+    "bitstring_to_index",
+    "iter_indices",
+    "indices_with_weight",
+    "permute_index",
+    "gray_code",
+    "gray_code_sequence",
+    "changed_bit",
+]
+
+
+def bit_mask(qubit: int, num_qubits: int) -> int:
+    """Return the single-bit mask that selects ``qubit`` (MSB-first).
+
+    >>> bit_mask(0, 3)
+    4
+    >>> bit_mask(2, 3)
+    1
+    """
+    if not 0 <= qubit < num_qubits:
+        raise ValueError(f"qubit {qubit} out of range for {num_qubits} qubits")
+    return 1 << (num_qubits - 1 - qubit)
+
+
+def bit_of(index: int, qubit: int, num_qubits: int) -> int:
+    """Return the value (0 or 1) of ``qubit`` in basis ``index``.
+
+    >>> bit_of(0b011, 0, 3), bit_of(0b011, 1, 3), bit_of(0b011, 2, 3)
+    (0, 1, 1)
+    """
+    return (index >> (num_qubits - 1 - qubit)) & 1
+
+
+def set_bit(index: int, qubit: int, num_qubits: int, value: int) -> int:
+    """Return ``index`` with ``qubit`` forced to ``value``."""
+    mask = bit_mask(qubit, num_qubits)
+    if value:
+        return index | mask
+    return index & ~mask
+
+
+def flip_bit(index: int, qubit: int, num_qubits: int) -> int:
+    """Return ``index`` with ``qubit`` flipped."""
+    return index ^ bit_mask(qubit, num_qubits)
+
+
+def popcount(index: int) -> int:
+    """Number of 1 bits in ``index`` (the Hamming weight)."""
+    return bin(index).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions where ``a`` and ``b`` differ."""
+    return popcount(a ^ b)
+
+
+def index_to_bitstring(index: int, num_qubits: int) -> str:
+    """Render ``index`` as an MSB-first bitstring of width ``num_qubits``.
+
+    >>> index_to_bitstring(3, 3)
+    '011'
+    """
+    if index < 0 or index >= (1 << num_qubits):
+        raise ValueError(f"index {index} out of range for {num_qubits} qubits")
+    return format(index, f"0{num_qubits}b")
+
+
+def bitstring_to_index(bits: str) -> int:
+    """Parse an MSB-first bitstring into an index.
+
+    >>> bitstring_to_index('011')
+    3
+    """
+    if not bits or any(c not in "01" for c in bits):
+        raise ValueError(f"not a bitstring: {bits!r}")
+    return int(bits, 2)
+
+
+def iter_indices(num_qubits: int) -> Iterator[int]:
+    """Iterate all ``2**num_qubits`` basis indices in ascending order."""
+    return iter(range(1 << num_qubits))
+
+
+def indices_with_weight(num_qubits: int, weight: int) -> list[int]:
+    """All basis indices of ``num_qubits`` bits with Hamming weight ``weight``.
+
+    Enumerated in ascending numeric order.  Used to build Dicke states.
+    """
+    if weight < 0 or weight > num_qubits:
+        return []
+    return [i for i in range(1 << num_qubits) if popcount(i) == weight]
+
+
+def permute_index(index: int, perm: Iterable[int], num_qubits: int) -> int:
+    """Apply a qubit permutation to a basis index.
+
+    ``perm[i] = j`` means that qubit ``i`` of the output takes the value of
+    qubit ``j`` of the input.
+
+    >>> permute_index(0b100, [2, 0, 1], 3)
+    2
+    """
+    out = 0
+    for i, j in enumerate(perm):
+        if bit_of(index, j, num_qubits):
+            out |= bit_mask(i, num_qubits)
+    return out
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th element of the binary reflected Gray code."""
+    return i ^ (i >> 1)
+
+
+def gray_code_sequence(num_bits: int) -> list[int]:
+    """The full Gray-code ordering of ``2**num_bits`` values."""
+    return [gray_code(i) for i in range(1 << num_bits)]
+
+
+def changed_bit(a: int, b: int) -> int:
+    """Position (0 = LSB) of the single bit where ``a`` and ``b`` differ.
+
+    Raises :class:`ValueError` if they differ in zero or more than one bit.
+    """
+    diff = a ^ b
+    if diff == 0 or diff & (diff - 1):
+        raise ValueError(f"{a} and {b} do not differ in exactly one bit")
+    return diff.bit_length() - 1

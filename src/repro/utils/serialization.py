@@ -1,0 +1,122 @@
+"""JSON serialization for states, circuits, and synthesis results.
+
+A release-quality artifact: benchmark outputs and synthesized circuits can
+be persisted and reloaded without OpenQASM's angle round-off ambiguity
+(angles are stored as exact binary floats via ``repr``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import (
+    CRYGate,
+    CRZGate,
+    CXGate,
+    Gate,
+    MCRYGate,
+    MCXGate,
+    RYGate,
+    RZGate,
+    XGate,
+)
+from repro.exceptions import ReproError
+from repro.states.qstate import QState
+
+__all__ = [
+    "state_to_dict",
+    "state_from_dict",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "dumps",
+    "loads",
+]
+
+_GATE_TYPES: dict[str, type[Gate]] = {
+    "x": XGate, "ry": RYGate, "rz": RZGate, "cx": CXGate, "cry": CRYGate,
+    "crz": CRZGate, "mcry": MCRYGate, "mcx": MCXGate,
+}
+
+
+def state_to_dict(state: QState) -> dict[str, Any]:
+    """Portable representation of a sparse state."""
+    return {
+        "kind": "qstate",
+        "num_qubits": state.num_qubits,
+        "amplitudes": {str(idx): amp for idx, amp in state.items()},
+    }
+
+
+def state_from_dict(data: dict[str, Any]) -> QState:
+    """Inverse of :func:`state_to_dict`."""
+    if data.get("kind") != "qstate":
+        raise ReproError(f"not a serialized state: {data.get('kind')!r}")
+    amps = {int(idx): float(amp)
+            for idx, amp in data["amplitudes"].items()}
+    return QState(int(data["num_qubits"]), amps)
+
+
+def _gate_to_dict(gate: Gate) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "name": gate.name,
+        "target": gate.target,
+        "controls": [list(c) for c in gate.controls],
+    }
+    theta = getattr(gate, "theta", None)
+    if theta is not None:
+        out["theta"] = theta
+    return out
+
+
+def _gate_from_dict(data: dict[str, Any]) -> Gate:
+    cls = _GATE_TYPES.get(data["name"])
+    if cls is None:
+        raise ReproError(f"unknown gate name {data['name']!r}")
+    kwargs: dict[str, Any] = {
+        "target": int(data["target"]),
+        "controls": tuple((int(q), int(p)) for q, p in data["controls"]),
+    }
+    if "theta" in data:
+        kwargs["theta"] = float(data["theta"])
+    return cls(**kwargs)
+
+
+def circuit_to_dict(circuit: QCircuit) -> dict[str, Any]:
+    """Portable representation of a circuit (lossless angles)."""
+    return {
+        "kind": "qcircuit",
+        "num_qubits": circuit.num_qubits,
+        "gates": [_gate_to_dict(g) for g in circuit],
+    }
+
+
+def circuit_from_dict(data: dict[str, Any]) -> QCircuit:
+    """Inverse of :func:`circuit_to_dict`."""
+    if data.get("kind") != "qcircuit":
+        raise ReproError(f"not a serialized circuit: {data.get('kind')!r}")
+    circuit = QCircuit(int(data["num_qubits"]))
+    for gate_data in data["gates"]:
+        circuit.append(_gate_from_dict(gate_data))
+    return circuit
+
+
+def dumps(obj: QState | QCircuit, indent: int | None = None) -> str:
+    """Serialize a state or circuit to a JSON string."""
+    if isinstance(obj, QState):
+        return json.dumps(state_to_dict(obj), indent=indent)
+    if isinstance(obj, QCircuit):
+        return json.dumps(circuit_to_dict(obj), indent=indent)
+    raise ReproError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str) -> QState | QCircuit:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "qstate":
+        return state_from_dict(data)
+    if kind == "qcircuit":
+        return circuit_from_dict(data)
+    raise ReproError(f"unknown serialized kind {kind!r}")

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows as the paper's tables; this module keeps
+the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "geometric_mean", "improvement_percent"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table.
+
+    >>> print(format_table(["n", "cost"], [[3, 4], [4, 7]]))
+      n  cost
+      -  ----
+      3  4
+      4  7
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join("  " + line for line in lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, as used in the paper's summary rows.
+
+    Zero or negative entries are invalid (CNOT counts are positive); zero
+    counts are clamped to 1 so that an optimal-free circuit does not zero
+    the whole mean.
+    """
+    vals = [max(float(v), 1.0) for v in values]
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def improvement_percent(baseline: float, ours: float) -> float:
+    """Paper-style improvement: positive when ``ours`` uses fewer CNOTs."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - ours) / baseline

@@ -1,0 +1,40 @@
+"""Small timing helper used by the search budgets and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Monotonic stopwatch with an optional deadline.
+
+    >>> sw = Stopwatch(limit_seconds=10.0)
+    >>> sw.elapsed() >= 0.0
+    True
+    >>> sw.expired()
+    False
+    """
+
+    def __init__(self, limit_seconds: float | None = None):
+        self._start = time.monotonic()
+        self.limit_seconds = limit_seconds
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.monotonic() - self._start
+
+    def expired(self) -> bool:
+        """True when a limit was set and has been exceeded."""
+        return self.limit_seconds is not None and self.elapsed() > self.limit_seconds
+
+    def remaining(self) -> float | None:
+        """Seconds left before the deadline, or ``None`` without a limit."""
+        if self.limit_seconds is None:
+            return None
+        return max(0.0, self.limit_seconds - self.elapsed())
+
+    def restart(self) -> None:
+        """Reset the start time, keeping the limit."""
+        self._start = time.monotonic()

@@ -1,0 +1,33 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single profile keeps property tests fast by default; set
+# REPRO_HYPOTHESIS_EXAMPLES to dig deeper locally.
+settings.register_profile(
+    "repro",
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "40")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that sample."""
+    return np.random.default_rng(20240611)
+
+
+@pytest.fixture
+def small_search_config():
+    """A* budget small enough for unit tests."""
+    from repro.core.astar import SearchConfig
+
+    return SearchConfig(max_nodes=20_000, time_limit=15.0)

@@ -1,0 +1,102 @@
+"""Unit tests for entanglement analysis (heuristic substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.states.analysis import (
+    entangled_qubits,
+    entanglement_lower_bound,
+    mutual_information,
+    mutual_information_matrix,
+    num_entangled_qubits,
+    pair_distribution,
+    qubit_marginal,
+    qubit_separable,
+    schmidt_rank,
+    separable_qubits,
+)
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestSeparability:
+    def test_ground_fully_separable(self):
+        g = QState.ground(4)
+        assert separable_qubits(g) == [0, 1, 2, 3]
+        assert num_entangled_qubits(g) == 0
+
+    def test_ghz_fully_entangled(self):
+        s = ghz_state(3)
+        assert entangled_qubits(s) == [0, 1, 2]
+
+    def test_product_of_bell_pairs(self):
+        # (|00>+|11>)/sqrt2 (x) |0>: qubit 2 separable, 0/1 entangled.
+        s = QState.uniform(3, [0b000, 0b110])
+        assert qubit_separable(s, 2)
+        assert not qubit_separable(s, 0)
+        assert not qubit_separable(s, 1)
+
+    def test_plus_state_separable(self):
+        s = QState.uniform(2, [0b00, 0b01])  # |0> (x) |+>
+        assert separable_qubits(s) == [0, 1]
+
+    def test_proportional_cofactors_with_signs(self):
+        # q0 cofactors proportional with ratio -1: still separable.
+        s = QState(2, {0b00: 0.5, 0b01: 0.5, 0b10: -0.5, 0b11: -0.5},
+                   normalize=False)
+        assert qubit_separable(s, 0)
+
+    def test_w_state_entangled(self):
+        assert num_entangled_qubits(w_state(4)) == 4
+
+
+class TestLowerBound:
+    def test_ghz4_paper_example(self):
+        # Paper Sec. V-A: 4 entangled qubits -> bound 2 (true optimum 3).
+        assert entanglement_lower_bound(ghz_state(4)) == 2
+
+    def test_ground_zero(self):
+        assert entanglement_lower_bound(QState.ground(5)) == 0
+
+    def test_odd_count_rounds_up(self):
+        assert entanglement_lower_bound(ghz_state(3)) == 2
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 2)])
+    def test_dicke_bound_positive(self, n, k):
+        assert entanglement_lower_bound(dicke_state(n, k)) == (n + 1) // 2
+
+
+class TestMutualInformation:
+    def test_marginal(self):
+        p0, p1 = qubit_marginal(ghz_state(2), 0)
+        assert abs(p0 - 0.5) < 1e-12 and abs(p1 - 0.5) < 1e-12
+
+    def test_pair_distribution_sums_to_one(self):
+        dist = pair_distribution(w_state(3), 0, 1)
+        assert abs(dist.sum() - 1.0) < 1e-12
+
+    def test_ghz_pair_mi_is_one_bit(self):
+        assert abs(mutual_information(ghz_state(3), 0, 1) - 1.0) < 1e-9
+
+    def test_product_pair_mi_zero(self):
+        s = QState.uniform(2, [0b00, 0b01])
+        assert mutual_information(s, 0, 1) < 1e-9
+
+    def test_matrix_symmetric(self):
+        mi = mutual_information_matrix(w_state(4))
+        assert np.allclose(mi, mi.T)
+        assert np.allclose(np.diag(mi), 0.0)
+
+
+class TestSchmidtRank:
+    def test_product_rank_one(self):
+        s = QState.uniform(3, [0b000, 0b001])
+        assert schmidt_rank(s, [0]) == 1
+
+    def test_ghz_rank_two(self):
+        assert schmidt_rank(ghz_state(4), [0, 1]) == 2
+
+    def test_w_rank_two(self):
+        assert schmidt_rank(w_state(4), [0]) == 2

@@ -1,0 +1,205 @@
+"""Unit tests for repro.arch.placement and repro.arch.flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.flow import (
+    expected_physical_vector,
+    prepare_on_device,
+    routed_prepares,
+)
+from repro.arch.placement import (
+    annealed_placement,
+    greedy_placement,
+    interaction_graph,
+    placement_cost,
+    trivial_placement,
+    validate_placement,
+)
+from repro.arch.router import route_circuit
+from repro.arch.topologies import CouplingMap
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestInteractionGraph:
+    def test_counts_decomposed_cnots(self):
+        qc = QCircuit(3).cx(0, 1).cx(0, 1).cx(1, 2)
+        weights = interaction_graph(qc)
+        assert weights[0, 1] == 2
+        assert weights[1, 0] == 2
+        assert weights[1, 2] == 1
+        assert weights[0, 2] == 0
+
+    def test_cry_contributes_two(self):
+        qc = QCircuit(2).cry(0, 1, 0.7)
+        weights = interaction_graph(qc)
+        assert weights[0, 1] == 2
+
+    def test_single_qubit_gates_ignored(self):
+        qc = QCircuit(2).ry(0, 0.5).x(1)
+        assert interaction_graph(qc).sum() == 0
+
+
+class TestPlacements:
+    def test_trivial_identity(self):
+        assert trivial_placement(3, CouplingMap.line(5)) == [0, 1, 2]
+
+    def test_trivial_too_many_qubits(self):
+        with pytest.raises(CircuitError):
+            trivial_placement(4, CouplingMap.line(3))
+
+    def test_validate_rejects_duplicates(self):
+        with pytest.raises(CircuitError):
+            validate_placement([0, 0], 2, CouplingMap.line(3))
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(CircuitError):
+            validate_placement([0, 9], 2, CouplingMap.line(3))
+
+    def test_greedy_puts_hot_pair_adjacent(self):
+        # qubits 0 and 2 interact heavily; a good line placement makes
+        # them adjacent even though their labels are 2 apart
+        qc = QCircuit(3)
+        for _ in range(5):
+            qc.cx(0, 2)
+        qc.cx(0, 1)
+        cmap = CouplingMap.line(3)
+        placement = greedy_placement(qc, cmap)
+        validate_placement(placement, 3, cmap)
+        assert cmap.distance(placement[0], placement[2]) == 1
+
+    def test_greedy_on_star_uses_hub_for_hot_qubit(self):
+        qc = QCircuit(4).cx(0, 1).cx(0, 2).cx(0, 3)
+        placement = greedy_placement(qc, CouplingMap.star(4))
+        assert placement[0] == 0  # the hub
+
+    def test_greedy_handles_no_interactions(self):
+        qc = QCircuit(3).ry(0, 0.5)
+        placement = greedy_placement(qc, CouplingMap.line(4))
+        validate_placement(placement, 3, CouplingMap.line(4))
+
+    def test_annealed_never_worse_than_start(self):
+        qc = QCircuit(4).cx(0, 3).cx(0, 3).cx(1, 2)
+        cmap = CouplingMap.line(4)
+        weights = interaction_graph(qc)
+        start = trivial_placement(4, cmap)
+        annealed = annealed_placement(qc, cmap, iterations=500, seed=1,
+                                      start=start)
+        assert placement_cost(weights, annealed, cmap) <= \
+            placement_cost(weights, start, cmap)
+
+    def test_annealed_deterministic_per_seed(self):
+        qc = QCircuit(4).cx(0, 3).cx(1, 2).cx(0, 2)
+        cmap = CouplingMap.grid(2, 2)
+        a = annealed_placement(qc, cmap, iterations=300, seed=7)
+        b = annealed_placement(qc, cmap, iterations=300, seed=7)
+        assert a == b
+
+    def test_annealed_uses_spare_physical_qubits(self):
+        qc = QCircuit(2)
+        for _ in range(4):
+            qc.cx(0, 1)
+        cmap = CouplingMap.line(5)
+        placement = annealed_placement(qc, cmap, iterations=400, seed=3)
+        validate_placement(placement, 2, cmap)
+        assert cmap.distance(placement[0], placement[1]) == 1
+
+    def test_placement_cost_zero_when_all_adjacent(self):
+        qc = QCircuit(2).cx(0, 1)
+        weights = interaction_graph(qc)
+        assert placement_cost(weights, [0, 1], CouplingMap.line(2)) == 1.0
+
+
+class TestExpectedPhysicalVector:
+    def test_identity_layout(self):
+        state = QState.uniform(2, [0b00, 0b11])
+        vec = expected_physical_vector(state, [0, 1], 2)
+        assert vec[0b00] == pytest.approx(state.amplitude(0b00))
+        assert vec[0b11] == pytest.approx(state.amplitude(0b11))
+
+    def test_wider_register_padding(self):
+        state = QState.basis(1, 1)  # |1>
+        vec = expected_physical_vector(state, [2], 3)
+        # logical qubit 0 on physical wire 2 (LSB under MSB-first convention)
+        assert vec[0b001] == pytest.approx(1.0)
+
+    def test_swapped_layout(self):
+        state = QState.from_bitstring_weights({"10": 1.0})
+        vec = expected_physical_vector(state, [1, 0], 2)
+        assert vec[0b01] == pytest.approx(1.0)
+
+    def test_layout_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            expected_physical_vector(QState.basis(2, 0), [0], 2)
+
+
+class TestPrepareOnDevice:
+    def test_ghz_on_line(self):
+        result = prepare_on_device(ghz_state(4), CouplingMap.line(4))
+        assert result.verified is True
+        assert result.physical_cnots >= result.logical_cnots
+
+    def test_w_state_on_ring(self):
+        result = prepare_on_device(w_state(4), CouplingMap.ring(4))
+        assert result.verified is True
+
+    def test_dicke_on_grid(self):
+        result = prepare_on_device(dicke_state(4, 2), CouplingMap.grid(2, 2))
+        assert result.verified is True
+
+    def test_full_map_no_overhead(self):
+        result = prepare_on_device(ghz_state(3), CouplingMap.full(3))
+        assert result.overhead_cnots == 0
+
+    def test_placement_strategies_all_verify(self):
+        state = w_state(4)
+        cmap = CouplingMap.line(5)
+        for strategy in ("trivial", "greedy", "annealed"):
+            result = prepare_on_device(state, cmap, placement=strategy)
+            assert result.verified is True, strategy
+            assert result.placement_strategy == strategy
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CircuitError):
+            prepare_on_device(ghz_state(3), CouplingMap.line(3),
+                              placement="magic")
+
+    def test_state_too_wide_rejected(self):
+        with pytest.raises(CircuitError):
+            prepare_on_device(ghz_state(4), CouplingMap.line(3))
+
+    def test_disconnected_map_rejected(self):
+        cmap = CouplingMap([(0, 1)], size=4)
+        with pytest.raises(CircuitError):
+            prepare_on_device(ghz_state(3), cmap)
+
+    def test_routed_prepares_detects_wrong_state(self):
+        state = ghz_state(3)
+        result = prepare_on_device(state, CouplingMap.line(3))
+        assert routed_prepares(result.routed, state)
+        assert not routed_prepares(result.routed, w_state(3))
+
+    def test_line_overhead_is_reasonable(self):
+        # GHZ on a line is still a CNOT chain: good placement should keep
+        # the routed count close to the logical count.
+        result = prepare_on_device(ghz_state(5), CouplingMap.line(5),
+                                   placement="greedy")
+        # each of the <= n-1 long-range CNOTs needs at most one SWAP chain
+        # across the 5-qubit line (4 swaps = 12 CX) in the worst case
+        assert result.physical_cnots <= 4 * result.logical_cnots
+
+
+def test_routed_cost_dominates_logical_cost_random():
+    rng = np.random.default_rng(11)
+    from repro.states.random_states import random_sparse_state
+
+    for seed in range(3):
+        state = random_sparse_state(4, seed=int(rng.integers(1 << 30)))
+        result = prepare_on_device(state, CouplingMap.line(4))
+        assert result.verified is True
+        assert result.physical_cnots >= result.logical_cnots

@@ -1,0 +1,234 @@
+"""Unit and property tests for repro.arch.router / swap_network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.router import (
+    restore_layout,
+    route_circuit,
+    swap_gates,
+)
+from repro.arch.swap_network import (
+    apply_swap_sequence,
+    permutation_swaps,
+    swap_sequence_cost,
+)
+from repro.arch.topologies import CouplingMap
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.sim.statevector import simulate_circuit
+
+
+def _all_cx_coupled(circuit: QCircuit, cmap: CouplingMap) -> bool:
+    return all(cmap.is_adjacent(g.controls[0][0], g.target)
+               for g in circuit if g.name == "cx")
+
+
+def _permuted_vector(vec: np.ndarray, layout: list[int],
+                     n_logical: int, n_physical: int) -> np.ndarray:
+    """Expected physical vector given a logical vector and final layout."""
+    from repro.arch.flow import expected_physical_vector
+    from repro.states.qstate import QState
+
+    state = QState.from_vector(np.real_if_close(vec))
+    return expected_physical_vector(state, layout, n_physical)
+
+
+class TestSwapGates:
+    def test_three_cnots(self):
+        gates = swap_gates(0, 1)
+        assert len(gates) == 3
+        assert all(g.name == "cx" for g in gates)
+
+    def test_swap_action(self):
+        qc = QCircuit(2).x(0)
+        qc.extend(swap_gates(0, 1))
+        vec = simulate_circuit(qc)
+        # |10> swapped to |01>
+        assert vec[0b01] == pytest.approx(1.0)
+
+
+class TestRouteCircuit:
+    def test_already_routable_is_unchanged_cost(self):
+        qc = QCircuit(3).ry(0, 0.5).cx(0, 1).cx(1, 2)
+        routed = route_circuit(qc, CouplingMap.line(3))
+        assert routed.swap_count == 0
+        assert routed.cnot_cost == 2
+        assert routed.final_layout == routed.initial_layout
+
+    def test_distant_cx_needs_swaps(self):
+        qc = QCircuit(4).cx(0, 3)
+        routed = route_circuit(qc, CouplingMap.line(4))
+        assert routed.swap_count >= 1
+        assert _all_cx_coupled(routed.circuit, CouplingMap.line(4))
+
+    def test_routed_state_matches_up_to_layout(self):
+        qc = QCircuit(4).ry(0, 1.1).cx(0, 3).ry(3, 0.7).cx(3, 1)
+        cmap = CouplingMap.line(4)
+        routed = route_circuit(qc, cmap)
+        logical_vec = simulate_circuit(qc)
+        physical_vec = simulate_circuit(routed.circuit)
+        expected = _permuted_vector(logical_vec, routed.final_layout, 4,
+                                    routed.circuit.num_qubits)
+        assert np.allclose(physical_vec, expected, atol=1e-9)
+
+    def test_custom_placement_respected(self):
+        qc = QCircuit(2).cx(0, 1)
+        cmap = CouplingMap.line(4)
+        routed = route_circuit(qc, cmap, placement=[3, 2])
+        assert routed.initial_layout == [3, 2]
+        assert _all_cx_coupled(routed.circuit, cmap)
+
+    def test_rejects_multicontrol_gate(self):
+        qc = QCircuit(3).mcry([(0, 1), (1, 1)], 2, 0.4)
+        with pytest.raises(CircuitError):
+            route_circuit(qc, CouplingMap.line(3))
+
+    def test_rejects_bad_placement(self):
+        qc = QCircuit(2).cx(0, 1)
+        with pytest.raises(CircuitError):
+            route_circuit(qc, CouplingMap.line(3), placement=[0, 0])
+
+    def test_full_map_never_swaps(self):
+        qc = QCircuit(4).cx(0, 3).cx(1, 2).cx(0, 2)
+        routed = route_circuit(qc, CouplingMap.full(4))
+        assert routed.swap_count == 0
+
+    def test_single_qubit_gates_pass_through(self):
+        qc = QCircuit(3).ry(1, 0.3).x(2).rz(0, 0.2)
+        routed = route_circuit(qc, CouplingMap.line(3))
+        assert routed.swap_count == 0
+        assert len(routed.circuit) == 3
+
+    def test_overhead_reported(self):
+        qc = QCircuit(4).cx(0, 3)
+        routed = route_circuit(qc, CouplingMap.line(4))
+        assert routed.overhead(qc) == routed.cnot_cost - 1
+
+    def test_star_topology_routing(self):
+        # leaf-to-leaf CX must route through the hub
+        qc = QCircuit(4).cx(1, 3)
+        cmap = CouplingMap.star(4)
+        routed = route_circuit(qc, cmap)
+        assert _all_cx_coupled(routed.circuit, cmap)
+        logical_vec = simulate_circuit(qc)
+        physical_vec = simulate_circuit(routed.circuit)
+        expected = _permuted_vector(logical_vec, routed.final_layout, 4, 4)
+        assert np.allclose(physical_vec, expected, atol=1e-9)
+
+
+class TestRestoreLayout:
+    def test_restores_initial_positions(self):
+        qc = QCircuit(4).cx(0, 3).cx(1, 3)
+        routed = route_circuit(qc, CouplingMap.line(4))
+        restored = restore_layout(routed)
+        assert restored.final_layout == restored.initial_layout
+
+    def test_restored_state_equals_embedded_logical(self):
+        qc = QCircuit(3).ry(0, 0.9).cx(0, 2)
+        routed = route_circuit(qc, CouplingMap.line(3))
+        restored = restore_layout(routed)
+        vec = simulate_circuit(restored.circuit)
+        expected = simulate_circuit(qc)
+        assert np.allclose(vec, expected, atol=1e-9)
+
+    def test_noop_when_layout_unchanged(self):
+        qc = QCircuit(2).cx(0, 1)
+        routed = route_circuit(qc, CouplingMap.line(2))
+        restored = restore_layout(routed)
+        assert restored.swap_count == routed.swap_count
+
+
+class TestPermutationSwaps:
+    def test_identity_needs_nothing(self):
+        assert permutation_swaps(CouplingMap.line(4), {}) == []
+
+    def test_adjacent_transposition(self):
+        swaps = permutation_swaps(CouplingMap.line(3), {0: 1, 1: 0})
+        assert swaps == [(0, 1)]
+
+    def test_full_reversal_on_line(self):
+        cmap = CouplingMap.line(4)
+        dest = {0: 3, 1: 2, 2: 1, 3: 0}
+        swaps = permutation_swaps(cmap, dest)
+        final = apply_swap_sequence({q: q for q in range(4)}, swaps)
+        # token starting at src must end at dst: positions map phys->token
+        for src, dst in dest.items():
+            assert final[dst] == src
+
+    def test_swaps_respect_edges(self):
+        cmap = CouplingMap.ring(5)
+        swaps = permutation_swaps(cmap, {0: 2, 2: 4, 4: 0})
+        for a, b in swaps:
+            assert cmap.is_adjacent(a, b)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(CircuitError):
+            permutation_swaps(CouplingMap.line(3), {0: 1})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(CircuitError):
+            permutation_swaps(CouplingMap.line(3), {0: 5, 5: 0})
+
+    def test_cost_is_three_per_swap(self):
+        assert swap_sequence_cost([(0, 1), (1, 2)]) == 6
+
+
+@given(st.permutations(list(range(5))))
+@settings(max_examples=30, deadline=None)
+def test_token_swapping_realizes_any_permutation_on_line(perm):
+    cmap = CouplingMap.line(5)
+    dest = {i: perm[i] for i in range(5)}
+    swaps = permutation_swaps(cmap, dest)
+    final = apply_swap_sequence({q: q for q in range(5)}, swaps)
+    for src, dst in dest.items():
+        assert final[dst] == src
+    # greedy bound: each token walks at most its distance, so the sequence
+    # stays within n^2 swaps
+    assert len(swaps) <= 25
+
+
+@given(st.permutations(list(range(6))))
+@settings(max_examples=20, deadline=None)
+def test_token_swapping_on_grid(perm):
+    cmap = CouplingMap.grid(2, 3)
+    dest = {i: perm[i] for i in range(6)}
+    swaps = permutation_swaps(cmap, dest)
+    for a, b in swaps:
+        assert cmap.is_adjacent(a, b)
+    final = apply_swap_sequence({q: q for q in range(6)}, swaps)
+    for src, dst in dest.items():
+        assert final[dst] == src
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_routing_preserves_semantics_random_circuits(data):
+    """Routing any small random {Ry,CX} circuit onto a line preserves the
+    prepared state up to the final layout permutation."""
+    n = data.draw(st.integers(min_value=2, max_value=4), label="n")
+    qc = QCircuit(n)
+    num_gates = data.draw(st.integers(min_value=1, max_value=8))
+    for _ in range(num_gates):
+        if data.draw(st.booleans()):
+            q = data.draw(st.integers(min_value=0, max_value=n - 1))
+            theta = data.draw(st.floats(min_value=-3.0, max_value=3.0,
+                                        allow_nan=False))
+            qc.ry(q, theta)
+        else:
+            c = data.draw(st.integers(min_value=0, max_value=n - 1))
+            t = data.draw(st.integers(min_value=0, max_value=n - 1))
+            if c == t:
+                continue
+            qc.cx(c, t)
+    cmap = CouplingMap.line(n)
+    routed = route_circuit(qc, cmap)
+    assert _all_cx_coupled(routed.circuit, cmap)
+    logical_vec = simulate_circuit(qc)
+    physical_vec = simulate_circuit(routed.circuit)
+    expected = _permuted_vector(logical_vec, routed.final_layout, n, n)
+    assert np.allclose(physical_vec, expected, atol=1e-8)

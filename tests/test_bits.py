@@ -1,0 +1,147 @@
+"""Unit tests for bit-twiddling helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_mask,
+    bit_of,
+    bitstring_to_index,
+    changed_bit,
+    flip_bit,
+    gray_code,
+    gray_code_sequence,
+    hamming_distance,
+    index_to_bitstring,
+    indices_with_weight,
+    iter_indices,
+    permute_index,
+    popcount,
+    set_bit,
+)
+
+
+class TestBitMask:
+    def test_msb_first_convention(self):
+        assert bit_mask(0, 3) == 0b100
+        assert bit_mask(1, 3) == 0b010
+        assert bit_mask(2, 3) == 0b001
+
+    def test_single_qubit(self):
+        assert bit_mask(0, 1) == 1
+
+    @pytest.mark.parametrize("qubit", [-1, 3, 10])
+    def test_out_of_range(self, qubit):
+        with pytest.raises(ValueError):
+            bit_mask(qubit, 3)
+
+
+class TestBitOps:
+    def test_bit_of_matches_bitstring(self):
+        index = 0b01101
+        for q in range(5):
+            assert bit_of(index, q, 5) == int(index_to_bitstring(index, 5)[q])
+
+    def test_set_bit_idempotent(self):
+        assert set_bit(0b000, 1, 3, 1) == 0b010
+        assert set_bit(0b010, 1, 3, 1) == 0b010
+        assert set_bit(0b010, 1, 3, 0) == 0b000
+
+    def test_flip_bit_involution(self):
+        for idx in range(8):
+            for q in range(3):
+                assert flip_bit(flip_bit(idx, q, 3), q, 3) == idx
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_hamming_distance_symmetric(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+        assert hamming_distance(a, a) == 0
+
+    @given(st.integers(0, 1 << 20))
+    def test_popcount_matches_bin(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestBitstrings:
+    def test_roundtrip(self):
+        for idx in range(16):
+            assert bitstring_to_index(index_to_bitstring(idx, 4)) == idx
+
+    def test_bad_bitstring(self):
+        with pytest.raises(ValueError):
+            bitstring_to_index("01x")
+        with pytest.raises(ValueError):
+            bitstring_to_index("")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bitstring(8, 3)
+
+
+class TestEnumeration:
+    def test_iter_indices(self):
+        assert list(iter_indices(3)) == list(range(8))
+
+    def test_indices_with_weight_counts(self):
+        import math
+        for n in range(1, 7):
+            for k in range(n + 1):
+                assert len(indices_with_weight(n, k)) == math.comb(n, k)
+
+    def test_indices_with_weight_empty(self):
+        assert indices_with_weight(3, 5) == []
+        assert indices_with_weight(3, -1) == []
+
+    def test_weights_correct(self):
+        for idx in indices_with_weight(5, 2):
+            assert popcount(idx) == 2
+
+
+class TestPermutation:
+    def test_identity(self):
+        for idx in range(8):
+            assert permute_index(idx, [0, 1, 2], 3) == idx
+
+    def test_swap(self):
+        # perm[i] = j: output qubit i takes input qubit j.
+        assert permute_index(0b100, [1, 0, 2], 3) == 0b010
+        assert permute_index(0b110, [1, 0, 2], 3) == 0b110
+
+    def test_rotation(self):
+        # output q0 <- input q2 (=0), q1 <- input q0 (=1), q2 <- input q1.
+        assert permute_index(0b100, [2, 0, 1], 3) == 0b010
+
+    @given(st.integers(0, 63), st.permutations(list(range(6))))
+    def test_permutation_preserves_weight(self, idx, perm):
+        assert popcount(permute_index(idx, perm, 6)) == popcount(idx)
+
+    @given(st.integers(0, 63), st.permutations(list(range(6))))
+    def test_permutation_bijective(self, idx, perm):
+        inverse = [perm.index(i) for i in range(6)]
+        assert permute_index(permute_index(idx, perm, 6), inverse, 6) == idx
+
+
+class TestGrayCode:
+    def test_sequence_adjacent_differ_by_one_bit(self):
+        seq = gray_code_sequence(4)
+        assert len(set(seq)) == 16
+        for a, b in zip(seq, seq[1:]):
+            assert popcount(a ^ b) == 1
+        # wrap-around too
+        assert popcount(seq[-1] ^ seq[0]) == 1
+
+    def test_gray_code_values(self):
+        assert [gray_code(i) for i in range(4)] == [0, 1, 3, 2]
+
+    def test_changed_bit(self):
+        assert changed_bit(0b000, 0b100) == 2
+        assert changed_bit(0b011, 0b010) == 0
+
+    def test_changed_bit_rejects_multi(self):
+        with pytest.raises(ValueError):
+            changed_bit(0b00, 0b11)
+        with pytest.raises(ValueError):
+            changed_bit(5, 5)

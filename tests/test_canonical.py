@@ -1,0 +1,151 @@
+"""Unit + property tests for canonicalization (paper Sec. V-B).
+
+The load-bearing property: the canonical key is *invariant* under free
+transformations (X flips, separable-qubit rotations, qubit permutations) —
+this is what makes A* pruning sound — and canonicalization never maps a
+state outside its equivalence class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.canonical import (
+    CanonLevel,
+    canonical_key,
+    canonicalize,
+    pin_separable_qubits,
+    xflip_minimize,
+)
+from repro.states.analysis import num_entangled_qubits, separable_qubits
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+
+
+def _random_state(rng, max_qubits=5, max_card=8):
+    n = int(rng.integers(2, max_qubits + 1))
+    m = int(rng.integers(1, min(max_card, 1 << n) + 1))
+    idx = rng.choice(1 << n, size=m, replace=False)
+    amps = rng.standard_normal(m)
+    return QState(n, {int(i): float(a) for i, a in zip(idx, amps)})
+
+
+class TestPinSeparable:
+    def test_pins_plus_qubit(self):
+        s = QState.uniform(2, [0b00, 0b01])  # |0>|+>
+        pinned = pin_separable_qubits(s)
+        assert pinned.is_ground()
+
+    def test_pins_one_qubit(self):
+        s = QState.basis(3, 0b010)
+        assert pin_separable_qubits(s).is_ground()
+
+    def test_keeps_entangled_core(self):
+        s = ghz_state(3)
+        assert pin_separable_qubits(s) == s
+
+    def test_fixpoint_cascade(self):
+        # |+>(x)Bell: pinning q0 leaves the Bell pair intact.
+        s = QState.uniform(3, [0b000, 0b011, 0b100, 0b111])
+        pinned = pin_separable_qubits(s)
+        assert pinned.index_set == frozenset({0b000, 0b011})
+
+    def test_norm_preserved(self):
+        s = QState(2, {0b00: 0.6, 0b01: 0.8})
+        assert abs(pin_separable_qubits(s).norm() - 1.0) < 1e-9
+
+
+class TestXflipMinimize:
+    def test_idempotent(self):
+        s = QState.uniform(3, [0b101, 0b110])
+        once = xflip_minimize(s)
+        assert xflip_minimize(once) == once
+
+    def test_translation_invariance(self):
+        s = QState.uniform(3, [0b001, 0b010, 0b100])
+        t = s.apply_x(0).apply_x(2)
+        assert xflip_minimize(s) == xflip_minimize(t)
+
+
+class TestCanonicalKey:
+    @given(st.integers(0, 300))
+    def test_invariance_under_flips_and_perms(self, seed):
+        rng = np.random.default_rng(seed)
+        s = _random_state(rng)
+        n = s.num_qubits
+        t = s
+        for q in range(n):
+            if rng.random() < 0.5:
+                t = t.apply_x(q)
+        t = t.permute(list(rng.permutation(n)))
+        assert canonical_key(s, CanonLevel.PU2) == \
+            canonical_key(t, CanonLevel.PU2)
+
+    @given(st.integers(0, 300))
+    def test_u2_invariance_under_flips(self, seed):
+        rng = np.random.default_rng(seed)
+        s = _random_state(rng)
+        t = s
+        for q in range(s.num_qubits):
+            if rng.random() < 0.5:
+                t = t.apply_x(q)
+        assert canonical_key(s, CanonLevel.U2) == \
+            canonical_key(t, CanonLevel.U2)
+
+    def test_u2_not_permutation_invariant(self):
+        # Bell on (0,1) vs Bell on (1,2): same PU2 class, different U2 key.
+        a = QState.uniform(3, [0b000, 0b110])
+        b = QState.uniform(3, [0b000, 0b011])
+        assert canonical_key(a, CanonLevel.U2) != \
+            canonical_key(b, CanonLevel.U2)
+        assert canonical_key(a, CanonLevel.PU2) == \
+            canonical_key(b, CanonLevel.PU2)
+
+    def test_global_sign_invariance(self):
+        s = ghz_state(3)
+        assert canonical_key(s, CanonLevel.U2) == \
+            canonical_key(s.negate(), CanonLevel.U2)
+
+    def test_none_level_is_plain_key(self):
+        s = ghz_state(2)
+        assert canonical_key(s, CanonLevel.NONE) == s.key()
+
+    def test_separable_rotation_invariance(self):
+        # |0>|psi_core> vs |+>|psi_core> share a key (free Ry on q0).
+        core = [0b000, 0b011]
+        a = QState.uniform(3, core)
+        b = QState.uniform(3, core + [0b100, 0b111])  # |+> (x) Bell
+        assert canonical_key(a, CanonLevel.U2) == \
+            canonical_key(b, CanonLevel.U2)
+
+    def test_dicke_permutation_symmetry_fast_path(self):
+        # All qubits of a Dicke state are interchangeable; the key must be
+        # computed without exploding into n! candidates.
+        key1 = canonical_key(dicke_state(6, 2), CanonLevel.PU2)
+        key2 = canonical_key(dicke_state(6, 2).permute([3, 1, 4, 0, 5, 2]),
+                             CanonLevel.PU2)
+        assert key1 == key2
+
+
+class TestCanonicalize:
+    @given(st.integers(0, 200))
+    def test_representative_in_class(self, seed):
+        """canonicalize() must return a truly equivalent state: same number
+        of entangled qubits and same amplitude multiset on the core."""
+        rng = np.random.default_rng(seed)
+        s = _random_state(rng)
+        rep = canonicalize(s, CanonLevel.PU2)
+        assert num_entangled_qubits(rep) == num_entangled_qubits(s)
+
+    def test_idempotent(self):
+        s = w_state(4)
+        rep = canonicalize(s, CanonLevel.PU2)
+        assert canonicalize(rep, CanonLevel.PU2) == rep
+
+    def test_ground_class(self):
+        for s in (QState.ground(3), QState.basis(3, 5),
+                  QState.uniform(3, [0, 1])):
+            assert canonicalize(s, CanonLevel.U2).is_ground()

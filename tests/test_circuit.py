@@ -1,0 +1,127 @@
+"""Unit tests for the circuit container."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CRYGate, CXGate, MCRYGate, RYGate
+from repro.exceptions import CircuitError
+
+
+class TestBuilding:
+    def test_fluent_api(self):
+        qc = QCircuit(3).x(0).ry(1, 0.5).cx(0, 2)
+        assert len(qc) == 3
+        assert [g.name for g in qc] == ["x", "ry", "cx"]
+
+    def test_append_validates_width(self):
+        with pytest.raises(CircuitError):
+            QCircuit(2).cx(0, 2)
+
+    def test_mcry_dispatch(self):
+        qc = QCircuit(4)
+        qc.mcry([], 0, 0.3)
+        qc.mcry([(1, 1)], 0, 0.3)
+        qc.mcry([(1, 1), (2, 0)], 0, 0.3)
+        assert [g.name for g in qc] == ["ry", "cry", "mcry"]
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            QCircuit(2).compose(QCircuit(3))
+
+    def test_compose(self):
+        a = QCircuit(2).x(0)
+        b = QCircuit(2).cx(0, 1)
+        a.compose(b)
+        assert len(a) == 2
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QCircuit(0)
+
+
+class TestAnalysis:
+    def test_cnot_cost_sums_table1(self):
+        qc = QCircuit(4)
+        qc.ry(0, 1.0)                 # 0
+        qc.cx(0, 1)                   # 1
+        qc.cry(0, 1, 0.5)             # 2
+        qc.mcry([(0, 1), (1, 1), (2, 1)], 3, 0.5)  # 8
+        assert qc.cnot_cost() == 11
+
+    def test_count_by_name(self):
+        qc = QCircuit(2).x(0).x(1).cx(0, 1)
+        assert qc.count_by_name() == {"x": 2, "cx": 1}
+
+    def test_depth(self):
+        qc = QCircuit(3).x(0).x(1).cx(0, 1).x(2)
+        assert qc.depth() == 2
+
+    def test_two_qubit_depth_ignores_free_gates(self):
+        qc = QCircuit(2).ry(0, 1.0).ry(1, 1.0).cx(0, 1).ry(0, 0.5)
+        assert qc.two_qubit_depth() == 1
+
+    def test_empty_depth(self):
+        assert QCircuit(3).depth() == 0
+
+
+class TestTransforms:
+    def test_inverse_reverses_and_inverts(self):
+        qc = QCircuit(2).ry(0, 0.7).cx(0, 1)
+        inv = qc.inverse()
+        assert inv[0].name == "cx"
+        assert inv[1].name == "ry"
+        assert inv[1].theta == -0.7
+
+    def test_remap(self):
+        qc = QCircuit(2).cx(0, 1)
+        out = qc.remap({0: 1, 1: 0})
+        assert out[0].control == 1 and out[0].target == 0
+
+    def test_remap_invalid(self):
+        with pytest.raises(CircuitError):
+            QCircuit(2).remap({0: 0, 1: 0})
+
+    def test_embedded(self):
+        qc = QCircuit(2).cx(0, 1)
+        wide = qc.embedded(4, [2, 3])
+        assert wide.num_qubits == 4
+        assert wide[0].control == 2 and wide[0].target == 3
+
+    def test_embedded_narrower_rejected(self):
+        with pytest.raises(CircuitError):
+            QCircuit(3).embedded(2)
+
+    def test_embedded_bad_placement(self):
+        with pytest.raises(CircuitError):
+            QCircuit(2).embedded(4, [1, 1])
+
+
+class TestEquality:
+    def test_eq(self):
+        a = QCircuit(2).cx(0, 1)
+        b = QCircuit(2).cx(0, 1)
+        assert a == b
+
+    def test_neq_gate_order(self):
+        a = QCircuit(2).x(0).x(1)
+        b = QCircuit(2).x(1).x(0)
+        assert a != b
+
+
+class TestDraw:
+    def test_draw_nonempty(self):
+        qc = QCircuit(3).ry(0, math.pi / 2).cx(0, 1).cry(1, 2, 0.3, phase=0)
+        art = qc.draw()
+        assert art.count("\n") == 2
+        assert "RY" in art and "X" in art and "o" in art
+
+    def test_draw_empty(self):
+        assert QCircuit(2).draw().count("\n") == 1
+
+    def test_repr(self):
+        qc = QCircuit(2).cx(0, 1)
+        assert "cnots=1" in repr(qc)

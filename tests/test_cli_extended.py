@@ -1,0 +1,86 @@
+"""Tests for the extended CLI subcommands (route / fidelity / verify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRoute:
+    def test_route_ghz_line(self, capsys):
+        assert main(["route", "--ghz", "4", "--topology", "line"]) == 0
+        out = capsys.readouterr().out
+        assert "device    : line" in out
+        assert "physical" in out
+        assert "verified  : True" in out
+
+    def test_route_full_no_overhead(self, capsys):
+        assert main(["route", "--w", "3", "--topology", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead  : 0 CNOTs" in out
+
+    def test_route_placements(self, capsys):
+        for placement in ("trivial", "greedy", "annealed"):
+            assert main(["route", "--ghz", "3", "--topology", "ring",
+                         "--placement", placement]) == 0
+
+    def test_route_grid(self, capsys):
+        assert main(["route", "--dicke", "4", "2", "--topology",
+                     "grid"]) == 0
+        assert "grid" in capsys.readouterr().out
+
+    def test_route_star(self, capsys):
+        assert main(["route", "--ghz", "4", "--topology", "star"]) == 0
+
+
+class TestFidelity:
+    def test_fidelity_output(self, capsys):
+        assert main(["fidelity", "--dicke", "4", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no-fault bound" in out
+        assert "exact fidelity" in out
+
+    def test_fidelity_custom_noise(self, capsys):
+        assert main(["fidelity", "--ghz", "3", "--p-cx", "0.05",
+                     "--p-1q", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "p_cx=0.05" in out
+
+    def test_fidelity_wide_register_skips_exact(self, capsys):
+        assert main(["fidelity", "--random-sparse", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "too wide" in out
+
+
+class TestVerify:
+    def test_verify_roundtrip(self, tmp_path, capsys):
+        qasm_path = tmp_path / "w4.qasm"
+        assert main(["prepare", "--w", "4", "--qasm", str(qasm_path)]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(qasm_path), "--w", "4"]) == 0
+        assert "PREPARES" in capsys.readouterr().out
+
+    def test_verify_wrong_state_fails(self, tmp_path, capsys):
+        qasm_path = tmp_path / "ghz4.qasm"
+        main(["prepare", "--ghz", "4", "--qasm", str(qasm_path)])
+        capsys.readouterr()
+        assert main(["verify", str(qasm_path), "--w", "4"]) == 1
+        assert "DOES NOT PREPARE" in capsys.readouterr().out
+
+
+class TestNewStateOptions:
+    @pytest.mark.parametrize("flag,value", [
+        ("--cluster", "3"),
+        ("--gaussian", "3"),
+        ("--binomial", "3"),
+        ("--domain-wall", "4"),
+    ])
+    def test_prepare_new_families(self, flag, value, capsys):
+        assert main(["prepare", flag, value]) == 0
+        out = capsys.readouterr().out
+        assert "CNOTs" in out
+
+    def test_compare_cluster(self, capsys):
+        assert main(["compare", "--cluster", "3"]) == 0
+        assert "ours" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Tests for the commutation-aware cancellation pass (repro.opt.commute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, RYGate, RZGate, XGate
+from repro.opt.commute import commuting_cancellation, gates_commute
+from repro.sim.unitary import circuit_unitary, unitaries_equal
+
+
+class TestGatesCommute:
+    def test_disjoint_supports_commute(self):
+        assert gates_commute(RYGate(target=0, theta=1.0),
+                             CXGate.make(1, 2))
+
+    def test_cx_shared_control_commute(self):
+        assert gates_commute(CXGate.make(0, 1), CXGate.make(0, 2))
+
+    def test_cx_shared_target_commute(self):
+        assert gates_commute(CXGate.make(0, 2), CXGate.make(1, 2))
+
+    def test_cx_chain_do_not_commute(self):
+        assert not gates_commute(CXGate.make(0, 1), CXGate.make(1, 2))
+        assert not gates_commute(CXGate.make(1, 2), CXGate.make(0, 1))
+
+    def test_ry_on_cx_wire_does_not_commute(self):
+        assert not gates_commute(RYGate(target=1, theta=0.5),
+                                 CXGate.make(0, 1))
+        assert not gates_commute(RYGate(target=0, theta=0.5),
+                                 CXGate.make(0, 1))
+
+    def test_rz_through_cx_control(self):
+        assert gates_commute(RZGate(target=0, theta=0.5), CXGate.make(0, 1))
+        assert not gates_commute(RZGate(target=1, theta=0.5),
+                                 CXGate.make(0, 1))
+
+    def test_x_through_cx_target(self):
+        assert gates_commute(XGate(target=1), CXGate.make(0, 1))
+        assert not gates_commute(XGate(target=0), CXGate.make(0, 1))
+
+    def test_same_axis_rotations_commute(self):
+        assert gates_commute(RYGate(target=0, theta=0.1),
+                             RYGate(target=0, theta=0.2))
+
+    def test_commutation_claims_hold_numerically(self):
+        # every True claim must hold as a matrix identity
+        samples = [
+            (RYGate(target=0, theta=0.7), CXGate.make(1, 2)),
+            (CXGate.make(0, 1), CXGate.make(0, 2)),
+            (CXGate.make(0, 2), CXGate.make(1, 2)),
+            (RZGate(target=0, theta=0.9), CXGate.make(0, 1)),
+            (XGate(target=1), CXGate.make(0, 1)),
+            (CXGate.make(0, 1), CXGate.make(1, 2)),
+            (RYGate(target=1, theta=0.3), CXGate.make(0, 1)),
+        ]
+        from repro.sim.unitary import gate_unitary
+
+        for a, b in samples:
+            ua = gate_unitary(a, 3)
+            ub = gate_unitary(b, 3)
+            commutes = np.allclose(ua @ ub, ub @ ua, atol=1e-12)
+            if gates_commute(a, b):
+                assert commutes, f"{a} vs {b}: claimed commute, matrices say no"
+
+
+class TestCommutingCancellation:
+    def test_cancels_across_commuting_gate(self):
+        qc = QCircuit(3).cx(0, 1).ry(2, 0.5).cx(0, 1)
+        out = commuting_cancellation(qc)
+        assert out.cnot_cost() == 0
+        assert len(out) == 1
+
+    def test_cancels_across_shared_control(self):
+        qc = QCircuit(3).cx(0, 1).cx(0, 2).cx(0, 1)
+        out = commuting_cancellation(qc)
+        assert out.cnot_cost() == 1
+
+    def test_blocked_by_noncommuting_gate(self):
+        qc = QCircuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        out = commuting_cancellation(qc)
+        assert out.cnot_cost() == 3  # CX(1,2) blocks the pair
+
+    def test_x_pair_across_cx_target(self):
+        qc = QCircuit(2).x(1).cx(0, 1).x(1)
+        out = commuting_cancellation(qc)
+        assert len(out) == 1
+        assert out[0].name == "cx"
+
+    def test_unitary_preserved_on_patterns(self):
+        qc = QCircuit(3).cx(0, 1).ry(2, 0.5).cx(0, 2).cx(0, 1).x(2)
+        out = commuting_cancellation(qc)
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(out))
+
+    def test_empty_circuit(self):
+        out = commuting_cancellation(QCircuit(2))
+        assert len(out) == 0
+
+    def test_window_limits_scan(self):
+        qc = QCircuit(4).cx(0, 1)
+        for _ in range(10):
+            qc.ry(2, 0.1).ry(3, 0.1)
+        qc.cx(0, 1)
+        narrow = commuting_cancellation(qc, window=3)
+        wide = commuting_cancellation(qc, window=64)
+        assert narrow.cnot_cost() == 2
+        assert wide.cnot_cost() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_cancellation_preserves_unitary_random(data):
+    n = data.draw(st.integers(min_value=2, max_value=4))
+    qc = QCircuit(n)
+    num_gates = data.draw(st.integers(min_value=0, max_value=14))
+    for _ in range(num_gates):
+        kind = data.draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            qc.ry(data.draw(st.integers(0, n - 1)),
+                  data.draw(st.sampled_from([0.3, -0.7, 1.1])))
+        elif kind == 1:
+            qc.x(data.draw(st.integers(0, n - 1)))
+        elif kind == 2:
+            qc.rz(data.draw(st.integers(0, n - 1)),
+                  data.draw(st.sampled_from([0.2, -0.9])))
+        else:
+            c = data.draw(st.integers(0, n - 1))
+            t = data.draw(st.integers(0, n - 1))
+            if c != t:
+                qc.cx(c, t)
+    out = commuting_cancellation(qc)
+    assert out.cnot_cost() <= qc.cnot_cost()
+    assert unitaries_equal(circuit_unitary(qc), circuit_unitary(out))

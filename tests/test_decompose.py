@@ -1,0 +1,188 @@
+"""Unit + property tests for the Gray-code multiplexor decomposition.
+
+These pin down the central cost claim of Table I: ``MCRy`` with ``k``
+controls lowers to exactly ``2**k`` CNOTs, and the lowered circuit equals
+the original unitary exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.decompose import (
+    decompose_circuit,
+    decompose_gate,
+    multiplexed_rotation_gates,
+    multiplexor_angles,
+    multiplexor_cnot_count,
+)
+from repro.circuits.gates import (
+    CRYGate,
+    CRZGate,
+    CXGate,
+    MCRYGate,
+    MCXGate,
+    RYGate,
+    XGate,
+)
+from repro.exceptions import CircuitError
+from repro.sim.unitary import circuit_unitary, unitaries_equal
+from repro.utils.bits import gray_code, popcount
+
+
+class TestMultiplexorAngles:
+    def test_single_angle(self):
+        assert multiplexor_angles(np.array([0.8]))[0] == pytest.approx(0.8)
+
+    def test_defining_equation(self):
+        """sum_i (-1)^{popcount(j & gray(i))} phi_i == alpha_j."""
+        rng = np.random.default_rng(3)
+        for k in (1, 2, 3, 4):
+            alphas = rng.standard_normal(1 << k)
+            phis = multiplexor_angles(alphas)
+            for j in range(1 << k):
+                total = sum(
+                    (-1) ** (popcount(j & gray_code(i)) & 1) * phis[i]
+                    for i in range(1 << k))
+                assert total == pytest.approx(alphas[j], abs=1e-9)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CircuitError):
+            multiplexor_angles(np.array([0.1, 0.2, 0.3]))
+
+
+class TestMultiplexedRotation:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_mcry_bank(self, k, rng):
+        alphas = rng.standard_normal(1 << k)
+        gates = multiplexed_rotation_gates(list(range(k)), k, alphas,
+                                           prune=False)
+        built = QCircuit(k + 1)
+        built.extend(gates)
+        reference = QCircuit(k + 1)
+        for j in range(1 << k):
+            controls = [(d, (j >> (k - 1 - d)) & 1) for d in range(k)]
+            reference.mcry(controls, k, float(alphas[j]))
+        assert unitaries_equal(circuit_unitary(built),
+                               circuit_unitary(decompose_circuit(reference)))
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_unpruned_cnot_count(self, k, rng):
+        alphas = rng.standard_normal(1 << k)
+        gates = multiplexed_rotation_gates(list(range(k)), k, alphas,
+                                           prune=False)
+        assert sum(1 for g in gates if g.name == "cx") == 2 ** k
+        assert multiplexor_cnot_count(k) == 2 ** k
+
+    def test_pruning_zero_bank_empties(self):
+        gates = multiplexed_rotation_gates([0, 1], 2, np.zeros(4), prune=True)
+        assert gates == []
+
+    def test_pruning_preserves_unitary(self, rng):
+        alphas = rng.standard_normal(8)
+        alphas[[1, 2, 5, 6]] = 0.0
+        full = QCircuit(4)
+        full.extend(multiplexed_rotation_gates([0, 1, 2], 3, alphas,
+                                               prune=False))
+        pruned = QCircuit(4)
+        pruned.extend(multiplexed_rotation_gates([0, 1, 2], 3, alphas,
+                                                 prune=True))
+        assert unitaries_equal(circuit_unitary(full), circuit_unitary(pruned))
+        assert pruned.cnot_cost() <= full.cnot_cost()
+
+    def test_rz_axis(self, rng):
+        alphas = rng.standard_normal(4)
+        gates = multiplexed_rotation_gates([0, 1], 2, alphas, axis="z")
+        assert any(g.name == "rz" for g in gates)
+
+    def test_bad_axis(self):
+        with pytest.raises(CircuitError):
+            multiplexed_rotation_gates([0], 1, np.zeros(2), axis="x")
+
+    def test_wrong_angle_count(self):
+        with pytest.raises(CircuitError):
+            multiplexed_rotation_gates([0, 1], 2, np.zeros(3))
+
+
+class TestDecomposeGate:
+    def test_cry_two_cnots(self):
+        gate = CRYGate.make(0, 1, 0.7)
+        lowered = decompose_gate(gate)
+        assert sum(1 for g in lowered if g.name == "cx") == 2
+
+    def test_cry_negative_control(self):
+        gate = CRYGate.make(0, 1, 0.7, phase=0)
+        circuit = QCircuit(2)
+        circuit.append(gate)
+        assert unitaries_equal(circuit_unitary(circuit),
+                               circuit_unitary(circuit.decompose()))
+
+    def test_cx_negative_control_free_conjugation(self):
+        gate = CXGate.make(0, 1, phase=0)
+        lowered = decompose_gate(gate)
+        assert [g.name for g in lowered] == ["x", "cx", "x"]
+        circuit = QCircuit(2)
+        circuit.append(gate)
+        assert unitaries_equal(circuit_unitary(circuit),
+                               circuit_unitary(circuit.decompose()))
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_mcry_cost_exact(self, k):
+        controls = tuple((i, i % 2) for i in range(k))
+        gate = MCRYGate(target=k, controls=controls, theta=1.1)
+        lowered = decompose_gate(gate)
+        assert sum(1 for g in lowered if g.name == "cx") == 2 ** k
+        circuit = QCircuit(k + 1)
+        circuit.append(gate)
+        assert unitaries_equal(circuit_unitary(circuit),
+                               circuit_unitary(circuit.decompose()))
+
+    def test_crz_decomposes_exactly(self):
+        gate = CRZGate.make(1, 0, 0.9)
+        circuit = QCircuit(2)
+        circuit.append(gate)
+        assert unitaries_equal(circuit_unitary(circuit),
+                               circuit_unitary(circuit.decompose()))
+
+    def test_mcx_rejected(self):
+        gate = MCXGate(target=2, controls=((0, 1), (1, 1)))
+        with pytest.raises(CircuitError):
+            decompose_gate(gate)
+
+    def test_free_gates_pass_through(self):
+        for gate in (XGate(target=0), RYGate(target=0, theta=0.2)):
+            assert decompose_gate(gate) == [gate]
+
+
+class TestCircuitLevel:
+    @given(st.integers(0, 10_000))
+    def test_cost_model_consistency(self, seed):
+        """decompose() emits exactly cnot_cost() CX gates."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        qc = QCircuit(n)
+        for _ in range(int(rng.integers(1, 6))):
+            kind = rng.integers(0, 4)
+            qubits = rng.permutation(n)
+            if kind == 0:
+                qc.x(int(qubits[0]))
+            elif kind == 1:
+                qc.ry(int(qubits[0]), float(rng.standard_normal()))
+            elif kind == 2:
+                qc.cx(int(qubits[0]), int(qubits[1]),
+                      phase=int(rng.integers(0, 2)))
+            else:
+                k = int(rng.integers(1, n))
+                controls = [(int(q), int(rng.integers(0, 2)))
+                            for q in qubits[:k]]
+                qc.mcry(controls, int(qubits[k]),
+                        float(rng.standard_normal()))
+        lowered = qc.decompose()
+        cx_count = sum(1 for g in lowered if g.name == "cx")
+        assert cx_count == qc.cnot_cost()
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(lowered),
+                               atol=1e-8)

@@ -1,0 +1,67 @@
+"""Unit tests for the manual Dicke/W designs (Table IV reference)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dicke_manual import (
+    dicke_circuit,
+    manual_cnot_count,
+    w_state_circuit,
+)
+from repro.exceptions import SynthesisError
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state, w_state
+
+
+class TestManualCount:
+    """The Mukherjee formula 5nk - 5k^2 - 2n, matching Table IV's manual
+    column exactly."""
+
+    @pytest.mark.parametrize("n,k,expected", [
+        (3, 1, 4), (4, 1, 7), (4, 2, 12), (5, 1, 10), (5, 2, 20),
+        (6, 1, 13), (6, 2, 28), (6, 3, 33),
+    ])
+    def test_table4_manual_column(self, n, k, expected):
+        assert manual_cnot_count(n, k) == expected
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SynthesisError):
+            manual_cnot_count(4, 0)
+        with pytest.raises(SynthesisError):
+            manual_cnot_count(4, 4)
+
+
+class TestWCircuit:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_prepares_w_state(self, n):
+        assert prepares_state(w_state_circuit(n), w_state(n))
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_achieves_formula_cost(self, n):
+        assert w_state_circuit(n).cnot_cost() == 3 * n - 5
+
+    def test_needs_two_qubits(self):
+        with pytest.raises(SynthesisError):
+            w_state_circuit(1)
+
+
+class TestBartschiEidenbenz:
+    @pytest.mark.parametrize("n,k", [
+        (2, 1), (3, 1), (3, 2), (4, 1), (4, 2), (4, 3), (5, 2), (6, 3),
+    ])
+    def test_prepares_dicke_states(self, n, k):
+        assert prepares_state(dicke_circuit(n, k), dicke_state(n, k))
+
+    def test_trivial_weights(self):
+        assert prepares_state(dicke_circuit(3, 0), dicke_state(3, 0))
+        assert prepares_state(dicke_circuit(3, 3), dicke_state(3, 3))
+
+    def test_cost_linear_in_nk(self):
+        """B-E costs O(kn) — far below the 2^n flows for large n."""
+        cost = dicke_circuit(8, 2).cnot_cost()
+        assert cost < (1 << 8) - 2
+
+    def test_invalid(self):
+        with pytest.raises(SynthesisError):
+            dicke_circuit(3, 4)

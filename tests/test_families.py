@@ -1,0 +1,75 @@
+"""Unit tests for named state families."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import StateError
+from repro.states.families import (
+    dicke_cardinality,
+    dicke_state,
+    ghz_state,
+    product_state,
+    uniform_state,
+    w_state,
+)
+from repro.utils.bits import popcount
+
+
+class TestDicke:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 2), (6, 3)])
+    def test_cardinality(self, n, k):
+        s = dicke_state(n, k)
+        assert s.cardinality == math.comb(n, k) == dicke_cardinality(n, k)
+
+    def test_support_has_correct_weight(self):
+        s = dicke_state(5, 2)
+        assert all(popcount(i) == 2 for i in s.index_set)
+
+    def test_uniform_amplitudes(self):
+        s = dicke_state(4, 2)
+        expected = 1.0 / math.sqrt(6)
+        assert all(abs(s.amplitude(i) - expected) < 1e-12
+                   for i in s.index_set)
+
+    def test_extremes(self):
+        assert dicke_state(3, 0).is_ground()
+        assert dicke_state(3, 3).index_set == frozenset({0b111})
+
+    def test_invalid_weight(self):
+        with pytest.raises(StateError):
+            dicke_state(3, 4)
+
+
+class TestWGhz:
+    def test_w_equals_dicke1(self):
+        assert w_state(5) == dicke_state(5, 1)
+
+    def test_ghz_support(self):
+        s = ghz_state(4)
+        assert s.index_set == frozenset({0, 15})
+        assert abs(s.amplitude(0) - 1 / math.sqrt(2)) < 1e-12
+
+    def test_ghz_needs_two_qubits(self):
+        with pytest.raises(StateError):
+            ghz_state(1)
+
+
+class TestUniformProduct:
+    def test_uniform_state(self):
+        s = uniform_state(3, [1, 2, 4])
+        assert s.cardinality == 3
+        assert abs(s.amplitude(1) - 1 / math.sqrt(3)) < 1e-12
+
+    def test_product_state(self):
+        s = product_state("0110")
+        assert s.index_set == frozenset({0b0110})
+        assert s.num_qubits == 4
+
+    def test_product_state_invalid(self):
+        with pytest.raises(StateError):
+            product_state("01a")
+        with pytest.raises(StateError):
+            product_state("")

@@ -1,0 +1,129 @@
+"""Unit tests for gate definitions and the Table-I cost model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    CRYGate,
+    CRZGate,
+    CXGate,
+    MCRYGate,
+    MCXGate,
+    RYGate,
+    RZGate,
+    XGate,
+    normalize_angle,
+)
+from repro.exceptions import CircuitError
+
+
+class TestCosts:
+    """Table I of the paper."""
+
+    def test_free_gates(self):
+        assert XGate(target=0).cnot_cost() == 0
+        assert RYGate(target=0, theta=1.0).cnot_cost() == 0
+        assert RZGate(target=0, theta=1.0).cnot_cost() == 0
+
+    def test_cx_cost_one_either_polarity(self):
+        assert CXGate.make(0, 1).cnot_cost() == 1
+        assert CXGate.make(0, 1, phase=0).cnot_cost() == 1
+
+    def test_cry_cost_two(self):
+        assert CRYGate.make(0, 1, 0.5).cnot_cost() == 2
+        assert CRZGate.make(0, 1, 0.5).cnot_cost() == 2
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_mcry_cost_exponential(self, k):
+        controls = tuple((i, 1) for i in range(k))
+        gate = MCRYGate(target=k, controls=controls, theta=0.3)
+        assert gate.cnot_cost() == 2 ** k
+
+    def test_mcx_cost(self):
+        gate = MCXGate(target=2, controls=((0, 1), (1, 1)))
+        assert gate.cnot_cost() == 4
+
+
+class TestMatrices:
+    def test_ry_matrix(self):
+        mat = RYGate(target=0, theta=math.pi).base_matrix()
+        assert np.allclose(mat, [[0, -1], [1, 0]])
+
+    def test_ry_zero_is_identity(self):
+        assert np.allclose(RYGate(target=0, theta=0.0).base_matrix(),
+                           np.eye(2))
+
+    def test_x_matrix(self):
+        assert np.allclose(XGate(target=0).base_matrix(), [[0, 1], [1, 0]])
+
+    def test_rz_matrix_unitary(self):
+        mat = RZGate(target=0, theta=0.7).base_matrix()
+        assert np.allclose(mat @ mat.conj().T, np.eye(2))
+
+    def test_ry_inverse_matrix(self):
+        g = RYGate(target=0, theta=0.9)
+        prod = g.base_matrix() @ g.inverse().base_matrix()
+        assert np.allclose(prod, np.eye(2))
+
+
+class TestValidation:
+    def test_duplicate_qubit_rejected(self):
+        with pytest.raises(CircuitError):
+            CXGate(target=1, controls=((1, 1),))
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(CircuitError):
+            CXGate(target=1, controls=((0, 2),))
+
+    def test_cx_needs_one_control(self):
+        with pytest.raises(CircuitError):
+            CXGate(target=1, controls=())
+
+    def test_mcry_needs_controls(self):
+        with pytest.raises(CircuitError):
+            MCRYGate(target=0, controls=(), theta=0.5)
+
+    def test_mcx_needs_two_controls(self):
+        with pytest.raises(CircuitError):
+            MCXGate(target=0, controls=((1, 1),))
+
+    def test_controlled_base_gates_rejected(self):
+        with pytest.raises(CircuitError):
+            XGate(target=0, controls=((1, 1),))
+        with pytest.raises(CircuitError):
+            RYGate(target=0, controls=((1, 1),), theta=0.5)
+
+
+class TestStructure:
+    def test_qubits_order(self):
+        gate = MCRYGate(target=3, controls=((0, 1), (2, 0)), theta=0.1)
+        assert gate.qubits() == (0, 2, 3)
+
+    def test_remap(self):
+        gate = CRYGate.make(0, 1, 0.4)
+        remapped = gate.remap({0: 2, 1: 0})
+        assert remapped.control == 2
+        assert remapped.target == 0
+        assert remapped.theta == 0.4
+
+    def test_inverse_negates_angle(self):
+        gate = CRYGate.make(0, 1, 0.4)
+        assert gate.inverse().theta == -0.4
+        assert gate.inverse().controls == gate.controls
+
+    def test_self_inverse_gates(self):
+        assert XGate(target=0).inverse() == XGate(target=0)
+        cx = CXGate.make(1, 0)
+        assert cx.inverse() == cx
+
+    def test_str_rendering(self):
+        text = str(CRYGate.make(0, 1, 0.25))
+        assert "cry" in text and "t=1" in text
+
+    def test_normalize_angle(self):
+        assert abs(normalize_angle(5 * math.pi) - math.pi) < 1e-12
+        assert normalize_angle(0.0) == 0.0

@@ -1,0 +1,130 @@
+"""Unit + property tests for GraySynth phase-polynomial synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.opt.graysynth import (
+    diagonal_to_phase_polynomial,
+    graysynth_order,
+    phase_polynomial_circuit,
+)
+from repro.opt.phase import phase_oracle_circuit
+from repro.sim.equivalence import circuits_equivalent
+from repro.sim.statevector import simulate_circuit
+from repro.utils.bits import popcount
+
+
+def _diagonal_of(circuit, n: int) -> np.ndarray:
+    """Phases applied by a diagonal circuit, read off basis-state probes."""
+    dim = 1 << n
+    out = np.empty(dim, dtype=complex)
+    for idx in range(dim):
+        vec = np.zeros(dim, dtype=complex)
+        vec[idx] = 1.0
+        out[idx] = simulate_circuit(circuit, initial=vec)[idx]
+    return out
+
+
+class TestSpectrum:
+    def test_single_parity_profile(self):
+        # phases[x] = theta * (x_0 AND-parity) for parity P = 0b10 (qubit 0)
+        theta = 0.8
+        phases = np.array([theta * (popcount(0b10 & x) & 1)
+                           for x in range(4)], dtype=float)
+        terms = dict(diagonal_to_phase_polynomial(phases))
+        assert set(terms) == {0b10}
+        assert terms[0b10] == pytest.approx(theta)
+
+    def test_constant_profile_is_global_phase(self):
+        assert diagonal_to_phase_polynomial(np.full(8, 1.3)) == []
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(CircuitError):
+            diagonal_to_phase_polynomial(np.zeros(5))
+
+    @given(st.integers(0, 100))
+    def test_spectrum_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 4))
+        phases = rng.uniform(-np.pi, np.pi, size=1 << n)
+        terms = diagonal_to_phase_polynomial(phases)
+        rebuilt = np.zeros(1 << n)
+        for x in range(1 << n):
+            rebuilt[x] = sum(theta * (popcount(p & x) & 1)
+                             for p, theta in terms)
+        # equal up to one additive constant (global phase)
+        deltas = phases - rebuilt
+        assert np.allclose(deltas, deltas[0], atol=1e-9)
+
+
+class TestOrdering:
+    def test_gray_order_covers_all(self):
+        parities = [0b101, 0b001, 0b111, 0b100]
+        order = graysynth_order(parities)
+        assert sorted(order) == sorted(set(parities))
+
+    def test_starts_light(self):
+        order = graysynth_order([0b111, 0b001, 0b110])
+        assert order[0] == 0b001
+
+    def test_empty(self):
+        assert graysynth_order([]) == []
+
+
+class TestSynthesis:
+    def test_single_parity(self):
+        circuit = phase_polynomial_circuit(3, [(0b110, 0.7)])
+        # The circuit must be diagonal (linear map restored to identity)
+        # and apply exactly the parity phase.
+        diag = _diagonal_of(circuit, 3)
+        for x in range(8):
+            expected = np.exp(1j * 0.7 * (popcount(0b110 & x) & 1))
+            assert diag[x] / diag[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_matches_multiplexor_oracle(self, rng):
+        """GraySynth and the Rz-multiplexor oracle implement the same
+        diagonal (up to global phase)."""
+        n = 3
+        phases = rng.uniform(-np.pi, np.pi, size=1 << n)
+        oracle = phase_oracle_circuit(phases)
+        terms = diagonal_to_phase_polynomial(phases)
+        gray = phase_polynomial_circuit(n, terms)
+        assert circuits_equivalent(oracle, gray, up_to_global_phase=True)
+
+    @given(st.integers(0, 60))
+    def test_random_phase_polynomials(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        k = int(rng.integers(1, min(5, 1 << n)))
+        parities = rng.choice(np.arange(1, 1 << n), size=k, replace=False)
+        terms = [(int(p), float(rng.uniform(-np.pi, np.pi)))
+                 for p in parities]
+        circuit = phase_polynomial_circuit(n, terms)
+        diag = _diagonal_of(circuit, n)
+        assert np.allclose(np.abs(diag), 1.0, atol=1e-9)
+        for x in range(1 << n):
+            expected = sum(theta * (popcount(p & x) & 1)
+                           for p, theta in terms)
+            measured = np.angle(diag[x] / diag[0])
+            assert np.exp(1j * measured) == pytest.approx(
+                np.exp(1j * expected), abs=1e-7)
+
+    def test_duplicate_parities_fused(self):
+        a = phase_polynomial_circuit(2, [(0b01, 0.3), (0b01, 0.4)])
+        b = phase_polynomial_circuit(2, [(0b01, 0.7)])
+        assert circuits_equivalent(a, b)
+
+    def test_zero_terms_empty(self):
+        assert len(phase_polynomial_circuit(3, [])) == 0
+        assert len(phase_polynomial_circuit(3, [(0b1, 0.0)])) == 0
+
+    def test_parity_out_of_range(self):
+        with pytest.raises(CircuitError):
+            phase_polynomial_circuit(2, [(0b100, 0.5)])
+        with pytest.raises(CircuitError):
+            phase_polynomial_circuit(2, [(0, 0.5)])

@@ -1,0 +1,61 @@
+"""Unit + property tests for the admissible heuristic (Sec. V-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.astar import SearchConfig, astar_search
+from repro.core.heuristic import (
+    entanglement_heuristic,
+    scaled_heuristic,
+    zero_heuristic,
+)
+from repro.states.families import dicke_state, ghz_state
+from repro.states.qstate import QState
+
+
+class TestValues:
+    def test_ground_zero(self):
+        assert entanglement_heuristic(QState.ground(4)) == 0.0
+
+    def test_ghz4_underestimates(self):
+        """The paper's own example: GHZ(4) optimum is 3, heuristic says 2."""
+        assert entanglement_heuristic(ghz_state(4)) == 2.0
+
+    def test_zero_heuristic(self):
+        assert zero_heuristic(ghz_state(4)) == 0.0
+
+    def test_scaled(self):
+        h = scaled_heuristic(2.0)
+        assert h(ghz_state(4)) == 4.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            scaled_heuristic(-1.0)
+
+
+class TestAdmissibility:
+    """h(psi) must never exceed the true optimal CNOT cost."""
+
+    @pytest.mark.parametrize("state,true_cost", [
+        (ghz_state(2), 1),
+        (ghz_state(3), 2),
+        (ghz_state(4), 3),
+        (dicke_state(3, 1), 4),
+        (dicke_state(4, 2), 6),
+    ])
+    def test_known_optima(self, state, true_cost):
+        assert entanglement_heuristic(state) <= true_cost
+
+    @given(st.integers(0, 60))
+    def test_random_small_states(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 5))
+        idx = rng.choice(8, size=m, replace=False)
+        s = QState.uniform(3, [int(i) for i in idx])
+        true_cost = astar_search(
+            s, SearchConfig(max_nodes=100_000, time_limit=30)).cnot_cost
+        assert entanglement_heuristic(s) <= true_cost

@@ -1,0 +1,78 @@
+"""Unit tests for the one-ancilla hybrid baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.hybrid import (
+    hybrid_cnot_count,
+    hybrid_synthesize,
+    isolating_cube,
+)
+from repro.exceptions import SynthesisError
+from repro.sim.statevector import simulate_circuit
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_real_state, random_sparse_state
+from repro.utils.bits import bit_of
+
+
+def _prepares_with_clean_ancilla(circuit, state) -> bool:
+    """Final state must be |state> (x) |0>_ancilla (up to global sign)."""
+    vec = simulate_circuit(circuit)
+    target = np.kron(state.to_vector(), np.array([1.0, 0.0]))
+    return abs(np.vdot(target.astype(complex), vec)) ** 2 >= 1.0 - 1e-7
+
+
+class TestIsolatingCube:
+    def test_contains_target_excludes_rest(self):
+        cube = isolating_cube(0b101, [0b000, 0b111, 0b011], 3)
+        assert all(bit_of(0b101, q, 3) == v for q, v in cube)
+        for e in (0b000, 0b111, 0b011):
+            assert any(bit_of(e, q, 3) != v for q, v in cube)
+
+    def test_empty_exclusion_gives_empty_cube(self):
+        assert isolating_cube(0b10, [], 2) == []
+
+    def test_self_exclusion_ignored(self):
+        assert isolating_cube(0b10, [0b10], 2) == []
+
+    def test_identical_conflict_impossible(self):
+        # excluded contains only the target itself -> treated as no-op;
+        # a genuinely identical distinct index cannot exist in a set.
+        assert isolating_cube(0, [0], 3) == []
+
+
+class TestHybrid:
+    def test_uses_one_ancilla(self):
+        s = ghz_state(3)
+        circuit = hybrid_synthesize(s)
+        assert circuit.num_qubits == 4
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_prepares_sparse_with_clean_ancilla(self, n):
+        s = random_sparse_state(n, seed=30 + n)
+        assert _prepares_with_clean_ancilla(hybrid_synthesize(s), s)
+
+    def test_prepares_signed_amplitudes(self):
+        s = random_real_state(3, 4, seed=8)
+        assert _prepares_with_clean_ancilla(hybrid_synthesize(s), s)
+
+    def test_prepares_named_states(self):
+        for s in (ghz_state(4), w_state(4), dicke_state(4, 2)):
+            assert _prepares_with_clean_ancilla(hybrid_synthesize(s), s)
+
+    def test_basis_state(self):
+        s = QState.basis(3, 0b110)
+        assert _prepares_with_clean_ancilla(hybrid_synthesize(s), s)
+
+    def test_cost_positive_for_entangled(self):
+        assert hybrid_cnot_count(ghz_state(3)) > 0
+
+    def test_cost_above_mflow_on_sparse(self):
+        """Qualitative standing from Table V: hybrid never beats the m-flow
+        on sparse states."""
+        from repro.baselines.mflow import mflow_cnot_count
+        s = random_sparse_state(6, seed=13)
+        assert hybrid_cnot_count(s) >= mflow_cnot_count(s)

@@ -1,0 +1,95 @@
+"""Tests for the IDA* search variant (repro.core.idastar)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.astar import SearchConfig, astar_search
+from repro.core.heuristic import combined_heuristic, zero_heuristic
+from repro.core.idastar import IDAStarConfig, idastar_search
+from repro.exceptions import SearchBudgetExceeded
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_uniform_state
+
+
+class TestIDAStarBasics:
+    def test_ground_state_needs_nothing(self):
+        result = idastar_search(QState.ground(3))
+        assert result.cnot_cost == 0
+        assert result.optimal
+
+    def test_product_state_is_free(self):
+        result = idastar_search(QState.uniform(2, [0b00, 0b01]))
+        assert result.cnot_cost == 0
+        assert prepares_state(result.circuit,
+                              QState.uniform(2, [0b00, 0b01]))
+
+    def test_bell_state_one_cnot(self):
+        bell = QState.uniform(2, [0b00, 0b11])
+        result = idastar_search(bell)
+        assert result.cnot_cost == 1
+        assert prepares_state(result.circuit, bell)
+
+    def test_ghz3_two_cnots(self):
+        result = idastar_search(ghz_state(3))
+        assert result.cnot_cost == 2
+        assert prepares_state(result.circuit, ghz_state(3))
+
+    def test_motivating_example_two_cnots(self):
+        state = QState.uniform(3, [0b000, 0b011, 0b101, 0b110])
+        result = idastar_search(state)
+        assert result.cnot_cost == 2
+        assert prepares_state(result.circuit, state)
+
+    def test_dicke_4_2_six_cnots(self):
+        result = idastar_search(dicke_state(4, 2))
+        assert result.cnot_cost == 6
+        assert prepares_state(result.circuit, dicke_state(4, 2))
+
+    def test_budget_exceeded_raises(self):
+        config = IDAStarConfig(search=SearchConfig(max_nodes=2))
+        with pytest.raises(SearchBudgetExceeded):
+            idastar_search(dicke_state(4, 2), config)
+
+    def test_works_with_alternative_heuristics(self):
+        # |W_3> = |D^1_3> costs 4 CNOTs (paper Table IV, "ours" column)
+        state = w_state(3)
+        for heuristic in (zero_heuristic, combined_heuristic):
+            result = idastar_search(state, heuristic=heuristic)
+            assert result.cnot_cost == 4
+            assert prepares_state(result.circuit, state)
+
+    def test_stats_populated(self):
+        result = idastar_search(ghz_state(3))
+        assert result.stats.nodes_expanded > 0
+        assert result.stats.nodes_generated > 0
+
+
+class TestIDAStarMatchesAStar:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_optimum_random_uniform(self, seed):
+        state = random_uniform_state(3, 4, seed=seed)
+        a = astar_search(state, SearchConfig(max_nodes=80_000))
+        b = idastar_search(state)
+        assert b.cnot_cost == a.cnot_cost
+        assert prepares_state(b.circuit, state)
+
+    @pytest.mark.parametrize("n,m", [(3, 2), (3, 3), (4, 3)])
+    def test_same_optimum_across_shapes(self, n, m):
+        state = random_uniform_state(n, m, seed=n * 10 + m)
+        a = astar_search(state, SearchConfig(max_nodes=120_000))
+        b = idastar_search(state)
+        assert b.cnot_cost == a.cnot_cost
+
+
+@given(st.integers(min_value=0, max_value=40))
+@settings(max_examples=12, deadline=None)
+def test_idastar_circuit_verifies(seed):
+    state = random_uniform_state(3, 3, seed=seed)
+    result = idastar_search(state)
+    assert prepares_state(result.circuit, state)
+    assert result.cnot_cost == sum(m.cost for m in result.moves)

@@ -1,0 +1,106 @@
+"""End-to-end integration across the extension subsystems.
+
+Chains: synthesis workflow -> post-optimization -> device routing ->
+noisy-fidelity scoring, on states from the extended families — the full
+pipeline a downstream user would run.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import (
+    CouplingMap,
+    NoiseModel,
+    prepare_on_device,
+    prepare_state,
+    sparse_prepares,
+)
+from repro.arch.flow import routed_prepares
+from repro.opt.pipeline import postoptimize
+from repro.sim.noise import analytic_fidelity_bound, density_matrix_fidelity
+from repro.sim.verify import prepares_state
+from repro.states.special import (
+    bell_state,
+    distribution_state,
+    domain_wall_state,
+    graph_state,
+    unary_encoding_state,
+)
+
+
+class TestSynthesizeOptimizeRoute:
+    @pytest.fixture(scope="class")
+    def target(self):
+        return graph_state(nx.path_graph(3), 3)
+
+    def test_full_chain_on_graph_state(self, target):
+        logical = prepare_state(target).circuit
+        assert prepares_state(logical, target)
+
+        cleaned = postoptimize(logical.decompose())
+        assert prepares_state(cleaned.circuit, target)
+        assert cleaned.cnots_after <= cleaned.cnots_before
+
+        device = CouplingMap.line(3)
+        result = prepare_on_device(target, device)
+        assert result.verified is True
+        assert routed_prepares(result.routed, target)
+
+    def test_noise_scores_full_chain(self, target):
+        logical = prepare_state(target).circuit
+        noise = NoiseModel(p_cx=0.01, p_1q=0.001)
+        bound = analytic_fidelity_bound(logical, noise)
+        exact = density_matrix_fidelity(logical, target, noise)
+        assert 0.0 < bound <= exact <= 1.0
+
+
+class TestExtendedFamiliesThroughWorkflow:
+    @pytest.mark.parametrize("state", [
+        bell_state(0),
+        bell_state(3),
+        domain_wall_state(5),
+        unary_encoding_state([1.0, -2.0, 2.0]),
+        distribution_state([4, 3, 2, 1]),
+    ], ids=["bell+", "bell-", "domain_wall5", "unary3", "dist4"])
+    def test_workflow_prepares(self, state):
+        result = prepare_state(state)
+        assert sparse_prepares(result.circuit, state)
+
+    def test_signed_amplitudes_survive_routing(self):
+        state = unary_encoding_state([3.0, -4.0, 5.0])
+        result = prepare_on_device(state, CouplingMap.ring(3))
+        assert result.verified is True
+
+    def test_domain_wall_routes_on_line(self):
+        state = domain_wall_state(4)
+        result = prepare_on_device(state, CouplingMap.line(4),
+                                   placement="annealed")
+        assert result.verified is True
+        assert result.physical_cnots >= result.logical_cnots
+
+
+class TestCrossChecksBetweenSimulators:
+    def test_dense_and_sparse_agree_on_workflow_output(self):
+        import numpy as np
+
+        from repro.sim.sparse import simulate_sparse
+        from repro.sim.statevector import simulate_circuit
+
+        state = distribution_state([1, 2, 3, 4, 5, 6, 7, 8])
+        circuit = prepare_state(state).circuit
+        dense = simulate_circuit(circuit)
+        sparse = simulate_sparse(circuit).to_vector()
+        assert np.allclose(dense, sparse, atol=1e-8)
+
+    def test_monte_carlo_within_bounds(self):
+        from repro.sim.noise import monte_carlo_fidelity
+
+        state = bell_state(0)
+        circuit = prepare_state(state).circuit
+        noise = NoiseModel(p_cx=0.05, p_1q=0.0)
+        exact = density_matrix_fidelity(circuit, state, noise)
+        sampled = monte_carlo_fidelity(circuit, state, noise,
+                                       shots=1500, seed=4)
+        assert sampled == pytest.approx(exact, abs=0.05)

@@ -1,0 +1,117 @@
+"""Unit + property tests for Patel-Markov-Hayes CNOT resynthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, RYGate
+from repro.exceptions import CircuitError
+from repro.opt.linear import (
+    cnot_circuit_to_matrix,
+    matrix_to_cnot_circuit,
+    pmh_synthesize,
+    resynthesize_cnot_blocks,
+)
+from repro.sim.equivalence import circuits_equivalent
+
+
+def _random_invertible(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Random invertible GF(2) matrix built as a product of row ops."""
+    mat = np.eye(n, dtype=np.uint8)
+    for _ in range(4 * n):
+        a, b = rng.choice(n, size=2, replace=False)
+        mat[b, :] ^= mat[a, :]
+    return mat
+
+
+class TestMatrixConversion:
+    def test_single_cnot(self):
+        gates = [CXGate.make(0, 1)]
+        mat = cnot_circuit_to_matrix(gates, 2)
+        assert np.array_equal(mat, [[1, 0], [1, 1]])
+
+    def test_composition(self):
+        gates = [CXGate.make(0, 1), CXGate.make(1, 2)]
+        mat = cnot_circuit_to_matrix(gates, 3)
+        # wire2 = q2 ^ (q1 ^ q0)
+        assert np.array_equal(mat[2], [1, 1, 1])
+
+    def test_rejects_non_cnot(self):
+        with pytest.raises(CircuitError):
+            cnot_circuit_to_matrix([RYGate(target=0, theta=1.0)], 2)
+
+    def test_rejects_negative_polarity(self):
+        with pytest.raises(CircuitError):
+            cnot_circuit_to_matrix([CXGate.make(0, 1, phase=0)], 2)
+
+
+class TestPMH:
+    @given(st.integers(0, 300))
+    def test_synthesis_realizes_matrix(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        mat = _random_invertible(n, rng)
+        gates = pmh_synthesize(mat)
+        realized = cnot_circuit_to_matrix(list(gates), n)
+        assert np.array_equal(realized, mat)
+
+    def test_identity_needs_no_gates(self):
+        assert pmh_synthesize(np.eye(4, dtype=np.uint8)) == []
+
+    def test_singular_rejected(self):
+        mat = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(CircuitError):
+            pmh_synthesize(mat)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(CircuitError):
+            pmh_synthesize(np.ones((2, 3), dtype=np.uint8))
+
+    def test_wrapper_circuit(self):
+        rng = np.random.default_rng(5)
+        mat = _random_invertible(4, rng)
+        circuit = matrix_to_cnot_circuit(mat, 4)
+        assert np.array_equal(
+            cnot_circuit_to_matrix(list(circuit), 4), mat)
+
+
+class TestResynthesis:
+    def test_long_redundant_block_shrinks(self):
+        qc = QCircuit(3)
+        # A wasteful identity-ish block: CX(0,1) four times + a real op.
+        for _ in range(4):
+            qc.cx(0, 1)
+        qc.cx(1, 2)
+        out = resynthesize_cnot_blocks(qc, min_block=3)
+        assert out.cnot_cost() < qc.cnot_cost()
+        assert circuits_equivalent(qc, out)
+
+    def test_mixed_circuit_preserved(self):
+        qc = QCircuit(3).ry(0, 0.4).cx(0, 1).cx(1, 2).cx(0, 1).ry(2, -0.2)
+        out = resynthesize_cnot_blocks(qc)
+        assert circuits_equivalent(qc, out)
+        assert out.cnot_cost() <= qc.cnot_cost()
+
+    @given(st.integers(0, 200))
+    def test_random_circuits_equivalent(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        qc = QCircuit(n)
+        for _ in range(int(rng.integers(1, 15))):
+            if rng.random() < 0.75 and n >= 2:
+                a, b = rng.choice(n, size=2, replace=False)
+                qc.cx(int(a), int(b))
+            else:
+                qc.ry(int(rng.integers(0, n)), float(rng.standard_normal()))
+        out = resynthesize_cnot_blocks(qc)
+        assert out.cnot_cost() <= qc.cnot_cost()
+        assert circuits_equivalent(qc, out)
+
+    def test_short_blocks_untouched(self):
+        qc = QCircuit(2).cx(0, 1).cx(1, 0)
+        out = resynthesize_cnot_blocks(qc, min_block=3)
+        assert list(out) == list(qc)

@@ -1,0 +1,81 @@
+"""Unit tests for the coupling-aware routing cost extension."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.opt.mapping import (
+    best_placement,
+    grid_coupling,
+    line_coupling,
+    ring_coupling,
+    routed_cnot_cost,
+)
+
+
+class TestGraphs:
+    def test_line(self):
+        g = line_coupling(4)
+        assert g.number_of_edges() == 3
+
+    def test_ring(self):
+        g = ring_coupling(4)
+        assert g.number_of_edges() == 4
+
+    def test_grid(self):
+        g = grid_coupling(2, 3)
+        assert g.number_of_nodes() == 6
+        assert sorted(g.nodes()) == list(range(6))
+
+
+class TestRoutedCost:
+    def test_adjacent_cx_costs_one(self):
+        qc = QCircuit(2).cx(0, 1)
+        assert routed_cnot_cost(qc, line_coupling(2)) == 1
+
+    def test_distance_two_costs_five(self):
+        qc = QCircuit(3).cx(0, 2)
+        assert routed_cnot_cost(qc, line_coupling(3)) == 5  # 4*(2-1)+1
+
+    def test_full_graph_matches_plain_cost(self):
+        qc = QCircuit(3).cx(0, 2).cx(1, 0).cry(0, 1, 0.4)
+        complete = nx.complete_graph(3)
+        assert routed_cnot_cost(qc, complete) == qc.cnot_cost()
+
+    def test_counts_decomposed_cx(self):
+        qc = QCircuit(2).cry(0, 1, 0.5)  # 2 CX after lowering
+        assert routed_cnot_cost(qc, line_coupling(2)) == 2
+
+    def test_placement_changes_cost(self):
+        qc = QCircuit(3).cx(0, 2)
+        line = line_coupling(3)
+        assert routed_cnot_cost(qc, line, [0, 2, 1]) == 1
+
+    def test_graph_too_small(self):
+        with pytest.raises(CircuitError):
+            routed_cnot_cost(QCircuit(3).cx(0, 1), line_coupling(2))
+
+    def test_bad_placement(self):
+        with pytest.raises(CircuitError):
+            routed_cnot_cost(QCircuit(2).cx(0, 1), line_coupling(2), [0, 0])
+
+    def test_disconnected_graph(self):
+        g = nx.empty_graph(2)
+        with pytest.raises(CircuitError):
+            routed_cnot_cost(QCircuit(2).cx(0, 1), g)
+
+
+class TestBestPlacement:
+    def test_finds_adjacent_layout(self):
+        qc = QCircuit(3).cx(0, 2).cx(0, 2)
+        placement, cost = best_placement(qc, line_coupling(3))
+        assert cost == 2  # both CX routed at distance 1
+
+    def test_never_worse_than_identity(self):
+        qc = QCircuit(4).cx(0, 3).cx(1, 2).cx(0, 1)
+        identity_cost = routed_cnot_cost(qc, line_coupling(4))
+        _, cost = best_placement(qc, line_coupling(4))
+        assert cost <= identity_cost

@@ -1,0 +1,163 @@
+"""Unit + property tests for the backward move library (L_QSP)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.core.moves import (
+    CXMove,
+    MergeMove,
+    XMove,
+    apply_controlled_ry,
+    merge_angle,
+    moves_to_circuit,
+    product_state_rotations,
+)
+from repro.exceptions import StateError
+from repro.sim.verify import prepares_state
+from repro.states.qstate import QState
+
+
+class TestMergeAngle:
+    @given(st.floats(-2, 2).filter(lambda x: abs(x) > 1e-3),
+           st.floats(-2, 2).filter(lambda x: abs(x) > 1e-3))
+    def test_direction0_zeroes_upper(self, a0, a1):
+        theta = merge_angle(a0, a1, 0)
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        new0 = c * a0 - s * a1
+        new1 = s * a0 + c * a1
+        assert abs(new1) < 1e-9
+        assert new0 == pytest.approx(math.hypot(a0, a1))
+
+    @given(st.floats(-2, 2).filter(lambda x: abs(x) > 1e-3),
+           st.floats(-2, 2).filter(lambda x: abs(x) > 1e-3))
+    def test_direction1_zeroes_lower(self, a0, a1):
+        theta = merge_angle(a0, a1, 1)
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        assert abs(c * a0 - s * a1) < 1e-9
+        assert s * a0 + c * a1 == pytest.approx(math.hypot(a0, a1))
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            merge_angle(1.0, 1.0, 2)
+
+
+class TestMoveCosts:
+    def test_costs_match_table1(self):
+        assert XMove(qubit=0).cost == 0
+        assert CXMove(control=0, phase=1, target=1).cost == 1
+        assert MergeMove(target=0, theta=1.0).cost == 0
+        assert MergeMove(target=0, theta=1.0, controls=((1, 1),)).cost == 2
+        assert MergeMove(target=0, theta=1.0,
+                         controls=((1, 1), (2, 0))).cost == 4
+
+
+class TestMoveApplication:
+    def test_x_move(self):
+        s = QState.uniform(2, [0b00, 0b01])
+        t = XMove(qubit=0).apply(s)
+        assert t.index_set == frozenset({0b10, 0b11})
+
+    def test_cx_move(self):
+        s = QState.uniform(2, [0b00, 0b10])
+        t = CXMove(control=0, phase=1, target=1).apply(s)
+        assert t.index_set == frozenset({0b00, 0b11})
+
+    def test_free_merge(self):
+        # (|00> + |01>)/sqrt2: merge on qubit 1 gives |00>.
+        s = QState.uniform(2, [0b00, 0b01])
+        theta = merge_angle(s.amplitude(0b00), s.amplitude(0b01), 0)
+        t = MergeMove(target=1, theta=theta).apply(s)
+        assert t.index_set == frozenset({0b00})
+
+    def test_controlled_merge_leaves_rest(self):
+        # pairs (000,001) and (110,111); merge only the q0=1 pair.
+        s = QState.uniform(3, [0b000, 0b001, 0b110, 0b111])
+        theta = merge_angle(s.amplitude(0b110), s.amplitude(0b111), 0)
+        move = MergeMove(target=2, theta=theta, controls=((0, 1),))
+        t = move.apply(s)
+        assert t.index_set == frozenset({0b000, 0b001, 0b110})
+
+    def test_merge_amplitude_is_norm(self):
+        s = QState(1, {0: 0.6, 1: 0.8}, normalize=False)
+        theta = merge_angle(0.6, 0.8, 0)
+        t = MergeMove(target=0, theta=theta).apply(s)
+        assert t.amplitude(0) == pytest.approx(1.0)
+
+    def test_apply_controlled_ry_generic_rotation(self):
+        # An arbitrary angle is NOT a merge: it must split the amplitude.
+        s = QState.basis(1, 0)
+        t = apply_controlled_ry(s, (), 0, math.pi / 2)
+        assert t.cardinality == 2
+
+
+class TestBackwardForwardConsistency:
+    def test_move_inverse_roundtrip(self):
+        from repro.sim.statevector import simulate_circuit
+        import numpy as np
+        s = QState.uniform(3, [0b000, 0b011, 0b101, 0b110])
+        for move in (CXMove(control=0, phase=1, target=2),
+                     XMove(qubit=1)):
+            after = move.apply(s)
+            # forward gates map `after` back to `s`.
+            qc = QCircuit(3)
+            qc.extend(move.forward_gates())
+            out = simulate_circuit(qc, initial=after)
+            assert np.allclose(out, s.to_vector(), atol=1e-9)
+
+    def test_merge_inverse_roundtrip(self):
+        import numpy as np
+        from repro.sim.statevector import simulate_circuit
+        s = QState(2, {0b00: 0.6, 0b01: 0.8})
+        theta = merge_angle(s.amplitude(0), s.amplitude(1), 0)
+        move = MergeMove(target=1, theta=theta)
+        after = move.apply(s)
+        qc = QCircuit(2)
+        qc.extend(move.forward_gates())
+        out = simulate_circuit(qc, initial=after)
+        assert np.allclose(out, s.to_vector(), atol=1e-9)
+
+
+class TestProductRotations:
+    def test_ground_needs_nothing(self):
+        assert product_state_rotations(QState.ground(3)) == []
+
+    def test_basis_state_gets_x(self):
+        gates = product_state_rotations(QState.basis(3, 0b101))
+        assert [g.name for g in gates] == ["x", "x"]
+
+    def test_superposed_qubit_gets_ry(self):
+        s = QState.uniform(2, [0b00, 0b01])
+        gates = product_state_rotations(s)
+        assert len(gates) == 1 and gates[0].name == "ry"
+
+    def test_entangled_rejected(self):
+        from repro.states.families import ghz_state
+        with pytest.raises(StateError):
+            product_state_rotations(ghz_state(2))
+
+    def test_rotations_prepare_the_product(self):
+        s = QState(2, {0b00: 0.48, 0b01: 0.36, 0b10: 0.64, 0b11: 0.48})
+        qc = QCircuit(2)
+        qc.extend(product_state_rotations(s))
+        assert prepares_state(qc, s)
+
+
+class TestMovesToCircuit:
+    def test_empty_path_product_state(self):
+        s = QState.uniform(2, [0b00, 0b10])  # |+>|0>
+        circuit = moves_to_circuit([], s, 2)
+        assert prepares_state(circuit, s)
+
+    def test_single_merge_path(self):
+        target = QState.uniform(2, [0b00, 0b01])
+        theta = merge_angle(target.amplitude(0), target.amplitude(1), 0)
+        move = MergeMove(target=1, theta=theta)
+        final = move.apply(target)
+        circuit = moves_to_circuit([move], final, 2)
+        assert prepares_state(circuit, target)

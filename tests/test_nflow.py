@@ -1,0 +1,126 @@
+"""Unit tests for the n-flow (qubit reduction) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.nflow import (
+    angle_tree_levels,
+    multiplexor_angles_for_level,
+    nflow_cnot_count,
+    nflow_synthesize,
+    qubit_reduction_prefix,
+)
+from repro.exceptions import SynthesisError
+from repro.sim.verify import assert_prepares, prepares_state
+from repro.states.families import dicke_state, ghz_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_dense_state, random_real_state
+
+
+class TestAngleTree:
+    def test_levels_shapes(self):
+        s = random_dense_state(3, seed=0)
+        levels = angle_tree_levels(s)
+        assert [len(lv) for lv in levels] == [1, 2, 4, 8]
+
+    def test_root_is_norm(self):
+        s = random_real_state(3, 5, seed=1)
+        levels = angle_tree_levels(s)
+        assert levels[0][0] == pytest.approx(1.0)
+
+    def test_internal_levels_nonnegative(self):
+        s = random_real_state(4, 9, seed=2)
+        levels = angle_tree_levels(s)
+        for lv in levels[:-1]:
+            assert np.all(lv >= 0)
+
+    def test_angles_zero_for_zero_branches(self):
+        s = QState.basis(2, 0b00)
+        levels = angle_tree_levels(s)
+        assert np.allclose(multiplexor_angles_for_level(levels, 0), 0.0)
+
+
+class TestSynthesize:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_exact_cost_2n_minus_2(self, n):
+        """The baseline column of Tables IV/V: always 2**n - 2 CNOTs."""
+        s = random_dense_state(n, seed=n)
+        circuit = nflow_synthesize(s, prune=False)
+        assert circuit.cnot_cost() == (1 << n) - 2 == nflow_cnot_count(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_prepares_dense_states(self, n):
+        s = random_dense_state(n, seed=10 + n)
+        assert_prepares(nflow_synthesize(s), s)
+
+    def test_prepares_signed_states(self):
+        s = random_real_state(4, 11, seed=3)
+        assert_prepares(nflow_synthesize(s), s)
+
+    def test_prune_never_costlier(self):
+        s = dicke_state(4, 1)
+        full = nflow_synthesize(s, prune=False)
+        pruned = nflow_synthesize(s, prune=True)
+        assert pruned.cnot_cost() <= full.cnot_cost()
+        assert_prepares(pruned, s)
+
+    def test_uniform_product_prunes_to_zero(self):
+        """|+>^n: every multiplexor bank is constant, so the Walsh spectrum
+        is a single spike and pruning removes every CNOT."""
+        s = QState.uniform(4, list(range(16)))
+        pruned = nflow_synthesize(s, prune=True)
+        assert pruned.cnot_cost() == 0
+        assert_prepares(pruned, s)
+
+    def test_ghz_pruning_cannot_help(self):
+        """GHZ's angle banks are single spikes at a nonzero pattern; their
+        Walsh spectrum is dense, so qubit reduction keeps its full cost —
+        exactly why the exact engine matters for such states."""
+        s = ghz_state(5)
+        pruned = nflow_synthesize(s, prune=True)
+        assert pruned.cnot_cost() == nflow_cnot_count(5)
+        assert_prepares(pruned, s)
+
+    @given(st.integers(0, 40))
+    def test_property_random_states(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = int(rng.integers(1, (1 << n) + 1))
+        s = random_real_state(n, m, seed=rng)
+        circuit = nflow_synthesize(s)
+        assert prepares_state(circuit, s)
+
+    def test_cnot_count_validates(self):
+        with pytest.raises(SynthesisError):
+            nflow_cnot_count(0)
+
+
+class TestQubitReductionPrefix:
+    def test_core_plus_suffix_prepares(self):
+        s = random_dense_state(5, seed=7)
+        core, suffix = qubit_reduction_prefix(s, keep=3)
+        assert core.num_qubits == 3
+        # Prepare the core on wires 0..2 with the plain flow, then suffix.
+        from repro.circuits.circuit import QCircuit
+        circuit = QCircuit(5)
+        circuit.compose(nflow_synthesize(core).embedded(5, [0, 1, 2]))
+        circuit.compose(suffix)
+        assert prepares_state(circuit, s)
+
+    def test_keep_equals_n_is_noop(self):
+        s = random_dense_state(3, seed=8)
+        core, suffix = qubit_reduction_prefix(s, keep=3)
+        assert len(suffix) == 0
+        # the core is |amplitudes| of s (signs fold into the last level)
+        assert core.num_qubits == 3
+
+    def test_invalid_keep(self):
+        s = random_dense_state(3, seed=9)
+        with pytest.raises(SynthesisError):
+            qubit_reduction_prefix(s, keep=0)
+        with pytest.raises(SynthesisError):
+            qubit_reduction_prefix(s, keep=4)

@@ -1,0 +1,203 @@
+"""Tests for the noisy execution model (repro.sim.noise)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.sim.noise import (
+    NoiseModel,
+    analytic_fidelity_bound,
+    density_matrix_fidelity,
+    monte_carlo_fidelity,
+    noisy_density_matrix,
+    state_fidelity,
+)
+from repro.sim.statevector import simulate_circuit
+from repro.states.families import ghz_state
+from repro.states.qstate import QState
+
+
+def _bell_circuit() -> QCircuit:
+    return QCircuit(2).ry(0, math.pi / 2.0).cx(0, 1)
+
+
+def _bell_state() -> QState:
+    return QState.uniform(2, [0b00, 0b11])
+
+
+class TestNoiseModel:
+    def test_defaults_are_probabilities(self):
+        noise = NoiseModel()
+        assert 0 < noise.p_1q < noise.p_cx < 1
+
+    def test_ideal(self):
+        noise = NoiseModel.ideal()
+        assert noise.p_cx == 0.0 and noise.p_1q == 0.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(CircuitError):
+            NoiseModel(p_cx=1.5)
+        with pytest.raises(CircuitError):
+            NoiseModel(p_1q=-0.1)
+
+    def test_gate_error_selects_class(self):
+        noise = NoiseModel(p_cx=0.3, p_1q=0.1)
+        assert noise.gate_error(2) == 0.3
+        assert noise.gate_error(1) == 0.1
+
+
+class TestAnalyticBound:
+    def test_ideal_noise_gives_one(self):
+        assert analytic_fidelity_bound(_bell_circuit(),
+                                       NoiseModel.ideal()) == 1.0
+
+    def test_product_form(self):
+        # bell circuit decomposes to 1 Ry + 1 CX
+        noise = NoiseModel(p_cx=0.1, p_1q=0.01)
+        expected = (1 - 0.01) * (1 - 0.1)
+        assert analytic_fidelity_bound(_bell_circuit(), noise) == \
+            pytest.approx(expected)
+
+    def test_more_cnots_lower_bound(self):
+        noise = NoiseModel(p_cx=0.05, p_1q=0.0)
+        short = QCircuit(2).cx(0, 1)
+        long = QCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        assert analytic_fidelity_bound(long, noise) < \
+            analytic_fidelity_bound(short, noise)
+
+    def test_counts_decomposed_gates(self):
+        # a CRy costs 2 CNOTs after decomposition
+        noise = NoiseModel(p_cx=0.1, p_1q=0.0)
+        qc = QCircuit(2).cry(0, 1, 0.7)
+        assert analytic_fidelity_bound(qc, noise) == \
+            pytest.approx((1 - 0.1) ** 2)
+
+
+class TestDensityMatrix:
+    def test_noiseless_matches_pure_simulation(self):
+        qc = _bell_circuit()
+        rho = noisy_density_matrix(qc, NoiseModel.ideal())
+        vec = simulate_circuit(qc).astype(np.complex128)
+        assert np.allclose(rho, np.outer(vec, np.conj(vec)), atol=1e-9)
+
+    def test_trace_preserved(self):
+        rho = noisy_density_matrix(_bell_circuit(),
+                                   NoiseModel(p_cx=0.2, p_1q=0.05))
+        assert np.trace(rho).real == pytest.approx(1.0)
+        assert abs(np.trace(rho).imag) < 1e-12
+
+    def test_rho_hermitian_psd(self):
+        rho = noisy_density_matrix(_bell_circuit(),
+                                   NoiseModel(p_cx=0.3, p_1q=0.1))
+        assert np.allclose(rho, rho.conj().T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert eigenvalues.min() >= -1e-12
+
+    def test_fidelity_one_when_ideal(self):
+        fid = density_matrix_fidelity(_bell_circuit(), _bell_state(),
+                                      NoiseModel.ideal())
+        assert fid == pytest.approx(1.0)
+
+    def test_fidelity_decreases_with_noise(self):
+        weak = density_matrix_fidelity(_bell_circuit(), _bell_state(),
+                                       NoiseModel(p_cx=0.01, p_1q=0.001))
+        strong = density_matrix_fidelity(_bell_circuit(), _bell_state(),
+                                         NoiseModel(p_cx=0.2, p_1q=0.02))
+        assert 0 < strong < weak < 1
+
+    def test_analytic_bound_is_a_lower_bound(self):
+        noise = NoiseModel(p_cx=0.05, p_1q=0.01)
+        qc = _bell_circuit()
+        exact = density_matrix_fidelity(qc, _bell_state(), noise)
+        assert analytic_fidelity_bound(qc, noise) <= exact + 1e-12
+
+    def test_width_guard(self):
+        qc = QCircuit(9).cx(0, 1)
+        with pytest.raises(CircuitError):
+            noisy_density_matrix(qc, NoiseModel())
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        # p = 1 on the only gate: state becomes I/4 on the touched pair
+        qc = QCircuit(2).cx(0, 1)
+        rho = noisy_density_matrix(qc, NoiseModel(p_cx=1.0, p_1q=0.0))
+        assert np.allclose(rho, np.eye(4) / 4.0, atol=1e-12)
+
+
+class TestStateFidelity:
+    def test_pure_match(self):
+        state = _bell_state()
+        vec = state.to_vector().astype(np.complex128)
+        rho = np.outer(vec, vec.conj())
+        assert state_fidelity(state, rho) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        rho = np.zeros((4, 4), dtype=np.complex128)
+        rho[1, 1] = 1.0  # |01><01|
+        assert state_fidelity(QState.basis(2, 0), rho) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CircuitError):
+            state_fidelity(QState.basis(3, 0), np.eye(4) / 4)
+
+
+class TestMonteCarlo:
+    def test_ideal_noise_gives_one(self):
+        fid = monte_carlo_fidelity(_bell_circuit(), _bell_state(),
+                                   NoiseModel.ideal(), shots=10)
+        assert fid == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self):
+        noise = NoiseModel(p_cx=0.1, p_1q=0.01)
+        a = monte_carlo_fidelity(_bell_circuit(), _bell_state(), noise,
+                                 shots=50, seed=5)
+        b = monte_carlo_fidelity(_bell_circuit(), _bell_state(), noise,
+                                 shots=50, seed=5)
+        assert a == b
+
+    def test_agrees_with_density_matrix(self):
+        noise = NoiseModel(p_cx=0.15, p_1q=0.02)
+        qc = _bell_circuit()
+        exact = density_matrix_fidelity(qc, _bell_state(), noise)
+        sampled = monte_carlo_fidelity(qc, _bell_state(), noise,
+                                       shots=4000, seed=3)
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+    def test_ghz_fidelity_sampling(self):
+        from repro.qsp.workflow import prepare_state
+
+        state = ghz_state(3)
+        qc = prepare_state(state).circuit
+        noise = NoiseModel(p_cx=0.05, p_1q=0.005)
+        exact = density_matrix_fidelity(qc, state, noise)
+        sampled = monte_carlo_fidelity(qc, state, noise, shots=3000, seed=9)
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+
+@given(st.floats(min_value=0.0, max_value=0.5),
+       st.floats(min_value=0.0, max_value=0.1))
+@settings(max_examples=15, deadline=None)
+def test_density_fidelity_bounded(p_cx, p_1q):
+    noise = NoiseModel(p_cx=p_cx, p_1q=p_1q)
+    fid = density_matrix_fidelity(_bell_circuit(), _bell_state(), noise)
+    assert -1e-12 <= fid <= 1.0 + 1e-12
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_cnot_count_monotone_fidelity(num_cnots):
+    """Appending CX pairs (logical identity) only hurts fidelity."""
+    noise = NoiseModel(p_cx=0.03, p_1q=0.0)
+    base = _bell_circuit()
+    padded = QCircuit(2, base.gates)
+    for _ in range(num_cnots):
+        padded.cx(0, 1).cx(0, 1)
+    fid_base = density_matrix_fidelity(base, _bell_state(), noise)
+    fid_padded = density_matrix_fidelity(padded, _bell_state(), noise)
+    assert fid_padded < fid_base

@@ -1,0 +1,97 @@
+"""Unit + property tests for the peephole optimization passes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.opt.passes import cancel_inverse_pairs, optimize_circuit
+from repro.sim.unitary import circuit_unitary, unitaries_equal
+
+
+class TestCancellation:
+    def test_double_x_cancels(self):
+        qc = QCircuit(1).x(0).x(0)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_double_cx_cancels(self):
+        qc = QCircuit(2).cx(0, 1).cx(0, 1)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_different_polarity_does_not_cancel(self):
+        qc = QCircuit(2).cx(0, 1).cx(0, 1, phase=0)
+        assert len(optimize_circuit(qc)) == 2
+
+    def test_blocked_cancellation(self):
+        # An Ry on the target sits between the two CX: no cancellation.
+        qc = QCircuit(2).cx(0, 1).ry(1, 0.5).cx(0, 1)
+        assert len(optimize_circuit(qc)) == 3
+
+    def test_interleaved_other_wire_does_not_block(self):
+        qc = QCircuit(3).cx(0, 1).x(2).cx(0, 1)
+        out = optimize_circuit(qc)
+        assert [g.name for g in out] == ["x"]
+
+
+class TestFusion:
+    def test_ry_fuses(self):
+        qc = QCircuit(1).ry(0, 0.3).ry(0, 0.4)
+        out = optimize_circuit(qc)
+        assert len(out) == 1
+        assert out[0].theta == pytest.approx(0.7)
+
+    def test_ry_cancels_to_identity(self):
+        qc = QCircuit(1).ry(0, 0.3).ry(0, -0.3)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_cry_fuses_same_frame(self):
+        qc = QCircuit(2).cry(0, 1, 0.3).cry(0, 1, 0.2)
+        out = optimize_circuit(qc)
+        assert len(out) == 1
+        assert out[0].cnot_cost() == 2
+
+    def test_cry_different_controls_not_fused(self):
+        qc = QCircuit(3).cry(0, 2, 0.3).cry(1, 2, 0.2)
+        assert len(optimize_circuit(qc)) == 2
+
+    def test_identity_rotation_dropped(self):
+        qc = QCircuit(1).ry(0, 0.0)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_controlled_2pi_not_dropped(self):
+        """CRy(2pi) = controlled(-1): a relative phase, NOT identity."""
+        qc = QCircuit(2).cry(0, 1, 2 * math.pi)
+        assert len(optimize_circuit(qc)) == 1
+
+
+class TestSemantics:
+    @given(st.integers(0, 400))
+    def test_unitary_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 4))
+        qc = QCircuit(n)
+        for _ in range(int(rng.integers(1, 12))):
+            kind = int(rng.integers(0, 3 if n == 1 else 4))
+            q = int(rng.integers(0, n))
+            if kind == 0:
+                qc.x(q)
+            elif kind == 1:
+                qc.ry(q, float(rng.choice([0.0, 0.5, -0.5, 0.5])))
+            elif kind == 2:
+                qc.rz(q, float(rng.standard_normal()))
+            else:
+                t = int((q + 1) % n)
+                qc.cx(q, t, phase=int(rng.integers(0, 2)))
+        out = optimize_circuit(qc)
+        assert len(out) <= len(qc)
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(out),
+                               atol=1e-9)
+
+    def test_single_pass_entry_point(self):
+        qc = QCircuit(1).x(0).x(0)
+        assert len(cancel_inverse_pairs(qc)) == 0

@@ -1,0 +1,75 @@
+"""Unit tests for the complex-amplitude phase oracle extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StateError
+from repro.opt.phase import phase_oracle_circuit, prepare_complex
+from repro.sim.statevector import simulate_circuit
+
+
+def _equal_up_to_global_phase(a: np.ndarray, b: np.ndarray,
+                              atol: float = 1e-7) -> bool:
+    ref = np.argmax(np.abs(b))
+    if abs(b[ref]) < atol:
+        return False
+    phase = a[ref] / b[ref]
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+class TestPhaseOracle:
+    def test_diagonal_action(self, rng):
+        phases = rng.uniform(-np.pi, np.pi, size=8)
+        circuit = phase_oracle_circuit(phases)
+        # Apply to a uniform superposition and compare phases.
+        vec = np.full(8, 1 / np.sqrt(8), dtype=complex)
+        out = simulate_circuit(circuit, initial=vec)
+        expected = vec * np.exp(1j * phases)
+        assert _equal_up_to_global_phase(out, expected)
+
+    def test_zero_phases_empty_after_pruning(self):
+        circuit = phase_oracle_circuit(np.zeros(8))
+        assert len(circuit) == 0
+
+    def test_cost_bounded(self, rng):
+        phases = rng.uniform(-np.pi, np.pi, size=16)
+        circuit = phase_oracle_circuit(phases)
+        assert circuit.cnot_cost() <= 16 - 2
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(StateError):
+            phase_oracle_circuit(np.zeros(3))
+
+
+class TestPrepareComplex:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_complex_states(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        vec = rng.standard_normal(1 << n) + 1j * rng.standard_normal(1 << n)
+        vec /= np.linalg.norm(vec)
+        circuit = prepare_complex(vec)
+        out = simulate_circuit(circuit)
+        assert _equal_up_to_global_phase(out, vec)
+
+    def test_sparse_complex_state(self):
+        vec = np.zeros(8, dtype=complex)
+        vec[1] = 0.6
+        vec[6] = 0.8j
+        circuit = prepare_complex(vec)
+        out = simulate_circuit(circuit)
+        assert _equal_up_to_global_phase(out, vec)
+
+    def test_real_state_needs_no_rz(self):
+        vec = np.zeros(4)
+        vec[0] = vec[3] = 1 / np.sqrt(2)
+        circuit = prepare_complex(vec)
+        assert all(g.name != "rz" for g in circuit)
+
+    def test_unnormalized_input_normalized(self):
+        vec = np.array([3.0, 0.0, 0.0, 4.0j])
+        circuit = prepare_complex(vec)
+        out = simulate_circuit(circuit)
+        assert _equal_up_to_global_phase(out, vec / 5.0)

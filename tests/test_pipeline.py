@@ -1,0 +1,91 @@
+"""Tests for the post-synthesis optimization pipeline (repro.opt.pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mflow import mflow_synthesize
+from repro.baselines.nflow import nflow_synthesize
+from repro.circuits.circuit import QCircuit
+from repro.opt.pipeline import postoptimize
+from repro.sim.unitary import circuit_unitary, unitaries_equal
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state, ghz_state
+from repro.states.random_states import random_uniform_state
+
+
+class TestPostoptimize:
+    def test_empty_circuit(self):
+        report = postoptimize(QCircuit(2))
+        assert report.cnots_before == 0
+        assert report.cnots_after == 0
+        assert report.percent_saved == 0.0
+
+    def test_cancelable_pattern(self):
+        qc = QCircuit(3).cx(0, 1).ry(2, 0.4).cx(0, 1)
+        report = postoptimize(qc)
+        assert report.cnots_after == 0
+        assert report.cnots_saved == 2
+
+    def test_never_increases_cnots(self):
+        qc = mflow_synthesize(dicke_state(4, 2))
+        report = postoptimize(qc)
+        assert report.cnots_after <= report.cnots_before
+
+    def test_preserves_unitary(self):
+        qc = nflow_synthesize(random_uniform_state(3, 4, seed=2))
+        report = postoptimize(qc)
+        assert unitaries_equal(circuit_unitary(qc.decompose()),
+                               circuit_unitary(report.circuit.decompose()))
+
+    def test_optimized_baseline_still_prepares(self):
+        state = dicke_state(4, 2)
+        qc = mflow_synthesize(state)
+        report = postoptimize(qc)
+        assert prepares_state(report.circuit, state)
+
+    def test_report_percentages(self):
+        qc = QCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1).cx(0, 1)
+        report = postoptimize(qc)
+        assert report.cnots_before == 4
+        assert report.cnots_after == 0
+        assert report.percent_saved == 100.0
+
+    def test_resynthesize_flag(self):
+        # a dense CNOT run that PMH can shrink
+        qc = QCircuit(3).cx(0, 1).cx(1, 2).cx(0, 1).cx(1, 2).cx(0, 2)
+        with_pmh = postoptimize(qc, resynthesize=True)
+        without = postoptimize(qc, resynthesize=False)
+        assert with_pmh.cnots_after <= without.cnots_after
+        assert unitaries_equal(circuit_unitary(qc),
+                               circuit_unitary(with_pmh.circuit))
+
+    def test_cannot_recover_structural_gap(self):
+        # the paper's point: peephole cleanup cannot turn an m-flow
+        # circuit into the exact-synthesis circuit
+        state = dicke_state(4, 2)
+        report = postoptimize(mflow_synthesize(state))
+        assert report.cnots_after > 6  # exact optimum is 6
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_pipeline_preserves_unitary_random(seed):
+    state = random_uniform_state(3, 3, seed=seed)
+    qc = mflow_synthesize(state).decompose()
+    report = postoptimize(qc)
+    assert unitaries_equal(circuit_unitary(qc),
+                           circuit_unitary(report.circuit.decompose()))
+    assert report.cnots_after <= report.cnots_before
+
+
+@given(st.integers(min_value=0, max_value=15))
+@settings(max_examples=10, deadline=None)
+def test_pipeline_on_ghz_prepares(seed):
+    n = 3 + (seed % 3)
+    state = ghz_state(n)
+    qc = nflow_synthesize(state)
+    report = postoptimize(qc)
+    assert prepares_state(report.circuit, state)

@@ -1,0 +1,92 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the library's global invariants:
+
+1. every synthesis flow produces a circuit that prepares its target;
+2. the Table-I cost model equals the CX count after lowering;
+3. the exact engine never exceeds any baseline;
+4. canonical equivalence implies equal optimal cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mflow import mflow_synthesize
+from repro.baselines.nflow import nflow_synthesize
+from repro.core.astar import SearchConfig, astar_search
+from repro.qsp.workflow import prepare_state
+from repro.sim.verify import prepares_state
+from repro.states.qstate import QState
+
+
+def _state_from_seed(seed: int, max_qubits: int = 4,
+                     uniform: bool = False) -> QState:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, max_qubits + 1))
+    m = int(rng.integers(2, min(6, 1 << n) + 1))
+    idx = rng.choice(1 << n, size=m, replace=False)
+    if uniform:
+        return QState.uniform(n, [int(i) for i in idx])
+    amps = rng.standard_normal(m)
+    return QState(n, {int(i): float(a) for i, a in zip(idx, amps)})
+
+
+class TestEveryFlowPrepares:
+    @given(st.integers(0, 10_000))
+    def test_workflow(self, seed):
+        s = _state_from_seed(seed)
+        res = prepare_state(s)
+        assert prepares_state(res.circuit, s)
+
+    @given(st.integers(0, 10_000))
+    def test_mflow(self, seed):
+        s = _state_from_seed(seed)
+        assert prepares_state(mflow_synthesize(s), s)
+
+    @given(st.integers(0, 10_000))
+    def test_nflow(self, seed):
+        s = _state_from_seed(seed)
+        assert prepares_state(nflow_synthesize(s), s)
+
+
+class TestCostModel:
+    @given(st.integers(0, 10_000))
+    def test_cost_equals_lowered_cx_count(self, seed):
+        s = _state_from_seed(seed)
+        circuit = prepare_state(s).circuit
+        lowered = circuit.decompose()
+        assert sum(1 for g in lowered if g.name == "cx") == \
+            circuit.cnot_cost()
+
+
+class TestExactDominance:
+    @settings(max_examples=15)
+    @given(st.integers(0, 10_000))
+    def test_exact_not_worse_than_baselines(self, seed):
+        s = _state_from_seed(seed, max_qubits=3, uniform=True)
+        cfg = SearchConfig(max_nodes=100_000, time_limit=30)
+        exact = astar_search(s, cfg).cnot_cost
+        assert exact <= mflow_synthesize(s).cnot_cost()
+        assert exact <= nflow_synthesize(s).cnot_cost()
+
+
+class TestEquivalenceCostInvariance:
+    @settings(max_examples=15)
+    @given(st.integers(0, 10_000))
+    def test_free_transforms_preserve_optimum(self, seed):
+        """X flips and permutations are free, so the optimal CNOT count of
+        equivalent states must agree — the soundness condition behind the
+        paper's state compression."""
+        rng = np.random.default_rng(seed)
+        s = _state_from_seed(seed, max_qubits=3, uniform=True)
+        t = s
+        for q in range(s.num_qubits):
+            if rng.random() < 0.5:
+                t = t.apply_x(q)
+        t = t.permute(list(rng.permutation(s.num_qubits)))
+        cfg = SearchConfig(max_nodes=100_000, time_limit=30)
+        assert astar_search(s, cfg).cnot_cost == \
+            astar_search(t, cfg).cnot_cost

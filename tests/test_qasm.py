@@ -1,0 +1,97 @@
+"""Unit tests for OpenQASM 2 export/import."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.exceptions import QasmError
+from repro.sim.unitary import circuit_unitary, unitaries_equal
+
+
+class TestExport:
+    def test_header_and_register(self):
+        text = to_qasm(QCircuit(3).x(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+        assert "x q[0];" in text
+
+    def test_lowered_gates_only(self):
+        qc = QCircuit(3)
+        qc.mcry([(0, 1), (1, 1)], 2, 0.7)
+        text = to_qasm(qc)
+        assert "mcry" not in text
+        assert "cx" in text and "ry" in text
+
+    def test_pi_formatting(self):
+        text = to_qasm(QCircuit(1).ry(0, math.pi / 2))
+        assert "pi/2" in text
+
+    def test_negative_pi(self):
+        text = to_qasm(QCircuit(1).ry(0, -math.pi))
+        assert "-pi" in text
+
+
+class TestImport:
+    def test_roundtrip_unitary(self):
+        qc = QCircuit(3).ry(0, 0.7).cx(0, 1).rz(2, -0.3).x(1)
+        qc.cry(1, 2, 1.1)
+        back = from_qasm(to_qasm(qc))
+        assert back.num_qubits == 3
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(back),
+                               atol=1e-9)
+
+    def test_roundtrip_cost(self):
+        qc = QCircuit(4)
+        qc.mcry([(0, 1), (1, 0), (2, 1)], 3, 0.9)
+        back = from_qasm(to_qasm(qc))
+        assert back.cnot_cost() == qc.cnot_cost() == 8
+
+    def test_parses_comments_and_blanks(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        // a comment
+        qreg q[2];
+
+        ry(pi/4) q[0];  // trailing comment
+        cx q[0],q[1];
+        """
+        qc = from_qasm(text)
+        assert len(qc) == 2
+
+    def test_angle_expressions(self):
+        qc = from_qasm(
+            'OPENQASM 2.0;\nqreg q[1];\nry(3*pi/4) q[0];\nry(-0.5) q[0];\n')
+        assert qc[0].theta == pytest.approx(3 * math.pi / 4)
+        assert qc[1].theta == pytest.approx(-0.5)
+
+    def test_measure_and_barrier_skipped(self):
+        qc = from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n'
+                       'barrier q[0];\nx q[0];\nmeasure q[0] -> c[0];\n')
+        assert [g.name for g in qc] == ["x"]
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[0];\n")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nx q[0];\n")
+
+    def test_double_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg q[3];\n")
+
+    def test_bad_angle_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nry(import) q[0];\n")
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nry() q[0];\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nnot a gate\n")

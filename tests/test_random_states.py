@@ -1,0 +1,73 @@
+"""Unit tests for the benchmark state generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StateError
+from repro.states.random_states import (
+    benchmark_suite,
+    random_dense_state,
+    random_real_state,
+    random_sparse_state,
+    random_uniform_state,
+)
+
+
+class TestGenerators:
+    def test_sparse_cardinality(self):
+        s = random_sparse_state(6, seed=1)
+        assert s.num_qubits == 6
+        assert s.cardinality == 6
+        assert s.is_sparse()
+
+    def test_dense_cardinality(self):
+        s = random_dense_state(6, seed=1)
+        assert s.cardinality == 32
+        assert not s.is_sparse()
+
+    def test_uniform_amplitudes_equal(self):
+        s = random_uniform_state(5, 7, seed=3)
+        amps = {abs(a) for _, a in s.items()}
+        assert len(amps) == 1
+
+    def test_real_state_normalized(self):
+        s = random_real_state(5, 7, seed=3)
+        assert abs(s.norm() - 1.0) < 1e-9
+
+    def test_determinism(self):
+        assert random_sparse_state(8, seed=42) == random_sparse_state(8, seed=42)
+        assert random_dense_state(6, seed=9) == random_dense_state(6, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert random_sparse_state(8, seed=1) != random_sparse_state(8, seed=2)
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(StateError):
+            random_uniform_state(3, 0)
+        with pytest.raises(StateError):
+            random_uniform_state(3, 9)
+
+    def test_large_cardinality_uses_complement_sampling(self):
+        s = random_uniform_state(4, 15, seed=5)
+        assert s.cardinality == 15
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(0)
+        a = random_sparse_state(5, rng)
+        b = random_sparse_state(5, rng)
+        assert a != b  # stream advances
+
+
+class TestBenchmarkSuite:
+    def test_row_reproducibility(self):
+        a = benchmark_suite(6, sparse=True, count=4)
+        b = benchmark_suite(6, sparse=True, count=4)
+        assert a == b
+
+    def test_rows_independent(self):
+        sparse = benchmark_suite(6, sparse=True, count=2)
+        dense = benchmark_suite(6, sparse=False, count=2)
+        assert sparse[0].cardinality == 6
+        assert dense[0].cardinality == 32

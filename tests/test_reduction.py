@@ -1,0 +1,86 @@
+"""Unit tests for the improved cardinality reduction (workflow sparse path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.mflow import mflow_reduction_moves
+from repro.core.moves import moves_to_circuit
+from repro.exceptions import SynthesisError
+from repro.qsp.reduction import ReductionConfig, reduce_cardinality
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_sparse_state, random_uniform_state
+
+
+class TestReduceCardinality:
+    def test_full_reduction_prepares(self):
+        s = random_sparse_state(6, seed=3)
+        moves, final = reduce_cardinality(s)
+        circuit = moves_to_circuit(moves, final, 6)
+        assert prepares_state(circuit, s)
+
+    def test_stop_cardinality_respected(self):
+        s = random_uniform_state(6, 12, seed=4)
+        moves, final = reduce_cardinality(s, stop_cardinality=4)
+        assert final.cardinality <= 4
+
+    def test_stop_entangled_respected(self):
+        s = random_uniform_state(7, 7, seed=5)
+        from repro.states.analysis import num_entangled_qubits
+        moves, final = reduce_cardinality(s, stop_cardinality=16,
+                                          stop_entangled=4)
+        assert num_entangled_qubits(final) <= 4
+
+    def test_invalid_stop(self):
+        with pytest.raises(SynthesisError):
+            reduce_cardinality(w_state(3), stop_cardinality=0)
+
+    def test_multi_merge_beats_gh_on_uniform_pairs(self):
+        """A state with 4 simultaneously-mergeable pairs should be reduced
+        with free merges, far below GH's pair-at-a-time cost."""
+        s = QState.uniform(3, list(range(8)))  # |+++>: all free merges
+        moves, final = reduce_cardinality(s)
+        assert sum(m.cost for m in moves) == 0
+
+    @pytest.mark.parametrize("n", [5, 6, 8])
+    def test_not_worse_than_gh_on_uniform_sparse(self, n):
+        """The improvement the workflow banks on (Sec. VI-C)."""
+        s = random_sparse_state(n, seed=50 + n)
+        ours = sum(m.cost for m in reduce_cardinality(s)[0])
+        gh = sum(m.cost for m in mflow_reduction_moves(s)[0])
+        assert ours <= gh
+
+    def test_dicke_reduction_cheaper_than_gh(self):
+        s = dicke_state(5, 2)
+        ours = sum(m.cost for m in reduce_cardinality(s)[0])
+        gh = sum(m.cost for m in mflow_reduction_moves(s)[0])
+        assert ours <= gh
+
+    @given(st.integers(0, 60))
+    def test_property_prepares_random_states(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 6))
+        m = int(rng.integers(2, n + 2))
+        idx = rng.choice(1 << n, size=m, replace=False)
+        amps = rng.standard_normal(m)
+        s = QState(n, {int(i): float(a) for i, a in zip(idx, amps)})
+        moves, final = reduce_cardinality(s)
+        circuit = moves_to_circuit(moves, final, n)
+        assert prepares_state(circuit, s)
+
+    def test_config_max_controls(self):
+        s = random_uniform_state(6, 10, seed=9)
+        cfg = ReductionConfig(max_merge_controls=1)
+        moves, _ = reduce_cardinality(s, config=cfg)
+        from repro.core.moves import MergeMove
+        for m in moves:
+            if isinstance(m, MergeMove):
+                # GH fallback merges may use more literals; multi-merges not.
+                pass
+        # mostly a smoke test that the knob is accepted and works
+        assert moves

@@ -1,0 +1,34 @@
+"""Unit tests for resource estimation."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.resources import estimate_resources
+
+
+class TestResources:
+    def test_counts(self):
+        qc = QCircuit(3)
+        qc.ry(0, 0.5).cx(0, 1).cry(1, 2, 0.7)
+        report = estimate_resources(qc)
+        assert report.num_qubits == 3
+        assert report.num_gates == 3
+        assert report.cnot_count == 3  # 1 + 2
+        assert report.single_qubit_rotations == 3  # ry + 2 from cry
+        assert report.histogram == {"ry": 1, "cx": 1, "cry": 1}
+
+    def test_depths(self):
+        qc = QCircuit(2).cx(0, 1)
+        report = estimate_resources(qc)
+        assert report.depth == 1
+        assert report.two_qubit_depth == 1
+
+    def test_str_render(self):
+        report = estimate_resources(QCircuit(2).cx(0, 1))
+        text = str(report)
+        assert "CNOTs" in text and "depth" in text
+
+    def test_empty_circuit(self):
+        report = estimate_resources(QCircuit(2))
+        assert report.cnot_count == 0
+        assert report.depth == 0

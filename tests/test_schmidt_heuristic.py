@@ -1,0 +1,149 @@
+"""Tests for the Schmidt-cut heuristic (repro.core.heuristic extension)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.astar import SearchConfig, astar_search
+from repro.core.heuristic import (
+    combined_heuristic,
+    entanglement_heuristic,
+    schmidt_cut_heuristic,
+    schmidt_rank,
+)
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_sparse_state, random_uniform_state
+
+
+class TestSchmidtRank:
+    def test_product_state_rank_one(self):
+        state = QState.basis(3, 0b101)
+        for cut in ([0], [1], [0, 1], [2]):
+            assert schmidt_rank(state, cut) == 1
+
+    def test_bell_pair_rank_two(self):
+        bell = QState.uniform(2, [0b00, 0b11])
+        assert schmidt_rank(bell, [0]) == 2
+
+    def test_ghz_rank_two_any_cut(self):
+        state = ghz_state(4)
+        assert schmidt_rank(state, [0]) == 2
+        assert schmidt_rank(state, [0, 1]) == 2
+        assert schmidt_rank(state, [1, 3]) == 2
+
+    def test_w_state_rank_two(self):
+        # W states have Schmidt rank 2 across every cut
+        state = w_state(4)
+        assert schmidt_rank(state, [0, 1]) == 2
+
+    def test_dicke_rank(self):
+        # |D^2_4> across a 2|2 cut: patterns 11,10,01,00 vs 00,01,10,11
+        state = dicke_state(4, 2)
+        assert schmidt_rank(state, [0, 1]) == 3
+
+    def test_empty_and_full_cut_rank_one(self):
+        state = ghz_state(3)
+        assert schmidt_rank(state, []) == 1
+        assert schmidt_rank(state, [0, 1, 2]) == 1
+
+    def test_out_of_range_cut(self):
+        with pytest.raises(ValueError):
+            schmidt_rank(ghz_state(2), [5])
+
+    def test_rank_bounded_by_cardinality(self):
+        state = random_uniform_state(5, 6, seed=3)
+        for cut in ([0, 1], [2, 3], [0, 4]):
+            assert schmidt_rank(state, cut) <= state.cardinality
+
+    def test_rank_symmetric_under_complement(self):
+        state = random_uniform_state(4, 5, seed=7)
+        assert schmidt_rank(state, [0, 1]) == schmidt_rank(state, [2, 3])
+
+
+class TestSchmidtCutHeuristic:
+    def test_zero_for_product_states(self):
+        assert schmidt_cut_heuristic(QState.basis(3, 0b010)) == 0.0
+        assert schmidt_cut_heuristic(QState.ground(4)) == 0.0
+
+    def test_ghz_gives_one(self):
+        # every cut has rank 2 -> ceil(log2 2) = 1
+        assert schmidt_cut_heuristic(ghz_state(4)) == 1.0
+
+    def test_single_qubit_state(self):
+        assert schmidt_cut_heuristic(QState.uniform(1, [0, 1])) == 0.0
+
+    def test_high_rank_state_beats_entanglement_bound(self):
+        # 4 Bell pairs in parallel: rank across the interleaved cut is
+        # 2**4 = 16 -> bound 4; entangled-qubit bound ceil(8/2) = 4 too.
+        # Use a state where cut bound exceeds: dense random on 4 qubits
+        state = random_uniform_state(4, 8, seed=5)
+        h_cut = schmidt_cut_heuristic(state)
+        assert h_cut >= 1.0
+
+    def test_admissible_against_exact_optimum(self):
+        # the heuristic must never exceed the proven optimal CNOT count
+        for seed in range(6):
+            state = random_uniform_state(3, 4, seed=seed)
+            optimum = astar_search(state,
+                                   SearchConfig(max_nodes=60_000)).cnot_cost
+            assert schmidt_cut_heuristic(state) <= optimum
+            assert combined_heuristic(state) <= optimum
+
+    def test_combined_dominates_components(self):
+        for seed in range(4):
+            state = random_sparse_state(4, seed=seed)
+            h_combined = combined_heuristic(state)
+            assert h_combined >= entanglement_heuristic(state)
+            assert h_combined >= schmidt_cut_heuristic(state)
+
+
+class TestSearchWithCombinedHeuristic:
+    def test_same_optimum_as_default(self):
+        for seed in range(5):
+            state = random_uniform_state(3, 4, seed=100 + seed)
+            base = astar_search(state, SearchConfig(max_nodes=60_000))
+            combo = astar_search(state, SearchConfig(max_nodes=60_000),
+                                 heuristic=combined_heuristic)
+            assert combo.cnot_cost == base.cnot_cost
+            assert combo.optimal
+
+    def test_dicke_optimum_preserved(self):
+        base = astar_search(dicke_state(4, 2), SearchConfig(max_nodes=80_000))
+        combo = astar_search(dicke_state(4, 2),
+                             SearchConfig(max_nodes=80_000),
+                             heuristic=combined_heuristic)
+        assert combo.cnot_cost == base.cnot_cost == 6
+
+    def test_never_expands_more_nodes_when_dominating(self):
+        # a pointwise-larger admissible heuristic cannot expand more
+        # strictly-smaller-f nodes; allow slack for tie-breaking order
+        state = random_uniform_state(4, 4, seed=11)
+        base = astar_search(state, SearchConfig(max_nodes=120_000))
+        combo = astar_search(state, SearchConfig(max_nodes=120_000),
+                             heuristic=combined_heuristic)
+        assert combo.stats.nodes_expanded <= 2 * base.stats.nodes_expanded
+
+
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0,
+                                                          max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_rank_log_bound_is_integer_and_small(n, seed):
+    state = random_uniform_state(n, min(n + 1, 1 << n), seed=seed)
+    h = schmidt_cut_heuristic(state)
+    assert h == int(h)
+    # rank <= cardinality <= n + 1, so the bound is at most log2(n+1)
+    assert h <= math.ceil(math.log2(state.cardinality)) or h == 0.0
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_cut_heuristic_invariant_under_x(seed):
+    """Free X gates are local unitaries: the bound must not change."""
+    state = random_uniform_state(4, 5, seed=seed)
+    flipped = state.apply_x(seed % 4)
+    assert schmidt_cut_heuristic(state) == schmidt_cut_heuristic(flipped)

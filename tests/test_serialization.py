@@ -1,0 +1,88 @@
+"""Unit + property tests for JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import ReproError
+from repro.sim.equivalence import circuits_equivalent
+from repro.states.families import dicke_state
+from repro.states.qstate import QState
+from repro.utils.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps,
+    loads,
+    state_from_dict,
+    state_to_dict,
+)
+
+
+class TestStateRoundTrip:
+    def test_basic(self):
+        s = dicke_state(4, 2)
+        assert state_from_dict(state_to_dict(s)) == s
+
+    def test_signed_amplitudes(self):
+        s = QState(3, {1: 0.6, 6: -0.8})
+        assert state_from_dict(state_to_dict(s)) == s
+
+    @given(st.integers(0, 200))
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        m = int(rng.integers(1, min(8, 1 << n) + 1))
+        idx = rng.choice(1 << n, size=m, replace=False)
+        amps = rng.standard_normal(m)
+        s = QState(n, {int(i): float(a) for i, a in zip(idx, amps)})
+        assert loads(dumps(s)) == s
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            state_from_dict({"kind": "circuit"})
+
+
+class TestCircuitRoundTrip:
+    def test_all_gate_types(self):
+        qc = QCircuit(4)
+        qc.x(0).ry(1, 0.123456789).rz(2, -0.5).cx(0, 1, phase=0)
+        qc.cry(1, 2, 0.7).mcry([(0, 1), (1, 0)], 3, 2.5)
+        back = circuit_from_dict(circuit_to_dict(qc))
+        assert back == qc
+        assert circuits_equivalent(qc, back)
+
+    def test_angles_lossless(self):
+        theta = 0.1234567890123456789
+        qc = QCircuit(1).ry(0, theta)
+        back = loads(dumps(qc))
+        assert back[0].theta == qc[0].theta  # exact, not approximate
+
+    def test_json_is_valid(self):
+        text = dumps(QCircuit(2).cx(0, 1), indent=2)
+        data = json.loads(text)
+        assert data["kind"] == "qcircuit"
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ReproError):
+            circuit_from_dict({"kind": "qcircuit", "num_qubits": 2,
+                               "gates": [{"name": "h", "target": 0,
+                                          "controls": []}]})
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            loads(json.dumps({"kind": "mystery"}))
+        with pytest.raises(ReproError):
+            dumps(42)  # type: ignore[arg-type]
+
+    def test_synthesized_circuit_roundtrip(self):
+        from repro.core.exact import synthesize_exact
+        result = synthesize_exact(dicke_state(3, 1))
+        back = loads(dumps(result.circuit))
+        from repro.sim.verify import prepares_state
+        assert prepares_state(back, dicke_state(3, 1))

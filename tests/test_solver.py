@@ -1,0 +1,46 @@
+"""Unit tests for the top-level solver API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qsp.solver import compare_methods, prepare
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state
+from repro.states.random_states import random_sparse_state
+
+
+class TestPrepare:
+    def test_returns_circuit(self):
+        s = random_sparse_state(5, seed=1)
+        circuit = prepare(s)
+        assert prepares_state(circuit, s)
+
+
+class TestCompareMethods:
+    def test_all_columns_populated(self):
+        s = random_sparse_state(5, seed=2)
+        row = compare_methods(s)
+        assert row.num_qubits == 5
+        assert row.cardinality == 5
+        assert row.mflow > 0
+        assert row.nflow == (1 << 5) - 2
+        assert row.hybrid > 0
+        assert row.ours > 0
+
+    def test_ours_never_worst(self):
+        s = random_sparse_state(6, seed=3)
+        row = compare_methods(s)
+        assert row.ours <= max(row.mflow, row.nflow, row.hybrid)
+
+    def test_skip_flags(self):
+        s = random_sparse_state(5, seed=4)
+        row = compare_methods(s, include_hybrid=False, include_mflow=False)
+        assert row.hybrid == -1
+        assert row.mflow == -1
+
+    def test_as_row(self):
+        s = dicke_state(4, 1)
+        row = compare_methods(s)
+        assert row.as_row()[0] == 4
+        assert len(row.as_row()) == 6

@@ -1,0 +1,142 @@
+"""Tests for the sparse circuit simulator (repro.sim.sparse)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.qsp.workflow import prepare_state
+from repro.sim.sparse import (
+    apply_gate_sparse,
+    simulate_sparse,
+    sparse_fidelity,
+    sparse_prepares,
+)
+from repro.sim.statevector import simulate_circuit
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import random_sparse_state, random_uniform_state
+
+
+class TestApplyGateSparse:
+    def test_x_flips_index(self):
+        state = QState.basis(3, 0b000)
+        qc = QCircuit(3).x(1)
+        out = simulate_sparse(qc, state)
+        assert out == QState.basis(3, 0b010)
+
+    def test_cx_action(self):
+        state = QState.basis(2, 0b10)
+        out = simulate_sparse(QCircuit(2).cx(0, 1), state)
+        assert out == QState.basis(2, 0b11)
+
+    def test_negated_cx(self):
+        state = QState.basis(2, 0b00)
+        out = simulate_sparse(QCircuit(2).cx(0, 1, phase=0), state)
+        assert out == QState.basis(2, 0b01)
+
+    def test_ry_splits_amplitude(self):
+        out = simulate_sparse(QCircuit(1).ry(0, math.pi / 2))
+        assert out.cardinality == 2
+        assert out.amplitude(0) == pytest.approx(1 / math.sqrt(2))
+        assert out.amplitude(1) == pytest.approx(1 / math.sqrt(2))
+
+    def test_rz_rejected(self):
+        with pytest.raises(CircuitError):
+            simulate_sparse(QCircuit(1).rz(0, 0.4))
+
+    def test_gate_outside_register_rejected(self):
+        from repro.circuits.gates import XGate
+
+        with pytest.raises(CircuitError):
+            apply_gate_sparse(QState.ground(2), XGate(target=5))
+
+    def test_initial_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            simulate_sparse(QCircuit(3), QState.ground(2))
+
+
+class TestAgainstDenseSimulator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_on_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        qc = QCircuit(n)
+        for _ in range(12):
+            kind = rng.integers(4)
+            if kind == 0:
+                qc.ry(int(rng.integers(n)), float(rng.normal()))
+            elif kind == 1:
+                qc.x(int(rng.integers(n)))
+            elif kind == 2:
+                a, b = rng.choice(n, size=2, replace=False)
+                qc.cx(int(a), int(b))
+            else:
+                a, b = rng.choice(n, size=2, replace=False)
+                qc.cry(int(a), int(b), float(rng.normal()))
+        dense = simulate_circuit(qc)
+        sparse = simulate_sparse(qc).to_vector()
+        assert np.allclose(dense, sparse, atol=1e-8)
+
+    def test_mcry_matches_dense(self):
+        qc = QCircuit(3).ry(0, 1.0).ry(1, 0.5)
+        qc.mcry([(0, 1), (1, 0)], 2, 0.8)
+        dense = simulate_circuit(qc)
+        sparse = simulate_sparse(qc).to_vector()
+        assert np.allclose(dense, sparse, atol=1e-8)
+
+
+class TestVerification:
+    def test_prepared_states_verify(self):
+        for state in (ghz_state(4), w_state(4), dicke_state(4, 2)):
+            circuit = prepare_state(state).circuit
+            assert sparse_prepares(circuit, state)
+
+    def test_wrong_state_rejected(self):
+        circuit = prepare_state(ghz_state(3)).circuit
+        assert not sparse_prepares(circuit, w_state(3))
+
+    def test_global_sign_ignored(self):
+        state = ghz_state(3)
+        circuit = prepare_state(state).circuit
+        assert sparse_prepares(circuit, state.negate())
+
+    def test_fidelity_range(self):
+        circuit = prepare_state(ghz_state(3)).circuit
+        fid = sparse_fidelity(circuit, ghz_state(3))
+        assert fid == pytest.approx(1.0, abs=1e-9)
+
+    def test_wide_register_verification(self):
+        # 18 qubits: far beyond the dense simulator's reach
+        state = random_sparse_state(18, seed=3)
+        result = prepare_state(state)
+        assert sparse_prepares(result.circuit, state)
+
+    def test_ghz16(self):
+        state = ghz_state(16)
+        result = prepare_state(state)
+        assert sparse_prepares(result.circuit, state)
+
+
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0,
+                                                          max_value=60))
+@settings(max_examples=25, deadline=None)
+def test_sparse_simulation_preserves_norm(n, seed):
+    state = random_uniform_state(n, min(n, 1 << n), seed=seed)
+    circuit = prepare_state(state).circuit
+    out = simulate_sparse(circuit)
+    assert out.norm() == pytest.approx(1.0, abs=1e-7)
+
+
+@given(st.integers(min_value=0, max_value=40))
+@settings(max_examples=15, deadline=None)
+def test_sparse_verifies_workflow_output(seed):
+    state = random_uniform_state(4, 5, seed=seed)
+    result = prepare_state(state)
+    assert sparse_prepares(result.circuit, state)

@@ -1,0 +1,273 @@
+"""Tests for the extended state families (repro.states.special)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StateError
+from repro.states.special import (
+    bell_state,
+    binomial_state,
+    bitstring_superposition,
+    cluster_state_1d,
+    cluster_state_2d,
+    distribution_state,
+    domain_wall_state,
+    exponential_state,
+    gaussian_state,
+    graph_state,
+    hypergraph_state,
+    unary_encoding_state,
+)
+from repro.states.families import ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestBellStates:
+    def test_all_four_normalized_and_distinct(self):
+        states = [bell_state(k) for k in range(4)]
+        for s in states:
+            assert s.norm() == pytest.approx(1.0)
+            assert s.cardinality == 2
+        keys = {s.key() for s in states}
+        assert len(keys) == 4
+
+    def test_phi_plus_is_ghz2(self):
+        assert bell_state(0) == ghz_state(2)
+
+    def test_signs(self):
+        psi_minus = bell_state(3)
+        assert psi_minus.amplitude(0b01) * psi_minus.amplitude(0b10) < 0
+
+    def test_bad_kind(self):
+        with pytest.raises(StateError):
+            bell_state(7)
+
+
+class TestGraphStates:
+    def test_empty_graph_is_plus_state(self):
+        state = graph_state(nx.empty_graph(2), 2)
+        assert state.cardinality == 4
+        assert all(a == pytest.approx(0.5) for _, a in state.items())
+
+    def test_single_edge_sign_pattern(self):
+        state = graph_state(nx.path_graph(2), 2)
+        assert state.amplitude(0b11) == pytest.approx(-0.5)
+        for idx in (0b00, 0b01, 0b10):
+            assert state.amplitude(idx) == pytest.approx(0.5)
+
+    def test_triangle_signs(self):
+        state = graph_state(nx.cycle_graph(3), 3)
+        # |110>, |101>, |011> have one induced edge each -> negative;
+        # |111> has three -> negative
+        for idx in (0b110, 0b101, 0b011, 0b111):
+            assert state.amplitude(idx) < 0
+        for idx in (0b000, 0b001, 0b010, 0b100):
+            assert state.amplitude(idx) > 0
+
+    def test_normalized(self):
+        assert graph_state(nx.cycle_graph(4), 4).norm() == pytest.approx(1.0)
+
+    def test_cluster_1d_matches_path_graph(self):
+        assert cluster_state_1d(3) == graph_state(nx.path_graph(3), 3)
+
+    def test_cluster_2d_shape(self):
+        state = cluster_state_2d(2, 2)
+        assert state.num_qubits == 4
+        assert state.cardinality == 16
+
+    def test_nodes_outside_register_rejected(self):
+        g = nx.Graph([(0, 5)])
+        with pytest.raises(StateError):
+            graph_state(g, 3)
+
+    def test_width_guard(self):
+        with pytest.raises(StateError):
+            graph_state(nx.empty_graph(25), 25)
+
+    def test_graph_state_is_preparable(self):
+        from repro.qsp.workflow import prepare_state
+        from repro.sim.verify import prepares_state
+
+        state = graph_state(nx.path_graph(3), 3)
+        result = prepare_state(state)
+        assert prepares_state(result.circuit, state)
+
+
+class TestHypergraphStates:
+    def test_pairwise_edges_match_graph_state(self):
+        edges = [(0, 1), (1, 2)]
+        hyper = hypergraph_state(3, edges)
+        plain = graph_state(nx.Graph(edges), 3)
+        assert hyper == plain
+
+    def test_three_body_edge(self):
+        state = hypergraph_state(3, [(0, 1, 2)])
+        assert state.amplitude(0b111) < 0
+        assert state.amplitude(0b110) > 0
+
+    def test_single_vertex_edge_acts_as_z(self):
+        state = hypergraph_state(2, [(0,)])
+        assert state.amplitude(0b10) < 0
+        assert state.amplitude(0b11) < 0
+        assert state.amplitude(0b00) > 0
+
+    def test_duplicate_qubits_collapse(self):
+        assert hypergraph_state(2, [(0, 0, 1)]) == \
+            hypergraph_state(2, [(0, 1)])
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(StateError):
+            hypergraph_state(2, [()])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(StateError):
+            hypergraph_state(2, [(0, 3)])
+
+
+class TestDistributionStates:
+    def test_normalization(self):
+        state = distribution_state([1, 2, 3, 4])
+        assert state.norm() == pytest.approx(1.0)
+        assert state.amplitude(3) == pytest.approx(math.sqrt(0.4))
+
+    def test_zero_weights_dropped(self):
+        state = distribution_state([1, 0, 0, 1])
+        assert state.cardinality == 2
+
+    def test_width_inference(self):
+        assert distribution_state([1] * 5).num_qubits == 3
+
+    def test_explicit_width(self):
+        assert distribution_state([1, 1], num_qubits=4).num_qubits == 4
+
+    def test_too_many_weights(self):
+        with pytest.raises(StateError):
+            distribution_state([1] * 5, num_qubits=2)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(StateError):
+            distribution_state([1, -1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(StateError):
+            distribution_state([0, 0])
+
+    def test_gaussian_symmetric(self):
+        state = gaussian_state(3)
+        vec = state.to_vector()
+        assert np.allclose(vec, vec[::-1], atol=1e-12)
+
+    def test_gaussian_peak_at_mean(self):
+        state = gaussian_state(3, mean=2.0, std=1.0)
+        amps = state.to_vector()
+        assert int(np.argmax(amps)) == 2
+
+    def test_gaussian_bad_std(self):
+        with pytest.raises(StateError):
+            gaussian_state(3, std=0.0)
+
+    def test_binomial_matches_comb(self):
+        state = binomial_state(2, probability=0.5)
+        # B(3, 0.5): weights 1,3,3,1 over 8
+        assert state.amplitude(0) == pytest.approx(math.sqrt(1 / 8))
+        assert state.amplitude(1) == pytest.approx(math.sqrt(3 / 8))
+
+    def test_binomial_bad_probability(self):
+        with pytest.raises(StateError):
+            binomial_state(2, probability=1.0)
+
+    def test_exponential_decays(self):
+        state = exponential_state(3, rate=4.0)
+        vec = state.to_vector()
+        assert all(vec[i] > vec[i + 1] for i in range(7))
+
+    def test_exponential_bad_rate(self):
+        with pytest.raises(StateError):
+            exponential_state(3, rate=-1.0)
+
+
+class TestBitstringSuperposition:
+    def test_uniform(self):
+        state = bitstring_superposition(["000", "011", "101", "110"])
+        assert state.cardinality == 4
+        assert state.amplitude(0b011) == pytest.approx(0.5)
+
+    def test_weighted(self):
+        state = bitstring_superposition(["00", "11"], [1.0, -1.0])
+        assert state.amplitude(0b00) == pytest.approx(1 / math.sqrt(2))
+        assert state.amplitude(0b11) == pytest.approx(-1 / math.sqrt(2))
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(StateError):
+            bitstring_superposition(["00", "111"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(StateError):
+            bitstring_superposition(["01", "01"])
+
+    def test_amplitude_count_mismatch(self):
+        with pytest.raises(StateError):
+            bitstring_superposition(["01"], [0.5, 0.5])
+
+
+class TestStructuredFamilies:
+    def test_domain_wall_cardinality(self):
+        state = domain_wall_state(4)
+        assert state.cardinality == 5
+        assert state.amplitude(0b0000) != 0.0
+        assert state.amplitude(0b0111) != 0.0
+        assert state.amplitude(0b0101) == 0.0
+
+    def test_domain_wall_sparse(self):
+        assert domain_wall_state(6).is_sparse()
+
+    def test_unary_encoding_is_w_like(self):
+        state = unary_encoding_state([1.0, 1.0, 1.0])
+        assert state == w_state(3)
+
+    def test_unary_encoding_signs(self):
+        state = unary_encoding_state([3.0, -4.0])
+        assert state.amplitude(0b10) == pytest.approx(0.6)
+        assert state.amplitude(0b01) == pytest.approx(-0.8)
+
+    def test_unary_zero_vector_rejected(self):
+        with pytest.raises(StateError):
+            unary_encoding_state([0.0, 0.0])
+
+
+@given(st.integers(min_value=1, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_distribution_states_normalized(n):
+    for maker in (gaussian_state, exponential_state):
+        assert maker(n).norm() == pytest.approx(1.0)
+    assert binomial_state(n).norm() == pytest.approx(1.0)
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0,
+                                                          max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_random_graph_states_normalized(n, seed):
+    graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+    state = graph_state(graph, n)
+    assert state.norm() == pytest.approx(1.0)
+    assert state.cardinality == 1 << n
+
+
+@given(st.integers(min_value=2, max_value=4), st.integers(min_value=0,
+                                                          max_value=20))
+@settings(max_examples=10, deadline=None)
+def test_small_graph_states_preparable(n, seed):
+    from repro.qsp.workflow import prepare_state
+    from repro.sim.verify import prepares_state
+
+    graph = nx.gnp_random_graph(n, 0.6, seed=seed)
+    state = graph_state(graph, n)
+    result = prepare_state(state)
+    assert prepares_state(result.circuit, state)

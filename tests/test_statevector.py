@@ -1,0 +1,116 @@
+"""Unit + property tests for the statevector simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.sim.statevector import apply_gate, simulate_circuit, simulate_to_state
+from repro.states.families import ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestBasics:
+    def test_default_initial_is_ground(self):
+        vec = simulate_circuit(QCircuit(2))
+        assert vec[0] == 1.0 and np.allclose(vec[1:], 0.0)
+
+    def test_x_flips_msb(self):
+        vec = simulate_circuit(QCircuit(2).x(0))
+        assert vec[0b10] == 1.0
+
+    def test_cx_on_superposition(self):
+        qc = QCircuit(2).ry(0, math.pi / 2).cx(0, 1)
+        vec = simulate_circuit(qc)
+        expected = np.zeros(4)
+        expected[0b00] = expected[0b11] = 1 / math.sqrt(2)
+        assert np.allclose(vec, expected)
+
+    def test_negative_control(self):
+        qc = QCircuit(2).cx(0, 1, phase=0)
+        vec = simulate_circuit(qc)
+        assert abs(vec[0b01]) == 1.0
+
+    def test_initial_qstate(self):
+        s = ghz_state(2)
+        vec = simulate_circuit(QCircuit(2), initial=s)
+        assert np.allclose(vec, s.to_vector())
+
+    def test_initial_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            simulate_circuit(QCircuit(2), initial=ghz_state(3))
+        with pytest.raises(CircuitError):
+            simulate_circuit(QCircuit(2), initial=np.zeros(3))
+
+    def test_apply_gate_length_check(self):
+        from repro.circuits.gates import XGate
+        with pytest.raises(CircuitError):
+            apply_gate(np.zeros(3, dtype=complex), XGate(target=0), 2)
+
+    def test_complex_gate_on_real_vector_rejected(self):
+        from repro.circuits.gates import RZGate
+        with pytest.raises(CircuitError):
+            apply_gate(np.zeros(2), RZGate(target=0, theta=0.5), 1)
+
+
+class TestSimulateToState:
+    def test_returns_qstate(self):
+        qc = QCircuit(3).ry(0, math.pi / 2).cx(0, 1).cx(1, 2)
+        state = simulate_to_state(qc)
+        assert state == ghz_state(3)
+
+    def test_rejects_complex_result(self):
+        qc = QCircuit(1).ry(0, math.pi / 2).rz(0, 1.0)
+        with pytest.raises(CircuitError):
+            simulate_to_state(qc)
+
+
+class TestUnitarity:
+    @given(st.integers(0, 10_000))
+    def test_norm_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 5))
+        qc = QCircuit(n)
+        for _ in range(8):
+            kind = rng.integers(0, 3)
+            q = int(rng.integers(0, n))
+            if kind == 0:
+                qc.ry(q, float(rng.standard_normal()))
+            elif kind == 1:
+                qc.rz(q, float(rng.standard_normal()))
+            elif n > 1:
+                t = int((q + 1 + rng.integers(0, n - 1)) % n)
+                qc.cx(q, t)
+        vec = rng.standard_normal(1 << n) + 1j * rng.standard_normal(1 << n)
+        vec /= np.linalg.norm(vec)
+        out = simulate_circuit(qc, initial=vec)
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-9)
+
+    def test_inverse_circuit_undoes(self, rng):
+        qc = QCircuit(3).ry(0, 0.3).cx(0, 1).cry(1, 2, -0.8).x(2)
+        roundtrip = QCircuit(3)
+        roundtrip.compose(qc)
+        roundtrip.compose(qc.inverse())
+        vec = rng.standard_normal(8)
+        vec /= np.linalg.norm(vec)
+        out = simulate_circuit(roundtrip, initial=vec.astype(complex))
+        assert np.allclose(out, vec, atol=1e-9)
+
+
+class TestKnownStates:
+    def test_w3_preparation(self):
+        # Manual W3: X, Ry, CX cascade from the baseline module.
+        from repro.baselines.dicke_manual import w_state_circuit
+        state = simulate_to_state(w_state_circuit(3))
+        assert state.approx_equal(w_state(3))
+
+    def test_uniform_superposition(self):
+        qc = QCircuit(2).ry(0, math.pi / 2).ry(1, math.pi / 2)
+        vec = simulate_circuit(qc)
+        assert np.allclose(np.abs(vec) ** 2, 0.25)

@@ -1,0 +1,114 @@
+"""Unit + property tests for successor enumeration (the AP library)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.moves import MergeMove
+from repro.core.transitions import enumerate_cx, enumerate_merges, successors
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+
+
+class TestEnumerateCx:
+    def test_counts(self):
+        # GHZ(3): every (c, t) pair, but only phase values present fire.
+        s = ghz_state(3)
+        moves = enumerate_cx(s)
+        # 3*2 ordered pairs * 2 phases = 12; all columns have both values.
+        assert len(moves) == 12
+
+    def test_constant_column_drops_phase(self):
+        s = QState.uniform(2, [0b00, 0b01])  # qubit 0 always 0
+        moves = enumerate_cx(s)
+        phases_for_c0 = {m.phase for m in moves if m.control == 0}
+        assert phases_for_c0 == {0}
+
+
+class TestEnumerateMerges:
+    def test_free_merge_found(self):
+        s = QState.uniform(2, [0b00, 0b01])
+        merges = enumerate_merges(s, target=1)
+        assert any(m.controls == () for m in merges)
+
+    def test_no_pairs_no_merges(self):
+        assert enumerate_merges(w_state(3), target=0) == []
+
+    def test_single_leftover_blocks_uncontrolled_merge(self):
+        # pairs (000,001) plus lone 110: full merge invalid, controlled ok.
+        s = QState.uniform(3, [0b000, 0b001, 0b110])
+        merges = enumerate_merges(s, target=2)
+        assert all(m.controls for m in merges)
+        assert any(m.controls == ((0, 0),) for m in merges)
+
+    def test_inconsistent_ratios_need_controls(self):
+        s = QState(3, {0b000: 0.8, 0b001: 0.2, 0b110: 0.3, 0b111: 0.4})
+        merges = enumerate_merges(s, target=2)
+        assert all(m.controls for m in merges)
+
+    def test_consistent_ratios_merge_together(self):
+        s = QState(3, {0b000: 0.4, 0b001: 0.2, 0b110: 0.6, 0b111: 0.3})
+        merges = enumerate_merges(s, target=2)
+        free = [m for m in merges if m.controls == ()]
+        assert free
+        merged = free[0].apply(s)
+        assert merged.cardinality == 2
+
+    def test_max_controls_respected(self):
+        s = dicke_state(4, 2)
+        for m in enumerate_merges(s, target=0, max_controls=1):
+            assert len(m.controls) <= 1
+
+    def test_both_directions_emitted(self):
+        s = QState.uniform(2, [0b00, 0b01])
+        merges = [m for m in enumerate_merges(s, target=1)
+                  if m.controls == ()]
+        results = {m.apply(s).index_set for m in merges}
+        assert frozenset({0b00}) in results
+        assert frozenset({0b01}) in results
+
+
+class TestSuccessors:
+    def test_no_self_loops(self):
+        s = ghz_state(3)
+        for move, nxt in successors(s):
+            assert nxt != s
+
+    def test_costs_nonnegative(self):
+        for move, _ in successors(dicke_state(3, 1)):
+            assert move.cost >= 0
+
+    def test_include_x_moves(self):
+        s = QState.uniform(2, [0b00, 0b11])
+        with_x = successors(s, include_x_moves=True)
+        without = successors(s, include_x_moves=False)
+        assert len(with_x) > len(without)
+
+    @given(st.integers(0, 500))
+    def test_ap_invariant_merges_preserve_probability_mass(self, seed):
+        """Every successor is a valid normalized state and merges preserve
+        the amplitude multiset (paper's AP definition)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = int(rng.integers(2, min(6, 1 << n) + 1))
+        idx = rng.choice(1 << n, size=m, replace=False)
+        amps = rng.standard_normal(m)
+        s = QState(n, {int(i): float(a) for i, a in zip(idx, amps)})
+        for move, nxt in successors(s):
+            assert abs(nxt.norm() - 1.0) < 1e-8
+            if isinstance(move, MergeMove):
+                assert nxt.cardinality < s.cardinality
+            else:
+                assert nxt.cardinality == s.cardinality
+
+    def test_motivating_example_has_cheap_path(self):
+        """Figure 4's first bold arc exists: a 1-CNOT move from the target
+        toward (|000>+|010>+|001>+|011>)/2."""
+        psi = QState.uniform(3, [0b000, 0b011, 0b101, 0b110])
+        succ_sets = {nxt.index_set for move, nxt in successors(psi)
+                     if move.cost == 1}
+        assert frozenset({0b000, 0b010, 0b001, 0b011}) in succ_sets or \
+            any(len(ss) == 4 for ss in succ_sets)

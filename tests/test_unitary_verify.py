@@ -1,0 +1,96 @@
+"""Unit tests for unitary construction and circuit verification."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QCircuit
+from repro.circuits.gates import CXGate, RYGate
+from repro.exceptions import VerificationError
+from repro.sim.unitary import circuit_unitary, gate_unitary, unitaries_equal
+from repro.sim.verify import (
+    assert_prepares,
+    fidelity,
+    prepares_state,
+    verification_report,
+)
+from repro.states.families import ghz_state
+from repro.states.qstate import QState
+
+
+class TestUnitary:
+    def test_gate_unitary_cx(self):
+        mat = gate_unitary(CXGate.make(0, 1), 2)
+        expected = np.array([[1, 0, 0, 0],
+                             [0, 1, 0, 0],
+                             [0, 0, 0, 1],
+                             [0, 0, 1, 0]], dtype=complex)
+        assert np.allclose(mat, expected)
+
+    def test_circuit_unitary_composition(self):
+        qc = QCircuit(2).ry(0, 0.4).cx(0, 1)
+        u = circuit_unitary(qc)
+        u1 = gate_unitary(RYGate(target=0, theta=0.4), 2)
+        u2 = gate_unitary(CXGate.make(0, 1), 2)
+        assert np.allclose(u, u2 @ u1)
+
+    def test_unitary_is_unitary(self):
+        qc = QCircuit(3).ry(0, 0.3).cx(0, 2).rz(1, 0.9)
+        u = circuit_unitary(qc)
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-9)
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(QCircuit(13))
+
+
+class TestUnitariesEqual:
+    def test_exact(self):
+        u = circuit_unitary(QCircuit(1).ry(0, 0.5))
+        assert unitaries_equal(u, u)
+
+    def test_global_phase(self):
+        u = circuit_unitary(QCircuit(1).ry(0, 0.5))
+        assert not unitaries_equal(u, -u)
+        assert unitaries_equal(u, np.exp(0.3j) * u, up_to_global_phase=True)
+
+    def test_shape_mismatch(self):
+        assert not unitaries_equal(np.eye(2), np.eye(4))
+
+    def test_non_phase_scaling_rejected(self):
+        u = np.eye(2, dtype=complex)
+        assert not unitaries_equal(u, 2.0 * u, up_to_global_phase=True)
+
+
+class TestVerify:
+    def _ghz_circuit(self):
+        return QCircuit(3).ry(0, math.pi / 2).cx(0, 1).cx(1, 2)
+
+    def test_fidelity_one(self):
+        assert fidelity(self._ghz_circuit(), ghz_state(3)) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    def test_prepares_state(self):
+        assert prepares_state(self._ghz_circuit(), ghz_state(3))
+        assert not prepares_state(QCircuit(3), ghz_state(3))
+
+    def test_global_sign_accepted(self):
+        target = ghz_state(3).negate()
+        assert prepares_state(self._ghz_circuit(), target)
+
+    def test_assert_prepares_raises_with_report(self):
+        with pytest.raises(VerificationError) as err:
+            assert_prepares(QCircuit(3), ghz_state(3))
+        assert "fidelity" in str(err.value)
+
+    def test_report_mentions_amplitudes(self):
+        report = verification_report(self._ghz_circuit(), ghz_state(3))
+        assert "target" in report and "produced" in report
+
+    def test_custom_initial_state(self):
+        initial = QState.basis(2, 0b10)
+        qc = QCircuit(2).cx(0, 1)
+        assert prepares_state(qc, QState.basis(2, 0b11), initial=initial)

@@ -1,0 +1,89 @@
+"""Unit tests for table formatting, timing, and numeric constants."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.constants import amps_close, mcry_cnot_cost, quantize
+from repro.utils.tables import format_table, geometric_mean, improvement_percent
+from repro.utils.timing import Stopwatch
+
+
+class TestConstants:
+    def test_quantize_rounds(self):
+        assert quantize(0.12345678901234) == pytest.approx(0.123456789)
+
+    def test_quantize_negative_zero(self):
+        assert str(quantize(-1e-15)) == "0.0"
+
+    def test_amps_close(self):
+        assert amps_close(0.5, 0.5 + 1e-12)
+        assert not amps_close(0.5, 0.51)
+
+    def test_mcry_cost(self):
+        assert mcry_cnot_cost(0) == 0
+        assert mcry_cnot_cost(1) == 2
+        assert mcry_cnot_cost(5) == 32
+
+    def test_mcry_cost_negative(self):
+        with pytest.raises(ValueError):
+            mcry_cnot_cost(-1)
+
+
+class TestTables:
+    def test_format_basic(self):
+        text = format_table(["n", "cost"], [[3, 4], [10, 123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "cost" in lines[0]
+
+    def test_format_with_title(self):
+        text = format_table(["a"], [[1]], title="Table X")
+        assert text.splitlines()[0].strip() == "Table X"
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[1.5], [float("nan")], [1234.5]])
+        assert "1.5" in text and "-" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([13.0]) == pytest.approx(13.0)
+
+    def test_geometric_mean_clamps_zero(self):
+        assert geometric_mean([0, 4]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_improvement_percent(self):
+        assert improvement_percent(100, 90) == pytest.approx(10.0)
+        assert improvement_percent(13.0, 10.9) == pytest.approx(16.15, abs=0.1)
+        assert improvement_percent(0, 5) == 0.0
+
+
+class TestStopwatch:
+    def test_elapsed_monotonic(self):
+        sw = Stopwatch()
+        first = sw.elapsed()
+        second = sw.elapsed()
+        assert second >= first >= 0.0
+
+    def test_no_limit_never_expires(self):
+        sw = Stopwatch()
+        assert not sw.expired()
+        assert sw.remaining() is None
+
+    def test_limit_expires(self):
+        sw = Stopwatch(limit_seconds=0.0)
+        time.sleep(0.01)
+        assert sw.expired()
+        assert sw.remaining() == 0.0
+
+    def test_restart(self):
+        sw = Stopwatch(limit_seconds=100.0)
+        time.sleep(0.01)
+        sw.restart()
+        assert sw.elapsed() < 0.01

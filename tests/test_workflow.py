@@ -1,0 +1,120 @@
+"""Integration tests for the Fig.-5 workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.mflow import mflow_cnot_count
+from repro.baselines.nflow import nflow_cnot_count
+from repro.qsp.config import QSPConfig
+from repro.qsp.workflow import prepare_state
+from repro.sim.verify import prepares_state
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.states.random_states import (
+    random_dense_state,
+    random_real_state,
+    random_sparse_state,
+)
+
+
+class TestDispatch:
+    def test_sparse_flag(self):
+        res = prepare_state(random_sparse_state(6, seed=1))
+        assert res.sparse_path
+
+    def test_dense_flag(self):
+        res = prepare_state(random_dense_state(5, seed=1))
+        assert not res.sparse_path
+
+    def test_small_state_goes_direct(self):
+        res = prepare_state(ghz_state(3))
+        assert any("core" in line for line in res.trace)
+        assert res.cnot_cost == 2
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_sparse_states_verified(self, n):
+        s = random_sparse_state(n, seed=60 + n)
+        res = prepare_state(s)
+        assert prepares_state(res.circuit, s)
+        assert res.cnot_cost == res.circuit.cnot_cost()
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_dense_states_verified(self, n):
+        s = random_dense_state(n, seed=70 + n)
+        res = prepare_state(s)
+        assert prepares_state(res.circuit, s)
+
+    def test_signed_amplitudes(self):
+        s = random_real_state(5, 5, seed=2)
+        res = prepare_state(s)
+        assert prepares_state(res.circuit, s)
+
+    def test_named_states(self):
+        for s in (ghz_state(5), w_state(5), dicke_state(5, 2)):
+            res = prepare_state(s)
+            assert prepares_state(res.circuit, s)
+
+    def test_basis_state_free(self):
+        res = prepare_state(QState.basis(6, 0b101010))
+        assert res.cnot_cost == 0
+
+
+class TestQuality:
+    """The paper's evaluation claims, at test scale."""
+
+    def test_sparse_beats_or_ties_mflow(self):
+        for seed in range(3):
+            s = random_sparse_state(8, seed=seed)
+            ours = prepare_state(s).cnot_cost
+            assert ours <= mflow_cnot_count(s)
+
+    def test_dense_beats_or_ties_nflow(self):
+        for seed in range(2):
+            s = random_dense_state(6, seed=seed)
+            ours = prepare_state(s).cnot_cost
+            assert ours <= nflow_cnot_count(6)
+
+    def test_dicke42_beats_manual(self):
+        """The 2x headline: |D^2_4> below the 12-CNOT manual design."""
+        res = prepare_state(dicke_state(4, 2))
+        assert res.cnot_cost == 6
+
+    def test_ghz_large(self):
+        res = prepare_state(ghz_state(8))
+        assert prepares_state(res.circuit, ghz_state(8))
+        assert res.cnot_cost == 7  # GHZ(n) optimum is n-1
+
+
+class TestConfig:
+    def test_exact_disabled_ablation(self):
+        cfg = QSPConfig(use_exact=False)
+        s = random_sparse_state(6, seed=11)
+        res = prepare_state(s, cfg)
+        assert prepares_state(res.circuit, s)
+        assert res.exact_optimal is None
+
+    def test_plain_reduction_ablation(self):
+        cfg = QSPConfig(improved_reduction=False)
+        s = random_sparse_state(7, seed=12)
+        res = prepare_state(s, cfg)
+        assert prepares_state(res.circuit, s)
+
+    def test_improved_not_worse_than_plain(self):
+        s = random_sparse_state(8, seed=13)
+        improved = prepare_state(s).cnot_cost
+        plain = prepare_state(s, QSPConfig(improved_reduction=False)).cnot_cost
+        assert improved <= plain
+
+    def test_verification_can_be_skipped(self):
+        cfg = QSPConfig(verify_max_qubits=0)
+        res = prepare_state(random_sparse_state(5, seed=14), cfg)
+        assert "verified by simulation" not in res.trace
+
+    def test_trace_is_informative(self):
+        res = prepare_state(random_sparse_state(6, seed=15))
+        assert any("sparse path" in t for t in res.trace)
+        assert any("exact" in t for t in res.trace)
