@@ -1,0 +1,208 @@
+"""Kernel benchmark — nodes/sec of the packed A* hot path vs the seed path.
+
+Runs the same A* configuration through both engines on the Dicke benchmark
+family (the rows of Table IV) and reports search throughput:
+
+* ``nodes/sec`` = expanded nodes per second of search time — the standard
+  search-throughput metric, and the only one defined identically for both
+  engines (the kernel's lazy duplicate detection generates more frontier
+  entries per expansion by design, so generated-node counts are not
+  comparable across engines);
+* per-row speedups plus two aggregates: the *family throughput* ratio
+  (total nodes / total time, the number that governs any real Dicke
+  workload, which the heavy rows dominate) and the per-row geometric mean;
+* identical CNOT costs and optimality flags are asserted on every row both
+  engines solve within budget.
+
+Rows that neither budget can prove optimal are run under a fixed node
+budget so both engines do exactly comparable work.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full rows
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke    # CI smoke
+
+Results land in ``BENCH_kernel.json`` at the repo root (the committed
+snapshot) and ``benchmarks/results/bench_kernel.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.astar import SearchConfig, astar_search  # noqa: E402
+from repro.exceptions import SearchBudgetExceeded        # noqa: E402
+from repro.states.families import dicke_state            # noqa: E402
+from repro.utils.tables import format_table              # noqa: E402
+
+#: (n, k, node budget) — budgets chosen so the small rows are solved to
+#: proven optimality and the heavy rows do a fixed, comparable slice of work.
+FULL_ROWS = [
+    (3, 1, 50_000),
+    (4, 1, 50_000),
+    (4, 2, 100_000),
+    (5, 1, 100_000),
+    (5, 2, 4_000),
+    (6, 1, 200_000),
+    (6, 2, 1_200),
+    (6, 3, 700),
+]
+
+SMOKE_ROWS = [
+    (4, 1, 50_000),
+    (4, 2, 100_000),
+    (5, 1, 100_000),
+    (6, 2, 250),
+]
+
+#: Acceptance thresholds on the family-throughput speedup.
+FULL_THRESHOLD = 3.0
+SMOKE_THRESHOLD = 1.2
+
+_TIME_LIMIT = 900.0
+
+
+def _run(n: int, k: int, budget: int, use_kernel: bool) -> dict:
+    # cache_cap large enough that neither engine ever evicts on these rows:
+    # the differential must measure engine speed, not eviction thrash
+    config = SearchConfig(max_nodes=budget, time_limit=_TIME_LIMIT,
+                          use_kernel=use_kernel, cache_cap=1 << 24)
+    target = dicke_state(n, k)
+    start = time.perf_counter()
+    try:
+        result = astar_search(target, config)
+        stats = result.stats
+        outcome = {"solved": True, "cnot_cost": result.cnot_cost,
+                   "optimal": result.optimal}
+    except SearchBudgetExceeded as exc:
+        stats = exc.stats  # real counters — a timeout expands < budget
+        outcome = {"solved": False, "cnot_cost": None, "optimal": None,
+                   "lower_bound": exc.lower_bound}
+    elapsed = time.perf_counter() - start
+    if stats is not None:
+        nodes = max(1, stats.nodes_expanded)
+        outcome.update({
+            "nodes_expanded": stats.nodes_expanded,
+            "nodes_generated": stats.nodes_generated,
+            "canon_cache_hit_rate": round(stats.canon_cache_hit_rate, 4),
+        })
+    else:  # engine provided no counters: assume the node budget was done
+        nodes = budget
+        outcome.update({"nodes_expanded": budget, "nodes_generated": None})
+    outcome["elapsed_seconds"] = round(elapsed, 4)
+    outcome["nodes"] = nodes
+    outcome["nodes_per_second"] = round(nodes / elapsed, 1)
+    return outcome
+
+
+def run_benchmark(rows: list[tuple[int, int, int]]) -> dict:
+    results = []
+    totals = {"kernel": {"nodes": 0, "seconds": 0.0},
+              "legacy": {"nodes": 0, "seconds": 0.0}}
+    for n, k, budget in rows:
+        kernel = _run(n, k, budget, use_kernel=True)
+        legacy = _run(n, k, budget, use_kernel=False)
+        if kernel["solved"] and legacy["solved"]:
+            assert kernel["cnot_cost"] == legacy["cnot_cost"], \
+                f"D({n},{k}): kernel {kernel['cnot_cost']} != " \
+                f"legacy {legacy['cnot_cost']}"
+            assert kernel["optimal"] == legacy["optimal"]
+        speedup = kernel["nodes_per_second"] / legacy["nodes_per_second"]
+        totals["kernel"]["nodes"] += kernel["nodes"]
+        totals["kernel"]["seconds"] += kernel["elapsed_seconds"]
+        totals["legacy"]["nodes"] += legacy["nodes"]
+        totals["legacy"]["seconds"] += legacy["elapsed_seconds"]
+        results.append({"n": n, "k": k, "budget": budget,
+                        "kernel": kernel, "legacy": legacy,
+                        "nodes_per_sec_speedup": round(speedup, 3)})
+    kernel_nps = totals["kernel"]["nodes"] / totals["kernel"]["seconds"]
+    legacy_nps = totals["legacy"]["nodes"] / totals["legacy"]["seconds"]
+    speedups = [row["nodes_per_sec_speedup"] for row in results]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {
+        "metric": "nodes/sec = expanded nodes / elapsed",
+        "rows": results,
+        "family_nodes_per_sec": {"kernel": round(kernel_nps, 1),
+                                 "legacy": round(legacy_nps, 1)},
+        "family_throughput_speedup": round(kernel_nps / legacy_nps, 3),
+        "per_row_geomean_speedup": round(geomean, 3),
+    }
+
+
+def render_table(report: dict) -> str:
+    rows = []
+    for row in report["rows"]:
+        kernel, legacy = row["kernel"], row["legacy"]
+        cost = kernel["cnot_cost"] if kernel["solved"] else "-"
+        flag = "*" if kernel.get("optimal") else ""
+        rows.append([
+            f"D({row['n']},{row['k']})", row["budget"], f"{cost}{flag}",
+            f"{kernel['nodes_per_second']:.0f}",
+            f"{legacy['nodes_per_second']:.0f}",
+            f"{row['nodes_per_sec_speedup']:.2f}x",
+        ])
+    rows.append(["family", "-", "-",
+                 f"{report['family_nodes_per_sec']['kernel']:.0f}",
+                 f"{report['family_nodes_per_sec']['legacy']:.0f}",
+                 f"{report['family_throughput_speedup']:.2f}x"])
+    text = format_table(
+        ["state", "budget", "cnot", "kernel n/s", "seed n/s", "speedup"],
+        rows,
+        title="Packed-kernel A* throughput on the Dicke family "
+              "(* = proven optimal; last row = family aggregate)")
+    text += (f"\n  per-row geomean speedup: "
+             f"{report['per_row_geomean_speedup']:.2f}x")
+    return text
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    rows = SMOKE_ROWS if smoke else FULL_ROWS
+    threshold = SMOKE_THRESHOLD if smoke else FULL_THRESHOLD
+    report = run_benchmark(rows)
+    report["mode"] = "smoke" if smoke else "full"
+    report["threshold"] = threshold
+    text = render_table(report)
+    print(text)
+
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    results_dir.mkdir(exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    (results_dir / f"bench_kernel{suffix}.txt").write_text(
+        text + "\n", encoding="utf-8")
+    # only the full run may refresh the committed headline snapshot
+    out = (REPO_ROOT / "BENCH_kernel.json" if not smoke
+           else results_dir / "bench_kernel_smoke.json")
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+
+    speedup = report["family_throughput_speedup"]
+    if speedup < threshold:
+        print(f"FAIL: family throughput speedup {speedup:.2f}x "
+              f"< required {threshold:.1f}x", file=sys.stderr)
+        return 1
+    print(f"OK: family throughput speedup {speedup:.2f}x "
+          f">= {threshold:.1f}x")
+    return 0
+
+
+def test_kernel_benchmark_smoke(benchmark, results_emitter):
+    """Pytest entry: smoke rows + the regression floor (CI satellite)."""
+    report = run_benchmark(SMOKE_ROWS)
+    results_emitter("bench_kernel_smoke", render_table(report))
+    assert report["family_throughput_speedup"] >= SMOKE_THRESHOLD
+    benchmark.pedantic(
+        lambda: _run(4, 2, 100_000, use_kernel=True)["nodes_per_second"],
+        rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

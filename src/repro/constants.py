@@ -19,6 +19,40 @@ ATOL: float = 0.5 * 10.0 ** (-AMP_DECIMALS)
 #: Looser tolerance for simulator round-trip comparisons.
 SIM_ATOL: float = 1e-8
 
+#: Relative tolerance for the common-amplitude-ratio test of a merge move.
+MERGE_RATIO_RTOL: float = 1e-9
+
+# ----------------------------------------------------------------------
+# Canonicalization enumeration caps
+# ----------------------------------------------------------------------
+#
+# Soundness never depends on these caps (capped enumeration may split an
+# equivalence class into several representatives, which only weakens
+# pruning).  Two tiers are defined once here and threaded everywhere:
+#
+# * ``DEFAULT_*`` — full-strength minimization, used by the public
+#   canonicalization API (:mod:`repro.core.canonical`) and offline class
+#   counting, where key quality matters more than per-call latency.
+# * ``SEARCH_*`` — bounded caps for the search inner loop, where
+#   canonicalization runs once per generated state and latency dominates.
+
+#: X-flip tie cap for the public canonicalization API.
+DEFAULT_TIE_CAP: int = 4096
+
+#: Permutation-candidate cap for the public canonicalization API.
+DEFAULT_PERM_CAP: int = 48
+
+#: X-flip tie cap used inside the search hot loop.
+SEARCH_TIE_CAP: int = 256
+
+#: Permutation-candidate cap used inside the search hot loop.
+SEARCH_PERM_CAP: int = 24
+
+#: Size cap of the per-search canonical-key / heuristic caches (entries).
+#: Exceeding it evicts the oldest entries (FIFO), keeping memory bounded
+#: on long searches; hit rates are reported in ``SearchStats``.
+SEARCH_CACHE_CAP: int = 1 << 18
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

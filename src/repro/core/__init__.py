@@ -2,6 +2,7 @@
 
 Moves (:mod:`repro.core.moves`, :mod:`repro.core.transitions`) define the
 state transition graph; :mod:`repro.core.canonical` compresses it;
+:mod:`repro.core.kernel` is the packed-array engine the hot loops run on;
 :mod:`repro.core.astar` solves it optimally; :mod:`repro.core.beam` provides
 the anytime fallback; :class:`ExactSynthesizer` is the public entry point.
 """
@@ -30,6 +31,18 @@ from repro.core.heuristic import (
     zero_heuristic,
 )
 from repro.core.idastar import IDAStarConfig, idastar_search
+from repro.core.kernel import (
+    BoundedCache,
+    CanonKey,
+    HashKeyedMap,
+    PackedState,
+    StatePool,
+    canonical_key_packed,
+    enumerate_cx_packed,
+    enumerate_merges_packed,
+    num_entangled_packed,
+    successors_packed,
+)
 from repro.core.moves import (
     CXMove,
     MergeMove,
@@ -68,6 +81,16 @@ __all__ = [
     "schmidt_rank",
     "IDAStarConfig",
     "idastar_search",
+    "BoundedCache",
+    "CanonKey",
+    "HashKeyedMap",
+    "PackedState",
+    "StatePool",
+    "canonical_key_packed",
+    "enumerate_cx_packed",
+    "enumerate_merges_packed",
+    "num_entangled_packed",
+    "successors_packed",
     "Move",
     "XMove",
     "CXMove",

@@ -15,20 +15,52 @@ to) the ground state.  Key implementation points:
 * **Re-expansion safe.**  A better ``g`` for an already-seen class re-opens
   it, which keeps the search optimal even if the heuristic were
   inconsistent.
+* **Packed kernel.**  By default the hot loop runs on the packed-array
+  kernel (:mod:`repro.core.kernel`): interned array states, vectorized
+  successor enumeration, and two-tier *lazy* duplicate detection — the
+  exact-state tier (interned identity) prunes at generation time for
+  nearly free, while the canonical-class tier (``best_g`` keyed by the
+  64-bit canonical hash with a collision spill) runs only when a node is
+  popped, so frontier states that are never expanded never pay for
+  canonicalization.  ``SearchConfig(use_kernel=False)`` selects the
+  dict-based seed loop (eager per-generation canonicalization), which the
+  kernel is move-set-identical to by construction; proven costs and
+  optimality flags agree on every instance — that is what
+  ``benchmarks/bench_kernel.py`` measures expansions/sec against.
+* **Proven lower bounds.**  On budget exhaustion the reported bound is
+  ``min(g + h)`` over the open list with the *unweighted* heuristic, which
+  stays a true lower bound even for ``weight > 1`` (the weighted ``f`` of a
+  popped node proves nothing).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 
 from repro.circuits.circuit import QCircuit
+from repro.constants import (
+    SEARCH_CACHE_CAP,
+    SEARCH_PERM_CAP,
+    SEARCH_TIE_CAP,
+)
 from repro.core.canonical import CanonLevel, canonical_key
 from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.kernel import (
+    BoundedCache,
+    CanonContext,
+    HashKeyedMap,
+    PackedState,
+    StatePool,
+    entanglement_h_packed,
+    num_entangled_packed,
+    successors_packed,
+)
 from repro.core.moves import Move, moves_to_circuit
 from repro.core.transitions import successors
-from repro.exceptions import SearchBudgetExceeded
+from repro.exceptions import SearchBudgetExceeded, SynthesisError
 from repro.states.analysis import num_entangled_qubits
 from repro.states.qstate import QState
 from repro.utils.timing import Stopwatch
@@ -58,7 +90,17 @@ class SearchConfig:
     include_x_moves:
         Explicit free X moves (redundant at ``canon_level >= U2``).
     tie_cap / perm_cap:
-        Canonicalization enumeration caps (soundness never depends on them).
+        Canonicalization enumeration caps (soundness never depends on them);
+        defaults shared via :mod:`repro.constants`.
+    use_kernel:
+        Run the A* hot loop on the packed-array kernel (default).  The
+        dict-based reference loop is retained for benchmarking and
+        differential tests.  Only :func:`astar_search` honors this flag;
+        IDA* and beam search always run on the kernel.
+    cache_cap:
+        Size cap of the canonical-key and heuristic caches (entries);
+        exceeding it evicts oldest-first.  Hit rates land in
+        :class:`SearchStats`.
     """
 
     max_nodes: int = 200_000
@@ -67,8 +109,10 @@ class SearchConfig:
     max_merge_controls: int | None = None
     weight: float = 1.0
     include_x_moves: bool = False
-    tie_cap: int = 256
-    perm_cap: int = 24
+    tie_cap: int = SEARCH_TIE_CAP
+    perm_cap: int = SEARCH_PERM_CAP
+    use_kernel: bool = True
+    cache_cap: int = SEARCH_CACHE_CAP
 
 
 @dataclass
@@ -80,6 +124,29 @@ class SearchStats:
     nodes_pruned: int = 0
     max_queue: int = 0
     elapsed_seconds: float = 0.0
+    canon_cache_hits: int = 0
+    canon_cache_misses: int = 0
+    h_cache_hits: int = 0
+    h_cache_misses: int = 0
+
+    @property
+    def canon_cache_hit_rate(self) -> float:
+        """Hit rate of the canonical-key cache (0.0 when never queried)."""
+        total = self.canon_cache_hits + self.canon_cache_misses
+        return self.canon_cache_hits / total if total else 0.0
+
+    @property
+    def h_cache_hit_rate(self) -> float:
+        """Hit rate of the heuristic cache (0.0 when never queried)."""
+        total = self.h_cache_hits + self.h_cache_misses
+        return self.h_cache_hits / total if total else 0.0
+
+    @property
+    def nodes_per_second(self) -> float:
+        """Expanded-node throughput (the kernel benchmark's headline)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.nodes_expanded / self.elapsed_seconds
 
 
 @dataclass
@@ -101,16 +168,183 @@ def astar_search(target: QState, config: SearchConfig | None = None,
     ------
     SearchBudgetExceeded
         When ``max_nodes`` or ``time_limit`` is hit before the ground state
-        is reached.  The exception carries the best proven lower bound.
+        is reached.  The exception carries the best proven lower bound
+        (computed with the unweighted heuristic, so it is valid for any
+        ``weight``).
     """
     config = config or SearchConfig()
     if heuristic is None:
         heuristic = entanglement_heuristic
+    if config.use_kernel:
+        return _astar_kernel(target, config, heuristic)
+    return _astar_reference(target, config, heuristic)
+
+
+def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
+    """Integer lower bound from the unweighted ``g + h`` of the frontier.
+
+    The optimal path must pass through the just-popped node or some open
+    entry, so ``min`` of their unweighted ``f`` values is a true bound —
+    regardless of the heuristic weighting used for ordering.
+    """
+    best = current_u
+    for entry in open_entries:
+        u = entry[u_index]
+        if u < best:
+            best = u
+    return int(math.ceil(best - 1e-9))
+
+
+# ----------------------------------------------------------------------
+# Packed-kernel hot loop
+# ----------------------------------------------------------------------
+
+def _astar_kernel(target: QState, config: SearchConfig,
+                  heuristic: HeuristicFn) -> SearchResult:
+    weight = config.weight
+    stopwatch = Stopwatch(config.time_limit)
+    stats = SearchStats()
+    pool = StatePool()
+    canon_ctx = CanonContext(config.canon_level, config.tie_cap,
+                             config.perm_cap, config.cache_cap)
+    canon = canon_ctx.key
+    h_cache = BoundedCache(config.cache_cap)
+    fast_h = heuristic is entanglement_heuristic
+
+    if fast_h:
+        # already memoized on the interned state object — no cache layer
+        h_of = entanglement_h_packed
+    else:
+        def h_of(ps: PackedState) -> float:
+            val = h_cache.get(ps)
+            if val is None:
+                val = float(heuristic(ps.to_qstate()))
+                h_cache.put(ps, val)
+            return val
+
+    def finish_stats() -> None:
+        stats.elapsed_seconds = stopwatch.elapsed()
+        stats.canon_cache_hits = canon_ctx.cache.hits
+        stats.canon_cache_misses = canon_ctx.cache.misses
+        stats.h_cache_hits = h_cache.hits
+        stats.h_cache_misses = h_cache.misses
+
+    counter = itertools.count()
+    # entry: (weighted f, g, tiebreak, unweighted g + h, state, prev, move)
+    open_heap: list = []
+    # Duplicate detection is two-tier and *lazy*: at generation time only
+    # the (nearly free) exact-state tier prunes — ``g_pushed`` is keyed by
+    # interned identity — while the expensive canonical-class tier runs at
+    # pop time.  Frontier states that are never popped therefore never pay
+    # for canonicalization, which on budget-bound searches is the bulk of
+    # all generated states.  Soundness is unchanged: a class is expanded
+    # only with a strictly improving ``g`` (re-expansion safe), exactly as
+    # the eager reference loop does.
+    g_pushed: dict = {}
+    best_g = HashKeyedMap()
+    parent: dict = {}
+
+    def push(ps: PackedState, g: int, prev, move) -> None:
+        h = h_of(ps)
+        heapq.heappush(open_heap,
+                       (g + weight * h, g, next(counter), g + h, ps,
+                        prev, move))
+        stats.nodes_generated += 1
+        stats.max_queue = max(stats.max_queue, len(open_heap))
+
+    start = pool.from_qstate(target)
+    g_pushed[start] = 0
+    push(start, 0, None, None)
+    last_u = 0.0
+
+    while open_heap:
+        _, g, _, u, state, prev, move = heapq.heappop(open_heap)
+        if g > g_pushed.get(state, g):
+            stats.nodes_pruned += 1
+            continue  # superseded by a cheaper push of the same state
+        last_u = u
+
+        if num_entangled_packed(state) == 0:
+            if prev is not None:
+                parent[state] = (prev, move)
+            moves = _reconstruct_packed(parent, start, state)
+            circuit = moves_to_circuit(moves, state.to_qstate(),
+                                       target.num_qubits)
+            finish_stats()
+            return SearchResult(circuit=circuit, cnot_cost=g,
+                                optimal=(weight <= 1.0), moves=moves,
+                                stats=stats)
+
+        ckey = canon(state)
+        prev_g = best_g.get(ckey)
+        if prev_g is not None and g >= prev_g:
+            stats.nodes_pruned += 1
+            continue  # class already expanded at least this cheaply
+        best_g.put(ckey, g)
+        if prev is not None:
+            parent[state] = (prev, move)
+
+        stats.nodes_expanded += 1
+        if stats.nodes_expanded > config.max_nodes or stopwatch.expired():
+            finish_stats()
+            bound = _proven_bound(u, open_heap, u_index=3)
+            raise SearchBudgetExceeded(
+                f"search budget exhausted after {stats.nodes_expanded} "
+                f"expansions ({stats.elapsed_seconds:.1f}s); "
+                f"proven lower bound {bound}",
+                lower_bound=bound, stats=stats)
+
+        for nmove, nxt in successors_packed(
+                pool, state,
+                max_merge_controls=config.max_merge_controls,
+                include_x_moves=config.include_x_moves):
+            g2 = g + nmove.cost
+            if g2 >= g_pushed.get(nxt, math.inf):
+                stats.nodes_pruned += 1
+                continue
+            g_pushed[nxt] = g2
+            push(nxt, g2, state, nmove)
+
+    finish_stats()
+    raise SearchBudgetExceeded(
+        "open list exhausted without reaching the ground state "
+        "(move set incomplete for this configuration)",
+        lower_bound=int(math.ceil(last_u - 1e-9)), stats=stats)
+
+
+def _reconstruct_packed(parent: dict, start: PackedState,
+                        goal: PackedState) -> list[Move]:
+    """Walk parent pointers between interned states (identity-keyed)."""
+    moves: list[Move] = []
+    current = goal
+    guard = 0
+    while current is not start:
+        entry = parent.get(current)
+        if entry is None:
+            raise SynthesisError("broken parent chain (internal error)")
+        prev, move = entry
+        moves.append(move)
+        current = prev
+        guard += 1
+        if guard > 1_000_000:
+            raise SynthesisError("parent chain cycle (internal error)")
+    moves.reverse()
+    return moves
+
+
+# ----------------------------------------------------------------------
+# Dict-based reference loop (seed behavior; kept for benchmarking and
+# differential testing against the kernel)
+# ----------------------------------------------------------------------
+
+def _astar_reference(target: QState, config: SearchConfig,
+                     heuristic: HeuristicFn) -> SearchResult:
     weight = config.weight
     stopwatch = Stopwatch(config.time_limit)
     stats = SearchStats()
 
-    canon_cache: dict = {}
+    canon_cache = BoundedCache(config.cache_cap)
+    h_cache = BoundedCache(config.cache_cap)
 
     def canon(state: QState):
         key = state.key()
@@ -119,58 +353,67 @@ def astar_search(target: QState, config: SearchConfig | None = None,
             val = canonical_key(state, config.canon_level,
                                 tie_cap=config.tie_cap,
                                 perm_cap=config.perm_cap)
-            canon_cache[key] = val
+            canon_cache.put(key, val)
         return val
-
-    counter = itertools.count()
-    open_heap: list[tuple[float, int, int, QState]] = []
-    best_g: dict = {}
-    parent: dict = {}
-    h_cache: dict = {}
 
     def h_of(state: QState) -> float:
         key = state.key()
         val = h_cache.get(key)
         if val is None:
             val = heuristic(state)
-            h_cache[key] = val
+            h_cache.put(key, val)
         return val
 
+    def finish_stats() -> None:
+        stats.elapsed_seconds = stopwatch.elapsed()
+        stats.canon_cache_hits = canon_cache.hits
+        stats.canon_cache_misses = canon_cache.misses
+        stats.h_cache_hits = h_cache.hits
+        stats.h_cache_misses = h_cache.misses
+
+    counter = itertools.count()
+    # entry: (weighted f, g, tiebreak, unweighted g + h, state)
+    open_heap: list = []
+    best_g: dict = {}
+    parent: dict = {}
+
     def push(state: QState, g: int) -> None:
-        f = g + weight * h_of(state)
-        heapq.heappush(open_heap, (f, g, next(counter), state))
+        h = h_of(state)
+        heapq.heappush(open_heap,
+                       (g + weight * h, g, next(counter), g + h, state))
         stats.nodes_generated += 1
         stats.max_queue = max(stats.max_queue, len(open_heap))
 
     start_key = canon(target)
     best_g[start_key] = 0
     push(target, 0)
-    best_f_popped = 0.0
+    last_u = 0.0
 
     while open_heap:
-        f, g, _, state = heapq.heappop(open_heap)
+        _, g, _, u, state = heapq.heappop(open_heap)
         ckey = canon(state)
         if g > best_g.get(ckey, g):
             stats.nodes_pruned += 1
             continue
-        best_f_popped = max(best_f_popped, f)
+        last_u = u
 
         if num_entangled_qubits(state) == 0:
             moves = _reconstruct(parent, target, state)
             circuit = moves_to_circuit(moves, state, target.num_qubits)
-            stats.elapsed_seconds = stopwatch.elapsed()
+            finish_stats()
             return SearchResult(circuit=circuit, cnot_cost=g,
                                 optimal=(weight <= 1.0), moves=moves,
                                 stats=stats)
 
         stats.nodes_expanded += 1
         if stats.nodes_expanded > config.max_nodes or stopwatch.expired():
-            stats.elapsed_seconds = stopwatch.elapsed()
+            finish_stats()
+            bound = _proven_bound(u, open_heap, u_index=3)
             raise SearchBudgetExceeded(
                 f"search budget exhausted after {stats.nodes_expanded} "
                 f"expansions ({stats.elapsed_seconds:.1f}s); "
-                f"proven lower bound {int(best_f_popped)}",
-                lower_bound=int(best_f_popped))
+                f"proven lower bound {bound}",
+                lower_bound=bound, stats=stats)
 
         for move, nxt in successors(
                 state,
@@ -185,10 +428,11 @@ def astar_search(target: QState, config: SearchConfig | None = None,
             parent[nxt.key()] = (state, move)
             push(nxt, g2)
 
+    finish_stats()
     raise SearchBudgetExceeded(
         "open list exhausted without reaching the ground state "
         "(move set incomplete for this configuration)",
-        lower_bound=int(best_f_popped))
+        lower_bound=int(math.ceil(last_u - 1e-9)), stats=stats)
 
 
 def _reconstruct(parent: dict, start: QState, goal: QState) -> list[Move]:
@@ -200,12 +444,12 @@ def _reconstruct(parent: dict, start: QState, goal: QState) -> list[Move]:
     while current.key() != start_key:
         entry = parent.get(current.key())
         if entry is None:
-            raise SearchBudgetExceeded("broken parent chain (internal error)")
+            raise SynthesisError("broken parent chain (internal error)")
         prev, move = entry
         moves.append(move)
         current = prev
         guard += 1
         if guard > 1_000_000:
-            raise SearchBudgetExceeded("parent chain cycle (internal error)")
+            raise SynthesisError("parent chain cycle (internal error)")
     moves.reverse()
     return moves

@@ -5,21 +5,35 @@ larger instances (deep Dicke states).  The beam variant keeps the ``width``
 most promising states per level (scored by ``g + w*h``), always terminates,
 and returns the best feasible circuit found — flagged ``optimal=False``.
 
-It shares moves, canonicalization, and circuit reconstruction with the A*
-engine, so any circuit it returns is verified the same way.
+It shares the packed-array kernel (moves, canonicalization, interning)
+with the A* engine — successor order and scores are identical to the
+dict-based reference, so beam trajectories are unchanged by the kernel
+migration — and any circuit it returns is verified the same way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.constants import (
+    SEARCH_CACHE_CAP,
+    SEARCH_PERM_CAP,
+    SEARCH_TIE_CAP,
+)
 from repro.core.astar import SearchResult, SearchStats
-from repro.core.canonical import CanonLevel, canonical_key
+from repro.core.canonical import CanonLevel
 from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.kernel import (
+    BoundedCache,
+    CanonContext,
+    PackedState,
+    StatePool,
+    entanglement_h_packed,
+    num_entangled_packed,
+    successors_packed,
+)
 from repro.core.moves import Move, moves_to_circuit
-from repro.core.transitions import successors
 from repro.exceptions import SynthesisError
-from repro.states.analysis import num_entangled_qubits
 from repro.states.qstate import QState
 from repro.utils.timing import Stopwatch
 
@@ -42,13 +56,14 @@ class BeamConfig:
     canon_level: CanonLevel = CanonLevel.PU2
     time_limit: float | None = None
     max_merge_controls: int | None = None
-    tie_cap: int = 256
-    perm_cap: int = 24
+    tie_cap: int = SEARCH_TIE_CAP
+    perm_cap: int = SEARCH_PERM_CAP
+    cache_cap: int = SEARCH_CACHE_CAP
 
 
 @dataclass
 class _Node:
-    state: QState
+    state: PackedState
     g: int
     path: tuple[Move, ...]
 
@@ -71,14 +86,34 @@ def beam_search(target: QState, config: BeamConfig | None = None,
     if max_depth is None:
         max_depth = 4 * n * max(2, target.cardinality)
 
-    def canon(state: QState):
-        return canonical_key(state, config.canon_level,
-                             tie_cap=config.tie_cap,
-                             perm_cap=config.perm_cap)
+    pool = StatePool()
+    fast_h = heuristic is entanglement_heuristic
+    canon_ctx = CanonContext(config.canon_level, config.tie_cap,
+                             config.perm_cap, config.cache_cap)
+    canon = canon_ctx.key
+    h_cache = BoundedCache(config.cache_cap)
+
+    if fast_h:
+        # already memoized on the interned state object — no cache layer
+        h_of = entanglement_h_packed
+    else:
+        def h_of(ps: PackedState) -> float:
+            val = h_cache.get(ps)
+            if val is None:
+                val = float(heuristic(ps.to_qstate()))
+                h_cache.put(ps, val)
+            return val
+
+    def finish_stats() -> None:
+        stats.canon_cache_hits = canon_ctx.cache.hits
+        stats.canon_cache_misses = canon_ctx.cache.misses
+        stats.h_cache_hits = h_cache.hits
+        stats.h_cache_misses = h_cache.misses
 
     best: SearchResult | None = None
-    beam = [_Node(state=target, g=0, path=())]
-    seen_g: dict = {canon(target): 0}
+    start = pool.from_qstate(target)
+    beam = [_Node(state=start, g=0, path=())]
+    seen_g: dict = {canon(start): 0}
 
     for _depth in range(max_depth):
         if stopwatch.expired():
@@ -86,18 +121,19 @@ def beam_search(target: QState, config: BeamConfig | None = None,
         candidates: list[tuple[float, int, _Node]] = []
         tiebreak = 0
         for node in beam:
-            if num_entangled_qubits(node.state) == 0:
+            if num_entangled_packed(node.state) == 0:
                 if best is None or node.g < best.cnot_cost:
                     moves = list(node.path)
-                    circuit = moves_to_circuit(moves, node.state, n)
+                    circuit = moves_to_circuit(moves, node.state.to_qstate(),
+                                               n)
                     stats.elapsed_seconds = stopwatch.elapsed()
                     best = SearchResult(circuit=circuit, cnot_cost=node.g,
                                         optimal=False, moves=moves,
                                         stats=stats)
                 continue
             stats.nodes_expanded += 1
-            for move, nxt in successors(
-                    node.state,
+            for move, nxt in successors_packed(
+                    pool, node.state,
                     max_merge_controls=config.max_merge_controls):
                 g2 = node.g + move.cost
                 if best is not None and g2 >= best.cnot_cost:
@@ -109,7 +145,7 @@ def beam_search(target: QState, config: BeamConfig | None = None,
                     continue
                 seen_g[ckey] = g2
                 stats.nodes_generated += 1
-                score = g2 + config.heuristic_weight * heuristic(nxt)
+                score = g2 + config.heuristic_weight * h_of(nxt)
                 tiebreak += 1
                 candidates.append(
                     (score, tiebreak,
@@ -121,10 +157,10 @@ def beam_search(target: QState, config: BeamConfig | None = None,
 
     # Flush any separable states left in the final beam.
     for node in beam:
-        if num_entangled_qubits(node.state) == 0 and \
+        if num_entangled_packed(node.state) == 0 and \
                 (best is None or node.g < best.cnot_cost):
             moves = list(node.path)
-            circuit = moves_to_circuit(moves, node.state, n)
+            circuit = moves_to_circuit(moves, node.state.to_qstate(), n)
             best = SearchResult(circuit=circuit, cnot_cost=node.g,
                                 optimal=False, moves=moves, stats=stats)
 
@@ -134,11 +170,11 @@ def beam_search(target: QState, config: BeamConfig | None = None,
     from repro.baselines.mflow import mflow_reduction_moves
 
     frontier = sorted(beam, key=lambda nd: (
-        nd.g + config.heuristic_weight * heuristic(nd.state)))
+        nd.g + config.heuristic_weight * h_of(nd.state)))
     for node in frontier[:3] if frontier else []:
-        if num_entangled_qubits(node.state) == 0:
+        if num_entangled_packed(node.state) == 0:
             continue
-        tail_moves, final_state = mflow_reduction_moves(node.state)
+        tail_moves, final_state = mflow_reduction_moves(node.state.to_qstate())
         g_total = node.g + sum(m.cost for m in tail_moves)
         if best is None or g_total < best.cnot_cost:
             moves = list(node.path) + tail_moves
@@ -148,5 +184,6 @@ def beam_search(target: QState, config: BeamConfig | None = None,
 
     if best is None:
         raise SynthesisError("beam search produced no feasible circuit")
+    finish_stats()
     best.stats.elapsed_seconds = stopwatch.elapsed()
     return best

@@ -28,7 +28,7 @@ import enum
 import math
 from itertools import islice, permutations
 
-from repro.constants import quantize
+from repro.constants import DEFAULT_PERM_CAP, DEFAULT_TIE_CAP, quantize
 from repro.states.qstate import QState, StateKey
 from repro.utils.bits import permute_index
 
@@ -127,7 +127,7 @@ def _xflip_min_raw(items: Items, num_qubits: int, tie_cap: int) -> Items:
     return best  # type: ignore[return-value]
 
 
-def xflip_minimize(state: QState, tie_cap: int = 4096) -> QState:
+def xflip_minimize(state: QState, tie_cap: int = DEFAULT_TIE_CAP) -> QState:
     """Public QState-level wrapper of the X-flip canonicalization."""
     items = _xflip_min_raw(_raw_items(state), state.num_qubits, tie_cap)
     return QState(state.num_qubits, dict(items), normalize=False)
@@ -263,13 +263,15 @@ def _canonical_items(state: QState, level: CanonLevel, tie_cap: int,
 
 
 def canonicalize(state: QState, level: CanonLevel = CanonLevel.PU2,
-                 tie_cap: int = 4096, perm_cap: int = 48) -> QState:
+                 tie_cap: int = DEFAULT_TIE_CAP,
+                 perm_cap: int = DEFAULT_PERM_CAP) -> QState:
     """Return a concrete canonical representative of the state's class."""
     n, items = _canonical_items(state, level, tie_cap, perm_cap)
     return QState(n, dict(items), normalize=False)
 
 
 def canonical_key(state: QState, level: CanonLevel = CanonLevel.PU2,
-                  tie_cap: int = 4096, perm_cap: int = 48) -> StateKey:
+                  tie_cap: int = DEFAULT_TIE_CAP,
+                  perm_cap: int = DEFAULT_PERM_CAP) -> StateKey:
     """Hashable key of the state's equivalence class (see module doc)."""
     return _canonical_items(state, level, tie_cap, perm_cap)

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from itertools import combinations
 
+from repro.constants import DEFAULT_TIE_CAP
 from repro.core.canonical import CanonLevel, canonical_key
 from repro.states.qstate import QState
 
@@ -33,7 +34,7 @@ class CanonicalCountRow:
 
 
 def count_canonical_uniform_states(num_qubits: int, cardinality: int,
-                                   tie_cap: int = 4096,
+                                   tie_cap: int = DEFAULT_TIE_CAP,
                                    perm_cap: int = 5040) -> CanonicalCountRow:
     """Count canonical classes of uniform states with the given cardinality.
 
@@ -54,7 +55,7 @@ def count_canonical_uniform_states(num_qubits: int, cardinality: int,
 
 
 def canonical_count_table(num_qubits: int = 4, max_cardinality: int = 8,
-                          tie_cap: int = 4096, perm_cap: int = 5040
+                          tie_cap: int = DEFAULT_TIE_CAP, perm_cap: int = 5040
                           ) -> list[CanonicalCountRow]:
     """All rows ``m = 1 .. max_cardinality`` of Table III."""
     return [count_canonical_uniform_states(num_qubits, m,

@@ -7,8 +7,13 @@ memory — the regime the paper's Sec. VI-D scalability discussion worries
 about.  With the same admissible heuristic it returns the same optimal
 CNOT cost (asserted by the test suite on randomized instances).
 
-Canonicalization is used *along the current path* (cycle avoidance) and in
-a bounded transposition table that persists across deepening rounds.
+The probe runs on the packed-array kernel (:mod:`repro.core.kernel`):
+states are interned arrays, successors come from the vectorized
+enumerator, and the path / transposition structures are keyed by the
+64-bit canonical hash.  Canonicalization is used *along the current path*
+(cycle avoidance) and in a bounded per-round transposition table (cleared
+at each deepening, since entries record the remaining budget under which a
+class was already exhausted).
 """
 
 from __future__ import annotations
@@ -17,12 +22,18 @@ from dataclasses import dataclass, field
 
 from repro.circuits.circuit import QCircuit
 from repro.core.astar import SearchConfig, SearchResult, SearchStats
-from repro.core.canonical import canonical_key
 from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.kernel import (
+    BoundedCache,
+    CanonContext,
+    PackedState,
+    StatePool,
+    entanglement_h_packed,
+    num_entangled_packed,
+    successors_packed,
+)
 from repro.core.moves import Move, moves_to_circuit
-from repro.core.transitions import successors
 from repro.exceptions import SearchBudgetExceeded
-from repro.states.analysis import num_entangled_qubits
 from repro.states.qstate import QState
 from repro.utils.timing import Stopwatch
 
@@ -57,98 +68,109 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
         heuristic = entanglement_heuristic
     stopwatch = Stopwatch(shared.time_limit)
     stats = SearchStats()
+    pool = StatePool()
+    fast_h = heuristic is entanglement_heuristic
 
-    canon_cache: dict = {}
+    canon_ctx = CanonContext(shared.canon_level, shared.tie_cap,
+                             shared.perm_cap, shared.cache_cap)
+    canon = canon_ctx.key
+    h_cache = BoundedCache(shared.cache_cap)
 
-    def canon(state: QState):
-        key = state.key()
-        val = canon_cache.get(key)
-        if val is None:
-            val = canonical_key(state, shared.canon_level,
-                                tie_cap=shared.tie_cap,
-                                perm_cap=shared.perm_cap)
-            canon_cache[key] = val
-        return val
+    if fast_h:
+        # already memoized on the interned state object — no cache layer
+        h_of = entanglement_h_packed
+    else:
+        def h_of(ps: PackedState) -> float:
+            val = h_cache.get(ps)
+            if val is None:
+                val = float(heuristic(ps.to_qstate()))
+                h_cache.put(ps, val)
+            return val
 
-    h_cache: dict = {}
+    def finish_stats() -> None:
+        stats.elapsed_seconds = stopwatch.elapsed()
+        stats.canon_cache_hits = canon_ctx.cache.hits
+        stats.canon_cache_misses = canon_ctx.cache.misses
+        stats.h_cache_hits = h_cache.hits
+        stats.h_cache_misses = h_cache.misses
 
-    def h_of(state: QState) -> float:
-        key = state.key()
-        val = h_cache.get(key)
-        if val is None:
-            val = heuristic(state)
-            h_cache[key] = val
-        return val
-
-    # transposition[class] = highest bound under which the class was fully
-    # explored from cost g (stored as bound - g remaining budget)
+    # transposition[class] = largest remaining budget (bound - g) under
+    # which the class was already fully explored without finding the goal
     transposition: dict = {}
     path_moves: list[Move] = []
     path_classes: list = []
-    goal_state: QState | None = None
+    path_class_set: set = set()
+    goal_state: PackedState | None = None
 
-    def probe(state: QState, g: int, bound: float) -> float:
+    def probe(state: PackedState, g: int, bound: float) -> float:
         """DFS below ``state``; returns the smallest f that exceeded the
         bound, or ``_FOUND`` when the ground class was reached."""
         nonlocal goal_state
         f = g + h_of(state)
         if f > bound:
             return f
-        if num_entangled_qubits(state) == 0:
+        if num_entangled_packed(state) == 0:
             goal_state = state
             return _FOUND
         stats.nodes_expanded += 1
         if stats.nodes_expanded > shared.max_nodes or stopwatch.expired():
+            finish_stats()
             raise SearchBudgetExceeded(
                 f"IDA* budget exhausted after {stats.nodes_expanded} "
-                f"expansions", lower_bound=int(bound))
+                f"expansions", lower_bound=int(bound), stats=stats)
         remaining = bound - g
         ckey = canon(state)
         seen_budget = transposition.get(ckey)
         if seen_budget is not None and seen_budget >= remaining:
             return bound + 1.0  # already exhausted with at least this budget
         minimum = float("inf")
-        for move, nxt in successors(
-                state,
+        for move, nxt in successors_packed(
+                pool, state,
                 max_merge_controls=shared.max_merge_controls,
                 include_x_moves=shared.include_x_moves):
             stats.nodes_generated += 1
             nkey = canon(nxt)
-            if nkey in path_classes:
+            if nkey in path_class_set:
                 stats.nodes_pruned += 1
                 continue
             path_moves.append(move)
             path_classes.append(nkey)
+            path_class_set.add(nkey)
             result = probe(nxt, g + move.cost, bound)
             if result == _FOUND:
                 return _FOUND
             path_moves.pop()
-            path_classes.pop()
+            path_class_set.discard(path_classes.pop())
             minimum = min(minimum, result)
         if len(transposition) < config.transposition_cap:
             previous = transposition.get(ckey, -1.0)
             transposition[ckey] = max(previous, remaining)
         return minimum
 
-    bound = h_of(target)
-    start_class = canon(target)
+    start = pool.from_qstate(target)
+    bound = h_of(start)
+    start_class = canon(start)
     while True:
         path_moves.clear()
         path_classes.clear()
+        path_class_set.clear()
         path_classes.append(start_class)
+        path_class_set.add(start_class)
         transposition.clear()
-        outcome = probe(target, 0, bound)
+        outcome = probe(start, 0, bound)
         if outcome == _FOUND:
             assert goal_state is not None
             moves = list(path_moves)
-            circuit = moves_to_circuit(moves, goal_state, target.num_qubits)
-            stats.elapsed_seconds = stopwatch.elapsed()
+            circuit = moves_to_circuit(moves, goal_state.to_qstate(),
+                                       target.num_qubits)
+            finish_stats()
             cost = sum(m.cost for m in moves)
             return SearchResult(circuit=circuit, cnot_cost=cost,
                                 optimal=True, moves=moves, stats=stats)
         if outcome == float("inf"):
+            finish_stats()
             raise SearchBudgetExceeded(
                 "IDA* exhausted the move space without reaching ground "
                 "(move set incomplete for this configuration)",
-                lower_bound=int(bound))
+                lower_bound=int(bound), stats=stats)
         bound = outcome

@@ -21,20 +21,23 @@ formulation allows, together with the resulting state:
 With ``max_merge_controls = n - 1`` the move set is complete: any two basis
 states can be isolated by a cube and merged (this is how the cardinality
 reduction baseline works), so every state can reach the ground state.
+
+This module is the *reference* enumeration.  The search hot loops run the
+vectorized twin in :mod:`repro.core.kernel`, which is proven
+move-set-identical by the property tests in ``tests/test_kernel.py``; keep
+the two in lockstep when changing the move semantics here.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
 
+from repro.constants import MERGE_RATIO_RTOL as _RATIO_RTOL
 from repro.core.moves import CXMove, MergeMove, Move, XMove, merge_angle
 from repro.states.qstate import QState
 from repro.utils.bits import bit_of, flip_bit
 
 __all__ = ["successors", "enumerate_merges", "enumerate_cx"]
-
-#: Relative tolerance for the common-ratio test of a merge.
-_RATIO_RTOL = 1e-9
 
 
 def _pairs_and_singles(state: QState, target: int

@@ -41,14 +41,19 @@ class SynthesisError(ReproError):
 class SearchBudgetExceeded(SynthesisError):
     """The exact search exhausted its node or time budget.
 
-    Carries the best lower bound proven so far (``lower_bound``) and, when a
-    feasible but unproven solution was found, that incumbent circuit.
+    Carries the best lower bound proven so far (``lower_bound``), the
+    search counters at the moment of exhaustion (``stats``, when the
+    engine provides them — a time-limited run may have expanded far fewer
+    nodes than its node budget), and, when a feasible but unproven
+    solution was found, that incumbent circuit.
     """
 
-    def __init__(self, message: str, lower_bound: int = 0, incumbent=None):
+    def __init__(self, message: str, lower_bound: int = 0, incumbent=None,
+                 stats=None):
         super().__init__(message)
         self.lower_bound = lower_bound
         self.incumbent = incumbent
+        self.stats = stats
 
 
 class VerificationError(ReproError):

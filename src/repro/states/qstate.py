@@ -194,6 +194,46 @@ class QState:
         return vec
 
     # ------------------------------------------------------------------
+    # Packed-array bridge (repro.core.kernel)
+    # ------------------------------------------------------------------
+
+    def packed_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The state as aligned ``(indices, amplitudes)`` arrays.
+
+        Indices are the sorted 64-bit basis indices (``int64``; 62 qubits
+        is far beyond any representable sparse working set), amplitudes the
+        raw (unquantized) float64 values aligned with them.  This is the
+        bridge into the packed search kernel; no validation is re-run.
+        """
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._amps.items()))
+        pairs = self._sorted
+        idx = np.fromiter((i for i, _ in pairs), dtype=np.int64,
+                          count=len(pairs))
+        amp = np.fromiter((a for _, a in pairs), dtype=np.float64,
+                          count=len(pairs))
+        return idx, amp
+
+    @classmethod
+    def from_packed(cls, num_qubits: int, indices: np.ndarray,
+                    amplitudes: np.ndarray) -> "QState":
+        """Rebuild a ``QState`` from packed kernel arrays without checks.
+
+        Trusted constructor for the kernel bridge: the caller guarantees the
+        indices are sorted, in range and unique, and the amplitudes nonzero
+        and normalized.  Skips ``__init__`` validation entirely and pre-seeds
+        the sorted-items cache, so the round trip costs one dict build.
+        """
+        self = cls.__new__(cls)
+        self._n = num_qubits
+        pairs = tuple(zip((int(i) for i in indices),
+                          (float(a) for a in amplitudes)))
+        self._amps = dict(pairs)
+        self._key = None
+        self._sorted = pairs
+        return self
+
+    # ------------------------------------------------------------------
     # Hashing and equality
     # ------------------------------------------------------------------
 
