@@ -1,0 +1,215 @@
+"""Memory benchmark — cold vs warm family throughput on the Dicke rows.
+
+Measures what the persistent :class:`~repro.core.memory.SearchMemory`
+buys on a repeated family workload: every engine pass runs the same rows
+twice through one memory — the first (cold) pass populates the interning
+pool, canon/heuristic stores, and (for IDA*) the sound transposition
+table; the second (warm) pass reuses them.  Reported per engine:
+
+* total family seconds cold and warm, and their ratio (the headline
+  *warm speedup* — the number that governs any re-run-heavy workload);
+* per-row warm speedups and solved costs (asserted identical cold/warm:
+  memory only skips recomputation, never changes results);
+* the memory counters (store hit rates, transposition entries) that
+  explain where the time went.
+
+Rows neither pass solves run under a fixed node budget, so cold and warm
+do comparable work there too (the warm pass just pays less per node).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_memory.py            # full rows
+    PYTHONPATH=src python benchmarks/bench_memory.py --smoke    # CI smoke
+
+Results land in ``BENCH_memory.json`` at the repo root (the committed
+snapshot) and ``benchmarks/results/bench_memory.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.astar import SearchConfig                      # noqa: E402
+from repro.core.memory import SearchMemory                     # noqa: E402
+from repro.experiments.family_runner import (                  # noqa: E402
+    FamilyRunConfig,
+    run_family,
+)
+from repro.states.families import dicke_state                  # noqa: E402
+from repro.utils.tables import format_table                    # noqa: E402
+
+#: (n, k, node budget) per engine — small rows are solved to optimality,
+#: heavy rows do a fixed comparable slice of work under the budget.
+FULL_ROWS = {
+    "astar": [
+        (3, 1, 50_000),
+        (4, 1, 50_000),
+        (4, 2, 100_000),
+        (5, 1, 100_000),
+        (5, 2, 4_000),
+        (6, 2, 1_200),
+        (6, 3, 700),
+    ],
+    # IDA* rows stop at D(5,2): deeper budget-bound rows expand their fixed
+    # node budget cold and warm alike (nothing is re-searched, so there is
+    # nothing for the table to skip) and would only dilute the signal.
+    "idastar": [
+        (3, 1, 50_000),
+        (4, 1, 50_000),
+        (4, 2, 100_000),
+        (5, 2, 4_000),
+    ],
+}
+
+SMOKE_ROWS = {
+    "astar": [
+        (4, 1, 50_000),
+        (4, 2, 100_000),
+        (6, 2, 250),
+    ],
+    "idastar": [
+        (4, 1, 50_000),
+        (4, 2, 100_000),
+        (5, 2, 1_000),
+    ],
+}
+
+#: Required warm speedup of total family time, per mode.  Warm passes
+#: reuse every canon key and (for IDA*) whole exhausted subtrees, so real
+#: speedups are far above these floors; the gate only has to catch a
+#: memory subsystem that stopped reusing anything.
+FULL_THRESHOLD = 1.3
+SMOKE_THRESHOLD = 1.1
+
+_TIME_LIMIT = 900.0
+
+
+def _row_budgets(engine: str, rows):
+    """Run each row under its own budget, cold then warm, one memory."""
+    memory = SearchMemory()
+    passes = []
+    for label in ("cold", "warm"):
+        start = time.perf_counter()
+        reports = []
+        for n, k, budget in rows:
+            config = FamilyRunConfig(
+                engine=engine,
+                search=SearchConfig(max_nodes=budget,
+                                    time_limit=_TIME_LIMIT,
+                                    cache_cap=1 << 24))
+            reports.append(run_family([(f"D({n},{k})", dicke_state(n, k))],
+                                      config, memory=memory))
+        elapsed = time.perf_counter() - start
+        rows_out = [row for rep in reports for row in rep.rows]
+        passes.append({"label": label, "seconds": elapsed,
+                       "rows": rows_out})
+    return passes, memory
+
+
+def run_benchmark(row_table: dict) -> dict:
+    engines = {}
+    for engine, rows in row_table.items():
+        passes, memory = _row_budgets(engine, rows)
+        cold, warm = passes
+        per_row = []
+        for c, w in zip(cold["rows"], warm["rows"]):
+            assert c.label == w.label
+            if c.solved and w.solved:
+                assert c.cnot_cost == w.cnot_cost, \
+                    f"{engine} {c.label}: cold {c.cnot_cost} != " \
+                    f"warm {w.cnot_cost}"
+            per_row.append({
+                "label": c.label,
+                "solved": c.solved,
+                "cnot_cost": c.cnot_cost,
+                "cold_seconds": round(c.seconds, 4),
+                "warm_seconds": round(w.seconds, 4),
+                "cold_expanded": c.nodes_expanded,
+                "warm_expanded": w.nodes_expanded,
+                "warm_speedup": round(c.seconds / max(w.seconds, 1e-9), 3),
+            })
+        speedup = cold["seconds"] / max(warm["seconds"], 1e-9)
+        engines[engine] = {
+            "rows": per_row,
+            "cold_seconds": round(cold["seconds"], 4),
+            "warm_seconds": round(warm["seconds"], 4),
+            "warm_speedup": round(speedup, 3),
+            "memory": memory.snapshot(),
+        }
+    return {
+        "metric": "warm speedup = cold family seconds / warm family seconds "
+                  "(same rows, same memory, identical costs asserted)",
+        "engines": engines,
+        "min_warm_speedup": round(
+            min(e["warm_speedup"] for e in engines.values()), 3),
+    }
+
+
+def render_table(report: dict) -> str:
+    blocks = []
+    for engine, data in report["engines"].items():
+        rows = []
+        for row in data["rows"]:
+            cost = row["cnot_cost"] if row["solved"] else "-"
+            rows.append([
+                row["label"], cost,
+                f"{row['cold_seconds']:.3f}", f"{row['warm_seconds']:.3f}",
+                f"{row['warm_speedup']:.2f}x",
+            ])
+        rows.append(["family", "-", f"{data['cold_seconds']:.3f}",
+                     f"{data['warm_seconds']:.3f}",
+                     f"{data['warm_speedup']:.2f}x"])
+        blocks.append(format_table(
+            ["state", "cnot", "cold s", "warm s", "speedup"], rows,
+            title=f"{engine}: cold vs warm family run on the Dicke rows "
+                  "(one shared SearchMemory; last row = family total)"))
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    row_table = SMOKE_ROWS if smoke else FULL_ROWS
+    threshold = SMOKE_THRESHOLD if smoke else FULL_THRESHOLD
+    report = run_benchmark(row_table)
+    report["mode"] = "smoke" if smoke else "full"
+    report["threshold"] = threshold
+    text = render_table(report)
+    print(text)
+
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    results_dir.mkdir(exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    (results_dir / f"bench_memory{suffix}.txt").write_text(
+        text + "\n", encoding="utf-8")
+    # only the full run may refresh the committed headline snapshot
+    out = (REPO_ROOT / "BENCH_memory.json" if not smoke
+           else results_dir / "bench_memory_smoke.json")
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+
+    worst = report["min_warm_speedup"]
+    if worst < threshold:
+        print(f"FAIL: warm family speedup {worst:.2f}x "
+              f"< required {threshold:.1f}x", file=sys.stderr)
+        return 1
+    print(f"OK: warm family speedup {worst:.2f}x >= {threshold:.1f}x "
+          f"on every engine")
+    return 0
+
+
+def test_memory_benchmark_smoke(results_emitter):
+    """Pytest entry: smoke rows + the regression floor (CI satellite)."""
+    report = run_benchmark(SMOKE_ROWS)
+    results_emitter("bench_memory_smoke", render_table(report))
+    assert report["min_warm_speedup"] >= SMOKE_THRESHOLD
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

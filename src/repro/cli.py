@@ -25,6 +25,10 @@ Estimate the preparation fidelity under depolarizing noise::
 Verify that a QASM file prepares a state::
 
     repro-qsp verify circuit.qasm --w 4
+
+Synthesize a whole Dicke family in one process with warm search memory::
+
+    repro-qsp family --max-n 5 --engine astar
 """
 
 from __future__ import annotations
@@ -138,6 +142,27 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="check that a QASM circuit prepares a state")
     verify.add_argument("qasm_file", help="OpenQASM 2.0 input file")
     _add_state_options(verify)
+
+    family = sub.add_parser(
+        "family",
+        help="synthesize a Dicke family in one process with warm "
+             "cross-search memory")
+    family.add_argument("--max-n", type=int, default=5, metavar="N",
+                        help="largest register size (rows D(n,k), "
+                             "k <= n//2; default 5)")
+    family.add_argument("--min-n", type=int, default=3, metavar="N",
+                        help="smallest register size (default 3)")
+    family.add_argument("--engine", default="astar",
+                        choices=("astar", "idastar", "beam"))
+    family.add_argument("--cold", action="store_true",
+                        help="disable the shared SearchMemory (baseline)")
+    family.add_argument("--max-nodes", type=int, default=100_000,
+                        help="per-row expansion budget (default 100000)")
+    family.add_argument("--time-limit", type=float, default=None,
+                        help="per-row wall-clock budget in seconds")
+    family.add_argument("--repeat", type=int, default=1, metavar="R",
+                        help="run the family R times through the same "
+                             "memory (warm re-runs; default 1)")
     return parser
 
 
@@ -211,6 +236,48 @@ def _cmd_fidelity(args: argparse.Namespace, state: QState) -> int:
     return 0
 
 
+def _cmd_family(args: argparse.Namespace) -> int:
+    from repro.core.astar import SearchConfig
+    from repro.core.memory import SearchMemory
+    from repro.experiments.family_runner import (
+        FamilyRunConfig,
+        dicke_family_targets,
+        run_family,
+    )
+
+    from repro.core.beam import BeamConfig
+
+    targets = dicke_family_targets(args.max_n, min_n=args.min_n)
+    config = FamilyRunConfig(
+        engine=args.engine,
+        search=SearchConfig(max_nodes=args.max_nodes,
+                            time_limit=args.time_limit),
+        beam=BeamConfig(time_limit=args.time_limit),
+        warm=not args.cold)
+    memory = SearchMemory() if not args.cold else None
+    for rep in range(max(1, args.repeat)):
+        report = run_family(targets, config, memory=memory)
+        rows = []
+        for row in report.rows:
+            cost = row.cnot_cost if row.solved else f">={row.lower_bound}"
+            flag = "*" if row.optimal else ""
+            rows.append([row.label, f"{cost}{flag}", row.nodes_expanded,
+                         f"{row.seconds:.3f}"])
+        mode = "cold" if args.cold else f"warm pass {rep + 1}"
+        print(format_table(
+            ["state", "cnot", "expansions", "seconds"], rows,
+            title=f"{args.engine} family run ({mode}, "
+                  f"{report.total_seconds:.3f}s total; * = proven optimal)"))
+        if report.memory is not None:
+            canon = report.memory["canon_store"]
+            tt = report.memory["transposition"]
+            print(f"  memory: {report.memory['pool_states']} pooled states, "
+                  f"canon store {canon['hits']}/{canon['hits'] + canon['misses']} hits, "
+                  f"transposition {tt['entries']} entries "
+                  f"({tt['hits']} hits)")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace, state: QState) -> int:
     from repro.circuits.qasm import from_qasm
     from repro.sim.sparse import sparse_prepares
@@ -226,6 +293,8 @@ def _cmd_verify(args: argparse.Namespace, state: QState) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "family":
+        return _cmd_family(args)
     state = _state_from_args(args)
 
     if args.command == "prepare":

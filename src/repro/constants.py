@@ -53,6 +53,25 @@ SEARCH_PERM_CAP: int = 24
 #: on long searches; hit rates are reported in ``SearchStats``.
 SEARCH_CACHE_CAP: int = 1 << 18
 
+# ----------------------------------------------------------------------
+# Persistent cross-search memory caps (repro.core.memory)
+# ----------------------------------------------------------------------
+#
+# A ``SearchMemory`` outlives individual searches, so its containers are
+# capped independently of the per-search tiers above.  Evicting any entry
+# is always sound: stores only deduplicate recomputation, and dropping a
+# transposition entry merely re-probes a subtree.
+
+#: Entry cap of each persistent hash-keyed store (canon keys, h values).
+MEMORY_STORE_CAP: int = 1 << 20
+
+#: Entry cap of the persistent IDA* transposition table.
+MEMORY_TRANSPOSITION_CAP: int = 1 << 20
+
+#: Interned-state count above which ``SearchMemory`` rotates its pool at
+#: the next attach (the stores survive rotation; only interning restarts).
+MEMORY_POOL_ROTATE_CAP: int = 1 << 21
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

@@ -43,6 +43,7 @@ from repro.core.kernel import (
     num_entangled_packed,
     successors_packed,
 )
+from repro.core.memory import HashStore, SearchMemory, TranspositionTable
 from repro.core.moves import (
     CXMove,
     MergeMove,
@@ -81,6 +82,9 @@ __all__ = [
     "schmidt_rank",
     "IDAStarConfig",
     "idastar_search",
+    "HashStore",
+    "SearchMemory",
+    "TranspositionTable",
     "BoundedCache",
     "CanonKey",
     "HashKeyedMap",

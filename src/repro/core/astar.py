@@ -128,6 +128,15 @@ class SearchStats:
     canon_cache_misses: int = 0
     h_cache_hits: int = 0
     h_cache_misses: int = 0
+    #: entries evicted from capped dedup containers (e.g. beam ``seen_g``)
+    dedup_evictions: int = 0
+    #: IDA* transposition-table counters (this search's probes only)
+    transposition_hits: int = 0
+    transposition_writes: int = 0
+    #: subtrees whose exhaustion proof was path-dependent: recorded only
+    #: with their path condition (the pre-fix code wrote them as
+    #: unconditional, universally reusable claims — the soundness bug)
+    transposition_poisoned: int = 0
 
     @property
     def canon_cache_hit_rate(self) -> float:
@@ -161,8 +170,15 @@ class SearchResult:
 
 
 def astar_search(target: QState, config: SearchConfig | None = None,
-                 heuristic: HeuristicFn | None = None) -> SearchResult:
+                 heuristic: HeuristicFn | None = None,
+                 memory=None) -> SearchResult:
     """Find a minimum-CNOT preparation circuit for ``target``.
+
+    ``memory`` optionally plugs a process-lifetime
+    :class:`repro.core.memory.SearchMemory` into the kernel loop: the
+    interning pool, canonical keys, and heuristic values are then shared
+    across calls, which only skips recomputation — results are identical
+    warm or cold.  Requires the kernel loop (``use_kernel=True``).
 
     Raises
     ------
@@ -176,8 +192,37 @@ def astar_search(target: QState, config: SearchConfig | None = None,
     if heuristic is None:
         heuristic = entanglement_heuristic
     if config.use_kernel:
-        return _astar_kernel(target, config, heuristic)
+        return _astar_kernel(target, config, heuristic, memory)
+    if memory is not None:
+        raise ValueError("SearchMemory requires the kernel loop "
+                         "(SearchConfig(use_kernel=True))")
     return _astar_reference(target, config, heuristic)
+
+
+def _make_h_of(heuristic: HeuristicFn, h_cache: BoundedCache, h_store):
+    """Packed-state heuristic evaluator shared by all kernel engines.
+
+    The default entanglement bound is memoized on the interned state
+    object, so it needs no cache layer; any other heuristic goes through
+    the per-search cache with an optional persistent
+    :class:`repro.core.memory.HashStore` tier between cache and compute.
+    """
+    if heuristic is entanglement_heuristic:
+        return entanglement_h_packed
+
+    def h_of(ps: PackedState) -> float:
+        val = h_cache.get(ps)
+        if val is None:
+            if h_store is not None:
+                val = h_store.get(ps)
+            if val is None:
+                val = float(heuristic(ps.to_qstate()))
+                if h_store is not None:
+                    h_store.put(ps, val)
+            h_cache.put(ps, val)
+        return val
+
+    return h_of
 
 
 def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
@@ -200,27 +245,28 @@ def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
 # ----------------------------------------------------------------------
 
 def _astar_kernel(target: QState, config: SearchConfig,
-                  heuristic: HeuristicFn) -> SearchResult:
+                  heuristic: HeuristicFn, memory=None) -> SearchResult:
     weight = config.weight
     stopwatch = Stopwatch(config.time_limit)
     stats = SearchStats()
-    pool = StatePool()
+    if memory is not None:
+        pool = memory.attach(canon_level=config.canon_level,
+                             tie_cap=config.tie_cap,
+                             perm_cap=config.perm_cap,
+                             max_merge_controls=config.max_merge_controls,
+                             include_x_moves=config.include_x_moves,
+                             heuristic=heuristic)
+        canon_store = memory.canon_store
+        h_store = memory.h_store
+    else:
+        pool = StatePool()
+        canon_store = h_store = None
     canon_ctx = CanonContext(config.canon_level, config.tie_cap,
-                             config.perm_cap, config.cache_cap)
+                             config.perm_cap, config.cache_cap,
+                             store=canon_store)
     canon = canon_ctx.key
     h_cache = BoundedCache(config.cache_cap)
-    fast_h = heuristic is entanglement_heuristic
-
-    if fast_h:
-        # already memoized on the interned state object — no cache layer
-        h_of = entanglement_h_packed
-    else:
-        def h_of(ps: PackedState) -> float:
-            val = h_cache.get(ps)
-            if val is None:
-                val = float(heuristic(ps.to_qstate()))
-                h_cache.put(ps, val)
-            return val
+    h_of = _make_h_of(heuristic, h_cache, h_store)
 
     def finish_stats() -> None:
         stats.elapsed_seconds = stopwatch.elapsed()

@@ -9,6 +9,10 @@ It shares the packed-array kernel (moves, canonicalization, interning)
 with the A* engine — successor order and scores are identical to the
 dict-based reference, so beam trajectories are unchanged by the kernel
 migration — and any circuit it returns is verified the same way.
+``include_x_moves`` mirrors :class:`~repro.core.astar.SearchConfig`, so a
+beam run explores exactly the move set of the exact engines it falls back
+from.  The per-level dominance map ``seen_g`` is size-capped like every
+other search container (eviction only weakens pruning, never feasibility).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from repro.constants import (
     SEARCH_PERM_CAP,
     SEARCH_TIE_CAP,
 )
-from repro.core.astar import SearchResult, SearchStats
+from repro.core.astar import SearchResult, SearchStats, _make_h_of
 from repro.core.canonical import CanonLevel
 from repro.core.heuristic import HeuristicFn, entanglement_heuristic
 from repro.core.kernel import (
@@ -28,7 +32,6 @@ from repro.core.kernel import (
     CanonContext,
     PackedState,
     StatePool,
-    entanglement_h_packed,
     num_entangled_packed,
     successors_packed,
 )
@@ -47,7 +50,10 @@ class BeamConfig:
     ``width`` states survive each level; ``heuristic_weight`` biases the
     score toward quickly-separable states; ``max_depth`` bounds the number
     of levels (a merge happens at least every few moves on any sensible
-    path, so ``4 * n * m`` is generous).
+    path, so ``4 * n * m`` is generous).  ``max_merge_controls`` and
+    ``include_x_moves`` select the move set exactly as in
+    :class:`~repro.core.astar.SearchConfig`, so beam and the exact engines
+    search the same graph.
     """
 
     width: int = 128
@@ -56,6 +62,7 @@ class BeamConfig:
     canon_level: CanonLevel = CanonLevel.PU2
     time_limit: float | None = None
     max_merge_controls: int | None = None
+    include_x_moves: bool = False
     tie_cap: int = SEARCH_TIE_CAP
     perm_cap: int = SEARCH_PERM_CAP
     cache_cap: int = SEARCH_CACHE_CAP
@@ -69,8 +76,14 @@ class _Node:
 
 
 def beam_search(target: QState, config: BeamConfig | None = None,
-                heuristic: HeuristicFn | None = None) -> SearchResult:
+                heuristic: HeuristicFn | None = None,
+                memory=None) -> SearchResult:
     """Best-effort synthesis; always returns a valid circuit.
+
+    ``memory`` optionally plugs a process-lifetime
+    :class:`repro.core.memory.SearchMemory` (shared interning pool and
+    canon/heuristic stores) — pure recomputation reuse, trajectories are
+    identical warm or cold.
 
     Raises :class:`~repro.exceptions.SynthesisError` only if no separable
     state is ever reached (which cannot happen with the complete move set
@@ -86,34 +99,42 @@ def beam_search(target: QState, config: BeamConfig | None = None,
     if max_depth is None:
         max_depth = 4 * n * max(2, target.cardinality)
 
-    pool = StatePool()
-    fast_h = heuristic is entanglement_heuristic
+    if memory is not None:
+        pool = memory.attach(canon_level=config.canon_level,
+                             tie_cap=config.tie_cap,
+                             perm_cap=config.perm_cap,
+                             max_merge_controls=config.max_merge_controls,
+                             include_x_moves=config.include_x_moves,
+                             heuristic=heuristic)
+        canon_store = memory.canon_store
+        h_store = memory.h_store
+    else:
+        pool = StatePool()
+        canon_store = h_store = None
     canon_ctx = CanonContext(config.canon_level, config.tie_cap,
-                             config.perm_cap, config.cache_cap)
+                             config.perm_cap, config.cache_cap,
+                             store=canon_store)
     canon = canon_ctx.key
     h_cache = BoundedCache(config.cache_cap)
-
-    if fast_h:
-        # already memoized on the interned state object — no cache layer
-        h_of = entanglement_h_packed
-    else:
-        def h_of(ps: PackedState) -> float:
-            val = h_cache.get(ps)
-            if val is None:
-                val = float(heuristic(ps.to_qstate()))
-                h_cache.put(ps, val)
-            return val
+    h_of = _make_h_of(heuristic, h_cache, h_store)
 
     def finish_stats() -> None:
+        # called on *every* exit path (including the failure raise), so no
+        # result ever carries a stale elapsed time or cache counters
+        stats.elapsed_seconds = stopwatch.elapsed()
         stats.canon_cache_hits = canon_ctx.cache.hits
         stats.canon_cache_misses = canon_ctx.cache.misses
         stats.h_cache_hits = h_cache.hits
         stats.h_cache_misses = h_cache.misses
+        stats.dedup_evictions = seen_g.evictions
 
     best: SearchResult | None = None
     start = pool.from_qstate(target)
     beam = [_Node(state=start, g=0, path=())]
-    seen_g: dict = {canon(start): 0}
+    # per-class best g, capped like every other search container: an
+    # evicted entry merely lets a class re-enter a later level
+    seen_g = BoundedCache(config.cache_cap)
+    seen_g.put(canon(start), 0)
 
     for _depth in range(max_depth):
         if stopwatch.expired():
@@ -126,7 +147,6 @@ def beam_search(target: QState, config: BeamConfig | None = None,
                     moves = list(node.path)
                     circuit = moves_to_circuit(moves, node.state.to_qstate(),
                                                n)
-                    stats.elapsed_seconds = stopwatch.elapsed()
                     best = SearchResult(circuit=circuit, cnot_cost=node.g,
                                         optimal=False, moves=moves,
                                         stats=stats)
@@ -134,7 +154,8 @@ def beam_search(target: QState, config: BeamConfig | None = None,
             stats.nodes_expanded += 1
             for move, nxt in successors_packed(
                     pool, node.state,
-                    max_merge_controls=config.max_merge_controls):
+                    max_merge_controls=config.max_merge_controls,
+                    include_x_moves=config.include_x_moves):
                 g2 = node.g + move.cost
                 if best is not None and g2 >= best.cnot_cost:
                     continue  # cannot improve the incumbent
@@ -143,7 +164,7 @@ def beam_search(target: QState, config: BeamConfig | None = None,
                 if prev is not None and prev <= g2:
                     stats.nodes_pruned += 1
                     continue
-                seen_g[ckey] = g2
+                seen_g.put(ckey, g2)
                 stats.nodes_generated += 1
                 score = g2 + config.heuristic_weight * h_of(nxt)
                 tiebreak += 1
@@ -182,8 +203,7 @@ def beam_search(target: QState, config: BeamConfig | None = None,
             best = SearchResult(circuit=circuit, cnot_cost=g_total,
                                 optimal=False, moves=moves, stats=stats)
 
+    finish_stats()
     if best is None:
         raise SynthesisError("beam search produced no feasible circuit")
-    finish_stats()
-    best.stats.elapsed_seconds = stopwatch.elapsed()
     return best

@@ -10,28 +10,58 @@ CNOT cost (asserted by the test suite on randomized instances).
 The probe runs on the packed-array kernel (:mod:`repro.core.kernel`):
 states are interned arrays, successors come from the vectorized
 enumerator, and the path / transposition structures are keyed by the
-64-bit canonical hash.  Canonicalization is used *along the current path*
-(cycle avoidance) and in a bounded per-round transposition table (cleared
-at each deepening, since entries record the remaining budget under which a
-class was already exhausted).
+canonical class.  Canonicalization is used *along the current path*
+(cycle avoidance) and in a transposition table of ``class -> max
+remaining cost budget proven exhausted`` entries.
+
+**Transposition soundness.**  Skipping a child because its class sits on
+the DFS path (cycle avoidance) is sound for the probe itself, but it
+makes the enclosing exhaustion claim *path-relative*: a later probe
+reaching the class via a different prefix could be pruned away from the
+goal.  The pre-fix code recorded such truncated subtrees as plain
+exhaustion and compensated by clearing the table at every deepening
+round — which was still unsound whenever two probes of the *same* round
+reached a class via different prefixes
+(``IDAStarConfig(record_truncated=True)`` retains that write rule solely
+for the regression test that demonstrates the miss).
+
+The fix records every exhausted subtree but tags it with the exact
+*condition* its proof leaned on: the set of path classes strictly above
+the node whose path pruning truncated exploration anywhere in the
+subtree.  The probe threads this truncation set upward, dropping each
+node's own class on the way — legitimate because class members share
+their optimal remaining cost (free intra-class conversion), so a
+minimum-cost goal path from a node can be chosen *class-acyclic* and in
+particular never revisits the node's own class.  An empty set yields an
+unconditional entry, reusable by any probe of any round — and, through
+:class:`repro.core.memory.SearchMemory`, of any search, since every
+search shares the ground class as its goal.  A non-empty set yields a
+conditional entry reusable exactly by probes whose own path contains all
+named classes (goals routed through one's own ancestors are redundant —
+the same argument that makes path pruning admissible), which preserves
+the aggressive intra-search pruning the old unsound table provided; see
+:class:`repro.core.memory.TranspositionTable` for the reuse contract.
+``stats.transposition_poisoned`` counts the records that the old rule
+would have written unconditionally but are in fact path-dependent.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
-from repro.circuits.circuit import QCircuit
-from repro.core.astar import SearchConfig, SearchResult, SearchStats
+from repro.core.astar import SearchConfig, SearchResult, SearchStats, \
+    _make_h_of
 from repro.core.heuristic import HeuristicFn, entanglement_heuristic
 from repro.core.kernel import (
     BoundedCache,
     CanonContext,
     PackedState,
     StatePool,
-    entanglement_h_packed,
     num_entangled_packed,
     successors_packed,
 )
+from repro.core.memory import TranspositionTable
 from repro.core.moves import Move, moves_to_circuit
 from repro.exceptions import SearchBudgetExceeded
 from repro.states.qstate import QState
@@ -47,17 +77,31 @@ class IDAStarConfig:
     """Tuning knobs of the iterative-deepening search.
 
     ``search`` carries the shared options (canonicalization level, move
-    caps, budgets); ``transposition_cap`` bounds the optional memory of
-    ``(class, depth-bound)`` entries that prunes re-probes across rounds.
+    caps, budgets); ``transposition_cap`` bounds the per-call table of
+    ``(class -> exhausted remaining budget)`` entries (ignored when a
+    persistent ``SearchMemory`` supplies its own table).
+    ``record_truncated`` re-enables the pre-fix unsound write rule —
+    recording exhaustion even for subtrees truncated by path pruning —
+    and exists only so the regression tests can demonstrate the bug;
+    never enable it otherwise.
     """
 
     search: SearchConfig = field(default_factory=SearchConfig)
     transposition_cap: int = 200_000
+    record_truncated: bool = False
 
 
 def idastar_search(target: QState, config: IDAStarConfig | None = None,
-                   heuristic: HeuristicFn | None = None) -> SearchResult:
+                   heuristic: HeuristicFn | None = None,
+                   memory=None) -> SearchResult:
     """Minimum-CNOT synthesis by iterative deepening (optimal).
+
+    ``memory`` optionally plugs a process-lifetime
+    :class:`repro.core.memory.SearchMemory`: the interning pool, canonical
+    keys, heuristic values, *and* the transposition table then persist
+    across calls (sound because entries are target-independent — see the
+    module docstring), which makes repeated family searches dramatically
+    warmer while provably returning the same optimal costs.
 
     Raises :class:`SearchBudgetExceeded` when ``max_nodes`` (total expansions
     across all rounds) or the time limit runs out.
@@ -68,24 +112,27 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
         heuristic = entanglement_heuristic
     stopwatch = Stopwatch(shared.time_limit)
     stats = SearchStats()
-    pool = StatePool()
-    fast_h = heuristic is entanglement_heuristic
+    if memory is not None:
+        pool = memory.attach(canon_level=shared.canon_level,
+                             tie_cap=shared.tie_cap,
+                             perm_cap=shared.perm_cap,
+                             max_merge_controls=shared.max_merge_controls,
+                             include_x_moves=shared.include_x_moves,
+                             heuristic=heuristic)
+        canon_store = memory.canon_store
+        h_store = memory.h_store
+        transposition = memory.transposition
+    else:
+        pool = StatePool()
+        canon_store = h_store = None
+        transposition = TranspositionTable(config.transposition_cap)
 
     canon_ctx = CanonContext(shared.canon_level, shared.tie_cap,
-                             shared.perm_cap, shared.cache_cap)
+                             shared.perm_cap, shared.cache_cap,
+                             store=canon_store)
     canon = canon_ctx.key
     h_cache = BoundedCache(shared.cache_cap)
-
-    if fast_h:
-        # already memoized on the interned state object — no cache layer
-        h_of = entanglement_h_packed
-    else:
-        def h_of(ps: PackedState) -> float:
-            val = h_cache.get(ps)
-            if val is None:
-                val = float(heuristic(ps.to_qstate()))
-                h_cache.put(ps, val)
-            return val
+    h_of = _make_h_of(heuristic, h_cache, h_store)
 
     def finish_stats() -> None:
         stats.elapsed_seconds = stopwatch.elapsed()
@@ -94,36 +141,45 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
         stats.h_cache_hits = h_cache.hits
         stats.h_cache_misses = h_cache.misses
 
-    # transposition[class] = largest remaining budget (bound - g) under
-    # which the class was already fully explored without finding the goal
-    transposition: dict = {}
+    record_truncated = config.record_truncated
     path_moves: list[Move] = []
-    path_classes: list = []
+    path_stack: list = []
     path_class_set: set = set()
     goal_state: PackedState | None = None
+    _NO_TRUNC: frozenset = frozenset()
 
-    def probe(state: PackedState, g: int, bound: float) -> float:
-        """DFS below ``state``; returns the smallest f that exceeded the
-        bound, or ``_FOUND`` when the ground class was reached."""
+    def probe(state: PackedState, g: int,
+              bound: float) -> tuple[float, frozenset]:
+        """DFS below ``state``; returns ``(value, trunc)`` where ``value``
+        is the smallest f that exceeded the bound (or ``_FOUND``) and
+        ``trunc`` is the set of path classes strictly above this node that
+        truncated exploration anywhere in the subtree (empty when the
+        exhaustion proof is path-independent — see module docstring)."""
         nonlocal goal_state
         f = g + h_of(state)
         if f > bound:
-            return f
+            # f-pruning is path-independent: the admissible h proves no
+            # goal within the bound through this node from *any* prefix
+            return f, _NO_TRUNC
         if num_entangled_packed(state) == 0:
             goal_state = state
-            return _FOUND
+            return _FOUND, _NO_TRUNC
         stats.nodes_expanded += 1
         if stats.nodes_expanded > shared.max_nodes or stopwatch.expired():
             finish_stats()
             raise SearchBudgetExceeded(
                 f"IDA* budget exhausted after {stats.nodes_expanded} "
-                f"expansions", lower_bound=int(bound), stats=stats)
+                f"expansions", lower_bound=proven_lb, stats=stats)
         remaining = bound - g
         ckey = canon(state)
-        seen_budget = transposition.get(ckey)
-        if seen_budget is not None and seen_budget >= remaining:
-            return bound + 1.0  # already exhausted with at least this budget
+        condition = transposition.lookup(ckey, remaining, path_class_set)
+        if condition is not None:
+            # the entry's condition is the truncation debt this prune
+            # inherits (empty for an unconditional, hence universal, claim)
+            stats.transposition_hits += 1
+            return bound + 1.0, condition
         minimum = float("inf")
+        trunc: set | frozenset = _NO_TRUNC
         for move, nxt in successors_packed(
                 pool, state,
                 max_merge_controls=shared.max_merge_controls,
@@ -131,33 +187,61 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
             stats.nodes_generated += 1
             nkey = canon(nxt)
             if nkey in path_class_set:
+                # cycle avoidance: sound for this probe, but it truncates
+                # the subtree relative to the path class it skipped
                 stats.nodes_pruned += 1
+                if nkey != ckey:  # own-class skips are discharged here
+                    if type(trunc) is frozenset:
+                        trunc = set(trunc)
+                    trunc.add(nkey)
                 continue
             path_moves.append(move)
-            path_classes.append(nkey)
+            path_stack.append(nkey)
             path_class_set.add(nkey)
-            result = probe(nxt, g + move.cost, bound)
+            result, child_trunc = probe(nxt, g + move.cost, bound)
             if result == _FOUND:
-                return _FOUND
+                return _FOUND, _NO_TRUNC
             path_moves.pop()
-            path_class_set.discard(path_classes.pop())
-            minimum = min(minimum, result)
-        if len(transposition) < config.transposition_cap:
-            previous = transposition.get(ckey, -1.0)
-            transposition[ckey] = max(previous, remaining)
-        return minimum
+            path_class_set.discard(path_stack.pop())
+            if child_trunc:
+                # fold the child's truncation debt, discharging this
+                # node's own class (a class-acyclic witness from here
+                # never revisits it)
+                if type(trunc) is frozenset:
+                    trunc = set(trunc)
+                trunc.update(child_trunc)
+                trunc.discard(ckey)
+            if result < minimum:
+                minimum = result
+        trunc_frozen = frozenset(trunc) if type(trunc) is not frozenset \
+            else trunc
+        if trunc_frozen and not record_truncated:
+            stats.transposition_poisoned += 1
+            transposition.record(ckey, remaining, trunc_frozen)
+        else:
+            # record_truncated reinstates the pre-fix bug: the condition
+            # is dropped and the entry reads as unconditional
+            transposition.record(ckey, remaining, _NO_TRUNC)
+        stats.transposition_writes += 1
+        return minimum, trunc_frozen
 
     start = pool.from_qstate(target)
     bound = h_of(start)
+    # Proven lower bound, maintained round-by-round: admissibility proves
+    # ``OPT >= h(start)`` up front (A*'s ceil convention — the old code
+    # truncated ``int(bound)``); each fully exhausted round then proves
+    # ``OPT > bound``, i.e. ``OPT >= floor(bound) + 1`` with integer move
+    # costs.  The *next-round* bound itself is not used as a claim: a
+    # transposition hit reports ``bound + 1.0``, which with fractional
+    # heuristics may overstate the subtree's true minimal exceeded f.
+    proven_lb = int(math.ceil(bound - 1e-9))
     start_class = canon(start)
     while True:
         path_moves.clear()
-        path_classes.clear()
+        path_stack.clear()
         path_class_set.clear()
-        path_classes.append(start_class)
         path_class_set.add(start_class)
-        transposition.clear()
-        outcome = probe(start, 0, bound)
+        outcome, _ = probe(start, 0, bound)
         if outcome == _FOUND:
             assert goal_state is not None
             moves = list(path_moves)
@@ -167,10 +251,11 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
             cost = sum(m.cost for m in moves)
             return SearchResult(circuit=circuit, cnot_cost=cost,
                                 optimal=True, moves=moves, stats=stats)
+        proven_lb = max(proven_lb, int(bound) + 1)
         if outcome == float("inf"):
             finish_stats()
             raise SearchBudgetExceeded(
                 "IDA* exhausted the move space without reaching ground "
                 "(move set incomplete for this configuration)",
-                lower_bound=int(bound), stats=stats)
+                lower_bound=proven_lb, stats=stats)
         bound = outcome

@@ -1043,24 +1043,39 @@ class CanonContext:
     share a key only on a 128-bit collision (probability < 2**-90 for any
     realistic search), while state identity, parent chains, and circuit
     verification remain exact.  ``CanonLevel.NONE`` keys stay fully exact.
+
+    ``store`` optionally plugs a persistent cross-search tier between the
+    per-search memo and the computation (``get(ps)``/``put(ps, key)``,
+    e.g. :class:`repro.core.memory.HashStore`): it is consulted on a tier-1
+    miss and filled on a computation, so a warm store turns the expensive
+    orbit-hash computation into a hash lookup across searches.  The store
+    only deduplicates identical computations — the produced keys, and hence
+    the class partition, are unchanged.
     """
 
     __slots__ = ("level", "tie_cap", "perm_cap", "cache", "u2_cache",
-                 "full_computations")
+                 "store", "full_computations")
 
     def __init__(self, level: CanonLevel, tie_cap: int, perm_cap: int,
-                 cache_cap: int):
+                 cache_cap: int, store=None):
         self.level = level
         self.tie_cap = tie_cap
         self.perm_cap = perm_cap
         self.cache = BoundedCache(cache_cap)
         self.u2_cache = BoundedCache(cache_cap)
+        self.store = store
         self.full_computations = 0
 
     def key(self, ps: PackedState) -> CanonKey:
         val = self.cache.get(ps)
         if val is None:
-            val = self._compute(ps)
+            if self.store is not None:
+                val = self.store.get(ps)
+                if val is None:
+                    val = self._compute(ps)
+                    self.store.put(ps, val)
+            else:
+                val = self._compute(ps)
             self.cache.put(ps, val)
         return val
 

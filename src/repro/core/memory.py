@@ -1,0 +1,300 @@
+"""Persistent cross-search memory: canon keys, heuristics, transpositions.
+
+A single search already memoizes aggressively (interned states, bounded
+canonical-key and heuristic caches), but every call to a search engine
+starts cold: the same Dicke row searched twice recomputes every orbit hash
+from scratch, and IDA* even threw its transposition table away at each
+deepening round.  :class:`SearchMemory` is the process-lifetime answer —
+one object shared across searches in a batch (the paper's family sweeps,
+the repeated-traffic regime of the ROADMAP) holding everything that is
+*state-intrinsic* or otherwise search-independent:
+
+* a shared :class:`~repro.core.kernel.StatePool` (rotated when it outgrows
+  its cap), so interned states and their on-object memos survive calls;
+* :class:`HashStore` tiers for canonical keys and heuristic values, keyed
+  by the 64-bit structural hash with payload verification, so entries
+  survive pool rotation and are shared by searches whose pools differ;
+* a :class:`TranspositionTable` for IDA*: ``class -> max remaining cost
+  budget proven exhausted``.
+
+**Soundness invariant of the transposition table.**  Every search runs
+backward from its target to the *shared* ground class, so an
+unconditional entry ``table[C] = r`` is the target-independent claim "no
+ground-reaching path of cost ``<= r`` leaves any state of class ``C``".
+That claim may only be written unconditionally if it was proven
+*independent of the writing search's current path*: a subtree whose
+exploration skipped children via the DFS path-class set (cycle
+avoidance) has only been exhausted *relative to that path*, and
+recording it as universal would let a later probe with a different
+prefix prune a subtree that still hides the goal.  Writers therefore
+track the set of path classes their proof leaned on through the probe
+(propagated upward, because a truncated child leaves its parent's claim
+path-dependent too) and record truncated subtrees as *conditional*
+entries that name that set; see :class:`TranspositionTable` for the
+reuse contract.  (Recording them unconditionally is the bug the old
+per-round IDA* table worked around by clearing itself at every
+deepening — and got wrong anyway whenever two probes of the same round
+reached a class via different prefixes.)
+
+Entries additionally depend on the move set (``max_merge_controls``,
+``include_x_moves``), the class partition (canon level and enumeration
+caps), and — via the ``f``-pruning inside the probe — on the heuristic
+being admissible.  :meth:`SearchMemory.attach` pins this *regime
+fingerprint* on first use and rejects incompatible reuse, so a memory
+object can never silently mix entries from incompatible searches.
+
+All engines accept ``memory=None`` (the default) and then behave exactly
+as before with fresh per-call structures; passing a memory changes which
+computations are *reused*, never which values they produce, so results
+are bit-identical warm or cold (asserted by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+from repro.constants import (
+    MEMORY_POOL_ROTATE_CAP,
+    MEMORY_STORE_CAP,
+    MEMORY_TRANSPOSITION_CAP,
+)
+from repro.core.kernel import PackedState, StatePool
+from repro.exceptions import MemoryCompatibilityError
+
+__all__ = [
+    "HashStore",
+    "TranspositionTable",
+    "SearchMemory",
+]
+
+_EVICT_DENOM = 8  # drop 1/8 of the cap per eviction sweep (cf. BoundedCache)
+
+
+class HashStore:
+    """Persistent value store keyed by the 64-bit structural state hash.
+
+    Values attach to *states* (payload-verified), not to interned objects,
+    so entries remain valid when the owning :class:`SearchMemory` rotates
+    its :class:`~repro.core.kernel.StatePool` and are shared by searches
+    whose pools intern different objects for the same state.  A genuine
+    64-bit collision spills the newcomer into a payload-keyed secondary
+    dict, preserving exact-map semantics.  FIFO-capped like the per-search
+    :class:`~repro.core.kernel.BoundedCache`.
+    """
+
+    __slots__ = ("cap", "_primary", "_spill", "hits", "misses",
+                 "collisions", "evictions")
+
+    def __init__(self, cap: int = MEMORY_STORE_CAP):
+        self.cap = max(1, int(cap))
+        self._primary: dict[int, tuple[bytes, object]] = {}
+        self._spill: dict[bytes, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.collisions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._primary) + len(self._spill)
+
+    def get(self, ps: PackedState):
+        entry = self._primary.get(ps.hash64)
+        if entry is None:
+            self.misses += 1
+            return None
+        payload, value = entry
+        if payload == ps.payload:
+            self.hits += 1
+            return value
+        value = self._spill.get(ps.payload)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, ps: PackedState, value) -> None:
+        entry = self._primary.get(ps.hash64)
+        if entry is not None and entry[0] != ps.payload:
+            self.collisions += 1
+            self._spill[ps.payload] = value
+            return
+        if entry is None and len(self._primary) >= self.cap:
+            drop = max(1, self.cap // _EVICT_DENOM)
+            for stale in list(self._primary)[:drop]:
+                del self._primary[stale]
+            self.evictions += drop
+        self._primary[ps.hash64] = (ps.payload, value)
+
+    def snapshot(self) -> dict:
+        return {"entries": len(self), "hits": self.hits,
+                "misses": self.misses, "collisions": self.collisions,
+                "evictions": self.evictions}
+
+
+#: Shared empty condition — the unconditional entries' ``required`` set.
+_NO_CONDITION: frozenset = frozenset()
+
+
+class TranspositionTable:
+    """IDA* exhaustion records: ``class -> (remaining budget, condition)``.
+
+    An *unconditional* entry (empty condition) asserts that no
+    ground-reaching path of cost at most the stored value leaves any state
+    of the class — a path- and target-independent claim, reusable by any
+    probe of any round of any search under the same regime fingerprint.
+
+    A *conditional* entry additionally names the set of path classes its
+    exhaustion proof leaned on (the classes strictly above the recording
+    node whose path pruning truncated the subtree): it asserts that every
+    ground-reaching path of cost at most the stored value passes through
+    one of those classes.  A probe whose own DFS path contains all of them
+    may reuse it, because a goal routed through one's own path ancestors
+    is redundant — the ancestor's probe finds an equal-or-cheaper goal
+    (exactly the argument that makes path pruning itself admissible) —
+    and must fold the condition into its own truncation set, keeping the
+    claim chain honest.  The pre-fix code recorded such entries *without*
+    the condition, which is the unsoundness this table exists to fix.
+
+    One entry of each kind per class, FIFO-capped per kind; re-recording
+    only ever improves an entry (larger budget, or equal budget with a
+    weaker condition).
+    """
+
+    __slots__ = ("cap", "data", "cond", "hits", "misses", "writes",
+                 "evictions")
+
+    def __init__(self, cap: int = MEMORY_TRANSPOSITION_CAP):
+        self.cap = max(1, int(cap))
+        self.data: dict = {}
+        self.cond: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self.data) + len(self.cond)
+
+    def lookup(self, key, remaining: float, path_classes) -> frozenset | None:
+        """Condition under which the class is exhausted within
+        ``remaining``, or ``None`` when no applicable entry exists.
+
+        Returns the (possibly empty) ``required`` class set of the entry
+        that fired; the caller must treat a non-empty set as a truncation
+        against those path classes.  ``path_classes`` must support ``in``
+        over canonical keys (the probe's path-class container).
+        """
+        prev = self.data.get(key)
+        if prev is not None and prev >= remaining:
+            self.hits += 1
+            return _NO_CONDITION
+        entry = self.cond.get(key)
+        if entry is not None:
+            budget, required = entry
+            if budget >= remaining and \
+                    all(c in path_classes for c in required):
+                self.hits += 1
+                return required
+        self.misses += 1
+        return None
+
+    def record(self, key, remaining: float, required: frozenset) -> None:
+        if required:
+            entry = self.cond.get(key)
+            if entry is not None:
+                budget, prev_req = entry
+                if remaining < budget or \
+                        (remaining == budget and
+                         not (required < prev_req)):
+                    return
+            elif len(self.cond) >= self.cap:
+                drop = max(1, self.cap // _EVICT_DENOM)
+                for stale in list(self.cond)[:drop]:
+                    del self.cond[stale]
+                self.evictions += drop
+            self.cond[key] = (remaining, required)
+            self.writes += 1
+            return
+        prev = self.data.get(key)
+        if prev is not None:
+            if remaining > prev:
+                self.data[key] = remaining
+            return
+        if len(self.data) >= self.cap:
+            drop = max(1, self.cap // _EVICT_DENOM)
+            for stale in list(self.data)[:drop]:
+                del self.data[stale]
+            self.evictions += drop
+        self.data[key] = remaining
+        self.writes += 1
+
+    def snapshot(self) -> dict:
+        return {"entries": len(self), "unconditional": len(self.data),
+                "conditional": len(self.cond), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes,
+                "evictions": self.evictions}
+
+
+class SearchMemory:
+    """Process-lifetime memory shared across searches (see module docs).
+
+    Create one per *regime* — the first :meth:`attach` pins the regime
+    fingerprint (canon level + enumeration caps, move-set options,
+    heuristic identity) and incompatible attaches raise
+    :class:`~repro.exceptions.MemoryCompatibilityError` instead of
+    silently mixing entries whose meaning differs.
+    """
+
+    __slots__ = ("pool", "canon_store", "h_store", "transposition",
+                 "pool_rotate_cap", "pool_rotations", "searches",
+                 "_fingerprint")
+
+    def __init__(self, store_cap: int = MEMORY_STORE_CAP,
+                 transposition_cap: int = MEMORY_TRANSPOSITION_CAP,
+                 pool_rotate_cap: int = MEMORY_POOL_ROTATE_CAP):
+        self.pool = StatePool()
+        self.canon_store = HashStore(store_cap)
+        self.h_store = HashStore(store_cap)
+        self.transposition = TranspositionTable(transposition_cap)
+        self.pool_rotate_cap = max(1, int(pool_rotate_cap))
+        self.pool_rotations = 0
+        self.searches = 0
+        self._fingerprint: tuple | None = None
+
+    def attach(self, *, canon_level, tie_cap: int, perm_cap: int,
+               max_merge_controls: int | None, include_x_moves: bool,
+               heuristic) -> StatePool:
+        """Bind one search to this memory; returns the shared pool.
+
+        The fingerprint covers everything the stored values depend on:
+        the class partition (level + caps) for canon keys and
+        transposition entries, the move set for transposition entries,
+        and the heuristic for the h store (admissibility of which the
+        transposition probe relies on, exactly as IDA* optimality does).
+        """
+        fingerprint = (canon_level, int(tie_cap), int(perm_cap),
+                       max_merge_controls, bool(include_x_moves), heuristic)
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint
+        elif fingerprint != self._fingerprint:
+            raise MemoryCompatibilityError(
+                f"SearchMemory was built under regime {self._fingerprint!r} "
+                f"and cannot serve a search under {fingerprint!r}; use a "
+                f"separate SearchMemory per regime")
+        self.searches += 1
+        # Rotating the pool bounds the one structure interning cannot cap;
+        # the hash-keyed stores survive rotation by construction.
+        if len(self.pool) > self.pool_rotate_cap:
+            self.pool = StatePool()
+            self.pool_rotations += 1
+        return self.pool
+
+    def snapshot(self) -> dict:
+        """Counters for reports and benchmarks (JSON-serializable)."""
+        return {
+            "searches": self.searches,
+            "pool_states": len(self.pool),
+            "pool_rotations": self.pool_rotations,
+            "canon_store": self.canon_store.snapshot(),
+            "h_store": self.h_store.snapshot(),
+            "transposition": self.transposition.snapshot(),
+        }

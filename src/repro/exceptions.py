@@ -10,6 +10,7 @@ __all__ = [
     "QasmError",
     "SynthesisError",
     "SearchBudgetExceeded",
+    "MemoryCompatibilityError",
     "VerificationError",
 ]
 
@@ -54,6 +55,16 @@ class SearchBudgetExceeded(SynthesisError):
         self.lower_bound = lower_bound
         self.incumbent = incumbent
         self.stats = stats
+
+
+class MemoryCompatibilityError(SynthesisError):
+    """A ``SearchMemory`` was attached under an incompatible regime.
+
+    Persistent canon keys and transposition entries are only valid for the
+    exact canonicalization level/caps, move-set options, and heuristic they
+    were recorded under; reusing them elsewhere would be unsound, so the
+    attach is rejected instead.
+    """
 
 
 class VerificationError(ReproError):

@@ -7,6 +7,13 @@ device-topology tax, and the search-engine ablation.  Each returns an
 (benchmark artifacts) or Markdown (EXPERIMENTS.md).
 """
 
+from repro.experiments.family_runner import (
+    FamilyReport,
+    FamilyRow,
+    FamilyRunConfig,
+    dicke_family_targets,
+    run_family,
+)
 from repro.experiments.noise_gap import (
     NoiseGapRow,
     noise_gap_experiment,
@@ -27,6 +34,11 @@ from repro.experiments.topology_tax import (
 
 __all__ = [
     "ExperimentTable",
+    "FamilyReport",
+    "FamilyRow",
+    "FamilyRunConfig",
+    "dicke_family_targets",
+    "run_family",
     "NoiseGapRow",
     "noise_gap_experiment",
     "noise_gap_rows",

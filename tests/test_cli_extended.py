@@ -84,3 +84,29 @@ class TestNewStateOptions:
     def test_compare_cluster(self, capsys):
         assert main(["compare", "--cluster", "3"]) == 0
         assert "ours" in capsys.readouterr().out
+
+
+class TestFamily:
+    def test_family_warm_runs(self, capsys):
+        assert main(["family", "--max-n", "4", "--max-nodes",
+                     "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "D(4,2)" in out
+        assert "memory:" in out
+
+    def test_family_cold_baseline(self, capsys):
+        assert main(["family", "--max-n", "3", "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out
+        assert "memory:" not in out
+
+    def test_family_repeat_reuses_memory(self, capsys):
+        assert main(["family", "--max-n", "4", "--engine", "idastar",
+                     "--repeat", "2", "--max-nodes", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "warm pass 2" in out
+        assert "transposition" in out
+
+    def test_family_beam_engine(self, capsys):
+        assert main(["family", "--max-n", "4", "--engine", "beam"]) == 0
+        assert "beam family run" in capsys.readouterr().out

@@ -55,6 +55,29 @@ class TestIDAStarBasics:
         with pytest.raises(SearchBudgetExceeded):
             idastar_search(dicke_state(4, 2), config)
 
+    def test_exhaustion_bound_uses_ceil_convention(self):
+        # A fractional admissible heuristic makes the round bound
+        # fractional; the reported proven bound must round up exactly like
+        # A*'s ``ceil(f - 1e-9)`` (the old code truncated ``int(bound)``,
+        # reporting 1 here instead of 2).
+        from repro.states.analysis import num_entangled_qubits
+
+        def half_h(state):
+            return num_entangled_qubits(state) / 2.0  # 1.5 for |W_3>
+
+        config = IDAStarConfig(search=SearchConfig(max_nodes=0))
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            idastar_search(w_state(3), config, heuristic=half_h)
+        assert excinfo.value.lower_bound == 2
+
+    def test_transposition_persists_across_rounds(self):
+        # the per-call table is no longer cleared at each deepening: later
+        # rounds reuse subtrees the earlier rounds proved exhausted
+        result = idastar_search(w_state(4))
+        assert result.cnot_cost == 7
+        assert result.stats.transposition_hits > 0
+        assert result.stats.transposition_writes > 0
+
     def test_works_with_alternative_heuristics(self):
         # |W_3> = |D^1_3> costs 4 CNOTs (paper Table IV, "ours" column)
         state = w_state(3)
