@@ -41,6 +41,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.core.astar import SearchConfig, astar_search  # noqa: E402
 from repro.exceptions import SearchBudgetExceeded        # noqa: E402
 from repro.states.families import dicke_state            # noqa: E402
+from repro.utils.fingerprint import stamp_benchmark      # noqa: E402
 from repro.utils.tables import format_table              # noqa: E402
 
 #: (n, k, node budget) — budgets chosen so the small rows are solved to
@@ -127,14 +128,14 @@ def run_benchmark(rows: list[tuple[int, int, int]]) -> dict:
     legacy_nps = totals["legacy"]["nodes"] / totals["legacy"]["seconds"]
     speedups = [row["nodes_per_sec_speedup"] for row in results]
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-    return {
+    return stamp_benchmark({
         "metric": "nodes/sec = expanded nodes / elapsed",
         "rows": results,
         "family_nodes_per_sec": {"kernel": round(kernel_nps, 1),
                                  "legacy": round(legacy_nps, 1)},
         "family_throughput_speedup": round(kernel_nps / legacy_nps, 3),
         "per_row_geomean_speedup": round(geomean, 3),
-    }
+    })
 
 
 def render_table(report: dict) -> str:

@@ -43,6 +43,7 @@ from repro.experiments.family_runner import (                  # noqa: E402
     run_family,
 )
 from repro.states.families import dicke_state                  # noqa: E402
+from repro.utils.fingerprint import stamp_benchmark            # noqa: E402
 from repro.utils.tables import format_table                    # noqa: E402
 
 #: (n, k, node budget) per engine — small rows are solved to optimality,
@@ -143,13 +144,13 @@ def run_benchmark(row_table: dict) -> dict:
             "warm_speedup": round(speedup, 3),
             "memory": memory.snapshot(),
         }
-    return {
+    return stamp_benchmark({
         "metric": "warm speedup = cold family seconds / warm family seconds "
                   "(same rows, same memory, identical costs asserted)",
         "engines": engines,
         "min_warm_speedup": round(
             min(e["warm_speedup"] for e in engines.values()), 3),
-    }
+    })
 
 
 def render_table(report: dict) -> str:

@@ -26,9 +26,24 @@ Verify that a QASM file prepares a state::
 
     repro-qsp verify circuit.qasm --w 4
 
-Synthesize a whole Dicke family in one process with warm search memory::
+Synthesize a whole Dicke family in one process with warm search memory,
+and persist that memory as a warm-start snapshot for the service::
 
     repro-qsp family --max-n 5 --engine astar
+    repro-qsp family --max-n 5 --engine idastar --snapshot-out warm.qspmem.gz
+
+Run the long-lived synthesis service (one JSON request per stdin line,
+one JSON response per stdout line), warm-started from a snapshot::
+
+    repro-qsp serve --snapshot warm.qspmem.gz
+    echo '{"id": 1, "op": "exact", "dicke": [4, 2]}' | repro-qsp serve
+
+Batch-synthesize a JSONL request file across worker processes, each
+seeded from the snapshot (costs are identical to cold single-process
+runs; only the time changes)::
+
+    repro-qsp batch requests.jsonl results.jsonl \
+        --snapshot warm.qspmem.gz --workers 4
 """
 
 from __future__ import annotations
@@ -163,6 +178,58 @@ def build_parser() -> argparse.ArgumentParser:
     family.add_argument("--repeat", type=int, default=1, metavar="R",
                         help="run the family R times through the same "
                              "memory (warm re-runs; default 1)")
+    family.add_argument("--snapshot-out", metavar="FILE",
+                        help="persist the warm SearchMemory to FILE after "
+                             "the run (gzip when FILE ends in .gz); the "
+                             "service loads it at boot")
+    family.add_argument("--snapshot-in", metavar="FILE",
+                        help="seed the SearchMemory from FILE before the "
+                             "first row (warm start)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived synthesis service: JSONL requests on stdin, "
+             "JSONL responses on stdout")
+    serve.add_argument("--snapshot", metavar="FILE",
+                       help="warm-start SearchMemory snapshot to load at "
+                            "boot (see 'family --snapshot-out')")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the request cache (every request "
+                            "searches)")
+    serve.add_argument("--max-nodes", type=int, default=None,
+                       help="per-engine expansion budget, applied to "
+                            "'exact' requests and the workflow's exact "
+                            "stage (default: engine defaults)")
+    serve.add_argument("--time-limit", type=float, default=None,
+                       help="per-engine wall-clock budget in seconds "
+                            "(same scope as --max-nodes)")
+    serve.add_argument("--race-workers", type=int, default=0, metavar="N",
+                       help="race the engine portfolio across N processes "
+                            "per exact request with first-optimal-wins "
+                            "cancellation (default 0 = in-process "
+                            "sequential portfolio)")
+
+    batch = sub.add_parser(
+        "batch",
+        help="batch synthesis: JSONL request file in, JSONL response "
+             "file out, sharded across worker processes")
+    batch.add_argument("input", help="JSONL request file (one target per "
+                                     "line, same schema as 'serve')")
+    batch.add_argument("output", help="JSONL response file to write")
+    batch.add_argument("--snapshot", metavar="FILE",
+                       help="warm-start snapshot each worker seeds its "
+                            "memory from")
+    batch.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes to shard the stream across "
+                            "(default 1 = in-process)")
+    batch.add_argument("--max-nodes", type=int, default=None,
+                       help="per-engine expansion budget (default: "
+                            "engine defaults)")
+    batch.add_argument("--time-limit", type=float, default=None,
+                       help="per-engine wall-clock budget in seconds")
+    batch.add_argument("--circuits", action="store_true",
+                       help="include the synthesized circuits in the "
+                            "response lines")
     return parser
 
 
@@ -254,7 +321,14 @@ def _cmd_family(args: argparse.Namespace) -> int:
                             time_limit=args.time_limit),
         beam=BeamConfig(time_limit=args.time_limit),
         warm=not args.cold)
-    memory = SearchMemory() if not args.cold else None
+    if args.cold and (args.snapshot_in or args.snapshot_out):
+        raise SystemExit("--cold cannot be combined with --snapshot-in/"
+                         "--snapshot-out (there is no memory to persist)")
+    if args.snapshot_in:
+        from repro.service.persistence import load_memory_snapshot
+        memory = load_memory_snapshot(args.snapshot_in)
+    else:
+        memory = SearchMemory() if not args.cold else None
     for rep in range(max(1, args.repeat)):
         report = run_family(targets, config, memory=memory)
         rows = []
@@ -275,6 +349,57 @@ def _cmd_family(args: argparse.Namespace) -> int:
                   f"canon store {canon['hits']}/{canon['hits'] + canon['misses']} hits, "
                   f"transposition {tt['entries']} entries "
                   f"({tt['hits']} hits)")
+    if args.snapshot_out and memory is not None:
+        from repro.service.persistence import save_memory_snapshot
+        save_memory_snapshot(memory, args.snapshot_out)
+        print(f"SearchMemory snapshot written to {args.snapshot_out}")
+    return 0
+
+
+def _service_config(args: argparse.Namespace, **extra):
+    """Build a ServiceConfig honoring the CLI budget flags everywhere:
+    both the 'exact' portfolio search and the 'prepare' workflow's exact
+    stage (whose own defaults would otherwise silently win)."""
+    from repro.core.astar import SearchConfig
+    from repro.qsp.config import QSPConfig
+    from repro.service.server import ServiceConfig
+
+    search = SearchConfig()
+    qsp = QSPConfig()
+    if args.max_nodes is not None:
+        search.max_nodes = args.max_nodes
+        qsp.exact.search.max_nodes = args.max_nodes
+    if args.time_limit is not None:
+        search.time_limit = args.time_limit
+        qsp.exact.search.time_limit = args.time_limit
+        qsp.exact.beam.time_limit = args.time_limit
+    return ServiceConfig(search=search, qsp=qsp,
+                         snapshot_path=args.snapshot, **extra)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import SynthesisService, serve_loop
+
+    config = _service_config(args, use_cache=not args.no_cache,
+                             race_workers=args.race_workers)
+    service = SynthesisService(config)
+    handled = serve_loop(service, sys.stdin, sys.stdout)
+    stats = service.stats()
+    print(f"served {handled} request(s), {stats['cache_hits']} cache "
+          f"hit(s), {stats['errors']} error(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service.server import SynthesisService
+
+    service = SynthesisService(_service_config(args))
+    summary = service.run_batch_file(args.input, args.output,
+                                     workers=max(1, args.workers),
+                                     with_circuit=args.circuits)
+    print(f"batch: {summary['solved']}/{summary['requests']} solved "
+          f"({summary['cache_hits']} cache hits, "
+          f"{summary['workers']} worker(s)) -> {args.output}")
     return 0
 
 
@@ -295,6 +420,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "family":
         return _cmd_family(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     state = _state_from_args(args)
 
     if args.command == "prepare":

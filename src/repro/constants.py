@@ -72,6 +72,25 @@ MEMORY_TRANSPOSITION_CAP: int = 1 << 20
 #: the next attach (the stores survive rotation; only interning restarts).
 MEMORY_POOL_ROTATE_CAP: int = 1 << 21
 
+# ----------------------------------------------------------------------
+# Synthesis service layer (repro.service)
+# ----------------------------------------------------------------------
+
+#: On-disk ``SearchMemory`` snapshot format version.  Bumped whenever the
+#: serialized layout or the meaning of stored entries changes; a loader
+#: seeing any other version raises ``MemoryCompatibilityError`` instead of
+#: guessing (entries from an incompatible layout must never mix in).
+MEMORY_SNAPSHOT_VERSION: int = 1
+
+#: Schema version stamped into every benchmark JSON artifact
+#: (``BENCH_kernel.json``, ``BENCH_memory.json``, ``BENCH_service.json``)
+#: by :func:`repro.utils.fingerprint.stamp_benchmark`, so trajectory
+#: comparisons across PRs can detect incompatible runs.
+BENCH_SCHEMA_VERSION: int = 1
+
+#: Entry cap of the service request cache (distinct target states).
+SERVICE_REQUEST_CACHE_CAP: int = 1 << 16
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

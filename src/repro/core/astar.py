@@ -133,6 +133,12 @@ class SearchStats:
     #: IDA* transposition-table counters (this search's probes only)
     transposition_hits: int = 0
     transposition_writes: int = 0
+    #: A* branch-and-bound counters (active only with an incumbent):
+    #: generated states pruned because ``g + h`` already reaches the
+    #: incumbent cost, and popped classes pruned because an unconditional
+    #: transposition exhaustion entry proves their remaining cost does
+    incumbent_prunes: int = 0
+    bnb_transposition_prunes: int = 0
     #: subtrees whose exhaustion proof was path-dependent: recorded only
     #: with their path condition (the pre-fix code wrote them as
     #: unconditional, universally reusable claims — the soundness bug)
@@ -171,7 +177,7 @@ class SearchResult:
 
 def astar_search(target: QState, config: SearchConfig | None = None,
                  heuristic: HeuristicFn | None = None,
-                 memory=None) -> SearchResult:
+                 memory=None, incumbent=None) -> SearchResult:
     """Find a minimum-CNOT preparation circuit for ``target``.
 
     ``memory`` optionally plugs a process-lifetime
@@ -180,22 +186,41 @@ def astar_search(target: QState, config: SearchConfig | None = None,
     across calls, which only skips recomputation — results are identical
     warm or cold.  Requires the kernel loop (``use_kernel=True``).
 
+    ``incumbent`` optionally supplies a known-feasible solution (a
+    :class:`SearchResult` for the same target, e.g. from a beam pass or a
+    portfolio sibling, or a bare integer cost bound) and switches the
+    loop into branch-and-bound mode: generated states whose unweighted
+    ``g + h`` already reaches the incumbent cost are pruned, and — when a
+    ``memory`` with a populated transposition table is attached — a
+    popped class whose *unconditional* exhaustion entry proves its
+    remaining cost cannot beat the incumbent is pruned too (the ROADMAP's
+    incumbent-bounded reuse of IDA* proofs; conditional entries stay
+    IDA*-only because their claim is relative to a DFS path this search
+    does not have).  Pruning never discards a strictly better solution,
+    so the returned cost is unchanged — if the whole space at or above
+    the incumbent cost is pruned away, the incumbent itself is returned,
+    proven optimal.  Expansions only shrink (the differential tests
+    assert both properties).
+
     Raises
     ------
     SearchBudgetExceeded
         When ``max_nodes`` or ``time_limit`` is hit before the ground state
         is reached.  The exception carries the best proven lower bound
         (computed with the unweighted heuristic, so it is valid for any
-        ``weight``).
+        ``weight``) and the incumbent, when one was supplied.
     """
     config = config or SearchConfig()
     if heuristic is None:
         heuristic = entanglement_heuristic
     if config.use_kernel:
-        return _astar_kernel(target, config, heuristic, memory)
+        return _astar_kernel(target, config, heuristic, memory, incumbent)
     if memory is not None:
         raise ValueError("SearchMemory requires the kernel loop "
                          "(SearchConfig(use_kernel=True))")
+    if incumbent is not None:
+        raise ValueError("incumbent-bounded search requires the kernel "
+                         "loop (SearchConfig(use_kernel=True))")
     return _astar_reference(target, config, heuristic)
 
 
@@ -245,10 +270,24 @@ def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
 # ----------------------------------------------------------------------
 
 def _astar_kernel(target: QState, config: SearchConfig,
-                  heuristic: HeuristicFn, memory=None) -> SearchResult:
+                  heuristic: HeuristicFn, memory=None,
+                  incumbent=None) -> SearchResult:
     weight = config.weight
     stopwatch = Stopwatch(config.time_limit)
     stats = SearchStats()
+    # Branch-and-bound bound: a feasible cost some other engine already
+    # achieved.  ``ub`` prunes; ``incumbent_result`` is the fallback
+    # circuit returned if pruning exhausts the space.
+    if incumbent is None:
+        ub = None
+        incumbent_result = None
+    elif isinstance(incumbent, int):
+        ub = incumbent
+        incumbent_result = None
+    else:
+        ub = incumbent.cnot_cost
+        incumbent_result = incumbent
+    transposition = memory.transposition if memory is not None else None
     if memory is not None:
         pool = memory.attach(canon_level=config.canon_level,
                              tie_cap=config.tie_cap,
@@ -292,6 +331,11 @@ def _astar_kernel(target: QState, config: SearchConfig,
 
     def push(ps: PackedState, g: int, prev, move) -> None:
         h = h_of(ps)
+        if ub is not None and g + h > ub - 1e-9:
+            # the admissible (unweighted) h proves no completion through
+            # this state beats the incumbent — branch-and-bound prune
+            stats.incumbent_prunes += 1
+            return
         heapq.heappush(open_heap,
                        (g + weight * h, g, next(counter), g + h, ps,
                         prev, move))
@@ -326,6 +370,16 @@ def _astar_kernel(target: QState, config: SearchConfig,
         if prev_g is not None and g >= prev_g:
             stats.nodes_pruned += 1
             continue  # class already expanded at least this cheaply
+        if ub is not None and transposition is not None:
+            proven = transposition.exhausted_budget(ckey)
+            # "no ground path of cost <= proven leaves this class", so
+            # with integer move costs any completion costs
+            # >= g + floor(proven) + 1; prune when that reaches the
+            # incumbent (only unconditional entries — see astar_search)
+            if proven is not None and \
+                    g + math.floor(proven) + 1 > ub - 1e-9:
+                stats.bnb_transposition_prunes += 1
+                continue
         best_g.put(ckey, g)
         if prev is not None:
             parent[state] = (prev, move)
@@ -338,7 +392,7 @@ def _astar_kernel(target: QState, config: SearchConfig,
                 f"search budget exhausted after {stats.nodes_expanded} "
                 f"expansions ({stats.elapsed_seconds:.1f}s); "
                 f"proven lower bound {bound}",
-                lower_bound=bound, stats=stats)
+                lower_bound=bound, incumbent=incumbent_result, stats=stats)
 
         for nmove, nxt in successors_packed(
                 pool, state,
@@ -352,6 +406,18 @@ def _astar_kernel(target: QState, config: SearchConfig,
             push(nxt, g2, state, nmove)
 
     finish_stats()
+    if incumbent_result is not None:
+        # Everything at or above the incumbent cost was pruned and nothing
+        # cheaper exists, so the incumbent's cost is the optimum (under an
+        # admissible ordering; weighted runs keep their anytime flag).
+        return SearchResult(circuit=incumbent_result.circuit,
+                            cnot_cost=incumbent_result.cnot_cost,
+                            optimal=(weight <= 1.0),
+                            moves=list(incumbent_result.moves), stats=stats)
+    if ub is not None:
+        raise SearchBudgetExceeded(
+            f"incumbent bound {ub} proven optimal, but no incumbent "
+            f"circuit was supplied to return", lower_bound=ub, stats=stats)
     raise SearchBudgetExceeded(
         "open list exhausted without reaching the ground state "
         "(move set incomplete for this configuration)",

@@ -19,7 +19,11 @@ from dataclasses import dataclass, replace
 
 from repro.core.astar import SearchConfig, SearchResult, astar_search
 from repro.core.beam import BeamConfig, beam_search
-from repro.exceptions import SearchBudgetExceeded, SynthesisError
+from repro.exceptions import (
+    MemoryCompatibilityError,
+    SearchBudgetExceeded,
+    SynthesisError,
+)
 from repro.states.qstate import QState
 
 __all__ = ["ExactSynthesizer", "ExactConfig", "SearchResult"]
@@ -54,18 +58,30 @@ class ExactSynthesizer:
     def __init__(self, config: ExactConfig | None = None):
         self.config = config or ExactConfig()
 
-    def synthesize(self, state: QState) -> SearchResult:
+    def synthesize(self, state: QState,
+                   memory=None) -> SearchResult:
         """Synthesize a preparation circuit for ``state``.
 
         Returns a :class:`~repro.core.astar.SearchResult`; ``optimal`` is
         true only when the A* search completed with an admissible heuristic.
+
+        ``memory`` optionally plugs a process-lifetime
+        :class:`~repro.core.memory.SearchMemory` into the underlying
+        engines (the service layer threads its memory through here) —
+        pure recomputation reuse, identical results.  The beam fallback
+        only shares it when its config sits in the same regime; a
+        mismatched beam config simply runs cold instead of failing the
+        whole synthesis.
         """
         try:
-            result = astar_search(state, self.config.search)
+            result = astar_search(state, self.config.search, memory=memory)
         except SearchBudgetExceeded as exc:
             if not self.config.beam_fallback:
                 raise
-            result = beam_search(state, self.config.beam)
+            try:
+                result = beam_search(state, self.config.beam, memory=memory)
+            except MemoryCompatibilityError:
+                result = beam_search(state, self.config.beam)
             result = replace(result, optimal=False)
         if self.config.verify and state.num_qubits <= _VERIFY_MAX_QUBITS:
             from repro.sim.verify import assert_prepares

@@ -51,12 +51,15 @@ are bit-identical warm or cold (asserted by the equivalence tests).
 
 from __future__ import annotations
 
+import heapq
+from itertools import islice
+
 from repro.constants import (
     MEMORY_POOL_ROTATE_CAP,
     MEMORY_STORE_CAP,
     MEMORY_TRANSPOSITION_CAP,
 )
-from repro.core.kernel import PackedState, StatePool
+from repro.core.kernel import PackedState, StatePool, state_hash64
 from repro.exceptions import MemoryCompatibilityError
 
 __all__ = [
@@ -124,10 +127,57 @@ class HashStore:
             self.evictions += drop
         self._primary[ps.hash64] = (ps.payload, value)
 
+    def put_payload(self, payload: bytes, value) -> None:
+        """Insert by raw payload, recomputing this process's 64-bit hash.
+
+        The structural hash is SipHash over the payload and therefore
+        *per-process*: entries crossing a process boundary (snapshot
+        load, worker delta merge) must be re-keyed here rather than
+        trusting the hash they were written under.
+        """
+        self.put(_PayloadKey(state_hash64(payload), payload), value)
+
+    def items_payload(self, since: tuple[int, int, int] | None = None):
+        """Iterate ``(payload, value)`` pairs (process-portable form).
+
+        Spill entries (genuine 64-bit collisions) are included; iteration
+        order is insertion order of the primary tier first.  ``since`` (a
+        :meth:`size_marker` captured earlier) restricts iteration to the
+        entries inserted after that point: the primary tier is
+        insertion-ordered and evicts strictly from the front, so the
+        pre-marker entries still present are exactly the first
+        ``marker_len - evicted_since`` — skipping that many yields every
+        surviving addition even after eviction sweeps (sweeps eat the
+        oldest pre-marker entries first, shrinking the skip).
+        """
+        if since is None:
+            skip_primary = skip_spill = 0
+        else:
+            marker_len, skip_spill, marker_evictions = since
+            skip_primary = marker_len - (self.evictions - marker_evictions)
+        for payload, value in islice(self._primary.values(),
+                                     max(0, skip_primary), None):
+            yield payload, value
+        yield from islice(self._spill.items(), max(0, skip_spill), None)
+
+    def size_marker(self) -> tuple[int, int, int]:
+        """Marker for :meth:`items_payload`'s ``since`` (delta shipping)."""
+        return len(self._primary), len(self._spill), self.evictions
+
     def snapshot(self) -> dict:
         return {"entries": len(self), "hits": self.hits,
                 "misses": self.misses, "collisions": self.collisions,
                 "evictions": self.evictions}
+
+
+class _PayloadKey:
+    """Minimal stand-in carrying the two fields :class:`HashStore` keys on."""
+
+    __slots__ = ("hash64", "payload")
+
+    def __init__(self, hash64: int, payload: bytes):
+        self.hash64 = hash64
+        self.payload = payload
 
 
 #: Shared empty condition — the unconditional entries' ``required`` set.
@@ -154,9 +204,12 @@ class TranspositionTable:
     claim chain honest.  The pre-fix code recorded such entries *without*
     the condition, which is the unsoundness this table exists to fix.
 
-    One entry of each kind per class, FIFO-capped per kind; re-recording
-    only ever improves an entry (larger budget, or equal budget with a
-    weaker condition).
+    One entry of each kind per class, capped per kind with *budget-weighted*
+    replacement: an eviction sweep drops the entries proving the smallest
+    remaining budgets, because a large-budget entry prunes every probe a
+    small-budget one would and more (dropping any entry is always sound —
+    the subtree is merely re-probed).  Re-recording only ever improves an
+    entry (larger budget, or equal budget with a weaker condition).
     """
 
     __slots__ = ("cap", "data", "cond", "hits", "misses", "writes",
@@ -197,6 +250,27 @@ class TranspositionTable:
         self.misses += 1
         return None
 
+    def exhausted_budget(self, key) -> float | None:
+        """Unconditional proven budget of ``key`` (no path context needed).
+
+        This is the entry an engine *without* a DFS path may consult — A*
+        branch-and-bound pruning reads it once it holds an incumbent.
+        Conditional entries are deliberately invisible here: their claim
+        is relative to a DFS path set that a best-first search does not
+        have.  Does not touch the hit/miss counters (the caller is not a
+        probe).
+        """
+        return self.data.get(key)
+
+    def _evict_smallest(self, table: dict, budget_of) -> None:
+        """Drop the entries proving the smallest remaining budgets."""
+        drop = max(1, self.cap // _EVICT_DENOM)
+        victims = heapq.nsmallest(drop, table.items(),
+                                  key=lambda kv: budget_of(kv[1]))
+        for stale, _ in victims:
+            del table[stale]
+        self.evictions += len(victims)
+
     def record(self, key, remaining: float, required: frozenset) -> None:
         if required:
             entry = self.cond.get(key)
@@ -207,10 +281,7 @@ class TranspositionTable:
                          not (required < prev_req)):
                     return
             elif len(self.cond) >= self.cap:
-                drop = max(1, self.cap // _EVICT_DENOM)
-                for stale in list(self.cond)[:drop]:
-                    del self.cond[stale]
-                self.evictions += drop
+                self._evict_smallest(self.cond, lambda v: v[0])
             self.cond[key] = (remaining, required)
             self.writes += 1
             return
@@ -220,10 +291,7 @@ class TranspositionTable:
                 self.data[key] = remaining
             return
         if len(self.data) >= self.cap:
-            drop = max(1, self.cap // _EVICT_DENOM)
-            for stale in list(self.data)[:drop]:
-                del self.data[stale]
-            self.evictions += drop
+            self._evict_smallest(self.data, lambda v: v)
         self.data[key] = remaining
         self.writes += 1
 
@@ -271,15 +339,8 @@ class SearchMemory:
         and the heuristic for the h store (admissibility of which the
         transposition probe relies on, exactly as IDA* optimality does).
         """
-        fingerprint = (canon_level, int(tie_cap), int(perm_cap),
-                       max_merge_controls, bool(include_x_moves), heuristic)
-        if self._fingerprint is None:
-            self._fingerprint = fingerprint
-        elif fingerprint != self._fingerprint:
-            raise MemoryCompatibilityError(
-                f"SearchMemory was built under regime {self._fingerprint!r} "
-                f"and cannot serve a search under {fingerprint!r}; use a "
-                f"separate SearchMemory per regime")
+        self.pin((canon_level, int(tie_cap), int(perm_cap),
+                  max_merge_controls, bool(include_x_moves), heuristic))
         self.searches += 1
         # Rotating the pool bounds the one structure interning cannot cap;
         # the hash-keyed stores survive rotation by construction.
@@ -287,6 +348,23 @@ class SearchMemory:
             self.pool = StatePool()
             self.pool_rotations += 1
         return self.pool
+
+    @property
+    def fingerprint(self) -> tuple | None:
+        """The pinned regime fingerprint (``None`` until the first use)."""
+        return self._fingerprint
+
+    def pin(self, fingerprint: tuple) -> None:
+        """Pin the regime without running a search (snapshot restore does
+        this up front, so entries loaded from disk can never be served to
+        a search under a different regime)."""
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint
+        elif fingerprint != self._fingerprint:
+            raise MemoryCompatibilityError(
+                f"SearchMemory was built under regime {self._fingerprint!r} "
+                f"and cannot serve a search under {fingerprint!r}; use a "
+                f"separate SearchMemory per regime")
 
     def snapshot(self) -> dict:
         """Counters for reports and benchmarks (JSON-serializable)."""

@@ -50,7 +50,8 @@ class QSPResult:
 
 
 def _exact_core_circuit(state: QState, config: QSPConfig,
-                        trace: list[str]) -> tuple[QCircuit, bool | None]:
+                        trace: list[str],
+                        memory=None) -> tuple[QCircuit, bool | None]:
     """Exact-synthesize the entangled core of ``state`` and re-embed."""
     extraction = extract_core(state)
     if extraction.core is None:
@@ -59,7 +60,8 @@ def _exact_core_circuit(state: QState, config: QSPConfig,
     core = extraction.core
     trace.append(f"core: n_eff={core.num_qubits} m={core.cardinality}")
     if config.use_exact:
-        result = ExactSynthesizer(config.exact).synthesize(core)
+        result = ExactSynthesizer(config.exact).synthesize(core,
+                                                           memory=memory)
         best_circuit, optimal = result.circuit, result.optimal
         if not optimal:
             # Budgeted search fell back to the anytime engine; never let the
@@ -99,8 +101,8 @@ def _gh_reduction_to_thresholds(state: QState, config: QSPConfig
     return moves, reduced
 
 
-def _sparse_path(state: QState, config: QSPConfig,
-                 trace: list[str]) -> tuple[QCircuit, bool | None]:
+def _sparse_path(state: QState, config: QSPConfig, trace: list[str],
+                 memory=None) -> tuple[QCircuit, bool | None]:
     trace.append(f"sparse path: n={state.num_qubits} m={state.cardinality}")
     # Candidate reductions: the improved multi-pair greedy and the plain GH
     # baseline steps.  Both end at the exact-synthesis thresholds; the
@@ -122,7 +124,8 @@ def _sparse_path(state: QState, config: QSPConfig,
     for label, moves, reduced in candidates:
         sub_trace: list[str] = []
         core_circuit, optimal = _exact_core_circuit(reduced, config,
-                                                    sub_trace)
+                                                    sub_trace,
+                                                    memory=memory)
         circuit = QCircuit(state.num_qubits)
         circuit.compose(core_circuit)
         for move in reversed(moves):
@@ -142,26 +145,34 @@ def _sparse_path(state: QState, config: QSPConfig,
     return best
 
 
-def _dense_path(state: QState, config: QSPConfig,
-                trace: list[str]) -> tuple[QCircuit, bool | None]:
+def _dense_path(state: QState, config: QSPConfig, trace: list[str],
+                memory=None) -> tuple[QCircuit, bool | None]:
     n = state.num_qubits
     trace.append(f"dense path: n={n} m={state.cardinality}")
     keep = min(n, max(1, config.exact_qubits))
     core, suffix = qubit_reduction_prefix(state, keep)
     trace.append(f"qubit reduction to {keep} wires: "
                  f"{suffix.cnot_cost()} CNOTs")
-    core_circuit, optimal = _exact_core_circuit(core, config, trace)
+    core_circuit, optimal = _exact_core_circuit(core, config, trace,
+                                                memory=memory)
     circuit = QCircuit(n)
     circuit.compose(core_circuit.embedded(n, list(range(keep))))
     circuit.compose(suffix)
     return circuit, optimal
 
 
-def prepare_state(state: QState, config: QSPConfig | None = None) -> QSPResult:
+def prepare_state(state: QState, config: QSPConfig | None = None,
+                  memory=None) -> QSPResult:
     """Synthesize a preparation circuit with the paper's workflow.
 
     The sparsity test ``n * m < 2**n`` picks the divide-and-conquer
     strategy; the exact engine finishes the small core either way.
+
+    ``memory`` optionally threads a process-lifetime
+    :class:`~repro.core.memory.SearchMemory` into every exact-core search
+    the workflow runs — the synthesis service passes its memory here, so
+    repeated traffic keeps the cores' canonical keys and heuristic values
+    warm across requests.  Results are identical warm or cold.
     """
     config = config or QSPConfig()
     trace: list[str] = []
@@ -169,11 +180,12 @@ def prepare_state(state: QState, config: QSPConfig | None = None) -> QSPResult:
     if state.num_qubits <= config.exact_qubits or \
             (sparse and state.cardinality <= config.exact_cardinality and
              num_entangled_qubits(state) <= config.exact_qubits):
-        circuit, optimal = _exact_core_circuit(state, config, trace)
+        circuit, optimal = _exact_core_circuit(state, config, trace,
+                                               memory=memory)
     elif sparse:
-        circuit, optimal = _sparse_path(state, config, trace)
+        circuit, optimal = _sparse_path(state, config, trace, memory=memory)
     else:
-        circuit, optimal = _dense_path(state, config, trace)
+        circuit, optimal = _dense_path(state, config, trace, memory=memory)
 
     if state.num_qubits <= config.verify_max_qubits:
         from repro.sim.verify import assert_prepares

@@ -1,0 +1,42 @@
+"""Synthesis service layer: persistence, portfolio scheduling, caching.
+
+Turns the search kernel + persistent :class:`~repro.core.memory.SearchMemory`
+into a long-lived synthesis service:
+
+* :mod:`repro.service.persistence` — versioned on-disk snapshots of a
+  ``SearchMemory`` (warm-start files), gated by the regime fingerprint;
+* :mod:`repro.service.portfolio` — engine portfolio per request
+  (sequential incumbent-threading or multi-process first-optimal-wins
+  racing) and the sharded batch runner;
+* :mod:`repro.service.cache` — exact-hit request cache mapping target
+  states to finished :class:`~repro.qsp.workflow.QSPResult` objects;
+* :mod:`repro.service.server` — the :class:`SynthesisService` facade
+  behind ``repro-qsp serve`` (stdin/stdout JSONL) and ``repro-qsp batch``
+  (file in / file out).
+"""
+
+from repro.service.cache import RequestCache
+from repro.service.persistence import load_memory_snapshot, \
+    save_memory_snapshot
+from repro.service.portfolio import (
+    EngineSpec,
+    PortfolioOutcome,
+    default_portfolio,
+    run_engine_spec,
+    run_portfolio,
+)
+from repro.service.server import ServiceConfig, SynthesisService, serve_loop
+
+__all__ = [
+    "RequestCache",
+    "save_memory_snapshot",
+    "load_memory_snapshot",
+    "EngineSpec",
+    "PortfolioOutcome",
+    "default_portfolio",
+    "run_engine_spec",
+    "run_portfolio",
+    "ServiceConfig",
+    "SynthesisService",
+    "serve_loop",
+]

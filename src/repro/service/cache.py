@@ -1,0 +1,82 @@
+"""Request cache: canonical target fingerprint → finished ``QSPResult``.
+
+Repeated traffic is the service's whole reason to exist: the same GHZ/W/
+Dicke targets arrive over and over, and after the first synthesis the
+correct response is a lookup, not a search.  The cache keys requests by
+the target state's *structural identity* — the quantized packed payload,
+looked up through the 64-bit structural hash with payload verification
+(the same exact-hit discipline as the persistent
+:class:`~repro.core.memory.HashStore`, and in fact implemented on it), so
+two textually different requests for the same state hit the same entry
+while a genuine 64-bit hash collision can never serve the wrong circuit.
+
+Entries additionally depend on how the service synthesizes — the search
+regime and the request mode (full workflow vs exact-core portfolio) — so
+the cache is *pinned* to one portable regime fingerprint at construction
+(:func:`repro.utils.fingerprint.search_regime_dict` form) and keeps one
+store per mode.  Mixing regimes raises
+:class:`~repro.exceptions.MemoryCompatibilityError`, mirroring
+``SearchMemory.attach``.
+"""
+
+from __future__ import annotations
+
+from repro.constants import SERVICE_REQUEST_CACHE_CAP
+from repro.core.kernel import StatePool
+from repro.core.memory import HashStore
+from repro.exceptions import MemoryCompatibilityError
+from repro.states.qstate import QState
+
+__all__ = ["RequestCache"]
+
+#: Interned request states before the keying pool is rotated (requests
+#: are tiny compared to search frontiers, so a small pool suffices).
+_POOL_ROTATE_CAP = 1 << 16
+
+
+class RequestCache:
+    """Exact-hit result cache over target states, pinned to one regime."""
+
+    __slots__ = ("cap", "regime", "_stores", "_pool")
+
+    def __init__(self, regime: dict | None = None,
+                 cap: int = SERVICE_REQUEST_CACHE_CAP):
+        self.cap = max(1, int(cap))
+        self.regime = regime
+        self._stores: dict[str, HashStore] = {}
+        self._pool = StatePool()
+
+    def pin(self, regime: dict) -> None:
+        """Pin (or re-check) the regime the cached results were made under."""
+        if self.regime is None:
+            self.regime = regime
+        elif regime != self.regime:
+            raise MemoryCompatibilityError(
+                f"RequestCache holds results for regime {self.regime!r} "
+                f"and cannot serve regime {regime!r}")
+
+    def _key(self, state: QState):
+        if len(self._pool) > _POOL_ROTATE_CAP:
+            self._pool = StatePool()
+        return self._pool.from_qstate(state)
+
+    def _store(self, mode: str) -> HashStore:
+        store = self._stores.get(mode)
+        if store is None:
+            store = self._stores[mode] = HashStore(self.cap)
+        return store
+
+    def get(self, mode: str, state: QState):
+        """Cached result for ``state`` under ``mode``, or ``None``."""
+        return self._store(mode).get(self._key(state))
+
+    def put(self, mode: str, state: QState, result) -> None:
+        self._store(mode).put(self._key(state), result)
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores.values())
+
+    def snapshot(self) -> dict:
+        """JSON-safe counters per mode (for stats responses and benches)."""
+        return {mode: store.snapshot()
+                for mode, store in sorted(self._stores.items())}

@@ -1,0 +1,84 @@
+"""Disk persistence of :class:`~repro.core.memory.SearchMemory`.
+
+Warm-start files: a family run (``repro-qsp family --snapshot-out``)
+serializes its memory once, and every later service boot — or every batch
+worker process — loads it and starts with the family's canonical keys,
+heuristic values, and IDA* exhaustion proofs already in place.
+
+The format is the versioned JSON codec of
+:mod:`repro.utils.serialization` (``memory_to_dict``/``memory_from_dict``),
+optionally gzip-compressed when the path ends in ``.gz``.  All failure
+modes — unreadable JSON, wrong ``kind``, wrong format version, corrupted
+entries, or a regime fingerprint that does not match the search about to
+use it — raise :class:`~repro.exceptions.MemoryCompatibilityError`; a
+snapshot is never half-loaded.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import pathlib
+
+from repro.core.memory import SearchMemory
+from repro.exceptions import MemoryCompatibilityError
+from repro.utils.serialization import (
+    memory_from_dict,
+    memory_merge_dict,
+    memory_to_dict,
+)
+
+__all__ = [
+    "save_memory_snapshot",
+    "load_memory_snapshot",
+    "merge_memory_snapshot",
+]
+
+
+def _opener(path: str | os.PathLike):
+    return gzip.open if str(path).endswith(".gz") else open
+
+
+def save_memory_snapshot(memory: SearchMemory,
+                         path: str | os.PathLike) -> dict:
+    """Write ``memory`` to ``path`` (atomically) and return the snapshot.
+
+    The write goes through a temporary sibling file + rename, so a reader
+    never observes a torn snapshot even if the writer dies mid-dump.
+    """
+    data = memory_to_dict(memory)
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    # compression is decided by the *final* name (the tmp suffix would
+    # otherwise silently disable it and break the later gzip read)
+    with _opener(path)(tmp, "wt", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    tmp.replace(path)
+    return data
+
+
+def _read_snapshot_dict(path: str | os.PathLike) -> dict:
+    try:
+        with _opener(path)(path, "rt", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, ValueError, UnicodeDecodeError) as exc:
+        raise MemoryCompatibilityError(
+            f"unreadable SearchMemory snapshot {path}: {exc}") from exc
+
+
+def load_memory_snapshot(path: str | os.PathLike) -> SearchMemory:
+    """Load a snapshot into a fresh :class:`SearchMemory`.
+
+    The restored memory is pinned to the snapshot's regime, so the first
+    incompatible search attach fails loudly rather than mixing entries.
+    """
+    return memory_from_dict(_read_snapshot_dict(path))
+
+
+def merge_memory_snapshot(memory: SearchMemory,
+                          path: str | os.PathLike) -> None:
+    """Merge a snapshot file's entries into an existing memory."""
+    memory_merge_dict(memory, _read_snapshot_dict(path))

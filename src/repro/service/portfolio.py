@@ -1,0 +1,400 @@
+"""Engine portfolio scheduling: race configurations, share the winnings.
+
+No single engine dominates the synthesis workload: beam returns a
+feasible circuit almost immediately but never proves optimality, A* is
+the fastest prover on states whose frontier fits in memory, IDA* wins
+when it does not (and its transposition proofs persist), and weighted
+variants trade proof for speed.  The portfolio runs a request against a
+set of :class:`EngineSpec` configurations instead of betting on one:
+
+* **Sequential mode** (:func:`run_portfolio`, the in-process default) runs
+  the specs in order with *incumbent threading*: the best feasible cost
+  so far is handed to every later A* spec, whose branch-and-bound mode
+  (see :func:`repro.core.astar.astar_search`) prunes against it — and,
+  via the shared memory's transposition table, against IDA* exhaustion
+  proofs.  The first proven-optimal result stops the line.
+* **Race mode** (:func:`race_portfolio`) spawns one worker process per
+  spec, each seeded from the same on-disk memory snapshot, and cancels
+  the stragglers the moment any worker reports a proven-optimal result
+  (first-optimal-wins); otherwise the best feasible cost wins.
+
+Either way the portfolio result is the best of its member results on the
+same budgets, so it is never worse than the best single engine — the
+service acceptance test asserts exactly that.
+
+:func:`run_batch` shards a request list across worker processes; each
+worker carries its own warm memory seeded from the snapshot and ships its
+store delta back to the parent on exit, so batch traffic keeps fattening
+the service memory instead of discarding what the workers learned.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.astar import SearchConfig, SearchResult, astar_search
+from repro.core.beam import BeamConfig, beam_search
+from repro.core.idastar import IDAStarConfig, idastar_search
+from repro.core.memory import SearchMemory
+from repro.exceptions import SearchBudgetExceeded
+from repro.states.qstate import QState
+from repro.utils.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    memory_baseline,
+    memory_merge_dict,
+    memory_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+
+__all__ = [
+    "EngineSpec",
+    "PortfolioOutcome",
+    "default_portfolio",
+    "run_engine_spec",
+    "run_portfolio",
+    "race_portfolio",
+    "run_batch",
+]
+
+_ENGINES = ("astar", "idastar", "beam")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One racing lane: an engine plus its lane-specific knobs.
+
+    Everything regime-relevant (canon level, caps, move set, budgets)
+    comes from the request's shared :class:`SearchConfig`, so every lane
+    attaches to the same :class:`SearchMemory` fingerprint; ``weight``
+    (A* heap weight / beam score weight) and ``width`` deliberately sit
+    outside the fingerprint — they change which computations run, never
+    what stored values mean.
+    """
+
+    name: str
+    engine: str
+    weight: float = 1.0
+    width: int = 128
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"choose from {_ENGINES}")
+
+
+def default_portfolio() -> tuple[EngineSpec, ...]:
+    """The standard four lanes, in sequential-mode order.
+
+    Beam runs first because it is cheap and its feasible cost arms the
+    branch-and-bound pruning of the A* lane that follows; IDA* covers the
+    frontier-bound regime (and deposits reusable exhaustion proofs);
+    weighted A* is the anytime last resort, also incumbent-bounded.
+    """
+    return (
+        EngineSpec("beam", "beam", weight=1.5, width=128),
+        EngineSpec("astar", "astar"),
+        EngineSpec("idastar", "idastar"),
+        EngineSpec("astar-w2", "astar", weight=2.0),
+    )
+
+
+@dataclass
+class PortfolioOutcome:
+    """Best result across the lanes plus the per-lane audit trail."""
+
+    result: SearchResult | None
+    winner: str | None
+    attempts: list[dict] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        return self.result is not None
+
+    @property
+    def lower_bound(self) -> int:
+        """Best proven lower bound across failed lanes (0 if none ran)."""
+        return max((a.get("lower_bound", 0) or 0 for a in self.attempts),
+                   default=0)
+
+
+def run_engine_spec(spec: EngineSpec, state: QState, search: SearchConfig,
+                    memory: SearchMemory | None = None,
+                    incumbent=None) -> SearchResult:
+    """Run one lane.  Only A* lanes honor ``incumbent`` (branch-and-bound);
+    beam lanes derive their config from ``search`` so every lane shares
+    one memory regime."""
+    if spec.engine == "astar":
+        config = search if spec.weight == search.weight \
+            else replace(search, weight=spec.weight)
+        return astar_search(state, config, memory=memory,
+                            incumbent=incumbent)
+    if spec.engine == "idastar":
+        return idastar_search(state, IDAStarConfig(search=search),
+                              memory=memory)
+    beam_config = BeamConfig(
+        width=spec.width, heuristic_weight=spec.weight,
+        canon_level=search.canon_level, time_limit=search.time_limit,
+        max_merge_controls=search.max_merge_controls,
+        include_x_moves=search.include_x_moves,
+        tie_cap=search.tie_cap, perm_cap=search.perm_cap,
+        cache_cap=search.cache_cap)
+    return beam_search(state, beam_config, memory=memory)
+
+
+def _better(candidate: SearchResult, best: SearchResult | None) -> bool:
+    if best is None:
+        return True
+    if candidate.cnot_cost != best.cnot_cost:
+        return candidate.cnot_cost < best.cnot_cost
+    return candidate.optimal and not best.optimal
+
+
+def run_portfolio(state: QState, search: SearchConfig | None = None,
+                  specs: tuple[EngineSpec, ...] | None = None,
+                  memory: SearchMemory | None = None) -> PortfolioOutcome:
+    """Sequential portfolio with incumbent threading (see module docs)."""
+    search = search or SearchConfig()
+    specs = specs or default_portfolio()
+    best: SearchResult | None = None
+    winner: str | None = None
+    attempts: list[dict] = []
+    for spec in specs:
+        incumbent = best if spec.engine == "astar" else None
+        start = time.perf_counter()
+        try:
+            result = run_engine_spec(spec, state, search, memory=memory,
+                                     incumbent=incumbent)
+        except SearchBudgetExceeded as exc:
+            attempts.append({
+                "name": spec.name, "solved": False,
+                "lower_bound": exc.lower_bound,
+                "seconds": round(time.perf_counter() - start, 6),
+            })
+            continue
+        attempts.append({
+            "name": spec.name, "solved": True,
+            "cnot_cost": result.cnot_cost, "optimal": result.optimal,
+            "nodes_expanded": result.stats.nodes_expanded,
+            "seconds": round(time.perf_counter() - start, 6),
+        })
+        if _better(result, best):
+            best, winner = result, spec.name
+        if best is not None and best.optimal:
+            break  # first-optimal-wins: later lanes cannot do better
+    return PortfolioOutcome(result=best, winner=winner, attempts=attempts)
+
+
+# ----------------------------------------------------------------------
+# Multi-process racing + batch sharding
+# ----------------------------------------------------------------------
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _load_worker_memory(snapshot_path) -> SearchMemory | None:
+    if snapshot_path is None:
+        return None
+    from repro.service.persistence import load_memory_snapshot
+    return load_memory_snapshot(snapshot_path)
+
+
+def _race_worker(spec: EngineSpec, state_data: dict, search: SearchConfig,
+                 snapshot_path, memory, queue) -> None:
+    """Race-lane entry point (own process, own warm memory)."""
+    start = time.perf_counter()
+    payload: dict = {"name": spec.name, "solved": False}
+    try:
+        if memory is None:
+            memory = _load_worker_memory(snapshot_path)
+        result = run_engine_spec(spec, state_from_dict(state_data), search,
+                                 memory=memory)
+        payload.update(solved=True, cnot_cost=result.cnot_cost,
+                       optimal=result.optimal,
+                       nodes_expanded=result.stats.nodes_expanded,
+                       circuit=circuit_to_dict(result.circuit))
+    except SearchBudgetExceeded as exc:
+        payload["lower_bound"] = exc.lower_bound
+    except Exception as exc:  # pragma: no cover - defensive lane isolation
+        payload["error"] = repr(exc)
+    payload["seconds"] = round(time.perf_counter() - start, 6)
+    queue.put(payload)
+
+
+def race_portfolio(state: QState, search: SearchConfig | None = None,
+                   specs: tuple[EngineSpec, ...] | None = None,
+                   snapshot_path=None, memory: SearchMemory | None = None,
+                   lane_timeout: float = 600.0) -> PortfolioOutcome:
+    """Process-parallel portfolio with first-optimal-wins cancellation.
+
+    One worker process per spec.  Under the ``fork`` start method a live
+    ``memory`` is handed to the racers directly — each lane inherits a
+    copy-on-write view of the parent's warm memory for free, instead of
+    re-reading and re-keying the snapshot on every request; otherwise
+    (or when no memory is given) each lane seeds itself from
+    ``snapshot_path``.  The moment a lane reports a proven-optimal
+    result, the remaining lanes are terminated — their partial work is
+    discarded, the winning cost cannot be improved.  If no lane proves
+    optimality the best feasible cost wins.  Worker results travel as
+    serialized circuits, so no live search object crosses the process
+    boundary.
+    """
+    search = search or SearchConfig()
+    specs = specs or default_portfolio()
+    ctx = _mp_context()
+    queue = ctx.Queue()
+    state_data = state_to_dict(state)
+    lane_memory = memory if ctx.get_start_method() == "fork" else None
+    procs = [ctx.Process(target=_race_worker,
+                         args=(spec, state_data, search, snapshot_path,
+                               lane_memory, queue),
+                         daemon=True)
+             for spec in specs]
+    for proc in procs:
+        proc.start()
+    payloads: list[dict] = []
+    try:
+        for _ in range(len(procs)):
+            try:
+                payload = queue.get(timeout=lane_timeout)
+            except Exception:  # queue.Empty: stragglers get terminated
+                break
+            payloads.append(payload)
+            if payload.get("optimal"):
+                break  # first-optimal-wins: cancel the remaining lanes
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+    best: SearchResult | None = None
+    winner: str | None = None
+    for payload in payloads:
+        if not payload.get("solved"):
+            continue
+        candidate = SearchResult(
+            circuit=circuit_from_dict(payload["circuit"]),
+            cnot_cost=payload["cnot_cost"],
+            optimal=payload["optimal"])
+        if _better(candidate, best):
+            best, winner = candidate, payload["name"]
+    attempts = [{k: v for k, v in p.items() if k != "circuit"}
+                for p in payloads]
+    return PortfolioOutcome(result=best, winner=winner, attempts=attempts)
+
+
+def _synthesize_one(rid, state: QState, search: SearchConfig,
+                    specs: tuple[EngineSpec, ...],
+                    memory: SearchMemory | None,
+                    with_circuit: bool) -> dict:
+    start = time.perf_counter()
+    outcome = run_portfolio(state, search, specs, memory=memory)
+    row: dict = {"id": rid, "solved": outcome.solved,
+                 "seconds": round(time.perf_counter() - start, 6)}
+    if outcome.solved:
+        assert outcome.result is not None
+        row.update(cnot_cost=outcome.result.cnot_cost,
+                   optimal=outcome.result.optimal, engine=outcome.winner)
+        if with_circuit:
+            row["circuit"] = circuit_to_dict(outcome.result.circuit)
+    else:
+        row["lower_bound"] = outcome.lower_bound
+    return row
+
+
+def _batch_worker(shard: list[tuple[object, dict]], search: SearchConfig,
+                  specs: tuple[EngineSpec, ...], snapshot_path,
+                  with_circuit: bool, queue) -> None:
+    """Batch-shard entry point: warm memory in, results + delta out."""
+    memory = _load_worker_memory(snapshot_path) or SearchMemory()
+    # ship home only what this worker *learns* — the snapshot's own
+    # entries are already in the parent, and re-serializing them would
+    # make the exit delta scale with the snapshot instead of the shard
+    baseline = memory_baseline(memory)
+    rows = []
+    for rid, state_data in shard:
+        try:
+            rows.append(_synthesize_one(rid, state_from_dict(state_data),
+                                        search, specs, memory,
+                                        with_circuit))
+        except Exception as exc:  # one bad row must not sink the shard
+            rows.append({"id": rid, "solved": False, "error": repr(exc)})
+    try:
+        delta = memory_to_dict(memory, since=baseline)
+    except Exception:  # unserializable regime: results still count
+        delta = None
+    queue.put({"rows": rows, "memory": delta})
+
+
+def run_batch(requests: list[tuple[object, QState]],
+              search: SearchConfig | None = None,
+              specs: tuple[EngineSpec, ...] | None = None,
+              snapshot_path=None, workers: int = 1,
+              memory: SearchMemory | None = None,
+              with_circuit: bool = False,
+              shard_timeout: float = 3600.0) -> list[dict]:
+    """Shard ``requests`` (id, state) across workers; one row dict each.
+
+    ``workers <= 1`` runs in-process against ``memory`` (loaded from
+    ``snapshot_path`` when not supplied).  With more workers, requests are
+    sharded round-robin; every worker seeds its own memory from the
+    snapshot and ships its learned entries back, which are merged into
+    ``memory`` (when given) so the parent keeps everything the batch
+    learned.  Rows come back in request order regardless of sharding.
+    """
+    search = search or SearchConfig()
+    specs = specs or default_portfolio()
+    if workers <= 1 or len(requests) <= 1:
+        if memory is None:
+            memory = _load_worker_memory(snapshot_path) or SearchMemory()
+        return [_synthesize_one(rid, state, search, specs, memory,
+                                with_circuit)
+                for rid, state in requests]
+
+    workers = min(workers, len(requests))
+    shards: list[list[tuple[object, dict]]] = [[] for _ in range(workers)]
+    order: dict = {}
+    for pos, (rid, state) in enumerate(requests):
+        order[pos] = rid
+        shards[pos % workers].append((pos, state_to_dict(state)))
+    ctx = _mp_context()
+    queue = ctx.Queue()
+    procs = [ctx.Process(target=_batch_worker,
+                         args=(shard, search, specs, snapshot_path,
+                               with_circuit, queue),
+                         daemon=True)
+             for shard in shards if shard]
+    for proc in procs:
+        proc.start()
+    by_pos: dict[int, dict] = {}
+    try:
+        for _ in range(len(procs)):
+            try:
+                payload = queue.get(timeout=shard_timeout)
+            except Exception:
+                break
+            for row in payload["rows"]:
+                by_pos[row["id"]] = row
+            if memory is not None and payload.get("memory") is not None:
+                memory_merge_dict(memory, payload["memory"])
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+    rows = []
+    for pos, rid in order.items():
+        row = by_pos.get(pos)
+        if row is None:  # a shard died: fail its rows loudly, keep order
+            row = {"id": pos, "solved": False,
+                   "error": "batch worker did not report"}
+        rows.append(dict(row, id=rid))
+    return rows

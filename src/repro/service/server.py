@@ -1,0 +1,374 @@
+"""The long-lived synthesis service behind ``repro-qsp serve``/``batch``.
+
+One :class:`SynthesisService` owns the three cooperating parts of the
+service layer and runs the request-level orchestration:
+
+1. a process-lifetime :class:`~repro.core.memory.SearchMemory`, optionally
+   warm-started from an on-disk snapshot (family runs produce these);
+2. the engine portfolio (:mod:`repro.service.portfolio`) for exact
+   synthesis requests — sequential incumbent-threading by default,
+   multi-process first-optimal-wins racing when configured;
+3. a :class:`~repro.service.cache.RequestCache` so repeated traffic for
+   the same target returns the synthesized circuit without searching.
+
+Requests are JSON objects (one per line on the wire)::
+
+    {"id": 1, "op": "prepare", "dicke": [4, 2]}
+    {"id": 2, "op": "exact", "w": 4, "return_circuit": true}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "snapshot", "path": "warm.qspmem.json"}
+    {"op": "shutdown"}
+
+The target state may be given as a serialized state (``"state": {...}``
+from :func:`repro.utils.serialization.state_to_dict`), as explicit terms
+(``"terms": {"011": 0.5, ...}``), or by family shorthand (``dicke``,
+``ghz``, ``w``).  ``op: prepare`` (the default) runs the paper's full
+workflow — :func:`repro.qsp.workflow.prepare_state` wired through the
+service memory — while ``op: exact`` runs the engine portfolio directly
+on the (small) target.  Responses mirror the request ``id`` and carry
+``ok``, ``cnot_cost``, optimality flags, ``cached``, ``seconds``, and the
+circuit when ``return_circuit`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.constants import SERVICE_REQUEST_CACHE_CAP
+from repro.core.astar import SearchConfig, SearchResult
+from repro.core.kernel import StatePool
+from repro.core.memory import SearchMemory
+from repro.qsp.config import QSPConfig
+from repro.service.cache import RequestCache
+from repro.service.persistence import load_memory_snapshot, \
+    save_memory_snapshot
+from repro.service.portfolio import (
+    EngineSpec,
+    default_portfolio,
+    race_portfolio,
+    run_batch,
+    run_portfolio,
+)
+from repro.states.families import dicke_state, ghz_state, w_state
+from repro.states.qstate import QState
+from repro.utils.fingerprint import fingerprint_from_dict, \
+    search_regime_dict
+from repro.utils.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    state_from_dict,
+)
+
+__all__ = ["ServiceConfig", "SynthesisService", "serve_loop"]
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level knobs.
+
+    ``search`` fixes the exact-engine regime *and* budgets for ``exact``
+    requests; ``qsp`` configures the full workflow for ``prepare``
+    requests (its exact stage shares the same default regime, which is
+    what lets one memory serve both paths).  ``race_workers >= 2``
+    switches ``exact`` requests from the sequential in-process portfolio
+    to process racing, each racer seeded from ``snapshot_path``.
+    """
+
+    search: SearchConfig = field(default_factory=SearchConfig)
+    specs: tuple[EngineSpec, ...] = field(default_factory=default_portfolio)
+    qsp: QSPConfig = field(default_factory=QSPConfig)
+    snapshot_path: str | None = None
+    use_cache: bool = True
+    cache_cap: int = SERVICE_REQUEST_CACHE_CAP
+    race_workers: int = 0
+
+
+class SynthesisService:
+    """Request-level orchestration over memory + portfolio + cache."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        if self.config.snapshot_path is not None:
+            self.memory = load_memory_snapshot(self.config.snapshot_path)
+        else:
+            self.memory = SearchMemory()
+        regime = search_regime_dict(self.config.search)
+        # A snapshot recorded under a different regime must fail at boot,
+        # not at the first unlucky request.
+        self.memory.pin(fingerprint_from_dict(regime))
+        self.cache = RequestCache(regime, self.config.cache_cap) \
+            if self.config.use_cache else None
+        self.requests = 0
+        self.cache_hits = 0
+        self.errors = 0
+
+    # -- request plumbing ------------------------------------------------
+
+    def _parse_state(self, request: dict) -> QState:
+        if "state" in request:
+            return state_from_dict(request["state"])
+        if "dicke" in request:
+            n, k = request["dicke"]
+            return dicke_state(int(n), int(k))
+        if "ghz" in request:
+            return ghz_state(int(request["ghz"]))
+        if "w" in request:
+            return w_state(int(request["w"]))
+        if "terms" in request:
+            return QState.from_bitstring_weights(
+                {bits: float(w) for bits, w in request["terms"].items()})
+        raise ValueError(
+            "request carries no target state (need one of: state, dicke, "
+            "ghz, w, terms)")
+
+    def handle(self, request: dict) -> dict:
+        """One request dict in, one response dict out (never raises)."""
+        rid = request.get("id")
+        op = request.get("op", "prepare")
+        self.requests += 1
+        try:
+            if op == "stats":
+                return dict(self.stats(), id=rid, ok=True, op="stats")
+            if op == "snapshot":
+                data = save_memory_snapshot(self.memory, request["path"])
+                return {"id": rid, "ok": True, "op": "snapshot",
+                        "path": request["path"],
+                        "entries": len(data["canon_store"]) +
+                        len(data["h_store"])}
+            state = self._parse_state(request)
+            if op == "prepare":
+                return self._handle_prepare(rid, state, request)
+            if op == "exact":
+                return self._handle_exact(rid, state, request)
+            raise ValueError(f"unknown op {op!r}")
+        except Exception as exc:
+            self.errors += 1
+            return {"id": rid, "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- synthesis paths -------------------------------------------------
+
+    def _handle_prepare(self, rid, state: QState, request: dict) -> dict:
+        from repro.qsp.workflow import prepare_state
+
+        start = time.perf_counter()
+        result = None
+        cached = False
+        if self.cache is not None:
+            result = self.cache.get("prepare", state)
+            cached = result is not None
+        if result is None:
+            result = prepare_state(state, self.config.qsp,
+                                   memory=self.memory)
+            if self.cache is not None:
+                self.cache.put("prepare", state, result)
+        else:
+            self.cache_hits += 1
+        response = {"id": rid, "ok": True, "op": "prepare",
+                    "cnot_cost": result.cnot_cost,
+                    "exact_optimal": result.exact_optimal,
+                    "sparse_path": result.sparse_path, "cached": cached,
+                    "seconds": round(time.perf_counter() - start, 6)}
+        if request.get("trace"):
+            response["trace"] = list(result.trace)
+        if request.get("return_circuit"):
+            response["circuit"] = circuit_to_dict(result.circuit)
+        return response
+
+    def _handle_exact(self, rid, state: QState, request: dict) -> dict:
+        start = time.perf_counter()
+        result = None
+        cached = False
+        engine = "cache"
+        if self.cache is not None:
+            result = self.cache.get("exact", state)
+            cached = result is not None
+        if result is None:
+            if self.config.race_workers >= 2:
+                outcome = race_portfolio(
+                    state, self.config.search, self.config.specs,
+                    snapshot_path=self.config.snapshot_path,
+                    memory=self.memory)
+            else:
+                outcome = run_portfolio(state, self.config.search,
+                                        self.config.specs,
+                                        memory=self.memory)
+            if not outcome.solved:
+                return {"id": rid, "ok": False, "op": "exact",
+                        "lower_bound": outcome.lower_bound,
+                        "error": "no portfolio lane produced a circuit "
+                                 "within budget"}
+            result = outcome.result
+            engine = outcome.winner
+            if self.cache is not None:
+                self.cache.put("exact", state, result)
+        else:
+            self.cache_hits += 1
+        response = {"id": rid, "ok": True, "op": "exact",
+                    "cnot_cost": result.cnot_cost,
+                    "optimal": result.optimal, "engine": engine,
+                    "cached": cached,
+                    "seconds": round(time.perf_counter() - start, 6)}
+        if request.get("return_circuit"):
+            response["circuit"] = circuit_to_dict(result.circuit)
+        return response
+
+    def stats(self) -> dict:
+        """Service counters (also served as the ``stats`` op)."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "cache": None if self.cache is None else self.cache.snapshot(),
+            "memory": self.memory.snapshot(),
+        }
+
+    # -- batch mode ------------------------------------------------------
+
+    def run_batch_file(self, in_path, out_path, workers: int = 1,
+                       with_circuit: bool = False) -> dict:
+        """File in / file out: one JSONL request per line, one response.
+
+        Requests are treated as ``exact`` portfolio synthesis (the batch
+        workload of the ROADMAP: many small cores, one warm memory).
+        Cache hits are answered in the parent; the misses are sharded
+        across ``workers`` processes, each seeded from the service's
+        snapshot, and their memory deltas merge back into the service
+        memory — a second batch over similar traffic starts warmer.
+        """
+        requests: list[tuple[int, dict]] = []
+        rows: dict[int, dict] = {}
+        with open(in_path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError(
+                            f"request must be a JSON object, got "
+                            f"{type(request).__name__}")
+                    requests.append((lineno, request))
+                except ValueError as exc:
+                    rows[lineno] = {"id": None, "ok": False,
+                                    "error": f"bad request line: {exc}"}
+        misses: list[tuple[int, QState]] = []
+        states: dict[int, QState] = {}
+        for pos, request in requests:
+            rid = request.get("id", pos)
+            try:
+                state = self._parse_state(request)
+            except Exception as exc:
+                rows[pos] = {"id": rid, "ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"}
+                continue
+            states[pos] = state
+            cached = self.cache.get("exact", state) \
+                if self.cache is not None else None
+            if cached is not None:
+                self.cache_hits += 1
+                rows[pos] = self._batch_row(rid, cached, cached=True,
+                                            with_circuit=with_circuit)
+            else:
+                misses.append((pos, state))
+        self.requests += len(requests)
+        request_by_pos = dict(requests)
+        # Dedupe identical targets within the file: repeated traffic is
+        # the expected batch shape, and without grouping the duplicates
+        # would each run a full search (possibly in different workers,
+        # blind to each other).  One representative searches; the result
+        # fans out to every duplicate line.
+        groups: dict[bytes, list[int]] = {}
+        representatives: list[tuple[int, QState]] = []
+        pool = StatePool()
+        for pos, state in misses:
+            payload = pool.from_qstate(state).payload
+            members = groups.get(payload)
+            if members is None:
+                groups[payload] = [pos]
+                representatives.append((pos, state))
+            else:
+                members.append(pos)
+        if representatives:
+            for row in run_batch(
+                    representatives, self.config.search, self.config.specs,
+                    snapshot_path=self.config.snapshot_path,
+                    workers=workers, memory=self.memory,
+                    with_circuit=True):
+                rep_pos = row["id"]
+                if row.get("solved") and self.cache is not None:
+                    self.cache.put(
+                        "exact", states[rep_pos],
+                        SearchResult(
+                            circuit=circuit_from_dict(row["circuit"]),
+                            cnot_cost=row["cnot_cost"],
+                            optimal=row["optimal"]))
+                payload = pool.from_qstate(states[rep_pos]).payload
+                for pos in groups[payload]:
+                    rid = request_by_pos[pos].get("id", pos)
+                    out = {"id": rid, "ok": bool(row.get("solved")),
+                           "cached": pos != rep_pos}
+                    for key in ("cnot_cost", "optimal", "engine",
+                                "seconds", "lower_bound", "error"):
+                        if key in row:
+                            out[key] = row[key]
+                    if with_circuit and "circuit" in row:
+                        out["circuit"] = row["circuit"]
+                    rows[pos] = out
+        solved = sum(1 for row in rows.values() if row.get("ok"))
+        with open(out_path, "w", encoding="utf-8") as handle:
+            for pos in sorted(rows):
+                handle.write(json.dumps(rows[pos]) + "\n")
+        return {"requests": len(requests), "solved": solved,
+                "cache_hits": sum(1 for r in rows.values()
+                                  if r.get("cached")),
+                "workers": workers}
+
+    def _batch_row(self, rid, result: SearchResult, cached: bool,
+                   with_circuit: bool) -> dict:
+        row = {"id": rid, "ok": True, "cnot_cost": result.cnot_cost,
+               "optimal": result.optimal, "cached": cached}
+        if with_circuit:
+            row["circuit"] = circuit_to_dict(result.circuit)
+        return row
+
+
+def serve_loop(service: SynthesisService, in_stream, out_stream) -> int:
+    """The ``repro-qsp serve`` request loop: JSONL in, JSONL out.
+
+    Runs until the input stream ends or a ``shutdown`` op arrives; every
+    input line produces exactly one output line, errors included, so a
+    pipelined client can match responses by position as well as by id.
+    Returns the number of requests handled.
+    """
+    handled = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError(
+                    f"request must be a JSON object, got "
+                    f"{type(request).__name__}")
+        except ValueError as exc:
+            response: dict = {"ok": False,
+                              "error": f"bad request line: {exc}"}
+            request = None
+        else:
+            if request.get("op") == "shutdown":
+                out_stream.write(json.dumps(
+                    {"id": request.get("id"), "ok": True,
+                     "op": "shutdown"}) + "\n")
+                out_stream.flush()
+                handled += 1
+                break
+            response = service.handle(request)
+        handled += 1
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+    return handled

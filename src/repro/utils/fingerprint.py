@@ -1,0 +1,160 @@
+"""Regime fingerprints: one JSON-safe description of a search regime.
+
+Three subsystems need to agree on "were these two runs produced under the
+same rules?":
+
+* :class:`repro.core.memory.SearchMemory` pins an in-process fingerprint
+  tuple on first attach;
+* the service layer persists memories and request-cache entries to disk
+  and must refuse to mix entries across regimes *between* processes;
+* the benchmark artifacts (``BENCH_*.json``) record which regime produced
+  their numbers so trajectory comparisons across PRs can detect
+  incompatible runs.
+
+This module is the single conversion point between the in-process tuple
+(which holds live objects — a :class:`~repro.core.canonical.CanonLevel`
+member and a heuristic *function*) and the portable dict (enum name,
+``module:qualname`` heuristic reference).  Only named, importable
+heuristics are portable: a lambda or closure cannot be resolved in
+another process, so :func:`fingerprint_to_dict` rejects it up front
+rather than letting a snapshot load fail mysteriously later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from typing import Any
+
+from repro.constants import AMP_DECIMALS, BENCH_SCHEMA_VERSION
+from repro.core.canonical import CanonLevel
+from repro.exceptions import MemoryCompatibilityError
+
+__all__ = [
+    "heuristic_ref",
+    "resolve_heuristic",
+    "fingerprint_to_dict",
+    "fingerprint_from_dict",
+    "fingerprint_digest",
+    "search_regime_dict",
+    "stamp_benchmark",
+]
+
+
+def heuristic_ref(heuristic) -> str:
+    """Portable ``module:qualname`` reference of a named heuristic.
+
+    Raises :class:`MemoryCompatibilityError` for objects that cannot be
+    re-imported by that reference (lambdas, closures, bound partials) —
+    those may be used in-process but can never cross a process boundary.
+    """
+    module = getattr(heuristic, "__module__", None)
+    qualname = getattr(heuristic, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise MemoryCompatibilityError(
+            f"heuristic {heuristic!r} has no importable name; only "
+            f"module-level heuristics can cross a process boundary")
+    ref = f"{module}:{qualname}"
+    if resolve_heuristic(ref) is not heuristic:
+        raise MemoryCompatibilityError(
+            f"heuristic reference {ref!r} does not resolve back to "
+            f"{heuristic!r}; use a module-level function")
+    return ref
+
+
+def resolve_heuristic(ref: str):
+    """Inverse of :func:`heuristic_ref` (import + getattr walk)."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise MemoryCompatibilityError(f"malformed heuristic ref {ref!r}")
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise MemoryCompatibilityError(
+            f"cannot resolve heuristic {ref!r}: {exc}") from exc
+    return obj
+
+
+def fingerprint_to_dict(fingerprint: tuple) -> dict:
+    """Portable form of a ``SearchMemory`` fingerprint tuple.
+
+    The tuple layout is pinned by ``SearchMemory.attach``:
+    ``(canon_level, tie_cap, perm_cap, max_merge_controls,
+    include_x_moves, heuristic)``.  ``amp_decimals`` is recorded too —
+    stored payloads quantize amplitudes at that precision, so loading
+    them under a different precision would silently change state identity.
+    """
+    level, tie_cap, perm_cap, max_merge_controls, include_x, heuristic = \
+        fingerprint
+    return {
+        "canon_level": level.name,
+        "tie_cap": int(tie_cap),
+        "perm_cap": int(perm_cap),
+        "max_merge_controls": max_merge_controls,
+        "include_x_moves": bool(include_x),
+        "heuristic": heuristic_ref(heuristic),
+        "amp_decimals": AMP_DECIMALS,
+    }
+
+
+def fingerprint_from_dict(data: dict) -> tuple:
+    """Inverse of :func:`fingerprint_to_dict` (live tuple, live objects)."""
+    try:
+        level = CanonLevel[data["canon_level"]]
+        decimals = int(data["amp_decimals"])
+        mmc = data["max_merge_controls"]
+        fingerprint = (level, int(data["tie_cap"]), int(data["perm_cap"]),
+                       None if mmc is None else int(mmc),
+                       bool(data["include_x_moves"]),
+                       resolve_heuristic(data["heuristic"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise MemoryCompatibilityError(
+            f"malformed regime fingerprint {data!r}: {exc}") from exc
+    if decimals != AMP_DECIMALS:
+        raise MemoryCompatibilityError(
+            f"fingerprint was recorded at amplitude precision {decimals} "
+            f"decimals but this process quantizes at {AMP_DECIMALS}")
+    return fingerprint
+
+
+def fingerprint_digest(data: dict) -> str:
+    """Short stable digest of a portable fingerprint (for logs/artifacts)."""
+    blob = json.dumps(data, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def search_regime_dict(search_config, heuristic=None) -> dict:
+    """Portable fingerprint of a :class:`~repro.core.astar.SearchConfig`.
+
+    ``heuristic=None`` means the engine default
+    (:func:`repro.core.heuristic.entanglement_heuristic`).
+    """
+    if heuristic is None:
+        from repro.core.heuristic import entanglement_heuristic
+        heuristic = entanglement_heuristic
+    return fingerprint_to_dict((
+        search_config.canon_level, search_config.tie_cap,
+        search_config.perm_cap, search_config.max_merge_controls,
+        search_config.include_x_moves, heuristic))
+
+
+def stamp_benchmark(report: dict, search_config=None,
+                    heuristic=None) -> dict:
+    """Stamp a benchmark report dict with the shared artifact schema.
+
+    Adds ``schema_version`` and ``regime_fingerprint`` (the portable
+    regime dict plus its digest) in place and returns the report, so
+    every ``BENCH_*.json`` carries the same comparison metadata.  With no
+    ``search_config`` the library-default regime is stamped.
+    """
+    if search_config is None:
+        from repro.core.astar import SearchConfig
+        search_config = SearchConfig()
+    regime = search_regime_dict(search_config, heuristic)
+    report["schema_version"] = BENCH_SCHEMA_VERSION
+    report["regime_fingerprint"] = dict(regime,
+                                        digest=fingerprint_digest(regime))
+    return report

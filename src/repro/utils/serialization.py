@@ -1,12 +1,32 @@
-"""JSON serialization for states, circuits, and synthesis results.
+"""JSON serialization for states, circuits, results, and search memory.
 
 A release-quality artifact: benchmark outputs and synthesized circuits can
 be persisted and reloaded without OpenQASM's angle round-off ambiguity
 (angles are stored as exact binary floats via ``repr``).
+
+The search-memory codec (:func:`memory_to_dict` / :func:`memory_from_dict`)
+is the foundation of the service layer's disk persistence.  Two properties
+make it more than a pickle:
+
+* **Process portability.**  The 64-bit structural state hash is SipHash
+  and therefore differs between processes, so nothing hash-keyed is
+  stored by its hash: store entries are written as ``(payload, value)``
+  pairs and re-keyed by the *loading* process
+  (:meth:`~repro.core.memory.HashStore.put_payload`), and canonical keys
+  are written by their process-independent identity (the 128-bit orbit
+  hash, or the exact payload at ``CanonLevel.NONE``) with the 64-bit
+  lookup hash rederived on load.
+* **Version + regime gating.**  The snapshot records the format version
+  (:data:`repro.constants.MEMORY_SNAPSHOT_VERSION`) and the memory's
+  portable regime fingerprint; the loader raises
+  :class:`~repro.exceptions.MemoryCompatibilityError` on any mismatch or
+  corruption instead of silently mixing incompatible entries.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 from typing import Any
 
@@ -22,7 +42,8 @@ from repro.circuits.gates import (
     RZGate,
     XGate,
 )
-from repro.exceptions import ReproError
+from repro.constants import MEMORY_SNAPSHOT_VERSION
+from repro.exceptions import MemoryCompatibilityError, ReproError
 from repro.states.qstate import QState
 
 __all__ = [
@@ -30,6 +51,12 @@ __all__ = [
     "state_from_dict",
     "circuit_to_dict",
     "circuit_from_dict",
+    "qsp_result_to_dict",
+    "qsp_result_from_dict",
+    "memory_baseline",
+    "memory_to_dict",
+    "memory_from_dict",
+    "memory_merge_dict",
     "dumps",
     "loads",
 ]
@@ -100,6 +127,241 @@ def circuit_from_dict(data: dict[str, Any]) -> QCircuit:
     for gate_data in data["gates"]:
         circuit.append(_gate_from_dict(gate_data))
     return circuit
+
+
+def qsp_result_to_dict(result) -> dict[str, Any]:
+    """Portable representation of a :class:`~repro.qsp.workflow.QSPResult`."""
+    return {
+        "kind": "qsp_result",
+        "circuit": circuit_to_dict(result.circuit),
+        "cnot_cost": int(result.cnot_cost),
+        "sparse_path": bool(result.sparse_path),
+        "exact_optimal": result.exact_optimal,
+        "trace": list(result.trace),
+    }
+
+
+def qsp_result_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`qsp_result_to_dict`."""
+    from repro.qsp.workflow import QSPResult
+
+    if data.get("kind") != "qsp_result":
+        raise ReproError(f"not a serialized result: {data.get('kind')!r}")
+    return QSPResult(circuit=circuit_from_dict(data["circuit"]),
+                     cnot_cost=int(data["cnot_cost"]),
+                     sparse_path=bool(data["sparse_path"]),
+                     exact_optimal=data["exact_optimal"],
+                     trace=list(data["trace"]))
+
+
+# ----------------------------------------------------------------------
+# Search-memory snapshots (service-layer persistence)
+# ----------------------------------------------------------------------
+
+_U64 = (1 << 64) - 1
+
+
+def _b64(raw: bytes) -> str:
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted snapshot payload: {exc}") from exc
+
+
+def _canon_key_enc(key) -> list:
+    """Portable :class:`~repro.core.kernel.CanonKey`: ``[n, tag, full]``.
+
+    Only the process-independent identity is stored — the 64-bit lookup
+    hash is rederived on decode (``full & _U64`` for orbit-hash keys,
+    this process's SipHash for payload keys).
+    """
+    full = key.full
+    if isinstance(full, int):
+        return [key.n, "i", format(full, "x")]
+    return [key.n, "b", _b64(full)]
+
+
+def _canon_key_dec(enc: list):
+    from repro.core.kernel import CanonKey, state_hash64
+
+    try:
+        n, tag, body = enc
+        if tag == "i":
+            full: Any = int(body, 16)
+            return CanonKey(int(n), full & _U64, full)
+        if tag == "b":
+            payload = _unb64(body)
+            return CanonKey(int(n), state_hash64(payload), payload)
+    except (ValueError, TypeError) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted canonical key {enc!r}: {exc}") from exc
+    raise MemoryCompatibilityError(f"unknown canonical-key tag {enc!r}")
+
+
+def memory_baseline(memory) -> dict[str, Any]:
+    """Size markers for delta snapshots (see :func:`memory_to_dict`).
+
+    Capture right after seeding a memory (e.g. a batch worker loading the
+    shared snapshot); a later ``memory_to_dict(memory, since=baseline)``
+    then ships only what was learned afterwards.
+    """
+    return {
+        "canon_store": memory.canon_store.size_marker(),
+        "h_store": memory.h_store.size_marker(),
+        "transposition_data": len(memory.transposition.data),
+        "transposition_cond": len(memory.transposition.cond),
+        "transposition_evictions": memory.transposition.evictions,
+    }
+
+
+def memory_to_dict(memory, since: dict[str, Any] | None = None
+                   ) -> dict[str, Any]:
+    """Portable snapshot of a :class:`~repro.core.memory.SearchMemory`.
+
+    Captures everything that is worth carrying across processes: the
+    canon-key and heuristic stores and the transposition table (both
+    entry kinds), plus the regime fingerprint and container caps.  The
+    interning pool is deliberately *not* captured — interned states are
+    rebuilt on demand and their hashes are per-process anyway.
+
+    ``since`` (a :func:`memory_baseline` captured earlier) restricts the
+    snapshot to entries added after that point — the delta a batch worker
+    ships home, a small fraction of a snapshot-seeded memory.  All
+    containers are insertion-ordered, so the delta is a suffix slice;
+    in-place improvements of pre-existing transposition entries are
+    deliberately not re-shipped (stores only deduplicate recomputation).
+
+    Raises :class:`MemoryCompatibilityError` if the memory's heuristic
+    has no importable name (such a memory cannot cross processes).
+    """
+    from itertools import islice
+
+    from repro.utils.fingerprint import fingerprint_to_dict
+
+    fp = memory.fingerprint
+    transposition = memory.transposition
+    canon_since = h_since = None
+    skip_data = skip_cond = 0
+    if since is not None:
+        canon_since = tuple(since["canon_store"])
+        h_since = tuple(since["h_store"])
+        # budget-weighted eviction deletes arbitrary positions, which
+        # invalidates any positional skip — after a sweep the only safe
+        # delta is the whole (capped) table
+        if memory.transposition.evictions == \
+                since["transposition_evictions"]:
+            skip_data = int(since["transposition_data"])
+            skip_cond = int(since["transposition_cond"])
+    return {
+        "kind": "search_memory",
+        "version": MEMORY_SNAPSHOT_VERSION,
+        "fingerprint": None if fp is None else fingerprint_to_dict(fp),
+        "caps": {
+            "store": memory.canon_store.cap,
+            "transposition": transposition.cap,
+            "pool_rotate": memory.pool_rotate_cap,
+        },
+        "canon_store": [[_b64(payload), _canon_key_enc(value)]
+                        for payload, value
+                        in memory.canon_store.items_payload(canon_since)],
+        "h_store": [[_b64(payload), value]
+                    for payload, value
+                    in memory.h_store.items_payload(h_since)],
+        "transposition": {
+            "data": [[_canon_key_enc(key), budget]
+                     for key, budget in islice(transposition.data.items(),
+                                               skip_data, None)],
+            "cond": [[_canon_key_enc(key), budget,
+                      [_canon_key_enc(c) for c in required]]
+                     for key, (budget, required)
+                     in islice(transposition.cond.items(),
+                               skip_cond, None)],
+        },
+    }
+
+
+def _check_memory_header(data: dict[str, Any]) -> None:
+    if not isinstance(data, dict):
+        raise MemoryCompatibilityError(
+            f"not a serialized SearchMemory: {type(data).__name__}")
+    if data.get("kind") != "search_memory":
+        raise MemoryCompatibilityError(
+            f"not a serialized SearchMemory: kind={data.get('kind')!r}")
+    version = data.get("version")
+    if version != MEMORY_SNAPSHOT_VERSION:
+        raise MemoryCompatibilityError(
+            f"snapshot format version {version!r} is not the supported "
+            f"version {MEMORY_SNAPSHOT_VERSION}; regenerate the snapshot "
+            f"with this build")
+
+
+def _fill_memory(memory, data: dict[str, Any]) -> None:
+    """Pour snapshot entries into ``memory`` (re-keyed for this process)."""
+    try:
+        for payload_b64, value_enc in data["canon_store"]:
+            memory.canon_store.put_payload(_unb64(payload_b64),
+                                           _canon_key_dec(value_enc))
+        for payload_b64, value in data["h_store"]:
+            memory.h_store.put_payload(_unb64(payload_b64), float(value))
+        table = data["transposition"]
+        for key_enc, budget in table["data"]:
+            memory.transposition.record(_canon_key_dec(key_enc),
+                                        float(budget), frozenset())
+        for key_enc, budget, required_enc in table["cond"]:
+            memory.transposition.record(
+                _canon_key_dec(key_enc), float(budget),
+                frozenset(_canon_key_dec(c) for c in required_enc))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted SearchMemory snapshot: {exc!r}") from exc
+
+
+def memory_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.core.memory.SearchMemory` from a snapshot.
+
+    The restored memory is pinned to the snapshot's regime fingerprint up
+    front, so attaching a search under any other regime raises
+    :class:`MemoryCompatibilityError` exactly as in-process reuse would.
+    Corrupted or version-mismatched snapshots raise the same error.
+    """
+    from repro.core.memory import SearchMemory
+    from repro.utils.fingerprint import fingerprint_from_dict
+
+    _check_memory_header(data)
+    try:
+        caps = data["caps"]
+        memory = SearchMemory(store_cap=int(caps["store"]),
+                              transposition_cap=int(caps["transposition"]),
+                              pool_rotate_cap=int(caps["pool_rotate"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted SearchMemory snapshot: {exc!r}") from exc
+    if data.get("fingerprint") is not None:
+        memory.pin(fingerprint_from_dict(data["fingerprint"]))
+    _fill_memory(memory, data)
+    return memory
+
+
+def memory_merge_dict(memory, data: dict[str, Any]) -> None:
+    """Merge a snapshot's entries into an existing memory (worker deltas).
+
+    The snapshot's regime must be compatible: its fingerprint is pinned
+    onto ``memory`` first (raising on mismatch), then entries are poured
+    in — store entries overwrite by payload identity (the values are
+    deterministic per regime, so this only deduplicates), and
+    transposition entries merge under the table's improve-only rule.
+    """
+    from repro.utils.fingerprint import fingerprint_from_dict
+
+    _check_memory_header(data)
+    if data.get("fingerprint") is not None:
+        memory.pin(fingerprint_from_dict(data["fingerprint"]))
+    _fill_memory(memory, data)
 
 
 def dumps(obj: QState | QCircuit, indent: int | None = None) -> str:

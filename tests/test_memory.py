@@ -72,6 +72,24 @@ class TestHashStore:
         assert len(store._primary) <= 4
         assert store.evictions > 0
 
+    def test_items_payload_delta_survives_eviction(self):
+        # positional skipping must account for front-eviction: without
+        # the eviction adjustment a full store would ship an empty delta
+        # and batch workers would silently lose what they learned
+        store = HashStore(cap=8)
+        for i in range(8):
+            store.put(_FakeState(i, bytes([i])), i)
+        marker = store.size_marker()
+        for i in range(8, 16):
+            store.put(_FakeState(i, bytes([i])), i)
+        delta = dict(store.items_payload(marker))
+        survivors = dict(store.items_payload())
+        assert delta  # the pre-fix bug: empty delta after eviction
+        # exactly the surviving post-marker additions, nothing pre-marker
+        assert delta == {payload: value
+                         for payload, value in survivors.items()
+                         if value >= 8}
+
 
 class TestTranspositionTable:
     def test_unconditional_roundtrip(self):
@@ -112,6 +130,37 @@ class TestTranspositionTable:
         assert len(table.data) <= 4
         assert len(table.cond) <= 4
         assert table.evictions > 0
+
+    def test_eviction_drops_smallest_budgets_first(self):
+        # budget-weighted replacement: an eviction sweep must sacrifice
+        # the entries proving the smallest remaining budgets — a
+        # large-budget proof subsumes every prune a small one provides
+        table = TranspositionTable(cap=8)
+        for i in range(8):
+            table.record(f"k{i}", float(i), frozenset())
+        table.record("overflow", 100.0, frozenset())  # triggers the sweep
+        assert "k7" in table.data and "overflow" in table.data
+        dropped = max(1, 8 // 8)
+        survivors = {f"k{i}" for i in range(8)} & set(table.data)
+        assert survivors == {f"k{i}" for i in range(dropped, 8)}
+
+    def test_conditional_eviction_drops_smallest_budgets_first(self):
+        table = TranspositionTable(cap=8)
+        for i in range(8):
+            table.record(f"k{i}", float(i), frozenset({"P"}))
+        table.record("overflow", 100.0, frozenset({"P"}))
+        assert "k7" in table.cond and "overflow" in table.cond
+        assert "k0" not in table.cond  # the smallest budget went first
+
+    def test_exhausted_budget_reads_only_unconditional(self):
+        table = TranspositionTable(cap=8)
+        table.record("C", 3.0, frozenset({"P"}))  # conditional: invisible
+        assert table.exhausted_budget("C") is None
+        table.record("C", 2.0, frozenset())
+        assert table.exhausted_budget("C") == 2.0
+        hits, misses = table.hits, table.misses
+        table.exhausted_budget("C")
+        assert (table.hits, table.misses) == (hits, misses)
 
 
 class TestSearchMemoryLifecycle:
@@ -314,6 +363,70 @@ class TestTranspositionSoundnessRegression:
                 f"false exhaustion claim: OPT {true_cost} <= {budget}"
             audited += 1
         assert audited > 0
+
+
+class TestAStarIncumbentBranchAndBound:
+    """A* consults unconditional transposition exhaustion entries once it
+    holds an incumbent: identical costs, never more expansions."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_cost_fewer_expansions(self, seed):
+        from repro.core.beam import BeamConfig, beam_search
+
+        state = random_uniform_state(3, 4, seed=seed)
+        config = SearchConfig(max_nodes=120_000)
+        cold = astar_search(state, config)
+        memory = SearchMemory()
+        idastar_search(state, memory=memory)  # deposit exhaustion proofs
+        incumbent = beam_search(state, BeamConfig(width=64), memory=memory)
+        bnb = astar_search(state, config, memory=memory,
+                           incumbent=incumbent)
+        assert bnb.cnot_cost == cold.cnot_cost
+        assert bnb.optimal
+        assert bnb.stats.nodes_expanded <= cold.stats.nodes_expanded
+        assert prepares_state(bnb.circuit, state)
+
+    def test_differential_on_dicke_row(self):
+        from repro.core.beam import BeamConfig, beam_search
+
+        state = dicke_state(4, 2)
+        cold = astar_search(state, SearchConfig())
+        memory = SearchMemory()
+        idastar_search(state, memory=memory)
+        incumbent = beam_search(state, BeamConfig(width=128), memory=memory)
+        bnb = astar_search(state, SearchConfig(), memory=memory,
+                           incumbent=incumbent)
+        assert bnb.cnot_cost == cold.cnot_cost == 6
+        assert bnb.stats.nodes_expanded < cold.stats.nodes_expanded
+        assert bnb.stats.incumbent_prunes + \
+            bnb.stats.bnb_transposition_prunes > 0
+
+    def test_plain_incumbent_without_memory_prunes(self):
+        state = dicke_state(4, 2)
+        cold = astar_search(state, SearchConfig())
+        bnb = astar_search(state, SearchConfig(), incumbent=cold)
+        assert bnb.cnot_cost == cold.cnot_cost
+        assert bnb.stats.nodes_expanded <= cold.stats.nodes_expanded
+        assert bnb.stats.incumbent_prunes > 0
+
+    def test_integer_bound_without_circuit(self):
+        # an int incumbent bound prunes everything >= the bound: a
+        # strictly better solution is returned, but when the bound *is*
+        # the optimum there is no circuit to return and the engine must
+        # refuse loudly (carrying the bound as a proven lower bound)
+        from repro.exceptions import SearchBudgetExceeded
+
+        state = dicke_state(4, 2)
+        result = astar_search(state, SearchConfig(), incumbent=7)
+        assert result.cnot_cost == 6 and result.optimal
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            astar_search(state, SearchConfig(), incumbent=6)
+        assert excinfo.value.lower_bound == 6
+
+    def test_incumbent_requires_kernel_loop(self):
+        with pytest.raises(ValueError):
+            astar_search(ghz_state(3), SearchConfig(use_kernel=False),
+                         incumbent=2)
 
 
 class TestBeamSatellites:
