@@ -30,10 +30,11 @@ from repro.arch.swap_network import (
     permutation_swaps,
     swap_sequence_cost,
 )
-from repro.arch.topologies import CouplingMap
+from repro.arch.topologies import CouplingMap, native_topology
 
 __all__ = [
     "CouplingMap",
+    "native_topology",
     "RoutedCircuit",
     "DeviceResult",
     "route_circuit",

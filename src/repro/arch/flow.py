@@ -12,6 +12,16 @@ Chains the paper's synthesis workflow with placement and routing:
 The routed CNOT count quantifies the topology tax on top of the paper's
 all-to-all numbers, which is the deployment question the paper's
 introduction raises but leaves to the compiler.
+
+Since the search stack became topology-native, synthesize-then-route is
+no longer the only way onto a device: ``mode="native"`` selects a
+connected physical sub-register, searches *directly on the restricted
+move set* (every emitted CNOT already sits on a coupled pair — zero
+SWAPs by construction), and embeds the result; ``mode="race"`` runs both
+pipelines and returns the verified cheaper physical circuit.  Native
+search can find circuits the route pipeline structurally cannot (routing
+can only append SWAPs to one fixed logical circuit), at the price of a
+harder search problem.
 """
 
 from __future__ import annotations
@@ -29,7 +39,12 @@ from repro.arch.router import RoutedCircuit, route_circuit
 from repro.arch.topologies import CouplingMap
 from repro.circuits.circuit import QCircuit
 from repro.constants import SIM_ATOL
-from repro.exceptions import CircuitError, VerificationError
+from repro.exceptions import (
+    CircuitError,
+    SearchBudgetExceeded,
+    SynthesisError,
+    VerificationError,
+)
 from repro.qsp.config import QSPConfig
 from repro.qsp.workflow import prepare_state
 from repro.sim.statevector import simulate_circuit
@@ -44,13 +59,18 @@ _VERIFY_MAX_QUBITS = 12
 _PLACEMENT_STRATEGIES = ("trivial", "greedy", "annealed")
 
 
+_DEVICE_MODES = ("route", "native", "race")
+
+
 @dataclass
 class DeviceResult:
     """Outcome of device-aware preparation.
 
     ``logical_cnots`` is the paper-model cost before routing;
     ``physical_cnots`` after.  ``verified`` is ``None`` when the register
-    was too large to simulate.
+    was too large to simulate.  ``mode`` records which pipeline produced
+    the physical circuit (``'route'``, or ``'native'`` — a ``race`` result
+    reports its winner).
     """
 
     routed: RoutedCircuit
@@ -59,21 +79,100 @@ class DeviceResult:
     physical_cnots: int
     placement_strategy: str
     verified: bool | None = None
+    mode: str = "route"
 
     @property
     def overhead_cnots(self) -> int:
-        """Topology tax: CNOTs added by routing."""
+        """Topology tax: CNOTs added on top of the logical circuit."""
         return self.physical_cnots - self.logical_cnots
+
+
+def _native_region(state: QState, cmap: CouplingMap) -> list[int]:
+    """Pick a connected ``n``-qubit physical sub-register for native search.
+
+    BFS-grows a candidate region from every physical qubit and keeps the
+    one with the smallest pairwise-distance sum — the same compactness
+    objective placement optimizes, evaluated before any circuit exists
+    (native search has no logical circuit to read interactions from).
+    """
+    import networkx as nx
+
+    n = state.num_qubits
+    if cmap.size == n:
+        return list(range(n))
+    best: tuple[int, list[int]] | None = None
+    for start in range(cmap.size):
+        region = [start]
+        seen = {start}
+        for node in nx.bfs_tree(cmap.graph, start):
+            if node in seen:
+                continue
+            region.append(node)
+            seen.add(node)
+            if len(region) == n:
+                break
+        if len(region) < n:
+            continue  # disconnected component smaller than the register
+        score = cmap.subgraph_distance_sum(region)
+        if best is None or (score, sorted(region)) < best:
+            best = (score, sorted(region))
+    if best is None:
+        raise CircuitError(
+            f"no connected {n}-qubit region in {cmap!r}")
+    return best[1]
+
+
+def _prepare_native(state: QState, cmap: CouplingMap,
+                    config: QSPConfig | None,
+                    memory=None) -> DeviceResult:
+    """Topology-native pipeline: induced sub-map -> native search -> embed."""
+    region = _native_region(state, cmap)
+    submap, mapping = cmap.induced(region)
+    result = prepare_state(state, config, memory=memory, topology=submap)
+    logical = result.circuit.decompose()
+    physical = logical.embedded(cmap.size, mapping)
+    routed = RoutedCircuit(circuit=physical, initial_layout=list(mapping),
+                           final_layout=list(mapping), swap_count=0,
+                           coupling=cmap)
+    verified: bool | None = None
+    if cmap.size <= _VERIFY_MAX_QUBITS:
+        verified = routed_prepares(routed, state)
+        if not verified:
+            raise VerificationError(
+                "native circuit failed to prepare the target state")
+    elif state.num_qubits <= (config or QSPConfig()).verify_max_qubits:
+        # the workflow already simulated the logical circuit against the
+        # target (it raises otherwise), and the embedding is a pure wire
+        # relabeling onto the chosen region — so the physical circuit is
+        # verified even when the full device register is too wide to
+        # simulate directly
+        verified = True
+    return DeviceResult(routed=routed, logical_circuit=logical,
+                        logical_cnots=logical.cnot_cost(),
+                        physical_cnots=physical.cnot_cost(),
+                        placement_strategy="native", verified=verified,
+                        mode="native")
 
 
 def prepare_on_device(state: QState, cmap: CouplingMap,
                       config: QSPConfig | None = None,
                       placement: str = "greedy",
-                      seed: int = 0) -> DeviceResult:
-    """Synthesize, place, route, and verify ``state`` on ``cmap``.
+                      seed: int = 0, mode: str = "route",
+                      memory=None) -> DeviceResult:
+    """Prepare ``state`` on ``cmap`` and verify the physical circuit.
 
-    ``placement`` is one of ``'trivial'``, ``'greedy'``, ``'annealed'``.
+    ``placement`` is one of ``'trivial'``, ``'greedy'``, ``'annealed'``
+    (route pipeline only).  ``mode`` selects the pipeline: ``'route'``
+    (synthesize all-to-all, place, SWAP-route — the seed behavior),
+    ``'native'`` (search directly on the restricted move set; the result
+    needs no SWAPs by construction), or ``'race'`` (run both, return the
+    verified cheaper physical circuit; ties and native failures fall back
+    to the routed result).  ``memory`` threads a
+    :class:`~repro.core.memory.SearchMemory` into the native search.
     """
+    if mode not in _DEVICE_MODES:
+        raise CircuitError(
+            f"unknown mode {mode!r}; choose from {_DEVICE_MODES}")
     if placement not in _PLACEMENT_STRATEGIES:
         raise CircuitError(
             f"unknown placement {placement!r}; "
@@ -83,6 +182,20 @@ def prepare_on_device(state: QState, cmap: CouplingMap,
             f"state needs {state.num_qubits} qubits, device has {cmap.size}")
     if not cmap.is_connected():
         raise CircuitError("cannot route on a disconnected coupling map")
+
+    if mode == "native":
+        return _prepare_native(state, cmap, config, memory=memory)
+    if mode == "race":
+        routed_result = prepare_on_device(state, cmap, config=config,
+                                          placement=placement, seed=seed)
+        try:
+            native_result = _prepare_native(state, cmap, config,
+                                            memory=memory)
+        except (SynthesisError, SearchBudgetExceeded):
+            return routed_result  # native search gave up; routed still wins
+        if native_result.physical_cnots < routed_result.physical_cnots:
+            return native_result
+        return routed_result
 
     logical = prepare_state(state, config).circuit.decompose()
     if placement == "trivial":

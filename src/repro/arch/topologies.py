@@ -32,7 +32,8 @@ import networkx as nx
 
 from repro.exceptions import CircuitError
 
-__all__ = ["CouplingMap"]
+__all__ = ["CouplingMap", "native_topology", "named_topology",
+           "TOPOLOGY_FAMILIES"]
 
 
 class CouplingMap:
@@ -51,7 +52,8 @@ class CouplingMap:
     True
     """
 
-    __slots__ = ("_graph", "_dist", "_name")
+    __slots__ = ("_graph", "_dist", "_name", "_hash", "_canonical",
+                 "_neighbor_masks", "_automorphisms")
 
     def __init__(self, edges: Iterable[tuple[int, int]], size: int | None = None,
                  name: str = "custom"):
@@ -73,6 +75,10 @@ class CouplingMap:
         self._graph = graph
         self._dist: dict[int, dict[int, int]] | None = None
         self._name = name
+        self._hash: int | None = None
+        self._canonical: tuple | None = None
+        self._neighbor_masks: tuple[int, ...] | None = None
+        self._automorphisms: dict[int, list[list[int]]] = {}
 
     # ------------------------------------------------------------------
     # Named constructors
@@ -224,6 +230,103 @@ class CouplingMap:
                    for a, b in itertools.combinations(nodes, 2))
 
     # ------------------------------------------------------------------
+    # Canonical identity (fingerprints, snapshots, hashing)
+    # ------------------------------------------------------------------
+
+    def canonical_key(self) -> tuple:
+        """Stable canonical identity: ``(size, sorted edge tuple)``.
+
+        Two maps compare equal exactly when their canonical keys match
+        (same physical labeling — no graph-isomorphism folding, because
+        physical qubit numbers are load-bearing for placement and search).
+        This is the identity the regime fingerprint and the snapshot
+        formats key on.
+        """
+        if self._canonical is None:
+            self._canonical = (self.size, tuple(self.edges()))
+        return self._canonical
+
+    def to_canonical_dict(self) -> dict:
+        """JSON-safe canonical serialization (sorted edge list + size)."""
+        size, edges = self.canonical_key()
+        return {"size": size, "edges": [[a, b] for a, b in edges]}
+
+    @classmethod
+    def from_canonical_dict(cls, data: dict, name: str = "custom"
+                            ) -> "CouplingMap":
+        """Inverse of :meth:`to_canonical_dict`."""
+        try:
+            edges = [(int(a), int(b)) for a, b in data["edges"]]
+            size = int(data["size"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CircuitError(
+                f"malformed coupling-map serialization {data!r}") from exc
+        return cls(edges, size, name=name)
+
+    def neighbor_masks(self) -> tuple[int, ...]:
+        """Per-qubit adjacency bitmasks: bit ``t`` of entry ``c`` is set
+        when ``(c, t)`` is a coupled pair (the move-enumeration fast test)."""
+        if self._neighbor_masks is None:
+            masks = [0] * self.size
+            for a, b in self._graph.edges():
+                masks[a] |= 1 << b
+                masks[b] |= 1 << a
+            self._neighbor_masks = tuple(masks)
+        return self._neighbor_masks
+
+    def automorphism_orderings(self, cap: int) -> list[list[int]]:
+        """Up to ``cap`` automorphisms of the coupling graph, as qubit
+        orderings (position ``i`` holds the image qubit), identity first.
+
+        On a restricted topology, relabeling qubits is free exactly for
+        graph automorphisms (conjugating a native circuit by one keeps
+        every CNOT on a coupled pair), so these are the only permutations
+        canonicalization may still fold together.  Enumeration is
+        deterministic; truncation at ``cap`` can only split equivalence
+        classes (weaker pruning, never unsound).  The full group is the
+        whole symmetric group only for the all-to-all map, which callers
+        short-circuit before ever calling this.
+        """
+        cap = max(1, int(cap))
+        cached = self._automorphisms.get(cap)
+        if cached is not None:
+            return cached
+        from networkx.algorithms import isomorphism
+
+        n = self.size
+        matcher = isomorphism.GraphMatcher(self._graph, self._graph)
+        orderings: list[list[int]] = []
+        for mapping in matcher.isomorphisms_iter():
+            orderings.append([mapping[q] for q in range(n)])
+            if len(orderings) >= cap:
+                break
+        identity = list(range(n))
+        if identity not in orderings:
+            orderings.append(identity)
+        orderings.sort()  # deterministic order, identity first
+        self._automorphisms[cap] = orderings
+        return orderings
+
+    def induced(self, nodes: Iterable[int]
+                ) -> tuple["CouplingMap", list[int]]:
+        """Induced sub-map on ``nodes``, relabeled to ``0 .. len - 1``.
+
+        Returns ``(submap, mapping)`` with ``mapping[new] = old`` sorted
+        ascending, so a circuit synthesized on the sub-map embeds onto the
+        device by sending wire ``i`` to physical qubit ``mapping[i]``.
+        """
+        mapping = sorted(set(int(q) for q in nodes))
+        for q in mapping:
+            self._check(q)
+        index_of = {old: new for new, old in enumerate(mapping)}
+        edges = [(index_of[a], index_of[b])
+                 for a, b in self._graph.edges()
+                 if a in index_of and b in index_of]
+        sub = CouplingMap(edges, len(mapping),
+                          name=f"{self._name}[{len(mapping)}]")
+        return sub, mapping
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -248,6 +351,84 @@ class CouplingMap:
         if not isinstance(other, CouplingMap):
             return NotImplemented
         return self.size == other.size and self.edges() == other.edges()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.canonical_key())
+        return self._hash
+
+
+def native_topology(topology: "CouplingMap | None") -> "CouplingMap | None":
+    """Normalize a topology for the synthesis stack.
+
+    ``None`` and all-to-all maps mean "the paper's unrestricted model" and
+    normalize to ``None`` — the identity fast path that keeps every search
+    bit-identical to seed behavior.  Anything else must be connected (the
+    restricted move set is only complete on a connected graph: SWAP chains
+    of native CNOTs can simulate any unrestricted move sequence).
+    """
+    if topology is None or topology.is_full():
+        return None
+    if not topology.is_connected():
+        raise CircuitError(
+            "topology-native synthesis needs a connected coupling map "
+            f"(got {topology!r})")
+    return topology
+
+
+#: Topology families addressable by name (CLI flags, benchmarks, requests).
+TOPOLOGY_FAMILIES = ("line", "ring", "grid", "star", "tree", "full",
+                     "heavy_hex")
+
+
+def named_topology(name: str, size: int) -> CouplingMap:
+    """A coupling map of exactly ``size`` qubits from a named family.
+
+    Families whose natural construction does not hit ``size`` exactly are
+    cut down to a connected ``size``-qubit fragment: ``grid`` builds the
+    smallest 2-row lattice that fits and drops the surplus corner,
+    ``heavy_hex`` BFS-grows a fragment of the smallest heavy-hex lattice
+    that fits.  This is what lets every device family serve any register
+    size — the whole point of topology-native synthesis as a servable
+    workload.
+    """
+    if name == "line":
+        return CouplingMap.line(size)
+    if name == "ring":
+        return CouplingMap.ring(size)
+    if name == "star":
+        return CouplingMap.star(size)
+    if name == "tree":
+        return CouplingMap.tree(size)
+    if name == "full":
+        return CouplingMap.full(size)
+    if name == "grid":
+        _require_size(size)
+        cols = max(2, (size + 1) // 2)
+        base = CouplingMap.grid(2, cols) if size > 1 else CouplingMap.line(1)
+        if base.size == size:
+            return base
+        sub, _ = base.induced(range(size))
+        return CouplingMap(sub.edges(), size, name=f"grid2x{cols}[{size}]")
+    if name == "heavy_hex":
+        _require_size(size)
+        if size <= 2:
+            return CouplingMap.line(size)
+        distance = 3
+        base = CouplingMap.heavy_hex(distance)
+        while base.size < size:
+            distance += 2
+            base = CouplingMap.heavy_hex(distance)
+        fragment: list[int] = []
+        for node in nx.bfs_tree(base.graph, 0):
+            fragment.append(node)
+            if len(fragment) == size:
+                break
+        sub, _ = base.induced(fragment)
+        return CouplingMap(sub.edges(), size,
+                           name=f"heavy_hex_d{distance}[{size}]")
+    raise CircuitError(
+        f"unknown topology family {name!r}; choose from {TOPOLOGY_FAMILIES}")
 
 
 def _subdivide(graph: nx.Graph) -> nx.Graph:

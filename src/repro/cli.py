@@ -18,6 +18,13 @@ Route onto a line device and report the topology tax::
 
     repro-qsp route --ghz 5 --topology line --placement greedy
 
+Search *natively* on the device instead of routing (every CNOT lands on
+a coupled pair, zero SWAPs), or race both pipelines and keep the
+verified cheaper circuit::
+
+    repro-qsp route --ghz 5 --topology line --mode native
+    repro-qsp route --w 5 --topology heavy_hex --mode race
+
 Estimate the preparation fidelity under depolarizing noise::
 
     repro-qsp fidelity --dicke 4 2 --p-cx 0.01 --p-1q 0.001
@@ -32,18 +39,35 @@ and persist that memory as a warm-start snapshot for the service::
     repro-qsp family --max-n 5 --engine astar
     repro-qsp family --max-n 5 --engine idastar --snapshot-out warm.qspmem.gz
 
+Synthesize the family topology-natively — every row searched directly on
+a device of its size (one warm memory per register size)::
+
+    repro-qsp family --max-n 5 --topology line
+
 Run the long-lived synthesis service (one JSON request per stdin line,
 one JSON response per stdout line), warm-started from a snapshot::
 
     repro-qsp serve --snapshot warm.qspmem.gz
     echo '{"id": 1, "op": "exact", "dicke": [4, 2]}' | repro-qsp serve
 
+Serve one *device*: the service pins a topology, requests synthesize
+natively, memory/cache entries never mix across devices, and the
+exact-hit request cache persists across restarts::
+
+    repro-qsp serve --topology heavy_hex --topology-size 5 \
+        --cache-snapshot cache.qspreq.gz
+    echo '{"id": 1, "op": "exact", "w": 5, "topology": "heavy_hex"}' | \
+        repro-qsp serve --topology heavy_hex --topology-size 5
+
 Batch-synthesize a JSONL request file across worker processes, each
 seeded from the snapshot (costs are identical to cold single-process
-runs; only the time changes)::
+runs; only the time changes); ``--topology`` pins the device exactly as
+in ``serve``::
 
     repro-qsp batch requests.jsonl results.jsonl \
         --snapshot warm.qspmem.gz --workers 4
+    repro-qsp batch requests.jsonl results.jsonl \
+        --topology line --topology-size 4
 """
 
 from __future__ import annotations
@@ -51,6 +75,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.arch.topologies import TOPOLOGY_FAMILIES
 from repro.qsp.config import QSPConfig
 from repro.qsp.solver import compare_methods
 from repro.qsp.workflow import prepare_state
@@ -140,10 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
         "route", help="prepare on a restricted-topology device")
     _add_state_options(route)
     route.add_argument("--topology", default="line",
-                       choices=("line", "ring", "grid", "star", "full"),
+                       choices=TOPOLOGY_FAMILIES,
                        help="device coupling map (default: line)")
     route.add_argument("--placement", default="greedy",
                        choices=("trivial", "greedy", "annealed"))
+    route.add_argument("--mode", default="route",
+                       choices=("route", "native", "race"),
+                       help="route = synthesize all-to-all then SWAP-route "
+                            "(seed behavior); native = search directly on "
+                            "the restricted move set (no SWAPs); race = "
+                            "run both, keep the verified cheaper circuit")
 
     fid = sub.add_parser(
         "fidelity", help="estimate preparation fidelity under noise")
@@ -185,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     family.add_argument("--snapshot-in", metavar="FILE",
                         help="seed the SearchMemory from FILE before the "
                              "first row (warm start)")
+    family.add_argument("--topology", metavar="FAMILY", default=None,
+                        choices=tuple(f for f in TOPOLOGY_FAMILIES
+                                      if f != "full"),
+                        help="synthesize every row topology-natively on a "
+                             "device of this family sized to the row "
+                             "(one warm memory per register size)")
 
     serve = sub.add_parser(
         "serve",
@@ -208,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "per exact request with first-optimal-wins "
                             "cancellation (default 0 = in-process "
                             "sequential portfolio)")
+    serve.add_argument("--cache-snapshot", metavar="FILE",
+                       help="persist the exact-hit request cache to FILE "
+                            "(loaded at boot when it exists, written on "
+                            "shutdown; gated by the same fingerprint + "
+                            "format-version checks as --snapshot)")
+    _add_topology_options(serve)
 
     batch = sub.add_parser(
         "batch",
@@ -230,7 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--circuits", action="store_true",
                        help="include the synthesized circuits in the "
                             "response lines")
+    _add_topology_options(batch)
     return parser
+
+
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", metavar="FAMILY", default=None,
+                        choices=TOPOLOGY_FAMILIES,
+                        help="pin the service to one device topology: "
+                             "requests synthesize topology-natively and "
+                             "memory/cache entries never mix across "
+                             "devices (needs --topology-size)")
+    parser.add_argument("--topology-size", type=int, default=None,
+                        metavar="N",
+                        help="physical qubit count of the pinned device "
+                             "(requests must match it)")
 
 
 def _cmd_prepare(args: argparse.Namespace, state: QState) -> int:
@@ -257,21 +314,14 @@ def _cmd_prepare(args: argparse.Namespace, state: QState) -> int:
 
 def _cmd_route(args: argparse.Namespace, state: QState) -> int:
     from repro.arch.flow import prepare_on_device
-    from repro.arch.topologies import CouplingMap
+    from repro.arch.topologies import named_topology
 
-    n = state.num_qubits
-    makers = {
-        "line": lambda: CouplingMap.line(n),
-        "ring": lambda: CouplingMap.ring(n),
-        "grid": lambda: CouplingMap.grid(2, (n + 1) // 2),
-        "star": lambda: CouplingMap.star(n),
-        "full": lambda: CouplingMap.full(n),
-    }
-    device = makers[args.topology]()
+    device = named_topology(args.topology, state.num_qubits)
     result = prepare_on_device(state, device, placement=args.placement,
-                               seed=args.seed)
+                               seed=args.seed, mode=args.mode)
     print(f"device    : {device.name} ({device.size} physical qubits)")
-    print(f"placement : {args.placement} -> "
+    print(f"pipeline  : {args.mode} -> won by {result.mode}")
+    print(f"placement : {result.placement_strategy} -> "
           f"{result.routed.initial_layout}")
     print(f"logical   : {result.logical_cnots} CNOTs")
     print(f"physical  : {result.physical_cnots} CNOTs "
@@ -320,24 +370,43 @@ def _cmd_family(args: argparse.Namespace) -> int:
         search=SearchConfig(max_nodes=args.max_nodes,
                             time_limit=args.time_limit),
         beam=BeamConfig(time_limit=args.time_limit),
-        warm=not args.cold)
+        warm=not args.cold,
+        topology=args.topology)
     if args.cold and (args.snapshot_in or args.snapshot_out):
         raise SystemExit("--cold cannot be combined with --snapshot-in/"
                          "--snapshot-out (there is no memory to persist)")
+    if args.topology and (args.snapshot_in or args.snapshot_out):
+        raise SystemExit("--topology runs keep one memory per register "
+                         "size and cannot load/persist a single snapshot; "
+                         "drop --snapshot-in/--snapshot-out")
+    memory_pool = None
     if args.snapshot_in:
         from repro.service.persistence import load_memory_snapshot
         memory = load_memory_snapshot(args.snapshot_in)
+    elif args.topology:
+        # one memory per register size, held here so --repeat passes
+        # stay warm across reps exactly like unrestricted runs
+        memory = None
+        memory_pool = {} if not args.cold else None
     else:
         memory = SearchMemory() if not args.cold else None
     for rep in range(max(1, args.repeat)):
-        report = run_family(targets, config, memory=memory)
+        report = run_family(targets, config, memory=memory,
+                            memory_pool=memory_pool)
         rows = []
         for row in report.rows:
-            cost = row.cnot_cost if row.solved else f">={row.lower_bound}"
+            if row.solved:
+                cost = row.cnot_cost
+            elif row.lower_bound is not None:
+                cost = f">={row.lower_bound}"
+            else:
+                cost = "-"
             flag = "*" if row.optimal else ""
             rows.append([row.label, f"{cost}{flag}", row.nodes_expanded,
                          f"{row.seconds:.3f}"])
         mode = "cold" if args.cold else f"warm pass {rep + 1}"
+        if args.topology:
+            mode += f", native on {args.topology}"
         print(format_table(
             ["state", "cnot", "expansions", "seconds"], rows,
             title=f"{args.engine} family run ({mode}, "
@@ -373,6 +442,15 @@ def _service_config(args: argparse.Namespace, **extra):
         search.time_limit = args.time_limit
         qsp.exact.search.time_limit = args.time_limit
         qsp.exact.beam.time_limit = args.time_limit
+    topology = getattr(args, "topology", None)
+    if topology is not None:
+        if args.topology_size is None:
+            raise SystemExit("--topology needs --topology-size (the "
+                             "pinned device's physical qubit count)")
+        from repro.arch.topologies import named_topology
+        search.topology = named_topology(topology, args.topology_size)
+    elif getattr(args, "topology_size", None) is not None:
+        raise SystemExit("--topology-size without --topology")
     return ServiceConfig(search=search, qsp=qsp,
                          snapshot_path=args.snapshot, **extra)
 
@@ -381,12 +459,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import SynthesisService, serve_loop
 
     config = _service_config(args, use_cache=not args.no_cache,
-                             race_workers=args.race_workers)
+                             race_workers=args.race_workers,
+                             cache_snapshot_path=args.cache_snapshot)
     service = SynthesisService(config)
     handled = serve_loop(service, sys.stdin, sys.stdout)
+    saved = service.save_cache_snapshot()
     stats = service.stats()
     print(f"served {handled} request(s), {stats['cache_hits']} cache "
           f"hit(s), {stats['errors']} error(s)", file=sys.stderr)
+    if saved:
+        print(f"request-cache snapshot written to {saved}", file=sys.stderr)
     return 0
 
 

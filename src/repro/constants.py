@@ -91,6 +91,12 @@ BENCH_SCHEMA_VERSION: int = 1
 #: Entry cap of the service request cache (distinct target states).
 SERVICE_REQUEST_CACHE_CAP: int = 1 << 16
 
+#: On-disk request-cache snapshot format version (``serve
+#: --cache-snapshot``).  Gated exactly like the memory snapshot: any other
+#: version, or a regime-fingerprint mismatch, raises
+#: ``MemoryCompatibilityError`` at load.
+REQUEST_CACHE_SNAPSHOT_VERSION: int = 1
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

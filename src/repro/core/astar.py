@@ -47,13 +47,19 @@ from repro.constants import (
     SEARCH_TIE_CAP,
 )
 from repro.core.canonical import CanonLevel, canonical_key
-from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.heuristic import (
+    CouplingHeuristic,
+    HeuristicFn,
+    default_heuristic,
+    entanglement_heuristic,
+)
 from repro.core.kernel import (
     BoundedCache,
     CanonContext,
     HashKeyedMap,
     PackedState,
     StatePool,
+    entangled_qubits_packed,
     entanglement_h_packed,
     num_entangled_packed,
     successors_packed,
@@ -66,6 +72,28 @@ from repro.states.qstate import QState
 from repro.utils.timing import Stopwatch
 
 __all__ = ["SearchConfig", "SearchStats", "SearchResult", "astar_search"]
+
+
+def _native_topology(topology, num_qubits: int):
+    """Validate + normalize a search topology against the target register.
+
+    Delegates the shared normalization to
+    :func:`repro.arch.topologies.native_topology` — ``None`` and
+    all-to-all maps (of *any* size) mean the unrestricted paper model and
+    normalize to ``None``, the identity fast path that stays bit-identical
+    to seed behavior; disconnected maps are rejected there (the native
+    move set is only complete on a connected graph).  A restricted map
+    must additionally cover exactly the register.
+    """
+    from repro.arch.topologies import native_topology
+
+    topology = native_topology(topology)
+    if topology is not None and topology.size != num_qubits:
+        raise ValueError(
+            f"topology covers {topology.size} physical qubits but the "
+            f"target has {num_qubits}; synthesize on "
+            f"topology.induced(...) for a sub-register")
+    return topology
 
 
 @dataclass
@@ -81,7 +109,10 @@ class SearchConfig:
         Wall-clock budget in seconds (``None`` = unlimited).
     canon_level:
         Equivalence used for pruning (paper Sec. V-B); ``PU2`` assumes a
-        symmetric coupling graph, exactly as the paper discusses.
+        symmetric coupling graph, exactly as the paper discusses — under a
+        restricted ``topology`` the permutation freedom automatically
+        shrinks to the coupling graph's automorphisms, which keeps ``PU2``
+        sound on any device.
     max_merge_controls:
         Cap on MCRy merge controls (``None`` = ``n - 1``, the complete set).
     weight:
@@ -101,6 +132,16 @@ class SearchConfig:
         Size cap of the canonical-key and heuristic caches (entries);
         exceeding it evicts oldest-first.  Hit rates land in
         :class:`SearchStats`.
+    topology:
+        Optional :class:`repro.arch.topologies.CouplingMap` making the
+        device a first-class search constraint: only moves whose CNOTs lie
+        on coupled pairs are enumerated, canonicalization folds only
+        coupling automorphisms, and the default heuristic becomes the
+        matching-based coupling bound.  ``None`` or an all-to-all map
+        (of any size) is the unrestricted paper model (bit-identical to
+        seed behavior).  Requires the kernel loop; a restricted map's
+        size must equal the target's qubit count and its graph must be
+        connected.
     """
 
     max_nodes: int = 200_000
@@ -113,6 +154,7 @@ class SearchConfig:
     perm_cap: int = SEARCH_PERM_CAP
     use_kernel: bool = True
     cache_cap: int = SEARCH_CACHE_CAP
+    topology: object | None = None
 
 
 @dataclass
@@ -143,6 +185,13 @@ class SearchStats:
     #: with their path condition (the pre-fix code wrote them as
     #: unconditional, universally reusable claims — the soundness bug)
     transposition_poisoned: int = 0
+    #: persistent-store traffic attributable to this search (0 when no
+    #: ``SearchMemory`` is attached); per-entry hit counts also drive the
+    #: stores' hit-weighted eviction
+    canon_store_hits: int = 0
+    canon_store_misses: int = 0
+    h_store_hits: int = 0
+    h_store_misses: int = 0
 
     @property
     def canon_cache_hit_rate(self) -> float:
@@ -211,10 +260,15 @@ def astar_search(target: QState, config: SearchConfig | None = None,
         ``weight``) and the incumbent, when one was supplied.
     """
     config = config or SearchConfig()
+    topology = _native_topology(config.topology, target.num_qubits)
     if heuristic is None:
-        heuristic = entanglement_heuristic
+        heuristic = default_heuristic(topology)
     if config.use_kernel:
-        return _astar_kernel(target, config, heuristic, memory, incumbent)
+        return _astar_kernel(target, config, heuristic, memory, incumbent,
+                             topology)
+    if topology is not None:
+        raise ValueError("topology-native search requires the kernel loop "
+                         "(SearchConfig(use_kernel=True))")
     if memory is not None:
         raise ValueError("SearchMemory requires the kernel loop "
                          "(SearchConfig(use_kernel=True))")
@@ -228,12 +282,29 @@ def _make_h_of(heuristic: HeuristicFn, h_cache: BoundedCache, h_store):
     """Packed-state heuristic evaluator shared by all kernel engines.
 
     The default entanglement bound is memoized on the interned state
-    object, so it needs no cache layer; any other heuristic goes through
-    the per-search cache with an optional persistent
+    object, so it needs no cache layer; the coupling-aware bound reads the
+    cached entangled set off the interned state and memoizes its matching
+    per entangled support; any other heuristic goes through the per-search
+    cache with an optional persistent
     :class:`repro.core.memory.HashStore` tier between cache and compute.
     """
     if heuristic is entanglement_heuristic:
         return entanglement_h_packed
+
+    if isinstance(heuristic, CouplingHeuristic):
+        def h_coupling(ps: PackedState) -> float:
+            val = h_cache.get(ps)
+            if val is None:
+                if h_store is not None:
+                    val = h_store.get(ps)
+                if val is None:
+                    val = heuristic.bound(entangled_qubits_packed(ps))
+                    if h_store is not None:
+                        h_store.put(ps, val)
+                h_cache.put(ps, val)
+            return val
+
+        return h_coupling
 
     def h_of(ps: PackedState) -> float:
         val = h_cache.get(ps)
@@ -248,6 +319,25 @@ def _make_h_of(heuristic: HeuristicFn, h_cache: BoundedCache, h_store):
         return val
 
     return h_of
+
+
+def _store_hit_marks(canon_store, h_store) -> tuple[int, int, int, int]:
+    """Counter baseline so per-search store deltas can land in the stats."""
+    return (canon_store.hits if canon_store is not None else 0,
+            canon_store.misses if canon_store is not None else 0,
+            h_store.hits if h_store is not None else 0,
+            h_store.misses if h_store is not None else 0)
+
+
+def _finish_store_stats(stats: SearchStats, canon_store, h_store,
+                        marks: tuple[int, int, int, int]) -> None:
+    """Record this search's share of the persistent-store traffic."""
+    if canon_store is not None:
+        stats.canon_store_hits = canon_store.hits - marks[0]
+        stats.canon_store_misses = canon_store.misses - marks[1]
+    if h_store is not None:
+        stats.h_store_hits = h_store.hits - marks[2]
+        stats.h_store_misses = h_store.misses - marks[3]
 
 
 def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
@@ -271,7 +361,7 @@ def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
 
 def _astar_kernel(target: QState, config: SearchConfig,
                   heuristic: HeuristicFn, memory=None,
-                  incumbent=None) -> SearchResult:
+                  incumbent=None, topology=None) -> SearchResult:
     weight = config.weight
     stopwatch = Stopwatch(config.time_limit)
     stats = SearchStats()
@@ -294,7 +384,8 @@ def _astar_kernel(target: QState, config: SearchConfig,
                              perm_cap=config.perm_cap,
                              max_merge_controls=config.max_merge_controls,
                              include_x_moves=config.include_x_moves,
-                             heuristic=heuristic)
+                             heuristic=heuristic,
+                             topology=topology)
         canon_store = memory.canon_store
         h_store = memory.h_store
     else:
@@ -302,10 +393,11 @@ def _astar_kernel(target: QState, config: SearchConfig,
         canon_store = h_store = None
     canon_ctx = CanonContext(config.canon_level, config.tie_cap,
                              config.perm_cap, config.cache_cap,
-                             store=canon_store)
+                             store=canon_store, topology=topology)
     canon = canon_ctx.key
     h_cache = BoundedCache(config.cache_cap)
     h_of = _make_h_of(heuristic, h_cache, h_store)
+    store_marks = _store_hit_marks(canon_store, h_store)
 
     def finish_stats() -> None:
         stats.elapsed_seconds = stopwatch.elapsed()
@@ -313,6 +405,7 @@ def _astar_kernel(target: QState, config: SearchConfig,
         stats.canon_cache_misses = canon_ctx.cache.misses
         stats.h_cache_hits = h_cache.hits
         stats.h_cache_misses = h_cache.misses
+        _finish_store_stats(stats, canon_store, h_store, store_marks)
 
     counter = itertools.count()
     # entry: (weighted f, g, tiebreak, unweighted g + h, state, prev, move)
@@ -397,7 +490,8 @@ def _astar_kernel(target: QState, config: SearchConfig,
         for nmove, nxt in successors_packed(
                 pool, state,
                 max_merge_controls=config.max_merge_controls,
-                include_x_moves=config.include_x_moves):
+                include_x_moves=config.include_x_moves,
+                topology=topology):
             g2 = g + nmove.cost
             if g2 >= g_pushed.get(nxt, math.inf):
                 stats.nodes_pruned += 1

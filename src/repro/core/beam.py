@@ -24,9 +24,16 @@ from repro.constants import (
     SEARCH_PERM_CAP,
     SEARCH_TIE_CAP,
 )
-from repro.core.astar import SearchResult, SearchStats, _make_h_of
+from repro.core.astar import (
+    SearchResult,
+    SearchStats,
+    _finish_store_stats,
+    _make_h_of,
+    _native_topology,
+    _store_hit_marks,
+)
 from repro.core.canonical import CanonLevel
-from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.heuristic import HeuristicFn, default_heuristic
 from repro.core.kernel import (
     BoundedCache,
     CanonContext,
@@ -66,6 +73,10 @@ class BeamConfig:
     tie_cap: int = SEARCH_TIE_CAP
     perm_cap: int = SEARCH_PERM_CAP
     cache_cap: int = SEARCH_CACHE_CAP
+    #: optional CouplingMap — same native move-set semantics as
+    #: :class:`~repro.core.astar.SearchConfig.topology`; additionally
+    #: disables the m-flow completion tail (whose merges are not native)
+    topology: object | None = None
 
 
 @dataclass
@@ -90,8 +101,9 @@ def beam_search(target: QState, config: BeamConfig | None = None,
     and a sane depth bound).
     """
     config = config or BeamConfig()
+    topology = _native_topology(config.topology, target.num_qubits)
     if heuristic is None:
-        heuristic = entanglement_heuristic
+        heuristic = default_heuristic(topology)
     stopwatch = Stopwatch(config.time_limit)
     stats = SearchStats()
     n = target.num_qubits
@@ -105,7 +117,8 @@ def beam_search(target: QState, config: BeamConfig | None = None,
                              perm_cap=config.perm_cap,
                              max_merge_controls=config.max_merge_controls,
                              include_x_moves=config.include_x_moves,
-                             heuristic=heuristic)
+                             heuristic=heuristic,
+                             topology=topology)
         canon_store = memory.canon_store
         h_store = memory.h_store
     else:
@@ -113,10 +126,11 @@ def beam_search(target: QState, config: BeamConfig | None = None,
         canon_store = h_store = None
     canon_ctx = CanonContext(config.canon_level, config.tie_cap,
                              config.perm_cap, config.cache_cap,
-                             store=canon_store)
+                             store=canon_store, topology=topology)
     canon = canon_ctx.key
     h_cache = BoundedCache(config.cache_cap)
     h_of = _make_h_of(heuristic, h_cache, h_store)
+    store_marks = _store_hit_marks(canon_store, h_store)
 
     def finish_stats() -> None:
         # called on *every* exit path (including the failure raise), so no
@@ -127,6 +141,7 @@ def beam_search(target: QState, config: BeamConfig | None = None,
         stats.h_cache_hits = h_cache.hits
         stats.h_cache_misses = h_cache.misses
         stats.dedup_evictions = seen_g.evictions
+        _finish_store_stats(stats, canon_store, h_store, store_marks)
 
     best: SearchResult | None = None
     start = pool.from_qstate(target)
@@ -155,7 +170,8 @@ def beam_search(target: QState, config: BeamConfig | None = None,
             for move, nxt in successors_packed(
                     pool, node.state,
                     max_merge_controls=config.max_merge_controls,
-                    include_x_moves=config.include_x_moves):
+                    include_x_moves=config.include_x_moves,
+                    topology=topology):
                 g2 = node.g + move.cost
                 if best is not None and g2 >= best.cnot_cost:
                     continue  # cannot improve the incumbent
@@ -187,21 +203,25 @@ def beam_search(target: QState, config: BeamConfig | None = None,
 
     # Completion: finish the most promising frontier nodes with cardinality
     # reduction, so the beam always returns a feasible circuit even when it
-    # timed out before disentangling anything.
-    from repro.baselines.mflow import mflow_reduction_moves
+    # timed out before disentangling anything.  The m-flow merges are not
+    # topology-native, so a restricted run skips the tail — a native beam
+    # only ever returns circuits whose every CNOT sits on a coupled pair.
+    if topology is None:
+        from repro.baselines.mflow import mflow_reduction_moves
 
-    frontier = sorted(beam, key=lambda nd: (
-        nd.g + config.heuristic_weight * h_of(nd.state)))
-    for node in frontier[:3] if frontier else []:
-        if num_entangled_packed(node.state) == 0:
-            continue
-        tail_moves, final_state = mflow_reduction_moves(node.state.to_qstate())
-        g_total = node.g + sum(m.cost for m in tail_moves)
-        if best is None or g_total < best.cnot_cost:
-            moves = list(node.path) + tail_moves
-            circuit = moves_to_circuit(moves, final_state, n)
-            best = SearchResult(circuit=circuit, cnot_cost=g_total,
-                                optimal=False, moves=moves, stats=stats)
+        frontier = sorted(beam, key=lambda nd: (
+            nd.g + config.heuristic_weight * h_of(nd.state)))
+        for node in frontier[:3] if frontier else []:
+            if num_entangled_packed(node.state) == 0:
+                continue
+            tail_moves, final_state = mflow_reduction_moves(
+                node.state.to_qstate())
+            g_total = node.g + sum(m.cost for m in tail_moves)
+            if best is None or g_total < best.cnot_cost:
+                moves = list(node.path) + tail_moves
+                circuit = moves_to_circuit(moves, final_state, n)
+                best = SearchResult(circuit=circuit, cnot_cost=g_total,
+                                    optimal=False, moves=moves, stats=stats)
 
     finish_stats()
     if best is None:

@@ -8,7 +8,12 @@ the other:
   are (a) translating the index set by any XOR mask (``X`` flips) and
   (b) rotating a *separable* qubit onto ``|0>``.
 * ``P`` — qubit permutation (wire relabeling; free because the ground state
-  is symmetric — the paper's "symmetric coupling graph" assumption).
+  is symmetric — the paper's "symmetric coupling graph" assumption.  On a
+  *restricted* coupling map that assumption fails and only the coupling
+  graph's automorphisms remain free; the kernel's
+  :class:`~repro.core.kernel.CanonContext` applies exactly that
+  restriction when given a topology — this reference module always
+  assumes the paper's all-to-all model).
 
 :func:`canonical_key` maps every member of an equivalence class to (ideally)
 one representative key.  The construction is *sound by design*: it only

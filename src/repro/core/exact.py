@@ -59,7 +59,7 @@ class ExactSynthesizer:
         self.config = config or ExactConfig()
 
     def synthesize(self, state: QState,
-                   memory=None) -> SearchResult:
+                   memory=None, topology=None) -> SearchResult:
         """Synthesize a preparation circuit for ``state``.
 
         Returns a :class:`~repro.core.astar.SearchResult`; ``optimal`` is
@@ -72,16 +72,27 @@ class ExactSynthesizer:
         only shares it when its config sits in the same regime; a
         mismatched beam config simply runs cold instead of failing the
         whole synthesis.
+
+        ``topology`` overrides the configs' coupling map for this call:
+        both the A* engine and the beam fallback then search the native
+        move set, so every returned circuit decomposes onto coupled pairs
+        only.  ``None`` keeps whatever the configs carry (their own
+        ``topology`` fields, default unrestricted).
         """
+        search_config = self.config.search
+        beam_config = self.config.beam
+        if topology is not None:
+            search_config = replace(search_config, topology=topology)
+            beam_config = replace(beam_config, topology=topology)
         try:
-            result = astar_search(state, self.config.search, memory=memory)
-        except SearchBudgetExceeded as exc:
+            result = astar_search(state, search_config, memory=memory)
+        except SearchBudgetExceeded:
             if not self.config.beam_fallback:
                 raise
             try:
-                result = beam_search(state, self.config.beam, memory=memory)
+                result = beam_search(state, beam_config, memory=memory)
             except MemoryCompatibilityError:
-                result = beam_search(state, self.config.beam)
+                result = beam_search(state, beam_config)
             result = replace(result, optimal=False)
         if self.config.verify and state.num_qubits <= _VERIFY_MAX_QUBITS:
             from repro.sim.verify import assert_prepares

@@ -26,6 +26,8 @@ from repro.states.qstate import QState
 __all__ = [
     "HeuristicFn",
     "entanglement_heuristic",
+    "CouplingHeuristic",
+    "default_heuristic",
     "zero_heuristic",
     "scaled_heuristic",
     "schmidt_rank",
@@ -41,6 +43,85 @@ def entanglement_heuristic(state: QState) -> float:
     """``ceil(k/2)`` over the ``k`` non-separable qubits (admissible)."""
     k = num_entangled_qubits(state)
     return float((k + 1) // 2)
+
+
+class CouplingHeuristic:
+    """Topology-aware admissible bound: ``k - maxmatching(G[E])``.
+
+    The paper's argument gives every entangled qubit at least one incident
+    CNOT on the way to the ground state.  On a device, every CNOT is an
+    *edge of the coupling graph* — so the CNOTs incident to the entangled
+    set ``E`` form an edge set of ``G`` covering ``E``, and any such cover
+    has at least ``|E| - maxmatching(G[E])`` edges (Gallai-style: the
+    within-``E`` cover edges covering ``W`` split into ``p`` components,
+    needing ``|W| - p`` edges, and one disjoint matching edge per
+    component gives ``p <= maxmatching``; the remaining ``|E| - |W|``
+    vertices need one edge each).  Hence ``k - maxmatching(G[E])`` never
+    exceeds the true remaining CNOT cost — admissible.  On the all-to-all
+    map the induced subgraph is complete, the matching is ``floor(k/2)``,
+    and the bound collapses to the paper's ``ceil(k/2)`` exactly; the
+    sparser the coupling among entangled qubits (distance > 1 pairs), the
+    further it rises above it.
+
+    The maximum matching is exact (blossom, via networkx) — a *greedy*
+    matching would under-count and silently overshoot the true cost.
+    Values are memoized per entangled-qubit bitmask, so families of states
+    sharing entangled supports pay the matching once.
+
+    Instances compare (and hash) by the topology's canonical key, which is
+    what lets :class:`repro.core.memory.SearchMemory` fingerprint them.
+    """
+
+    __slots__ = ("topology", "_matching")
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._matching: dict[int, int] = {}
+
+    def matching_size(self, entangled: tuple[int, ...]) -> int:
+        """Maximum matching of the induced coupling subgraph (memoized)."""
+        key = 0
+        for q in entangled:
+            key |= 1 << q
+        size = self._matching.get(key)
+        if size is None:
+            import networkx as nx
+
+            sub = self.topology.graph.subgraph(entangled)
+            size = len(nx.max_weight_matching(sub, maxcardinality=True))
+            self._matching[key] = size
+        return size
+
+    def bound(self, entangled: tuple[int, ...]) -> float:
+        return float(len(entangled) - self.matching_size(entangled))
+
+    def __call__(self, state: QState) -> float:
+        from repro.states.analysis import entangled_qubits
+
+        return self.bound(tuple(entangled_qubits(state)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CouplingHeuristic):
+            return NotImplemented
+        return self.topology.canonical_key() == other.topology.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.topology)
+
+    def __repr__(self) -> str:
+        return f"CouplingHeuristic({self.topology!r})"
+
+
+def default_heuristic(topology=None) -> HeuristicFn:
+    """The engine-default heuristic for a (normalized) topology.
+
+    One definition shared by every engine *and* the regime fingerprint, so
+    a service pinning ``search_regime_dict(config)`` and an engine
+    attaching with its resolved default can never disagree.
+    """
+    if topology is None:
+        return entanglement_heuristic
+    return CouplingHeuristic(topology)
 
 
 def zero_heuristic(state: QState) -> float:

@@ -50,9 +50,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.astar import SearchConfig, SearchResult, SearchStats, \
-    _make_h_of
-from repro.core.heuristic import HeuristicFn, entanglement_heuristic
+from repro.core.astar import (
+    SearchConfig,
+    SearchResult,
+    SearchStats,
+    _finish_store_stats,
+    _make_h_of,
+    _native_topology,
+    _store_hit_marks,
+)
+from repro.core.heuristic import HeuristicFn, default_heuristic
 from repro.core.kernel import (
     BoundedCache,
     CanonContext,
@@ -108,8 +115,9 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
     """
     config = config or IDAStarConfig()
     shared = config.search
+    topology = _native_topology(shared.topology, target.num_qubits)
     if heuristic is None:
-        heuristic = entanglement_heuristic
+        heuristic = default_heuristic(topology)
     stopwatch = Stopwatch(shared.time_limit)
     stats = SearchStats()
     if memory is not None:
@@ -118,7 +126,8 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
                              perm_cap=shared.perm_cap,
                              max_merge_controls=shared.max_merge_controls,
                              include_x_moves=shared.include_x_moves,
-                             heuristic=heuristic)
+                             heuristic=heuristic,
+                             topology=topology)
         canon_store = memory.canon_store
         h_store = memory.h_store
         transposition = memory.transposition
@@ -129,10 +138,11 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
 
     canon_ctx = CanonContext(shared.canon_level, shared.tie_cap,
                              shared.perm_cap, shared.cache_cap,
-                             store=canon_store)
+                             store=canon_store, topology=topology)
     canon = canon_ctx.key
     h_cache = BoundedCache(shared.cache_cap)
     h_of = _make_h_of(heuristic, h_cache, h_store)
+    store_marks = _store_hit_marks(canon_store, h_store)
 
     def finish_stats() -> None:
         stats.elapsed_seconds = stopwatch.elapsed()
@@ -140,6 +150,7 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
         stats.canon_cache_misses = canon_ctx.cache.misses
         stats.h_cache_hits = h_cache.hits
         stats.h_cache_misses = h_cache.misses
+        _finish_store_stats(stats, canon_store, h_store, store_marks)
 
     record_truncated = config.record_truncated
     path_moves: list[Move] = []
@@ -183,7 +194,8 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
         for move, nxt in successors_packed(
                 pool, state,
                 max_merge_controls=shared.max_merge_controls,
-                include_x_moves=shared.include_x_moves):
+                include_x_moves=shared.include_x_moves,
+                topology=topology):
             stats.nodes_generated += 1
             nkey = canon(nxt)
             if nkey in path_class_set:

@@ -71,6 +71,7 @@ __all__ = [
     "enumerate_merges_packed",
     "successors_packed",
     "apply_move_packed",
+    "entangled_qubits_packed",
     "num_entangled_packed",
     "entanglement_h_packed",
     "canonical_key_packed",
@@ -112,7 +113,7 @@ class PackedState:
     """
 
     __slots__ = ("n", "idx", "amp", "qamp", "payload", "hash64",
-                 "_bits", "_counts", "_num_entangled")
+                 "_bits", "_counts", "_entangled")
 
     def __init__(self, n: int, idx: np.ndarray, amp: np.ndarray,
                  qamp: np.ndarray, payload: bytes, hash64: int):
@@ -124,7 +125,7 @@ class PackedState:
         self.hash64 = hash64
         self._bits: np.ndarray | None = None
         self._counts: list[int] | None = None
-        self._num_entangled: int | None = None
+        self._entangled: tuple[int, ...] | None = None
 
     @property
     def m(self) -> int:
@@ -548,20 +549,29 @@ def _ratio_balanced(idx: np.ndarray, amp: np.ndarray, shift: int
     return ref
 
 
-def num_entangled_packed(ps: PackedState) -> int:
-    """Count of non-separable qubits (cached on the interned object)."""
-    if ps._num_entangled is None:
+def entangled_qubits_packed(ps: PackedState) -> tuple[int, ...]:
+    """The non-separable qubits (cached on the interned object).
+
+    The topology-aware heuristic needs the *set*, not just the count —
+    its matching bound lives on the coupling subgraph these qubits induce.
+    """
+    if ps._entangled is None:
         counts = ps.column_counts
         m = ps.m
-        k = 0
+        entangled = []
         for q, ones in enumerate(counts):
             if ones == 0 or ones == m:
                 continue  # pinned at |0> / |1>: separable
             if 2 * ones != m or _ratio_balanced(
                     ps.idx, ps.amp, ps.n - 1 - q) is None:
-                k += 1
-        ps._num_entangled = k
-    return ps._num_entangled
+                entangled.append(q)
+        ps._entangled = tuple(entangled)
+    return ps._entangled
+
+
+def num_entangled_packed(ps: PackedState) -> int:
+    """Count of non-separable qubits (cached on the interned object)."""
+    return len(entangled_qubits_packed(ps))
 
 
 def entanglement_h_packed(ps: PackedState) -> float:
@@ -1051,19 +1061,34 @@ class CanonContext:
     orbit-hash computation into a hash lookup across searches.  The store
     only deduplicates identical computations — the produced keys, and hence
     the class partition, are unchanged.
+
+    ``topology`` restricts the PU2 permutation freedom to coupling-graph
+    *automorphisms*: on a restricted device, relabeling qubits is free
+    exactly when conjugating a native circuit by the permutation keeps
+    every CNOT on a coupled pair, i.e. for graph automorphisms.  The
+    candidate set then ranges over the (capped) automorphism group instead
+    of the signature-guided orderings — a fixed, state-independent list,
+    so class covariance is immediate, and truncation at ``perm_cap`` can
+    only split classes (sound).  ``None`` (all-to-all, normalized by
+    :func:`repro.arch.topologies.native_topology`) keeps the seed-exact
+    path.  Keys produced under different topologies are different
+    namespaces; :class:`repro.core.memory.SearchMemory` separates them by
+    fingerprint.
     """
 
     __slots__ = ("level", "tie_cap", "perm_cap", "cache", "u2_cache",
-                 "store", "full_computations")
+                 "store", "full_computations", "topology", "_auto_orderings")
 
     def __init__(self, level: CanonLevel, tie_cap: int, perm_cap: int,
-                 cache_cap: int, store=None):
+                 cache_cap: int, store=None, topology=None):
         self.level = level
         self.tie_cap = tie_cap
         self.perm_cap = perm_cap
         self.cache = BoundedCache(cache_cap)
         self.u2_cache = BoundedCache(cache_cap)
         self.store = store
+        self.topology = topology
+        self._auto_orderings: list[list[int]] | None = None
         self.full_computations = 0
 
     def key(self, ps: PackedState) -> CanonKey:
@@ -1103,6 +1128,12 @@ class CanonContext:
             self.u2_cache.put(u2_hash, full)
         return full
 
+    def _automorphisms(self, n: int) -> list[list[int]]:
+        if self._auto_orderings is None:
+            self._auto_orderings = \
+                self.topology.automorphism_orderings(self.perm_cap)
+        return self._auto_orderings
+
     def _compute_full(self, n: int, idx: np.ndarray, qamp: np.ndarray,
                       absamp: np.ndarray, pinned: bool, ps: PackedState,
                       u2_hash: int, heavy_pos: np.ndarray) -> CanonKey:
@@ -1112,9 +1143,14 @@ class CanonContext:
             bits = (idx[None, :] >> shifts) & 1
         else:
             bits = ps.bits
-        orderings = _orderings_packed(idx, qamp, n, self.perm_cap,
-                                      bits, absamp,
-                                      num_heavy=len(heavy_pos))
+        if self.topology is not None:
+            # restricted PU2: the free relabelings are exactly the coupling
+            # automorphisms — a fixed ordering list shared by every state
+            orderings = self._automorphisms(n)
+        else:
+            orderings = _orderings_packed(idx, qamp, n, self.perm_cap,
+                                          bits, absamp,
+                                          num_heavy=len(heavy_pos))
         if len(orderings) == 1 and orderings[0] == _identity(n):
             # the identity ordering's candidate set IS the U(2) orbit
             return CanonKey(n, u2_hash & _U64, u2_hash)
@@ -1146,15 +1182,17 @@ def canonical_key_packed(ps: PackedState, level: CanonLevel,
 # Vectorized successor enumeration
 # ----------------------------------------------------------------------
 
-_CX_MOVES_MEMO: dict[tuple[int, int, int], list[CXMove]] = {}
+_CX_MOVES_MEMO: dict[tuple, list[CXMove]] = {}
 
 
-def enumerate_cx_packed(ps: PackedState) -> list[CXMove]:
+def enumerate_cx_packed(ps: PackedState, topology=None) -> list[CXMove]:
     """Twin of :func:`repro.core.transitions.enumerate_cx`: the cached
     column counts decide which polarities fire, and the (frozen) move list
     is memoized per ``(n, has-zero, has-one)`` column pattern — almost every
     expanded state shares the all-polarities pattern, so enumeration is one
-    dict hit."""
+    dict hit.  A ``topology`` restricts emission to coupled pairs and joins
+    the memo key by its canonical identity; ``None`` is the identity fast
+    path (bit-identical to seed behavior)."""
     n = ps.n
     m = ps.m
     h0mask = 0
@@ -1164,16 +1202,24 @@ def enumerate_cx_packed(ps: PackedState) -> list[CXMove]:
             h0mask |= 1 << q
         if ones > 0:
             h1mask |= 1 << q
-    memo_key = (n, h0mask, h1mask)
+    if topology is None:
+        memo_key = (n, h0mask, h1mask)
+        masks = None
+    else:
+        memo_key = (n, h0mask, h1mask, topology.canonical_key())
+        masks = topology.neighbor_masks()
     moves = _CX_MOVES_MEMO.get(memo_key)
     if moves is None:
         moves = []
         for control in range(n):
             h0 = (h0mask >> control) & 1
             h1 = (h1mask >> control) & 1
+            cmask = -1 if masks is None else masks[control]
             for target in range(n):
                 if target == control:
                     continue
+                if not (cmask >> target) & 1:
+                    continue  # uncoupled pair: not a native CNOT
                 if h0:
                     moves.append(CXMove(control=control, phase=0,
                                         target=target))
@@ -1241,14 +1287,17 @@ def _merge_representatives(bits: np.ndarray, pair_mask: np.ndarray,
 
 
 def enumerate_merges_packed(ps: PackedState, target: int,
-                            max_controls: int | None = None
-                            ) -> list[MergeMove]:
+                            max_controls: int | None = None,
+                            topology=None) -> list[MergeMove]:
     """Twin of :func:`repro.core.transitions.enumerate_merges`.
 
     Move-set-identical to the reference (property-tested), but pairs and
     singles are split vectorized, the control-cube lattice is restricted to
     pattern-distinguishing qubit columns, and cube bucketing runs on
-    per-pair bit codes precomputed from the bit matrix.
+    per-pair bit codes precomputed from the bit matrix.  A ``topology``
+    restricts control qubits to coupled neighbors of ``target`` (the
+    multiplexor decomposition only emits control-target CNOTs), mirroring
+    the reference enumeration.
     """
     n = ps.n
     i0, a0, a1, pair_mask, single_mask = _pairs_and_singles_packed(ps, target)
@@ -1258,7 +1307,11 @@ def enumerate_merges_packed(ps: PackedState, target: int,
     if max_controls is None:
         max_controls = n - 1
     max_controls = min(max_controls, n - 1)
-    other = [q for q in range(n) if q != target]
+    if topology is None:
+        other = [q for q in range(n) if q != target]
+    else:
+        tmask = topology.neighbor_masks()[target]
+        other = [q for q in range(n) if q != target and (tmask >> q) & 1]
     bits = ps.bits
     reps = _merge_representatives(bits, pair_mask, single_mask, other)
     num_reps = len(reps)
@@ -1333,14 +1386,15 @@ def enumerate_merges_packed(ps: PackedState, target: int,
 
 def successors_packed(pool: StatePool, ps: PackedState,
                       max_merge_controls: int | None = None,
-                      include_x_moves: bool = False
-                      ) -> list[tuple[Move, PackedState]]:
+                      include_x_moves: bool = False,
+                      topology=None) -> list[tuple[Move, PackedState]]:
     """Enumerate ``(move, next_state)`` arcs leaving a packed state.
 
     Emission order matches :func:`repro.core.transitions.successors`
     (property-tested), so successor-level tie-breaking is identical to the
     reference enumeration; CX successors are materialized in one batched
-    array pass.
+    array pass.  ``topology`` restricts the move set to native moves,
+    exactly as in the reference.
     """
     out: list[tuple[Move, PackedState]] = []
     if include_x_moves:
@@ -1348,14 +1402,15 @@ def successors_packed(pool: StatePool, ps: PackedState,
             nxt = apply_x_packed(pool, ps, q)
             if nxt is not ps:
                 out.append((XMove(qubit=q), nxt))
-    cx_moves = enumerate_cx_packed(ps)
+    cx_moves = enumerate_cx_packed(ps, topology)
     if cx_moves:
         for move, nxt in zip(cx_moves, _batch_cx_successors(pool, ps,
                                                             cx_moves)):
             if nxt is not ps:
                 out.append((move, nxt))
     for target in range(ps.n):
-        for move in enumerate_merges_packed(ps, target, max_merge_controls):
+        for move in enumerate_merges_packed(ps, target, max_merge_controls,
+                                            topology):
             out.append((move, apply_merge_packed(pool, ps, move.controls,
                                                  move.target, move.theta)))
     return out

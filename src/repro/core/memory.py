@@ -79,8 +79,16 @@ class HashStore:
     its :class:`~repro.core.kernel.StatePool` and are shared by searches
     whose pools intern different objects for the same state.  A genuine
     64-bit collision spills the newcomer into a payload-keyed secondary
-    dict, preserving exact-map semantics.  FIFO-capped like the per-search
-    :class:`~repro.core.kernel.BoundedCache`.
+    dict, preserving exact-map semantics.
+
+    Eviction is *hit-weighted* (the ROADMAP open item): each entry carries
+    a hit counter, and an eviction sweep drops the least-hit entries
+    instead of FIFO order — the states repeated traffic keeps asking about
+    are exactly the ones worth keeping, while a one-shot frontier state
+    from an old search is the cheapest to recompute.  Dropping any entry
+    is always sound (stores only deduplicate recomputation).  Per-search
+    shares of the hit traffic surface in
+    :class:`~repro.core.astar.SearchStats`.
     """
 
     __slots__ = ("cap", "_primary", "_spill", "hits", "misses",
@@ -88,7 +96,8 @@ class HashStore:
 
     def __init__(self, cap: int = MEMORY_STORE_CAP):
         self.cap = max(1, int(cap))
-        self._primary: dict[int, tuple[bytes, object]] = {}
+        #: hash64 -> [payload, value, entry_hits]
+        self._primary: dict[int, list] = {}
         self._spill: dict[bytes, object] = {}
         self.hits = 0
         self.misses = 0
@@ -103,10 +112,10 @@ class HashStore:
         if entry is None:
             self.misses += 1
             return None
-        payload, value = entry
-        if payload == ps.payload:
+        if entry[0] == ps.payload:
             self.hits += 1
-            return value
+            entry[2] += 1
+            return entry[1]
         value = self._spill.get(ps.payload)
         if value is None:
             self.misses += 1
@@ -120,12 +129,17 @@ class HashStore:
             self.collisions += 1
             self._spill[ps.payload] = value
             return
-        if entry is None and len(self._primary) >= self.cap:
+        if entry is not None:
+            entry[1] = value  # refresh in place, keep the hit history
+            return
+        if len(self._primary) >= self.cap:
             drop = max(1, self.cap // _EVICT_DENOM)
-            for stale in list(self._primary)[:drop]:
+            victims = heapq.nsmallest(drop, self._primary.items(),
+                                      key=lambda kv: kv[1][2])
+            for stale, _ in victims:
                 del self._primary[stale]
-            self.evictions += drop
-        self._primary[ps.hash64] = (ps.payload, value)
+            self.evictions += len(victims)
+        self._primary[ps.hash64] = [ps.payload, value, 0]
 
     def put_payload(self, payload: bytes, value) -> None:
         """Insert by raw payload, recomputing this process's 64-bit hash.
@@ -143,21 +157,20 @@ class HashStore:
         Spill entries (genuine 64-bit collisions) are included; iteration
         order is insertion order of the primary tier first.  ``since`` (a
         :meth:`size_marker` captured earlier) restricts iteration to the
-        entries inserted after that point: the primary tier is
-        insertion-ordered and evicts strictly from the front, so the
-        pre-marker entries still present are exactly the first
-        ``marker_len - evicted_since`` — skipping that many yields every
-        surviving addition even after eviction sweeps (sweeps eat the
-        oldest pre-marker entries first, shrinking the skip).
+        entries inserted after that point.  Hit-weighted eviction deletes
+        arbitrary positions, which invalidates any positional skip — when
+        a sweep ran since the marker, the only safe delta is the whole
+        (capped) store, exactly the rule the transposition table uses.
         """
         if since is None:
             skip_primary = skip_spill = 0
         else:
             marker_len, skip_spill, marker_evictions = since
-            skip_primary = marker_len - (self.evictions - marker_evictions)
-        for payload, value in islice(self._primary.values(),
-                                     max(0, skip_primary), None):
-            yield payload, value
+            skip_primary = marker_len \
+                if self.evictions == marker_evictions else 0
+        for entry in islice(self._primary.values(),
+                            max(0, skip_primary), None):
+            yield entry[0], entry[1]
         yield from islice(self._spill.items(), max(0, skip_spill), None)
 
     def size_marker(self) -> tuple[int, int, int]:
@@ -330,17 +343,25 @@ class SearchMemory:
 
     def attach(self, *, canon_level, tie_cap: int, perm_cap: int,
                max_merge_controls: int | None, include_x_moves: bool,
-               heuristic) -> StatePool:
+               heuristic, topology=None) -> StatePool:
         """Bind one search to this memory; returns the shared pool.
 
         The fingerprint covers everything the stored values depend on:
         the class partition (level + caps) for canon keys and
         transposition entries, the move set for transposition entries,
-        and the heuristic for the h store (admissibility of which the
-        transposition probe relies on, exactly as IDA* optimality does).
+        the heuristic for the h store (admissibility of which the
+        transposition probe relies on, exactly as IDA* optimality does),
+        and the device topology — a restricted coupling map changes the
+        move set, the class partition (automorphism-only relabeling),
+        *and* the heuristic at once, so entries recorded under one device
+        must never serve a search on another.  ``topology`` must already
+        be normalized (``None`` for the unrestricted model); its canonical
+        key is what lands in the fingerprint.
         """
+        topo_key = None if topology is None else topology.canonical_key()
         self.pin((canon_level, int(tie_cap), int(perm_cap),
-                  max_merge_controls, bool(include_x_moves), heuristic))
+                  max_merge_controls, bool(include_x_moves), heuristic,
+                  topo_key))
         self.searches += 1
         # Rotating the pool bounds the one structure interning cannot cap;
         # the hash-keyed stores survive rotation by construction.

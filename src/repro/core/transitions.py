@@ -22,6 +22,18 @@ With ``max_merge_controls = n - 1`` the move set is complete: any two basis
 states can be isolated by a cube and merged (this is how the cardinality
 reduction baseline works), so every state can reach the ground state.
 
+Every enumerator accepts an optional ``topology``
+(:class:`repro.arch.topologies.CouplingMap`): moves whose decomposition
+would place a CNOT on an uncoupled pair are then suppressed — CX moves
+need ``(control, target)`` coupled, and merge controls are restricted to
+neighbors of the target (the Gray-code multiplexor only ever emits CNOTs
+between a control and the target).  ``None`` (or a full map, normalized
+away by :func:`repro.arch.topologies.native_topology` before it gets
+here) leaves the move set bit-identical to the paper's.  On a *connected*
+restricted map the native move set is still complete: native CNOT SWAP
+chains can simulate any unrestricted move sequence, so every state keeps
+a path to ground — only the optimal cost changes.
+
 This module is the *reference* enumeration.  The search hot loops run the
 vectorized twin in :mod:`repro.core.kernel`, which is proven
 move-set-identical by the property tests in ``tests/test_kernel.py``; keep
@@ -82,9 +94,14 @@ def _ratios_consistent(group: list[tuple[int, float, float]]) -> bool:
 
 
 def enumerate_merges(state: QState, target: int,
-                     max_controls: int | None = None
-                     ) -> list[MergeMove]:
-    """All valid merge moves on ``target`` (see module docstring)."""
+                     max_controls: int | None = None,
+                     topology=None) -> list[MergeMove]:
+    """All valid merge moves on ``target`` (see module docstring).
+
+    With a ``topology``, control qubits are restricted to the coupled
+    neighbors of ``target`` — exactly the cubes whose multiplexor
+    decomposition stays on coupled pairs.
+    """
     n = state.num_qubits
     pairs, singles = _pairs_and_singles(state, target)
     if not pairs:
@@ -92,7 +109,11 @@ def enumerate_merges(state: QState, target: int,
     if max_controls is None:
         max_controls = n - 1
     max_controls = min(max_controls, n - 1)
-    other = [q for q in range(n) if q != target]
+    if topology is None:
+        other = [q for q in range(n) if q != target]
+    else:
+        tmask = topology.neighbor_masks()[target]
+        other = [q for q in range(n) if q != target and (tmask >> q) & 1]
     moves: list[MergeMove] = []
     emitted: set[tuple[frozenset[int], int]] = set()
 
@@ -123,9 +144,11 @@ def enumerate_merges(state: QState, target: int,
     return moves
 
 
-def enumerate_cx(state: QState) -> list[CXMove]:
-    """All CX moves that change the state."""
+def enumerate_cx(state: QState, topology=None) -> list[CXMove]:
+    """All CX moves that change the state (on coupled pairs only, when a
+    ``topology`` is given)."""
     n = state.num_qubits
+    masks = None if topology is None else topology.neighbor_masks()
     moves: list[CXMove] = []
     for control in range(n):
         col_has = [False, False]
@@ -133,9 +156,12 @@ def enumerate_cx(state: QState) -> list[CXMove]:
             col_has[bit_of(idx, control, n)] = True
             if col_has[0] and col_has[1]:
                 break
+        cmask = -1 if masks is None else masks[control]
         for target in range(n):
             if target == control:
                 continue
+            if not (cmask >> target) & 1:
+                continue  # uncoupled pair: not a native CNOT
             for phase in (0, 1):
                 if not col_has[phase]:
                     continue  # no index selected; identity
@@ -145,12 +171,13 @@ def enumerate_cx(state: QState) -> list[CXMove]:
 
 
 def successors(state: QState, max_merge_controls: int | None = None,
-               include_x_moves: bool = False
-               ) -> list[tuple[Move, QState]]:
+               include_x_moves: bool = False,
+               topology=None) -> list[tuple[Move, QState]]:
     """Enumerate ``(move, next_state)`` arcs leaving ``state``.
 
     Successors equal to the input state are dropped (self-loops cannot be
-    on a shortest path).
+    on a shortest path).  ``topology`` restricts the move set to native
+    moves (see module docstring); ``None`` is the unrestricted paper model.
     """
     out: list[tuple[Move, QState]] = []
     key = state.key()
@@ -159,11 +186,12 @@ def successors(state: QState, max_merge_controls: int | None = None,
             nxt = state.apply_x(q)
             if nxt.key() != key:
                 out.append((XMove(qubit=q), nxt))
-    for move in enumerate_cx(state):
+    for move in enumerate_cx(state, topology):
         nxt = move.apply(state)
         if nxt.key() != key:
             out.append((move, nxt))
     for target in range(state.num_qubits):
-        for move in enumerate_merges(state, target, max_merge_controls):
+        for move in enumerate_merges(state, target, max_merge_controls,
+                                     topology):
             out.append((move, move.apply(state)))
     return out

@@ -16,14 +16,14 @@ deduplicates recomputation); the equivalence tests assert it and
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.astar import SearchConfig, astar_search
 from repro.core.beam import BeamConfig, beam_search
 from repro.core.heuristic import HeuristicFn
 from repro.core.idastar import IDAStarConfig, idastar_search
 from repro.core.memory import SearchMemory
-from repro.exceptions import SearchBudgetExceeded
+from repro.exceptions import SearchBudgetExceeded, SynthesisError
 from repro.states.families import dicke_state
 from repro.states.qstate import QState
 
@@ -47,6 +47,14 @@ class FamilyRunConfig:
     beam: BeamConfig = field(default_factory=BeamConfig)
     #: share one ``SearchMemory`` across the batch (False = cold baseline)
     warm: bool = True
+    #: named device family (``line``/``ring``/``grid``/...): every row is
+    #: then synthesized topology-natively on a map of its own register
+    #: size.  A concrete topology only fits one size, so a topology run
+    #: keeps one ``SearchMemory`` *per register size* — entries from two
+    #: device sizes never share lookups anyway (state payloads embed
+    #: ``n``), and the per-size memories keep the cross-device
+    #: fingerprint guarantee intact.
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -96,7 +104,9 @@ def dicke_family_targets(max_n: int,
 def run_family(targets: list[tuple[str, QState]],
                config: FamilyRunConfig | None = None,
                memory: SearchMemory | None = None,
-               heuristic: HeuristicFn | None = None) -> FamilyReport:
+               heuristic: HeuristicFn | None = None,
+               memory_pool: dict[int, SearchMemory] | None = None
+               ) -> FamilyReport:
     """Synthesize every target in one process, sharing search memory.
 
     A budget-exhausted row is reported with its proven lower bound and the
@@ -105,22 +115,48 @@ def run_family(targets: list[tuple[str, QState]],
     :class:`SearchMemory` is created for the batch; passing an existing
     memory keeps it warm across multiple batches (the re-run case the
     memory benchmark measures).
+
+    Topology family runs use one memory per register size instead of
+    ``memory`` (see :class:`FamilyRunConfig`); pass (and keep) a
+    ``memory_pool`` dict to stay warm across repeated batches exactly as
+    a shared ``memory`` does for unrestricted runs.
     """
     config = config or FamilyRunConfig()
-    if memory is None and config.warm:
+    if config.topology is not None and memory is not None:
+        raise ValueError(
+            "a topology family run manages one SearchMemory per register "
+            "size; pass memory=None (and optionally a memory_pool dict)")
+    if memory is None and config.warm and config.topology is None:
         memory = SearchMemory()
     if not config.warm:
         memory = None
+    #: topology runs: one memory per register size (see FamilyRunConfig)
+    memory_by_size: dict[int, SearchMemory] = \
+        memory_pool if memory_pool is not None else {}
 
     def synthesize(state: QState):
+        search = config.search
+        beam = config.beam
+        row_memory = memory
+        if config.topology is not None:
+            from repro.arch.topologies import named_topology
+
+            cmap = named_topology(config.topology, state.num_qubits)
+            search = replace(search, topology=cmap)
+            beam = replace(beam, topology=cmap)
+            if config.warm:
+                row_memory = memory_by_size.get(state.num_qubits)
+                if row_memory is None:
+                    row_memory = SearchMemory()
+                    memory_by_size[state.num_qubits] = row_memory
         if config.engine == "astar":
-            return astar_search(state, config.search, heuristic=heuristic,
-                                memory=memory)
+            return astar_search(state, search, heuristic=heuristic,
+                                memory=row_memory)
         if config.engine == "idastar":
-            return idastar_search(state, IDAStarConfig(search=config.search),
-                                  heuristic=heuristic, memory=memory)
-        return beam_search(state, config.beam, heuristic=heuristic,
-                           memory=memory)
+            return idastar_search(state, IDAStarConfig(search=search),
+                                  heuristic=heuristic, memory=row_memory)
+        return beam_search(state, beam, heuristic=heuristic,
+                           memory=row_memory)
 
     rows: list[FamilyRow] = []
     batch_start = time.perf_counter()
@@ -133,14 +169,42 @@ def run_family(targets: list[tuple[str, QState]],
                             optimal=result.optimal, lower_bound=None,
                             nodes_expanded=result.stats.nodes_expanded,
                             seconds=time.perf_counter() - start)
-        except SearchBudgetExceeded as exc:
-            expanded = exc.stats.nodes_expanded if exc.stats else 0
+        except (SearchBudgetExceeded, SynthesisError) as exc:
+            # SynthesisError: a topology-native beam row can finish with
+            # no feasible circuit (no m-flow tail) — report it unsolved
+            # like a budget miss instead of sinking the whole batch
+            stats = getattr(exc, "stats", None)
             row = FamilyRow(label=label, solved=False, cnot_cost=None,
-                            optimal=False, lower_bound=exc.lower_bound,
-                            nodes_expanded=expanded,
+                            optimal=False,
+                            lower_bound=getattr(exc, "lower_bound", None),
+                            nodes_expanded=stats.nodes_expanded
+                            if stats else 0,
                             seconds=time.perf_counter() - start)
         rows.append(row)
     total = time.perf_counter() - batch_start
-    return FamilyReport(engine=config.engine, warm=memory is not None,
+    if memory is not None:
+        mem_snapshot = memory.snapshot()
+    elif config.warm and memory_by_size:
+        mem_snapshot = _merge_counter_dicts(
+            [m.snapshot() for m in memory_by_size.values()])
+    else:
+        mem_snapshot = None
+    return FamilyReport(engine=config.engine,
+                        warm=mem_snapshot is not None,
                         rows=rows, total_seconds=total,
-                        memory=memory.snapshot() if memory else None)
+                        memory=mem_snapshot)
+
+
+def _merge_counter_dicts(snapshots: list[dict]) -> dict:
+    """Aggregate per-size memory snapshots into one counter dict (same
+    shape as a single snapshot, so reports and the CLI print one view)."""
+    merged: dict = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            if isinstance(value, dict):
+                inner = merged.setdefault(key, {})
+                for k2, v2 in value.items():
+                    inner[k2] = inner.get(k2, 0) + v2
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged

@@ -5,6 +5,12 @@ prepares each benchmark state on restricted topologies (line, ring, grid,
 heavy-hex) with the :mod:`repro.arch` pipeline and reports the routing
 overhead per placement strategy — quantifying how much of the synthesis
 win survives deployment.
+
+``include_native=True`` additionally runs the topology-native pipeline
+(``prepare_on_device(mode="native")``) per row: the native cost is the
+restricted-move-set search result, never worse than necessary by SWAP
+structure, and the differential suite asserts it never exceeds the
+routed cost on this sweep.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.arch.flow import prepare_on_device
 from repro.arch.topologies import CouplingMap
+from repro.exceptions import SearchBudgetExceeded, SynthesisError
 from repro.experiments.report import ExperimentTable
 from repro.qsp.config import QSPConfig
 from repro.states.qstate import QState
@@ -22,7 +29,11 @@ __all__ = ["TopologyTaxRow", "topology_tax_experiment", "standard_devices"]
 
 @dataclass
 class TopologyTaxRow:
-    """Routed cost of one (state, topology, placement) combination."""
+    """Routed cost of one (state, topology, placement) combination.
+
+    ``native_cnots`` is filled only when the sweep ran with
+    ``include_native`` (``None`` otherwise).
+    """
 
     label: str
     topology: str
@@ -31,6 +42,8 @@ class TopologyTaxRow:
     physical_cnots: int
     swaps: int
     verified: bool | None
+    native_cnots: int | None = None
+    native_verified: bool | None = None
 
     @property
     def overhead_percent(self) -> float:
@@ -55,12 +68,31 @@ def standard_devices(num_qubits: int) -> list[CouplingMap]:
 
 def topology_tax_rows(states: list[tuple[str, QState]],
                       placements: tuple[str, ...] = ("trivial", "greedy"),
-                      config: QSPConfig | None = None
+                      config: QSPConfig | None = None,
+                      include_native: bool = False
                       ) -> list[TopologyTaxRow]:
-    """Structured sweep results."""
+    """Structured sweep results.
+
+    With ``include_native``, each ``(state, device)`` pair also runs the
+    topology-native pipeline once (it has no placement knob — the search
+    itself chooses where CNOTs land) and its cost is attached to every
+    placement row of that pair.
+    """
     rows = []
     for label, state in states:
         for device in standard_devices(state.num_qubits):
+            native_cnots = native_verified = None
+            if include_native:
+                try:
+                    native = prepare_on_device(state, device, config=config,
+                                               mode="native")
+                except (SearchBudgetExceeded, SynthesisError):
+                    # a starved native search (no m-flow completion under
+                    # a topology) loses its row, not the whole sweep
+                    pass
+                else:
+                    native_cnots = native.physical_cnots
+                    native_verified = native.verified
             for placement in placements:
                 result = prepare_on_device(state, device, config=config,
                                            placement=placement)
@@ -69,28 +101,42 @@ def topology_tax_rows(states: list[tuple[str, QState]],
                     logical_cnots=result.logical_cnots,
                     physical_cnots=result.physical_cnots,
                     swaps=result.routed.swap_count,
-                    verified=result.verified))
+                    verified=result.verified,
+                    native_cnots=native_cnots,
+                    native_verified=native_verified))
     return rows
 
 
 def topology_tax_experiment(states: list[tuple[str, QState]],
                             placements: tuple[str, ...] = ("trivial",
                                                            "greedy"),
-                            config: QSPConfig | None = None
+                            config: QSPConfig | None = None,
+                            include_native: bool = False
                             ) -> ExperimentTable:
     """Render the topology sweep as an experiment table."""
+    headers = ["state", "topology", "placement", "logical CX",
+               "physical CX", "SWAPs", "overhead %", "verified"]
+    notes = ["overhead = (physical - logical) / logical",
+             "all routed circuits are simulator-verified up to the "
+             "final layout permutation"]
+    if include_native:
+        headers.append("native CX")
+        notes.append("native CX = topology-native search on the "
+                     "restricted move set (no SWAPs by construction)")
     table = ExperimentTable(
         experiment_id="EX2",
         title="topology tax: routed CNOT cost on restricted devices",
-        headers=["state", "topology", "placement", "logical CX",
-                 "physical CX", "SWAPs", "overhead %", "verified"],
+        headers=headers,
         paper_reference="Sec. I coupling-constraint motivation",
-        notes=["overhead = (physical - logical) / logical",
-               "all routed circuits are simulator-verified up to the "
-               "final layout permutation"])
-    for row in topology_tax_rows(states, placements, config):
-        table.add_row(row.label, row.topology, row.placement,
-                      row.logical_cnots, row.physical_cnots, row.swaps,
-                      f"{row.overhead_percent:.0f}%",
-                      "-" if row.verified is None else row.verified)
+        notes=notes)
+    for row in topology_tax_rows(states, placements, config,
+                                 include_native=include_native):
+        cells = [row.label, row.topology, row.placement,
+                 row.logical_cnots, row.physical_cnots, row.swaps,
+                 f"{row.overhead_percent:.0f}%",
+                 "-" if row.verified is None else row.verified]
+        if include_native:
+            cells.append("-" if row.native_cnots is None
+                         else row.native_cnots)
+        table.add_row(*cells)
     return table

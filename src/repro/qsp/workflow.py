@@ -161,8 +161,33 @@ def _dense_path(state: QState, config: QSPConfig, trace: list[str],
     return circuit, optimal
 
 
+def _native_path(state: QState, config: QSPConfig, trace: list[str],
+                 memory, topology) -> tuple[QCircuit, bool | None]:
+    """Topology-native synthesis: search directly on the restricted move
+    set, full register, no reduction prefix.
+
+    The reduction flows emit merges with arbitrary control cubes and CX on
+    arbitrary pairs — none of which are native — so a device-constrained
+    request goes straight to the exact engines, whose restricted
+    enumeration guarantees every emitted CNOT sits on a coupled pair.
+    The beam fallback searches natively too, but its m-flow completion
+    tail is disabled under a topology (the tail's moves are not native),
+    so unlike the unrestricted pipeline it is *not* guaranteed to return
+    a feasible circuit within tight budgets — a hard request can fail
+    loudly with :class:`~repro.exceptions.SynthesisError` rather than be
+    answered with an unroutable circuit.
+    """
+    trace.append(f"native path: topology={topology.name} "
+                 f"n={state.num_qubits} m={state.cardinality}")
+    result = ExactSynthesizer(config.exact).synthesize(
+        state, memory=memory, topology=topology)
+    trace.append(f"exact (native): {result.circuit.cnot_cost()} CNOTs "
+                 f"(optimal={result.optimal})")
+    return result.circuit, result.optimal
+
+
 def prepare_state(state: QState, config: QSPConfig | None = None,
-                  memory=None) -> QSPResult:
+                  memory=None, topology=None) -> QSPResult:
     """Synthesize a preparation circuit with the paper's workflow.
 
     The sparsity test ``n * m < 2**n`` picks the divide-and-conquer
@@ -173,11 +198,19 @@ def prepare_state(state: QState, config: QSPConfig | None = None,
     the workflow runs — the synthesis service passes its memory here, so
     repeated traffic keeps the cores' canonical keys and heuristic values
     warm across requests.  Results are identical warm or cold.
+
+    ``topology`` optionally constrains synthesis to a device coupling map:
+    the whole register is then searched natively (restricted move set, see
+    :func:`_native_path`) and the returned circuit needs no routing.
+    ``None`` or a full map is the paper's unrestricted model.
     """
     config = config or QSPConfig()
     trace: list[str] = []
     sparse = state.is_sparse()
-    if state.num_qubits <= config.exact_qubits or \
+    if topology is not None and not topology.is_full():
+        circuit, optimal = _native_path(state, config, trace, memory,
+                                        topology)
+    elif state.num_qubits <= config.exact_qubits or \
             (sparse and state.cardinality <= config.exact_cardinality and
              num_entangled_qubits(state) <= config.exact_qubits):
         circuit, optimal = _exact_core_circuit(state, config, trace,

@@ -16,18 +16,32 @@ the cache is *pinned* to one portable regime fingerprint at construction
 (:func:`repro.utils.fingerprint.search_regime_dict` form) and keeps one
 store per mode.  Mixing regimes raises
 :class:`~repro.exceptions.MemoryCompatibilityError`, mirroring
-``SearchMemory.attach``.
+``SearchMemory.attach``.  The regime dict includes the device topology,
+so a cache filled on one coupling map can never answer requests for
+another.
+
+The cache persists to disk (``serve --cache-snapshot``) through
+:func:`request_cache_to_dict` / :func:`request_cache_from_dict` — same
+discipline as the memory snapshot: payload-keyed entries re-keyed by the
+loading process, format version + regime fingerprint checked up front,
+any mismatch or corruption raising
+:class:`~repro.exceptions.MemoryCompatibilityError` before a single
+entry is served.
 """
 
 from __future__ import annotations
 
-from repro.constants import SERVICE_REQUEST_CACHE_CAP
+from repro.constants import (
+    REQUEST_CACHE_SNAPSHOT_VERSION,
+    SERVICE_REQUEST_CACHE_CAP,
+)
 from repro.core.kernel import StatePool
 from repro.core.memory import HashStore
 from repro.exceptions import MemoryCompatibilityError
 from repro.states.qstate import QState
 
-__all__ = ["RequestCache"]
+__all__ = ["RequestCache", "request_cache_to_dict",
+           "request_cache_from_dict"]
 
 #: Interned request states before the keying pool is rotated (requests
 #: are tiny compared to search frontiers, so a small pool suffices).
@@ -80,3 +94,105 @@ class RequestCache:
         """JSON-safe counters per mode (for stats responses and benches)."""
         return {mode: store.snapshot()
                 for mode, store in sorted(self._stores.items())}
+
+
+# ----------------------------------------------------------------------
+# Disk persistence (serve --cache-snapshot)
+# ----------------------------------------------------------------------
+
+def _result_enc(result) -> dict:
+    from repro.qsp.workflow import QSPResult
+    from repro.utils.serialization import (
+        qsp_result_to_dict,
+        search_result_to_dict,
+    )
+
+    if isinstance(result, QSPResult):
+        return qsp_result_to_dict(result)
+    return search_result_to_dict(result)
+
+
+def _result_dec(data: dict):
+    from repro.utils.serialization import (
+        qsp_result_from_dict,
+        search_result_from_dict,
+    )
+
+    kind = data.get("kind") if isinstance(data, dict) else None
+    if kind == "qsp_result":
+        return qsp_result_from_dict(data)
+    if kind == "search_result":
+        return search_result_from_dict(data)
+    raise MemoryCompatibilityError(
+        f"unknown cached-result kind {kind!r} in request-cache snapshot")
+
+
+def request_cache_to_dict(cache: RequestCache) -> dict:
+    """Portable snapshot of a request cache (entries by payload)."""
+    import base64
+
+    entries: dict[str, list] = {}
+    for mode, store in sorted(cache._stores.items()):
+        entries[mode] = [
+            [base64.b64encode(payload).decode("ascii"), _result_enc(value)]
+            for payload, value in store.items_payload()]
+    return {
+        "kind": "request_cache",
+        "version": REQUEST_CACHE_SNAPSHOT_VERSION,
+        "regime": cache.regime,
+        "cap": cache.cap,
+        "entries": entries,
+    }
+
+
+def request_cache_from_dict(data: dict,
+                            regime: dict | None = None,
+                            cap: int | None = None) -> RequestCache:
+    """Rebuild a request cache from a snapshot, re-keyed for this process.
+
+    ``regime`` (the loading service's portable regime dict) is checked
+    against the snapshot's before any entry is poured in — a cache filled
+    under another regime (different budgets' results would differ, a
+    different *topology* would serve circuits that do not even fit the
+    device) raises :class:`MemoryCompatibilityError` at boot.  ``cap``
+    (the loading service's configured cache cap) takes precedence over
+    the snapshot's recorded cap, so a warm boot never exceeds the
+    operator's memory bound.
+    """
+    import base64
+    import binascii
+
+    if not isinstance(data, dict) or data.get("kind") != "request_cache":
+        raise MemoryCompatibilityError(
+            f"not a serialized request cache: "
+            f"{data.get('kind') if isinstance(data, dict) else type(data)!r}")
+    version = data.get("version")
+    if version != REQUEST_CACHE_SNAPSHOT_VERSION:
+        raise MemoryCompatibilityError(
+            f"request-cache snapshot version {version!r} is not the "
+            f"supported version {REQUEST_CACHE_SNAPSHOT_VERSION}; "
+            f"regenerate the snapshot with this build")
+    if cap is None:
+        cap = int(data.get("cap", SERVICE_REQUEST_CACHE_CAP))
+    snap_regime = data.get("regime")
+    if not isinstance(snap_regime, dict):
+        # a regime-less snapshot would silently adopt whatever regime the
+        # loading service pins, defeating the cross-device/-budget gate
+        raise MemoryCompatibilityError(
+            "request-cache snapshot carries no regime fingerprint; "
+            "refusing to serve unattributed cached results")
+    cache = RequestCache(snap_regime, cap)
+    if regime is not None:
+        cache.pin(regime)  # raises on mismatch before any entry lands
+    try:
+        for mode, rows in data["entries"].items():
+            store = cache._store(str(mode))
+            for payload_b64, result_enc in rows:
+                payload = base64.b64decode(payload_b64.encode("ascii"),
+                                           validate=True)
+                store.put_payload(payload, _result_dec(result_enc))
+    except (KeyError, ValueError, TypeError, AttributeError,
+            binascii.Error) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted request-cache snapshot: {exc!r}") from exc
+    return cache

@@ -33,6 +33,8 @@ __all__ = [
     "save_memory_snapshot",
     "load_memory_snapshot",
     "merge_memory_snapshot",
+    "save_request_cache",
+    "load_request_cache",
 ]
 
 
@@ -82,3 +84,32 @@ def merge_memory_snapshot(memory: SearchMemory,
                           path: str | os.PathLike) -> None:
     """Merge a snapshot file's entries into an existing memory."""
     memory_merge_dict(memory, _read_snapshot_dict(path))
+
+
+def save_request_cache(cache, path: str | os.PathLike) -> dict:
+    """Write a request-cache snapshot next to the memory snapshot.
+
+    Same atomic tmp-file + rename discipline (and ``.gz`` compression
+    rule) as :func:`save_memory_snapshot`.
+    """
+    from repro.service.cache import request_cache_to_dict
+
+    data = request_cache_to_dict(cache)
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with _opener(path)(tmp, "wt", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    tmp.replace(path)
+    return data
+
+
+def load_request_cache(path: str | os.PathLike, regime: dict | None = None,
+                       cap: int | None = None):
+    """Load a request-cache snapshot, gated by version + regime checks.
+
+    ``cap`` overrides the snapshot's recorded cap (the loading service's
+    configured bound wins).
+    """
+    from repro.service.cache import request_cache_from_dict
+
+    return request_cache_from_dict(_read_snapshot_dict(path), regime, cap)

@@ -38,7 +38,7 @@ from repro.core.astar import SearchConfig, SearchResult, astar_search
 from repro.core.beam import BeamConfig, beam_search
 from repro.core.idastar import IDAStarConfig, idastar_search
 from repro.core.memory import SearchMemory
-from repro.exceptions import SearchBudgetExceeded
+from repro.exceptions import SearchBudgetExceeded, SynthesisError
 from repro.states.qstate import QState
 from repro.utils.serialization import (
     circuit_from_dict,
@@ -141,7 +141,7 @@ def run_engine_spec(spec: EngineSpec, state: QState, search: SearchConfig,
         max_merge_controls=search.max_merge_controls,
         include_x_moves=search.include_x_moves,
         tie_cap=search.tie_cap, perm_cap=search.perm_cap,
-        cache_cap=search.cache_cap)
+        cache_cap=search.cache_cap, topology=search.topology)
     return beam_search(state, beam_config, memory=memory)
 
 
@@ -168,10 +168,13 @@ def run_portfolio(state: QState, search: SearchConfig | None = None,
         try:
             result = run_engine_spec(spec, state, search, memory=memory,
                                      incumbent=incumbent)
-        except SearchBudgetExceeded as exc:
+        except (SearchBudgetExceeded, SynthesisError) as exc:
+            # SynthesisError: a topology-restricted beam lane has no
+            # m-flow completion tail and may finish empty-handed — a
+            # failed lane, not a failed portfolio
             attempts.append({
                 "name": spec.name, "solved": False,
-                "lower_bound": exc.lower_bound,
+                "lower_bound": getattr(exc, "lower_bound", 0),
                 "seconds": round(time.perf_counter() - start, 6),
             })
             continue

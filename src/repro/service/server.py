@@ -15,8 +15,10 @@ Requests are JSON objects (one per line on the wire)::
 
     {"id": 1, "op": "prepare", "dicke": [4, 2]}
     {"id": 2, "op": "exact", "w": 4, "return_circuit": true}
-    {"id": 3, "op": "stats"}
-    {"id": 4, "op": "snapshot", "path": "warm.qspmem.json"}
+    {"id": 3, "op": "exact", "w": 5, "topology": "heavy_hex"}
+    {"id": 4, "op": "stats"}
+    {"id": 5, "op": "snapshot", "path": "warm.qspmem.json"}
+    {"id": 6, "op": "cache_snapshot", "path": "cache.qspreq.json"}
     {"op": "shutdown"}
 
 The target state may be given as a serialized state (``"state": {...}``
@@ -28,11 +30,24 @@ service memory — while ``op: exact`` runs the engine portfolio directly
 on the (small) target.  Responses mirror the request ``id`` and carry
 ``ok``, ``cnot_cost``, optimality flags, ``cached``, ``seconds``, and the
 circuit when ``return_circuit`` is set.
+
+A service boots against at most one device topology
+(``ServiceConfig.search.topology``, CLI ``--topology ...
+--topology-size ...``): synthesis then runs topology-natively and the
+memory, snapshots, and request cache are fingerprint-pinned to that
+device.  A request may state its device (``"topology"``: a family name
+sized by the request's register, or a canonical ``{size, edges}`` dict);
+a mismatch with the service device is answered with a loud
+``MemoryCompatibilityError`` instead of entries computed for another
+coupling map.  ``op: cache_snapshot`` (or ``serve --cache-snapshot`` at
+shutdown) persists the exact-hit request cache next to the memory
+snapshot, gated by the same fingerprint + format-version checks.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -40,6 +55,7 @@ from repro.constants import SERVICE_REQUEST_CACHE_CAP
 from repro.core.astar import SearchConfig, SearchResult
 from repro.core.kernel import StatePool
 from repro.core.memory import SearchMemory
+from repro.exceptions import MemoryCompatibilityError
 from repro.qsp.config import QSPConfig
 from repro.service.cache import RequestCache
 from repro.service.persistence import load_memory_snapshot, \
@@ -83,6 +99,11 @@ class ServiceConfig:
     use_cache: bool = True
     cache_cap: int = SERVICE_REQUEST_CACHE_CAP
     race_workers: int = 0
+    #: persist/restore the exact-hit request cache here (``serve
+    #: --cache-snapshot``): loaded at boot when the file exists (gated by
+    #: the same fingerprint + format-version checks as the memory
+    #: snapshot), written back on shutdown
+    cache_snapshot_path: str | None = None
 
 
 class SynthesisService:
@@ -90,19 +111,45 @@ class SynthesisService:
 
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
+        from repro.arch.topologies import native_topology
+        # a full map means the unrestricted model: normalize at boot so
+        # the request check, stats, and the engines all agree with the
+        # regime fingerprint (which normalizes the same way); a
+        # disconnected map fails here, not at the first request
+        self.config.search.topology = \
+            native_topology(self.config.search.topology)
         if self.config.snapshot_path is not None:
             self.memory = load_memory_snapshot(self.config.snapshot_path)
         else:
             self.memory = SearchMemory()
         regime = search_regime_dict(self.config.search)
+        self.regime = regime
         # A snapshot recorded under a different regime must fail at boot,
         # not at the first unlucky request.
         self.memory.pin(fingerprint_from_dict(regime))
-        self.cache = RequestCache(regime, self.config.cache_cap) \
-            if self.config.use_cache else None
+        self.cache = None
+        if self.config.use_cache:
+            cache_path = self.config.cache_snapshot_path
+            if cache_path is not None and os.path.exists(cache_path):
+                from repro.service.persistence import load_request_cache
+                # regime (incl. topology) checked before any entry lands;
+                # the configured cap wins over the snapshot's recorded one
+                self.cache = load_request_cache(cache_path, regime,
+                                                cap=self.config.cache_cap)
+            else:
+                self.cache = RequestCache(regime, self.config.cache_cap)
         self.requests = 0
         self.cache_hits = 0
         self.errors = 0
+
+    def save_cache_snapshot(self, path=None) -> str | None:
+        """Persist the request cache (no-op without a cache or a path)."""
+        path = path or self.config.cache_snapshot_path
+        if self.cache is None or path is None:
+            return None
+        from repro.service.persistence import save_request_cache
+        save_request_cache(self.cache, path)
+        return str(path)
 
     # -- request plumbing ------------------------------------------------
 
@@ -123,6 +170,36 @@ class SynthesisService:
             "request carries no target state (need one of: state, dicke, "
             "ghz, w, terms)")
 
+    def _check_topology(self, request: dict, state: QState) -> None:
+        """Reject requests whose device disagrees with the service regime.
+
+        The memory and the request cache are pinned to one topology (part
+        of the regime fingerprint), so a request for a different device
+        must fail loudly instead of being served entries computed for
+        another coupling map.  ``topology`` may be a family name (sized by
+        the request's register) or a canonical ``{size, edges}`` dict.
+        """
+        spec = request.get("topology")
+        if spec is None:
+            return
+        from repro.arch.topologies import CouplingMap, named_topology
+
+        if isinstance(spec, str):
+            requested = named_topology(spec, state.num_qubits)
+        elif isinstance(spec, dict):
+            requested = CouplingMap.from_canonical_dict(spec)
+        else:
+            raise ValueError(f"bad topology spec {spec!r}")
+        service_topology = self.config.search.topology
+        if requested.is_full() and service_topology is None:
+            return  # all-to-all == the unrestricted service regime
+        if service_topology is None or requested != service_topology:
+            raise MemoryCompatibilityError(
+                f"request topology {requested!r} does not match the "
+                f"service topology {service_topology!r}; memory and cache "
+                f"entries never mix across devices — boot a service with "
+                f"--topology for this device")
+
     def handle(self, request: dict) -> dict:
         """One request dict in, one response dict out (never raises)."""
         rid = request.get("id")
@@ -137,7 +214,14 @@ class SynthesisService:
                         "path": request["path"],
                         "entries": len(data["canon_store"]) +
                         len(data["h_store"])}
+            if op == "cache_snapshot":
+                path = self.save_cache_snapshot(request.get("path"))
+                return {"id": rid, "ok": path is not None,
+                        "op": "cache_snapshot", "path": path,
+                        "entries": 0 if self.cache is None
+                        else len(self.cache)}
             state = self._parse_state(request)
+            self._check_topology(request, state)
             if op == "prepare":
                 return self._handle_prepare(rid, state, request)
             if op == "exact":
@@ -161,7 +245,8 @@ class SynthesisService:
             cached = result is not None
         if result is None:
             result = prepare_state(state, self.config.qsp,
-                                   memory=self.memory)
+                                   memory=self.memory,
+                                   topology=self.config.search.topology)
             if self.cache is not None:
                 self.cache.put("prepare", state, result)
         else:
@@ -217,10 +302,13 @@ class SynthesisService:
 
     def stats(self) -> dict:
         """Service counters (also served as the ``stats`` op)."""
+        topology = self.config.search.topology
         return {
             "requests": self.requests,
             "cache_hits": self.cache_hits,
             "errors": self.errors,
+            "topology": None if topology is None
+            else topology.to_canonical_dict(),
             "cache": None if self.cache is None else self.cache.snapshot(),
             "memory": self.memory.snapshot(),
         }
@@ -261,6 +349,7 @@ class SynthesisService:
             rid = request.get("id", pos)
             try:
                 state = self._parse_state(request)
+                self._check_topology(request, state)
             except Exception as exc:
                 rows[pos] = {"id": rid, "ok": False,
                              "error": f"{type(exc).__name__}: {exc}"}

@@ -78,38 +78,90 @@ def resolve_heuristic(ref: str):
     return obj
 
 
+def _topology_to_dict(topo_key) -> dict | None:
+    """Portable form of a canonical topology key ``(size, edge tuple)``."""
+    if topo_key is None:
+        return None
+    size, edges = topo_key
+    return {"size": int(size), "edges": [[int(a), int(b)]
+                                         for a, b in edges]}
+
+
+def _topology_from_dict(data) -> tuple | None:
+    if data is None:
+        return None
+    try:
+        return (int(data["size"]),
+                tuple((int(a), int(b)) for a, b in data["edges"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MemoryCompatibilityError(
+            f"malformed topology serialization {data!r}: {exc}") from exc
+
+
 def fingerprint_to_dict(fingerprint: tuple) -> dict:
     """Portable form of a ``SearchMemory`` fingerprint tuple.
 
     The tuple layout is pinned by ``SearchMemory.attach``:
     ``(canon_level, tie_cap, perm_cap, max_merge_controls,
-    include_x_moves, heuristic)``.  ``amp_decimals`` is recorded too —
-    stored payloads quantize amplitudes at that precision, so loading
-    them under a different precision would silently change state identity.
+    include_x_moves, heuristic, topology_key)``.  ``amp_decimals`` is
+    recorded too — stored payloads quantize amplitudes at that precision,
+    so loading them under a different precision would silently change
+    state identity.  A :class:`~repro.core.heuristic.CouplingHeuristic`
+    is fully determined by the fingerprint's topology, so it serializes
+    as its class reference and is rebuilt from the topology on load.
     """
-    level, tie_cap, perm_cap, max_merge_controls, include_x, heuristic = \
-        fingerprint
+    from repro.core.heuristic import CouplingHeuristic
+
+    (level, tie_cap, perm_cap, max_merge_controls, include_x, heuristic,
+     topo_key) = fingerprint
+    if isinstance(heuristic, CouplingHeuristic):
+        if heuristic.topology.canonical_key() != topo_key:
+            raise MemoryCompatibilityError(
+                "coupling heuristic topology disagrees with the "
+                "fingerprint topology (internal wiring error)")
+        h_ref = "repro.core.heuristic:CouplingHeuristic"
+    else:
+        h_ref = heuristic_ref(heuristic)
     return {
         "canon_level": level.name,
         "tie_cap": int(tie_cap),
         "perm_cap": int(perm_cap),
         "max_merge_controls": max_merge_controls,
         "include_x_moves": bool(include_x),
-        "heuristic": heuristic_ref(heuristic),
+        "heuristic": h_ref,
         "amp_decimals": AMP_DECIMALS,
+        "topology": _topology_to_dict(topo_key),
     }
 
 
 def fingerprint_from_dict(data: dict) -> tuple:
-    """Inverse of :func:`fingerprint_to_dict` (live tuple, live objects)."""
+    """Inverse of :func:`fingerprint_to_dict` (live tuple, live objects).
+
+    Snapshots predating the topology component load as unrestricted
+    (``topology`` absent == ``None``) — their entries were produced under
+    the paper's all-to-all model, which is exactly what ``None`` means.
+    """
+    from repro.core.heuristic import CouplingHeuristic
+
     try:
         level = CanonLevel[data["canon_level"]]
         decimals = int(data["amp_decimals"])
         mmc = data["max_merge_controls"]
+        topo_key = _topology_from_dict(data.get("topology"))
+        heuristic = resolve_heuristic(data["heuristic"])
+        if isinstance(heuristic, type) and \
+                issubclass(heuristic, CouplingHeuristic):
+            if topo_key is None:
+                raise MemoryCompatibilityError(
+                    "fingerprint names a coupling heuristic but carries "
+                    "no topology")
+            from repro.arch.topologies import CouplingMap
+            heuristic = CouplingHeuristic(
+                CouplingMap.from_canonical_dict(data["topology"]))
         fingerprint = (level, int(data["tie_cap"]), int(data["perm_cap"]),
                        None if mmc is None else int(mmc),
                        bool(data["include_x_moves"]),
-                       resolve_heuristic(data["heuristic"]))
+                       heuristic, topo_key)
     except (KeyError, ValueError, TypeError) as exc:
         raise MemoryCompatibilityError(
             f"malformed regime fingerprint {data!r}: {exc}") from exc
@@ -129,16 +181,22 @@ def fingerprint_digest(data: dict) -> str:
 def search_regime_dict(search_config, heuristic=None) -> dict:
     """Portable fingerprint of a :class:`~repro.core.astar.SearchConfig`.
 
-    ``heuristic=None`` means the engine default
-    (:func:`repro.core.heuristic.entanglement_heuristic`).
+    ``heuristic=None`` means the engine default for the config's
+    (normalized) topology — :func:`repro.core.heuristic.default_heuristic`,
+    the same resolution every engine performs, so a service pinning this
+    regime and the engines attaching to its memory always agree.
     """
+    topology = search_config.topology
+    if topology is not None and topology.is_full():
+        topology = None  # the engines' identity fast path
     if heuristic is None:
-        from repro.core.heuristic import entanglement_heuristic
-        heuristic = entanglement_heuristic
+        from repro.core.heuristic import default_heuristic
+        heuristic = default_heuristic(topology)
+    topo_key = None if topology is None else topology.canonical_key()
     return fingerprint_to_dict((
         search_config.canon_level, search_config.tie_cap,
         search_config.perm_cap, search_config.max_merge_controls,
-        search_config.include_x_moves, heuristic))
+        search_config.include_x_moves, heuristic, topo_key))
 
 
 def stamp_benchmark(report: dict, search_config=None,

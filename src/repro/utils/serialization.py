@@ -51,6 +51,8 @@ __all__ = [
     "state_from_dict",
     "circuit_to_dict",
     "circuit_from_dict",
+    "search_result_to_dict",
+    "search_result_from_dict",
     "qsp_result_to_dict",
     "qsp_result_from_dict",
     "memory_baseline",
@@ -127,6 +129,32 @@ def circuit_from_dict(data: dict[str, Any]) -> QCircuit:
     for gate_data in data["gates"]:
         circuit.append(_gate_from_dict(gate_data))
     return circuit
+
+
+def search_result_to_dict(result) -> dict[str, Any]:
+    """Portable form of a :class:`~repro.core.astar.SearchResult`.
+
+    Only the served fields travel (circuit, cost, optimality) — moves and
+    stats are process-local diagnostics, exactly as in the race-portfolio
+    wire format.
+    """
+    return {
+        "kind": "search_result",
+        "circuit": circuit_to_dict(result.circuit),
+        "cnot_cost": int(result.cnot_cost),
+        "optimal": bool(result.optimal),
+    }
+
+
+def search_result_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`search_result_to_dict`."""
+    from repro.core.astar import SearchResult
+
+    if data.get("kind") != "search_result":
+        raise ReproError(f"not a serialized result: {data.get('kind')!r}")
+    return SearchResult(circuit=circuit_from_dict(data["circuit"]),
+                        cnot_cost=int(data["cnot_cost"]),
+                        optimal=bool(data["optimal"]))
 
 
 def qsp_result_to_dict(result) -> dict[str, Any]:

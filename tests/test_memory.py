@@ -345,7 +345,7 @@ class TestTranspositionSoundnessRegression:
         memory = SearchMemory()
         idastar_search(state, memory=memory)
         members: dict = {}
-        for _h, (payload, key) in memory.canon_store._primary.items():
+        for _h, (payload, key, _hits) in memory.canon_store._primary.items():
             n = int.from_bytes(payload[:2], "little")
             rest = payload[2:]
             m = len(rest) // 16
@@ -436,10 +436,11 @@ class TestBeamSatellites:
         observed: list[bool] = []
         real = beam_mod.successors_packed
 
-        def spy(pool, ps, max_merge_controls=None, include_x_moves=False):
+        def spy(pool, ps, max_merge_controls=None, include_x_moves=False,
+                topology=None):
             observed.append(include_x_moves)
             return real(pool, ps, max_merge_controls=max_merge_controls,
-                        include_x_moves=include_x_moves)
+                        include_x_moves=include_x_moves, topology=topology)
 
         monkeypatch.setattr(beam_mod, "successors_packed", spy)
         beam_search(ghz_state(3), BeamConfig(width=8, include_x_moves=True))

@@ -56,10 +56,12 @@ from repro.utils.fingerprint import (
 from repro.utils.serialization import memory_from_dict, memory_to_dict
 
 
-def _default_fingerprint(heuristic=entanglement_heuristic) -> tuple:
+def _default_fingerprint(heuristic=entanglement_heuristic,
+                         topo_key=None) -> tuple:
     cfg = SearchConfig()
     return (cfg.canon_level, cfg.tie_cap, cfg.perm_cap,
-            cfg.max_merge_controls, cfg.include_x_moves, heuristic)
+            cfg.max_merge_controls, cfg.include_x_moves, heuristic,
+            topo_key)
 
 
 class TestFingerprint:
