@@ -1,0 +1,256 @@
+"""Portfolio scheduler benchmark — sequential line vs interleaved slices.
+
+The sequential portfolio runs its lanes in order, so a slow lane blocks
+every lane behind it.  No static order avoids the pathology — every lane
+has a workload that is its worst case — and this benchmark pins it down
+with a defensible order (memory-light IDA* prover first) on a workload
+that happens to be IDA*'s nightmare: W-state plateaus make iterative
+deepening re-search its whole budget, so the sequential line spends ~10 s
+exhausting the first lane before the A* lane proves the same row in
+under a second.  The interleaved scheduler (PR 5) time-slices all lanes
+in one process instead: A* reaches its proof within its first slices
+while IDA* has only consumed a slice or two, the proof cancels
+everything else, and the request returns in roughly the prover's own
+time — race-mode semantics with zero extra processes, which is what the
+single-CPU serving host needs (``BENCH_service.json`` records that extra
+processes only add overhead there).
+
+Measured, per row and for the family total:
+
+* **Sequential vs interleaved wall time** on the *same* spec list and
+  budgets, with costs asserted identical (the acceptance property — the
+  scheduler moves work around, it never changes results).
+* **Deadline responsiveness**: the interleaved scheduler under a
+  wall-clock deadline on a row no exact engine can finish — it must
+  return a feasible (verified) circuit within the budget instead of an
+  exception, the anytime contract of ``serve --deadline-ms``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py            # full
+    PYTHONPATH=src python benchmarks/bench_portfolio.py --smoke    # CI gate
+
+Results land in ``BENCH_portfolio.json`` at the repo root (the committed
+snapshot) and ``benchmarks/results/bench_portfolio.txt``; both carry the
+shared schema-version + regime-fingerprint stamp.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.astar import SearchConfig                      # noqa: E402
+from repro.service.portfolio import (                          # noqa: E402
+    EngineSpec,
+    interleaved_portfolio,
+    run_portfolio,
+)
+from repro.sim.verify import prepares_state                    # noqa: E402
+from repro.states.families import dicke_state                  # noqa: E402
+from repro.utils.fingerprint import stamp_benchmark            # noqa: E402
+from repro.utils.tables import format_table                    # noqa: E402
+
+#: The lane list both schedulers get: the memory-light IDA* prover
+#: first, then the anytime beam and the A* lanes.  On the W-state
+#: headline row IDA* is budget-bound (plateau re-search), so a
+#: sequential line pays its whole budget before any other lane starts —
+#: the blocked-line pathology the interleaved scheduler removes.
+SPECS = (
+    EngineSpec("idastar", "idastar"),
+    EngineSpec("beam-wide", "beam", weight=1.5, width=512),
+    EngineSpec("astar", "astar"),
+    EngineSpec("astar-w2", "astar", weight=2.0),
+)
+
+#: (n, k) rows — all solvable to proven optimality by the A* lane, so
+#: both schedulers terminate on a proof and cost identity is meaningful.
+#: The headline (last) row is D(5,1) = W(5): IDA* exhausts the shared
+#: node budget there while A* proves in a few hundred expansions.
+FULL_ROWS = [(4, 1), (4, 2), (5, 1)]
+SMOKE_ROWS = [(4, 2), (5, 1)]
+
+#: Shared per-lane expansion budget: small enough that the blocked
+#: sequential line stays benchmark-sized (~10 s), large enough that the
+#: A* lane proves every row within it.
+_MAX_NODES = 20_000
+_TIME_LIMIT = 900.0
+
+#: Required interleaved-over-sequential speedup on the headline row.
+#: The real numbers sit far above these floors (the sequential line pays
+#: IDA*'s full budget-bound run before the prover starts; measured ~6x);
+#: the gate catches a scheduler that silently stopped interleaving or
+#: cancelling.
+FULL_SPEEDUP_THRESHOLD = 2.0
+SMOKE_SPEEDUP_THRESHOLD = 1.5
+
+#: Deadline-responsiveness check: the scheduler must return a feasible
+#: circuit within this wall-clock budget on a row whose exact search
+#: would run for minutes, overshooting by at most the slack factor.
+DEADLINE_ROW = (6, 3)
+DEADLINE_MS = 500.0
+DEADLINE_SLACK = 4.0  # x the budget, generous for CI jitter
+
+
+def _bench_rows(rows) -> dict:
+    search = SearchConfig(max_nodes=_MAX_NODES, time_limit=_TIME_LIMIT)
+    out_rows = []
+    seq_total = il_total = 0.0
+    for n, k in rows:
+        state = dicke_state(n, k)
+        start = time.perf_counter()
+        sequential = run_portfolio(state, search, specs=SPECS)
+        seq_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        interleaved = interleaved_portfolio(state, search, specs=SPECS)
+        il_seconds = time.perf_counter() - start
+        assert sequential.solved and interleaved.solved
+        assert sequential.result.cnot_cost == \
+            interleaved.result.cnot_cost, \
+            f"D({n},{k}): interleaved cost " \
+            f"{interleaved.result.cnot_cost} != sequential " \
+            f"{sequential.result.cnot_cost}"
+        assert sequential.result.optimal and interleaved.result.optimal
+        assert prepares_state(interleaved.result.circuit, state)
+        seq_total += seq_seconds
+        il_total += il_seconds
+        out_rows.append({
+            "label": f"D({n},{k})",
+            "cnot_cost": sequential.result.cnot_cost,
+            "sequential_seconds": round(seq_seconds, 4),
+            "interleaved_seconds": round(il_seconds, 4),
+            "speedup": round(seq_seconds / max(il_seconds, 1e-9), 3),
+            "sequential_winner": sequential.winner,
+            "interleaved_winner": interleaved.winner,
+            "interleaved_statuses": {
+                a["name"]: a["status"]
+                for a in interleaved.attempts},
+        })
+    return {
+        "specs": [{"name": s.name, "engine": s.engine,
+                   "weight": s.weight, "width": s.width} for s in SPECS],
+        "rows": out_rows,
+        "sequential_total_seconds": round(seq_total, 4),
+        "interleaved_total_seconds": round(il_total, 4),
+        "family_speedup": round(seq_total / max(il_total, 1e-9), 3),
+        "headline_row": out_rows[-1]["label"],
+        "headline_speedup": out_rows[-1]["speedup"],
+    }
+
+
+def _bench_deadline() -> dict:
+    n, k = DEADLINE_ROW
+    state = dicke_state(n, k)
+    search = SearchConfig(max_nodes=1_000_000, time_limit=_TIME_LIMIT)
+    start = time.perf_counter()
+    outcome = interleaved_portfolio(state, search, specs=SPECS,
+                                    deadline_ms=DEADLINE_MS)
+    elapsed = time.perf_counter() - start
+    assert outcome.deadline_expired, "deadline did not trigger"
+    assert outcome.solved, "no feasible circuit at the deadline"
+    assert not outcome.result.optimal
+    assert prepares_state(outcome.result.circuit, state)
+    assert elapsed <= (DEADLINE_MS / 1000.0) * DEADLINE_SLACK, \
+        f"deadline overshoot: {elapsed:.2f}s for a " \
+        f"{DEADLINE_MS:.0f} ms budget"
+    return {
+        "label": f"D({n},{k})",
+        "deadline_ms": DEADLINE_MS,
+        "elapsed_seconds": round(elapsed, 4),
+        "feasible_cnot_cost": outcome.result.cnot_cost,
+        "winner": outcome.winner,
+    }
+
+
+def run_benchmark(rows) -> dict:
+    report = {
+        "metric": "speedup = sequential portfolio seconds / interleaved "
+                  "portfolio seconds, same specs and budgets, costs "
+                  "asserted identical; headline = heaviest row",
+        "portfolio": _bench_rows(rows),
+        "deadline": _bench_deadline(),
+    }
+    return stamp_benchmark(
+        report, SearchConfig(max_nodes=_MAX_NODES, time_limit=_TIME_LIMIT))
+
+
+def render_table(report: dict) -> str:
+    body = report["portfolio"]
+    rows = []
+    for row in body["rows"]:
+        rows.append([row["label"], row["cnot_cost"],
+                     f"{row['sequential_seconds']:.3f}",
+                     f"{row['interleaved_seconds']:.3f}",
+                     f"{row['speedup']:.2f}x",
+                     row["interleaved_winner"]])
+    rows.append(["family", "-",
+                 f"{body['sequential_total_seconds']:.3f}",
+                 f"{body['interleaved_total_seconds']:.3f}",
+                 f"{body['family_speedup']:.2f}x", "-"])
+    blocks = [format_table(
+        ["state", "cnot", "sequential s", "interleaved s", "speedup",
+         "winner"],
+        rows,
+        title="portfolio: sequential line vs interleaved time slices "
+              "(same lanes/budgets, identical costs asserted; "
+              "budget-bound IDA* lane first = the blocked-line "
+              "pathology)")]
+    deadline = report["deadline"]
+    blocks.append(
+        f"deadline: {deadline['label']} under a "
+        f"{deadline['deadline_ms']:.0f} ms budget returned a feasible "
+        f"{deadline['feasible_cnot_cost']}-CNOT circuit "
+        f"(verified) in {deadline['elapsed_seconds']:.3f}s "
+        f"via lane '{deadline['winner']}'")
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    rows = SMOKE_ROWS if smoke else FULL_ROWS
+    floor = SMOKE_SPEEDUP_THRESHOLD if smoke else FULL_SPEEDUP_THRESHOLD
+    report = run_benchmark(rows)
+    report["mode"] = "smoke" if smoke else "full"
+    report["thresholds"] = {"headline_speedup": floor}
+    text = render_table(report)
+    print(text)
+
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    results_dir.mkdir(exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    (results_dir / f"bench_portfolio{suffix}.txt").write_text(
+        text + "\n", encoding="utf-8")
+    # only the full run may refresh the committed headline snapshot
+    out = (REPO_ROOT / "BENCH_portfolio.json" if not smoke
+           else results_dir / "bench_portfolio_smoke.json")
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+
+    headline = report["portfolio"]["headline_speedup"]
+    if headline < floor:
+        print(f"FAIL: interleaved headline speedup {headline:.2f}x "
+              f"< required {floor:.1f}x", file=sys.stderr)
+        return 1
+    print(f"OK: interleaved headline speedup {headline:.2f}x >= "
+          f"{floor:.1f}x at identical costs; deadline returned a "
+          f"feasible circuit in "
+          f"{report['deadline']['elapsed_seconds']:.3f}s")
+    return 0
+
+
+def test_portfolio_benchmark_smoke(results_emitter):
+    """Pytest entry: smoke rows + the regression floors (CI satellite)."""
+    report = run_benchmark(SMOKE_ROWS)
+    results_emitter("bench_portfolio_smoke", render_table(report))
+    assert report["portfolio"]["headline_speedup"] >= \
+        SMOKE_SPEEDUP_THRESHOLD
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -50,6 +50,18 @@ one JSON response per stdout line), warm-started from a snapshot::
     repro-qsp serve --snapshot warm.qspmem.gz
     echo '{"id": 1, "op": "exact", "dicke": [4, 2]}' | repro-qsp serve
 
+Serve with the *interleaved* portfolio scheduler — all engine lanes
+time-sliced in one process, feasible costs shared as live incumbents,
+first proven optimum cancels the rest — and/or a wall-clock deadline per
+request, after which the best feasible circuit found so far is returned
+instead of an error (a request's own ``deadline_ms`` field overrides the
+flag)::
+
+    repro-qsp serve --portfolio interleaved
+    repro-qsp serve --deadline-ms 250
+    echo '{"id": 1, "op": "exact", "dicke": [6, 3], "deadline_ms": 250}' \
+        | repro-qsp serve
+
 Serve one *device*: the service pins a topology, requests synthesize
 natively, memory/cache entries never mix across devices, and the
 exact-hit request cache persists across restarts::
@@ -68,6 +80,13 @@ in ``serve``::
         --snapshot warm.qspmem.gz --workers 4
     repro-qsp batch requests.jsonl results.jsonl \
         --topology line --topology-size 4
+
+Batch with the interleaved scheduler and a per-request latency budget
+(rows that hit the deadline report their best feasible cost with
+``deadline_expired``)::
+
+    repro-qsp batch requests.jsonl results.jsonl \
+        --portfolio interleaved --deadline-ms 500
 """
 
 from __future__ import annotations
@@ -244,7 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="race the engine portfolio across N processes "
                             "per exact request with first-optimal-wins "
                             "cancellation (default 0 = in-process "
-                            "sequential portfolio)")
+                            "portfolio, see --portfolio)")
+    _add_portfolio_options(serve)
     serve.add_argument("--cache-snapshot", metavar="FILE",
                        help="persist the exact-hit request cache to FILE "
                             "(loaded at boot when it exists, written on "
@@ -273,8 +293,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--circuits", action="store_true",
                        help="include the synthesized circuits in the "
                             "response lines")
+    _add_portfolio_options(batch)
     _add_topology_options(batch)
     return parser
+
+
+def _add_portfolio_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--portfolio", default="sequential",
+                        choices=("sequential", "interleaved"),
+                        dest="portfolio_mode",
+                        help="in-process scheduler for exact requests: "
+                             "'sequential' runs lanes in order with "
+                             "incumbent threading; 'interleaved' "
+                             "time-slices all lanes in one process, "
+                             "shares feasible costs as live incumbents, "
+                             "and cancels everything at the first proven "
+                             "optimum (race semantics, zero extra "
+                             "processes)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="wall-clock budget per exact request; when "
+                             "it expires the interleaved scheduler "
+                             "(which a deadline implies) returns the "
+                             "best feasible circuit found so far instead "
+                             "of an error; a request's own 'deadline_ms' "
+                             "field overrides this default")
 
 
 def _add_topology_options(parser: argparse.ArgumentParser) -> None:
@@ -452,7 +495,11 @@ def _service_config(args: argparse.Namespace, **extra):
     elif getattr(args, "topology_size", None) is not None:
         raise SystemExit("--topology-size without --topology")
     return ServiceConfig(search=search, qsp=qsp,
-                         snapshot_path=args.snapshot, **extra)
+                         snapshot_path=args.snapshot,
+                         portfolio_mode=getattr(args, "portfolio_mode",
+                                                "sequential"),
+                         deadline_ms=getattr(args, "deadline_ms", None),
+                         **extra)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

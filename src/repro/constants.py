@@ -80,7 +80,11 @@ MEMORY_POOL_ROTATE_CAP: int = 1 << 21
 #: serialized layout or the meaning of stored entries changes; a loader
 #: seeing any other version raises ``MemoryCompatibilityError`` instead of
 #: guessing (entries from an incompatible layout must never mix in).
-MEMORY_SNAPSHOT_VERSION: int = 1
+#: v2: transposition entries carry generation stamps (aging) and the
+#: snapshot carries the table generation + per-lane win statistics.
+#: v1 snapshots remain *readable* (a lossless subset — see
+#: ``repro.utils.serialization``); this constant is the version written.
+MEMORY_SNAPSHOT_VERSION: int = 2
 
 #: Schema version stamped into every benchmark JSON artifact
 #: (``BENCH_kernel.json``, ``BENCH_memory.json``, ``BENCH_service.json``)
@@ -90,6 +94,19 @@ BENCH_SCHEMA_VERSION: int = 1
 
 #: Entry cap of the service request cache (distinct target states).
 SERVICE_REQUEST_CACHE_CAP: int = 1 << 16
+
+#: Node expansions per scheduler time slice in the interleaved portfolio
+#: (``repro.service.portfolio.interleaved_portfolio``): small enough that
+#: incumbents and cancellations propagate promptly, large enough that the
+#: per-slice bookkeeping is noise next to the expansions themselves.
+PORTFOLIO_SLICE_EXPANSIONS: int = 256
+
+#: Proven-budget units an IDA* transposition entry loses per snapshot
+#: generation of age in the eviction ordering (``repro.core.memory
+#: .TranspositionTable``): a sweep drops stale small-budget proofs from
+#: old workloads before fresh ones of equal budget.  Dropping any entry
+#: is always sound — the subtree is merely re-probed.
+TRANSPOSITION_AGE_PENALTY: float = 1.0
 
 #: On-disk request-cache snapshot format version (``serve
 #: --cache-snapshot``).  Gated exactly like the memory snapshot: any other

@@ -7,8 +7,15 @@ state transition graph; :mod:`repro.core.canonical` compresses it;
 the anytime fallback; :class:`ExactSynthesizer` is the public entry point.
 """
 
-from repro.core.astar import SearchConfig, SearchResult, SearchStats, astar_search
-from repro.core.beam import BeamConfig, beam_search
+from repro.core.astar import (
+    AStarRun,
+    SearchConfig,
+    SearchResult,
+    SearchStats,
+    astar_search,
+)
+from repro.core.beam import BeamConfig, BeamRun, beam_search
+from repro.core.engine import EngineContext, EngineRun, RunStatus
 from repro.core.canonical import (
     CanonLevel,
     canonical_key,
@@ -30,7 +37,7 @@ from repro.core.heuristic import (
     schmidt_rank,
     zero_heuristic,
 )
-from repro.core.idastar import IDAStarConfig, idastar_search
+from repro.core.idastar import IDAStarConfig, IDAStarRun, idastar_search
 from repro.core.kernel import (
     BoundedCache,
     CanonKey,
@@ -61,8 +68,14 @@ __all__ = [
     "SearchResult",
     "SearchStats",
     "astar_search",
+    "AStarRun",
     "BeamConfig",
+    "BeamRun",
     "beam_search",
+    "EngineContext",
+    "EngineRun",
+    "RunStatus",
+    "IDAStarRun",
     "CanonLevel",
     "canonical_key",
     "canonicalize",

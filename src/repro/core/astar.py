@@ -31,6 +31,13 @@ to) the ground state.  Key implementation points:
   ``min(g + h)`` over the open list with the *unweighted* heuristic, which
   stays a true lower bound even for ``weight > 1`` (the weighted ``f`` of a
   popped node proves nothing).
+* **Stepwise runtime.**  The kernel loop is implemented as
+  :class:`AStarRun` on the shared :class:`~repro.core.engine.EngineRun`
+  protocol — pausable/resumable in expansion slices, incumbent-injectable
+  mid-run, cancellable.  :func:`astar_search` just drives a run to
+  completion, so one-shot behavior (costs *and* expansion counts) is
+  unchanged by construction; the interleaved portfolio scheduler drives
+  the same run in time slices instead.
 """
 
 from __future__ import annotations
@@ -38,29 +45,23 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 
-from repro.circuits.circuit import QCircuit
-from repro.constants import (
-    SEARCH_CACHE_CAP,
-    SEARCH_PERM_CAP,
-    SEARCH_TIE_CAP,
+from repro.core.canonical import canonical_key
+from repro.core.engine import (
+    EngineContext,
+    EngineRun,
+    RunStatus,
+    SearchConfig,
+    SearchResult,
+    SearchStats,
+    _native_topology,
+    _proven_bound,
 )
-from repro.core.canonical import CanonLevel, canonical_key
-from repro.core.heuristic import (
-    CouplingHeuristic,
-    HeuristicFn,
-    default_heuristic,
-    entanglement_heuristic,
-)
+from repro.core.heuristic import HeuristicFn, default_heuristic
 from repro.core.kernel import (
     BoundedCache,
-    CanonContext,
     HashKeyedMap,
     PackedState,
-    StatePool,
-    entangled_qubits_packed,
-    entanglement_h_packed,
     num_entangled_packed,
     successors_packed,
 )
@@ -71,157 +72,8 @@ from repro.states.analysis import num_entangled_qubits
 from repro.states.qstate import QState
 from repro.utils.timing import Stopwatch
 
-__all__ = ["SearchConfig", "SearchStats", "SearchResult", "astar_search"]
-
-
-def _native_topology(topology, num_qubits: int):
-    """Validate + normalize a search topology against the target register.
-
-    Delegates the shared normalization to
-    :func:`repro.arch.topologies.native_topology` — ``None`` and
-    all-to-all maps (of *any* size) mean the unrestricted paper model and
-    normalize to ``None``, the identity fast path that stays bit-identical
-    to seed behavior; disconnected maps are rejected there (the native
-    move set is only complete on a connected graph).  A restricted map
-    must additionally cover exactly the register.
-    """
-    from repro.arch.topologies import native_topology
-
-    topology = native_topology(topology)
-    if topology is not None and topology.size != num_qubits:
-        raise ValueError(
-            f"topology covers {topology.size} physical qubits but the "
-            f"target has {num_qubits}; synthesize on "
-            f"topology.induced(...) for a sub-register")
-    return topology
-
-
-@dataclass
-class SearchConfig:
-    """Tuning knobs of the exact search.
-
-    Attributes
-    ----------
-    max_nodes:
-        Expansion budget; exceeding it raises
-        :class:`~repro.exceptions.SearchBudgetExceeded`.
-    time_limit:
-        Wall-clock budget in seconds (``None`` = unlimited).
-    canon_level:
-        Equivalence used for pruning (paper Sec. V-B); ``PU2`` assumes a
-        symmetric coupling graph, exactly as the paper discusses — under a
-        restricted ``topology`` the permutation freedom automatically
-        shrinks to the coupling graph's automorphisms, which keeps ``PU2``
-        sound on any device.
-    max_merge_controls:
-        Cap on MCRy merge controls (``None`` = ``n - 1``, the complete set).
-    weight:
-        Heuristic weight; ``1.0`` is admissible/optimal, larger trades
-        optimality for speed (results are flagged accordingly).
-    include_x_moves:
-        Explicit free X moves (redundant at ``canon_level >= U2``).
-    tie_cap / perm_cap:
-        Canonicalization enumeration caps (soundness never depends on them);
-        defaults shared via :mod:`repro.constants`.
-    use_kernel:
-        Run the A* hot loop on the packed-array kernel (default).  The
-        dict-based reference loop is retained for benchmarking and
-        differential tests.  Only :func:`astar_search` honors this flag;
-        IDA* and beam search always run on the kernel.
-    cache_cap:
-        Size cap of the canonical-key and heuristic caches (entries);
-        exceeding it evicts oldest-first.  Hit rates land in
-        :class:`SearchStats`.
-    topology:
-        Optional :class:`repro.arch.topologies.CouplingMap` making the
-        device a first-class search constraint: only moves whose CNOTs lie
-        on coupled pairs are enumerated, canonicalization folds only
-        coupling automorphisms, and the default heuristic becomes the
-        matching-based coupling bound.  ``None`` or an all-to-all map
-        (of any size) is the unrestricted paper model (bit-identical to
-        seed behavior).  Requires the kernel loop; a restricted map's
-        size must equal the target's qubit count and its graph must be
-        connected.
-    """
-
-    max_nodes: int = 200_000
-    time_limit: float | None = None
-    canon_level: CanonLevel = CanonLevel.PU2
-    max_merge_controls: int | None = None
-    weight: float = 1.0
-    include_x_moves: bool = False
-    tie_cap: int = SEARCH_TIE_CAP
-    perm_cap: int = SEARCH_PERM_CAP
-    use_kernel: bool = True
-    cache_cap: int = SEARCH_CACHE_CAP
-    topology: object | None = None
-
-
-@dataclass
-class SearchStats:
-    """Counters reported with every search result."""
-
-    nodes_expanded: int = 0
-    nodes_generated: int = 0
-    nodes_pruned: int = 0
-    max_queue: int = 0
-    elapsed_seconds: float = 0.0
-    canon_cache_hits: int = 0
-    canon_cache_misses: int = 0
-    h_cache_hits: int = 0
-    h_cache_misses: int = 0
-    #: entries evicted from capped dedup containers (e.g. beam ``seen_g``)
-    dedup_evictions: int = 0
-    #: IDA* transposition-table counters (this search's probes only)
-    transposition_hits: int = 0
-    transposition_writes: int = 0
-    #: A* branch-and-bound counters (active only with an incumbent):
-    #: generated states pruned because ``g + h`` already reaches the
-    #: incumbent cost, and popped classes pruned because an unconditional
-    #: transposition exhaustion entry proves their remaining cost does
-    incumbent_prunes: int = 0
-    bnb_transposition_prunes: int = 0
-    #: subtrees whose exhaustion proof was path-dependent: recorded only
-    #: with their path condition (the pre-fix code wrote them as
-    #: unconditional, universally reusable claims — the soundness bug)
-    transposition_poisoned: int = 0
-    #: persistent-store traffic attributable to this search (0 when no
-    #: ``SearchMemory`` is attached); per-entry hit counts also drive the
-    #: stores' hit-weighted eviction
-    canon_store_hits: int = 0
-    canon_store_misses: int = 0
-    h_store_hits: int = 0
-    h_store_misses: int = 0
-
-    @property
-    def canon_cache_hit_rate(self) -> float:
-        """Hit rate of the canonical-key cache (0.0 when never queried)."""
-        total = self.canon_cache_hits + self.canon_cache_misses
-        return self.canon_cache_hits / total if total else 0.0
-
-    @property
-    def h_cache_hit_rate(self) -> float:
-        """Hit rate of the heuristic cache (0.0 when never queried)."""
-        total = self.h_cache_hits + self.h_cache_misses
-        return self.h_cache_hits / total if total else 0.0
-
-    @property
-    def nodes_per_second(self) -> float:
-        """Expanded-node throughput (the kernel benchmark's headline)."""
-        if self.elapsed_seconds <= 0.0:
-            return 0.0
-        return self.nodes_expanded / self.elapsed_seconds
-
-
-@dataclass
-class SearchResult:
-    """Outcome of a (possibly budgeted) search."""
-
-    circuit: QCircuit
-    cnot_cost: int
-    optimal: bool
-    moves: list[Move] = field(default_factory=list)
-    stats: SearchStats = field(default_factory=SearchStats)
+__all__ = ["SearchConfig", "SearchStats", "SearchResult", "AStarRun",
+           "astar_search"]
 
 
 def astar_search(target: QState, config: SearchConfig | None = None,
@@ -251,6 +103,9 @@ def astar_search(target: QState, config: SearchConfig | None = None,
     proven optimal.  Expansions only shrink (the differential tests
     assert both properties).
 
+    This is the one-shot wrapper over :class:`AStarRun` — identical to
+    driving a run to completion in a single step.
+
     Raises
     ------
     SearchBudgetExceeded
@@ -260,12 +115,12 @@ def astar_search(target: QState, config: SearchConfig | None = None,
         ``weight``) and the incumbent, when one was supplied.
     """
     config = config or SearchConfig()
+    if config.use_kernel:
+        return AStarRun(target, config, heuristic=heuristic, memory=memory,
+                        incumbent=incumbent).run_to_completion()
     topology = _native_topology(config.topology, target.num_qubits)
     if heuristic is None:
         heuristic = default_heuristic(topology)
-    if config.use_kernel:
-        return _astar_kernel(target, config, heuristic, memory, incumbent,
-                             topology)
     if topology is not None:
         raise ValueError("topology-native search requires the kernel loop "
                          "(SearchConfig(use_kernel=True))")
@@ -278,244 +133,192 @@ def astar_search(target: QState, config: SearchConfig | None = None,
     return _astar_reference(target, config, heuristic)
 
 
-def _make_h_of(heuristic: HeuristicFn, h_cache: BoundedCache, h_store):
-    """Packed-state heuristic evaluator shared by all kernel engines.
-
-    The default entanglement bound is memoized on the interned state
-    object, so it needs no cache layer; the coupling-aware bound reads the
-    cached entangled set off the interned state and memoizes its matching
-    per entangled support; any other heuristic goes through the per-search
-    cache with an optional persistent
-    :class:`repro.core.memory.HashStore` tier between cache and compute.
-    """
-    if heuristic is entanglement_heuristic:
-        return entanglement_h_packed
-
-    if isinstance(heuristic, CouplingHeuristic):
-        def h_coupling(ps: PackedState) -> float:
-            val = h_cache.get(ps)
-            if val is None:
-                if h_store is not None:
-                    val = h_store.get(ps)
-                if val is None:
-                    val = heuristic.bound(entangled_qubits_packed(ps))
-                    if h_store is not None:
-                        h_store.put(ps, val)
-                h_cache.put(ps, val)
-            return val
-
-        return h_coupling
-
-    def h_of(ps: PackedState) -> float:
-        val = h_cache.get(ps)
-        if val is None:
-            if h_store is not None:
-                val = h_store.get(ps)
-            if val is None:
-                val = float(heuristic(ps.to_qstate()))
-                if h_store is not None:
-                    h_store.put(ps, val)
-            h_cache.put(ps, val)
-        return val
-
-    return h_of
-
-
-def _store_hit_marks(canon_store, h_store) -> tuple[int, int, int, int]:
-    """Counter baseline so per-search store deltas can land in the stats."""
-    return (canon_store.hits if canon_store is not None else 0,
-            canon_store.misses if canon_store is not None else 0,
-            h_store.hits if h_store is not None else 0,
-            h_store.misses if h_store is not None else 0)
-
-
-def _finish_store_stats(stats: SearchStats, canon_store, h_store,
-                        marks: tuple[int, int, int, int]) -> None:
-    """Record this search's share of the persistent-store traffic."""
-    if canon_store is not None:
-        stats.canon_store_hits = canon_store.hits - marks[0]
-        stats.canon_store_misses = canon_store.misses - marks[1]
-    if h_store is not None:
-        stats.h_store_hits = h_store.hits - marks[2]
-        stats.h_store_misses = h_store.misses - marks[3]
-
-
-def _proven_bound(current_u: float, open_entries, u_index: int) -> int:
-    """Integer lower bound from the unweighted ``g + h`` of the frontier.
-
-    The optimal path must pass through the just-popped node or some open
-    entry, so ``min`` of their unweighted ``f`` values is a true bound —
-    regardless of the heuristic weighting used for ordering.
-    """
-    best = current_u
-    for entry in open_entries:
-        u = entry[u_index]
-        if u < best:
-            best = u
-    return int(math.ceil(best - 1e-9))
-
-
 # ----------------------------------------------------------------------
-# Packed-kernel hot loop
+# Packed-kernel hot loop, as a stepwise engine run
 # ----------------------------------------------------------------------
 
-def _astar_kernel(target: QState, config: SearchConfig,
-                  heuristic: HeuristicFn, memory=None,
-                  incumbent=None, topology=None) -> SearchResult:
-    weight = config.weight
-    stopwatch = Stopwatch(config.time_limit)
-    stats = SearchStats()
-    # Branch-and-bound bound: a feasible cost some other engine already
-    # achieved.  ``ub`` prunes; ``incumbent_result`` is the fallback
-    # circuit returned if pruning exhausts the space.
-    if incumbent is None:
-        ub = None
-        incumbent_result = None
-    elif isinstance(incumbent, int):
-        ub = incumbent
-        incumbent_result = None
-    else:
-        ub = incumbent.cnot_cost
-        incumbent_result = incumbent
-    transposition = memory.transposition if memory is not None else None
-    if memory is not None:
-        pool = memory.attach(canon_level=config.canon_level,
-                             tie_cap=config.tie_cap,
-                             perm_cap=config.perm_cap,
-                             max_merge_controls=config.max_merge_controls,
-                             include_x_moves=config.include_x_moves,
-                             heuristic=heuristic,
-                             topology=topology)
-        canon_store = memory.canon_store
-        h_store = memory.h_store
-    else:
-        pool = StatePool()
-        canon_store = h_store = None
-    canon_ctx = CanonContext(config.canon_level, config.tie_cap,
-                             config.perm_cap, config.cache_cap,
-                             store=canon_store, topology=topology)
-    canon = canon_ctx.key
-    h_cache = BoundedCache(config.cache_cap)
-    h_of = _make_h_of(heuristic, h_cache, h_store)
-    store_marks = _store_hit_marks(canon_store, h_store)
+class AStarRun(EngineRun):
+    """Stepwise A* over the packed kernel (best-first, branch-and-bound).
 
-    def finish_stats() -> None:
-        stats.elapsed_seconds = stopwatch.elapsed()
-        stats.canon_cache_hits = canon_ctx.cache.hits
-        stats.canon_cache_misses = canon_ctx.cache.misses
-        stats.h_cache_hits = h_cache.hits
-        stats.h_cache_misses = h_cache.misses
-        _finish_store_stats(stats, canon_store, h_store, store_marks)
+    The generator body below is the former ``_astar_kernel`` loop, with
+    one ``yield`` inserted per node expansion (between the budget check
+    and successor generation) — slicing cannot change expansion order or
+    any counter.  ``inject_incumbent`` tightens ``self._ub``, which the
+    loop reads live at every push and pop, so a sibling's feasible cost
+    starts pruning immediately, mid-slice semantics included.
+    """
 
-    counter = itertools.count()
-    # entry: (weighted f, g, tiebreak, unweighted g + h, state, prev, move)
-    open_heap: list = []
-    # Duplicate detection is two-tier and *lazy*: at generation time only
-    # the (nearly free) exact-state tier prunes — ``g_pushed`` is keyed by
-    # interned identity — while the expensive canonical-class tier runs at
-    # pop time.  Frontier states that are never popped therefore never pay
-    # for canonicalization, which on budget-bound searches is the bulk of
-    # all generated states.  Soundness is unchanged: a class is expanded
-    # only with a strictly improving ``g`` (re-expansion safe), exactly as
-    # the eager reference loop does.
-    g_pushed: dict = {}
-    best_g = HashKeyedMap()
-    parent: dict = {}
+    engine = "astar"
 
-    def push(ps: PackedState, g: int, prev, move) -> None:
-        h = h_of(ps)
-        if ub is not None and g + h > ub - 1e-9:
-            # the admissible (unweighted) h proves no completion through
-            # this state beats the incumbent — branch-and-bound prune
-            stats.incumbent_prunes += 1
-            return
-        heapq.heappush(open_heap,
-                       (g + weight * h, g, next(counter), g + h, ps,
-                        prev, move))
-        stats.nodes_generated += 1
-        stats.max_queue = max(stats.max_queue, len(open_heap))
+    def __init__(self, target: QState, config: SearchConfig | None = None,
+                 heuristic: HeuristicFn | None = None, memory=None,
+                 incumbent=None):
+        config = config or SearchConfig()
+        if not config.use_kernel:
+            raise ValueError("stepwise A* runs require the kernel loop "
+                             "(SearchConfig(use_kernel=True))")
+        self.config = config
+        self._incumbent_result: SearchResult | None = None
+        self._transposition = memory.transposition \
+            if memory is not None else None
+        ctx = EngineContext.from_search_config(target, config,
+                                               heuristic=heuristic,
+                                               memory=memory)
+        super().__init__(ctx)
+        # EngineRun.__init__ reset _ub; seed it from the incumbent now.
+        if incumbent is not None:
+            if isinstance(incumbent, int):
+                self._ub = incumbent
+            else:
+                self._ub = incumbent.cnot_cost
+                self._incumbent_result = incumbent
 
-    start = pool.from_qstate(target)
-    g_pushed[start] = 0
-    push(start, 0, None, None)
-    last_u = 0.0
+    def _main(self):
+        ctx = self._ctx
+        config = self.config
+        weight = config.weight
+        stats = ctx.stats
+        stopwatch = ctx.stopwatch
+        target = ctx.target
+        transposition = self._transposition
+        canon = ctx.canon
+        h_of = ctx.h_of
+        try:
+            counter = itertools.count()
+            # entry: (weighted f, g, tiebreak, unweighted g + h, state,
+            #         prev, move)
+            open_heap: list = []
+            # Duplicate detection is two-tier and *lazy*: at generation
+            # time only the (nearly free) exact-state tier prunes —
+            # ``g_pushed`` is keyed by interned identity — while the
+            # expensive canonical-class tier runs at pop time.  Frontier
+            # states that are never popped therefore never pay for
+            # canonicalization, which on budget-bound searches is the bulk
+            # of all generated states.  Soundness is unchanged: a class is
+            # expanded only with a strictly improving ``g`` (re-expansion
+            # safe), exactly as the eager reference loop does.
+            g_pushed: dict = {}
+            best_g = HashKeyedMap()
+            parent: dict = {}
 
-    while open_heap:
-        _, g, _, u, state, prev, move = heapq.heappop(open_heap)
-        if g > g_pushed.get(state, g):
-            stats.nodes_pruned += 1
-            continue  # superseded by a cheaper push of the same state
-        last_u = u
+            def push(ps: PackedState, g: int, prev, move) -> None:
+                h = h_of(ps)
+                if self._ub is not None and g + h > self._ub - 1e-9:
+                    # the admissible (unweighted) h proves no completion
+                    # through this state beats the incumbent —
+                    # branch-and-bound prune
+                    stats.incumbent_prunes += 1
+                    return
+                heapq.heappush(open_heap,
+                               (g + weight * h, g, next(counter), g + h, ps,
+                                prev, move))
+                stats.nodes_generated += 1
+                stats.max_queue = max(stats.max_queue, len(open_heap))
 
-        if num_entangled_packed(state) == 0:
-            if prev is not None:
-                parent[state] = (prev, move)
-            moves = _reconstruct_packed(parent, start, state)
-            circuit = moves_to_circuit(moves, state.to_qstate(),
-                                       target.num_qubits)
-            finish_stats()
-            return SearchResult(circuit=circuit, cnot_cost=g,
-                                optimal=(weight <= 1.0), moves=moves,
-                                stats=stats)
+            start = ctx.start
+            g_pushed[start] = 0
+            push(start, 0, None, None)
+            last_u = 0.0
 
-        ckey = canon(state)
-        prev_g = best_g.get(ckey)
-        if prev_g is not None and g >= prev_g:
-            stats.nodes_pruned += 1
-            continue  # class already expanded at least this cheaply
-        if ub is not None and transposition is not None:
-            proven = transposition.exhausted_budget(ckey)
-            # "no ground path of cost <= proven leaves this class", so
-            # with integer move costs any completion costs
-            # >= g + floor(proven) + 1; prune when that reaches the
-            # incumbent (only unconditional entries — see astar_search)
-            if proven is not None and \
-                    g + math.floor(proven) + 1 > ub - 1e-9:
-                stats.bnb_transposition_prunes += 1
-                continue
-        best_g.put(ckey, g)
-        if prev is not None:
-            parent[state] = (prev, move)
+            while open_heap:
+                _, g, _, u, state, prev, move = heapq.heappop(open_heap)
+                if g > g_pushed.get(state, g):
+                    stats.nodes_pruned += 1
+                    continue  # superseded by a cheaper push of the state
+                last_u = u
 
-        stats.nodes_expanded += 1
-        if stats.nodes_expanded > config.max_nodes or stopwatch.expired():
-            finish_stats()
-            bound = _proven_bound(u, open_heap, u_index=3)
-            raise SearchBudgetExceeded(
-                f"search budget exhausted after {stats.nodes_expanded} "
-                f"expansions ({stats.elapsed_seconds:.1f}s); "
-                f"proven lower bound {bound}",
-                lower_bound=bound, incumbent=incumbent_result, stats=stats)
+                if num_entangled_packed(state) == 0:
+                    if prev is not None:
+                        parent[state] = (prev, move)
+                    moves = _reconstruct_packed(parent, start, state)
+                    circuit = moves_to_circuit(moves, state.to_qstate(),
+                                               target.num_qubits)
+                    self._finish(RunStatus.SOLVED, result=SearchResult(
+                        circuit=circuit, cnot_cost=g,
+                        optimal=(weight <= 1.0), moves=moves, stats=stats))
+                    return
 
-        for nmove, nxt in successors_packed(
-                pool, state,
-                max_merge_controls=config.max_merge_controls,
-                include_x_moves=config.include_x_moves,
-                topology=topology):
-            g2 = g + nmove.cost
-            if g2 >= g_pushed.get(nxt, math.inf):
-                stats.nodes_pruned += 1
-                continue
-            g_pushed[nxt] = g2
-            push(nxt, g2, state, nmove)
+                ckey = canon(state)
+                prev_g = best_g.get(ckey)
+                if prev_g is not None and g >= prev_g:
+                    stats.nodes_pruned += 1
+                    continue  # class already expanded at least this cheaply
+                if self._ub is not None and transposition is not None:
+                    proven = transposition.exhausted_budget(ckey)
+                    # "no ground path of cost <= proven leaves this
+                    # class", so with integer move costs any completion
+                    # costs >= g + floor(proven) + 1; prune when that
+                    # reaches the incumbent (only unconditional entries —
+                    # see astar_search)
+                    if proven is not None and \
+                            g + math.floor(proven) + 1 > self._ub - 1e-9:
+                        stats.bnb_transposition_prunes += 1
+                        continue
+                best_g.put(ckey, g)
+                if prev is not None:
+                    parent[state] = (prev, move)
 
-    finish_stats()
-    if incumbent_result is not None:
-        # Everything at or above the incumbent cost was pruned and nothing
-        # cheaper exists, so the incumbent's cost is the optimum (under an
-        # admissible ordering; weighted runs keep their anytime flag).
-        return SearchResult(circuit=incumbent_result.circuit,
-                            cnot_cost=incumbent_result.cnot_cost,
-                            optimal=(weight <= 1.0),
-                            moves=list(incumbent_result.moves), stats=stats)
-    if ub is not None:
-        raise SearchBudgetExceeded(
-            f"incumbent bound {ub} proven optimal, but no incumbent "
-            f"circuit was supplied to return", lower_bound=ub, stats=stats)
-    raise SearchBudgetExceeded(
-        "open list exhausted without reaching the ground state "
-        "(move set incomplete for this configuration)",
-        lower_bound=int(math.ceil(last_u - 1e-9)), stats=stats)
+                stats.nodes_expanded += 1
+                if stats.nodes_expanded > config.max_nodes or \
+                        stopwatch.expired():
+                    bound = _proven_bound(u, open_heap, u_index=3)
+                    self._finish(
+                        RunStatus.EXHAUSTED,
+                        error=SearchBudgetExceeded(
+                            f"search budget exhausted after "
+                            f"{stats.nodes_expanded} expansions "
+                            f"({stopwatch.elapsed():.1f}s); "
+                            f"proven lower bound {bound}",
+                            lower_bound=bound,
+                            incumbent=self._incumbent_result, stats=stats))
+                    return
+                yield  # slice boundary: one yield per expansion
+
+                for nmove, nxt in successors_packed(
+                        ctx.pool, state,
+                        max_merge_controls=config.max_merge_controls,
+                        include_x_moves=config.include_x_moves,
+                        topology=ctx.topology):
+                    g2 = g + nmove.cost
+                    if g2 >= g_pushed.get(nxt, math.inf):
+                        stats.nodes_pruned += 1
+                        continue
+                    g_pushed[nxt] = g2
+                    push(nxt, g2, state, nmove)
+
+            if self._incumbent_result is not None:
+                # Everything at or above the incumbent cost was pruned and
+                # nothing cheaper exists, so the incumbent's cost is the
+                # optimum (under an admissible ordering; weighted runs
+                # keep their anytime flag).
+                inc = self._incumbent_result
+                self._finish(RunStatus.SOLVED, result=SearchResult(
+                    circuit=inc.circuit, cnot_cost=inc.cnot_cost,
+                    optimal=(weight <= 1.0), moves=list(inc.moves),
+                    stats=stats))
+                return
+            if self._ub is not None:
+                # Injected bound, no circuit of our own: the incumbent
+                # holder's cost is proven optimal.  The one-shot wrapper
+                # surfaces this as the historical exception; the
+                # scheduler reads the PROVEN status instead.
+                self._finish(
+                    RunStatus.PROVEN,
+                    error=SearchBudgetExceeded(
+                        f"incumbent bound {self._ub} proven optimal, but "
+                        f"no incumbent circuit was supplied to return",
+                        lower_bound=self._ub, stats=stats))
+                return
+            self._finish(
+                RunStatus.EXHAUSTED,
+                error=SearchBudgetExceeded(
+                    "open list exhausted without reaching the ground state "
+                    "(move set incomplete for this configuration)",
+                    lower_bound=int(math.ceil(last_u - 1e-9)), stats=stats))
+        finally:
+            # cancellation (GeneratorExit) and every terminal path above
+            # land here: stats are finalized no matter how the run ends
+            ctx.finalize_stats()
 
 
 def _reconstruct_packed(parent: dict, start: PackedState,

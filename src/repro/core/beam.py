@@ -13,6 +13,17 @@ migration — and any circuit it returns is verified the same way.
 beam run explores exactly the move set of the exact engines it falls back
 from.  The per-level dominance map ``seen_g`` is size-capped like every
 other search container (eviction only weakens pruning, never feasibility).
+
+**Stepwise runtime.**  :class:`BeamRun` implements the level loop on the
+shared :class:`~repro.core.engine.EngineRun` protocol, yielding once per
+node expansion; :func:`beam_search` drives a run to completion and is
+trajectory-identical to the pre-refactor function.  Beam is the
+portfolio's *anytime* lane: :meth:`BeamRun.best_feasible` exposes the
+best circuit found so far while the run is still ``RUNNING``, so an
+interleaved scheduler can hand that cost to the exact lanes'
+branch-and-bound the moment it appears; an injected sibling incumbent in
+turn tightens beam's own candidate pruning (a candidate that cannot beat
+the portfolio-wide best is dead weight in the beam).
 """
 
 from __future__ import annotations
@@ -24,30 +35,25 @@ from repro.constants import (
     SEARCH_PERM_CAP,
     SEARCH_TIE_CAP,
 )
-from repro.core.astar import (
-    SearchResult,
-    SearchStats,
-    _finish_store_stats,
-    _make_h_of,
-    _native_topology,
-    _store_hit_marks,
-)
 from repro.core.canonical import CanonLevel
-from repro.core.heuristic import HeuristicFn, default_heuristic
+from repro.core.engine import (
+    EngineContext,
+    EngineRun,
+    RunStatus,
+    SearchResult,
+)
+from repro.core.heuristic import HeuristicFn
 from repro.core.kernel import (
     BoundedCache,
-    CanonContext,
     PackedState,
-    StatePool,
     num_entangled_packed,
     successors_packed,
 )
 from repro.core.moves import Move, moves_to_circuit
 from repro.exceptions import SynthesisError
 from repro.states.qstate import QState
-from repro.utils.timing import Stopwatch
 
-__all__ = ["BeamConfig", "beam_search"]
+__all__ = ["BeamConfig", "BeamRun", "beam_search"]
 
 
 @dataclass
@@ -96,134 +102,197 @@ def beam_search(target: QState, config: BeamConfig | None = None,
     canon/heuristic stores) — pure recomputation reuse, trajectories are
     identical warm or cold.
 
+    This is the one-shot wrapper over :class:`BeamRun`.
+
     Raises :class:`~repro.exceptions.SynthesisError` only if no separable
     state is ever reached (which cannot happen with the complete move set
     and a sane depth bound).
     """
-    config = config or BeamConfig()
-    topology = _native_topology(config.topology, target.num_qubits)
-    if heuristic is None:
-        heuristic = default_heuristic(topology)
-    stopwatch = Stopwatch(config.time_limit)
-    stats = SearchStats()
-    n = target.num_qubits
-    max_depth = config.max_depth
-    if max_depth is None:
-        max_depth = 4 * n * max(2, target.cardinality)
+    return BeamRun(target, config, heuristic=heuristic,
+                   memory=memory).run_to_completion()
 
-    if memory is not None:
-        pool = memory.attach(canon_level=config.canon_level,
-                             tie_cap=config.tie_cap,
-                             perm_cap=config.perm_cap,
-                             max_merge_controls=config.max_merge_controls,
-                             include_x_moves=config.include_x_moves,
-                             heuristic=heuristic,
-                             topology=topology)
-        canon_store = memory.canon_store
-        h_store = memory.h_store
-    else:
-        pool = StatePool()
-        canon_store = h_store = None
-    canon_ctx = CanonContext(config.canon_level, config.tie_cap,
-                             config.perm_cap, config.cache_cap,
-                             store=canon_store, topology=topology)
-    canon = canon_ctx.key
-    h_cache = BoundedCache(config.cache_cap)
-    h_of = _make_h_of(heuristic, h_cache, h_store)
-    store_marks = _store_hit_marks(canon_store, h_store)
 
-    def finish_stats() -> None:
-        # called on *every* exit path (including the failure raise), so no
-        # result ever carries a stale elapsed time or cache counters
-        stats.elapsed_seconds = stopwatch.elapsed()
-        stats.canon_cache_hits = canon_ctx.cache.hits
-        stats.canon_cache_misses = canon_ctx.cache.misses
-        stats.h_cache_hits = h_cache.hits
-        stats.h_cache_misses = h_cache.misses
-        stats.dedup_evictions = seen_g.evictions
-        _finish_store_stats(stats, canon_store, h_store, store_marks)
+class BeamRun(EngineRun):
+    """Stepwise anytime beam search (see module docstring)."""
 
-    best: SearchResult | None = None
-    start = pool.from_qstate(target)
-    beam = [_Node(state=start, g=0, path=())]
-    # per-class best g, capped like every other search container: an
-    # evicted entry merely lets a class re-enter a later level
-    seen_g = BoundedCache(config.cache_cap)
-    seen_g.put(canon(start), 0)
+    engine = "beam"
 
-    for _depth in range(max_depth):
-        if stopwatch.expired():
-            break
-        candidates: list[tuple[float, int, _Node]] = []
-        tiebreak = 0
+    def __init__(self, target: QState, config: BeamConfig | None = None,
+                 heuristic: HeuristicFn | None = None, memory=None,
+                 incumbent=None):
+        config = config or BeamConfig()
+        self.config = config
+        self._best: SearchResult | None = None
+        ctx = EngineContext(
+            target, canon_level=config.canon_level, tie_cap=config.tie_cap,
+            perm_cap=config.perm_cap,
+            max_merge_controls=config.max_merge_controls,
+            include_x_moves=config.include_x_moves,
+            cache_cap=config.cache_cap, topology=config.topology,
+            time_limit=config.time_limit, heuristic=heuristic,
+            memory=memory)
+        # the dedup container is read by finalize-time stats, so it must
+        # exist before the first step (and before any cancellation);
+        # likewise the frontier starts at the target so a deadline flush
+        # can m-flow-complete *something* even before the first slice
+        self._seen_g = BoundedCache(config.cache_cap)
+        self._beam: list[_Node] = [_Node(state=ctx.start, g=0, path=())]
+        super().__init__(ctx)
+        if incumbent is not None:
+            self.inject_incumbent(incumbent if isinstance(incumbent, int)
+                                  else incumbent.cnot_cost)
+
+    def best_feasible(self) -> SearchResult | None:
+        """Best circuit found so far — readable *while running* (anytime)."""
+        if self._result is not None:
+            return self._result
+        return self._best
+
+    def flush_feasible(self) -> SearchResult | None:
+        """Complete the *current* frontier into a feasible circuit now.
+
+        A deadline can cut a beam run before any beam node turns
+        separable; the frontier still encodes real progress, and the
+        m-flow completion tail can finish its best nodes in polynomial
+        time.  The scheduler calls this at deadline expiry so an anytime
+        request gets a valid circuit instead of nothing.  Topology-native
+        runs skip the tail (its merges are not native) and just report
+        :meth:`best_feasible`.
+        """
+        self._complete_frontier(self._beam)
+        return self.best_feasible()
+
+    def _complete_frontier(self, beam: list[_Node]) -> None:
+        """Flush separable frontier nodes and m-flow-complete the rest.
+
+        Exactly the run's historical end-of-search completion, factored
+        out so a deadline flush performs the identical computation on the
+        current beam.  Only ever *improves* ``self._best``.
+        """
+        ctx = self._ctx
+        config = self.config
+        n = ctx.target.num_qubits
         for node in beam:
-            if num_entangled_packed(node.state) == 0:
-                if best is None or node.g < best.cnot_cost:
-                    moves = list(node.path)
-                    circuit = moves_to_circuit(moves, node.state.to_qstate(),
-                                               n)
-                    best = SearchResult(circuit=circuit, cnot_cost=node.g,
-                                        optimal=False, moves=moves,
-                                        stats=stats)
-                continue
-            stats.nodes_expanded += 1
-            for move, nxt in successors_packed(
-                    pool, node.state,
-                    max_merge_controls=config.max_merge_controls,
-                    include_x_moves=config.include_x_moves,
-                    topology=topology):
-                g2 = node.g + move.cost
-                if best is not None and g2 >= best.cnot_cost:
-                    continue  # cannot improve the incumbent
-                ckey = canon(nxt)
-                prev = seen_g.get(ckey)
-                if prev is not None and prev <= g2:
-                    stats.nodes_pruned += 1
+            if num_entangled_packed(node.state) == 0 and \
+                    (self._best is None or node.g < self._best.cnot_cost):
+                moves = list(node.path)
+                circuit = moves_to_circuit(moves, node.state.to_qstate(), n)
+                self._best = SearchResult(
+                    circuit=circuit, cnot_cost=node.g, optimal=False,
+                    moves=moves, stats=ctx.stats)
+
+        # Completion: finish the most promising frontier nodes with
+        # cardinality reduction, so the beam always returns a feasible
+        # circuit even when it timed out before disentangling anything.
+        # The m-flow merges are not topology-native, so a restricted run
+        # skips the tail — a native beam only ever returns circuits whose
+        # every CNOT sits on a coupled pair.
+        if ctx.topology is None:
+            from repro.baselines.mflow import mflow_reduction_moves
+
+            frontier = sorted(beam, key=lambda nd: (
+                nd.g + config.heuristic_weight * ctx.h_of(nd.state)))
+            for node in frontier[:3] if frontier else []:
+                if num_entangled_packed(node.state) == 0:
                     continue
-                seen_g.put(ckey, g2)
-                stats.nodes_generated += 1
-                score = g2 + config.heuristic_weight * h_of(nxt)
-                tiebreak += 1
-                candidates.append(
-                    (score, tiebreak,
-                     _Node(state=nxt, g=g2, path=node.path + (move,))))
-        if not candidates:
-            break
-        candidates.sort(key=lambda item: (item[0], item[1]))
-        beam = [node for _, _, node in candidates[:config.width]]
+                tail_moves, final_state = mflow_reduction_moves(
+                    node.state.to_qstate())
+                g_total = node.g + sum(m.cost for m in tail_moves)
+                if self._best is None or g_total < self._best.cnot_cost:
+                    moves = list(node.path) + tail_moves
+                    circuit = moves_to_circuit(moves, final_state, n)
+                    self._best = SearchResult(
+                        circuit=circuit, cnot_cost=g_total, optimal=False,
+                        moves=moves, stats=ctx.stats)
 
-    # Flush any separable states left in the final beam.
-    for node in beam:
-        if num_entangled_packed(node.state) == 0 and \
-                (best is None or node.g < best.cnot_cost):
-            moves = list(node.path)
-            circuit = moves_to_circuit(moves, node.state.to_qstate(), n)
-            best = SearchResult(circuit=circuit, cnot_cost=node.g,
+    def _cost_limit(self) -> float:
+        """Candidates at or above this cost cannot improve anything."""
+        limit = float("inf")
+        if self._best is not None:
+            limit = self._best.cnot_cost
+        if self._ub is not None and self._ub < limit:
+            limit = float(self._ub)
+        return limit
+
+    def _main(self):
+        ctx = self._ctx
+        config = self.config
+        stats = ctx.stats
+        stopwatch = ctx.stopwatch
+        canon = ctx.canon
+        h_of = ctx.h_of
+        target = ctx.target
+        n = target.num_qubits
+        max_depth = config.max_depth
+        if max_depth is None:
+            max_depth = 4 * n * max(2, target.cardinality)
+        seen_g = self._seen_g
+        try:
+            start = ctx.start
+            beam = self._beam  # the one-node frontier built in __init__
+            # per-class best g, capped like every other search container:
+            # an evicted entry merely lets a class re-enter a later level
+            seen_g.put(canon(start), 0)
+
+            for _depth in range(max_depth):
+                if stopwatch.expired():
+                    break
+                candidates: list[tuple[float, int, _Node]] = []
+                tiebreak = 0
+                for node in beam:
+                    if num_entangled_packed(node.state) == 0:
+                        if self._best is None or \
+                                node.g < self._best.cnot_cost:
+                            moves = list(node.path)
+                            circuit = moves_to_circuit(
+                                moves, node.state.to_qstate(), n)
+                            self._best = SearchResult(
+                                circuit=circuit, cnot_cost=node.g,
                                 optimal=False, moves=moves, stats=stats)
+                        continue
+                    stats.nodes_expanded += 1
+                    yield  # slice boundary: one yield per expansion
+                    # the pruning limit can only move at a yield (sibling
+                    # injection between slices) or when a separable node
+                    # earlier in this level improved best — both strictly
+                    # before this expansion — so hoist it out of the
+                    # successor loop
+                    cost_limit = self._cost_limit()
+                    for move, nxt in successors_packed(
+                            ctx.pool, node.state,
+                            max_merge_controls=config.max_merge_controls,
+                            include_x_moves=config.include_x_moves,
+                            topology=ctx.topology):
+                        g2 = node.g + move.cost
+                        if g2 >= cost_limit:
+                            continue  # cannot improve the incumbent
+                        ckey = canon(nxt)
+                        prev = seen_g.get(ckey)
+                        if prev is not None and prev <= g2:
+                            stats.nodes_pruned += 1
+                            continue
+                        seen_g.put(ckey, g2)
+                        stats.nodes_generated += 1
+                        score = g2 + config.heuristic_weight * h_of(nxt)
+                        tiebreak += 1
+                        candidates.append(
+                            (score, tiebreak,
+                             _Node(state=nxt, g=g2,
+                                   path=node.path + (move,))))
+                if not candidates:
+                    break
+                candidates.sort(key=lambda item: (item[0], item[1]))
+                beam = [node for _, _, node in candidates[:config.width]]
+                self._beam = beam
 
-    # Completion: finish the most promising frontier nodes with cardinality
-    # reduction, so the beam always returns a feasible circuit even when it
-    # timed out before disentangling anything.  The m-flow merges are not
-    # topology-native, so a restricted run skips the tail — a native beam
-    # only ever returns circuits whose every CNOT sits on a coupled pair.
-    if topology is None:
-        from repro.baselines.mflow import mflow_reduction_moves
+            # Flush separable frontier nodes + m-flow-complete the rest.
+            self._complete_frontier(beam)
 
-        frontier = sorted(beam, key=lambda nd: (
-            nd.g + config.heuristic_weight * h_of(nd.state)))
-        for node in frontier[:3] if frontier else []:
-            if num_entangled_packed(node.state) == 0:
-                continue
-            tail_moves, final_state = mflow_reduction_moves(
-                node.state.to_qstate())
-            g_total = node.g + sum(m.cost for m in tail_moves)
-            if best is None or g_total < best.cnot_cost:
-                moves = list(node.path) + tail_moves
-                circuit = moves_to_circuit(moves, final_state, n)
-                best = SearchResult(circuit=circuit, cnot_cost=g_total,
-                                    optimal=False, moves=moves, stats=stats)
-
-    finish_stats()
-    if best is None:
-        raise SynthesisError("beam search produced no feasible circuit")
-    return best
+            if self._best is None:
+                self._finish(RunStatus.EXHAUSTED, error=SynthesisError(
+                    "beam search produced no feasible circuit"))
+                return
+            self._finish(RunStatus.SOLVED, result=self._best)
+        finally:
+            stats.dedup_evictions = seen_g.evictions
+            ctx.finalize_stats()

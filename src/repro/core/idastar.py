@@ -43,6 +43,19 @@ the aggressive intra-search pruning the old unsound table provided; see
 :class:`repro.core.memory.TranspositionTable` for the reuse contract.
 ``stats.transposition_poisoned`` counts the records that the old rule
 would have written unconditionally but are in fact path-dependent.
+
+**Stepwise runtime.**  :class:`IDAStarRun` implements the probe as a
+*recursive generator* (``yield from`` down the DFS, one ``yield`` per
+expansion), so the run can be paused, resumed, and cancelled at any
+expansion without touching the traversal order — the one-shot
+:func:`idastar_search` drives a run to completion and is node-for-node
+identical to the pre-refactor function.  An injected incumbent cost is
+consumed at deepening-round boundaries: the next round's bound is capped
+at ``incumbent - 1`` (with integer move costs any strictly better
+solution fits under that bound), and once the proven lower bound reaches
+the incumbent the run reports ``PROVEN`` instead of deepening further.
+Round boundaries — never mid-round — keep every transposition record's
+``remaining = bound - g`` claim exactly as proven.
 """
 
 from __future__ import annotations
@@ -50,21 +63,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.astar import (
+from repro.core.engine import (
+    EngineContext,
+    EngineRun,
+    RunStatus,
     SearchConfig,
     SearchResult,
-    SearchStats,
-    _finish_store_stats,
-    _make_h_of,
-    _native_topology,
-    _store_hit_marks,
 )
-from repro.core.heuristic import HeuristicFn, default_heuristic
+from repro.core.heuristic import HeuristicFn
 from repro.core.kernel import (
-    BoundedCache,
-    CanonContext,
     PackedState,
-    StatePool,
     num_entangled_packed,
     successors_packed,
 )
@@ -72,9 +80,8 @@ from repro.core.memory import TranspositionTable
 from repro.core.moves import Move, moves_to_circuit
 from repro.exceptions import SearchBudgetExceeded
 from repro.states.qstate import QState
-from repro.utils.timing import Stopwatch
 
-__all__ = ["IDAStarConfig", "idastar_search"]
+__all__ = ["IDAStarConfig", "IDAStarRun", "idastar_search"]
 
 _FOUND = -1.0
 
@@ -110,164 +117,213 @@ def idastar_search(target: QState, config: IDAStarConfig | None = None,
     module docstring), which makes repeated family searches dramatically
     warmer while provably returning the same optimal costs.
 
+    This is the one-shot wrapper over :class:`IDAStarRun`.
+
     Raises :class:`SearchBudgetExceeded` when ``max_nodes`` (total expansions
     across all rounds) or the time limit runs out.
     """
-    config = config or IDAStarConfig()
-    shared = config.search
-    topology = _native_topology(shared.topology, target.num_qubits)
-    if heuristic is None:
-        heuristic = default_heuristic(topology)
-    stopwatch = Stopwatch(shared.time_limit)
-    stats = SearchStats()
-    if memory is not None:
-        pool = memory.attach(canon_level=shared.canon_level,
-                             tie_cap=shared.tie_cap,
-                             perm_cap=shared.perm_cap,
-                             max_merge_controls=shared.max_merge_controls,
-                             include_x_moves=shared.include_x_moves,
-                             heuristic=heuristic,
-                             topology=topology)
-        canon_store = memory.canon_store
-        h_store = memory.h_store
-        transposition = memory.transposition
-    else:
-        pool = StatePool()
-        canon_store = h_store = None
-        transposition = TranspositionTable(config.transposition_cap)
+    return IDAStarRun(target, config, heuristic=heuristic,
+                      memory=memory).run_to_completion()
 
-    canon_ctx = CanonContext(shared.canon_level, shared.tie_cap,
-                             shared.perm_cap, shared.cache_cap,
-                             store=canon_store, topology=topology)
-    canon = canon_ctx.key
-    h_cache = BoundedCache(shared.cache_cap)
-    h_of = _make_h_of(heuristic, h_cache, h_store)
-    store_marks = _store_hit_marks(canon_store, h_store)
 
-    def finish_stats() -> None:
-        stats.elapsed_seconds = stopwatch.elapsed()
-        stats.canon_cache_hits = canon_ctx.cache.hits
-        stats.canon_cache_misses = canon_ctx.cache.misses
-        stats.h_cache_hits = h_cache.hits
-        stats.h_cache_misses = h_cache.misses
-        _finish_store_stats(stats, canon_store, h_store, store_marks)
+class IDAStarRun(EngineRun):
+    """Stepwise IDA* (recursive-generator probe; see module docstring)."""
 
-    record_truncated = config.record_truncated
-    path_moves: list[Move] = []
-    path_stack: list = []
-    path_class_set: set = set()
-    goal_state: PackedState | None = None
-    _NO_TRUNC: frozenset = frozenset()
+    engine = "idastar"
 
-    def probe(state: PackedState, g: int,
-              bound: float) -> tuple[float, frozenset]:
-        """DFS below ``state``; returns ``(value, trunc)`` where ``value``
-        is the smallest f that exceeded the bound (or ``_FOUND``) and
-        ``trunc`` is the set of path classes strictly above this node that
-        truncated exploration anywhere in the subtree (empty when the
-        exhaustion proof is path-independent — see module docstring)."""
-        nonlocal goal_state
-        f = g + h_of(state)
-        if f > bound:
-            # f-pruning is path-independent: the admissible h proves no
-            # goal within the bound through this node from *any* prefix
-            return f, _NO_TRUNC
-        if num_entangled_packed(state) == 0:
-            goal_state = state
-            return _FOUND, _NO_TRUNC
-        stats.nodes_expanded += 1
-        if stats.nodes_expanded > shared.max_nodes or stopwatch.expired():
-            finish_stats()
-            raise SearchBudgetExceeded(
-                f"IDA* budget exhausted after {stats.nodes_expanded} "
-                f"expansions", lower_bound=proven_lb, stats=stats)
-        remaining = bound - g
-        ckey = canon(state)
-        condition = transposition.lookup(ckey, remaining, path_class_set)
-        if condition is not None:
-            # the entry's condition is the truncation debt this prune
-            # inherits (empty for an unconditional, hence universal, claim)
-            stats.transposition_hits += 1
-            return bound + 1.0, condition
-        minimum = float("inf")
-        trunc: set | frozenset = _NO_TRUNC
-        for move, nxt in successors_packed(
-                pool, state,
-                max_merge_controls=shared.max_merge_controls,
-                include_x_moves=shared.include_x_moves,
-                topology=topology):
-            stats.nodes_generated += 1
-            nkey = canon(nxt)
-            if nkey in path_class_set:
-                # cycle avoidance: sound for this probe, but it truncates
-                # the subtree relative to the path class it skipped
-                stats.nodes_pruned += 1
-                if nkey != ckey:  # own-class skips are discharged here
+    def __init__(self, target: QState, config: IDAStarConfig | None = None,
+                 heuristic: HeuristicFn | None = None, memory=None,
+                 incumbent=None):
+        config = config or IDAStarConfig()
+        self.config = config
+        shared = config.search
+        ctx = EngineContext.from_search_config(target, shared,
+                                               heuristic=heuristic,
+                                               memory=memory)
+        if memory is not None:
+            self._transposition = memory.transposition
+        else:
+            self._transposition = TranspositionTable(
+                config.transposition_cap)
+        super().__init__(ctx)
+        if incumbent is not None:
+            self.inject_incumbent(incumbent if isinstance(incumbent, int)
+                                  else incumbent.cnot_cost)
+
+    def _main(self):
+        ctx = self._ctx
+        shared = self.config.search
+        stats = ctx.stats
+        stopwatch = ctx.stopwatch
+        canon = ctx.canon
+        h_of = ctx.h_of
+        transposition = self._transposition
+        record_truncated = self.config.record_truncated
+
+        path_moves: list[Move] = []
+        path_stack: list = []
+        path_class_set: set = set()
+        goal_state: list = [None]  # cell: the probe generator writes it
+        _NO_TRUNC: frozenset = frozenset()
+        proven_lb = 0
+
+        def probe(state: PackedState, g: int, bound: float):
+            """DFS below ``state``; a generator yielding once per
+            expansion, returning ``(value, trunc)`` where ``value`` is
+            the smallest f that exceeded the bound (or ``_FOUND``) and
+            ``trunc`` is the set of path classes strictly above this node
+            that truncated exploration anywhere in the subtree (empty
+            when the exhaustion proof is path-independent — see module
+            docstring)."""
+            f = g + h_of(state)
+            if f > bound:
+                # f-pruning is path-independent: the admissible h proves
+                # no goal within the bound through this node from *any*
+                # prefix
+                return f, _NO_TRUNC
+            if num_entangled_packed(state) == 0:
+                goal_state[0] = state
+                return _FOUND, _NO_TRUNC
+            stats.nodes_expanded += 1
+            if stats.nodes_expanded > shared.max_nodes or \
+                    stopwatch.expired():
+                raise SearchBudgetExceeded(
+                    f"IDA* budget exhausted after {stats.nodes_expanded} "
+                    f"expansions", lower_bound=proven_lb, stats=stats)
+            yield  # slice boundary: one yield per expansion
+            remaining = bound - g
+            ckey = canon(state)
+            condition = transposition.lookup(ckey, remaining,
+                                             path_class_set)
+            if condition is not None:
+                # the entry's condition is the truncation debt this prune
+                # inherits (empty for an unconditional, hence universal,
+                # claim)
+                stats.transposition_hits += 1
+                return bound + 1.0, condition
+            minimum = float("inf")
+            trunc: set | frozenset = _NO_TRUNC
+            for move, nxt in successors_packed(
+                    ctx.pool, state,
+                    max_merge_controls=shared.max_merge_controls,
+                    include_x_moves=shared.include_x_moves,
+                    topology=ctx.topology):
+                stats.nodes_generated += 1
+                nkey = canon(nxt)
+                if nkey in path_class_set:
+                    # cycle avoidance: sound for this probe, but it
+                    # truncates the subtree relative to the path class it
+                    # skipped
+                    stats.nodes_pruned += 1
+                    if nkey != ckey:  # own-class skips discharged here
+                        if type(trunc) is frozenset:
+                            trunc = set(trunc)
+                        trunc.add(nkey)
+                    continue
+                path_moves.append(move)
+                path_stack.append(nkey)
+                path_class_set.add(nkey)
+                result, child_trunc = yield from probe(nxt, g + move.cost,
+                                                       bound)
+                if result == _FOUND:
+                    return _FOUND, _NO_TRUNC
+                path_moves.pop()
+                path_class_set.discard(path_stack.pop())
+                if child_trunc:
+                    # fold the child's truncation debt, discharging this
+                    # node's own class (a class-acyclic witness from here
+                    # never revisits it)
                     if type(trunc) is frozenset:
                         trunc = set(trunc)
-                    trunc.add(nkey)
-                continue
-            path_moves.append(move)
-            path_stack.append(nkey)
-            path_class_set.add(nkey)
-            result, child_trunc = probe(nxt, g + move.cost, bound)
-            if result == _FOUND:
-                return _FOUND, _NO_TRUNC
-            path_moves.pop()
-            path_class_set.discard(path_stack.pop())
-            if child_trunc:
-                # fold the child's truncation debt, discharging this
-                # node's own class (a class-acyclic witness from here
-                # never revisits it)
-                if type(trunc) is frozenset:
-                    trunc = set(trunc)
-                trunc.update(child_trunc)
-                trunc.discard(ckey)
-            if result < minimum:
-                minimum = result
-        trunc_frozen = frozenset(trunc) if type(trunc) is not frozenset \
-            else trunc
-        if trunc_frozen and not record_truncated:
-            stats.transposition_poisoned += 1
-            transposition.record(ckey, remaining, trunc_frozen)
-        else:
-            # record_truncated reinstates the pre-fix bug: the condition
-            # is dropped and the entry reads as unconditional
-            transposition.record(ckey, remaining, _NO_TRUNC)
-        stats.transposition_writes += 1
-        return minimum, trunc_frozen
+                    trunc.update(child_trunc)
+                    trunc.discard(ckey)
+                if result < minimum:
+                    minimum = result
+            trunc_frozen = frozenset(trunc) if type(trunc) is not frozenset \
+                else trunc
+            if trunc_frozen and not record_truncated:
+                stats.transposition_poisoned += 1
+                transposition.record(ckey, remaining, trunc_frozen)
+            else:
+                # record_truncated reinstates the pre-fix bug: the
+                # condition is dropped and the entry reads as
+                # unconditional
+                transposition.record(ckey, remaining, _NO_TRUNC)
+            stats.transposition_writes += 1
+            return minimum, trunc_frozen
 
-    start = pool.from_qstate(target)
-    bound = h_of(start)
-    # Proven lower bound, maintained round-by-round: admissibility proves
-    # ``OPT >= h(start)`` up front (A*'s ceil convention — the old code
-    # truncated ``int(bound)``); each fully exhausted round then proves
-    # ``OPT > bound``, i.e. ``OPT >= floor(bound) + 1`` with integer move
-    # costs.  The *next-round* bound itself is not used as a claim: a
-    # transposition hit reports ``bound + 1.0``, which with fractional
-    # heuristics may overstate the subtree's true minimal exceeded f.
-    proven_lb = int(math.ceil(bound - 1e-9))
-    start_class = canon(start)
-    while True:
-        path_moves.clear()
-        path_stack.clear()
-        path_class_set.clear()
-        path_class_set.add(start_class)
-        outcome, _ = probe(start, 0, bound)
-        if outcome == _FOUND:
-            assert goal_state is not None
-            moves = list(path_moves)
-            circuit = moves_to_circuit(moves, goal_state.to_qstate(),
-                                       target.num_qubits)
-            finish_stats()
-            cost = sum(m.cost for m in moves)
-            return SearchResult(circuit=circuit, cnot_cost=cost,
-                                optimal=True, moves=moves, stats=stats)
-        proven_lb = max(proven_lb, int(bound) + 1)
-        if outcome == float("inf"):
-            finish_stats()
-            raise SearchBudgetExceeded(
-                "IDA* exhausted the move space without reaching ground "
-                "(move set incomplete for this configuration)",
-                lower_bound=proven_lb, stats=stats)
-        bound = outcome
+        try:
+            start = ctx.start
+            bound = h_of(start)
+            # Proven lower bound, maintained round-by-round: admissibility
+            # proves ``OPT >= h(start)`` up front (A*'s ceil convention —
+            # the old code truncated ``int(bound)``); each fully exhausted
+            # round then proves ``OPT > bound``, i.e. ``OPT >=
+            # floor(bound) + 1`` with integer move costs.  The
+            # *next-round* bound itself is not used as a claim: a
+            # transposition hit reports ``bound + 1.0``, which with
+            # fractional heuristics may overstate the subtree's true
+            # minimal exceeded f.
+            proven_lb = int(math.ceil(bound - 1e-9))
+            start_class = canon(start)
+            while True:
+                if self._ub is not None:
+                    # An injected incumbent cost bounds the deepening:
+                    # once the proven lower bound reaches it, the
+                    # incumbent holder's cost is optimal; otherwise any
+                    # strictly better solution (integer costs) fits under
+                    # ``incumbent - 1``, so the round's bound is capped
+                    # there — every transposition record stays exactly as
+                    # proven, because the cap applies at round start, not
+                    # mid-probe.
+                    if proven_lb >= self._ub:
+                        self._finish(
+                            RunStatus.PROVEN,
+                            error=SearchBudgetExceeded(
+                                f"incumbent bound {self._ub} proven "
+                                f"optimal by iterative deepening",
+                                lower_bound=self._ub, stats=stats))
+                        return
+                    bound = min(bound, self._ub - 1)
+                path_moves.clear()
+                path_stack.clear()
+                path_class_set.clear()
+                path_class_set.add(start_class)
+                outcome, _ = yield from probe(start, 0, bound)
+                if outcome == _FOUND:
+                    assert goal_state[0] is not None
+                    moves = list(path_moves)
+                    circuit = moves_to_circuit(
+                        moves, goal_state[0].to_qstate(),
+                        ctx.target.num_qubits)
+                    cost = sum(m.cost for m in moves)
+                    self._finish(RunStatus.SOLVED, result=SearchResult(
+                        circuit=circuit, cnot_cost=cost, optimal=True,
+                        moves=moves, stats=stats))
+                    return
+                proven_lb = max(proven_lb, int(bound) + 1)
+                if outcome == float("inf"):
+                    if self._ub is not None:
+                        # nothing under the capped bound: no solution
+                        # strictly beats the incumbent
+                        self._finish(
+                            RunStatus.PROVEN,
+                            error=SearchBudgetExceeded(
+                                f"incumbent bound {self._ub} proven "
+                                f"optimal by iterative deepening",
+                                lower_bound=self._ub, stats=stats))
+                        return
+                    self._finish(
+                        RunStatus.EXHAUSTED,
+                        error=SearchBudgetExceeded(
+                            "IDA* exhausted the move space without "
+                            "reaching ground (move set incomplete for "
+                            "this configuration)",
+                            lower_bound=proven_lb, stats=stats))
+                    return
+                bound = outcome
+        except SearchBudgetExceeded as exc:
+            self._finish(RunStatus.EXHAUSTED, error=exc)
+            return
+        finally:
+            ctx.finalize_stats()

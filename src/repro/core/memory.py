@@ -58,6 +58,7 @@ from repro.constants import (
     MEMORY_POOL_ROTATE_CAP,
     MEMORY_STORE_CAP,
     MEMORY_TRANSPOSITION_CAP,
+    TRANSPOSITION_AGE_PENALTY,
 )
 from repro.core.kernel import PackedState, StatePool, state_hash64
 from repro.exceptions import MemoryCompatibilityError
@@ -217,25 +218,49 @@ class TranspositionTable:
     claim chain honest.  The pre-fix code recorded such entries *without*
     the condition, which is the unsoundness this table exists to fix.
 
-    One entry of each kind per class, capped per kind with *budget-weighted*
-    replacement: an eviction sweep drops the entries proving the smallest
-    remaining budgets, because a large-budget entry prunes every probe a
-    small-budget one would and more (dropping any entry is always sound —
-    the subtree is merely re-probed).  Re-recording only ever improves an
-    entry (larger budget, or equal budget with a weaker condition).
+    One entry of each kind per class, capped per kind with *budget-weighted,
+    age-discounted* replacement: an eviction sweep drops the entries whose
+    ``proven budget - age penalty`` is smallest, because a large-budget
+    entry prunes every probe a small-budget one would and more (dropping
+    any entry is always sound — the subtree is merely re-probed), while a
+    proof untouched for many snapshot *generations* belongs to a workload
+    the service no longer sees and is the cheapest to let drain out.
+    Re-recording only ever improves an entry (larger budget, or equal
+    budget with a weaker condition) but always refreshes its generation
+    stamp — an entry the current workload keeps re-proving is young, not
+    stale.
+
+    **Generations.**  ``generation`` is a monotone counter bumped by
+    :func:`repro.service.persistence.save_memory_snapshot` after every
+    full snapshot — the natural epoch boundary of a long-lived service.
+    Entries record the generation they were last written under; snapshots
+    persist both the per-entry stamps and the table counter, so relative
+    ages survive the disk round trip and a rebooted service keeps aging
+    where the previous incarnation stopped.
     """
 
-    __slots__ = ("cap", "data", "cond", "hits", "misses", "writes",
-                 "evictions")
+    __slots__ = ("cap", "data", "cond", "data_gen", "cond_gen",
+                 "generation", "hits", "misses", "writes", "evictions")
 
     def __init__(self, cap: int = MEMORY_TRANSPOSITION_CAP):
         self.cap = max(1, int(cap))
         self.data: dict = {}
         self.cond: dict = {}
+        #: per-entry generation stamps (parallel to data/cond so the entry
+        #: payloads — and every test/serializer that reads them — keep
+        #: their shape)
+        self.data_gen: dict = {}
+        self.cond_gen: dict = {}
+        self.generation = 0
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+
+    def bump_generation(self) -> int:
+        """Advance the aging epoch (called after each full snapshot save)."""
+        self.generation += 1
+        return self.generation
 
     def __len__(self) -> int:
         return len(self.data) + len(self.cond)
@@ -252,6 +277,10 @@ class TranspositionTable:
         prev = self.data.get(key)
         if prev is not None and prev >= remaining:
             self.hits += 1
+            # a hit prevents the re-probe that would re-record the entry,
+            # so the hit itself must refresh the aging stamp — the
+            # entries pruning the current workload are the young ones
+            self.data_gen[key] = self.generation
             return _NO_CONDITION
         entry = self.cond.get(key)
         if entry is not None:
@@ -259,6 +288,7 @@ class TranspositionTable:
             if budget >= remaining and \
                     all(c in path_classes for c in required):
                 self.hits += 1
+                self.cond_gen[key] = self.generation
                 return required
         self.misses += 1
         return None
@@ -271,48 +301,87 @@ class TranspositionTable:
         Conditional entries are deliberately invisible here: their claim
         is relative to a DFS path set that a best-first search does not
         have.  Does not touch the hit/miss counters (the caller is not a
-        probe).
+        probe), but a consult does refresh the aging stamp — an entry
+        arming branch-and-bound prunes is in active service.
         """
-        return self.data.get(key)
+        budget = self.data.get(key)
+        if budget is not None:
+            self.data_gen[key] = self.generation
+        return budget
 
-    def _evict_smallest(self, table: dict, budget_of) -> None:
-        """Drop the entries proving the smallest remaining budgets."""
+    def _evict_smallest(self, table: dict, budget_of, gen_table: dict) -> None:
+        """Drop the entries with the smallest age-discounted budgets.
+
+        Ranking key: ``proven budget - TRANSPOSITION_AGE_PENALTY * age``
+        where ``age = generation - entry generation`` — among equal
+        budgets the stalest proof goes first, and a generation of
+        staleness costs one unit of proven budget.
+        """
         drop = max(1, self.cap // _EVICT_DENOM)
-        victims = heapq.nsmallest(drop, table.items(),
-                                  key=lambda kv: budget_of(kv[1]))
+        generation = self.generation
+
+        def rank(kv):
+            age = generation - gen_table.get(kv[0], generation)
+            return budget_of(kv[1]) - TRANSPOSITION_AGE_PENALTY * age
+
+        victims = heapq.nsmallest(drop, table.items(), key=rank)
         for stale, _ in victims:
             del table[stale]
+            gen_table.pop(stale, None)
         self.evictions += len(victims)
 
-    def record(self, key, remaining: float, required: frozenset) -> None:
+    def record(self, key, remaining: float, required: frozenset,
+               generation: int | None = None) -> None:
+        """Record an exhaustion proof (improve-only; stamps a generation).
+
+        ``generation`` defaults to the table's current epoch; snapshot
+        loaders pass the stored stamp so relative entry ages survive the
+        disk round trip.  Every touch refreshes the stamp *forward only*
+        (``max``) — a claim the current workload keeps re-proving is not
+        stale, and a worker delta replaying an entry it learned under an
+        older epoch must not regress the parent's fresh stamp.
+        """
+        if generation is None:
+            generation = self.generation
+
+        def stamp(gen_table: dict) -> None:
+            prev_gen = gen_table.get(key)
+            if prev_gen is None or generation > prev_gen:
+                gen_table[key] = generation
+
         if required:
             entry = self.cond.get(key)
             if entry is not None:
+                stamp(self.cond_gen)
                 budget, prev_req = entry
                 if remaining < budget or \
                         (remaining == budget and
                          not (required < prev_req)):
                     return
             elif len(self.cond) >= self.cap:
-                self._evict_smallest(self.cond, lambda v: v[0])
+                self._evict_smallest(self.cond, lambda v: v[0],
+                                     self.cond_gen)
             self.cond[key] = (remaining, required)
+            stamp(self.cond_gen)
             self.writes += 1
             return
         prev = self.data.get(key)
         if prev is not None:
+            stamp(self.data_gen)
             if remaining > prev:
                 self.data[key] = remaining
             return
         if len(self.data) >= self.cap:
-            self._evict_smallest(self.data, lambda v: v)
+            self._evict_smallest(self.data, lambda v: v, self.data_gen)
         self.data[key] = remaining
+        stamp(self.data_gen)
         self.writes += 1
 
     def snapshot(self) -> dict:
         return {"entries": len(self), "unconditional": len(self.data),
                 "conditional": len(self.cond), "hits": self.hits,
                 "misses": self.misses, "writes": self.writes,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "generation": self.generation}
 
 
 class SearchMemory:
@@ -327,7 +396,7 @@ class SearchMemory:
 
     __slots__ = ("pool", "canon_store", "h_store", "transposition",
                  "pool_rotate_cap", "pool_rotations", "searches",
-                 "_fingerprint")
+                 "lane_stats", "_fingerprint")
 
     def __init__(self, store_cap: int = MEMORY_STORE_CAP,
                  transposition_cap: int = MEMORY_TRANSPOSITION_CAP,
@@ -339,7 +408,29 @@ class SearchMemory:
         self.pool_rotate_cap = max(1, int(pool_rotate_cap))
         self.pool_rotations = 0
         self.searches = 0
+        #: per-portfolio-lane outcome counters (lane name -> {"runs",
+        #: "wins", "feasible", "timeouts"}), fed by the service portfolio
+        #: and persisted in snapshots: the adaptive lane ordering sorts
+        #: lanes by historical win rate (``repro.service.portfolio
+        #: .order_specs``).  Counters are advisory — they steer lane
+        #: *order*, never results — so merging them additively across
+        #: worker deltas is always safe.
+        self.lane_stats: dict[str, dict[str, int]] = {}
         self._fingerprint: tuple | None = None
+
+    def record_lane_outcome(self, name: str, *, won: bool = False,
+                            feasible: bool = False,
+                            timeout: bool = False) -> None:
+        """Accumulate one portfolio lane's outcome (adaptive ordering)."""
+        row = self.lane_stats.setdefault(
+            name, {"runs": 0, "wins": 0, "feasible": 0, "timeouts": 0})
+        row["runs"] += 1
+        if won:
+            row["wins"] += 1
+        if feasible:
+            row["feasible"] += 1
+        if timeout:
+            row["timeouts"] += 1
 
     def attach(self, *, canon_level, tie_cap: int, perm_cap: int,
                max_merge_controls: int | None, include_x_moves: bool,
@@ -396,4 +487,6 @@ class SearchMemory:
             "canon_store": self.canon_store.snapshot(),
             "h_store": self.h_store.snapshot(),
             "transposition": self.transposition.snapshot(),
+            "lane_stats": {name: dict(row)
+                           for name, row in self.lane_stats.items()},
         }

@@ -48,6 +48,12 @@ def save_memory_snapshot(memory: SearchMemory,
 
     The write goes through a temporary sibling file + rename, so a reader
     never observes a torn snapshot even if the writer dies mid-dump.
+
+    A full save is the transposition table's *aging epoch boundary*: the
+    snapshot captures every entry stamped with its current generation,
+    then the live table's generation counter advances, so entries the
+    next workload never touches grow stale and drain out first under the
+    age-weighted eviction sweeps.
     """
     data = memory_to_dict(memory)
     path = pathlib.Path(path)
@@ -57,6 +63,7 @@ def save_memory_snapshot(memory: SearchMemory,
     with _opener(path)(tmp, "wt", encoding="utf-8") as handle:
         json.dump(data, handle)
     tmp.replace(path)
+    memory.transposition.bump_generation()
     return data
 
 

@@ -7,20 +7,42 @@ when it does not (and its transposition proofs persist), and weighted
 variants trade proof for speed.  The portfolio runs a request against a
 set of :class:`EngineSpec` configurations instead of betting on one:
 
-* **Sequential mode** (:func:`run_portfolio`, the in-process default) runs
-  the specs in order with *incumbent threading*: the best feasible cost
-  so far is handed to every later A* spec, whose branch-and-bound mode
-  (see :func:`repro.core.astar.astar_search`) prunes against it — and,
-  via the shared memory's transposition table, against IDA* exhaustion
-  proofs.  The first proven-optimal result stops the line.
+* **Interleaved mode** (:func:`interleaved_portfolio`, the anytime
+  scheduler built on the stepwise :class:`~repro.core.engine.EngineRun`
+  protocol) time-slices *all* lanes round-robin inside one process: every
+  lane advances a few hundred expansions per turn, any feasible cost one
+  lane finds is injected into every other lane's branch-and-bound **the
+  moment it appears** (beam exposes intermediate incumbents while still
+  running), and the first proven-optimal outcome — a lane solving, or a
+  lane exhausting its space under the shared incumbent bound — cancels
+  the rest.  Race-mode semantics with zero process overhead, which is
+  what the single-CPU serving host actually needs, plus wall-clock
+  ``deadline_ms`` support: when the deadline expires the scheduler
+  cancels the remaining lanes and returns the best feasible circuit seen
+  so far instead of raising.
+* **Sequential mode** (:func:`run_portfolio`, the historical default)
+  runs the specs in order with *incumbent threading*: the best feasible
+  cost so far is handed to every later A* spec, whose branch-and-bound
+  mode (see :func:`repro.core.astar.astar_search`) prunes against it —
+  and, via the shared memory's transposition table, against IDA*
+  exhaustion proofs.  The first proven-optimal result stops the line.
 * **Race mode** (:func:`race_portfolio`) spawns one worker process per
   spec, each seeded from the same on-disk memory snapshot, and cancels
   the stragglers the moment any worker reports a proven-optimal result
   (first-optimal-wins); otherwise the best feasible cost wins.
 
-Either way the portfolio result is the best of its member results on the
-same budgets, so it is never worse than the best single engine — the
-service acceptance test asserts exactly that.
+Every mode is best-of over its member results on the same budgets, so the
+portfolio is never worse than the best single engine — the service
+acceptance test asserts exactly that, and ``benchmarks/bench_portfolio.py``
+additionally asserts sequential and interleaved return identical costs.
+
+**Adaptive lane ordering.**  When a :class:`~repro.core.memory
+.SearchMemory` is supplied, both in-process modes order their lanes by
+historical win rate (:func:`order_specs`): per-lane win/feasible/timeout
+counters accumulate in ``memory.lane_stats``, persist inside memory
+snapshots, and ties break by the caller's spec order, so runs stay
+reproducible.  Ordering only changes *which lane gets CPU first* — the
+best-of result contract is order-independent.
 
 :func:`run_batch` shards a request list across worker processes; each
 worker carries its own warm memory seeded from the snapshot and ships its
@@ -34,9 +56,12 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
 
-from repro.core.astar import SearchConfig, SearchResult, astar_search
-from repro.core.beam import BeamConfig, beam_search
-from repro.core.idastar import IDAStarConfig, idastar_search
+from repro.constants import PORTFOLIO_SLICE_EXPANSIONS
+from repro.core.astar import AStarRun, SearchConfig, SearchResult, \
+    astar_search
+from repro.core.beam import BeamConfig, BeamRun
+from repro.core.engine import EngineRun, RunStatus
+from repro.core.idastar import IDAStarConfig, IDAStarRun
 from repro.core.memory import SearchMemory
 from repro.exceptions import SearchBudgetExceeded, SynthesisError
 from repro.states.qstate import QState
@@ -49,13 +74,18 @@ from repro.utils.serialization import (
     state_from_dict,
     state_to_dict,
 )
+from repro.utils.timing import Stopwatch
 
 __all__ = [
     "EngineSpec",
     "PortfolioOutcome",
     "default_portfolio",
+    "order_specs",
+    "build_engine_run",
     "run_engine_spec",
     "run_portfolio",
+    "interleaved_portfolio",
+    "run_mode_portfolio",
     "race_portfolio",
     "run_batch",
 ]
@@ -93,6 +123,8 @@ def default_portfolio() -> tuple[EngineSpec, ...]:
     branch-and-bound pruning of the A* lane that follows; IDA* covers the
     frontier-bound regime (and deposits reusable exhaustion proofs);
     weighted A* is the anytime last resort, also incumbent-bounded.
+    With lane history (see :func:`order_specs`) the order adapts to the
+    traffic instead.
     """
     return (
         EngineSpec("beam", "beam", weight=1.5, width=128),
@@ -102,6 +134,58 @@ def default_portfolio() -> tuple[EngineSpec, ...]:
     )
 
 
+def order_specs(specs: tuple[EngineSpec, ...],
+                memory: SearchMemory | None, *,
+                anytime_first: bool = False) -> tuple[EngineSpec, ...]:
+    """Order lanes by historical win rate (adaptive portfolio ordering).
+
+    Win rate is the Laplace-smoothed ``(wins + 1) / (runs + 2)`` from
+    ``memory.lane_stats``; the tie-break is the caller's original spec
+    order, via a stable sort, so two runs over the same history schedule
+    lanes identically — reproducibility is part of the contract.  The
+    smoothing is what keeps the ordering *adaptive* rather than frozen:
+    sequential first-optimal-wins never runs the lanes behind the
+    winner, so a raw ``wins / runs`` would pin an early winner first
+    forever (everyone else stays at 0/0).  Smoothed, a never-run lane
+    scores the neutral 0.5 — ahead of lanes that run and keep losing,
+    behind a leader with a real winning record — so mediocre leaders get
+    challenged and newly added specs are not born last.
+
+    ``anytime_first`` is the *sequential* mode's constraint: its
+    incumbent threading only works front-to-back, so an anytime (beam)
+    lane must stay ahead of the exact lanes it arms — reordering an A*
+    lane before every feasible-producing lane would strip it of its
+    incumbent, and a budget-bound row would then lose its optimality
+    proof (or its whole result) to the reordering.  Under the
+    constraint, beam lanes keep the front block and each block reorders
+    internally by win rate.  The interleaved scheduler needs no such
+    constraint (incumbents are injected live, whatever the order), so it
+    uses the unconstrained ordering.
+
+    Scope of the guarantee: with per-lane budgets fixed, ordering never
+    changes any individual lane's *cost* and the portfolio stays best-of
+    over the lanes that complete.  Whether a budget-*bound* exact lane
+    completes can still depend on what earlier lanes deposited in a
+    shared memory (e.g. IDA* exhaustion proofs arming A* pruning), so on
+    such rows two different histories may prove different amounts within
+    the same budgets — deterministically per history, never unsoundly.
+    """
+    if memory is None or not memory.lane_stats:
+        return tuple(specs)
+
+    def win_rate(spec: EngineSpec) -> float:
+        row = memory.lane_stats.get(spec.name) or {}
+        return (row.get("wins", 0) + 1.0) / (row.get("runs", 0) + 2.0)
+
+    indexed = sorted(range(len(specs)),
+                     key=lambda i: (-win_rate(specs[i]), i))
+    ordered = [specs[i] for i in indexed]
+    if anytime_first:
+        ordered = [s for s in ordered if s.engine == "beam"] + \
+            [s for s in ordered if s.engine != "beam"]
+    return tuple(ordered)
+
+
 @dataclass
 class PortfolioOutcome:
     """Best result across the lanes plus the per-lane audit trail."""
@@ -109,6 +193,10 @@ class PortfolioOutcome:
     result: SearchResult | None
     winner: str | None
     attempts: list[dict] = field(default_factory=list)
+    #: interleaved mode only: the wall-clock deadline expired and the
+    #: remaining lanes were cancelled — ``result`` is the best feasible
+    #: circuit found before the cutoff (or ``None`` if none was)
+    deadline_expired: bool = False
 
     @property
     def solved(self) -> bool:
@@ -121,20 +209,24 @@ class PortfolioOutcome:
                    default=0)
 
 
-def run_engine_spec(spec: EngineSpec, state: QState, search: SearchConfig,
-                    memory: SearchMemory | None = None,
-                    incumbent=None) -> SearchResult:
-    """Run one lane.  Only A* lanes honor ``incumbent`` (branch-and-bound);
-    beam lanes derive their config from ``search`` so every lane shares
-    one memory regime."""
+def build_engine_run(spec: EngineSpec, state: QState, search: SearchConfig,
+                     memory: SearchMemory | None = None,
+                     incumbent=None) -> EngineRun:
+    """Arm one lane as a stepwise :class:`~repro.core.engine.EngineRun`.
+
+    Lane configs derive from the shared ``search`` so every lane attaches
+    to the same memory regime; ``incumbent`` seeds branch-and-bound for
+    A* lanes only (the sequential mode's historical contract — in the
+    interleaved scheduler every lane instead receives incumbents live via
+    ``inject_incumbent``).
+    """
     if spec.engine == "astar":
         config = search if spec.weight == search.weight \
             else replace(search, weight=spec.weight)
-        return astar_search(state, config, memory=memory,
-                            incumbent=incumbent)
+        return AStarRun(state, config, memory=memory, incumbent=incumbent)
     if spec.engine == "idastar":
-        return idastar_search(state, IDAStarConfig(search=search),
-                              memory=memory)
+        return IDAStarRun(state, IDAStarConfig(search=search),
+                          memory=memory)
     beam_config = BeamConfig(
         width=spec.width, heuristic_weight=spec.weight,
         canon_level=search.canon_level, time_limit=search.time_limit,
@@ -142,7 +234,29 @@ def run_engine_spec(spec: EngineSpec, state: QState, search: SearchConfig,
         include_x_moves=search.include_x_moves,
         tie_cap=search.tie_cap, perm_cap=search.perm_cap,
         cache_cap=search.cache_cap, topology=search.topology)
-    return beam_search(state, beam_config, memory=memory)
+    return BeamRun(state, beam_config, memory=memory)
+
+
+def run_engine_spec(spec: EngineSpec, state: QState, search: SearchConfig,
+                    memory: SearchMemory | None = None,
+                    incumbent=None) -> SearchResult:
+    """Run one lane to completion.  Only A* lanes honor ``incumbent``
+    (branch-and-bound); beam lanes derive their config from ``search`` so
+    every lane shares one memory regime.
+
+    An A* lane with ``use_kernel=False`` runs the one-shot reference loop
+    (stepwise runs are kernel-only): the historical dispatch for callers
+    benchmarking the dict-based path through a sequential portfolio.  The
+    *interleaved* scheduler has no such fallback — it needs pausable
+    runs, so :func:`build_engine_run` rejects non-kernel configs there.
+    """
+    if spec.engine == "astar" and not search.use_kernel:
+        config = search if spec.weight == search.weight \
+            else replace(search, weight=spec.weight)
+        return astar_search(state, config, memory=memory,
+                            incumbent=incumbent)
+    return build_engine_run(spec, state, search, memory=memory,
+                            incumbent=incumbent).run_to_completion()
 
 
 def _better(candidate: SearchResult, best: SearchResult | None) -> bool:
@@ -153,12 +267,31 @@ def _better(candidate: SearchResult, best: SearchResult | None) -> bool:
     return candidate.optimal and not best.optimal
 
 
+def _record_lane_outcomes(memory: SearchMemory | None, attempts: list[dict],
+                          winner: str | None) -> None:
+    """Feed the adaptive-ordering counters (no-op without a memory)."""
+    if memory is None:
+        return
+    for attempt in attempts:
+        memory.record_lane_outcome(
+            attempt["name"],
+            won=(winner is not None and attempt["name"] == winner),
+            # interleaved audit rows carry an explicit feasible flag
+            # (anytime lanes can hold a circuit without terminating
+            # SOLVED — cancelled beam after a harvest or deadline flush);
+            # sequential rows fall back to solved, where the two coincide
+            feasible=bool(attempt.get("feasible",
+                                      attempt.get("solved"))),
+            timeout=bool(attempt.get("timeout")))
+
+
 def run_portfolio(state: QState, search: SearchConfig | None = None,
                   specs: tuple[EngineSpec, ...] | None = None,
                   memory: SearchMemory | None = None) -> PortfolioOutcome:
     """Sequential portfolio with incumbent threading (see module docs)."""
     search = search or SearchConfig()
-    specs = specs or default_portfolio()
+    specs = order_specs(specs or default_portfolio(), memory,
+                        anytime_first=True)
     best: SearchResult | None = None
     winner: str | None = None
     attempts: list[dict] = []
@@ -174,6 +307,7 @@ def run_portfolio(state: QState, search: SearchConfig | None = None,
             # failed lane, not a failed portfolio
             attempts.append({
                 "name": spec.name, "solved": False,
+                "timeout": isinstance(exc, SearchBudgetExceeded),
                 "lower_bound": getattr(exc, "lower_bound", 0),
                 "seconds": round(time.perf_counter() - start, 6),
             })
@@ -188,7 +322,149 @@ def run_portfolio(state: QState, search: SearchConfig | None = None,
             best, winner = result, spec.name
         if best is not None and best.optimal:
             break  # first-optimal-wins: later lanes cannot do better
+    _record_lane_outcomes(memory, attempts, winner)
     return PortfolioOutcome(result=best, winner=winner, attempts=attempts)
+
+
+# ----------------------------------------------------------------------
+# Interleaved in-process scheduler (anytime, deadline-aware)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Lane:
+    spec: EngineSpec
+    run: EngineRun
+    seconds: float = 0.0
+    slices: int = 0
+
+
+def interleaved_portfolio(
+        state: QState, search: SearchConfig | None = None,
+        specs: tuple[EngineSpec, ...] | None = None,
+        memory: SearchMemory | None = None,
+        deadline_ms: float | None = None,
+        slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
+) -> PortfolioOutcome:
+    """Round-robin time-sliced portfolio in one process (see module docs).
+
+    Semantics:
+
+    * every lane advances ``slice_expansions`` node expansions per turn;
+    * the best feasible cost across lanes (including beam's *anytime*
+      intermediates) is injected into every other lane's branch-and-bound
+      the moment it improves;
+    * the first proven-optimal outcome — a lane solving with a proof, or
+      a lane exhausting its space under the shared incumbent bound
+      (:class:`~repro.core.engine.RunStatus` ``PROVEN``) — cancels the
+      remaining lanes;
+    * when ``deadline_ms`` expires first, the remaining lanes are
+      cancelled and the best feasible circuit found so far is returned
+      (``deadline_expired=True``) instead of raising — the anytime
+      contract a latency-bound service needs.
+
+    Because lanes only exchange *incumbent costs* (sound pruning bounds)
+    and cancellation, the returned cost equals the sequential portfolio's
+    on the same budgets — asserted by ``benchmarks/bench_portfolio.py``.
+    """
+    search = search or SearchConfig()
+    specs = order_specs(specs or default_portfolio(), memory)
+    # no deadline -> no Stopwatch at all, so step() keeps its
+    # deadline-is-None fast path in the per-expansion hot loop
+    deadline = None if deadline_ms is None \
+        else Stopwatch(max(0.0, deadline_ms) / 1000.0)
+    lanes = [_Lane(spec, build_engine_run(spec, state, search,
+                                          memory=memory))
+             for spec in specs]
+    best: SearchResult | None = None
+    winner: str | None = None
+    attempts: list[dict] = []
+    proven = False
+    deadline_expired = False
+
+    def harvest(lane: _Lane) -> None:
+        """Pull the lane's best feasible circuit; broadcast improvements."""
+        nonlocal best, winner
+        feasible = lane.run.best_feasible()
+        if feasible is not None and _better(feasible, best):
+            best, winner = feasible, lane.spec.name
+            for other in lanes:
+                if other is not lane and not other.run.status.terminal:
+                    other.run.inject_incumbent(best.cnot_cost)
+
+    def settle(lane: _Lane, status: RunStatus) -> None:
+        """Record one terminated (or cancelled) lane's audit row."""
+        nonlocal best, proven
+        row: dict = {"name": lane.spec.name, "status": status.value,
+                     "solved": False,
+                     "feasible": lane.run.best_feasible() is not None,
+                     "nodes_expanded": lane.run.stats.nodes_expanded,
+                     "seconds": round(lane.seconds, 6),
+                     "slices": lane.slices}
+        if status is RunStatus.SOLVED:
+            result = lane.run.result()
+            row.update(solved=True, cnot_cost=result.cnot_cost,
+                       optimal=result.optimal)
+            if result.optimal:
+                proven = True
+        elif status is RunStatus.PROVEN:
+            # the lane exhausted everything cheaper than the shared
+            # incumbent: whoever holds that incumbent holds the optimum
+            bound = lane.run.incumbent_bound
+            row["lower_bound"] = bound
+            if best is not None and bound is not None and \
+                    best.cnot_cost <= bound:
+                best = replace(best, optimal=True)
+                proven = True
+        elif status is RunStatus.EXHAUSTED:
+            error = lane.run.error
+            row["timeout"] = isinstance(error, SearchBudgetExceeded)
+            row["lower_bound"] = getattr(error, "lower_bound", 0)
+        attempts.append(row)
+
+    def expired() -> bool:
+        return deadline is not None and deadline.expired()
+
+    active = list(lanes)
+    while active and not proven:
+        if expired():
+            deadline_expired = True
+            break
+        for lane in list(active):
+            start = time.perf_counter()
+            # the deadline rides into the slice so a heavy instance
+            # overshoots the cutoff by one expansion, not a whole slice
+            status = lane.run.step(slice_expansions, deadline=deadline)
+            lane.seconds += time.perf_counter() - start
+            lane.slices += 1
+            harvest(lane)
+            if status is RunStatus.RUNNING:
+                if expired():
+                    deadline_expired = True
+                    break
+                continue
+            active.remove(lane)
+            settle(lane, status)
+            if proven or expired():
+                deadline_expired = not proven
+                break
+
+    for lane in active:
+        if lane.run.status.terminal:
+            continue
+        harvest(lane)  # a cancelled beam may still hold the best circuit
+        if deadline_expired and best is None:
+            # anytime contract: before giving up empty-handed, let lanes
+            # with a cheap completion (beam's m-flow tail) finish their
+            # current frontier into a valid circuit
+            flushed = lane.run.flush_feasible()
+            if flushed is not None and _better(flushed, best):
+                best, winner = flushed, lane.spec.name
+        lane.run.cancel()
+        settle(lane, RunStatus.CANCELLED)
+
+    _record_lane_outcomes(memory, attempts, winner)
+    return PortfolioOutcome(result=best, winner=winner, attempts=attempts,
+                            deadline_expired=deadline_expired)
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +523,10 @@ def race_portfolio(state: QState, search: SearchConfig | None = None,
     optimality the best feasible cost wins.  Worker results travel as
     serialized circuits, so no live search object crosses the process
     boundary.
+
+    On a host with one CPU this mode only adds process overhead — prefer
+    :func:`interleaved_portfolio`, which delivers the same cancellation
+    semantics inside a single process.
     """
     search = search or SearchConfig()
     specs = specs or default_portfolio()
@@ -293,14 +573,37 @@ def race_portfolio(state: QState, search: SearchConfig | None = None,
     return PortfolioOutcome(result=best, winner=winner, attempts=attempts)
 
 
+def run_mode_portfolio(state: QState, search: SearchConfig,
+                       specs: tuple[EngineSpec, ...],
+                       memory: SearchMemory | None, mode: str,
+                       deadline_ms: float | None) -> PortfolioOutcome:
+    """Dispatch to the in-process scheduler a request asked for.
+
+    The single policy point shared by the server's ``exact`` path and the
+    batch workers, so serve and batch can never drift apart: a
+    ``deadline_ms`` forces the interleaved scheduler — it is the only
+    in-process mode that can honor a wall-clock cutoff with a best-so-far
+    answer (the sequential line would have to interrupt a monolithic
+    lane).
+    """
+    if mode == "interleaved" or deadline_ms is not None:
+        return interleaved_portfolio(state, search, specs, memory=memory,
+                                     deadline_ms=deadline_ms)
+    return run_portfolio(state, search, specs, memory=memory)
+
+
 def _synthesize_one(rid, state: QState, search: SearchConfig,
                     specs: tuple[EngineSpec, ...],
                     memory: SearchMemory | None,
-                    with_circuit: bool) -> dict:
+                    with_circuit: bool, mode: str = "sequential",
+                    deadline_ms: float | None = None) -> dict:
     start = time.perf_counter()
-    outcome = run_portfolio(state, search, specs, memory=memory)
+    outcome = run_mode_portfolio(state, search, specs, memory, mode,
+                                 deadline_ms)
     row: dict = {"id": rid, "solved": outcome.solved,
                  "seconds": round(time.perf_counter() - start, 6)}
+    if outcome.deadline_expired:
+        row["deadline_expired"] = True
     if outcome.solved:
         assert outcome.result is not None
         row.update(cnot_cost=outcome.result.cnot_cost,
@@ -312,9 +615,10 @@ def _synthesize_one(rid, state: QState, search: SearchConfig,
     return row
 
 
-def _batch_worker(shard: list[tuple[object, dict]], search: SearchConfig,
+def _batch_worker(shard: list[tuple[object, dict, float | None]],
+                  search: SearchConfig,
                   specs: tuple[EngineSpec, ...], snapshot_path,
-                  with_circuit: bool, queue) -> None:
+                  with_circuit: bool, mode: str, queue) -> None:
     """Batch-shard entry point: warm memory in, results + delta out."""
     memory = _load_worker_memory(snapshot_path) or SearchMemory()
     # ship home only what this worker *learns* — the snapshot's own
@@ -322,11 +626,11 @@ def _batch_worker(shard: list[tuple[object, dict]], search: SearchConfig,
     # make the exit delta scale with the snapshot instead of the shard
     baseline = memory_baseline(memory)
     rows = []
-    for rid, state_data in shard:
+    for rid, state_data, row_deadline in shard:
         try:
             rows.append(_synthesize_one(rid, state_from_dict(state_data),
                                         search, specs, memory,
-                                        with_circuit))
+                                        with_circuit, mode, row_deadline))
         except Exception as exc:  # one bad row must not sink the shard
             rows.append({"id": rid, "solved": False, "error": repr(exc)})
     try:
@@ -342,7 +646,10 @@ def run_batch(requests: list[tuple[object, QState]],
               snapshot_path=None, workers: int = 1,
               memory: SearchMemory | None = None,
               with_circuit: bool = False,
-              shard_timeout: float = 3600.0) -> list[dict]:
+              shard_timeout: float = 3600.0,
+              mode: str = "sequential",
+              deadline_ms: float | None = None,
+              deadline_by_id: dict | None = None) -> list[dict]:
     """Shard ``requests`` (id, state) across workers; one row dict each.
 
     ``workers <= 1`` runs in-process against ``memory`` (loaded from
@@ -351,27 +658,39 @@ def run_batch(requests: list[tuple[object, QState]],
     snapshot and ships its learned entries back, which are merged into
     ``memory`` (when given) so the parent keeps everything the batch
     learned.  Rows come back in request order regardless of sharding.
+    ``mode``/``deadline_ms`` select the in-process scheduler per request
+    exactly as in :func:`run_mode_portfolio` (a deadline implies the
+    interleaved scheduler); ``deadline_by_id`` overrides the batch-wide
+    deadline per request id (a request *with* an entry there uses that
+    deadline even when the batch-wide default is ``None``).
     """
     search = search or SearchConfig()
     specs = specs or default_portfolio()
+    deadline_by_id = deadline_by_id or {}
+
+    def row_deadline(rid) -> float | None:
+        return deadline_by_id.get(rid, deadline_ms)
+
     if workers <= 1 or len(requests) <= 1:
         if memory is None:
             memory = _load_worker_memory(snapshot_path) or SearchMemory()
         return [_synthesize_one(rid, state, search, specs, memory,
-                                with_circuit)
+                                with_circuit, mode, row_deadline(rid))
                 for rid, state in requests]
 
     workers = min(workers, len(requests))
-    shards: list[list[tuple[object, dict]]] = [[] for _ in range(workers)]
+    shards: list[list[tuple[object, dict, float | None]]] = \
+        [[] for _ in range(workers)]
     order: dict = {}
     for pos, (rid, state) in enumerate(requests):
         order[pos] = rid
-        shards[pos % workers].append((pos, state_to_dict(state)))
+        shards[pos % workers].append((pos, state_to_dict(state),
+                                      row_deadline(rid)))
     ctx = _mp_context()
     queue = ctx.Queue()
     procs = [ctx.Process(target=_batch_worker,
                          args=(shard, search, specs, snapshot_path,
-                               with_circuit, queue),
+                               with_circuit, mode, queue),
                          daemon=True)
              for shard in shards if shard]
     for proc in procs:

@@ -16,9 +16,10 @@ Requests are JSON objects (one per line on the wire)::
     {"id": 1, "op": "prepare", "dicke": [4, 2]}
     {"id": 2, "op": "exact", "w": 4, "return_circuit": true}
     {"id": 3, "op": "exact", "w": 5, "topology": "heavy_hex"}
-    {"id": 4, "op": "stats"}
-    {"id": 5, "op": "snapshot", "path": "warm.qspmem.json"}
-    {"id": 6, "op": "cache_snapshot", "path": "cache.qspreq.json"}
+    {"id": 4, "op": "exact", "dicke": [6, 3], "deadline_ms": 250}
+    {"id": 5, "op": "stats"}
+    {"id": 6, "op": "snapshot", "path": "warm.qspmem.json"}
+    {"id": 7, "op": "cache_snapshot", "path": "cache.qspreq.json"}
     {"op": "shutdown"}
 
 The target state may be given as a serialized state (``"state": {...}``
@@ -30,6 +31,15 @@ service memory — while ``op: exact`` runs the engine portfolio directly
 on the (small) target.  Responses mirror the request ``id`` and carry
 ``ok``, ``cnot_cost``, optimality flags, ``cached``, ``seconds``, and the
 circuit when ``return_circuit`` is set.
+
+``exact`` requests may carry a wall-clock budget ``deadline_ms`` (or the
+service may set a default via ``serve --deadline-ms``): the interleaved
+portfolio scheduler — which a deadline implies, and which ``serve
+--portfolio interleaved`` selects for every request — time-slices all
+engine lanes in this process, shares every feasible cost as a live
+branch-and-bound incumbent, cancels everything at the first proven
+optimum, and at the deadline returns the best feasible circuit found so
+far (``deadline_expired: true``, never cached) instead of an error.
 
 A service boots against at most one device topology
 (``ServiceConfig.search.topology``, CLI ``--topology ...
@@ -65,7 +75,7 @@ from repro.service.portfolio import (
     default_portfolio,
     race_portfolio,
     run_batch,
-    run_portfolio,
+    run_mode_portfolio,
 )
 from repro.states.families import dicke_state, ghz_state, w_state
 from repro.states.qstate import QState
@@ -104,6 +114,23 @@ class ServiceConfig:
     #: the same fingerprint + format-version checks as the memory
     #: snapshot), written back on shutdown
     cache_snapshot_path: str | None = None
+    #: in-process scheduler for ``exact`` requests: ``"sequential"`` (the
+    #: historical incumbent-threading line) or ``"interleaved"`` (one
+    #: process time-slicing all lanes with live incumbent sharing and
+    #: first-proven-optimal cancellation — race semantics without the
+    #: per-lane processes).  ``race_workers >= 2`` still overrides both.
+    portfolio_mode: str = "sequential"
+    #: default wall-clock budget per ``exact`` request in milliseconds:
+    #: when it expires the interleaved scheduler (which a deadline
+    #: implies) returns the best feasible circuit found so far instead of
+    #: an error; a request's own ``deadline_ms`` field overrides this
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.portfolio_mode not in ("sequential", "interleaved"):
+            raise ValueError(
+                f"unknown portfolio mode {self.portfolio_mode!r}; choose "
+                f"'sequential' or 'interleaved'")
 
 
 class SynthesisService:
@@ -169,6 +196,16 @@ class SynthesisService:
         raise ValueError(
             "request carries no target state (need one of: state, dicke, "
             "ghz, w, terms)")
+
+    def _request_deadline(self, request: dict) -> float | None:
+        """Effective wall-clock budget of one request (ms or ``None``).
+
+        The request's own ``deadline_ms`` overrides the service default;
+        the single resolution point for both the serve and batch paths,
+        so the same field can never mean different things between them.
+        """
+        deadline = request.get("deadline_ms", self.config.deadline_ms)
+        return None if deadline is None else float(deadline)
 
     def _check_topology(self, request: dict, state: QState) -> None:
         """Reject requests whose device disagrees with the service regime.
@@ -264,30 +301,43 @@ class SynthesisService:
 
     def _handle_exact(self, rid, state: QState, request: dict) -> dict:
         start = time.perf_counter()
+        deadline_ms = self._request_deadline(request)
         result = None
         cached = False
         engine = "cache"
+        deadline_expired = False
         if self.cache is not None:
             result = self.cache.get("exact", state)
             cached = result is not None
         if result is None:
-            if self.config.race_workers >= 2:
+            if self.config.race_workers >= 2 and deadline_ms is None:
+                # racing cannot honor a wall-clock cutoff with a
+                # best-so-far answer, so a request that carries a
+                # deadline falls through to the interleaved scheduler
+                # instead of silently losing its deadline
                 outcome = race_portfolio(
                     state, self.config.search, self.config.specs,
                     snapshot_path=self.config.snapshot_path,
                     memory=self.memory)
             else:
-                outcome = run_portfolio(state, self.config.search,
-                                        self.config.specs,
-                                        memory=self.memory)
+                outcome = run_mode_portfolio(
+                    state, self.config.search, self.config.specs,
+                    self.memory, self.config.portfolio_mode, deadline_ms)
+            deadline_expired = outcome.deadline_expired
             if not outcome.solved:
-                return {"id": rid, "ok": False, "op": "exact",
-                        "lower_bound": outcome.lower_bound,
-                        "error": "no portfolio lane produced a circuit "
-                                 "within budget"}
+                response = {"id": rid, "ok": False, "op": "exact",
+                            "lower_bound": outcome.lower_bound,
+                            "error": "no portfolio lane produced a "
+                                     "circuit within budget"}
+                if deadline_expired:
+                    response["deadline_expired"] = True
+                return response
             result = outcome.result
             engine = outcome.winner
-            if self.cache is not None:
+            if self.cache is not None and not deadline_expired:
+                # a deadline-truncated answer reflects a wall-clock
+                # cutoff, not the request's search budgets — caching it
+                # would serve the truncation to later, unhurried requests
                 self.cache.put("exact", state, result)
         else:
             self.cache_hits += 1
@@ -296,6 +346,8 @@ class SynthesisService:
                     "optimal": result.optimal, "engine": engine,
                     "cached": cached,
                     "seconds": round(time.perf_counter() - start, 6)}
+        if deadline_expired:
+            response["deadline_expired"] = True
         if request.get("return_circuit"):
             response["circuit"] = circuit_to_dict(result.circuit)
         return response
@@ -345,16 +397,19 @@ class SynthesisService:
                                     "error": f"bad request line: {exc}"}
         misses: list[tuple[int, QState]] = []
         states: dict[int, QState] = {}
+        deadlines: dict[int, float | None] = {}
         for pos, request in requests:
             rid = request.get("id", pos)
             try:
                 state = self._parse_state(request)
                 self._check_topology(request, state)
+                deadline = self._request_deadline(request)
             except Exception as exc:
                 rows[pos] = {"id": rid, "ok": False,
                              "error": f"{type(exc).__name__}: {exc}"}
                 continue
             states[pos] = state
+            deadlines[pos] = deadline
             cached = self.cache.get("exact", state) \
                 if self.cache is not None else None
             if cached is not None:
@@ -369,15 +424,19 @@ class SynthesisService:
         # the expected batch shape, and without grouping the duplicates
         # would each run a full search (possibly in different workers,
         # blind to each other).  One representative searches; the result
-        # fans out to every duplicate line.
-        groups: dict[bytes, list[int]] = {}
+        # fans out to every duplicate line.  The group key includes the
+        # request's effective deadline, so a deadline-truncated answer
+        # never fans out to a duplicate that asked for a full search.
+        groups: dict[tuple, list[int]] = {}
         representatives: list[tuple[int, QState]] = []
+        group_of: dict[int, tuple] = {}
         pool = StatePool()
         for pos, state in misses:
-            payload = pool.from_qstate(state).payload
-            members = groups.get(payload)
+            key = (pool.from_qstate(state).payload, deadlines[pos])
+            group_of[pos] = key
+            members = groups.get(key)
             if members is None:
-                groups[payload] = [pos]
+                groups[key] = [pos]
                 representatives.append((pos, state))
             else:
                 members.append(pos)
@@ -386,22 +445,26 @@ class SynthesisService:
                     representatives, self.config.search, self.config.specs,
                     snapshot_path=self.config.snapshot_path,
                     workers=workers, memory=self.memory,
-                    with_circuit=True):
+                    with_circuit=True, mode=self.config.portfolio_mode,
+                    deadline_ms=self.config.deadline_ms,
+                    deadline_by_id={pos: deadlines[pos]
+                                    for pos, _ in representatives}):
                 rep_pos = row["id"]
-                if row.get("solved") and self.cache is not None:
+                if row.get("solved") and self.cache is not None \
+                        and not row.get("deadline_expired"):
                     self.cache.put(
                         "exact", states[rep_pos],
                         SearchResult(
                             circuit=circuit_from_dict(row["circuit"]),
                             cnot_cost=row["cnot_cost"],
                             optimal=row["optimal"]))
-                payload = pool.from_qstate(states[rep_pos]).payload
-                for pos in groups[payload]:
+                for pos in groups[group_of[rep_pos]]:
                     rid = request_by_pos[pos].get("id", pos)
                     out = {"id": rid, "ok": bool(row.get("solved")),
                            "cached": pos != rep_pos}
                     for key in ("cnot_cost", "optimal", "engine",
-                                "seconds", "lower_bound", "error"):
+                                "seconds", "lower_bound", "error",
+                                "deadline_expired"):
                         if key in row:
                             out[key] = row[key]
                     if with_circuit and "circuit" in row:

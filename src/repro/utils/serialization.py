@@ -244,7 +244,26 @@ def memory_baseline(memory) -> dict[str, Any]:
         "transposition_data": len(memory.transposition.data),
         "transposition_cond": len(memory.transposition.cond),
         "transposition_evictions": memory.transposition.evictions,
+        "lane_stats": {name: dict(row)
+                       for name, row in memory.lane_stats.items()},
     }
+
+
+def _lane_stats_delta(current: dict, base: dict) -> dict:
+    """Counter-wise difference of lane-outcome stats (delta shipping).
+
+    Lane counters merge *additively* (unlike the stores' by-identity
+    overwrite), so a worker's delta must subtract the baseline it was
+    seeded with — otherwise every merge would re-add the snapshot's own
+    history.
+    """
+    delta: dict = {}
+    for name, row in current.items():
+        base_row = base.get(name, {})
+        diff = {k: int(v) - int(base_row.get(k, 0)) for k, v in row.items()}
+        if any(diff.values()):
+            delta[name] = diff
+    return delta
 
 
 def memory_to_dict(memory, since: dict[str, Any] | None = None
@@ -275,6 +294,7 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
     transposition = memory.transposition
     canon_since = h_since = None
     skip_data = skip_cond = 0
+    lane_stats = {name: dict(row) for name, row in memory.lane_stats.items()}
     if since is not None:
         canon_since = tuple(since["canon_store"])
         h_since = tuple(since["h_store"])
@@ -285,6 +305,8 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
                 since["transposition_evictions"]:
             skip_data = int(since["transposition_data"])
             skip_cond = int(since["transposition_cond"])
+        lane_stats = _lane_stats_delta(lane_stats,
+                                       since.get("lane_stats", {}))
     return {
         "kind": "search_memory",
         "version": MEMORY_SNAPSHOT_VERSION,
@@ -301,16 +323,33 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
                     for payload, value
                     in memory.h_store.items_payload(h_since)],
         "transposition": {
-            "data": [[_canon_key_enc(key), budget]
+            # per-entry generation stamps ride along (third/fourth
+            # position), so relative entry ages survive the disk round
+            # trip and age-weighted eviction keeps working after a boot
+            "generation": transposition.generation,
+            "data": [[_canon_key_enc(key), budget,
+                      transposition.data_gen.get(key, 0)]
                      for key, budget in islice(transposition.data.items(),
                                                skip_data, None)],
             "cond": [[_canon_key_enc(key), budget,
-                      [_canon_key_enc(c) for c in required]]
+                      [_canon_key_enc(c) for c in required],
+                      transposition.cond_gen.get(key, 0)]
                      for key, (budget, required)
                      in islice(transposition.cond.items(),
                                skip_cond, None)],
         },
+        "lane_stats": lane_stats,
     }
+
+
+#: Readable snapshot versions.  v2 (current, written) added transposition
+#: generation stamps + lane stats; v1 is a strict subset, so loading it is
+#: lossless — entries simply age from epoch 0 and no lane history exists.
+#: Hard-rejecting v1 would throw away a deployed service's warm memory on
+#: upgrade for no safety gain; genuinely incompatible layouts still get a
+#: new number outside this set.
+_READABLE_MEMORY_SNAPSHOT_VERSIONS = frozenset(
+    {1, MEMORY_SNAPSHOT_VERSION})
 
 
 def _check_memory_header(data: dict[str, Any]) -> None:
@@ -321,11 +360,12 @@ def _check_memory_header(data: dict[str, Any]) -> None:
         raise MemoryCompatibilityError(
             f"not a serialized SearchMemory: kind={data.get('kind')!r}")
     version = data.get("version")
-    if version != MEMORY_SNAPSHOT_VERSION:
+    if version not in _READABLE_MEMORY_SNAPSHOT_VERSIONS:
         raise MemoryCompatibilityError(
-            f"snapshot format version {version!r} is not the supported "
-            f"version {MEMORY_SNAPSHOT_VERSION}; regenerate the snapshot "
-            f"with this build")
+            f"snapshot format version {version!r} is not readable by this "
+            f"build (supported: "
+            f"{sorted(_READABLE_MEMORY_SNAPSHOT_VERSIONS)}); regenerate "
+            f"the snapshot with this build")
 
 
 def _fill_memory(memory, data: dict[str, Any]) -> None:
@@ -337,13 +377,32 @@ def _fill_memory(memory, data: dict[str, Any]) -> None:
         for payload_b64, value in data["h_store"]:
             memory.h_store.put_payload(_unb64(payload_b64), float(value))
         table = data["transposition"]
-        for key_enc, budget in table["data"]:
+        # entries are [key, budget, gen] / [key, budget, required, gen];
+        # v1 snapshots carry the shorter stamp-less forms and no table
+        # generation — their entries load as epoch 0, which is exactly
+        # their age relative to the aging introduced with v2
+        memory.transposition.generation = max(
+            memory.transposition.generation,
+            int(table.get("generation", 0)))
+        for entry in table["data"]:
+            key_enc, budget = entry[0], entry[1]
+            gen = int(entry[2]) if len(entry) > 2 else 0
             memory.transposition.record(_canon_key_dec(key_enc),
-                                        float(budget), frozenset())
-        for key_enc, budget, required_enc in table["cond"]:
+                                        float(budget), frozenset(),
+                                        generation=gen)
+        for entry in table["cond"]:
+            key_enc, budget, required_enc = entry[0], entry[1], entry[2]
+            gen = int(entry[3]) if len(entry) > 3 else 0
             memory.transposition.record(
                 _canon_key_dec(key_enc), float(budget),
-                frozenset(_canon_key_dec(c) for c in required_enc))
+                frozenset(_canon_key_dec(c) for c in required_enc),
+                generation=gen)
+        for name, row in data.get("lane_stats", {}).items():
+            stats_row = memory.lane_stats.setdefault(
+                str(name), {"runs": 0, "wins": 0, "feasible": 0,
+                            "timeouts": 0})
+            for counter, value in row.items():
+                stats_row[counter] = stats_row.get(counter, 0) + int(value)
     except (KeyError, ValueError, TypeError) as exc:
         raise MemoryCompatibilityError(
             f"corrupted SearchMemory snapshot: {exc!r}") from exc

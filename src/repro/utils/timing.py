@@ -19,11 +19,16 @@ class Stopwatch:
 
     def __init__(self, limit_seconds: float | None = None):
         self._start = time.monotonic()
+        self._accumulated = 0.0
+        self._running = True
         self.limit_seconds = limit_seconds
 
     def elapsed(self) -> float:
-        """Seconds since construction (or the last :meth:`restart`)."""
-        return time.monotonic() - self._start
+        """Seconds observed since construction (or the last
+        :meth:`restart`), not counting suspended stretches."""
+        if not self._running:
+            return self._accumulated
+        return self._accumulated + (time.monotonic() - self._start)
 
     def expired(self) -> bool:
         """True when a limit was set and has been exceeded."""
@@ -36,5 +41,22 @@ class Stopwatch:
         return max(0.0, self.limit_seconds - self.elapsed())
 
     def restart(self) -> None:
-        """Reset the start time, keeping the limit."""
+        """Reset the clock to zero (running), keeping the limit."""
         self._start = time.monotonic()
+        self._accumulated = 0.0
+        self._running = True
+
+    def suspend(self) -> None:
+        """Stop the clock (idempotent).  A time-sliced engine run is
+        suspended between its slices, so ``time_limit`` stays a *per-run
+        compute* budget — wall-clock time spent in sibling lanes does not
+        count against it, exactly as in a sequential line."""
+        if self._running:
+            self._accumulated += time.monotonic() - self._start
+            self._running = False
+
+    def resume(self) -> None:
+        """Restart the clock after :meth:`suspend` (idempotent)."""
+        if not self._running:
+            self._start = time.monotonic()
+            self._running = True
