@@ -1,0 +1,2258 @@
+/* _fastcore: native hot-loop kernels for repro.core.kernel.
+ *
+ * Every function is a bit-for-bit twin of a Python/NumPy reference in
+ * core/kernel.py; the Python code stays the behavioral reference and the
+ * property tests in tests/test_fastcore.py assert identity on random
+ * packed states.  Three rules keep the float paths identical:
+ *
+ *   1. Compile with -ffp-contract=off: expressions like c*a0 - s*a1 must
+ *      not be FMA-fused, or results drift from the NumPy evaluation.
+ *   2. np.round(x, 10) is rint(x * 1e10) / 1e10 (division, not multiply
+ *      by reciprocal - the reciprocal form differs on ~1 in 6 values).
+ *   3. All float expressions copy the reference's operation order and
+ *      association exactly.
+ *
+ * Integer hashing is all mod-2^64 arithmetic on uint64_t, which matches
+ * the NumPy uint64 wraparound and the Python "& _U64" masking by
+ * construction.  Splitmix constants come from _splitmix.h (shared with
+ * repro/core/splitmix.py; repro.core.fastcore cross-checks at load).
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+#include "_splitmix.h"
+
+/* ------------------------------------------------------------------ */
+/* splitmix64 lanes                                                    */
+/* ------------------------------------------------------------------ */
+
+static inline uint64_t
+mix_a(uint64_t z)
+{
+    z += SM_GOLDEN;
+    z = (z ^ (z >> 30)) * SM_A1;
+    z = (z ^ (z >> 27)) * SM_A2;
+    return z ^ (z >> 31);
+}
+
+static inline uint64_t
+mix_b(uint64_t z)
+{
+    z += SM_GOLDEN;
+    z = (z ^ (z >> 30)) * SM_B1;
+    z = (z ^ (z >> 27)) * SM_B2;
+    return z ^ (z >> 31);
+}
+
+static inline uint64_t
+dbl_bits(double d)
+{
+    uint64_t u;
+    memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+#define SIGNBIT64 0x8000000000000000ULL
+
+/* ------------------------------------------------------------------ */
+/* small helpers                                                       */
+/* ------------------------------------------------------------------ */
+
+static int
+get_buf(PyObject *obj, Py_buffer *view, int writable)
+{
+    int flags = PyBUF_C_CONTIGUOUS | (writable ? PyBUF_WRITABLE : 0);
+    return PyObject_GetBuffer(obj, view, flags);
+}
+
+static int64_t *
+list_to_i64(PyObject *lst, Py_ssize_t *len_out)
+{
+    Py_ssize_t i, count;
+    int64_t *arr;
+    if (!PyList_Check(lst)) {
+        PyErr_SetString(PyExc_TypeError, "expected a list of ints");
+        return NULL;
+    }
+    count = PyList_GET_SIZE(lst);
+    arr = PyMem_Malloc((size_t)(count ? count : 1) * sizeof(int64_t));
+    if (arr == NULL) {
+        PyErr_NoMemory();
+        return NULL;
+    }
+    for (i = 0; i < count; i++) {
+        arr[i] = (int64_t)PyLong_AsLongLong(PyList_GET_ITEM(lst, i));
+        if (arr[i] == -1 && PyErr_Occurred()) {
+            PyMem_Free(arr);
+            return NULL;
+        }
+    }
+    *len_out = count;
+    return arr;
+}
+
+static double *
+list_to_f64(PyObject *lst, Py_ssize_t *len_out)
+{
+    Py_ssize_t i, count;
+    double *arr;
+    if (!PyList_Check(lst)) {
+        PyErr_SetString(PyExc_TypeError, "expected a list of floats");
+        return NULL;
+    }
+    count = PyList_GET_SIZE(lst);
+    arr = PyMem_Malloc((size_t)(count ? count : 1) * sizeof(double));
+    if (arr == NULL) {
+        PyErr_NoMemory();
+        return NULL;
+    }
+    for (i = 0; i < count; i++) {
+        arr[i] = PyFloat_AsDouble(PyList_GET_ITEM(lst, i));
+        if (arr[i] == -1.0 && PyErr_Occurred()) {
+            PyMem_Free(arr);
+            return NULL;
+        }
+    }
+    *len_out = count;
+    return arr;
+}
+
+/* Serialized state payload: n (2 bytes LE) + idx bytes + qamp bytes. */
+static PyObject *
+build_payload(int n, const int64_t *idx, const double *qamp, Py_ssize_t m)
+{
+    PyObject *bytes = PyBytes_FromStringAndSize(NULL, 2 + 16 * m);
+    char *p;
+    if (bytes == NULL)
+        return NULL;
+    p = PyBytes_AS_STRING(bytes);
+    p[0] = (char)(n & 0xff);
+    p[1] = (char)((n >> 8) & 0xff);
+    memcpy(p + 2, idx, (size_t)m * 8);
+    memcpy(p + 2 + 8 * m, qamp, (size_t)m * 8);
+    return bytes;
+}
+
+typedef struct {
+    int64_t v;
+    double a;
+} ia_pair;
+
+static int
+cmp_ia_pair(const void *pa, const void *pb)
+{
+    int64_t a = ((const ia_pair *)pa)->v;
+    int64_t b = ((const ia_pair *)pb)->v;
+    return (a > b) - (a < b);
+}
+
+typedef struct {
+    int64_t v;
+    int64_t j;
+} ij_pair;
+
+static int
+cmp_ij_pair(const void *pa, const void *pb)
+{
+    int64_t a = ((const ij_pair *)pa)->v;
+    int64_t b = ((const ij_pair *)pb)->v;
+    return (a > b) - (a < b);
+}
+
+/* ------------------------------------------------------------------ */
+/* splitmix_constants() - runtime anti-drift check                     */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_splitmix_constants(PyObject *self, PyObject *noargs)
+{
+    PyObject *d = PyDict_New();
+    if (d == NULL)
+        return NULL;
+#define ADD_CONST(NAME, VALUE) \
+    do { \
+        PyObject *v = PyLong_FromUnsignedLongLong(VALUE); \
+        if (v == NULL || PyDict_SetItemString(d, NAME, v) < 0) { \
+            Py_XDECREF(v); \
+            Py_DECREF(d); \
+            return NULL; \
+        } \
+        Py_DECREF(v); \
+    } while (0)
+    ADD_CONST("GOLDEN", SM_GOLDEN);
+    ADD_CONST("A1", SM_A1);
+    ADD_CONST("A2", SM_A2);
+    ADD_CONST("B1", SM_B1);
+    ADD_CONST("B2", SM_B2);
+    ADD_CONST("ORBIT_MUL", SM_ORBIT_MUL);
+#undef ADD_CONST
+    return d;
+}
+
+/* ------------------------------------------------------------------ */
+/* quantize(src, dst, scale): np.round(x, d) with -0.0 -> 0.0          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_quantize(PyObject *self, PyObject *args)
+{
+    PyObject *src_o, *dst_o;
+    double scale;
+    Py_buffer src, dst;
+    Py_ssize_t i, m;
+    const double *in;
+    double *out;
+
+    if (!PyArg_ParseTuple(args, "OOd", &src_o, &dst_o, &scale))
+        return NULL;
+    if (get_buf(src_o, &src, 0) < 0)
+        return NULL;
+    if (get_buf(dst_o, &dst, 1) < 0) {
+        PyBuffer_Release(&src);
+        return NULL;
+    }
+    if (dst.len != src.len) {
+        PyBuffer_Release(&src);
+        PyBuffer_Release(&dst);
+        PyErr_SetString(PyExc_ValueError, "quantize: length mismatch");
+        return NULL;
+    }
+    m = src.len / (Py_ssize_t)sizeof(double);
+    in = (const double *)src.buf;
+    out = (double *)dst.buf;
+    for (i = 0; i < m; i++) {
+        double q = rint(in[i] * scale) / scale;
+        if (q == 0.0)
+            q = 0.0;  /* normalize -0.0 */
+        out[i] = q;
+    }
+    PyBuffer_Release(&src);
+    PyBuffer_Release(&dst);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* payload(n, idx, qamp) -> bytes                                      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_payload(PyObject *self, PyObject *args)
+{
+    int n;
+    PyObject *idx_o, *qamp_o, *res;
+    Py_buffer idx_b, qamp_b;
+
+    if (!PyArg_ParseTuple(args, "iOO", &n, &idx_o, &qamp_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(qamp_o, &qamp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    res = build_payload(n, (const int64_t *)idx_b.buf,
+                        (const double *)qamp_b.buf, idx_b.len / 8);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&qamp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* column_counts(n, idx) -> list[int]                                  */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_column_counts(PyObject *self, PyObject *args)
+{
+    int n, q;
+    PyObject *idx_o, *res;
+    Py_buffer idx_b;
+    Py_ssize_t j, m;
+    const int64_t *idx;
+
+    if (!PyArg_ParseTuple(args, "iO", &n, &idx_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    res = PyList_New(n);
+    if (res == NULL) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    for (q = 0; q < n; q++) {
+        int shift = n - 1 - q;
+        int64_t ones = 0;
+        for (j = 0; j < m; j++)
+            ones += (idx[j] >> shift) & 1;
+        PyObject *v = PyLong_FromLongLong(ones);
+        if (v == NULL) {
+            Py_DECREF(res);
+            PyBuffer_Release(&idx_b);
+            return NULL;
+        }
+        PyList_SET_ITEM(res, q, v);
+    }
+    PyBuffer_Release(&idx_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* cofactor proportionality (twin of kernel._ratio_balanced)           */
+/* ------------------------------------------------------------------ */
+
+/* scratch must hold 2*m int64 + 2*m double; returns 1 and sets *ratio
+ * when the qubit at `shift` is balanced-separable, else 0. */
+static int
+ratio_balanced(const int64_t *idx, const double *amp, Py_ssize_t m,
+               int shift, int64_t *scratch_i, double *scratch_a,
+               double *ratio_out)
+{
+    int64_t bit = (int64_t)1 << shift;
+    int64_t *i0 = scratch_i, *i1 = scratch_i + m;
+    double *a0 = scratch_a, *a1 = scratch_a + m;
+    Py_ssize_t j, c0 = 0, c1 = 0, t;
+    double ref, tol, aref;
+
+    for (j = 0; j < m; j++) {
+        if (idx[j] & bit) {
+            i1[c1] = idx[j] ^ bit;
+            a1[c1++] = amp[j];
+        }
+        else {
+            i0[c0] = idx[j];
+            a0[c0++] = amp[j];
+        }
+    }
+    if (c0 != c1)
+        return 0;
+    for (j = 0; j < c0; j++)
+        if (i0[j] != i1[j])
+            return 0;
+    ref = a1[0] / a0[0];
+    aref = fabs(ref);
+    tol = 1e-8 * (aref > 1.0 ? aref : 1.0);
+    for (t = 0; t < c0; t++) {
+        if (fabs(a1[t] / a0[t] - ref) > tol)
+            return 0;
+    }
+    *ratio_out = ref;
+    return 1;
+}
+
+/* entangled_qubits(n, idx, amp) -> tuple[int, ...] */
+static PyObject *
+fc_entangled_qubits(PyObject *self, PyObject *args)
+{
+    int n, q;
+    PyObject *idx_o, *amp_o, *res = NULL;
+    Py_buffer idx_b, amp_b;
+    Py_ssize_t j, m, count = 0;
+    const int64_t *idx;
+    const double *amp;
+    int64_t *scratch_i = NULL;
+    double *scratch_a = NULL, ratio;
+    int *ent = NULL;
+
+    if (!PyArg_ParseTuple(args, "iOO", &n, &idx_o, &amp_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(amp_o, &amp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    amp = (const double *)amp_b.buf;
+    scratch_i = PyMem_Malloc((size_t)(2 * m + 1) * sizeof(int64_t));
+    scratch_a = PyMem_Malloc((size_t)(2 * m + 1) * sizeof(double));
+    ent = PyMem_Malloc((size_t)(n ? n : 1) * sizeof(int));
+    if (scratch_i == NULL || scratch_a == NULL || ent == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (q = 0; q < n; q++) {
+        int shift = n - 1 - q;
+        int64_t ones = 0;
+        for (j = 0; j < m; j++)
+            ones += (idx[j] >> shift) & 1;
+        if (ones == 0 || ones == m)
+            continue;  /* pinned at |0> / |1>: separable */
+        if (2 * ones != m ||
+                !ratio_balanced(idx, amp, m, shift, scratch_i, scratch_a,
+                                &ratio))
+            ent[count++] = q;
+    }
+    res = PyTuple_New(count);
+    if (res != NULL) {
+        for (j = 0; j < count; j++) {
+            PyObject *v = PyLong_FromLong(ent[j]);
+            if (v == NULL) {
+                Py_CLEAR(res);
+                break;
+            }
+            PyTuple_SET_ITEM(res, j, v);
+        }
+    }
+done:
+    PyMem_Free(scratch_i);
+    PyMem_Free(scratch_a);
+    PyMem_Free(ent);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&amp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* pin_separable(n, idx, amp, counts) -> None | (idx_bytes, amp_bytes) */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_pin_separable(PyObject *self, PyObject *args)
+{
+    int n, q, changed, pinned = 0, have_counts = 1;
+    PyObject *idx_o, *amp_o, *counts_o, *res = NULL;
+    Py_buffer idx_b, amp_b;
+    Py_ssize_t j, m;
+    int64_t *idx = NULL, *counts = NULL, *scratch_i = NULL;
+    double *amp = NULL, *scratch_a = NULL, ratio;
+    ia_pair *pairs = NULL;
+
+    if (!PyArg_ParseTuple(args, "iOOO", &n, &idx_o, &amp_o, &counts_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(amp_o, &amp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    {
+        Py_ssize_t clen;
+        counts = list_to_i64(counts_o, &clen);
+        if (counts == NULL || clen != n) {
+            if (counts != NULL)
+                PyErr_SetString(PyExc_ValueError, "counts length mismatch");
+            goto done;
+        }
+    }
+    idx = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(int64_t));
+    amp = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(double));
+    scratch_i = PyMem_Malloc((size_t)(2 * m + 1) * sizeof(int64_t));
+    scratch_a = PyMem_Malloc((size_t)(2 * m + 1) * sizeof(double));
+    pairs = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(ia_pair));
+    if (idx == NULL || amp == NULL || scratch_i == NULL ||
+            scratch_a == NULL || pairs == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    memcpy(idx, idx_b.buf, (size_t)m * 8);
+    memcpy(amp, amp_b.buf, (size_t)m * 8);
+
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (q = 0; q < n; q++) {
+            int shift = n - 1 - q;
+            int64_t bit = (int64_t)1 << shift;
+            int64_t ones;
+            if (have_counts) {
+                ones = counts[q];
+            }
+            else {
+                ones = 0;
+                for (j = 0; j < m; j++)
+                    ones += (idx[j] >> shift) & 1;
+            }
+            if (ones == 0)
+                continue;  /* already pinned at |0> */
+            if (ones == m) {
+                for (j = 0; j < m; j++) {
+                    pairs[j].v = idx[j] ^ bit;
+                    pairs[j].a = amp[j];
+                }
+                qsort(pairs, (size_t)m, sizeof(ia_pair), cmp_ia_pair);
+                for (j = 0; j < m; j++) {
+                    idx[j] = pairs[j].v;
+                    amp[j] = pairs[j].a;
+                }
+                changed = pinned = 1;
+                have_counts = 0;  /* stale after any change */
+                continue;
+            }
+            if (2 * ones != m)
+                continue;  /* entangled */
+            if (!ratio_balanced(idx, amp, m, shift, scratch_i, scratch_a,
+                                &ratio))
+                continue;  /* entangled */
+            {
+                double scale = sqrt(1.0 + ratio * ratio);
+                Py_ssize_t keep = 0;
+                for (j = 0; j < m; j++) {
+                    if (!((idx[j] >> shift) & 1)) {
+                        idx[keep] = idx[j];
+                        amp[keep++] = amp[j] * scale;
+                    }
+                }
+                m = keep;
+            }
+            changed = pinned = 1;
+            have_counts = 0;
+        }
+    }
+    if (!pinned) {
+        res = Py_None;
+        Py_INCREF(res);
+    }
+    else {
+        PyObject *ib = PyBytes_FromStringAndSize((char *)idx,
+                                                 (Py_ssize_t)m * 8);
+        PyObject *ab = PyBytes_FromStringAndSize((char *)amp,
+                                                 (Py_ssize_t)m * 8);
+        if (ib == NULL || ab == NULL) {
+            Py_XDECREF(ib);
+            Py_XDECREF(ab);
+            goto done;
+        }
+        res = PyTuple_Pack(2, ib, ab);
+        Py_DECREF(ib);
+        Py_DECREF(ab);
+    }
+done:
+    PyMem_Free(idx);
+    PyMem_Free(amp);
+    PyMem_Free(counts);
+    PyMem_Free(scratch_i);
+    PyMem_Free(scratch_a);
+    PyMem_Free(pairs);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&amp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* orbit_hash(rows_2d_u64, heavy_pos_i64, qamp_f64) -> 128-bit int     */
+/* ------------------------------------------------------------------ */
+
+/* Shared accumulation core: rows (K x m permuted index sets), heavy
+ * positions, quantized amplitudes -> new 128-bit PyLong (NULL on error).
+ */
+static PyObject *
+orbit_hash_core(const uint64_t *rows, Py_ssize_t K, Py_ssize_t m,
+                const int64_t *hp, Py_ssize_t H, const double *qamp)
+{
+    PyObject *res = NULL;
+    Py_ssize_t j, k, h, d, ndistinct = 0;
+    uint64_t *fbp = NULL, *accs = NULL, *dist = NULL;
+    Py_ssize_t *kept = NULL;
+    unsigned char *neg = NULL;
+    uint64_t total_a = 0, total_b = 0;
+
+    fbp = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(uint64_t));
+    accs = PyMem_Malloc((size_t)(2 * K + 1) * sizeof(uint64_t));
+    dist = PyMem_Malloc((size_t)(2 * K + 1) * sizeof(uint64_t));
+    kept = PyMem_Malloc((size_t)(H ? H : 1) * sizeof(Py_ssize_t));
+    neg = PyMem_Malloc((size_t)(H ? H : 1));
+    if (fbp == NULL || accs == NULL || dist == NULL || kept == NULL ||
+            neg == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (j = 0; j < m; j++)
+        fbp[j] = dbl_bits(qamp[j]);
+    for (h = 0; h < H; h++)
+        neg[h] = qamp[hp[h]] < 0.0;
+
+    for (k = 0; k < K; k++) {
+        const uint64_t *row = rows + k * m;
+        Py_ssize_t nkept;
+        uint64_t acc_a = 0, acc_b = 0;
+        if (m > 1) {
+            /* covariant mask prefilter: keep translations minimizing the
+             * second-smallest translated index (ties all kept) */
+            uint64_t best_second = UINT64_MAX;
+            int have_best = 0;
+            nkept = 0;
+            for (h = 0; h < H; h++) {
+                uint64_t mask = row[hp[h]];
+                uint64_t lo = UINT64_MAX, hi = UINT64_MAX;
+                for (j = 0; j < m; j++) {
+                    uint64_t t = row[j] ^ mask;
+                    if (t < lo) {
+                        hi = lo;
+                        lo = t;
+                    }
+                    else if (t < hi) {
+                        hi = t;
+                    }
+                }
+                if (!have_best || hi < best_second) {
+                    have_best = 1;
+                    best_second = hi;
+                    kept[0] = h;
+                    nkept = 1;
+                }
+                else if (hi == best_second) {
+                    kept[nkept++] = h;
+                }
+            }
+        }
+        else {
+            nkept = H;
+            for (h = 0; h < H; h++)
+                kept[h] = h;
+        }
+        for (d = 0; d < nkept; d++) {
+            h = kept[d];
+            {
+                uint64_t mask = row[hp[h]];
+                uint64_t fb_xor = neg[h] ? SIGNBIT64 : 0;
+                uint64_t cand_a = 0, cand_b = 0;
+                for (j = 0; j < m; j++) {
+                    uint64_t z = ((row[j] ^ mask) * SM_ORBIT_MUL)
+                                 ^ (fbp[j] ^ fb_xor);
+                    uint64_t a = mix_a(z);
+                    cand_a += a;
+                    cand_b += mix_b(a);
+                }
+                /* finalize per candidate so sums do not telescope across
+                 * the candidate grouping */
+                acc_a += mix_a(cand_a);
+                acc_b += mix_b(cand_b);
+            }
+        }
+        accs[2 * k] = acc_a;
+        accs[2 * k + 1] = acc_b;
+    }
+    /* distinct (acc_a, acc_b) pairs across orderings */
+    for (k = 0; k < K; k++) {
+        int fresh = 1;
+        for (d = 0; d < ndistinct; d++) {
+            if (dist[2 * d] == accs[2 * k] &&
+                    dist[2 * d + 1] == accs[2 * k + 1]) {
+                fresh = 0;
+                break;
+            }
+        }
+        if (fresh) {
+            dist[2 * ndistinct] = accs[2 * k];
+            dist[2 * ndistinct + 1] = accs[2 * k + 1];
+            ndistinct++;
+        }
+    }
+    for (d = 0; d < ndistinct; d++) {
+        /* finalize per ordering for the same reason, one level up */
+        total_a += mix_a(dist[2 * d]);
+        total_b += mix_b(dist[2 * d + 1]);
+    }
+    {
+        PyObject *pa = PyLong_FromUnsignedLongLong(total_a);
+        PyObject *pb = PyLong_FromUnsignedLongLong(total_b);
+        PyObject *sh = PyLong_FromLong(64);
+        PyObject *shifted = NULL;
+        if (pa != NULL && pb != NULL && sh != NULL)
+            shifted = PyNumber_Lshift(pa, sh);
+        if (shifted != NULL)
+            res = PyNumber_Or(shifted, pb);
+        Py_XDECREF(pa);
+        Py_XDECREF(pb);
+        Py_XDECREF(sh);
+        Py_XDECREF(shifted);
+    }
+done:
+    PyMem_Free(fbp);
+    PyMem_Free(accs);
+    PyMem_Free(dist);
+    PyMem_Free(kept);
+    PyMem_Free(neg);
+    return res;
+}
+
+static PyObject *
+fc_orbit_hash(PyObject *self, PyObject *args)
+{
+    PyObject *rows_o, *hp_o, *qamp_o, *res = NULL;
+    Py_buffer rows_b, hp_b, qamp_b;
+
+    if (!PyArg_ParseTuple(args, "OOO", &rows_o, &hp_o, &qamp_o))
+        return NULL;
+    if (get_buf(rows_o, &rows_b, 0) < 0)
+        return NULL;
+    if (get_buf(hp_o, &hp_b, 0) < 0) {
+        PyBuffer_Release(&rows_b);
+        return NULL;
+    }
+    if (get_buf(qamp_o, &qamp_b, 0) < 0) {
+        PyBuffer_Release(&rows_b);
+        PyBuffer_Release(&hp_b);
+        return NULL;
+    }
+    if (rows_b.ndim != 2) {
+        PyErr_SetString(PyExc_ValueError, "orbit_hash: rows must be 2-D");
+    }
+    else {
+        res = orbit_hash_core((const uint64_t *)rows_b.buf,
+                              rows_b.shape[0], rows_b.shape[1],
+                              (const int64_t *)hp_b.buf, hp_b.len / 8,
+                              (const double *)qamp_b.buf);
+    }
+    PyBuffer_Release(&rows_b);
+    PyBuffer_Release(&hp_b);
+    PyBuffer_Release(&qamp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* orbit_hash_state(n, idx, qamp, tie_cap, orderings|None)             */
+/*   -> (128-bit int, num_heavy)                                       */
+/* ------------------------------------------------------------------ */
+
+/* Full-native twin of CanonContext's hash preparation: heavy positions
+ * are the ascending indices of max |qamp| capped at max(1, tie_cap)
+ * (exact float comparisons, so identical to the NumPy
+ * flatnonzero(absamp == absamp.max()) selection), and each ordering's
+ * rows are the bit-permuted indices (pure integer bit scatter, matching
+ * the einsum over the bit matrix).  orderings=None means the identity
+ * ordering only, where the index buffer itself is the single row.
+ */
+static PyObject *
+fc_orbit_hash_state(PyObject *self, PyObject *args)
+{
+    int n, i;
+    long tie_cap;
+    PyObject *idx_o, *qamp_o, *ord_o, *res = NULL, *hash_o = NULL;
+    PyObject *outer = NULL;
+    Py_buffer idx_b, qamp_b;
+    Py_ssize_t m, j, k, H = 0, cap, K = 1;
+    const int64_t *idx;
+    const double *qamp;
+    int64_t *hp = NULL;
+    uint64_t *rows = NULL;
+    const uint64_t *rows_ptr = NULL;
+    int src_shift[64];
+    double absmax = 0.0;
+
+    if (!PyArg_ParseTuple(args, "iOOlO", &n, &idx_o, &qamp_o, &tie_cap,
+                          &ord_o))
+        return NULL;
+    if (n < 0 || n > 64) {
+        PyErr_SetString(PyExc_ValueError, "orbit_hash_state: bad n");
+        return NULL;
+    }
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(qamp_o, &qamp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    qamp = (const double *)qamp_b.buf;
+
+    for (j = 0; j < m; j++) {
+        double a = fabs(qamp[j]);
+        if (a > absmax)
+            absmax = a;
+    }
+    cap = tie_cap > 1 ? (Py_ssize_t)tie_cap : 1;
+    hp = PyMem_Malloc((size_t)cap * sizeof(int64_t));
+    if (hp == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (j = 0; j < m && H < cap; j++)
+        if (fabs(qamp[j]) == absmax)
+            hp[H++] = (int64_t)j;
+
+    if (ord_o == Py_None) {
+        rows_ptr = (const uint64_t *)idx;  /* identity: rows == idx */
+    }
+    else {
+        outer = PySequence_Fast(ord_o, "orderings must be a sequence");
+        if (outer == NULL)
+            goto done;
+        K = PySequence_Fast_GET_SIZE(outer);
+        if (K < 1) {
+            PyErr_SetString(PyExc_ValueError,
+                            "orbit_hash_state: empty orderings");
+            goto done;
+        }
+        rows = PyMem_Malloc((size_t)(K * m > 0 ? K * m : 1)
+                            * sizeof(uint64_t));
+        if (rows == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        for (k = 0; k < K; k++) {
+            PyObject *perm = PySequence_Fast(
+                PySequence_Fast_GET_ITEM(outer, k),
+                "ordering must be a sequence");
+            uint64_t *out = rows + k * m;
+            if (perm == NULL)
+                goto done;
+            if (PySequence_Fast_GET_SIZE(perm) != n) {
+                Py_DECREF(perm);
+                PyErr_SetString(PyExc_ValueError,
+                                "orbit_hash_state: ordering length != n");
+                goto done;
+            }
+            for (i = 0; i < n; i++) {
+                long q = PyLong_AsLong(PySequence_Fast_GET_ITEM(perm, i));
+                if ((q == -1 && PyErr_Occurred()) || q < 0 || q >= n) {
+                    Py_DECREF(perm);
+                    if (!PyErr_Occurred())
+                        PyErr_SetString(
+                            PyExc_ValueError,
+                            "orbit_hash_state: ordering entry out of range");
+                    goto done;
+                }
+                src_shift[i] = n - 1 - (int)q;
+            }
+            Py_DECREF(perm);
+            /* row[j] = sum_i bits[perm[i], j] << (n-1-i): the permuted
+             * index value of element j under this qubit ordering */
+            for (j = 0; j < m; j++) {
+                uint64_t v = 0;
+                uint64_t x = (uint64_t)idx[j];
+                for (i = 0; i < n; i++)
+                    v |= ((x >> src_shift[i]) & 1)
+                         << (uint64_t)(n - 1 - i);
+                out[j] = v;
+            }
+        }
+        rows_ptr = rows;
+    }
+    hash_o = orbit_hash_core(rows_ptr, K, m, hp, H, qamp);
+    if (hash_o != NULL) {
+        PyObject *nh = PyLong_FromSsize_t(H);
+        if (nh != NULL)
+            res = PyTuple_New(2);
+        if (res != NULL) {
+            PyTuple_SET_ITEM(res, 0, hash_o);
+            PyTuple_SET_ITEM(res, 1, nh);
+        }
+        else {
+            Py_DECREF(hash_o);
+            Py_XDECREF(nh);
+        }
+    }
+done:
+    Py_XDECREF(outer);
+    PyMem_Free(hp);
+    PyMem_Free(rows);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&qamp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* sig_tags(n, idx, absamp) -> list[int]                               */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_sig_tags(PyObject *self, PyObject *args)
+{
+    int n, q;
+    PyObject *idx_o, *absamp_o, *res = NULL;
+    Py_buffer idx_b, absamp_b;
+    Py_ssize_t j, m;
+    const int64_t *idx;
+    const double *absamp;
+    uint64_t *mixed = NULL;
+    uint64_t total = 0;
+
+    if (!PyArg_ParseTuple(args, "iOO", &n, &idx_o, &absamp_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(absamp_o, &absamp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    absamp = (const double *)absamp_b.buf;
+    mixed = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(uint64_t));
+    if (mixed == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (j = 0; j < m; j++) {
+        mixed[j] = mix_a(dbl_bits(absamp[j]));
+        total += mixed[j];
+    }
+    res = PyList_New(n);
+    if (res == NULL)
+        goto done;
+    for (q = 0; q < n; q++) {
+        int shift = n - 1 - q;
+        uint64_t colsum = 0, flip, tag;
+        for (j = 0; j < m; j++) {
+            if ((idx[j] >> shift) & 1)
+                colsum += mixed[j];
+        }
+        flip = total - colsum;
+        tag = colsum < flip ? colsum : flip;
+        {
+            PyObject *v = PyLong_FromUnsignedLongLong(tag);
+            if (v == NULL) {
+                Py_CLEAR(res);
+                goto done;
+            }
+            PyList_SET_ITEM(res, q, v);
+        }
+    }
+done:
+    PyMem_Free(mixed);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&absamp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* wl_pair_ids(n, idx, ranks) -> list[list[int]]                       */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_wl_pair_ids(PyObject *self, PyObject *args)
+{
+    int n, q, p, w, flip;
+    PyObject *idx_o, *ranks_o, *res = NULL;
+    Py_buffer idx_b, ranks_b;
+    Py_ssize_t j, m;
+    const int64_t *idx, *ranks;
+    int64_t maxrank = 0, width;
+    int64_t *table = NULL, *bestbuf = NULL;
+    unsigned char *bits = NULL;
+
+    if (!PyArg_ParseTuple(args, "iOO", &n, &idx_o, &ranks_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(ranks_o, &ranks_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    ranks = (const int64_t *)ranks_b.buf;
+    for (j = 0; j < m; j++)
+        if (ranks[j] > maxrank)
+            maxrank = ranks[j];
+    width = 4 * (maxrank + 1);
+
+    bits = PyMem_Malloc((size_t)(n * m + 1));
+    table = PyMem_Calloc((size_t)(n * n * width + 1), sizeof(int64_t));
+    bestbuf = PyMem_Malloc((size_t)(width + 1) * sizeof(int64_t));
+    if (bits == NULL || table == NULL || bestbuf == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (q = 0; q < n; q++) {
+        int shift = n - 1 - q;
+        for (j = 0; j < m; j++)
+            bits[q * m + j] = (unsigned char)((idx[j] >> shift) & 1);
+    }
+    /* count table over (|amp| rank, bit_q, bit_p) per ordered pair */
+    for (q = 0; q < n; q++) {
+        for (p = 0; p < n; p++) {
+            int64_t *row = table + ((Py_ssize_t)q * n + p) * width;
+            for (j = 0; j < m; j++)
+                row[ranks[j] * 4 + bits[q * m + j] * 2 + bits[p * m + j]]++;
+        }
+    }
+    res = PyList_New(n);
+    if (res == NULL)
+        goto done;
+    for (q = 0; q < n; q++) {
+        PyObject *inner = PyList_New(n);
+        if (inner == NULL) {
+            Py_CLEAR(res);
+            goto done;
+        }
+        PyList_SET_ITEM(res, q, inner);
+        for (p = 0; p < n; p++) {
+            const int64_t *row = table + ((Py_ssize_t)q * n + p) * width;
+            PyObject *blob, *hv;
+            Py_hash_t hash;
+            memcpy(bestbuf, row, (size_t)width * sizeof(int64_t));
+            /* minimize over the four flip variants (column xor) */
+            for (flip = 1; flip < 4; flip++) {
+                int less = 0;
+                for (w = 0; w < width; w++) {
+                    int64_t v = row[w ^ flip];
+                    if (v < bestbuf[w]) {
+                        less = 1;
+                        break;
+                    }
+                    if (v > bestbuf[w])
+                        break;
+                }
+                if (less) {
+                    for (w = 0; w < width; w++)
+                        bestbuf[w] = row[w ^ flip];
+                }
+            }
+            blob = PyBytes_FromStringAndSize((char *)bestbuf,
+                                             (Py_ssize_t)width * 8);
+            if (blob == NULL) {
+                Py_CLEAR(res);
+                goto done;
+            }
+            hash = PyObject_Hash(blob);
+            Py_DECREF(blob);
+            hv = PyLong_FromSsize_t(hash);
+            if (hv == NULL) {
+                Py_CLEAR(res);
+                goto done;
+            }
+            PyList_SET_ITEM(inner, p, hv);
+        }
+    }
+done:
+    PyMem_Free(bits);
+    PyMem_Free(table);
+    PyMem_Free(bestbuf);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&ranks_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* cell_symmetric(n, idx, qamp, cell) -> bool                          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_cell_symmetric(PyObject *self, PyObject *args)
+{
+    int n, ok = 1;
+    PyObject *idx_o, *qamp_o, *cell_o;
+    Py_buffer idx_b, qamp_b;
+    Py_ssize_t j, m, c, ncell;
+    const int64_t *idx;
+    const double *qamp;
+    int64_t *cell = NULL;
+    ij_pair *pairs = NULL;
+
+    if (!PyArg_ParseTuple(args, "iOOO", &n, &idx_o, &qamp_o, &cell_o))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(qamp_o, &qamp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    qamp = (const double *)qamp_b.buf;
+    cell = list_to_i64(cell_o, &ncell);
+    if (cell == NULL) {
+        PyBuffer_Release(&idx_b);
+        PyBuffer_Release(&qamp_b);
+        return NULL;
+    }
+    pairs = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(ij_pair));
+    if (pairs == NULL) {
+        PyErr_NoMemory();
+        ok = -1;
+        goto done;
+    }
+    for (c = 0; c + 1 < ncell && ok == 1; c++) {
+        int sa = n - 1 - (int)cell[c];
+        int sb = n - 1 - (int)cell[c + 1];
+        int64_t both = ((int64_t)1 << sa) | ((int64_t)1 << sb);
+        for (j = 0; j < m; j++) {
+            int64_t diff = ((idx[j] >> sa) ^ (idx[j] >> sb)) & 1;
+            pairs[j].v = idx[j] ^ (diff * both);
+            pairs[j].j = j;
+        }
+        qsort(pairs, (size_t)m, sizeof(ij_pair), cmp_ij_pair);
+        for (j = 0; j < m; j++) {
+            if (pairs[j].v != idx[j] || qamp[pairs[j].j] != qamp[j]) {
+                ok = 0;
+                break;
+            }
+        }
+    }
+done:
+    PyMem_Free(cell);
+    PyMem_Free(pairs);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&qamp_b);
+    if (ok < 0)
+        return NULL;
+    if (ok)
+        Py_RETURN_TRUE;
+    Py_RETURN_FALSE;
+}
+
+/* ------------------------------------------------------------------ */
+/* pairs_singles(n, idx, amp, tshift)                                  */
+/*   -> (i0 list, a0 list, a1 list, singles list)                      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_pairs_singles(PyObject *self, PyObject *args)
+{
+    int n, tshift;
+    PyObject *idx_o, *amp_o;
+    PyObject *i0 = NULL, *a0 = NULL, *a1 = NULL, *singles = NULL,
+             *res = NULL;
+    Py_buffer idx_b, amp_b;
+    Py_ssize_t j, m;
+    const int64_t *idx;
+    const double *amp;
+    int64_t tmask;
+
+    if (!PyArg_ParseTuple(args, "iOOi", &n, &idx_o, &amp_o, &tshift))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(amp_o, &amp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    amp = (const double *)amp_b.buf;
+    tmask = (int64_t)1 << tshift;
+
+    i0 = PyList_New(0);
+    a0 = PyList_New(0);
+    a1 = PyList_New(0);
+    singles = PyList_New(0);
+    if (i0 == NULL || a0 == NULL || a1 == NULL || singles == NULL)
+        goto done;
+    for (j = 0; j < m; j++) {
+        int64_t partner = idx[j] ^ tmask;
+        /* binary search for the partner in the sorted index set */
+        Py_ssize_t lo = 0, hi = m;
+        int found;
+        while (lo < hi) {
+            Py_ssize_t mid = (lo + hi) / 2;
+            if (idx[mid] < partner)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        found = lo < m && idx[lo] == partner;
+        if (!found) {
+            PyObject *v = PyLong_FromLongLong(idx[j]);
+            if (v == NULL || PyList_Append(singles, v) < 0) {
+                Py_XDECREF(v);
+                goto done;
+            }
+            Py_DECREF(v);
+        }
+        else if (!(idx[j] & tmask)) {
+            PyObject *vi = PyLong_FromLongLong(idx[j]);
+            PyObject *v0 = PyFloat_FromDouble(amp[j]);
+            PyObject *v1 = PyFloat_FromDouble(amp[lo]);
+            if (vi == NULL || v0 == NULL || v1 == NULL ||
+                    PyList_Append(i0, vi) < 0 ||
+                    PyList_Append(a0, v0) < 0 ||
+                    PyList_Append(a1, v1) < 0) {
+                Py_XDECREF(vi);
+                Py_XDECREF(v0);
+                Py_XDECREF(v1);
+                goto done;
+            }
+            Py_DECREF(vi);
+            Py_DECREF(v0);
+            Py_DECREF(v1);
+        }
+    }
+    res = PyTuple_Pack(4, i0, a0, a1, singles);
+done:
+    Py_XDECREF(i0);
+    Py_XDECREF(a0);
+    Py_XDECREF(a1);
+    Py_XDECREF(singles);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&amp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* merge_reps_codes(n, i0, singles, other)                             */
+/*   -> (reps list, pcodes list, scodes list)                          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_merge_reps_codes(PyObject *self, PyObject *args)
+{
+    int n;
+    PyObject *i0_o, *singles_o, *other_o, *res = NULL;
+    Py_ssize_t P, S, O, total, oi, j, r;
+    int64_t *i0 = NULL, *singles = NULL, *other = NULL;
+    unsigned char *cols = NULL;  /* accepted columns, row-major */
+    int64_t reps_q[64];
+    Py_ssize_t nreps = 0;
+    PyObject *reps_l = NULL, *pcodes_l = NULL, *scodes_l = NULL;
+
+    if (!PyArg_ParseTuple(args, "iOOO", &n, &i0_o, &singles_o, &other_o))
+        return NULL;
+    i0 = list_to_i64(i0_o, &P);
+    if (i0 == NULL)
+        return NULL;
+    singles = list_to_i64(singles_o, &S);
+    if (singles == NULL)
+        goto done;
+    other = list_to_i64(other_o, &O);
+    if (other == NULL)
+        goto done;
+    total = P + S;
+    cols = PyMem_Malloc((size_t)((O ? O : 1) * (total ? total : 1) + 1));
+    if (cols == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (oi = 0; oi < O; oi++) {
+        int q = (int)other[oi];
+        int shift = n - 1 - q;
+        unsigned char *col = cols + nreps * total;
+        unsigned char first, any = 0;
+        int dup = 0;
+        for (j = 0; j < total; j++) {
+            int64_t v = j < P ? i0[j] : singles[j - P];
+            col[j] = (unsigned char)((v >> shift) & 1);
+        }
+        /* complement-normalize: first bit 0 */
+        first = col[0];
+        if (first) {
+            for (j = 0; j < total; j++)
+                col[j] ^= 1;
+        }
+        for (j = 0; j < total; j++)
+            any |= col[j];
+        if (!any)
+            continue;  /* constant column: never splits anything */
+        for (r = 0; r < nreps; r++) {
+            if (memcmp(cols + r * total, col, (size_t)total) == 0) {
+                dup = 1;
+                break;
+            }
+        }
+        if (dup)
+            continue;  /* duplicate/complement column of an earlier qubit */
+        reps_q[nreps++] = q;
+        if (nreps >= 64)
+            break;  /* codes are 64-bit; n <= 62 keeps this unreachable */
+    }
+    reps_l = PyList_New(nreps);
+    pcodes_l = PyList_New(P);
+    scodes_l = PyList_New(S);
+    if (reps_l == NULL || pcodes_l == NULL || scodes_l == NULL)
+        goto done;
+    for (r = 0; r < nreps; r++) {
+        PyObject *v = PyLong_FromLongLong(reps_q[r]);
+        if (v == NULL)
+            goto done;
+        PyList_SET_ITEM(reps_l, r, v);
+    }
+    for (j = 0; j < P; j++) {
+        int64_t code = 0;
+        for (r = 0; r < nreps; r++)
+            code |= ((i0[j] >> (n - 1 - reps_q[r])) & 1) << r;
+        PyObject *v = PyLong_FromLongLong(code);
+        if (v == NULL)
+            goto done;
+        PyList_SET_ITEM(pcodes_l, j, v);
+    }
+    for (j = 0; j < S; j++) {
+        int64_t code = 0;
+        for (r = 0; r < nreps; r++)
+            code |= ((singles[j] >> (n - 1 - reps_q[r])) & 1) << r;
+        PyObject *v = PyLong_FromLongLong(code);
+        if (v == NULL)
+            goto done;
+        PyList_SET_ITEM(scodes_l, j, v);
+    }
+    res = PyTuple_Pack(3, reps_l, pcodes_l, scodes_l);
+done:
+    Py_XDECREF(reps_l);
+    Py_XDECREF(pcodes_l);
+    Py_XDECREF(scodes_l);
+    PyMem_Free(i0);
+    PyMem_Free(singles);
+    PyMem_Free(other);
+    PyMem_Free(cols);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* merge_walk(pcodes, scodes, a0, a1, num_reps, kmax, rtol)            */
+/*   -> list[(smask, ref, direction)]                                  */
+/* ------------------------------------------------------------------ */
+
+/* growable open-addressing set of (members..., direction) dedupe keys */
+typedef struct {
+    uint64_t *hashes;    /* table of key hashes; 0 = empty slot */
+    Py_ssize_t *offsets; /* parallel: arena offset of the stored key */
+    size_t mask, used;
+    int64_t *arena;      /* concatenated keys: len, dir, members... */
+    size_t arena_used, arena_cap;
+} dedupe_set;
+
+static uint64_t
+dedupe_hash(const int64_t *members, Py_ssize_t count, int direction)
+{
+    uint64_t h = 1469598103934665603ULL;
+    Py_ssize_t i;
+    h ^= (uint64_t)direction;
+    h *= 1099511628211ULL;
+    for (i = 0; i < count; i++) {
+        h ^= (uint64_t)members[i];
+        h *= 1099511628211ULL;
+    }
+    return h ? h : 1;  /* 0 marks an empty slot */
+}
+
+static int
+dedupe_grow(dedupe_set *ds)
+{
+    size_t newmask = ds->mask * 2 + 1, i;
+    uint64_t *nh = PyMem_Calloc(newmask + 1, sizeof(uint64_t));
+    Py_ssize_t *no = PyMem_Malloc((newmask + 1) * sizeof(Py_ssize_t));
+    if (nh == NULL || no == NULL) {
+        PyMem_Free(nh);
+        PyMem_Free(no);
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (i = 0; i <= ds->mask; i++) {
+        if (ds->hashes[i]) {
+            size_t slot = (size_t)ds->hashes[i] & newmask;
+            while (nh[slot])
+                slot = (slot + 1) & newmask;
+            nh[slot] = ds->hashes[i];
+            no[slot] = ds->offsets[i];
+        }
+    }
+    PyMem_Free(ds->hashes);
+    PyMem_Free(ds->offsets);
+    ds->hashes = nh;
+    ds->offsets = no;
+    ds->mask = newmask;
+    return 0;
+}
+
+/* returns 1 if (members, direction) was already present, 0 if inserted,
+ * -1 on allocation failure */
+static int
+dedupe_check_add(dedupe_set *ds, const int64_t *members, Py_ssize_t count,
+                 int direction)
+{
+    uint64_t h = dedupe_hash(members, count, direction);
+    size_t slot = (size_t)h & ds->mask;
+    while (ds->hashes[slot]) {
+        if (ds->hashes[slot] == h) {
+            const int64_t *key = ds->arena + ds->offsets[slot];
+            if (key[0] == count && key[1] == direction &&
+                    memcmp(key + 2, members,
+                           (size_t)count * sizeof(int64_t)) == 0)
+                return 1;
+        }
+        slot = (slot + 1) & ds->mask;
+    }
+    /* insert */
+    if ((ds->arena_used + (size_t)count + 2) > ds->arena_cap) {
+        size_t newcap = ds->arena_cap * 2;
+        int64_t *na;
+        while (newcap < ds->arena_used + (size_t)count + 2)
+            newcap *= 2;
+        na = PyMem_Realloc(ds->arena, newcap * sizeof(int64_t));
+        if (na == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        ds->arena = na;
+        ds->arena_cap = newcap;
+    }
+    ds->arena[ds->arena_used] = count;
+    ds->arena[ds->arena_used + 1] = direction;
+    memcpy(ds->arena + ds->arena_used + 2, members,
+           (size_t)count * sizeof(int64_t));
+    ds->hashes[slot] = h;
+    ds->offsets[slot] = (Py_ssize_t)ds->arena_used;
+    ds->arena_used += (size_t)count + 2;
+    ds->used++;
+    if (ds->used * 2 > ds->mask)
+        return dedupe_grow(ds);
+    return 0;
+}
+
+static PyObject *
+fc_merge_walk(PyObject *self, PyObject *args)
+{
+    PyObject *pcodes_o, *scodes_o, *a0_o, *a1_o, *res = NULL;
+    int num_reps, kmax, k;
+    double rtol;
+    Py_ssize_t P, S, na0, na1, p, s, b, i;
+    int64_t *pcl = NULL, *scl = NULL;
+    double *a0 = NULL, *a1 = NULL;
+    /* per-subset bucket state */
+    Py_ssize_t *bucket_head = NULL, *bucket_tail = NULL, *nxt = NULL;
+    int64_t *bucket_code = NULL, *members = NULL;
+    /* code -> bucket-id open map with generation stamps */
+    size_t cmask = 0;
+    int64_t *ck = NULL, *cgen = NULL;
+    Py_ssize_t *cv = NULL;
+    /* masked single-code set with generation stamps */
+    size_t smask_cap = 0;
+    int64_t *sk = NULL, *sgen = NULL;
+    int64_t gen = 0;
+    int combo[64];
+    dedupe_set ds = {NULL, NULL, 0, 0, NULL, 0, 0};
+
+    if (!PyArg_ParseTuple(args, "OOOOiid", &pcodes_o, &scodes_o, &a0_o,
+                          &a1_o, &num_reps, &kmax, &rtol))
+        return NULL;
+    pcl = list_to_i64(pcodes_o, &P);
+    if (pcl == NULL)
+        return NULL;
+    scl = list_to_i64(scodes_o, &S);
+    if (scl == NULL)
+        goto done;
+    a0 = list_to_f64(a0_o, &na0);
+    if (a0 == NULL)
+        goto done;
+    a1 = list_to_f64(a1_o, &na1);
+    if (a1 == NULL)
+        goto done;
+
+    bucket_head = PyMem_Malloc((size_t)(P + 1) * sizeof(Py_ssize_t));
+    bucket_tail = PyMem_Malloc((size_t)(P + 1) * sizeof(Py_ssize_t));
+    nxt = PyMem_Malloc((size_t)(P + 1) * sizeof(Py_ssize_t));
+    bucket_code = PyMem_Malloc((size_t)(P + 1) * sizeof(int64_t));
+    members = PyMem_Malloc((size_t)(P + 1) * sizeof(int64_t));
+    cmask = 8;
+    while (cmask < (size_t)P * 2 + 2)
+        cmask *= 2;
+    cmask -= 1;
+    ck = PyMem_Malloc((cmask + 1) * sizeof(int64_t));
+    cgen = PyMem_Calloc(cmask + 1, sizeof(int64_t));
+    cv = PyMem_Malloc((cmask + 1) * sizeof(Py_ssize_t));
+    smask_cap = 8;
+    while (smask_cap < (size_t)S * 2 + 2)
+        smask_cap *= 2;
+    smask_cap -= 1;
+    sk = PyMem_Malloc((smask_cap + 1) * sizeof(int64_t));
+    sgen = PyMem_Calloc(smask_cap + 1, sizeof(int64_t));
+    ds.mask = 255;
+    ds.hashes = PyMem_Calloc(ds.mask + 1, sizeof(uint64_t));
+    ds.offsets = PyMem_Malloc((ds.mask + 1) * sizeof(Py_ssize_t));
+    ds.arena_cap = 1024;
+    ds.arena = PyMem_Malloc(ds.arena_cap * sizeof(int64_t));
+    if (bucket_head == NULL || bucket_tail == NULL || nxt == NULL ||
+            bucket_code == NULL || members == NULL || ck == NULL ||
+            cgen == NULL || cv == NULL || sk == NULL || sgen == NULL ||
+            ds.hashes == NULL || ds.offsets == NULL || ds.arena == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    res = PyList_New(0);
+    if (res == NULL)
+        goto done;
+
+    for (k = 0; k <= kmax; k++) {
+        int have_combo = 1;
+        for (i = 0; i < k; i++)
+            combo[i] = (int)i;
+        while (have_combo) {
+            int64_t smask = 0;
+            Py_ssize_t nbuckets = 0;
+            for (i = 0; i < k; i++)
+                smask |= (int64_t)1 << combo[i];
+            gen++;
+            /* bucket pairs by masked rep-code, first-occurrence order */
+            for (p = 0; p < P; p++) {
+                int64_t code = pcl[p] & smask;
+                size_t slot = ((uint64_t)code * SM_ORBIT_MUL) & cmask;
+                Py_ssize_t bid = -1;
+                while (cgen[slot] == gen) {
+                    if (ck[slot] == code) {
+                        bid = cv[slot];
+                        break;
+                    }
+                    slot = (slot + 1) & cmask;
+                }
+                if (bid < 0) {
+                    bid = nbuckets++;
+                    cgen[slot] = gen;
+                    ck[slot] = code;
+                    cv[slot] = bid;
+                    bucket_code[bid] = code;
+                    bucket_head[bid] = p;
+                    bucket_tail[bid] = p;
+                    nxt[p] = -1;
+                }
+                else {
+                    nxt[bucket_tail[bid]] = p;
+                    bucket_tail[bid] = p;
+                    nxt[p] = -1;
+                }
+            }
+            /* masked single codes */
+            for (s = 0; s < S; s++) {
+                int64_t code = scl[s] & smask;
+                size_t slot = ((uint64_t)code * SM_ORBIT_MUL) & smask_cap;
+                while (sgen[slot] == gen && sk[slot] != code)
+                    slot = (slot + 1) & smask_cap;
+                sgen[slot] = gen;
+                sk[slot] = code;
+            }
+            for (b = 0; b < nbuckets; b++) {
+                int64_t code = bucket_code[b];
+                Py_ssize_t ref, nmem = 0;
+                double ra0, ra1;
+                int direction, in_singles = 0;
+                size_t slot = ((uint64_t)code * SM_ORBIT_MUL) & smask_cap;
+                while (sgen[slot] == gen) {
+                    if (sk[slot] == code) {
+                        in_singles = 1;
+                        break;
+                    }
+                    slot = (slot + 1) & smask_cap;
+                }
+                if (in_singles)
+                    continue;  /* the cube would split a lone index */
+                for (p = bucket_head[b]; p >= 0; p = nxt[p])
+                    members[nmem++] = p;
+                ref = members[0];
+                ra0 = a0[ref];
+                ra1 = a1[ref];
+                if (nmem > 1) {
+                    double scale = fabs(ra0) + fabs(ra1);
+                    int consistent = 1;
+                    for (i = 1; i < nmem; i++) {
+                        double pa0 = a0[members[i]];
+                        double pa1 = a1[members[i]];
+                        if (fabs(pa1 * ra0 - ra1 * pa0) >
+                                (rtol * scale) * (fabs(pa0) + fabs(pa1))) {
+                            consistent = 0;
+                            break;
+                        }
+                    }
+                    if (!consistent)
+                        continue;
+                }
+                for (direction = 0; direction < 2; direction++) {
+                    int dup = dedupe_check_add(&ds, members, nmem,
+                                               direction);
+                    if (dup < 0)
+                        goto fail;
+                    if (dup)
+                        continue;  /* cheaper cube already found */
+                    {
+                        PyObject *t = Py_BuildValue(
+                            "(Lni)", (long long)smask, ref, direction);
+                        if (t == NULL || PyList_Append(res, t) < 0) {
+                            Py_XDECREF(t);
+                            goto fail;
+                        }
+                        Py_DECREF(t);
+                    }
+                }
+            }
+            /* advance to next combination (lexicographic) */
+            if (k == 0) {
+                have_combo = 0;
+            }
+            else {
+                for (i = k - 1; i >= 0; i--) {
+                    if (combo[i] != (int)i + num_reps - k)
+                        break;
+                }
+                if (i < 0) {
+                    have_combo = 0;
+                }
+                else {
+                    combo[i]++;
+                    for (i++; i < k; i++)
+                        combo[i] = combo[i - 1] + 1;
+                }
+            }
+        }
+    }
+    goto done;
+fail:
+    Py_CLEAR(res);
+done:
+    PyMem_Free(pcl);
+    PyMem_Free(scl);
+    PyMem_Free(a0);
+    PyMem_Free(a1);
+    PyMem_Free(bucket_head);
+    PyMem_Free(bucket_tail);
+    PyMem_Free(nxt);
+    PyMem_Free(bucket_code);
+    PyMem_Free(members);
+    PyMem_Free(ck);
+    PyMem_Free(cgen);
+    PyMem_Free(cv);
+    PyMem_Free(sk);
+    PyMem_Free(sgen);
+    PyMem_Free(ds.hashes);
+    PyMem_Free(ds.offsets);
+    PyMem_Free(ds.arena);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* merge_apply(n, idx, amp, cmask, cval, tshift, theta, atol)          */
+/*   -> (idx_bytes, amp_bytes)                                         */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_merge_apply(PyObject *self, PyObject *args)
+{
+    int n, tshift;
+    long long cmask_ll, cval_ll;
+    double theta, atol;
+    PyObject *idx_o, *amp_o, *res = NULL;
+    Py_buffer idx_b, amp_b;
+    Py_ssize_t j, m, n0 = 0, n1 = 0, count = 0, p1 = 0, t;
+    const int64_t *idx;
+    const double *amp;
+    int64_t cmask, cval, tmask;
+    int64_t *g0i = NULL, *g1i = NULL;
+    double *g0a = NULL, *g1a = NULL;
+    unsigned char *matched = NULL;
+    ia_pair *out = NULL;
+    double c, s;
+
+    if (!PyArg_ParseTuple(args, "iOOLLidd", &n, &idx_o, &amp_o, &cmask_ll,
+                          &cval_ll, &tshift, &theta, &atol))
+        return NULL;
+    if (get_buf(idx_o, &idx_b, 0) < 0)
+        return NULL;
+    if (get_buf(amp_o, &amp_b, 0) < 0) {
+        PyBuffer_Release(&idx_b);
+        return NULL;
+    }
+    m = idx_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    amp = (const double *)amp_b.buf;
+    cmask = (int64_t)cmask_ll;
+    cval = (int64_t)cval_ll;
+    tmask = (int64_t)1 << tshift;
+
+    g0i = PyMem_Malloc((size_t)(m + 1) * sizeof(int64_t));
+    g1i = PyMem_Malloc((size_t)(m + 1) * sizeof(int64_t));
+    g0a = PyMem_Malloc((size_t)(m + 1) * sizeof(double));
+    g1a = PyMem_Malloc((size_t)(m + 1) * sizeof(double));
+    matched = PyMem_Calloc((size_t)(m + 1), 1);
+    out = PyMem_Malloc((size_t)(2 * m + 1) * sizeof(ia_pair));
+    if (g0i == NULL || g1i == NULL || g0a == NULL || g1a == NULL ||
+            matched == NULL || out == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (j = 0; j < m; j++) {
+        int64_t i = idx[j];
+        if ((i & cmask) != cval) {
+            out[count].v = i;
+            out[count++].a = amp[j];
+        }
+        else if (i & tmask) {
+            g1i[n1] = i ^ tmask;
+            g1a[n1++] = amp[j];
+        }
+        else {
+            g0i[n0] = i;
+            g0a[n0++] = amp[j];
+        }
+    }
+    c = cos(theta / 2.0);
+    s = sin(theta / 2.0);
+    /* g0i and g1i are each ascending (masking preserves sort order), so
+     * partners resolve by a single merge-join */
+    for (j = 0; j < n0; j++) {
+        int64_t i = g0i[j];
+        double a0v = g0a[j], a1v = 0.0, new0, new1;
+        while (p1 < n1 && g1i[p1] < i)
+            p1++;
+        if (p1 < n1 && g1i[p1] == i) {
+            a1v = g1a[p1];
+            matched[p1] = 1;
+            p1++;
+        }
+        new0 = c * a0v - s * a1v;
+        new1 = s * a0v + c * a1v;
+        if (fabs(new0) > atol) {
+            out[count].v = i;
+            out[count++].a = new0;
+        }
+        if (fabs(new1) > atol) {
+            out[count].v = i | tmask;
+            out[count++].a = new1;
+        }
+    }
+    for (t = 0; t < n1; t++) {  /* lone |1> partners */
+        int64_t i;
+        double a1v, new0, new1;
+        if (matched[t])
+            continue;
+        i = g1i[t];
+        a1v = g1a[t];
+        new0 = c * 0.0 - s * a1v;
+        new1 = s * 0.0 + c * a1v;
+        if (fabs(new0) > atol) {
+            out[count].v = i;
+            out[count++].a = new0;
+        }
+        if (fabs(new1) > atol) {
+            out[count].v = i | tmask;
+            out[count++].a = new1;
+        }
+    }
+    qsort(out, (size_t)count, sizeof(ia_pair), cmp_ia_pair);
+    {
+        PyObject *ib = PyBytes_FromStringAndSize(NULL, count * 8);
+        PyObject *ab = PyBytes_FromStringAndSize(NULL, count * 8);
+        if (ib != NULL && ab != NULL) {
+            int64_t *ip = (int64_t *)PyBytes_AS_STRING(ib);
+            double *ap = (double *)PyBytes_AS_STRING(ab);
+            for (j = 0; j < count; j++) {
+                ip[j] = out[j].v;
+                ap[j] = out[j].a;
+            }
+            res = PyTuple_Pack(2, ib, ab);
+        }
+        Py_XDECREF(ib);
+        Py_XDECREF(ab);
+    }
+done:
+    PyMem_Free(g0i);
+    PyMem_Free(g1i);
+    PyMem_Free(g0a);
+    PyMem_Free(g1a);
+    PyMem_Free(matched);
+    PyMem_Free(out);
+    PyBuffer_Release(&idx_b);
+    PyBuffer_Release(&amp_b);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* cx_batch(n, idx, amp, qamp, controls, phases, targets,              */
+/*          out_idx_2d, out_amp_2d, out_qamp_2d) -> list[payload]      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fc_cx_batch(PyObject *self, PyObject *args)
+{
+    int n;
+    PyObject *idx_o, *amp_o, *qamp_o, *c_o, *p_o, *t_o;
+    PyObject *oi_o, *oa_o, *oq_o, *res = NULL;
+    Py_buffer idx_b, amp_b, qamp_b, c_b, p_b, t_b, oi_b, oa_b, oq_b;
+    Py_ssize_t j, m, K, k;
+    const int64_t *idx, *controls, *phases, *targets;
+    const double *amp, *qamp;
+    int64_t *oi;
+    double *oa, *oq;
+    ij_pair *pairs = NULL;
+    int nbuf = 0;
+    Py_buffer *bufs[9] = {&idx_b, &amp_b, &qamp_b, &c_b, &p_b, &t_b,
+                          &oi_b, &oa_b, &oq_b};
+
+    if (!PyArg_ParseTuple(args, "iOOOOOOOOO", &n, &idx_o, &amp_o, &qamp_o,
+                          &c_o, &p_o, &t_o, &oi_o, &oa_o, &oq_o))
+        return NULL;
+    {
+        PyObject *objs[9] = {idx_o, amp_o, qamp_o, c_o, p_o, t_o,
+                             oi_o, oa_o, oq_o};
+        for (nbuf = 0; nbuf < 9; nbuf++) {
+            if (get_buf(objs[nbuf], bufs[nbuf], nbuf >= 6) < 0)
+                goto release;
+        }
+    }
+    m = idx_b.len / 8;
+    K = c_b.len / 8;
+    idx = (const int64_t *)idx_b.buf;
+    amp = (const double *)amp_b.buf;
+    qamp = (const double *)qamp_b.buf;
+    controls = (const int64_t *)c_b.buf;
+    phases = (const int64_t *)p_b.buf;
+    targets = (const int64_t *)t_b.buf;
+    oi = (int64_t *)oi_b.buf;
+    oa = (double *)oa_b.buf;
+    oq = (double *)oq_b.buf;
+
+    pairs = PyMem_Malloc((size_t)(m ? m : 1) * sizeof(ij_pair));
+    if (pairs == NULL) {
+        PyErr_NoMemory();
+        goto release;
+    }
+    res = PyList_New(K);
+    if (res == NULL)
+        goto release;
+    for (k = 0; k < K; k++) {
+        int cshift = n - 1 - (int)controls[k];
+        int64_t phase = phases[k];
+        int64_t tmask = (int64_t)1 << (n - 1 - (int)targets[k]);
+        int64_t *row_i = oi + k * m;
+        double *row_a = oa + k * m;
+        double *row_q = oq + k * m;
+        PyObject *payload;
+        for (j = 0; j < m; j++) {
+            int64_t v = idx[j];
+            if (((v >> cshift) & 1) == phase)
+                v ^= tmask;
+            pairs[j].v = v;
+            pairs[j].j = j;
+        }
+        qsort(pairs, (size_t)m, sizeof(ij_pair), cmp_ij_pair);
+        for (j = 0; j < m; j++) {
+            row_i[j] = pairs[j].v;
+            row_a[j] = amp[pairs[j].j];
+            row_q[j] = qamp[pairs[j].j];
+        }
+        payload = build_payload(n, row_i, row_q, m);
+        if (payload == NULL) {
+            Py_CLEAR(res);
+            goto release;
+        }
+        PyList_SET_ITEM(res, k, payload);
+    }
+release:
+    PyMem_Free(pairs);
+    while (nbuf > 0)
+        PyBuffer_Release(bufs[--nbuf]);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* U64Map: insertion-ordered open-addressing map, uint64 -> object     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    uint64_t key;
+    PyObject *keyobj;  /* original Python int (dict-compatible keys()) */
+    PyObject *val;     /* NULL = tombstone */
+} u64_entry;
+
+typedef struct {
+    PyObject_HEAD
+    u64_entry *entries;      /* append-only log, order = insertion */
+    Py_ssize_t nentries, cap_entries, live;
+    Py_ssize_t *index;       /* slot -> entry idx; -1 empty, -2 dummy */
+    size_t mask, fill;       /* fill = used + tombstoned slots */
+} U64MapObject;
+
+static int
+u64map_rebuild(U64MapObject *self, size_t minsize)
+{
+    size_t newsize = 8;
+    Py_ssize_t i, w = 0;
+    Py_ssize_t *nindex;
+    while (newsize < minsize)
+        newsize *= 2;
+    nindex = PyMem_Malloc(newsize * sizeof(Py_ssize_t));
+    if (nindex == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (i = 0; i < (Py_ssize_t)newsize; i++)
+        nindex[i] = -1;
+    /* compact the log (dropping tombstones, order preserved) and
+     * reindex */
+    for (i = 0; i < self->nentries; i++) {
+        if (self->entries[i].val == NULL)
+            continue;
+        self->entries[w] = self->entries[i];
+        {
+            uint64_t key = self->entries[w].key;
+            size_t slot = (size_t)key & (newsize - 1);
+            uint64_t perturb = key;
+            while (nindex[slot] != -1) {
+                perturb >>= 5;
+                slot = (slot * 5 + perturb + 1) & (newsize - 1);
+            }
+            nindex[slot] = w;
+        }
+        w++;
+    }
+    self->nentries = w;
+    self->live = w;
+    PyMem_Free(self->index);
+    self->index = nindex;
+    self->mask = newsize - 1;
+    self->fill = (size_t)w;
+    return 0;
+}
+
+/* find the entry for key; returns entry idx or -1, sets *slot_out to the
+ * insertion slot (first tombstone on the probe path, else the empty
+ * slot) */
+static Py_ssize_t
+u64map_probe(U64MapObject *self, uint64_t key, Py_ssize_t *slot_out)
+{
+    size_t slot = (size_t)key & self->mask;
+    uint64_t perturb = key;
+    Py_ssize_t freeslot = -1;
+    for (;;) {
+        Py_ssize_t e = self->index[slot];
+        if (e == -1) {
+            if (slot_out)
+                *slot_out = freeslot >= 0 ? freeslot : (Py_ssize_t)slot;
+            return -1;
+        }
+        if (e == -2) {
+            if (freeslot < 0)
+                freeslot = (Py_ssize_t)slot;
+        }
+        else if (self->entries[e].key == key) {
+            if (slot_out)
+                *slot_out = (Py_ssize_t)slot;
+            return e;
+        }
+        perturb >>= 5;
+        slot = (slot * 5 + perturb + 1) & self->mask;
+    }
+}
+
+static int
+u64map_key_from_obj(PyObject *keyobj, uint64_t *out)
+{
+    uint64_t key = PyLong_AsUnsignedLongLongMask(keyobj);
+    if (key == (uint64_t)-1 && PyErr_Occurred())
+        return -1;
+    *out = key;
+    return 0;
+}
+
+static PyObject *
+u64map_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    U64MapObject *self = (U64MapObject *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->entries = NULL;
+    self->nentries = self->cap_entries = self->live = 0;
+    self->index = PyMem_Malloc(8 * sizeof(Py_ssize_t));
+    if (self->index == NULL) {
+        Py_DECREF(self);
+        return PyErr_NoMemory();
+    }
+    for (int i = 0; i < 8; i++)
+        self->index[i] = -1;
+    self->mask = 7;
+    self->fill = 0;
+    return (PyObject *)self;
+}
+
+static int
+u64map_traverse(U64MapObject *self, visitproc visit, void *arg)
+{
+    Py_ssize_t i;
+    for (i = 0; i < self->nentries; i++) {
+        Py_VISIT(self->entries[i].keyobj);
+        Py_VISIT(self->entries[i].val);
+    }
+    return 0;
+}
+
+static int
+u64map_clear_impl(U64MapObject *self)
+{
+    Py_ssize_t i, count = self->nentries;
+    self->nentries = 0;
+    self->live = 0;
+    for (i = 0; i < count; i++) {
+        Py_CLEAR(self->entries[i].keyobj);
+        Py_CLEAR(self->entries[i].val);
+    }
+    return 0;
+}
+
+static void
+u64map_dealloc(U64MapObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    u64map_clear_impl(self);
+    PyMem_Free(self->entries);
+    PyMem_Free(self->index);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+u64map_length(U64MapObject *self)
+{
+    return self->live;
+}
+
+static int
+u64map_ass_subscript(U64MapObject *self, PyObject *keyobj, PyObject *val)
+{
+    uint64_t key;
+    Py_ssize_t e, slot;
+    if (u64map_key_from_obj(keyobj, &key) < 0)
+        return -1;
+    e = u64map_probe(self, key, &slot);
+    if (val == NULL) {  /* delete */
+        if (e < 0 || self->entries[e].val == NULL) {
+            PyErr_SetObject(PyExc_KeyError, keyobj);
+            return -1;
+        }
+        Py_CLEAR(self->entries[e].keyobj);
+        Py_CLEAR(self->entries[e].val);
+        self->index[slot] = -2;
+        self->live--;
+        if (self->nentries > 64 && self->live * 2 < self->nentries)
+            return u64map_rebuild(self, (size_t)self->live * 4);
+        return 0;
+    }
+    if (e >= 0) {  /* overwrite in place: insertion position kept */
+        Py_INCREF(val);
+        Py_SETREF(self->entries[e].val, val);
+        return 0;
+    }
+    if (self->nentries >= self->cap_entries) {
+        Py_ssize_t newcap = self->cap_entries ? self->cap_entries * 2 : 16;
+        u64_entry *ne = PyMem_Realloc(self->entries,
+                                      (size_t)newcap * sizeof(u64_entry));
+        if (ne == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        self->entries = ne;
+        self->cap_entries = newcap;
+    }
+    self->entries[self->nentries].key = key;
+    Py_INCREF(keyobj);
+    self->entries[self->nentries].keyobj = keyobj;
+    Py_INCREF(val);
+    self->entries[self->nentries].val = val;
+    if (self->index[slot] == -1)
+        self->fill++;
+    self->index[slot] = self->nentries;
+    self->nentries++;
+    self->live++;
+    if ((self->fill + 1) * 3 >= (self->mask + 1) * 2)
+        return u64map_rebuild(self, (size_t)self->live * 4);
+    return 0;
+}
+
+static PyObject *
+u64map_subscript(U64MapObject *self, PyObject *keyobj)
+{
+    uint64_t key;
+    Py_ssize_t e;
+    if (u64map_key_from_obj(keyobj, &key) < 0)
+        return NULL;
+    e = u64map_probe(self, key, NULL);
+    if (e < 0 || self->entries[e].val == NULL) {
+        PyErr_SetObject(PyExc_KeyError, keyobj);
+        return NULL;
+    }
+    Py_INCREF(self->entries[e].val);
+    return self->entries[e].val;
+}
+
+static PyObject *
+u64map_get(U64MapObject *self, PyObject *args)
+{
+    PyObject *keyobj, *def = Py_None;
+    uint64_t key;
+    Py_ssize_t e;
+    if (!PyArg_ParseTuple(args, "O|O", &keyobj, &def))
+        return NULL;
+    if (u64map_key_from_obj(keyobj, &key) < 0)
+        return NULL;
+    e = u64map_probe(self, key, NULL);
+    if (e < 0 || self->entries[e].val == NULL) {
+        Py_INCREF(def);
+        return def;
+    }
+    Py_INCREF(self->entries[e].val);
+    return self->entries[e].val;
+}
+
+static int
+u64map_contains(U64MapObject *self, PyObject *keyobj)
+{
+    uint64_t key;
+    Py_ssize_t e;
+    if (u64map_key_from_obj(keyobj, &key) < 0)
+        return -1;
+    e = u64map_probe(self, key, NULL);
+    return e >= 0 && self->entries[e].val != NULL;
+}
+
+/* which: 0 = keys, 1 = values, 2 = items */
+static PyObject *
+u64map_collect(U64MapObject *self, int which)
+{
+    PyObject *res = PyList_New(self->live);
+    Py_ssize_t i, w = 0;
+    if (res == NULL)
+        return NULL;
+    for (i = 0; i < self->nentries; i++) {
+        PyObject *item;
+        if (self->entries[i].val == NULL)
+            continue;
+        if (which == 0) {
+            item = self->entries[i].keyobj;
+            Py_INCREF(item);
+        }
+        else if (which == 1) {
+            item = self->entries[i].val;
+            Py_INCREF(item);
+        }
+        else {
+            item = PyTuple_Pack(2, self->entries[i].keyobj,
+                                self->entries[i].val);
+            if (item == NULL) {
+                Py_DECREF(res);
+                return NULL;
+            }
+        }
+        PyList_SET_ITEM(res, w++, item);
+    }
+    return res;
+}
+
+static PyObject *
+u64map_keys(U64MapObject *self, PyObject *noargs)
+{
+    return u64map_collect(self, 0);
+}
+
+static PyObject *
+u64map_values(U64MapObject *self, PyObject *noargs)
+{
+    return u64map_collect(self, 1);
+}
+
+static PyObject *
+u64map_items(U64MapObject *self, PyObject *noargs)
+{
+    return u64map_collect(self, 2);
+}
+
+static PyObject *
+u64map_iter(U64MapObject *self)
+{
+    PyObject *keys = u64map_collect(self, 0);
+    PyObject *it;
+    if (keys == NULL)
+        return NULL;
+    it = PyObject_GetIter(keys);
+    Py_DECREF(keys);
+    return it;
+}
+
+static PyMethodDef u64map_methods[] = {
+    {"get", (PyCFunction)u64map_get, METH_VARARGS,
+     "get(key, default=None) -> value"},
+    {"keys", (PyCFunction)u64map_keys, METH_NOARGS,
+     "keys() -> list (insertion order)"},
+    {"values", (PyCFunction)u64map_values, METH_NOARGS,
+     "values() -> list (insertion order)"},
+    {"items", (PyCFunction)u64map_items, METH_NOARGS,
+     "items() -> list of (key, value) (insertion order)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMappingMethods u64map_as_mapping = {
+    (lenfunc)u64map_length,
+    (binaryfunc)u64map_subscript,
+    (objobjargproc)u64map_ass_subscript,
+};
+
+static PySequenceMethods u64map_as_sequence = {
+    .sq_contains = (objobjproc)u64map_contains,
+};
+
+static PyTypeObject U64MapType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core._fastcore.U64Map",
+    .tp_basicsize = sizeof(U64MapObject),
+    .tp_dealloc = (destructor)u64map_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Insertion-ordered open-addressing map from 64-bit ints "
+              "to objects.",
+    .tp_traverse = (traverseproc)u64map_traverse,
+    .tp_clear = (inquiry)u64map_clear_impl,
+    .tp_methods = u64map_methods,
+    .tp_as_mapping = &u64map_as_mapping,
+    .tp_as_sequence = &u64map_as_sequence,
+    .tp_iter = (getiterfunc)u64map_iter,
+    .tp_new = u64map_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef fastcore_methods[] = {
+    {"splitmix_constants", fc_splitmix_constants, METH_NOARGS,
+     "Compiled-in splitmix64 constants (anti-drift check)."},
+    {"quantize", fc_quantize, METH_VARARGS,
+     "quantize(src, dst, scale): np.round twin with -0.0 -> 0.0."},
+    {"payload", fc_payload, METH_VARARGS,
+     "payload(n, idx, qamp) -> bytes."},
+    {"column_counts", fc_column_counts, METH_VARARGS,
+     "column_counts(n, idx) -> list of per-qubit column weights."},
+    {"entangled_qubits", fc_entangled_qubits, METH_VARARGS,
+     "entangled_qubits(n, idx, amp) -> tuple of non-separable qubits."},
+    {"pin_separable", fc_pin_separable, METH_VARARGS,
+     "pin_separable(n, idx, amp, counts) -> None | (idx_b, amp_b)."},
+    {"orbit_hash", fc_orbit_hash, METH_VARARGS,
+     "orbit_hash(rows_2d_u64, heavy_pos, qamp) -> 128-bit int."},
+    {"orbit_hash_state", fc_orbit_hash_state, METH_VARARGS,
+     "orbit_hash_state(n, idx, qamp, tie_cap, orderings|None)"
+     " -> (128-bit int, num_heavy)."},
+    {"sig_tags", fc_sig_tags, METH_VARARGS,
+     "sig_tags(n, idx, absamp) -> flip-invariant qubit signature tags."},
+    {"wl_pair_ids", fc_wl_pair_ids, METH_VARARGS,
+     "wl_pair_ids(n, idx, ranks) -> n x n flip-minimized pair-table ids."},
+    {"cell_symmetric", fc_cell_symmetric, METH_VARARGS,
+     "cell_symmetric(n, idx, qamp, cell) -> bool."},
+    {"pairs_singles", fc_pairs_singles, METH_VARARGS,
+     "pairs_singles(n, idx, amp, tshift) -> (i0, a0, a1, singles)."},
+    {"merge_reps_codes", fc_merge_reps_codes, METH_VARARGS,
+     "merge_reps_codes(n, i0, singles, other) -> (reps, pcodes, scodes)."},
+    {"merge_walk", fc_merge_walk, METH_VARARGS,
+     "merge_walk(pcodes, scodes, a0, a1, num_reps, kmax, rtol) -> "
+     "list of (smask, ref, direction)."},
+    {"merge_apply", fc_merge_apply, METH_VARARGS,
+     "merge_apply(n, idx, amp, cmask, cval, tshift, theta, atol) -> "
+     "(idx_bytes, amp_bytes)."},
+    {"cx_batch", fc_cx_batch, METH_VARARGS,
+     "cx_batch(n, idx, amp, qamp, controls, phases, targets, oi, oa, oq) "
+     "-> list of payloads."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef fastcore_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.core._fastcore",
+    "Native hot-loop kernels (bit-identical twins of core/kernel.py).",
+    -1,
+    fastcore_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__fastcore(void)
+{
+    PyObject *mod;
+    if (PyType_Ready(&U64MapType) < 0)
+        return NULL;
+    mod = PyModule_Create(&fastcore_module);
+    if (mod == NULL)
+        return NULL;
+    Py_INCREF(&U64MapType);
+    if (PyModule_AddObject(mod, "U64Map", (PyObject *)&U64MapType) < 0) {
+        Py_DECREF(&U64MapType);
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

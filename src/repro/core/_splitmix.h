@@ -1,0 +1,24 @@
+/* Shared splitmix64 constants for the orbit-hash lanes.
+ *
+ * Single source of truth consumed by both the C extension
+ * (src/repro/core/_fastcore.c) and the Python table
+ * (src/repro/core/splitmix.py).  The two are cross-checked at runtime by
+ * repro.core.fastcore (the extension exports splitmix_constants()) and by
+ * a header-parsing test, so the lanes can never drift.
+ *
+ * SM_GOLDEN  - additive round constant (golden-ratio increment)
+ * SM_A1/A2   - lane-A multiply constants (splitmix64 finalizer)
+ * SM_B1/B2   - lane-B multiply constants (murmur3-style variant)
+ * SM_ORBIT_MUL - pre-mix multiplier applied to (index ^ mask)
+ */
+#ifndef REPRO_SPLITMIX_H
+#define REPRO_SPLITMIX_H
+
+#define SM_GOLDEN 0x9E3779B97F4A7C15ULL
+#define SM_A1 0xBF58476D1CE4E5B9ULL
+#define SM_A2 0x94D049BB133111EBULL
+#define SM_B1 0xFF51AFD7ED558CCDULL
+#define SM_B2 0xC4CEB9FE1A85EC53ULL
+#define SM_ORBIT_MUL 0x2545F4914F6CDD1DULL
+
+#endif /* REPRO_SPLITMIX_H */

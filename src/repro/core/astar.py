@@ -45,6 +45,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 
 from repro.core.canonical import canonical_key
 from repro.core.engine import (
@@ -183,6 +184,14 @@ class AStarRun(EngineRun):
         transposition = self._transposition
         canon = ctx.canon
         h_of = ctx.h_of
+        profile = config.profile
+        phases = stats.phase_seconds
+        if profile:
+            phases.setdefault("enumeration", 0.0)
+            phases.setdefault("canonicalization", 0.0)
+            phases.setdefault("heuristic", 0.0)
+            phases.setdefault("containers", 0.0)
+        h_seconds = 0.0  # accrued inside push(); subtracted from blocks
         try:
             counter = itertools.count()
             # entry: (weighted f, g, tiebreak, unweighted g + h, state,
@@ -202,7 +211,13 @@ class AStarRun(EngineRun):
             parent: dict = {}
 
             def push(ps: PackedState, g: int, prev, move) -> None:
-                h = h_of(ps)
+                nonlocal h_seconds
+                if profile:
+                    th = perf_counter()
+                    h = h_of(ps)
+                    h_seconds += perf_counter() - th
+                else:
+                    h = h_of(ps)
                 if self._ub is not None and g + h > self._ub - 1e-9:
                     # the admissible (unweighted) h proves no completion
                     # through this state beats the incumbent —
@@ -238,7 +253,12 @@ class AStarRun(EngineRun):
                         optimal=(weight <= 1.0), moves=moves, stats=stats))
                     return
 
-                ckey = canon(state)
+                if profile:
+                    tc = perf_counter()
+                    ckey = canon(state)
+                    phases["canonicalization"] += perf_counter() - tc
+                else:
+                    ckey = canon(state)
                 prev_g = best_g.get(ckey)
                 if prev_g is not None and g >= prev_g:
                     stats.nodes_pruned += 1
@@ -274,17 +294,29 @@ class AStarRun(EngineRun):
                     return
                 yield  # slice boundary: one yield per expansion
 
-                for nmove, nxt in successors_packed(
-                        ctx.pool, state,
-                        max_merge_controls=config.max_merge_controls,
-                        include_x_moves=config.include_x_moves,
-                        topology=ctx.topology):
+                if profile:
+                    te = perf_counter()
+                arcs = successors_packed(
+                    ctx.pool, state,
+                    max_merge_controls=config.max_merge_controls,
+                    include_x_moves=config.include_x_moves,
+                    topology=ctx.topology)
+                if profile:
+                    tb = perf_counter()
+                    phases["enumeration"] += tb - te
+                    h_mark = h_seconds
+                for nmove, nxt in arcs:
                     g2 = g + nmove.cost
                     if g2 >= g_pushed.get(nxt, math.inf):
                         stats.nodes_pruned += 1
                         continue
                     g_pushed[nxt] = g2
                     push(nxt, g2, state, nmove)
+                if profile:
+                    # heap + dedup-map bookkeeping of this expansion, with
+                    # the heuristic time accrued inside push() carved out
+                    phases["containers"] += (perf_counter() - tb) \
+                        - (h_seconds - h_mark)
 
             if self._incumbent_result is not None:
                 # Everything at or above the incumbent cost was pruned and
@@ -318,6 +350,8 @@ class AStarRun(EngineRun):
         finally:
             # cancellation (GeneratorExit) and every terminal path above
             # land here: stats are finalized no matter how the run ends
+            if profile:
+                phases["heuristic"] = h_seconds
             ctx.finalize_stats()
 
 

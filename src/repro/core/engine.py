@@ -141,6 +141,13 @@ class SearchConfig:
         Size cap of the canonical-key and heuristic caches (entries);
         exceeding it evicts oldest-first.  Hit rates land in
         :class:`SearchStats`.
+    profile:
+        Collect phase-level wall-clock timers (enumeration /
+        canonicalization / hashing / heuristic / containers) into
+        :attr:`SearchStats.phase_seconds`.  Off by default — the timers
+        add a few ``perf_counter`` calls per expansion; they never change
+        expansion order or any counter.  Surfaced by
+        ``benchmarks/bench_kernel.py --profile``.
     topology:
         Optional :class:`repro.arch.topologies.CouplingMap` making the
         device a first-class search constraint: only moves whose CNOTs lie
@@ -164,6 +171,7 @@ class SearchConfig:
     use_kernel: bool = True
     cache_cap: int = SEARCH_CACHE_CAP
     topology: object | None = None
+    profile: bool = False
 
 
 @dataclass
@@ -201,6 +209,13 @@ class SearchStats:
     canon_store_misses: int = 0
     h_store_hits: int = 0
     h_store_misses: int = 0
+    #: phase-level wall-clock breakdown of the hot loop (seconds), filled
+    #: only under ``SearchConfig(profile=True)``: "enumeration" (successor
+    #: generation + move application + interning), "canonicalization"
+    #: (canonical-key computation, inclusive), "hashing" (the orbit-hash
+    #: portion of canonicalization, a sub-bucket), "heuristic" (h
+    #: evaluation), "containers" (open-heap + dedup-map bookkeeping)
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def canon_cache_hit_rate(self) -> float:
@@ -364,13 +379,14 @@ class EngineContext:
 
     __slots__ = ("target", "topology", "heuristic", "memory", "pool",
                  "canon_store", "h_store", "canon_ctx", "canon", "h_cache",
-                 "h_of", "stats", "stopwatch", "start", "_store_marks")
+                 "h_of", "stats", "stopwatch", "start", "_store_marks",
+                 "profile")
 
     def __init__(self, target: QState, *, canon_level, tie_cap: int,
                  perm_cap: int, max_merge_controls: int | None,
                  include_x_moves: bool, cache_cap: int, topology,
                  time_limit: float | None, heuristic: HeuristicFn | None,
-                 memory=None):
+                 memory=None, profile: bool = False):
         self.target = target
         self.topology = _native_topology(topology, target.num_qubits)
         if heuristic is None:
@@ -393,6 +409,10 @@ class EngineContext:
         self.canon_ctx = CanonContext(canon_level, tie_cap, perm_cap,
                                       cache_cap, store=self.canon_store,
                                       topology=self.topology)
+        self.profile = profile
+        if profile:
+            # the hashing sub-bucket accrues directly into phase_seconds
+            self.canon_ctx.timers = self.stats.phase_seconds
         self.canon = self.canon_ctx.key
         self.h_cache = BoundedCache(cache_cap)
         self.h_of = _make_h_of(heuristic, self.h_cache, self.h_store)
@@ -410,7 +430,7 @@ class EngineContext:
                    include_x_moves=config.include_x_moves,
                    cache_cap=config.cache_cap, topology=config.topology,
                    time_limit=config.time_limit, heuristic=heuristic,
-                   memory=memory)
+                   memory=memory, profile=config.profile)
 
     def finalize_stats(self) -> None:
         """Flush elapsed time + cache/store counters into :attr:`stats`.

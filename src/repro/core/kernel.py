@@ -46,6 +46,7 @@ from __future__ import annotations
 import math
 from itertools import combinations, islice, permutations
 from itertools import product as iter_product
+from time import perf_counter as _perf_counter
 
 import numpy as np
 
@@ -54,8 +55,18 @@ from repro.constants import (
     ATOL,
     MERGE_RATIO_RTOL,
 )
+from repro.core import fastcore as _fastcore
 from repro.core.canonical import CanonLevel
 from repro.core.moves import CXMove, MergeMove, Move, XMove, merge_angle
+from repro.core.splitmix import (
+    GOLDEN,
+    MIX_A1,
+    MIX_A2,
+    MIX_B1,
+    MIX_B2,
+    ORBIT_MUL,
+    U64_MASK,
+)
 from repro.states.qstate import QState
 
 __all__ = [
@@ -89,14 +100,30 @@ def state_hash64(payload: bytes) -> int:
     return hash(payload)
 
 
+_QUANT_SCALE = 10.0 ** AMP_DECIMALS
+
+
 def quantize_array(amp: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`repro.constants.quantize` (with ``-0.0 -> 0.0``)."""
+    """Vectorized :func:`repro.constants.quantize` (with ``-0.0 -> 0.0``).
+
+    The compiled path computes ``rint(x * scale) / scale`` per element —
+    verified bit-identical to ``np.round`` (the division form; a
+    multiply-by-reciprocal variant is *not* identical).
+    """
+    fc = _fastcore.active
+    if fc is not None:
+        q = np.empty_like(amp)
+        fc.quantize(amp, q, _QUANT_SCALE)
+        return q
     q = np.round(amp, AMP_DECIMALS)
     q[q == 0.0] = 0.0
     return q
 
 
 def _payload(num_qubits: int, idx: np.ndarray, qamp: np.ndarray) -> bytes:
+    fc = _fastcore.active
+    if fc is not None:
+        return fc.payload(num_qubits, idx, qamp)
     return num_qubits.to_bytes(2, "little") + idx.tobytes() + qamp.tobytes()
 
 
@@ -154,10 +181,14 @@ class PackedState:
             if self._bits is not None:
                 self._counts = self._bits.sum(axis=1).tolist()
             else:
-                il = self.idx.tolist()
-                self._counts = [
-                    sum((i >> shift) & 1 for i in il)
-                    for shift in range(self.n - 1, -1, -1)]
+                fc = _fastcore.active
+                if fc is not None:
+                    self._counts = fc.column_counts(self.n, self.idx)
+                else:
+                    il = self.idx.tolist()
+                    self._counts = [
+                        sum((i >> shift) & 1 for i in il)
+                        for shift in range(self.n - 1, -1, -1)]
         return self._counts
 
     def to_qstate(self) -> QState:
@@ -208,9 +239,26 @@ class StatePool:
         if qamp is None:
             qamp = quantize_array(amp)
         payload = _payload(n, idx, qamp)
+        return self._intern(n, idx, amp, qamp, payload, copy=False)
+
+    def intern_payload(self, n: int, idx: np.ndarray, amp: np.ndarray,
+                       qamp: np.ndarray, payload: bytes) -> PackedState:
+        """Like :meth:`intern` for callers holding a precomputed payload
+        over scratch-buffer rows.
+
+        The arrays are only copied out of the scratch when the state is
+        actually new — the batched CX expansion reuses one ``(K, m)``
+        scratch for all moves of an expansion, and most rows dedupe.
+        """
+        return self._intern(n, idx, amp, qamp, payload, copy=True)
+
+    def _intern(self, n: int, idx: np.ndarray, amp: np.ndarray,
+                qamp: np.ndarray, payload: bytes, copy: bool) -> PackedState:
         h = state_hash64(payload)
         entry = self._table.get(h)
         if entry is None:
+            if copy:
+                idx, amp, qamp = idx.copy(), amp.copy(), qamp.copy()
             state = PackedState(n, idx, amp, qamp, payload, h)
             self._table[h] = state
             self.interned += 1
@@ -229,6 +277,8 @@ class StatePool:
                     self.hits += 1
                     return state
             self.hash_collisions += 1
+        if copy:
+            idx, amp, qamp = idx.copy(), amp.copy(), qamp.copy()
         state = PackedState(n, idx, amp, qamp, payload, h)
         chain.append(state)
         self.interned += 1
@@ -307,15 +357,17 @@ class CanonKey:
 class HashKeyedMap:
     """Map keyed by the 64-bit hash of a :class:`CanonKey`.
 
-    The primary dict is int-keyed (cheapest possible lookup); a genuine
-    64-bit collision spills the newcomer into a secondary dict keyed by the
-    full :class:`CanonKey`, preserving exact-map semantics.
+    The primary map is int-keyed (cheapest possible lookup — the native
+    ``U64Map`` when the extension is loaded, a plain dict otherwise); a
+    genuine 64-bit collision spills the newcomer into a secondary dict
+    keyed by the full :class:`CanonKey`, preserving exact-map semantics.
     """
 
     __slots__ = ("_primary", "_spill", "collisions")
 
     def __init__(self) -> None:
-        self._primary: dict[int, tuple[CanonKey, object]] = {}
+        fc = _fastcore.active
+        self._primary = fc.U64Map() if fc is not None else {}
         self._spill: dict[CanonKey, object] = {}
         self.collisions = 0
 
@@ -340,7 +392,10 @@ class HashKeyedMap:
         if holder is key or holder == key:
             self._primary[key.h] = (holder, value)
             return
-        self.collisions += 1
+        if key not in self._spill:
+            # count distinct spilled keys, not re-puts of already-spilled
+            # ones — re-putting is an update, not a new collision
+            self.collisions += 1
         self._spill[key] = value
 
 
@@ -367,23 +422,48 @@ def apply_cx_packed(pool: StatePool, ps: PackedState, control: int,
     return pool.intern(n, out[order], ps.amp[order], ps.qamp[order])
 
 
-def _batch_cx_successors(pool: StatePool, ps: PackedState,
-                         moves: list[CXMove]) -> list[PackedState]:
-    """Apply every CX move of one expansion in a single array pass.
-
-    One ``where`` / ``argsort`` / ``take_along_axis`` over the ``(K, m)``
-    move-by-index matrix replaces ``K`` per-move NumPy round trips; the
-    per-row results are interned individually (CX permutes amplitudes, so
-    the parent's quantized values are reused).
-    """
-    n = ps.n
-    idx, bits = ps.idx, ps.bits
-    controls = np.fromiter((mv.control for mv in moves), dtype=np.intp,
+def _cx_move_arrays(moves: list[CXMove]
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(controls, phases, targets)`` int64 arrays of a CX move list."""
+    controls = np.fromiter((mv.control for mv in moves), dtype=np.int64,
                            count=len(moves))
     phases = np.fromiter((mv.phase for mv in moves), dtype=np.int64,
                          count=len(moves))
     targets = np.fromiter((mv.target for mv in moves), dtype=np.int64,
                           count=len(moves))
+    return controls, phases, targets
+
+
+def _batch_cx_successors(pool: StatePool, ps: PackedState,
+                         moves: list[CXMove],
+                         arrays: tuple[np.ndarray, np.ndarray,
+                                       np.ndarray] | None = None
+                         ) -> list[PackedState]:
+    """Apply every CX move of one expansion in a single array pass.
+
+    One ``where`` / ``argsort`` / ``take_along_axis`` over the ``(K, m)``
+    move-by-index matrix replaces ``K`` per-move NumPy round trips; the
+    per-row results are interned individually (CX permutes amplitudes, so
+    the parent's quantized values are reused).  With the native extension
+    the whole pass — flip, sort, gather, payload serialization — runs in C
+    over one reused ``(K, m)`` scratch, and the bit matrix is never
+    materialized.
+    """
+    n = ps.n
+    if arrays is None:
+        arrays = _cx_move_arrays(moves)
+    controls, phases, targets = arrays
+    fc = _fastcore.active
+    if fc is not None:
+        num_moves, m = len(moves), ps.m
+        oi = np.empty((num_moves, m), dtype=np.int64)
+        oa = np.empty((num_moves, m), dtype=np.float64)
+        oq = np.empty((num_moves, m), dtype=np.float64)
+        payloads = fc.cx_batch(n, ps.idx, ps.amp, ps.qamp,
+                               controls, phases, targets, oi, oa, oq)
+        return [pool.intern_payload(n, oi[k], oa[k], oq[k], payloads[k])
+                for k in range(num_moves)]
+    idx, bits = ps.idx, ps.bits
     flip = bits[controls] == phases[:, None]            # (K, m)
     tmasks = np.int64(1) << (n - 1 - targets)
     out = np.where(flip, idx[None, :] ^ tmasks[:, None], idx[None, :])
@@ -399,8 +479,9 @@ def _batch_cx_successors(pool: StatePool, ps: PackedState,
 _SCALAR_MERGE_LIMIT = 64
 
 
-def _apply_merge_scalar(pool: StatePool, ps: PackedState, cmask: int,
-                        cval: int, target: int, theta: float) -> PackedState:
+def _merge_arrays_scalar(ps: PackedState, cmask: int, cval: int,
+                         target: int, theta: float
+                         ) -> tuple[np.ndarray, np.ndarray]:
     """Plain-Python merge application for sparse cardinalities.
 
     Arithmetic is operation-identical to the NumPy path (same ``c*a0 -
@@ -440,30 +521,16 @@ def _apply_merge_scalar(pool: StatePool, ps: PackedState, cmask: int,
     m = len(out)
     idx_arr = np.fromiter((i for i, _ in out), dtype=np.int64, count=m)
     amp_arr = np.fromiter((a for _, a in out), dtype=np.float64, count=m)
-    return pool.intern(n, idx_arr, amp_arr)
+    return idx_arr, amp_arr
 
 
-def apply_merge_packed(pool: StatePool, ps: PackedState,
-                       controls: tuple[tuple[int, int], ...], target: int,
-                       theta: float) -> PackedState:
-    """Vectorized twin of :func:`repro.core.moves.apply_controlled_ry`."""
+def _merge_arrays_numpy(ps: PackedState, cmask: int, cval: int,
+                        target: int, theta: float
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """NumPy merge application for dense cardinalities."""
     n = ps.n
-    if ps.m <= _SCALAR_MERGE_LIMIT:
-        cmask = 0
-        cval = 0
-        for q, p in controls:
-            shift = n - 1 - q
-            cmask |= 1 << shift
-            cval |= p << shift
-        return _apply_merge_scalar(pool, ps, cmask, cval, target, theta)
     idx, amp = ps.idx, ps.amp
-    if controls:
-        cmask = 0
-        cval = 0
-        for q, p in controls:
-            shift = n - 1 - q
-            cmask |= 1 << shift
-            cval |= p << shift
+    if cmask:
         sel = (idx & cmask) == cval
         keep_idx, keep_amp = idx[~sel], amp[~sel]
         ci, ca = idx[sel], amp[sel]
@@ -497,7 +564,42 @@ def apply_merge_packed(pool: StatePool, ps: PackedState,
     out_idx = np.concatenate([keep_idx, i0[k0], i0[k1] ^ tmask])
     out_amp = np.concatenate([keep_amp, new0[k0], new1[k1]])
     order = np.argsort(out_idx)
-    return pool.intern(n, out_idx[order], out_amp[order])
+    return out_idx[order], out_amp[order]
+
+
+def _merge_arrays(ps: PackedState, controls: tuple[tuple[int, int], ...],
+                  target: int, theta: float
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """``(idx, amp)`` of a merge result, not yet interned.
+
+    Kept separate from the interning wrapper so the frontier-batched
+    expansion can quantize all merge results of one expansion in a single
+    array pass before interning.
+    """
+    n = ps.n
+    cmask = 0
+    cval = 0
+    for q, p in controls:
+        shift = n - 1 - q
+        cmask |= 1 << shift
+        cval |= p << shift
+    fc = _fastcore.active
+    if fc is not None:
+        ib, ab = fc.merge_apply(n, ps.idx, ps.amp, cmask, cval,
+                                n - 1 - target, theta, ATOL)
+        return (np.frombuffer(ib, dtype=np.int64),
+                np.frombuffer(ab, dtype=np.float64))
+    if ps.m <= _SCALAR_MERGE_LIMIT:
+        return _merge_arrays_scalar(ps, cmask, cval, target, theta)
+    return _merge_arrays_numpy(ps, cmask, cval, target, theta)
+
+
+def apply_merge_packed(pool: StatePool, ps: PackedState,
+                       controls: tuple[tuple[int, int], ...], target: int,
+                       theta: float) -> PackedState:
+    """Vectorized twin of :func:`repro.core.moves.apply_controlled_ry`."""
+    idx, amp = _merge_arrays(ps, controls, target, theta)
+    return pool.intern(ps.n, idx, amp)
 
 
 def apply_move_packed(pool: StatePool, ps: PackedState,
@@ -556,6 +658,10 @@ def entangled_qubits_packed(ps: PackedState) -> tuple[int, ...]:
     its matching bound lives on the coupling subgraph these qubits induce.
     """
     if ps._entangled is None:
+        fc = _fastcore.active
+        if fc is not None:
+            ps._entangled = fc.entangled_qubits(ps.n, ps.idx, ps.amp)
+            return ps._entangled
         counts = ps.column_counts
         m = ps.m
         entangled = []
@@ -595,6 +701,14 @@ def _pin_separable_arrays(ps: PackedState
     """
     n = ps.n
     idx, amp = ps.idx, ps.amp
+    fc = _fastcore.active
+    if fc is not None:
+        res = fc.pin_separable(n, idx, amp, ps.column_counts)
+        if res is None:
+            return idx, amp, False
+        ib, ab = res
+        return (np.frombuffer(ib, dtype=np.int64),
+                np.frombuffer(ab, dtype=np.float64), True)
     counts = ps.column_counts
     changed = True
     pinned_any = False
@@ -652,6 +766,9 @@ def _cell_symmetric_arrays(idx: np.ndarray, qamp: np.ndarray, n: int,
     instead still arrive at the identical key.  It must never be used to
     steer anything else (e.g. whether refinement runs) — that would leak
     its flip-sensitivity into the class partition."""
+    fc = _fastcore.active
+    if fc is not None:
+        return fc.cell_symmetric(n, idx, qamp, list(cell))
     for a, b in zip(cell, cell[1:]):
         sa = n - 1 - a
         sb = n - 1 - b
@@ -672,8 +789,8 @@ def _partition_of(tags: list) -> list[tuple[int, ...]]:
     return sorted(tuple(cell) for cell in groups.values())
 
 
-def _wl_refine(bits: np.ndarray, ranks: np.ndarray, n: int,
-               sig_tags: list[bytes]) -> list[int]:
+def _wl_refine(idx: np.ndarray, bits: np.ndarray, ranks: np.ndarray, n: int,
+               sig_tags: list) -> list[int]:
     """Iterated pairwise refinement of the qubit-signature partition.
 
     The analogue of ``canonical._pair_signature`` pushed to a fixpoint
@@ -685,25 +802,29 @@ def _wl_refine(bits: np.ndarray, ranks: np.ndarray, n: int,
     cells with them never splits an equivalence class, it only shrinks the
     candidate-ordering enumeration.
     """
-    width = 4 * (int(ranks.max()) + 1)
-    key3 = (ranks[None, None, :] * 4 + bits[:, None, :] * 2
-            + bits[None, :, :])
-    pair_base = (np.arange(n * n) * width).reshape(n, n, 1)
-    table = np.bincount((pair_base + key3).ravel(),
-                        minlength=n * n * width).reshape(n, n, width)
-    cols = np.arange(width)
-    best = table
-    for flip in (1, 2, 3):
-        variant = table[..., cols ^ flip]
-        less = _rowwise_less(variant.reshape(-1, width),
-                             best.reshape(-1, width)).reshape(n, n)
-        best = np.where(less[..., None], variant, best)
-    # Content-derived integer tags: equal content always hashes equally, so
-    # tag equality — and the final sort of cells by tag — is class
-    # covariant.  (Only within-process stability is needed; keys never
-    # leave the search.)
-    pair_ids = [[hash(best[q, p].tobytes()) for p in range(n)]
-                for q in range(n)]
+    fc = _fastcore.active
+    if fc is not None:
+        pair_ids = fc.wl_pair_ids(n, idx, ranks)
+    else:
+        width = 4 * (int(ranks.max()) + 1)
+        key3 = (ranks[None, None, :] * 4 + bits[:, None, :] * 2
+                + bits[None, :, :])
+        pair_base = (np.arange(n * n) * width).reshape(n, n, 1)
+        table = np.bincount((pair_base + key3).ravel(),
+                            minlength=n * n * width).reshape(n, n, width)
+        cols = np.arange(width)
+        best = table
+        for flip in (1, 2, 3):
+            variant = table[..., cols ^ flip]
+            less = _rowwise_less(variant.reshape(-1, width),
+                                 best.reshape(-1, width)).reshape(n, n)
+            best = np.where(less[..., None], variant, best)
+        # Content-derived integer tags: equal content always hashes
+        # equally, so tag equality — and the final sort of cells by tag —
+        # is class covariant.  (Only within-process stability is needed;
+        # keys never leave the search.)
+        pair_ids = [[hash(best[q, p].tobytes()) for p in range(n)]
+                    for q in range(n)]
     tags = [hash(tag) for tag in sig_tags]
     partition = _partition_of(tags)
     for _round in range(n):
@@ -741,7 +862,7 @@ _REFINE_WORK_LIMIT = 600
 
 
 def _orderings_packed(idx: np.ndarray, qamp: np.ndarray, n: int,
-                      perm_cap: int, bits: np.ndarray,
+                      perm_cap: int, bits: np.ndarray | None,
                       absamp: np.ndarray,
                       num_heavy: int = 1) -> list[list[int]]:
     """Candidate qubit orderings (vectorized analogue of
@@ -753,24 +874,32 @@ def _orderings_packed(idx: np.ndarray, qamp: np.ndarray, n: int,
     table (an exact stand-in for the reference's sorted multisets) and
     cells ordered by byte serialization (a kernel-native but equally
     class-invariant total order)."""
-    m = bits.shape[1]
+    m = len(idx)
+    fc = _fastcore.active
     # fast path: pairwise-distinct flip-invariant column weights already
     # order the qubits completely — no histograms, no ties, one ordering
-    counts = bits.sum(axis=1)
-    weights = np.minimum(counts, m - counts).tolist()
+    if bits is None:
+        counts = fc.column_counts(n, idx)
+        weights = [c if 2 * c <= m else m - c for c in counts]
+    else:
+        counts = bits.sum(axis=1)
+        weights = np.minimum(counts, m - counts).tolist()
     if len(set(weights)) == n:
         return [sorted(range(n), key=weights.__getitem__)]
     # per-qubit signature: commutative hash of the column's |amp| multiset,
     # flip-normalized by taking the smaller of (bit=1 sum, bit=0 sum).
     # A hash tie can only merge cells — covariant, hence still sound; the
     # enumeration below just visits a few extra orderings.
-    with np.errstate(over="ignore"):
-        mixed = _mix64(absamp.view(np.uint64), _MIX_A1, _MIX_A2)
-        column_sums = bits.astype(np.uint64) @ mixed
-        total = mixed.sum()
-        flip_sums = total - column_sums
-    sig_tags = [min(int(a), int(b))
-                for a, b in zip(column_sums.tolist(), flip_sums.tolist())]
+    if fc is not None:
+        sig_tags = fc.sig_tags(n, idx, absamp)
+    else:
+        with np.errstate(over="ignore"):
+            mixed = _mix64(absamp.view(np.uint64), _MIX_A1, _MIX_A2)
+            column_sums = bits.astype(np.uint64) @ mixed
+            total = mixed.sum()
+            flip_sums = total - column_sums
+        sig_tags = [min(int(a), int(b))
+                    for a, b in zip(column_sums.tolist(), flip_sums.tolist())]
 
     cells: dict[int, list[int]] = {}
     for q in range(n):
@@ -789,7 +918,7 @@ def _orderings_packed(idx: np.ndarray, qamp: np.ndarray, n: int,
         # (tie structure, heavy-mask count, cardinality) is a class
         # invariant; per-cell shortcuts below must not feed back into it.
         ranks = _dense_ranks(absamp)
-        tags = _wl_refine(bits, ranks, n, sig_tags)
+        tags = _wl_refine(idx, bits, ranks, n, sig_tags)
         refined: dict[bytes, list[int]] = {}
         for q in range(n):
             refined.setdefault(tags[q], []).append(q)
@@ -836,13 +965,15 @@ def _identity(n: int) -> list[int]:
     return ordering
 
 
-# splitmix64 finalizer constants for the two independent orbit-hash lanes
-_MIX_A1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_A2 = np.uint64(0x94D049BB133111EB)
-_MIX_B1 = np.uint64(0xFF51AFD7ED558CCD)
-_MIX_B2 = np.uint64(0xC4CEB9FE1A85EC53)
-_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
-_U64 = (1 << 64) - 1
+# splitmix64 finalizer constants for the two independent orbit-hash lanes,
+# single-sourced from repro.core.splitmix (shared with the C extension)
+_MIX_A1 = np.uint64(MIX_A1)
+_MIX_A2 = np.uint64(MIX_A2)
+_MIX_B1 = np.uint64(MIX_B1)
+_MIX_B2 = np.uint64(MIX_B2)
+_GOLDEN = np.uint64(GOLDEN)
+_ORBIT_MUL = np.uint64(ORBIT_MUL)
+_U64 = U64_MASK
 
 
 def _mix64(z: np.ndarray, c1: np.uint64, c2: np.uint64) -> np.ndarray:
@@ -853,19 +984,19 @@ def _mix64(z: np.ndarray, c1: np.uint64, c2: np.uint64) -> np.ndarray:
     return z ^ (z >> np.uint64(31))
 
 
-def _mix_scalar_a(z: int) -> int:
+def _mix_scalar_a(z: int, _g=GOLDEN, _c1=MIX_A1, _c2=MIX_A2) -> int:
     """Scalar twin of :func:`_mix64` with lane-A constants (mod 2^64)."""
-    z = (z + 0x9E3779B97F4A7C15) & _U64
-    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
-    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+    z = (z + _g) & _U64
+    z = ((z ^ (z >> 30)) * _c1) & _U64
+    z = ((z ^ (z >> 27)) * _c2) & _U64
     return z ^ (z >> 31)
 
 
-def _mix_scalar_b(z: int) -> int:
+def _mix_scalar_b(z: int, _g=GOLDEN, _c1=MIX_B1, _c2=MIX_B2) -> int:
     """Scalar twin of :func:`_mix64` with lane-B constants (mod 2^64)."""
-    z = (z + 0x9E3779B97F4A7C15) & _U64
-    z = ((z ^ (z >> 30)) * 0xFF51AFD7ED558CCD) & _U64
-    z = ((z ^ (z >> 27)) * 0xC4CEB9FE1A85EC53) & _U64
+    z = (z + _g) & _U64
+    z = ((z ^ (z >> 30)) * _c1) & _U64
+    z = ((z ^ (z >> 27)) * _c2) & _U64
     return z ^ (z >> 31)
 
 
@@ -880,6 +1011,9 @@ def _orbit_hash_scalar(permuted_rows: list[list[int]], heavy_pos: np.ndarray,
     differ — still produces identical keys.
     """
     heavy = heavy_pos.tolist()
+    # bind the shared splitmix constants as locals for the inlined rounds
+    g, a1c, a2c = GOLDEN, MIX_A1, MIX_A2
+    b1c, b2c, omul = MIX_B1, MIX_B2, ORBIT_MUL
     distinct = set()
     for row in permuted_rows:
         # covariant mask prefilter: keep translations minimizing the
@@ -911,16 +1045,16 @@ def _orbit_hash_scalar(permuted_rows: list[list[int]], heavy_pos: np.ndarray,
             cand_a = 0
             cand_b = 0
             for j, value in enumerate(row):
-                z = ((((value ^ mask) * 0x2545F4914F6CDD1D) & _U64)
+                z = ((((value ^ mask) * omul) & _U64)
                      ^ fb[j])
-                z = (z + 0x9E3779B97F4A7C15) & _U64
-                z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
-                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+                z = (z + g) & _U64
+                z = ((z ^ (z >> 30)) * a1c) & _U64
+                z = ((z ^ (z >> 27)) * a2c) & _U64
                 a = z ^ (z >> 31)
                 cand_a = (cand_a + a) & _U64
-                z = (a + 0x9E3779B97F4A7C15) & _U64
-                z = ((z ^ (z >> 30)) * 0xFF51AFD7ED558CCD) & _U64
-                z = ((z ^ (z >> 27)) * 0xC4CEB9FE1A85EC53) & _U64
+                z = (a + g) & _U64
+                z = ((z ^ (z >> 30)) * b1c) & _U64
+                z = ((z ^ (z >> 27)) * b2c) & _U64
                 cand_b = (cand_b + (z ^ (z >> 31))) & _U64
             # finalize per candidate so sums do not telescope across the
             # candidate grouping (the star/non-star counterexample)
@@ -966,6 +1100,19 @@ def _orbit_hash(idx: np.ndarray, qamp: np.ndarray, absamp: np.ndarray,
     identity_only = len(orderings) == 1 and orderings[0] == _identity(n)
     if heavy_pos is None:
         heavy_pos = np.flatnonzero(absamp == absamp.max())[:max(1, tie_cap)]
+    fc = _fastcore.active
+    if fc is not None:
+        # one native pass replaces both the scalar and the NumPy variants
+        # (prefilter, both lanes, per-candidate and per-ordering finalize)
+        if identity_only:
+            rows = idx.view(np.uint64)[None, :]
+        else:
+            weights = 1 << np.arange(n - 1, -1, -1)
+            perms = np.asarray(orderings, dtype=np.intp)
+            rows = np.ascontiguousarray(
+                np.einsum("i,kim->km", weights, bits[perms]).view(np.uint64))
+        return fc.orbit_hash(
+            rows, np.ascontiguousarray(heavy_pos, dtype=np.int64), qamp)
     num_masks = len(heavy_pos)
     if len(orderings) * num_masks * m <= _SCALAR_ORBIT_LIMIT:
         if identity_only:
@@ -1009,7 +1156,7 @@ def _orbit_hash(idx: np.ndarray, qamp: np.ndarray, absamp: np.ndarray,
         cand_sel = cand.reshape(-1, m)
     fb_sel = np.where(neg_mask[hsel][:, None], fb_minus, fb_plus)
     with np.errstate(over="ignore"):
-        lane_a = _mix64(cand_sel * np.uint64(0x2545F4914F6CDD1D) ^ fb_sel,
+        lane_a = _mix64(cand_sel * _ORBIT_MUL ^ fb_sel,
                         _MIX_A1, _MIX_A2)
         # second lane: an independent per-element finalization of lane a
         # (a joint collision then needs both element-sums to coincide)
@@ -1077,7 +1224,8 @@ class CanonContext:
     """
 
     __slots__ = ("level", "tie_cap", "perm_cap", "cache", "u2_cache",
-                 "store", "full_computations", "topology", "_auto_orderings")
+                 "store", "full_computations", "topology", "_auto_orderings",
+                 "timers")
 
     def __init__(self, level: CanonLevel, tie_cap: int, perm_cap: int,
                  cache_cap: int, store=None, topology=None):
@@ -1090,6 +1238,10 @@ class CanonContext:
         self.topology = topology
         self._auto_orderings: list[list[int]] | None = None
         self.full_computations = 0
+        #: optional profiling sink: a mutable mapping whose "hashing" entry
+        #: accrues the orbit-hash seconds (set by the engine runtime under
+        #: ``SearchConfig(profile=True)``; None = no timing overhead)
+        self.timers = None
 
     def key(self, ps: PackedState) -> CanonKey:
         val = self.cache.get(ps)
@@ -1114,17 +1266,41 @@ class CanonContext:
             qamp = quantize_array(amp)
         else:
             qamp = ps.qamp
-        absamp = np.abs(qamp)
-        heavy_pos = np.flatnonzero(
-            absamp == absamp.max())[:max(1, self.tie_cap)]
-        u2_hash = _orbit_hash(idx, qamp, absamp, [_identity(n)], n,
-                              self.tie_cap, None, heavy_pos)
+        fc = _fastcore.active
+        if fc is not None:
+            # heavy-mask selection and row prep live inside the native
+            # call, so the hot path touches no NumPy temporaries at all
+            absamp = None
+            heavy_pos = None
+            if self.timers is not None:
+                t0 = _perf_counter()
+                u2_hash, num_heavy = fc.orbit_hash_state(
+                    n, idx, qamp, self.tie_cap, None)
+                self.timers["hashing"] = self.timers.get("hashing", 0.0) \
+                    + _perf_counter() - t0
+            else:
+                u2_hash, num_heavy = fc.orbit_hash_state(
+                    n, idx, qamp, self.tie_cap, None)
+        else:
+            absamp = np.abs(qamp)
+            heavy_pos = np.flatnonzero(
+                absamp == absamp.max())[:max(1, self.tie_cap)]
+            num_heavy = len(heavy_pos)
+            if self.timers is not None:
+                t0 = _perf_counter()
+                u2_hash = _orbit_hash(idx, qamp, absamp, [_identity(n)], n,
+                                      self.tie_cap, None, heavy_pos)
+                self.timers["hashing"] = self.timers.get("hashing", 0.0) \
+                    + _perf_counter() - t0
+            else:
+                u2_hash = _orbit_hash(idx, qamp, absamp, [_identity(n)], n,
+                                      self.tie_cap, None, heavy_pos)
         if level is CanonLevel.U2:
             return CanonKey(n, u2_hash & _U64, u2_hash)
         full = self.u2_cache.get(u2_hash)
         if full is None:
             full = self._compute_full(n, idx, qamp, absamp, pinned, ps,
-                                      u2_hash, heavy_pos)
+                                      u2_hash, heavy_pos, num_heavy)
             self.u2_cache.put(u2_hash, full)
         return full
 
@@ -1135,14 +1311,25 @@ class CanonContext:
         return self._auto_orderings
 
     def _compute_full(self, n: int, idx: np.ndarray, qamp: np.ndarray,
-                      absamp: np.ndarray, pinned: bool, ps: PackedState,
-                      u2_hash: int, heavy_pos: np.ndarray) -> CanonKey:
+                      absamp: np.ndarray | None, pinned: bool,
+                      ps: PackedState, u2_hash: int,
+                      heavy_pos: np.ndarray | None,
+                      num_heavy: int) -> CanonKey:
         self.full_computations += 1
-        if pinned:
+        fc = _fastcore.active
+        if fc is not None:
+            # the native ordering signatures and hash derive everything
+            # from (idx, qamp); the bit matrix is never materialized
+            bits = None
+            if absamp is None:
+                absamp = np.abs(qamp)
+        elif pinned:
             shifts = np.arange(n - 1, -1, -1, dtype=np.int64)[:, None]
             bits = (idx[None, :] >> shifts) & 1
         else:
             bits = ps.bits
+        if absamp is None:
+            absamp = np.abs(qamp)
         if self.topology is not None:
             # restricted PU2: the free relabelings are exactly the coupling
             # automorphisms — a fixed ordering list shared by every state
@@ -1150,13 +1337,31 @@ class CanonContext:
         else:
             orderings = _orderings_packed(idx, qamp, n, self.perm_cap,
                                           bits, absamp,
-                                          num_heavy=len(heavy_pos))
+                                          num_heavy=num_heavy)
         if len(orderings) == 1 and orderings[0] == _identity(n):
             # the identity ordering's candidate set IS the U(2) orbit
             return CanonKey(n, u2_hash & _U64, u2_hash)
-        full_hash = _orbit_hash(idx, qamp, absamp, orderings, n,
-                                self.tie_cap, bits, heavy_pos)
+        if self.timers is not None:
+            t0 = _perf_counter()
+            full_hash = self._full_hash(fc, n, idx, qamp, absamp,
+                                        orderings, bits, heavy_pos)
+            self.timers["hashing"] = self.timers.get("hashing", 0.0) \
+                + _perf_counter() - t0
+        else:
+            full_hash = self._full_hash(fc, n, idx, qamp, absamp,
+                                        orderings, bits, heavy_pos)
         return CanonKey(n, full_hash & _U64, full_hash)
+
+    def _full_hash(self, fc, n: int, idx: np.ndarray, qamp: np.ndarray,
+                   absamp: np.ndarray, orderings: list[list[int]],
+                   bits: np.ndarray | None,
+                   heavy_pos: np.ndarray | None) -> int:
+        if fc is not None:
+            full_hash, _ = fc.orbit_hash_state(n, idx, qamp, self.tie_cap,
+                                               orderings)
+            return full_hash
+        return _orbit_hash(idx, qamp, absamp, orderings, n,
+                           self.tie_cap, bits, heavy_pos)
 
 
 def canonical_key_packed(ps: PackedState, level: CanonLevel,
@@ -1182,17 +1387,16 @@ def canonical_key_packed(ps: PackedState, level: CanonLevel,
 # Vectorized successor enumeration
 # ----------------------------------------------------------------------
 
-_CX_MOVES_MEMO: dict[tuple, list[CXMove]] = {}
+_CX_MOVES_MEMO: dict[tuple, tuple] = {}
 
 
-def enumerate_cx_packed(ps: PackedState, topology=None) -> list[CXMove]:
-    """Twin of :func:`repro.core.transitions.enumerate_cx`: the cached
-    column counts decide which polarities fire, and the (frozen) move list
-    is memoized per ``(n, has-zero, has-one)`` column pattern — almost every
-    expanded state shares the all-polarities pattern, so enumeration is one
-    dict hit.  A ``topology`` restricts emission to coupled pairs and joins
-    the memo key by its canonical identity; ``None`` is the identity fast
-    path (bit-identical to seed behavior)."""
+def _cx_moves_entry(ps: PackedState, topology=None) -> tuple:
+    """Memoized ``(moves, controls, phases, targets)`` for one expansion.
+
+    The move arrays ride in the memo next to the move list so the batched
+    applier never rebuilds them — almost every expanded state shares the
+    all-polarities column pattern, making this one dict hit.
+    """
     n = ps.n
     m = ps.m
     h0mask = 0
@@ -1208,8 +1412,8 @@ def enumerate_cx_packed(ps: PackedState, topology=None) -> list[CXMove]:
     else:
         memo_key = (n, h0mask, h1mask, topology.canonical_key())
         masks = topology.neighbor_masks()
-    moves = _CX_MOVES_MEMO.get(memo_key)
-    if moves is None:
+    entry = _CX_MOVES_MEMO.get(memo_key)
+    if entry is None:
         moves = []
         for control in range(n):
             h0 = (h0mask >> control) & 1
@@ -1226,8 +1430,20 @@ def enumerate_cx_packed(ps: PackedState, topology=None) -> list[CXMove]:
                 if h1:
                     moves.append(CXMove(control=control, phase=1,
                                         target=target))
-        _CX_MOVES_MEMO[memo_key] = moves
-    return moves
+        entry = (moves, *_cx_move_arrays(moves))
+        _CX_MOVES_MEMO[memo_key] = entry
+    return entry
+
+
+def enumerate_cx_packed(ps: PackedState, topology=None) -> list[CXMove]:
+    """Twin of :func:`repro.core.transitions.enumerate_cx`: the cached
+    column counts decide which polarities fire, and the (frozen) move list
+    is memoized per ``(n, has-zero, has-one)`` column pattern — almost every
+    expanded state shares the all-polarities pattern, so enumeration is one
+    dict hit.  A ``topology`` restricts emission to coupled pairs and joins
+    the memo key by its canonical identity; ``None`` is the identity fast
+    path (bit-identical to seed behavior)."""
+    return _cx_moves_entry(ps, topology)[0]
 
 
 def _pairs_and_singles_packed(ps: PackedState, target: int
@@ -1300,10 +1516,6 @@ def enumerate_merges_packed(ps: PackedState, target: int,
     the reference enumeration.
     """
     n = ps.n
-    i0, a0, a1, pair_mask, single_mask = _pairs_and_singles_packed(ps, target)
-    num_pairs = len(i0)
-    if num_pairs == 0:
-        return []
     if max_controls is None:
         max_controls = n - 1
     max_controls = min(max_controls, n - 1)
@@ -1312,6 +1524,34 @@ def enumerate_merges_packed(ps: PackedState, target: int,
     else:
         tmask = topology.neighbor_masks()[target]
         other = [q for q in range(n) if q != target and (tmask >> q) & 1]
+    fc = _fastcore.active
+    if fc is not None:
+        # native lattice walk: pair split, representative selection, and
+        # the cube enumeration with its consistency test and first-cube
+        # dedupe all run in C; only the surviving (cube, ref, direction)
+        # triples come back to be wrapped as MergeMoves.
+        i0l, a0l, a1l, singles = fc.pairs_singles(
+            n, ps.idx, ps.amp, n - 1 - target)
+        if not i0l:
+            return []
+        reps, pcodes, scodes = fc.merge_reps_codes(n, i0l, singles, other)
+        kmax = min(max_controls, len(reps))
+        walk = fc.merge_walk(pcodes, scodes, a0l, a1l, len(reps), kmax,
+                             MERGE_RATIO_RTOL)
+        moves = []
+        for smask, ref, direction in walk:
+            ref_idx = i0l[ref]
+            controls = tuple(
+                (reps[j], (ref_idx >> (n - 1 - reps[j])) & 1)
+                for j in range(len(reps)) if (smask >> j) & 1)
+            theta = merge_angle(a0l[ref], a1l[ref], direction)
+            moves.append(MergeMove(target=target, theta=theta,
+                                   controls=controls))
+        return moves
+    i0, a0, a1, pair_mask, single_mask = _pairs_and_singles_packed(ps, target)
+    num_pairs = len(i0)
+    if num_pairs == 0:
+        return []
     bits = ps.bits
     reps = _merge_representatives(bits, pair_mask, single_mask, other)
     num_reps = len(reps)
@@ -1393,8 +1633,11 @@ def successors_packed(pool: StatePool, ps: PackedState,
     Emission order matches :func:`repro.core.transitions.successors`
     (property-tested), so successor-level tie-breaking is identical to the
     reference enumeration; CX successors are materialized in one batched
-    array pass.  ``topology`` restricts the move set to native moves,
-    exactly as in the reference.
+    array pass, and all merge results of the expansion are quantized in a
+    single frontier-batched pass before interning (elementwise rounding, so
+    the produced states are bit-identical to per-move quantization).
+    ``topology`` restricts the move set to native moves, exactly as in the
+    reference.
     """
     out: list[tuple[Move, PackedState]] = []
     if include_x_moves:
@@ -1402,15 +1645,30 @@ def successors_packed(pool: StatePool, ps: PackedState,
             nxt = apply_x_packed(pool, ps, q)
             if nxt is not ps:
                 out.append((XMove(qubit=q), nxt))
-    cx_moves = enumerate_cx_packed(ps, topology)
+    cx_entry = _cx_moves_entry(ps, topology)
+    cx_moves = cx_entry[0]
     if cx_moves:
         for move, nxt in zip(cx_moves, _batch_cx_successors(pool, ps,
-                                                            cx_moves)):
+                                                            cx_moves,
+                                                            cx_entry[1:])):
             if nxt is not ps:
                 out.append((move, nxt))
+    merge_moves: list[MergeMove] = []
+    merge_arrays: list[tuple[np.ndarray, np.ndarray]] = []
     for target in range(ps.n):
         for move in enumerate_merges_packed(ps, target, max_merge_controls,
                                             topology):
-            out.append((move, apply_merge_packed(pool, ps, move.controls,
-                                                 move.target, move.theta)))
+            merge_moves.append(move)
+            merge_arrays.append(_merge_arrays(ps, move.controls,
+                                              move.target, move.theta))
+    if merge_moves:
+        amps = [amp for _, amp in merge_arrays]
+        qcat = quantize_array(amps[0] if len(amps) == 1
+                              else np.concatenate(amps))
+        off = 0
+        for move, (midx, mamp) in zip(merge_moves, merge_arrays):
+            end = off + len(midx)
+            out.append((move, pool.intern(ps.n, midx, mamp,
+                                          qcat[off:end])))
+            off = end
     return out

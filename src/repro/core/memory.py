@@ -60,6 +60,7 @@ from repro.constants import (
     MEMORY_TRANSPOSITION_CAP,
     TRANSPOSITION_AGE_PENALTY,
 )
+from repro.core import fastcore as _fastcore
 from repro.core.kernel import PackedState, StatePool, state_hash64
 from repro.exceptions import MemoryCompatibilityError
 
@@ -97,8 +98,11 @@ class HashStore:
 
     def __init__(self, cap: int = MEMORY_STORE_CAP):
         self.cap = max(1, int(cap))
-        #: hash64 -> [payload, value, entry_hits]
-        self._primary: dict[int, list] = {}
+        #: hash64 -> [payload, value, entry_hits]; the native open-addressing
+        #: U64Map when the extension is loaded (insertion-order-preserving,
+        #: like dict), a plain dict otherwise
+        fc = _fastcore.active
+        self._primary = fc.U64Map() if fc is not None else {}
         self._spill: dict[bytes, object] = {}
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,37 @@
+"""Splitmix64 constants for the two orbit-hash lanes (single source).
+
+``core/kernel.py`` previously repeated these literals in ``_mix64``,
+``_mix_scalar_a``/``_mix_scalar_b``, and the inlined rounds of
+``_orbit_hash_scalar``; the C extension would have added a fourth copy.
+This module is now the only Python-side definition, and ``_splitmix.h``
+is the only C-side one.  ``repro.core.fastcore`` refuses to activate an
+extension whose compiled-in constants (``_fastcore.splitmix_constants()``)
+disagree with this table, and ``tests/test_fastcore.py`` parses the header
+to pin the two sources together even when no compiler is available.
+"""
+
+from __future__ import annotations
+
+#: Additive round constant (golden-ratio increment) of every mix round.
+GOLDEN = 0x9E3779B97F4A7C15
+#: Lane-A multiply constants (the splitmix64 finalizer).
+MIX_A1 = 0xBF58476D1CE4E5B9
+MIX_A2 = 0x94D049BB133111EB
+#: Lane-B multiply constants (murmur3-style finalizer variant).
+MIX_B1 = 0xFF51AFD7ED558CCD
+MIX_B2 = 0xC4CEB9FE1A85EC53
+#: Pre-mix multiplier applied to ``(index ^ mask)`` before lane A.
+ORBIT_MUL = 0x2545F4914F6CDD1D
+
+U64_MASK = (1 << 64) - 1
+
+#: Name -> value table, the exact payload ``_fastcore.splitmix_constants()``
+#: must reproduce for the extension to be accepted.
+SPLITMIX_CONSTANTS: dict[str, int] = {
+    "GOLDEN": GOLDEN,
+    "A1": MIX_A1,
+    "A2": MIX_A2,
+    "B1": MIX_B1,
+    "B2": MIX_B2,
+    "ORBIT_MUL": ORBIT_MUL,
+}
