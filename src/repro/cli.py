@@ -62,6 +62,21 @@ flag)::
     echo '{"id": 1, "op": "exact", "dicke": [6, 3], "deadline_ms": 250}' \
         | repro-qsp serve
 
+Serve many clients at once over a socket: ``--listen`` starts the
+asyncio front end — same newline-JSON protocol as stdin, but requests
+from all connections share one cross-request scheduler (expansion
+slices fair-shared earliest-deadline-first, round-robin for undeadlined
+requests), so a heavy request no longer blocks a light one.  Responses
+arrive out of request order; match them by ``id``.  ``--wal`` keeps an
+incremental write-ahead log of everything the memory learns: one delta
+record per settled request, replayed on boot, compacted into a full
+snapshot every ``--wal-compact-every`` records and at shutdown::
+
+    repro-qsp serve --listen 127.0.0.1:7700 --portfolio interleaved \
+        --wal service.qspwal --max-inflight 16
+    repro-qsp serve --listen 127.0.0.1:7700 --wal service.qspwal \
+        --wal-compact-every 64 --deadline-ms 500
+
 Serve one *device*: the service pins a topology, requests synthesize
 natively, memory/cache entries never mix across devices, and the
 exact-hit request cache persists across restarts::
@@ -95,6 +110,7 @@ import argparse
 import sys
 
 from repro.arch.topologies import TOPOLOGY_FAMILIES
+from repro.constants import SERVICE_MAX_INFLIGHT, WAL_COMPACT_INTERVAL
 from repro.qsp.config import QSPConfig
 from repro.qsp.solver import compare_methods
 from repro.qsp.workflow import prepare_state
@@ -270,6 +286,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "(loaded at boot when it exists, written on "
                             "shutdown; gated by the same fingerprint + "
                             "format-version checks as --snapshot)")
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve a socket instead of stdin: the asyncio "
+                            "front end accepts many concurrent clients, "
+                            "fair-shares expansion slices across all "
+                            "in-flight exact requests, and answers out "
+                            "of request order (match responses by id)")
+    serve.add_argument("--wal", metavar="FILE", default=None,
+                       help="incremental SearchMemory write-ahead log: "
+                            "learned deltas appended per settled request, "
+                            "replayed on boot on top of FILE.snapshot, "
+                            "compacted on an interval and at shutdown "
+                            "(wins over --snapshot after the first boot)")
+    serve.add_argument("--wal-compact-every", type=int, metavar="N",
+                       default=None,
+                       help="appended WAL records between automatic "
+                            "compactions (default "
+                            f"{WAL_COMPACT_INTERVAL})")
+    serve.add_argument("--max-inflight", type=int, metavar="N",
+                       default=None,
+                       help="admission cap of the cross-request "
+                            "scheduler: searching sessions in flight at "
+                            "once; requests beyond it are answered "
+                            "ok:false busy:true (default "
+                            f"{SERVICE_MAX_INFLIGHT})")
+    serve.add_argument("--no-autotune", action="store_true",
+                       help="disable lane auto-tuning (slice budgets and "
+                            "lane drops derived from persisted per-lane "
+                            "win statistics) for scheduler sessions")
     _add_topology_options(serve)
 
     batch = sub.add_parser(
@@ -502,20 +546,60 @@ def _service_config(args: argparse.Namespace, **extra):
                          **extra)
 
 
+def _parse_listen(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"--listen wants HOST:PORT, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import SynthesisService, serve_loop
 
+    extra: dict = {}
+    if args.wal_compact_every is not None:
+        extra["wal_compact_interval"] = max(0, args.wal_compact_every)
+    if args.max_inflight is not None:
+        extra["max_inflight"] = args.max_inflight
     config = _service_config(args, use_cache=not args.no_cache,
                              race_workers=args.race_workers,
-                             cache_snapshot_path=args.cache_snapshot)
+                             cache_snapshot_path=args.cache_snapshot,
+                             wal_path=args.wal,
+                             autotune_lanes=not args.no_autotune,
+                             **extra)
     service = SynthesisService(config)
+    if args.listen is not None:
+        from repro.service.asyncserver import serve_listen
+        host, port = _parse_listen(args.listen)
+        summary = serve_listen(service, host, port)
+        stats = service.stats()
+        print(f"served {summary['handled']} request(s) on "
+              f"{summary['connections']} connection(s), "
+              f"{stats['cache_hits']} cache hit(s), "
+              f"{stats['errors']} error(s), "
+              f"{summary['drained']} drained at shutdown",
+              file=sys.stderr)
+        if summary.get("wal_snapshot"):
+            print(f"WAL compacted into {summary['wal_snapshot']}",
+                  file=sys.stderr)
+        if summary.get("cache_snapshot"):
+            print(f"request-cache snapshot written to "
+                  f"{summary['cache_snapshot']}", file=sys.stderr)
+        return 0
     handled = serve_loop(service, sys.stdin, sys.stdout)
-    saved = service.save_cache_snapshot()
+    summary = service.shutdown()
     stats = service.stats()
     print(f"served {handled} request(s), {stats['cache_hits']} cache "
           f"hit(s), {stats['errors']} error(s)", file=sys.stderr)
-    if saved:
-        print(f"request-cache snapshot written to {saved}", file=sys.stderr)
+    if summary.get("wal_snapshot"):
+        print(f"WAL compacted into {summary['wal_snapshot']}",
+              file=sys.stderr)
+    if summary.get("cache_snapshot"):
+        print(f"request-cache snapshot written to "
+              f"{summary['cache_snapshot']}", file=sys.stderr)
     return 0
 
 

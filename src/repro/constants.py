@@ -114,6 +114,61 @@ TRANSPOSITION_AGE_PENALTY: float = 1.0
 #: ``MemoryCompatibilityError`` at load.
 REQUEST_CACHE_SNAPSHOT_VERSION: int = 1
 
+# ----------------------------------------------------------------------
+# Concurrent multi-request serving (repro.service.scheduler / asyncserver)
+# ----------------------------------------------------------------------
+
+#: Admission-control bound of the cross-request scheduler: searching
+#: sessions in flight at once (cache hits and control ops never count).
+#: A request arriving beyond it is answered ``ok: false, busy: true``
+#: immediately instead of growing an unbounded queue.
+SERVICE_MAX_INFLIGHT: int = 32
+
+#: Fairness stride of the cross-request scheduler: deadlined sessions are
+#: served earliest-deadline-first, but every ``N``-th turn goes to the
+#: round-robin queue of undeadlined sessions, so a stream of deadlined
+#: traffic can never starve an undeadlined request (the bench's fairness
+#: floor).
+SCHEDULER_FAIRNESS_STRIDE: int = 4
+
+#: On-disk format version of the incremental snapshot WAL
+#: (``serve --wal``).  Gated like the memory snapshot: any other version
+#: or a regime-fingerprint mismatch raises ``MemoryCompatibilityError``
+#: at boot, before a single record is replayed.
+MEMORY_WAL_VERSION: int = 1
+
+#: Appended WAL records between automatic compactions: each compaction
+#: rewrites the full snapshot and truncates the log, bounding both replay
+#: time after a crash and the on-disk log size.
+WAL_COMPACT_INTERVAL: int = 256
+
+#: Lane auto-tuning (interleaved slice budgets from ``lane_stats``):
+#: per-lane slice budgets scale between these multiples of
+#: ``PORTFOLIO_SLICE_EXPANSIONS`` by historical win/feasible rate.  Slice
+#: size never changes a lane's result (differential-tested), so tuning
+#: moves CPU priority only.
+LANE_TUNE_MIN: float = 0.5
+LANE_TUNE_MAX: float = 2.0
+
+#: A lane is dropped from auto-tuned schedules only after this many
+#: recorded runs with zero wins *and* zero feasible circuits — the
+#: chronically losing lane pays slices on every request and has never
+#: contributed a result.  High enough that fresh deployments (and the
+#: test/bench workloads) never trip it by accident.
+LANE_DROP_MIN_RUNS: int = 50
+
+#: Wall-clock budget for draining in-flight sessions at graceful
+#: shutdown (ms): sessions still running when it expires are
+#: deadline-flushed (best feasible circuit, ``deadline_expired``) so the
+#: server can compact its WAL and exit instead of hanging on a heavy
+#: search.
+SHUTDOWN_DRAIN_MS: float = 2000.0
+
+#: In-place transposition improvements tracked for delta snapshots (WAL
+#: records) before the log overflows and the next delta ships the whole
+#: table instead (same rule as eviction sweeps).
+TRANSPOSITION_IMPROVE_LOG_CAP: int = 1 << 16
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

@@ -483,6 +483,12 @@ class EngineRun:
         self._error: Exception | None = None
         self._ub: int | None = None
         self._gen = self._main()
+        # scheduler hooks (no effect on the search itself): an opaque
+        # owner tag a scheduler may stamp on the run for audit rows and
+        # per-session accounting, and the expansion count of the most
+        # recent step() slice for fair-share bookkeeping
+        self.tag: object | None = None
+        self.last_slice_expansions: int = 0
         # setup time (above, inside the context) has been charged; the
         # clock now waits for the first slice
         ctx.stopwatch.suspend()
@@ -551,17 +557,20 @@ class EngineRun:
         # the CPU: suspended between slices, a lane's budget keeps
         # sequential-mode semantics under interleaved scheduling
         self._ctx.stopwatch.resume()
+        expansions = 0
         try:
             for _ in range(max(1, max_expansions)):
                 try:
                     next(self._gen)
                 except StopIteration:
                     break
+                expansions += 1
                 if self._status.terminal:  # _finish precedes return
                     break
                 if deadline is not None and deadline.expired():
                     break
         finally:
+            self.last_slice_expansions = expansions
             self._ctx.stopwatch.suspend()
         return self._status
 

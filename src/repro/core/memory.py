@@ -59,6 +59,7 @@ from repro.constants import (
     MEMORY_STORE_CAP,
     MEMORY_TRANSPOSITION_CAP,
     TRANSPOSITION_AGE_PENALTY,
+    TRANSPOSITION_IMPROVE_LOG_CAP,
 )
 from repro.core import fastcore as _fastcore
 from repro.core.kernel import PackedState, StatePool, state_hash64
@@ -244,7 +245,8 @@ class TranspositionTable:
     """
 
     __slots__ = ("cap", "data", "cond", "data_gen", "cond_gen",
-                 "generation", "hits", "misses", "writes", "evictions")
+                 "generation", "hits", "misses", "writes", "evictions",
+                 "improved_data", "improved_cond", "improve_overflows")
 
     def __init__(self, cap: int = MEMORY_TRANSPOSITION_CAP):
         self.cap = max(1, int(cap))
@@ -260,11 +262,41 @@ class TranspositionTable:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        #: append-only logs of keys whose entry was *improved in place*
+        #: (larger budget / weaker condition).  Delta snapshots ship a
+        #: suffix slice of the insertion-ordered tables, which misses
+        #: exactly these in-place updates — the WAL folds the logged keys'
+        #: current entries back in so a replayed boot is state-equivalent
+        #: to a full snapshot.  Bounded: past the cap the logs reset and
+        #: ``improve_overflows`` bumps, and a delta whose baseline saw a
+        #: different overflow count ships the whole (capped) table — the
+        #: same safe fallback the eviction counter already triggers.
+        self.improved_data: list = []
+        self.improved_cond: list = []
+        self.improve_overflows = 0
+
+    def _log_improvement(self, log: list, key) -> None:
+        if len(log) >= TRANSPOSITION_IMPROVE_LOG_CAP:
+            del self.improved_data[:]
+            del self.improved_cond[:]
+            self.improve_overflows += 1
+            return
+        log.append(key)
 
     def bump_generation(self) -> int:
         """Advance the aging epoch (called after each full snapshot save)."""
         self.generation += 1
         return self.generation
+
+    def improve_marker(self) -> tuple[int, int, int]:
+        """Marker over the in-place-improvement logs (delta shipping).
+
+        Captured into :func:`repro.utils.serialization.memory_baseline`;
+        a later delta ships the entries improved past the marker (or the
+        whole table when the logs overflowed in between).
+        """
+        return (len(self.improved_data), len(self.improved_cond),
+                self.improve_overflows)
 
     def __len__(self) -> int:
         return len(self.data) + len(self.cond)
@@ -362,7 +394,11 @@ class TranspositionTable:
                         (remaining == budget and
                          not (required < prev_req)):
                     return
-            elif len(self.cond) >= self.cap:
+                self.cond[key] = (remaining, required)
+                self.writes += 1
+                self._log_improvement(self.improved_cond, key)
+                return
+            if len(self.cond) >= self.cap:
                 self._evict_smallest(self.cond, lambda v: v[0],
                                      self.cond_gen)
             self.cond[key] = (remaining, required)
@@ -374,6 +410,7 @@ class TranspositionTable:
             stamp(self.data_gen)
             if remaining > prev:
                 self.data[key] = remaining
+                self._log_improvement(self.improved_data, key)
             return
         if len(self.data) >= self.cap:
             self._evict_smallest(self.data, lambda v: v, self.data_gen)

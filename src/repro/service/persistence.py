@@ -21,12 +21,18 @@ import json
 import os
 import pathlib
 
+from repro.constants import WAL_COMPACT_INTERVAL
 from repro.core.memory import SearchMemory
 from repro.exceptions import MemoryCompatibilityError
 from repro.utils.serialization import (
+    memory_baseline,
     memory_from_dict,
     memory_merge_dict,
     memory_to_dict,
+    wal_header_check,
+    wal_header_to_dict,
+    wal_record_from_dict,
+    wal_record_to_dict,
 )
 
 __all__ = [
@@ -35,6 +41,7 @@ __all__ = [
     "merge_memory_snapshot",
     "save_request_cache",
     "load_request_cache",
+    "MemoryWAL",
 ]
 
 
@@ -120,3 +127,205 @@ def load_request_cache(path: str | os.PathLike, regime: dict | None = None,
     from repro.service.cache import request_cache_from_dict
 
     return request_cache_from_dict(_read_snapshot_dict(path), regime, cap)
+
+
+# ----------------------------------------------------------------------
+# Incremental snapshot WAL (concurrent service persistence)
+# ----------------------------------------------------------------------
+
+class MemoryWAL:
+    """Write-ahead log of learned memory deltas, with compaction.
+
+    A full snapshot re-serializes the whole memory — too heavy to run
+    per request on a serving host.  The WAL instead appends one small
+    JSONL record per settled request (the delta since the previous
+    record: new canon/heuristic entries, new *and improved* transposition
+    entries, lane-stat increments) to ``<path>``, and keeps the last full
+    snapshot in the sidecar file ``<path>.snapshot``.  Booting replays
+    the records on top of the sidecar, which reproduces the live memory
+    exactly — delta merges are improve-only and idempotent, and
+    in-place transposition improvements ride along via the table's
+    improvement logs (see :func:`repro.utils.serialization
+    .memory_to_dict`) — so a crash loses at most the record being
+    written when the process died.
+
+    Compaction (every ``compact_interval`` appended records, at
+    :meth:`close`, or on demand) writes a fresh full snapshot *first*
+    and only then truncates the log back to its header: a crash between
+    the two steps leaves old records that replay onto the new snapshot
+    as harmless no-ops.  The replay path tolerates a torn final line
+    (the mid-append crash signature) by truncating it away; any other
+    malformed content is likewise dropped from the first bad line on.
+    Version and regime-fingerprint gates mirror the snapshot codec's:
+    a log written by an incompatible build or for a different device
+    raises :class:`MemoryCompatibilityError` before a single record is
+    replayed.
+
+    The log is plain JSONL (no ``.gz`` — compression would break
+    appending); the sidecar snapshot follows the normal snapshot rules.
+    """
+
+    def __init__(self, path: str | os.PathLike, memory: SearchMemory,
+                 compact_interval: int = WAL_COMPACT_INTERVAL) -> None:
+        if str(path).endswith(".gz"):
+            raise ValueError(
+                "the memory WAL is append-only JSONL and cannot be "
+                "gzip-compressed; drop the .gz suffix (the sidecar "
+                "snapshot may still be compressed separately)")
+        self._path = pathlib.Path(path)
+        self.snapshot_path = self._path.with_name(
+            self._path.name + ".snapshot")
+        self.memory = memory
+        self.compact_interval = max(0, int(compact_interval))
+        self.seq = 0
+        #: records in the live log (replayed + appended since compaction)
+        self.records = 0
+        self.compactions = 0
+        self._handle = None
+        self._header_written = False
+        self._baseline = memory_baseline(memory)
+
+    @classmethod
+    def boot(cls, path: str | os.PathLike,
+             fallback_snapshot: str | os.PathLike | None = None,
+             compact_interval: int = WAL_COMPACT_INTERVAL,
+             ) -> tuple[SearchMemory, "MemoryWAL"]:
+        """Boot a memory from the WAL: sidecar snapshot + replayed records.
+
+        The compacted sidecar wins when it exists; otherwise
+        ``fallback_snapshot`` (the service's ``--snapshot``, seeding the
+        very first boot) is loaded; otherwise the memory starts empty.
+        Records in the log are then replayed on top, and the log is
+        opened for appending.  Returns ``(memory, wal)``.
+        """
+        wal_path = pathlib.Path(path)
+        sidecar = wal_path.with_name(wal_path.name + ".snapshot")
+        if sidecar.exists():
+            memory = load_memory_snapshot(sidecar)
+        elif fallback_snapshot is not None:
+            memory = load_memory_snapshot(fallback_snapshot)
+        else:
+            memory = SearchMemory()
+        wal = cls(path, memory, compact_interval=compact_interval)
+        wal._replay_and_open()
+        return memory, wal
+
+    # -- boot path -------------------------------------------------------
+
+    def _replay_and_open(self) -> None:
+        if self._path.parent and not self._path.parent.exists():
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._path.exists() and self._path.stat().st_size > 0:
+            with open(self._path, "r+", encoding="utf-8") as handle:
+                self._replay(handle)
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    def _replay(self, handle) -> None:
+        header_line = handle.readline()
+        if not header_line.endswith("\n"):
+            # the log died inside its very first line: nothing replayable
+            handle.seek(0)
+            handle.truncate(0)
+            return
+        try:
+            header = json.loads(header_line)
+        except ValueError as exc:
+            raise MemoryCompatibilityError(
+                f"unreadable memory WAL header in {self._path}: "
+                f"{exc}") from exc
+        fp = wal_header_check(header)
+        if fp is not None:
+            # raises on mismatch with the sidecar/fallback fingerprint
+            self.memory.pin(fp)
+        self._header_written = True
+        good = handle.tell()
+        while True:
+            line = handle.readline()
+            if not line or not line.endswith("\n"):
+                break  # EOF, or a torn final line (mid-append crash)
+            stripped = line.strip()
+            if not stripped:
+                good = handle.tell()
+                continue
+            try:
+                seq, delta = wal_record_from_dict(json.loads(stripped))
+                memory_merge_dict(self.memory, delta)
+            except (ValueError, MemoryCompatibilityError):
+                break  # corrupt tail: drop it and everything after
+            self.seq = max(self.seq, seq)
+            self.records += 1
+            good = handle.tell()
+        handle.truncate(good)
+        self._baseline = memory_baseline(self.memory)
+
+    # -- append path -----------------------------------------------------
+
+    def _ensure_header(self) -> None:
+        if not self._header_written:
+            self._handle.write(json.dumps(
+                wal_header_to_dict(self.memory.fingerprint)) + "\n")
+            self._header_written = True
+
+    def append(self, delta: dict) -> int:
+        """Append one delta record (and maybe auto-compact); returns seq."""
+        self.seq += 1
+        self._ensure_header()
+        self._handle.write(json.dumps(
+            wal_record_to_dict(self.seq, delta)) + "\n")
+        self._handle.flush()
+        self.records += 1
+        if self.compact_interval and self.records >= self.compact_interval:
+            self.compact()
+        return self.seq
+
+    def record_learned(self) -> int | None:
+        """Append what the memory learned since the last record.
+
+        The delta is computed against the WAL's own rolling baseline;
+        when nothing was learned (cache hits, failed parses) no record
+        is written and ``None`` is returned.  A closed WAL (post
+        shutdown-compaction) is a no-op, not an error.
+        """
+        if self._handle is None:
+            return None
+        delta = memory_to_dict(self.memory, since=self._baseline)
+        table = delta["transposition"]
+        if not (delta["canon_store"] or delta["h_store"] or table["data"]
+                or table["cond"] or delta["lane_stats"]):
+            return None
+        seq = self.append(delta)
+        self._baseline = memory_baseline(self.memory)
+        return seq
+
+    def compact(self) -> str:
+        """Fold the log into a fresh full snapshot; truncate to header."""
+        save_memory_snapshot(self.memory, self.snapshot_path)
+        # snapshot lands first (atomically): a crash before the truncate
+        # below leaves old records that replay as idempotent no-ops
+        self._handle.close()
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                wal_header_to_dict(self.memory.fingerprint)) + "\n")
+        tmp.replace(self._path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+        self._header_written = True
+        self.records = 0
+        self.compactions += 1
+        self._baseline = memory_baseline(self.memory)
+        return str(self.snapshot_path)
+
+    def close(self, compact: bool = True) -> None:
+        """Flush and close (idempotent); compacts by default."""
+        if self._handle is None:
+            return
+        if compact:
+            self.compact()
+        self._handle.close()
+        self._handle = None
+
+    def snapshot(self) -> dict:
+        """WAL counters for the ``stats`` op."""
+        return {"path": str(self._path), "seq": self.seq,
+                "records": self.records, "compactions": self.compactions,
+                "compact_interval": self.compact_interval}

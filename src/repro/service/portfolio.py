@@ -79,8 +79,10 @@ from repro.utils.timing import Stopwatch
 __all__ = [
     "EngineSpec",
     "PortfolioOutcome",
+    "LaneScheduler",
     "default_portfolio",
     "order_specs",
+    "autotune_specs",
     "build_engine_run",
     "run_engine_spec",
     "run_portfolio",
@@ -334,66 +336,92 @@ def run_portfolio(state: QState, search: SearchConfig | None = None,
 class _Lane:
     spec: EngineSpec
     run: EngineRun
+    budget: int = PORTFOLIO_SLICE_EXPANSIONS
     seconds: float = 0.0
     slices: int = 0
 
 
-def interleaved_portfolio(
-        state: QState, search: SearchConfig | None = None,
-        specs: tuple[EngineSpec, ...] | None = None,
-        memory: SearchMemory | None = None,
-        deadline_ms: float | None = None,
-        slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
-) -> PortfolioOutcome:
-    """Round-robin time-sliced portfolio in one process (see module docs).
+class LaneScheduler:
+    """The lane/slice/incumbent/settle machinery behind the interleaved
+    portfolio, reusable one round at a time.
 
-    Semantics:
+    :func:`interleaved_portfolio` drives an instance to completion for
+    the single-request path; the cross-request scheduler
+    (:mod:`repro.service.scheduler`) instead interleaves ``run_round``
+    calls across many instances — one per in-flight request — so a heavy
+    request no longer blocks the others.  Both drivers get identical
+    semantics because all policy lives here:
 
-    * every lane advances ``slice_expansions`` node expansions per turn;
+    * every active lane advances ``budget`` node expansions per round
+      (per-lane budgets; uniform by default);
     * the best feasible cost across lanes (including beam's *anytime*
-      intermediates) is injected into every other lane's branch-and-bound
-      the moment it improves;
+      intermediates) is injected into every other lane's
+      branch-and-bound the moment it improves;
     * the first proven-optimal outcome — a lane solving with a proof, or
       a lane exhausting its space under the shared incumbent bound
-      (:class:`~repro.core.engine.RunStatus` ``PROVEN``) — cancels the
-      remaining lanes;
-    * when ``deadline_ms`` expires first, the remaining lanes are
-      cancelled and the best feasible circuit found so far is returned
-      (``deadline_expired=True``) instead of raising — the anytime
-      contract a latency-bound service needs.
+      (:class:`~repro.core.engine.RunStatus` ``PROVEN``) — ends the
+      schedule;
+    * when the wall-clock deadline expires first, ``run_round`` returns
+      ``False`` with ``deadline_expired`` set and :meth:`finish` returns
+      the best feasible circuit found so far (after letting lanes with a
+      cheap completion tail flush) instead of raising.
 
-    Because lanes only exchange *incumbent costs* (sound pruning bounds)
-    and cancellation, the returned cost equals the sequential portfolio's
-    on the same budgets — asserted by ``benchmarks/bench_portfolio.py``.
+    The deadline stopwatch starts at construction and is *never*
+    suspended — under the cross-request scheduler a session's deadline
+    keeps running while other sessions hold the CPU, which is exactly
+    what a caller-facing latency bound means.  Lane runs are stamped
+    with ``tag`` (an opaque owner token) for per-session accounting, and
+    ``expansions`` accumulates the true per-slice expansion counts for
+    fair-share bookkeeping.
     """
-    search = search or SearchConfig()
-    specs = order_specs(specs or default_portfolio(), memory)
-    # no deadline -> no Stopwatch at all, so step() keeps its
-    # deadline-is-None fast path in the per-expansion hot loop
-    deadline = None if deadline_ms is None \
-        else Stopwatch(max(0.0, deadline_ms) / 1000.0)
-    lanes = [_Lane(spec, build_engine_run(spec, state, search,
-                                          memory=memory))
-             for spec in specs]
-    best: SearchResult | None = None
-    winner: str | None = None
-    attempts: list[dict] = []
-    proven = False
-    deadline_expired = False
 
-    def harvest(lane: _Lane) -> None:
+    def __init__(self, state: QState, search: SearchConfig,
+                 specs: tuple[EngineSpec, ...],
+                 memory: SearchMemory | None = None,
+                 deadline_ms: float | None = None,
+                 slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
+                 slice_budgets: dict[str, int] | None = None,
+                 tag: object | None = None) -> None:
+        self.memory = memory
+        # no deadline -> no Stopwatch at all, so step() keeps its
+        # deadline-is-None fast path in the per-expansion hot loop
+        self.deadline = None if deadline_ms is None \
+            else Stopwatch(max(0.0, deadline_ms) / 1000.0)
+        self.lanes = []
+        for spec in specs:
+            run = build_engine_run(spec, state, search, memory=memory)
+            run.tag = tag
+            budget = max(1, int((slice_budgets or {}).get(
+                spec.name, slice_expansions)))
+            self.lanes.append(_Lane(spec, run, budget=budget))
+        self.active: list[_Lane] = list(self.lanes)
+        self.best: SearchResult | None = None
+        self.winner: str | None = None
+        self.attempts: list[dict] = []
+        self.proven = False
+        self.deadline_expired = False
+        self.expansions = 0
+        self.tag = tag
+
+    @property
+    def done(self) -> bool:
+        """No further round would advance anything."""
+        return not self.active or self.proven or self.deadline_expired
+
+    def _expired(self) -> bool:
+        return self.deadline is not None and self.deadline.expired()
+
+    def _harvest(self, lane: _Lane) -> None:
         """Pull the lane's best feasible circuit; broadcast improvements."""
-        nonlocal best, winner
         feasible = lane.run.best_feasible()
-        if feasible is not None and _better(feasible, best):
-            best, winner = feasible, lane.spec.name
-            for other in lanes:
+        if feasible is not None and _better(feasible, self.best):
+            self.best, self.winner = feasible, lane.spec.name
+            for other in self.lanes:
                 if other is not lane and not other.run.status.terminal:
-                    other.run.inject_incumbent(best.cnot_cost)
+                    other.run.inject_incumbent(self.best.cnot_cost)
 
-    def settle(lane: _Lane, status: RunStatus) -> None:
+    def _settle(self, lane: _Lane, status: RunStatus) -> None:
         """Record one terminated (or cancelled) lane's audit row."""
-        nonlocal best, proven
         row: dict = {"name": lane.spec.name, "status": status.value,
                      "solved": False,
                      "feasible": lane.run.best_feasible() is not None,
@@ -405,66 +433,178 @@ def interleaved_portfolio(
             row.update(solved=True, cnot_cost=result.cnot_cost,
                        optimal=result.optimal)
             if result.optimal:
-                proven = True
+                self.proven = True
         elif status is RunStatus.PROVEN:
             # the lane exhausted everything cheaper than the shared
             # incumbent: whoever holds that incumbent holds the optimum
             bound = lane.run.incumbent_bound
             row["lower_bound"] = bound
-            if best is not None and bound is not None and \
-                    best.cnot_cost <= bound:
-                best = replace(best, optimal=True)
-                proven = True
+            if self.best is not None and bound is not None and \
+                    self.best.cnot_cost <= bound:
+                self.best = replace(self.best, optimal=True)
+                self.proven = True
         elif status is RunStatus.EXHAUSTED:
             error = lane.run.error
             row["timeout"] = isinstance(error, SearchBudgetExceeded)
             row["lower_bound"] = getattr(error, "lower_bound", 0)
-        attempts.append(row)
+        self.attempts.append(row)
 
-    def expired() -> bool:
-        return deadline is not None and deadline.expired()
+    def run_round(self) -> bool:
+        """Advance every active lane one slice; ``True`` while running.
 
-    active = list(lanes)
-    while active and not proven:
-        if expired():
-            deadline_expired = True
-            break
-        for lane in list(active):
+        Returns ``False`` once the schedule is over — proven, every lane
+        settled, or the deadline expired — after which the caller must
+        call :meth:`finish` exactly once to collect the outcome.
+        """
+        if not self.active or self.proven:
+            return False
+        if self._expired():
+            self.deadline_expired = True
+            return False
+        for lane in list(self.active):
             start = time.perf_counter()
             # the deadline rides into the slice so a heavy instance
             # overshoots the cutoff by one expansion, not a whole slice
-            status = lane.run.step(slice_expansions, deadline=deadline)
+            status = lane.run.step(lane.budget, deadline=self.deadline)
             lane.seconds += time.perf_counter() - start
             lane.slices += 1
-            harvest(lane)
+            self.expansions += lane.run.last_slice_expansions
+            self._harvest(lane)
             if status is RunStatus.RUNNING:
-                if expired():
-                    deadline_expired = True
-                    break
+                if self._expired():
+                    self.deadline_expired = True
+                    return False
                 continue
-            active.remove(lane)
-            settle(lane, status)
-            if proven or expired():
-                deadline_expired = not proven
-                break
+            self.active.remove(lane)
+            self._settle(lane, status)
+            if self.proven or self._expired():
+                self.deadline_expired = not self.proven
+                return False
+        return bool(self.active) and not self.proven
 
-    for lane in active:
-        if lane.run.status.terminal:
+    def finish(self) -> PortfolioOutcome:
+        """Cancel what is left, settle the audit trail, build the outcome.
+
+        Idempotent by construction only if called once — drivers call it
+        exactly once, after :meth:`run_round` returns ``False`` (or to
+        cut a schedule short, e.g. the service's shutdown drain).
+        """
+        for lane in self.active:
+            if lane.run.status.terminal:
+                continue
+            # a cancelled beam may still hold the best circuit
+            self._harvest(lane)
+            if self.deadline_expired and self.best is None:
+                # anytime contract: before giving up empty-handed, let
+                # lanes with a cheap completion (beam's m-flow tail)
+                # finish their current frontier into a valid circuit
+                flushed = lane.run.flush_feasible()
+                if flushed is not None and _better(flushed, self.best):
+                    self.best, self.winner = flushed, lane.spec.name
+            lane.run.cancel()
+            self._settle(lane, RunStatus.CANCELLED)
+        self.active = []
+        _record_lane_outcomes(self.memory, self.attempts, self.winner)
+        return PortfolioOutcome(result=self.best, winner=self.winner,
+                                attempts=self.attempts,
+                                deadline_expired=self.deadline_expired)
+
+    def abort(self) -> None:
+        """Cancel every lane and discard the schedule (no outcome).
+
+        The cross-request scheduler's per-request cancellation path
+        (client gone): lanes are cancelled so their generators release
+        search state, but nothing is flushed and *no lane statistics are
+        recorded* — an abandoned request must not teach the adaptive
+        ordering anything.
+        """
+        for lane in self.active:
+            if not lane.run.status.terminal:
+                lane.run.cancel()
+        self.active = []
+        self.proven = True  # mark done for any late run_round caller
+
+
+def interleaved_portfolio(
+        state: QState, search: SearchConfig | None = None,
+        specs: tuple[EngineSpec, ...] | None = None,
+        memory: SearchMemory | None = None,
+        deadline_ms: float | None = None,
+        slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
+) -> PortfolioOutcome:
+    """Round-robin time-sliced portfolio in one process (see module docs).
+
+    A thin driver over :class:`LaneScheduler` — run rounds until the
+    schedule is over, then settle.  All slicing/incumbent/deadline
+    semantics live in the class (shared verbatim with the cross-request
+    scheduler); the cost contract is unchanged: because lanes only
+    exchange *incumbent costs* (sound pruning bounds) and cancellation,
+    the returned cost equals the sequential portfolio's on the same
+    budgets — asserted by ``benchmarks/bench_portfolio.py``.
+    """
+    scheduler = LaneScheduler(
+        state, search or SearchConfig(),
+        order_specs(specs or default_portfolio(), memory),
+        memory=memory, deadline_ms=deadline_ms,
+        slice_expansions=slice_expansions)
+    while scheduler.run_round():
+        pass
+    return scheduler.finish()
+
+
+def autotune_specs(specs: tuple[EngineSpec, ...],
+                   memory: SearchMemory | None,
+                   slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
+                   ) -> tuple[tuple[EngineSpec, ...], dict[str, int]]:
+    """Lane auto-tuning from persisted history → (specs, slice budgets).
+
+    Derives the interleaved scheduler's per-lane slice budgets from the
+    win/feasible/timeout counters in ``memory.lane_stats``: a lane's
+    budget scales with its Laplace-smoothed ``(wins + 1) / (runs + 2)``
+    win rate, normalized so the neutral never-run score of 0.5 maps to
+    exactly ``slice_expansions`` and clamped to ``[LANE_TUNE_MIN,
+    LANE_TUNE_MAX]`` multiples — historically winning lanes get more
+    expansions per round, losing lanes fewer, and no lane is ever
+    silenced by tuning alone.  A lane is *dropped* only when it is
+    chronically useless: at least ``LANE_DROP_MIN_RUNS`` recorded runs
+    with zero wins *and* zero feasible circuits (it has paid slices on
+    every request and never contributed so much as an incumbent).  If
+    the filter would drop every lane, the original set is kept.
+
+    Determinism and order-independence: budgets are pure per-lane
+    functions of the counters, lane order comes from :func:`order_specs`
+    (stable, reproducible), and slice-budget changes never alter a
+    lane's *result* — only its CPU share (asserted differentially by the
+    portfolio bench across slice sizes).  The multi-request scheduler
+    applies this tuning; the single-request paths deliberately do not,
+    keeping their historical schedules bit-identical.
+    """
+    from repro.constants import (
+        LANE_DROP_MIN_RUNS,
+        LANE_TUNE_MAX,
+        LANE_TUNE_MIN,
+    )
+
+    ordered = order_specs(specs, memory)
+    if memory is None or not memory.lane_stats:
+        return ordered, {s.name: slice_expansions for s in ordered}
+    kept: list[EngineSpec] = []
+    budgets: dict[str, int] = {}
+    for spec in ordered:
+        row = memory.lane_stats.get(spec.name) or {}
+        runs = int(row.get("runs", 0))
+        wins = int(row.get("wins", 0))
+        feasible = int(row.get("feasible", 0))
+        if runs >= LANE_DROP_MIN_RUNS and wins == 0 and feasible == 0:
             continue
-        harvest(lane)  # a cancelled beam may still hold the best circuit
-        if deadline_expired and best is None:
-            # anytime contract: before giving up empty-handed, let lanes
-            # with a cheap completion (beam's m-flow tail) finish their
-            # current frontier into a valid circuit
-            flushed = lane.run.flush_feasible()
-            if flushed is not None and _better(flushed, best):
-                best, winner = flushed, lane.spec.name
-        lane.run.cancel()
-        settle(lane, RunStatus.CANCELLED)
-
-    _record_lane_outcomes(memory, attempts, winner)
-    return PortfolioOutcome(result=best, winner=winner, attempts=attempts,
-                            deadline_expired=deadline_expired)
+        rate = (wins + 1.0) / (runs + 2.0)
+        multiplier = min(LANE_TUNE_MAX, max(LANE_TUNE_MIN, 2.0 * rate))
+        kept.append(spec)
+        budgets[spec.name] = max(1, int(round(slice_expansions
+                                              * multiplier)))
+    if not kept:
+        return ordered, {s.name: slice_expansions for s in ordered}
+    return tuple(kept), budgets
 
 
 # ----------------------------------------------------------------------

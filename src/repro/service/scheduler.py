@@ -1,0 +1,224 @@
+"""Cross-request expansion scheduler: many requests, one search process.
+
+The single-request service finishes one synthesis before reading the
+next, so a heavy request blocks every caller behind it.  This module is
+the other half of the PR-5 stepwise-engine bargain: because every lane
+is a pausable :class:`~repro.core.engine.EngineRun`, one process can
+fair-share expansion slices across *all lanes of all in-flight
+requests* instead of dedicating itself to one.
+
+Two pieces:
+
+* :class:`RequestSession` — one admitted request: its
+  :class:`~repro.service.portfolio.LaneScheduler` (the portfolio lanes
+  as stepwise runs), its reply callback, its client token, and its
+  absolute deadline.
+* :class:`RequestScheduler` — the global turn-taking policy.  Each
+  ``run_turn`` picks one session and advances *all its active lanes by
+  one slice* (``LaneScheduler.run_round``), so a session's internal
+  schedule — lane order, incumbent broadcasts, proof cancellation — is
+  exactly the single-request interleaved portfolio's, which is what
+  keeps concurrent costs identical to serial runs.  Across sessions the
+  pick is earliest-deadline-first with a fairness stride: every
+  ``fairness_stride``-th turn goes to the round-robin queue of
+  undeadlined sessions, so deadlined traffic can never starve a request
+  that asked for a full search.
+
+Admission control is the caller's responsibility via :attr:`full` /
+:meth:`submit` (the service answers ``ok: false, busy: true`` beyond
+the cap); per-client cancellation (:meth:`cancel_client`) aborts every
+session a disconnected client still has in flight without recording
+lane statistics for them; :meth:`drain` is the graceful-shutdown path —
+run the backlog down within a wall-clock budget, then deadline-flush
+whatever is left so every pending caller still gets its best-so-far
+answer.
+
+The scheduler is deliberately synchronous and single-threaded: the
+asyncio front end (:mod:`repro.service.asyncserver`) interleaves
+``run_turn`` calls with socket I/O on one event loop, and the engine
+memory is only ever touched from that loop — no locks, no data races,
+and every run stays attached to the one shared
+:class:`~repro.core.memory.SearchMemory`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.constants import (
+    SCHEDULER_FAIRNESS_STRIDE,
+    SERVICE_MAX_INFLIGHT,
+    SHUTDOWN_DRAIN_MS,
+)
+from repro.service.portfolio import LaneScheduler, PortfolioOutcome
+from repro.states.qstate import QState
+from repro.utils.timing import Stopwatch
+
+__all__ = ["RequestSession", "RequestScheduler"]
+
+
+@dataclass
+class RequestSession:
+    """One admitted ``exact`` request riding the cross-request scheduler."""
+
+    rid: object
+    request: dict
+    state: QState
+    lanes: LaneScheduler
+    #: called with the final response dict (exactly once, unless the
+    #: session is aborted by client cancellation first)
+    reply: Callable[[dict], None]
+    #: service hook ``(session, outcome) -> response`` run at settlement
+    #: (cache put, WAL append, response building live in the service)
+    on_settle: Callable[["RequestSession", PortfolioOutcome], dict]
+    #: opaque connection token for per-client cancellation
+    client: object | None = None
+    #: admission wall-clock start (``seconds`` in the response)
+    start: float = field(default_factory=time.perf_counter)
+    #: admission order (set by the scheduler; EDF tie-break + RR order)
+    seq: int = 0
+    #: absolute monotonic deadline (set by the scheduler; EDF key)
+    deadline_at: float | None = None
+    #: turns this session has been picked for (fairness accounting)
+    turns: int = 0
+
+
+class RequestScheduler:
+    """Fair-share turn-taking across all in-flight request sessions."""
+
+    def __init__(self, max_inflight: int = SERVICE_MAX_INFLIGHT,
+                 fairness_stride: int = SCHEDULER_FAIRNESS_STRIDE) -> None:
+        self.max_inflight = max(1, int(max_inflight))
+        self.fairness_stride = max(2, int(fairness_stride))
+        self.sessions: list[RequestSession] = []
+        self.turns = 0
+        self.settled = 0
+        self.cancelled = 0
+        self.peak_inflight = 0
+        self._seq = 0
+        self._rr = 0
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def pending(self) -> bool:
+        return bool(self.sessions)
+
+    @property
+    def full(self) -> bool:
+        """At the admission cap — the next submit must be rejected."""
+        return len(self.sessions) >= self.max_inflight
+
+    def submit(self, session: RequestSession) -> bool:
+        """Register a session; ``False`` (untouched) beyond the cap."""
+        if self.full:
+            return False
+        self._seq += 1
+        session.seq = self._seq
+        if session.lanes.deadline is not None:
+            session.deadline_at = time.monotonic() + \
+                session.lanes.deadline.limit_seconds
+        self.sessions.append(session)
+        self.peak_inflight = max(self.peak_inflight, len(self.sessions))
+        return True
+
+    def cancel_client(self, client: object) -> int:
+        """Abort every in-flight session of one client (disconnect)."""
+        mine = [s for s in self.sessions if s.client is client]
+        for session in mine:
+            self.sessions.remove(session)
+            session.lanes.abort()
+            self.cancelled += 1
+        return len(mine)
+
+    # -- turn taking -----------------------------------------------------
+
+    def _pick(self) -> RequestSession | None:
+        """EDF among deadlined sessions, strided RR among the rest.
+
+        Deterministic given the admission sequence: the EDF tie-break is
+        admission order, the RR cursor advances only when the stride
+        turn actually lands on an undeadlined session, and both queues
+        preserve admission order — two runs over the same request trace
+        schedule identically.
+        """
+        if not self.sessions:
+            return None
+        deadlined = [s for s in self.sessions if s.deadline_at is not None]
+        undeadlined = [s for s in self.sessions if s.deadline_at is None]
+        self.turns += 1
+        if undeadlined and (not deadlined or
+                            self.turns % self.fairness_stride == 0):
+            session = undeadlined[self._rr % len(undeadlined)]
+            self._rr += 1
+            return session
+        if deadlined:
+            return min(deadlined, key=lambda s: (s.deadline_at, s.seq))
+        return None
+
+    def run_turn(self) -> bool:
+        """Advance one session by one lane round; ``True`` if work ran.
+
+        A session whose schedule ends this turn (proved, exhausted, or
+        deadline-expired) is settled immediately: outcome collected,
+        service settle hook run, reply delivered.  A settle-hook or
+        reply failure is converted into an error reply / swallowed
+        rather than taking the scheduler (and every other session) down.
+        """
+        session = self._pick()
+        if session is None:
+            return False
+        session.turns += 1
+        if not session.lanes.run_round():
+            self._settle(session)
+        return True
+
+    def _settle(self, session: RequestSession) -> None:
+        self.sessions.remove(session)
+        self.settled += 1
+        outcome = session.lanes.finish()
+        try:
+            response = session.on_settle(session, outcome)
+        except Exception as exc:  # the hook must not sink other sessions
+            response = {"id": session.rid, "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            session.reply(response)
+        except Exception:  # client gone mid-settle: nothing left to tell
+            pass
+
+    def drain(self, deadline_ms: float = SHUTDOWN_DRAIN_MS) -> int:
+        """Graceful shutdown: finish the backlog, flush what will not.
+
+        Runs normal turns for up to ``deadline_ms`` of wall clock, then
+        force-expires the remaining sessions — each settles through the
+        anytime path (best feasible circuit so far, beam completion
+        tails flushed, response marked ``deadline_expired``) so every
+        pending caller is answered before the process exits.  Returns
+        the number of sessions that had to be force-flushed.
+        """
+        budget = Stopwatch(max(0.0, deadline_ms) / 1000.0)
+        while self.sessions and not budget.expired():
+            if not self.run_turn():
+                break
+        flushed = 0
+        for session in list(self.sessions):
+            session.lanes.deadline_expired = True
+            self._settle(session)
+            flushed += 1
+        return flushed
+
+    def snapshot(self) -> dict:
+        """Scheduler counters for the ``stats`` op / bench reports."""
+        return {
+            "inflight": len(self.sessions),
+            "peak_inflight": self.peak_inflight,
+            "turns": self.turns,
+            "settled": self.settled,
+            "cancelled": self.cancelled,
+            "max_inflight": self.max_inflight,
+            "fairness_stride": self.fairness_stride,
+        }

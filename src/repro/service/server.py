@@ -1,17 +1,40 @@
 """The long-lived synthesis service behind ``repro-qsp serve``/``batch``.
 
-One :class:`SynthesisService` owns the three cooperating parts of the
-service layer and runs the request-level orchestration:
+One :class:`SynthesisService` owns the cooperating parts of the service
+layer and runs the request-level orchestration:
 
 1. a process-lifetime :class:`~repro.core.memory.SearchMemory`, optionally
-   warm-started from an on-disk snapshot (family runs produce these);
+   warm-started from an on-disk snapshot (family runs produce these) or —
+   with a WAL configured — from the WAL's compacted snapshot plus its
+   replayed per-request delta records;
 2. the engine portfolio (:mod:`repro.service.portfolio`) for exact
    synthesis requests — sequential incumbent-threading by default,
    multi-process first-optimal-wins racing when configured;
 3. a :class:`~repro.service.cache.RequestCache` so repeated traffic for
-   the same target returns the synthesized circuit without searching.
+   the same target returns the synthesized circuit without searching;
+4. a :class:`~repro.service.scheduler.RequestScheduler` so *many*
+   requests can be in flight at once (the concurrent serving model).
 
-Requests are JSON objects (one per line on the wire)::
+**Two request paths.**  :meth:`SynthesisService.handle` is the
+synchronous one-request-at-a-time path (stdin serving, tests, batch
+admission) — unchanged semantics, one response per call.
+:meth:`SynthesisService.submit` is the non-blocking admission path the
+concurrent front end (:mod:`repro.service.asyncserver`, ``serve
+--listen``) drives: it parses and validates the request, answers cache
+hits, control ops, and errors immediately through the reply callback,
+and otherwise registers a :class:`~repro.service.scheduler
+.RequestSession` — the portfolio lanes as stepwise
+:class:`~repro.core.engine.EngineRun` s — with the global scheduler,
+which fair-shares expansion slices across all lanes of all in-flight
+requests (earliest-deadline-first, round-robin among undeadlined
+requests, per-client cancellation).  Admission is bounded: beyond
+``max_inflight`` searching sessions the service answers ``ok: false,
+busy: true`` instead of queueing without limit.  Within one session the
+lane schedule is identical to the single-request interleaved portfolio,
+so concurrency never changes a request's cost.
+
+Requests are JSON objects (one per line on the wire, stdin and socket
+alike)::
 
     {"id": 1, "op": "prepare", "dicke": [4, 2]}
     {"id": 2, "op": "exact", "w": 4, "return_circuit": true}
@@ -30,7 +53,11 @@ workflow — :func:`repro.qsp.workflow.prepare_state` wired through the
 service memory — while ``op: exact`` runs the engine portfolio directly
 on the (small) target.  Responses mirror the request ``id`` and carry
 ``ok``, ``cnot_cost``, optimality flags, ``cached``, ``seconds``, and the
-circuit when ``return_circuit`` is set.
+circuit when ``return_circuit`` is set.  On the socket front end
+responses arrive *out of request order* (a light request overtakes a
+heavy one) — match them by ``id``.  ``prepare`` requests run inline at
+admission (the workflow is not stepwise yet — ROADMAP); ``exact`` is the
+op the scheduler time-shares.
 
 ``exact`` requests may carry a wall-clock budget ``deadline_ms`` (or the
 service may set a default via ``serve --deadline-ms``): the interleaved
@@ -40,18 +67,30 @@ engine lanes in this process, shares every feasible cost as a live
 branch-and-bound incumbent, cancels everything at the first proven
 optimum, and at the deadline returns the best feasible circuit found so
 far (``deadline_expired: true``, never cached) instead of an error.
+Under the concurrent front end a deadline also sets the request's EDF
+priority, and keeps running while other sessions hold the CPU — it is a
+caller-facing latency bound, not a CPU budget.
+
+**Persistence.**  ``op: snapshot`` writes a full memory snapshot on
+demand; ``serve --wal FILE`` keeps an incremental write-ahead log
+instead (:class:`~repro.service.persistence.MemoryWAL`): each settled
+request appends the delta the memory just learned, boot replays the log
+on top of its compacted sidecar snapshot, and compaction (every
+``--wal-compact-every`` records, and at shutdown) folds everything back
+into a fresh full snapshot — so a crash costs at most the record being
+written.  ``op: cache_snapshot`` (or ``serve --cache-snapshot`` at
+shutdown) persists the exact-hit request cache the same way.  All of it
+is gated by format-version + regime-fingerprint checks.
 
 A service boots against at most one device topology
 (``ServiceConfig.search.topology``, CLI ``--topology ...
 --topology-size ...``): synthesis then runs topology-natively and the
-memory, snapshots, and request cache are fingerprint-pinned to that
-device.  A request may state its device (``"topology"``: a family name
-sized by the request's register, or a canonical ``{size, edges}`` dict);
-a mismatch with the service device is answered with a loud
+memory, snapshots, WAL, and request cache are fingerprint-pinned to
+that device.  A request may state its device (``"topology"``: a family
+name sized by the request's register, or a canonical ``{size, edges}``
+dict); a mismatch with the service device is answered with a loud
 ``MemoryCompatibilityError`` instead of entries computed for another
-coupling map.  ``op: cache_snapshot`` (or ``serve --cache-snapshot`` at
-shutdown) persists the exact-hit request cache next to the memory
-snapshot, gated by the same fingerprint + format-version checks.
+coupling map.
 """
 
 from __future__ import annotations
@@ -61,22 +100,31 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro.constants import SERVICE_REQUEST_CACHE_CAP
+from repro.constants import (
+    SERVICE_MAX_INFLIGHT,
+    SERVICE_REQUEST_CACHE_CAP,
+    SHUTDOWN_DRAIN_MS,
+    WAL_COMPACT_INTERVAL,
+)
 from repro.core.astar import SearchConfig, SearchResult
 from repro.core.kernel import StatePool
 from repro.core.memory import SearchMemory
 from repro.exceptions import MemoryCompatibilityError
 from repro.qsp.config import QSPConfig
 from repro.service.cache import RequestCache
-from repro.service.persistence import load_memory_snapshot, \
+from repro.service.persistence import MemoryWAL, load_memory_snapshot, \
     save_memory_snapshot
 from repro.service.portfolio import (
     EngineSpec,
+    LaneScheduler,
+    autotune_specs,
     default_portfolio,
+    order_specs,
     race_portfolio,
     run_batch,
     run_mode_portfolio,
 )
+from repro.service.scheduler import RequestScheduler, RequestSession
 from repro.states.families import dicke_state, ghz_state, w_state
 from repro.states.qstate import QState
 from repro.utils.fingerprint import fingerprint_from_dict, \
@@ -87,7 +135,8 @@ from repro.utils.serialization import (
     state_from_dict,
 )
 
-__all__ = ["ServiceConfig", "SynthesisService", "serve_loop"]
+__all__ = ["ServiceConfig", "SynthesisService", "serve_loop",
+           "parse_request_line"]
 
 
 @dataclass
@@ -125,6 +174,23 @@ class ServiceConfig:
     #: implies) returns the best feasible circuit found so far instead of
     #: an error; a request's own ``deadline_ms`` field overrides this
     deadline_ms: float | None = None
+    #: incremental snapshot WAL (``serve --wal``): learned-memory deltas
+    #: appended per settled request, replayed on boot, compacted on an
+    #: interval and at shutdown.  The WAL's compacted sidecar snapshot
+    #: wins over ``snapshot_path`` at boot (the latter only seeds the
+    #: very first boot).
+    wal_path: str | None = None
+    wal_compact_interval: int = WAL_COMPACT_INTERVAL
+    #: admission cap of the cross-request scheduler (``serve
+    #: --max-inflight``): searching sessions in flight at once; requests
+    #: beyond it are answered ``ok: false, busy: true``
+    max_inflight: int = SERVICE_MAX_INFLIGHT
+    #: derive the concurrent scheduler's per-lane slice budgets (and drop
+    #: chronically losing lanes) from persisted ``lane_stats`` history
+    #: (:func:`repro.service.portfolio.autotune_specs`).  Applies to
+    #: scheduler sessions only — the single-request paths keep their
+    #: historical schedules bit-identical.
+    autotune_lanes: bool = True
 
     def __post_init__(self) -> None:
         if self.portfolio_mode not in ("sequential", "interleaved"):
@@ -145,7 +211,17 @@ class SynthesisService:
         # disconnected map fails here, not at the first request
         self.config.search.topology = \
             native_topology(self.config.search.topology)
-        if self.config.snapshot_path is not None:
+        self.wal: MemoryWAL | None = None
+        if self.config.wal_path is not None:
+            # the WAL's compacted sidecar + replayed records win over the
+            # plain snapshot, which only seeds the very first boot
+            fallback = self.config.snapshot_path
+            if fallback is not None and not os.path.exists(fallback):
+                fallback = None
+            self.memory, self.wal = MemoryWAL.boot(
+                self.config.wal_path, fallback_snapshot=fallback,
+                compact_interval=self.config.wal_compact_interval)
+        elif self.config.snapshot_path is not None:
             self.memory = load_memory_snapshot(self.config.snapshot_path)
         else:
             self.memory = SearchMemory()
@@ -165,9 +241,12 @@ class SynthesisService:
                                                 cap=self.config.cache_cap)
             else:
                 self.cache = RequestCache(regime, self.config.cache_cap)
+        self.scheduler = RequestScheduler(
+            max_inflight=self.config.max_inflight)
         self.requests = 0
         self.cache_hits = 0
         self.errors = 0
+        self.busy_rejections = 0
 
     def save_cache_snapshot(self, path=None) -> str | None:
         """Persist the request cache (no-op without a cache or a path)."""
@@ -286,6 +365,7 @@ class SynthesisService:
                                    topology=self.config.search.topology)
             if self.cache is not None:
                 self.cache.put("prepare", state, result)
+            self._wal_record()
         else:
             self.cache_hits += 1
         response = {"id": rid, "ok": True, "op": "prepare",
@@ -302,55 +382,156 @@ class SynthesisService:
     def _handle_exact(self, rid, state: QState, request: dict) -> dict:
         start = time.perf_counter()
         deadline_ms = self._request_deadline(request)
-        result = None
-        cached = False
-        engine = "cache"
-        deadline_expired = False
         if self.cache is not None:
             result = self.cache.get("exact", state)
-            cached = result is not None
-        if result is None:
-            if self.config.race_workers >= 2 and deadline_ms is None:
-                # racing cannot honor a wall-clock cutoff with a
-                # best-so-far answer, so a request that carries a
-                # deadline falls through to the interleaved scheduler
-                # instead of silently losing its deadline
-                outcome = race_portfolio(
-                    state, self.config.search, self.config.specs,
-                    snapshot_path=self.config.snapshot_path,
-                    memory=self.memory)
-            else:
-                outcome = run_mode_portfolio(
-                    state, self.config.search, self.config.specs,
-                    self.memory, self.config.portfolio_mode, deadline_ms)
-            deadline_expired = outcome.deadline_expired
-            if not outcome.solved:
-                response = {"id": rid, "ok": False, "op": "exact",
-                            "lower_bound": outcome.lower_bound,
-                            "error": "no portfolio lane produced a "
-                                     "circuit within budget"}
-                if deadline_expired:
-                    response["deadline_expired"] = True
-                return response
-            result = outcome.result
-            engine = outcome.winner
-            if self.cache is not None and not deadline_expired:
-                # a deadline-truncated answer reflects a wall-clock
-                # cutoff, not the request's search budgets — caching it
-                # would serve the truncation to later, unhurried requests
-                self.cache.put("exact", state, result)
+            if result is not None:
+                self.cache_hits += 1
+                return self._cached_exact_response(rid, request, result,
+                                                   start)
+        if self.config.race_workers >= 2 and deadline_ms is None:
+            # racing cannot honor a wall-clock cutoff with a
+            # best-so-far answer, so a request that carries a
+            # deadline falls through to the interleaved scheduler
+            # instead of silently losing its deadline
+            outcome = race_portfolio(
+                state, self.config.search, self.config.specs,
+                snapshot_path=self.config.snapshot_path,
+                memory=self.memory)
         else:
-            self.cache_hits += 1
+            outcome = run_mode_portfolio(
+                state, self.config.search, self.config.specs,
+                self.memory, self.config.portfolio_mode, deadline_ms)
+        return self._finish_exact(rid, request, state, outcome, start)
+
+    def _cached_exact_response(self, rid, request: dict,
+                               result: SearchResult, start: float) -> dict:
         response = {"id": rid, "ok": True, "op": "exact",
                     "cnot_cost": result.cnot_cost,
-                    "optimal": result.optimal, "engine": engine,
-                    "cached": cached,
+                    "optimal": result.optimal, "engine": "cache",
+                    "cached": True,
+                    "seconds": round(time.perf_counter() - start, 6)}
+        if request.get("return_circuit"):
+            response["circuit"] = circuit_to_dict(result.circuit)
+        return response
+
+    def _finish_exact(self, rid, request: dict, state: QState,
+                      outcome, start: float) -> dict:
+        """Portfolio outcome → response: the settle path shared by the
+        synchronous exact handler and the cross-request scheduler
+        (cache put, WAL append, response shape all live here, so the two
+        paths can never drift apart)."""
+        deadline_expired = outcome.deadline_expired
+        if not outcome.solved:
+            self._wal_record()
+            response = {"id": rid, "ok": False, "op": "exact",
+                        "lower_bound": outcome.lower_bound,
+                        "error": "no portfolio lane produced a "
+                                 "circuit within budget"}
+            if deadline_expired:
+                response["deadline_expired"] = True
+            return response
+        result = outcome.result
+        if self.cache is not None and not deadline_expired:
+            # a deadline-truncated answer reflects a wall-clock
+            # cutoff, not the request's search budgets — caching it
+            # would serve the truncation to later, unhurried requests
+            self.cache.put("exact", state, result)
+        self._wal_record()
+        response = {"id": rid, "ok": True, "op": "exact",
+                    "cnot_cost": result.cnot_cost,
+                    "optimal": result.optimal, "engine": outcome.winner,
+                    "cached": False,
                     "seconds": round(time.perf_counter() - start, 6)}
         if deadline_expired:
             response["deadline_expired"] = True
         if request.get("return_circuit"):
             response["circuit"] = circuit_to_dict(result.circuit)
         return response
+
+    def _wal_record(self) -> None:
+        """Append what the memory just learned to the WAL (if configured)."""
+        if self.wal is not None:
+            self.wal.record_learned()
+
+    # -- concurrent admission path ---------------------------------------
+
+    def submit(self, request: dict, reply, client: object = None) -> bool:
+        """Non-blocking admission for the concurrent front end.
+
+        Control ops, ``prepare`` (the workflow is not stepwise),
+        parse/validation errors, and cache hits are answered immediately
+        through ``reply`` and the method returns ``False``.  An ``exact``
+        cache miss registers a :class:`RequestSession` with the
+        scheduler and returns ``True`` — the reply arrives later, when
+        the scheduler settles the session.  Beyond the admission cap the
+        request is answered ``ok: false, busy: true`` right away.
+        """
+        rid = request.get("id")
+        op = request.get("op", "prepare")
+        if op != "exact":
+            reply(self.handle(request))
+            return False
+        self.requests += 1
+        start = time.perf_counter()
+        try:
+            state = self._parse_state(request)
+            self._check_topology(request, state)
+            deadline_ms = self._request_deadline(request)
+        except Exception as exc:
+            self.errors += 1
+            reply({"id": rid, "ok": False,
+                   "error": f"{type(exc).__name__}: {exc}"})
+            return False
+        if self.cache is not None:
+            result = self.cache.get("exact", state)
+            if result is not None:
+                self.cache_hits += 1
+                reply(self._cached_exact_response(rid, request, result,
+                                                  start))
+                return False
+        if self.scheduler.full:
+            self.busy_rejections += 1
+            reply({"id": rid, "ok": False, "busy": True, "op": "exact",
+                   "error": f"service at max in-flight requests "
+                            f"({self.scheduler.max_inflight})"})
+            return False
+        if self.config.autotune_lanes:
+            specs, budgets = autotune_specs(self.config.specs, self.memory)
+        else:
+            specs = order_specs(self.config.specs, self.memory)
+            budgets = None
+        lanes = LaneScheduler(state, self.config.search, specs,
+                              memory=self.memory, deadline_ms=deadline_ms,
+                              slice_budgets=budgets, tag=rid)
+        session = RequestSession(rid=rid, request=request, state=state,
+                                 lanes=lanes, reply=reply,
+                                 on_settle=self._settle_session,
+                                 client=client, start=start)
+        self.scheduler.submit(session)
+        return True
+
+    def _settle_session(self, session: RequestSession, outcome) -> dict:
+        """Scheduler settle hook: same finish path as the sync handler."""
+        return self._finish_exact(session.rid, session.request,
+                                  session.state, outcome, session.start)
+
+    def shutdown(self, drain_ms: float = SHUTDOWN_DRAIN_MS) -> dict:
+        """Graceful shutdown: drain sessions, compact the WAL, persist.
+
+        In-flight sessions get ``drain_ms`` of wall clock to finish
+        normally; whatever remains is deadline-flushed (every pending
+        caller still receives its best-so-far answer).  The WAL is then
+        compacted into a final full snapshot and closed, and the request
+        cache persisted — a warm boot starts exactly where this process
+        stopped.
+        """
+        flushed = self.scheduler.drain(drain_ms)
+        if self.wal is not None:
+            self.wal.close()  # compacts into the sidecar snapshot
+        cache_path = self.save_cache_snapshot()
+        return {"drained": flushed, "cache_snapshot": cache_path,
+                "wal_snapshot": None if self.wal is None
+                else str(self.wal.snapshot_path)}
 
     def stats(self) -> dict:
         """Service counters (also served as the ``stats`` op)."""
@@ -359,10 +540,13 @@ class SynthesisService:
             "requests": self.requests,
             "cache_hits": self.cache_hits,
             "errors": self.errors,
+            "busy_rejections": self.busy_rejections,
             "topology": None if topology is None
             else topology.to_canonical_dict(),
             "cache": None if self.cache is None else self.cache.snapshot(),
             "memory": self.memory.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "wal": None if self.wal is None else self.wal.snapshot(),
         }
 
     # -- batch mode ------------------------------------------------------
@@ -470,6 +654,7 @@ class SynthesisService:
                     if with_circuit and "circuit" in row:
                         out["circuit"] = row["circuit"]
                     rows[pos] = out
+        self._wal_record()  # worker deltas just merged into the memory
         solved = sum(1 for row in rows.values() if row.get("ok"))
         with open(out_path, "w", encoding="utf-8") as handle:
             for pos in sorted(rows):
@@ -488,12 +673,29 @@ class SynthesisService:
         return row
 
 
+def parse_request_line(line: str) -> dict:
+    """One wire line → request dict; raises ``ValueError`` on bad input.
+
+    Shared by the stdin loop and the socket front end so the two
+    protocols reject exactly the same garbage with the same message.
+    """
+    request = json.loads(line)
+    if not isinstance(request, dict):
+        raise ValueError(f"request must be a JSON object, got "
+                         f"{type(request).__name__}")
+    return request
+
+
 def serve_loop(service: SynthesisService, in_stream, out_stream) -> int:
     """The ``repro-qsp serve`` request loop: JSONL in, JSONL out.
 
     Runs until the input stream ends or a ``shutdown`` op arrives; every
     input line produces exactly one output line, errors included, so a
     pipelined client can match responses by position as well as by id.
+    Nothing a client sends can take the loop down: malformed JSON, an
+    unknown ``op``, and even an unexpected exception escaping the
+    handler all turn into an ``ok: false`` response (echoing the request
+    ``id`` when one was parsed) and the loop reads on.
     Returns the number of requests handled.
     """
     handled = 0
@@ -502,11 +704,7 @@ def serve_loop(service: SynthesisService, in_stream, out_stream) -> int:
         if not line:
             continue
         try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError(
-                    f"request must be a JSON object, got "
-                    f"{type(request).__name__}")
+            request = parse_request_line(line)
         except ValueError as exc:
             response: dict = {"ok": False,
                               "error": f"bad request line: {exc}"}
@@ -519,7 +717,15 @@ def serve_loop(service: SynthesisService, in_stream, out_stream) -> int:
                 out_stream.flush()
                 handled += 1
                 break
-            response = service.handle(request)
+            try:
+                response = service.handle(request)
+            except Exception as exc:
+                # handle() already converts request-level failures; this
+                # is the last-resort guard for handler bugs — the server
+                # must outlive any single request
+                service.errors += 1
+                response = {"id": request.get("id"), "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
         handled += 1
         out_stream.write(json.dumps(response) + "\n")
         out_stream.flush()

@@ -42,7 +42,7 @@ from repro.circuits.gates import (
     RZGate,
     XGate,
 )
-from repro.constants import MEMORY_SNAPSHOT_VERSION
+from repro.constants import MEMORY_SNAPSHOT_VERSION, MEMORY_WAL_VERSION
 from repro.exceptions import MemoryCompatibilityError, ReproError
 from repro.states.qstate import QState
 
@@ -59,6 +59,10 @@ __all__ = [
     "memory_to_dict",
     "memory_from_dict",
     "memory_merge_dict",
+    "wal_header_to_dict",
+    "wal_header_check",
+    "wal_record_to_dict",
+    "wal_record_from_dict",
     "dumps",
     "loads",
 ]
@@ -244,6 +248,7 @@ def memory_baseline(memory) -> dict[str, Any]:
         "transposition_data": len(memory.transposition.data),
         "transposition_cond": len(memory.transposition.cond),
         "transposition_evictions": memory.transposition.evictions,
+        "transposition_improved": memory.transposition.improve_marker(),
         "lane_stats": {name: dict(row)
                        for name, row in memory.lane_stats.items()},
     }
@@ -281,7 +286,12 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
     ships home, a small fraction of a snapshot-seeded memory.  All
     containers are insertion-ordered, so the delta is a suffix slice;
     in-place improvements of pre-existing transposition entries are
-    deliberately not re-shipped (stores only deduplicate recomputation).
+    folded back in via the table's improvement logs (see
+    :meth:`~repro.core.memory.TranspositionTable.improve_marker`), so
+    merging a delta reproduces the source memory exactly — the property
+    the service WAL's replay-equals-snapshot guarantee rests on.  When
+    the logs overflowed (or an eviction sweep ran) since the baseline,
+    the delta falls back to shipping the whole capped table.
 
     Raises :class:`MemoryCompatibilityError` if the memory's heuristic
     has no importable name (such a memory cannot cross processes).
@@ -294,19 +304,43 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
     transposition = memory.transposition
     canon_since = h_since = None
     skip_data = skip_cond = 0
+    improved_data: list = []
+    improved_cond: list = []
     lane_stats = {name: dict(row) for name, row in memory.lane_stats.items()}
     if since is not None:
         canon_since = tuple(since["canon_store"])
         h_since = tuple(since["h_store"])
-        # budget-weighted eviction deletes arbitrary positions, which
-        # invalidates any positional skip — after a sweep the only safe
-        # delta is the whole (capped) table
-        if memory.transposition.evictions == \
-                since["transposition_evictions"]:
+        # budget-weighted eviction deletes arbitrary positions, and an
+        # improvement-log overflow clears the logs — either invalidates
+        # the positional skips, and the only safe delta is the whole
+        # (capped) table
+        imp = since.get("transposition_improved")
+        if (transposition.evictions == since["transposition_evictions"]
+                and imp is not None
+                and int(imp[2]) == transposition.improve_overflows):
             skip_data = int(since["transposition_data"])
             skip_cond = int(since["transposition_cond"])
+            improved_data = list(dict.fromkeys(
+                islice(transposition.improved_data, int(imp[0]), None)))
+            improved_cond = list(dict.fromkeys(
+                islice(transposition.improved_cond, int(imp[1]), None)))
         lane_stats = _lane_stats_delta(lane_stats,
                                        since.get("lane_stats", {}))
+    data_items = list(islice(transposition.data.items(), skip_data, None))
+    if improved_data:
+        # keys inserted after the baseline already carry their current
+        # (improved) value in the suffix slice; only improvements to
+        # pre-baseline entries need folding in
+        suffix_keys = {key for key, _ in data_items}
+        data_items.extend(
+            (key, transposition.data[key]) for key in improved_data
+            if key not in suffix_keys and key in transposition.data)
+    cond_items = list(islice(transposition.cond.items(), skip_cond, None))
+    if improved_cond:
+        suffix_keys = {key for key, _ in cond_items}
+        cond_items.extend(
+            (key, transposition.cond[key]) for key in improved_cond
+            if key not in suffix_keys and key in transposition.cond)
     return {
         "kind": "search_memory",
         "version": MEMORY_SNAPSHOT_VERSION,
@@ -329,14 +363,11 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
             "generation": transposition.generation,
             "data": [[_canon_key_enc(key), budget,
                       transposition.data_gen.get(key, 0)]
-                     for key, budget in islice(transposition.data.items(),
-                                               skip_data, None)],
+                     for key, budget in data_items],
             "cond": [[_canon_key_enc(key), budget,
                       [_canon_key_enc(c) for c in required],
                       transposition.cond_gen.get(key, 0)]
-                     for key, (budget, required)
-                     in islice(transposition.cond.items(),
-                               skip_cond, None)],
+                     for key, (budget, required) in cond_items],
         },
         "lane_stats": lane_stats,
     }
@@ -449,6 +480,80 @@ def memory_merge_dict(memory, data: dict[str, Any]) -> None:
     if data.get("fingerprint") is not None:
         memory.pin(fingerprint_from_dict(data["fingerprint"]))
     _fill_memory(memory, data)
+
+
+# ----------------------------------------------------------------------
+# Memory-WAL records (service-layer incremental persistence)
+# ----------------------------------------------------------------------
+#
+# The service's write-ahead log is a JSONL file: one header line followed
+# by one record per settled request.  The codec lives here next to the
+# snapshot codec it wraps; the file handling (append/replay/compaction)
+# is :class:`repro.service.persistence.MemoryWAL`.
+
+
+def wal_header_to_dict(fingerprint) -> dict[str, Any]:
+    """Header line of a memory WAL (version + regime fingerprint)."""
+    from repro.utils.fingerprint import fingerprint_to_dict
+
+    return {
+        "kind": "memory_wal",
+        "version": MEMORY_WAL_VERSION,
+        "fingerprint": (None if fingerprint is None
+                        else fingerprint_to_dict(fingerprint)),
+    }
+
+
+def wal_header_check(data: Any) -> Any:
+    """Validate a WAL header line; return its fingerprint (or ``None``).
+
+    Raises :class:`MemoryCompatibilityError` on anything other than a
+    well-formed header of the supported version — a WAL from a different
+    build must never be replayed into a live memory.
+    """
+    from repro.utils.fingerprint import fingerprint_from_dict
+
+    if not isinstance(data, dict) or data.get("kind") != "memory_wal":
+        raise MemoryCompatibilityError(
+            f"not a memory WAL header: "
+            f"{data.get('kind') if isinstance(data, dict) else data!r}")
+    version = data.get("version")
+    if version != MEMORY_WAL_VERSION:
+        raise MemoryCompatibilityError(
+            f"memory WAL format version {version!r} is not readable by "
+            f"this build (expected {MEMORY_WAL_VERSION}); remove or "
+            f"compact the log with the build that wrote it")
+    fp = data.get("fingerprint")
+    if fp is None:
+        return None
+    try:
+        return fingerprint_from_dict(fp)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted WAL header fingerprint: {exc!r}") from exc
+
+
+def wal_record_to_dict(seq: int, delta: dict[str, Any]) -> dict[str, Any]:
+    """One WAL record: a sequence number plus a memory-delta snapshot."""
+    return {"kind": "memory_wal_record", "seq": int(seq), "delta": delta}
+
+
+def wal_record_from_dict(data: Any) -> tuple[int, dict[str, Any]]:
+    """Inverse of :func:`wal_record_to_dict` → ``(seq, delta)``."""
+    if not isinstance(data, dict) or data.get("kind") != "memory_wal_record":
+        raise MemoryCompatibilityError(
+            f"not a memory WAL record: "
+            f"{data.get('kind') if isinstance(data, dict) else data!r}")
+    try:
+        seq = int(data["seq"])
+        delta = data["delta"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise MemoryCompatibilityError(
+            f"corrupted WAL record: {exc!r}") from exc
+    if not isinstance(delta, dict):
+        raise MemoryCompatibilityError(
+            f"corrupted WAL record delta: {type(delta).__name__}")
+    return seq, delta
 
 
 def dumps(obj: QState | QCircuit, indent: int | None = None) -> str:

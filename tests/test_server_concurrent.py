@@ -1,0 +1,498 @@
+"""Concurrent serving: cross-request scheduler, WAL, async front end.
+
+Covers the concurrent-model acceptance criteria: N concurrent requests
+finish with costs identical to serial execution, earliest-deadline-first
+ordering under mixed deadlines, mid-run cancellation frees its lanes,
+admission control rejects beyond the cap, WAL replay reproduces the
+full-snapshot state, and a server killed mid-burst shuts down
+gracefully (drained answers, compacted WAL, exit 0) and warm-boots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.astar import SearchConfig
+from repro.core.memory import SearchMemory
+from repro.service.persistence import MemoryWAL, save_memory_snapshot, \
+    load_memory_snapshot
+from repro.service.portfolio import autotune_specs, default_portfolio
+from repro.service.scheduler import RequestScheduler, RequestSession
+from repro.service.server import ServiceConfig, SynthesisService, serve_loop
+from repro.utils.serialization import memory_baseline, memory_to_dict, \
+    memory_merge_dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _config(**kwargs) -> ServiceConfig:
+    kwargs.setdefault("search", SearchConfig(max_nodes=50_000,
+                                             time_limit=20.0))
+    kwargs.setdefault("portfolio_mode", "interleaved")
+    return ServiceConfig(**kwargs)
+
+
+def _requests():
+    return [
+        {"id": "w4", "op": "exact", "w": 4},
+        {"id": "ghz4", "op": "exact", "ghz": 4},
+        {"id": "d42", "op": "exact", "dicke": [4, 2]},
+        {"id": "w5", "op": "exact", "w": 5},
+        {"id": "d52", "op": "exact", "dicke": [5, 2]},
+    ]
+
+
+def _drive(service: SynthesisService, requests, client=None):
+    """Submit everything up front, then run the scheduler dry."""
+    replies: list[dict] = []
+    for request in requests:
+        service.submit(request, replies.append, client=client)
+    while service.scheduler.pending:
+        service.scheduler.run_turn()
+    return {r["id"]: r for r in replies}
+
+
+# ----------------------------------------------------------------------
+# concurrent == serial
+# ----------------------------------------------------------------------
+
+class TestConcurrentEqualsSerial:
+    def test_costs_identical_to_serial(self):
+        serial = SynthesisService(_config(use_cache=False))
+        rows = {r["id"]: serial.handle(r) for r in _requests()}
+        concurrent = SynthesisService(_config(use_cache=False))
+        got = _drive(concurrent, _requests())
+        assert set(got) == set(rows)
+        assert concurrent.scheduler.peak_inflight == len(rows)
+        for rid, row in rows.items():
+            assert got[rid]["ok"] and row["ok"]
+            assert got[rid]["cnot_cost"] == row["cnot_cost"], rid
+            assert got[rid]["optimal"] == row["optimal"], rid
+
+    def test_all_sessions_advance_interleaved(self):
+        service = SynthesisService(_config(use_cache=False))
+        replies: list[dict] = []
+        for request in _requests():
+            service.submit(request, replies.append)
+        # several sessions must be live at once mid-schedule
+        service.scheduler.run_turn()
+        assert len(service.scheduler) >= 2 or len(replies) >= 1
+        while service.scheduler.pending:
+            service.scheduler.run_turn()
+        assert len(replies) == len(_requests())
+        assert all(r["ok"] for r in replies)
+
+    def test_cache_hit_answered_at_admission(self):
+        service = SynthesisService(_config())
+        _drive(service, [{"id": 1, "op": "exact", "w": 4}])
+        replies: list[dict] = []
+        registered = service.submit({"id": 2, "op": "exact", "w": 4},
+                                    replies.append)
+        assert registered is False  # answered inline, no session
+        assert replies and replies[0]["cached"] is True
+        assert replies[0]["engine"] == "cache"
+
+
+# ----------------------------------------------------------------------
+# scheduler policy (stub sessions: no real searches)
+# ----------------------------------------------------------------------
+
+def _stub_session(rid, *, deadline_at=None, rounds=3, log=None,
+                  client=None):
+    """A session whose lanes settle after ``rounds`` run_round calls."""
+    state = {"left": rounds}
+
+    lanes = SimpleNamespace(deadline=None, deadline_expired=False,
+                            aborted=False)
+
+    def run_round():
+        state["left"] -= 1
+        return state["left"] > 0
+
+    def finish():
+        return SimpleNamespace(solved=False, deadline_expired=False)
+
+    def abort():
+        lanes.aborted = True
+
+    lanes.run_round = run_round
+    lanes.finish = finish
+    lanes.abort = abort
+
+    def on_settle(session, outcome):
+        return {"id": rid, "ok": True}
+
+    def reply(response):
+        if log is not None:
+            log.append(rid)
+
+    session = RequestSession(rid=rid, request={}, state=None, lanes=lanes,
+                             reply=reply, on_settle=on_settle,
+                             client=client)
+    session.deadline_at = deadline_at
+    return session
+
+
+class TestSchedulerPolicy:
+    def test_edf_orders_mixed_deadlines(self):
+        scheduler = RequestScheduler(fairness_stride=1000)
+        log: list = []
+        late = _stub_session("late", deadline_at=100.0, log=log)
+        soon = _stub_session("soon", deadline_at=50.0, log=log)
+        scheduler.submit(late)
+        scheduler.submit(soon)
+        # submit() recomputes deadline_at only for real lane deadlines
+        late.deadline_at, soon.deadline_at = 100.0, 50.0
+        while scheduler.pending:
+            scheduler.run_turn()
+        assert log == ["soon", "late"]
+
+    def test_fairness_stride_feeds_undeadlined(self):
+        scheduler = RequestScheduler(fairness_stride=3)
+        log: list = []
+        deadlined = _stub_session("d", deadline_at=10.0, rounds=50, log=log)
+        slow = _stub_session("u", rounds=50, log=log)
+        scheduler.submit(deadlined)
+        scheduler.submit(slow)
+        deadlined.deadline_at = 10.0
+        for _ in range(12):
+            scheduler.run_turn()
+        # every 3rd turn went to the round-robin undeadlined queue
+        assert slow.turns == 4
+        assert deadlined.turns == 8
+
+    def test_admission_cap_rejects(self):
+        scheduler = RequestScheduler(max_inflight=2)
+        assert scheduler.submit(_stub_session("a", rounds=10))
+        assert scheduler.submit(_stub_session("b", rounds=10))
+        assert scheduler.full
+        assert scheduler.submit(_stub_session("c", rounds=10)) is False
+
+    def test_cancel_client_aborts_only_theirs(self):
+        scheduler = RequestScheduler()
+        mine = _stub_session("mine", rounds=10, client="c1")
+        theirs = _stub_session("theirs", rounds=10, client="c2")
+        scheduler.submit(mine)
+        scheduler.submit(theirs)
+        assert scheduler.cancel_client("c1") == 1
+        assert len(scheduler) == 1
+        assert mine.lanes.aborted and not theirs.lanes.aborted
+
+    def test_settle_hook_failure_is_contained(self):
+        scheduler = RequestScheduler()
+        log: list = []
+        session = _stub_session("boom", rounds=1, log=log)
+
+        def exploding(session, outcome):
+            raise RuntimeError("settle bug")
+
+        replies: list = []
+        session.on_settle = exploding
+        session.reply = replies.append
+        scheduler.submit(session)
+        scheduler.run_turn()
+        assert replies and replies[0]["ok"] is False
+        assert "settle bug" in replies[0]["error"]
+
+
+# ----------------------------------------------------------------------
+# real cancellation + admission against live searches
+# ----------------------------------------------------------------------
+
+class TestLiveSessions:
+    def test_cancellation_mid_run_frees_lanes(self):
+        service = SynthesisService(_config(use_cache=False))
+        seen: list[dict] = []
+        service.submit({"id": "heavy", "op": "exact", "dicke": [6, 3]},
+                       seen.append, client="victim")
+        service.submit({"id": "other", "op": "exact", "w": 4},
+                       seen.append, client="keeper")
+        for _ in range(3):
+            service.scheduler.run_turn()
+        victim = [s for s in service.scheduler.sessions
+                  if s.client == "victim"]
+        if victim:  # not settled yet: cancel mid-run
+            runs = [lane.run for lane in victim[0].lanes.lanes]
+            assert service.scheduler.cancel_client("victim") == 1
+            assert all(run.status.terminal for run in runs)
+            assert not victim[0].lanes.active
+        while service.scheduler.pending:
+            service.scheduler.run_turn()
+        # the cancelled request never replies; the other one completes
+        ids = [r["id"] for r in seen]
+        assert "other" in ids and "heavy" not in ids
+
+    def test_busy_rejection_beyond_cap(self):
+        service = SynthesisService(_config(use_cache=False,
+                                           max_inflight=2))
+        replies: list[dict] = []
+        service.submit({"id": 1, "op": "exact", "dicke": [6, 3]},
+                       replies.append)
+        service.submit({"id": 2, "op": "exact", "dicke": [5, 2]},
+                       replies.append)
+        service.submit({"id": 3, "op": "exact", "w": 4}, replies.append)
+        busy = [r for r in replies if r.get("busy")]
+        assert len(busy) == 1 and busy[0]["id"] == 3
+        assert busy[0]["ok"] is False
+        assert service.busy_rejections == 1
+        service.scheduler.drain(0.0)  # flush the two live sessions
+
+
+# ----------------------------------------------------------------------
+# WAL
+# ----------------------------------------------------------------------
+
+def _memory_state(memory: SearchMemory) -> tuple:
+    """Comparable content of a memory (process-portable pieces only)."""
+    return (
+        dict(memory.canon_store.items_payload(None)),
+        dict(memory.h_store.items_payload(None)),
+        dict(memory.transposition.data),
+        dict(memory.transposition.cond),
+        {name: dict(row) for name, row in memory.lane_stats.items()},
+    )
+
+
+class TestMemoryWAL:
+    def test_replay_equals_full_snapshot(self, tmp_path):
+        wal_path = tmp_path / "svc.qspwal"
+        service = SynthesisService(_config(
+            use_cache=False, wal_path=str(wal_path),
+            wal_compact_interval=0))  # no auto-compaction: records stay
+        _drive(service, _requests())
+        assert service.wal.records > 0
+        snap_path = tmp_path / "full.qspmem.json"
+        save_memory_snapshot(service.memory, snap_path)
+        # replayed boot (empty sidecar + records) == the full snapshot
+        replayed, _wal = MemoryWAL.boot(tmp_path / "svc.qspwal")
+        full = load_memory_snapshot(snap_path)
+        assert _memory_state(replayed) == _memory_state(full)
+
+    def test_improved_entries_ride_the_delta(self):
+        fresh = SearchMemory()
+        from repro.core.kernel import CanonKey
+        key = CanonKey(3, 7, 7)
+        other = CanonKey(3, 9, 9)
+        fresh.transposition.record(key, 2.0, frozenset())
+        receiver = SearchMemory()
+        memory_merge_dict(receiver, memory_to_dict(fresh))
+        baseline = memory_baseline(fresh)
+        fresh.transposition.record(key, 5.0, frozenset())  # in-place
+        fresh.transposition.record(other, 1.0, frozenset([key]))
+        fresh.transposition.record(other, 3.0, frozenset([key]))
+        delta = memory_to_dict(fresh, since=baseline)
+        assert len(delta["transposition"]["data"]) == 1  # improved key
+        memory_merge_dict(receiver, delta)
+        assert dict(receiver.transposition.data) == \
+            dict(fresh.transposition.data)
+        assert dict(receiver.transposition.cond) == \
+            dict(fresh.transposition.cond)
+
+    def test_compaction_truncates_and_preserves_state(self, tmp_path):
+        wal_path = tmp_path / "c.qspwal"
+        service = SynthesisService(_config(
+            use_cache=False, wal_path=str(wal_path),
+            wal_compact_interval=2))  # compact every 2 records
+        _drive(service, _requests())
+        live = _memory_state(service.memory)
+        assert service.wal.compactions >= 1
+        service.shutdown()
+        # post-shutdown: log is just a header, sidecar holds everything
+        with open(wal_path, encoding="utf-8") as handle:
+            lines = [ln for ln in handle if ln.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "memory_wal"
+        rebooted, _wal = MemoryWAL.boot(wal_path)
+        assert _memory_state(rebooted) == live
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        wal_path = tmp_path / "torn.qspwal"
+        service = SynthesisService(_config(
+            use_cache=False, wal_path=str(wal_path),
+            wal_compact_interval=0))
+        _drive(service, _requests()[:2])
+        service.wal.close(compact=False)
+        good, _ = MemoryWAL.boot(wal_path)
+        good_state = _memory_state(good)
+        # simulate a mid-append crash: chop the final record in half
+        raw = wal_path.read_text(encoding="utf-8")
+        wal_path.write_text(raw[:-40], encoding="utf-8")
+        torn, wal = MemoryWAL.boot(wal_path)
+        # the torn record is dropped; everything before it replays
+        assert wal.records >= 0
+        state = _memory_state(torn)
+        for idx in (0, 1, 2, 3):  # subsets of the intact boot
+            assert set(state[idx]).issubset(set(good_state[idx]))
+
+    def test_wal_survives_warm_boot_cycle(self, tmp_path):
+        wal_path = tmp_path / "cycle.qspwal"
+        first = SynthesisService(_config(use_cache=False,
+                                         wal_path=str(wal_path)))
+        _drive(first, _requests()[:3])
+        first.shutdown()
+        second = SynthesisService(_config(use_cache=False,
+                                          wal_path=str(wal_path)))
+        assert second.memory.lane_stats  # history survived the reboot
+        got = _drive(second, _requests()[3:])
+        assert all(r["ok"] for r in got.values())
+        second.shutdown()
+
+
+# ----------------------------------------------------------------------
+# autotuning
+# ----------------------------------------------------------------------
+
+class TestAutotune:
+    def test_no_history_uniform_budgets(self):
+        specs = default_portfolio()
+        tuned, budgets = autotune_specs(specs, None, 100)
+        assert tuned == specs
+        assert set(budgets.values()) == {100}
+
+    def test_winning_lane_gets_bigger_slices(self):
+        memory = SearchMemory()
+        for _ in range(20):
+            memory.record_lane_outcome("beam", won=True, feasible=True)
+            memory.record_lane_outcome("astar", won=False, feasible=False)
+        tuned, budgets = autotune_specs(default_portfolio(), memory, 100)
+        assert budgets["beam"] > 100
+        assert budgets["astar"] < 100
+        # ...but nobody is silenced by tuning alone
+        assert all(b >= 50 for b in budgets.values())
+
+    def test_chronic_loser_dropped(self):
+        memory = SearchMemory()
+        for _ in range(60):
+            memory.record_lane_outcome("beam", won=True, feasible=True)
+            memory.record_lane_outcome("astar-w2", won=False,
+                                       feasible=False)
+        tuned, _budgets = autotune_specs(default_portfolio(), memory)
+        names = [s.name for s in tuned]
+        assert "astar-w2" not in names
+        assert "beam" in names
+
+    def test_never_drops_everything(self):
+        memory = SearchMemory()
+        for spec in default_portfolio():
+            for _ in range(60):
+                memory.record_lane_outcome(spec.name, won=False,
+                                           feasible=False)
+        tuned, budgets = autotune_specs(default_portfolio(), memory, 100)
+        assert len(tuned) == len(default_portfolio())
+        assert budgets
+
+    def test_deterministic_and_order_independent(self):
+        memory = SearchMemory()
+        for _ in range(10):
+            memory.record_lane_outcome("idastar", won=True)
+            memory.record_lane_outcome("beam", feasible=True)
+        a = autotune_specs(default_portfolio(), memory, 128)
+        b = autotune_specs(default_portfolio(), memory, 128)
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# serve_loop robustness
+# ----------------------------------------------------------------------
+
+class TestServeLoopRobustness:
+    def test_handler_exception_does_not_kill_loop(self, tmp_path):
+        import io
+
+        service = SynthesisService(_config())
+
+        def exploding(request):
+            raise RuntimeError("handler bug")
+
+        service.handle = exploding
+        lines = io.StringIO('{"id": 1, "op": "stats"}\n'
+                            '{"id": 2, "op": "stats"}\n')
+        out = io.StringIO()
+        handled = serve_loop(service, lines, out)
+        assert handled == 2
+        responses = [json.loads(ln) for ln in
+                     out.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == [1, 2]
+        assert all(r["ok"] is False for r in responses)
+        assert all("handler bug" in r["error"] for r in responses)
+
+    def test_malformed_and_unknown_op_keep_serving(self):
+        import io
+
+        service = SynthesisService(_config())
+        lines = io.StringIO('not json at all\n'
+                            '{"id": 5, "op": "wat", "w": 3}\n'
+                            '{"id": 6, "op": "stats"}\n')
+        out = io.StringIO()
+        handled = serve_loop(service, lines, out)
+        assert handled == 3
+        responses = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert responses[0]["ok"] is False
+        assert responses[1]["ok"] is False and responses[1]["id"] == 5
+        assert responses[2]["ok"] is True and responses[2]["id"] == 6
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown: kill a real server mid-burst, warm-boot after
+# ----------------------------------------------------------------------
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.mark.slow
+class TestGracefulShutdown:
+    def test_sigterm_mid_burst_drains_and_compacts(self, tmp_path):
+        port = _free_port()
+        wal_path = tmp_path / "burst.qspwal"
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; "
+             "sys.exit(main(sys.argv[1:]))",
+             "serve", "--listen", f"127.0.0.1:{port}",
+             "--wal", str(wal_path), "--portfolio", "interleaved"],
+            env=dict(os.environ,
+                     PYTHONPATH=os.path.join(REPO_ROOT, "src")),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.time() + 20
+            sock = None
+            while time.time() < deadline:
+                try:
+                    sock = socket.create_connection(("127.0.0.1", port),
+                                                    timeout=1.0)
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            assert sock is not None, "server never came up"
+            with sock:
+                burst = [{"id": i, "op": "exact", "dicke": [5, 2]}
+                         for i in range(4)]
+                payload = "".join(json.dumps(r) + "\n" for r in burst)
+                sock.sendall(payload.encode("utf-8"))
+                time.sleep(0.5)  # let the burst get in flight
+                proc.send_signal(signal.SIGTERM)
+                proc.wait(timeout=30)
+            assert proc.returncode == 0
+            # shutdown compacted the WAL into its sidecar snapshot
+            assert wal_path.exists()
+            assert (tmp_path / "burst.qspwal.snapshot").exists()
+            # and a warm boot starts from the compacted state
+            memory, wal = MemoryWAL.boot(wal_path)
+            assert memory.lane_stats
+            wal.close(compact=False)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
