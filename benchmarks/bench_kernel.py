@@ -29,7 +29,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_kernel.py --smoke    # CI smoke
     PYTHONPATH=src python benchmarks/bench_kernel.py --profile  # + phase
         breakdown of the hot loop (enumeration / canonicalization /
-        hashing / heuristic / containers) for both kernel paths
+        hashing / heuristic / containers) for both A* kernel paths and
+        the IDA* and beam engines
 
 Results land in ``BENCH_kernel.json`` at the repo root (the committed
 snapshot) and ``benchmarks/results/bench_kernel.txt``.
@@ -194,15 +195,55 @@ def run_benchmark(rows: list[tuple[int, int, int]]) -> dict:
     return stamp_benchmark(report)
 
 
+def _run_search_engine(n: int, k: int, budget: int,
+                       search_engine: str) -> dict:
+    """Profiled run of a non-A* engine (IDA* / beam) on one Dicke row."""
+    from repro.core.beam import BeamConfig, beam_search
+    from repro.core.idastar import IDAStarConfig, idastar_search
+
+    target = dicke_state(n, k)
+    start = time.perf_counter()
+    try:
+        if search_engine == "idastar":
+            result = idastar_search(target, IDAStarConfig(
+                search=SearchConfig(max_nodes=budget,
+                                    time_limit=_TIME_LIMIT,
+                                    cache_cap=1 << 24, profile=True)))
+        else:
+            result = beam_search(target, BeamConfig(cache_cap=1 << 24,
+                                                    profile=True))
+        stats = result.stats
+        outcome = {"solved": True, "cnot_cost": result.cnot_cost}
+    except SearchBudgetExceeded as exc:
+        stats = exc.stats
+        outcome = {"solved": False, "cnot_cost": None}
+    elapsed = time.perf_counter() - start
+    nodes = max(1, stats.nodes_expanded)
+    outcome.update({
+        "nodes_expanded": stats.nodes_expanded,
+        "phase_seconds": {
+            name: round(seconds, 4)
+            for name, seconds in sorted(stats.phase_seconds.items())},
+        "elapsed_seconds": round(elapsed, 4),
+        "nodes_per_second": round(nodes / elapsed, 1),
+    })
+    return outcome
+
+
 def run_profile(rows: list[tuple[int, int, int]]) -> str:
-    """Phase-level wall-clock breakdown of both kernel paths."""
+    """Phase breakdown of every profiled engine: both A* kernel paths
+    plus the IDA* and beam engines (all three search cores fill
+    ``SearchStats.phase_seconds``)."""
     engines = ["fastcore", "kernel"] if fastcore.available() else ["kernel"]
     lines = []
     for n, k, budget in rows:
-        for engine in engines:
-            outcome = _run(n, k, budget, engine, profile=True)
+        outcomes = [(engine, _run(n, k, budget, engine, profile=True))
+                    for engine in engines]
+        outcomes += [(engine, _run_search_engine(n, k, budget, engine))
+                     for engine in ("idastar", "beam")]
+        for engine, outcome in outcomes:
             phases = outcome.get("phase_seconds", {})
-            total = outcome["elapsed_seconds"]
+            total = max(outcome["elapsed_seconds"], 1e-9)
             parts = ", ".join(
                 f"{name} {seconds:.3f}s ({seconds / total:.0%})"
                 for name, seconds in sorted(phases.items(),

@@ -21,6 +21,12 @@ Measured, on the same mixed light/heavy traffic and budgets:
 * **Fairness** — the lightest request is admitted *behind* the heaviest
   one and must still settle first (no FIFO line), with its measured
   latency gain over the FIFO wait it would have paid reported per row.
+* **Observability overhead** — the same burst once more with the PR-8
+  observability layer enabled (metrics registry + tracer): costs again
+  asserted identical, end-to-end and queue-wait p50/p95/p99 read back
+  from the service's own latency histograms
+  (:meth:`repro.obs.metrics.Histogram.quantile`), and the instrumented
+  vs disabled wall-clock ratio gated under a lenient threshold.
 
 Usage::
 
@@ -45,6 +51,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.astar import SearchConfig                      # noqa: E402
+from repro.obs import ObsConfig                                # noqa: E402
 from repro.service.server import (                             # noqa: E402
     ServiceConfig,
     SynthesisService,
@@ -89,14 +96,22 @@ _TIME_LIMIT = 900.0
 #: fair-sharing and went back to a line.
 FAIRNESS_GAIN_FLOOR = 1.5
 
+#: Instrumented-vs-disabled wall-clock ceiling for the same burst.  The
+#: hooks fire at turn/settle granularity (hundreds of expansions per
+#: call), so the true overhead is a few percent; the lenient ceiling
+#: absorbs CI timer noise while still catching instrumentation that
+#: leaked into a hot loop.
+OBS_OVERHEAD_MAX = 1.5
 
-def _service() -> SynthesisService:
+
+def _service(instrumented: bool = False) -> SynthesisService:
     # no request cache (every request must really search, or the serial
     # baseline would be a row of cache hits) and no persistence — this
     # benchmark isolates the scheduling, not the disk
     return SynthesisService(ServiceConfig(
         search=SearchConfig(max_nodes=_MAX_NODES, time_limit=_TIME_LIMIT),
-        portfolio_mode="interleaved", use_cache=False))
+        portfolio_mode="interleaved", use_cache=False,
+        obs=ObsConfig.on() if instrumented else None))
 
 
 def _request(rid: str, body: dict) -> dict:
@@ -135,9 +150,15 @@ def _run_serial(traffic) -> dict:
             "total_seconds": total}
 
 
-def _run_concurrent(traffic) -> dict:
+def _histogram_quantiles(histogram) -> dict:
+    """p50/p95/p99 interpolated from a service latency histogram."""
+    return {f"p{tag}_seconds": round(histogram.quantile(q), 4)
+            for tag, q in (("50", 0.50), ("95", 0.95), ("99", 0.99))}
+
+
+def _run_concurrent(traffic, instrumented: bool = False) -> dict:
     """The burst: everything admitted at t0, scheduler runs the backlog."""
-    service = _service()
+    service = _service(instrumented=instrumented)
     latencies: dict[str, float] = {}
     responses: dict[str, dict] = {}
     order: list[str] = []
@@ -158,22 +179,38 @@ def _run_concurrent(traffic) -> dict:
     total = time.perf_counter() - start
     for rid, response in responses.items():
         assert response["ok"], f"concurrent {rid} failed: {response}"
-    return {"latencies": latencies, "responses": responses,
-            "order": order, "total_seconds": total,
-            "scheduler": service.scheduler.snapshot()}
+    result = {"latencies": latencies, "responses": responses,
+              "order": order, "total_seconds": total,
+              "scheduler": service.scheduler.snapshot()}
+    if instrumented:
+        # latency distributions as the service itself measured them —
+        # the histograms behind ``op: stats`` / ``serve --metrics``
+        result["histogram_quantiles"] = {
+            "e2e": _histogram_quantiles(service.obs.e2e),
+            "queue_wait": _histogram_quantiles(service.obs.queue_wait),
+        }
+    return result
 
 
 def run_benchmark(traffic) -> dict:
     serial = _run_serial(traffic)
     concurrent = _run_concurrent(traffic)
+    instrumented = _run_concurrent(traffic, instrumented=True)
 
-    # acceptance property: the scheduler never changes a result
+    # acceptance property: neither the scheduler nor the observability
+    # layer ever changes a result
     for rid, _ in traffic:
         s, c = serial["responses"][rid], concurrent["responses"][rid]
         assert c["cnot_cost"] == s["cnot_cost"], \
             f"{rid}: concurrent cost {c['cnot_cost']} != " \
             f"serial {s['cnot_cost']}"
         assert c["optimal"] == s["optimal"], f"{rid}: optimality differs"
+        o = instrumented["responses"][rid]
+        assert o["cnot_cost"] == s["cnot_cost"], \
+            f"{rid}: instrumented cost {o['cnot_cost']} != " \
+            f"serial {s['cnot_cost']}"
+        assert o["optimal"] == s["optimal"], \
+            f"{rid}: instrumented optimality differs"
 
     scheduler = concurrent["scheduler"]
     assert scheduler["peak_inflight"] > 1, \
@@ -231,6 +268,19 @@ def run_benchmark(traffic) -> dict:
                 concurrent["latencies"][LIGHT_ID], 4),
             "gain": round(fairness_gain, 3),
         },
+        "observability": {
+            "disabled_total_seconds": round(
+                concurrent["total_seconds"], 4),
+            "instrumented_total_seconds": round(
+                instrumented["total_seconds"], 4),
+            "overhead_ratio": round(instrumented["total_seconds"]
+                                    / concurrent["total_seconds"], 3),
+            # the service's own histograms (``qsp_request_seconds`` /
+            # ``qsp_queue_wait_seconds``), bucket-interpolated
+            "e2e": instrumented["histogram_quantiles"]["e2e"],
+            "queue_wait": instrumented["histogram_quantiles"]
+            ["queue_wait"],
+        },
     }
     return stamp_benchmark(
         report, SearchConfig(max_nodes=_MAX_NODES, time_limit=_TIME_LIMIT))
@@ -269,6 +319,17 @@ def render_table(report: dict) -> str:
         f"{fairness['concurrent_latency_seconds']:.3f}s instead of the "
         f"{fairness['fifo_wait_seconds']:.3f}s FIFO wait behind "
         f"{fairness['heavy_id']} — {fairness['gain']:.1f}x gain")
+    obs = report["observability"]
+    blocks.append(
+        f"observability: instrumented burst "
+        f"{obs['instrumented_total_seconds']:.3f}s vs disabled "
+        f"{obs['disabled_total_seconds']:.3f}s "
+        f"({obs['overhead_ratio']:.2f}x); service-measured e2e "
+        f"p50 {obs['e2e']['p50_seconds']:.3f}s / "
+        f"p95 {obs['e2e']['p95_seconds']:.3f}s / "
+        f"p99 {obs['e2e']['p99_seconds']:.3f}s, queue wait "
+        f"p50 {obs['queue_wait']['p50_seconds']:.3f}s / "
+        f"p99 {obs['queue_wait']['p99_seconds']:.3f}s")
     return "\n\n".join(blocks)
 
 
@@ -277,7 +338,8 @@ def main(argv: list[str]) -> int:
     traffic = SMOKE_TRAFFIC if smoke else FULL_TRAFFIC
     report = run_benchmark(traffic)
     report["mode"] = "smoke" if smoke else "full"
-    report["thresholds"] = {"fairness_gain": FAIRNESS_GAIN_FLOOR}
+    report["thresholds"] = {"fairness_gain": FAIRNESS_GAIN_FLOOR,
+                            "obs_overhead": OBS_OVERHEAD_MAX}
     text = render_table(report)
     print(text)
 
@@ -292,15 +354,24 @@ def main(argv: list[str]) -> int:
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {out}")
 
+    failed = False
     gain = report["fairness"]["gain"]
     if gain < FAIRNESS_GAIN_FLOOR:
         print(f"FAIL: fairness gain {gain:.2f}x < required "
               f"{FAIRNESS_GAIN_FLOOR:.1f}x", file=sys.stderr)
+        failed = True
+    overhead = report["observability"]["overhead_ratio"]
+    if overhead > OBS_OVERHEAD_MAX:
+        print(f"FAIL: observability overhead {overhead:.2f}x > allowed "
+              f"{OBS_OVERHEAD_MAX:.1f}x", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print(f"OK: identical costs across {report['clients']} concurrent "
           f"requests, peak in-flight "
           f"{report['concurrent']['scheduler']['peak_inflight']}, "
-          f"fairness gain {gain:.2f}x >= {FAIRNESS_GAIN_FLOOR:.1f}x")
+          f"fairness gain {gain:.2f}x >= {FAIRNESS_GAIN_FLOOR:.1f}x, "
+          f"obs overhead {overhead:.2f}x <= {OBS_OVERHEAD_MAX:.1f}x")
     return 0
 
 
@@ -309,6 +380,7 @@ def test_server_benchmark_smoke(results_emitter):
     report = run_benchmark(SMOKE_TRAFFIC)
     results_emitter("bench_server_smoke", render_table(report))
     assert report["fairness"]["gain"] >= FAIRNESS_GAIN_FLOOR
+    assert report["observability"]["overhead_ratio"] <= OBS_OVERHEAD_MAX
 
 
 if __name__ == "__main__":

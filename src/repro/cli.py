@@ -77,6 +77,17 @@ snapshot every ``--wal-compact-every`` records and at shutdown::
     repro-qsp serve --listen 127.0.0.1:7700 --wal service.qspwal \
         --wal-compact-every 64 --deadline-ms 500
 
+Serving observes itself by default (metrics registry + ring-buffered
+request tracing; ``--no-obs`` opts out — library callers are always
+off).  ``--trace`` streams every span/event record to a JSONL file,
+``--metrics`` serves the Prometheus text exposition next to ``--listen``,
+and the ``trace``/``stats`` ops expose the same data in-band::
+
+    repro-qsp serve --listen 127.0.0.1:7700 --metrics 127.0.0.1:9700 \
+        --trace spans.jsonl
+    curl http://127.0.0.1:9700/metrics
+    echo '{"id": 1, "op": "trace", "limit": 100}' | repro-qsp serve
+
 Serve one *device*: the service pins a topology, requests synthesize
 natively, memory/cache entries never mix across devices, and the
 exact-hit request cache persists across restarts::
@@ -314,6 +325,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable lane auto-tuning (slice budgets and "
                             "lane drops derived from persisted per-lane "
                             "win statistics) for scheduler sessions")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="disable observability (metrics registry + "
+                            "request tracing; enabled by default when "
+                            "serving — library embedders default to off)")
+    serve.add_argument("--trace", metavar="FILE", default=None,
+                       help="stream every trace record (request spans, "
+                            "scheduler turns, lane slices, incumbent "
+                            "broadcasts, settles) to FILE as JSONL, one "
+                            "record per line; the in-process ring stays "
+                            "queryable via the 'trace' op either way")
+    serve.add_argument("--metrics", metavar="HOST:PORT", default=None,
+                       help="serve the Prometheus text exposition of the "
+                            "metrics registry over HTTP on a second "
+                            "listener (requires --listen; curl "
+                            "http://HOST:PORT/metrics)")
     _add_topology_options(serve)
 
     batch = sub.add_parser(
@@ -546,17 +572,18 @@ def _service_config(args: argparse.Namespace, **extra):
                          **extra)
 
 
-def _parse_listen(spec: str) -> tuple[str, int]:
+def _parse_listen(spec: str, flag: str = "--listen") -> tuple[str, int]:
     host, sep, port = spec.rpartition(":")
     if not sep or not host:
-        raise SystemExit(f"--listen wants HOST:PORT, got {spec!r}")
+        raise SystemExit(f"{flag} wants HOST:PORT, got {spec!r}")
     try:
         return host, int(port)
     except ValueError:
-        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+        raise SystemExit(f"{flag} port must be an integer, got {port!r}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import ObsConfig
     from repro.service.server import SynthesisService, serve_loop
 
     extra: dict = {}
@@ -564,6 +591,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         extra["wal_compact_interval"] = max(0, args.wal_compact_every)
     if args.max_inflight is not None:
         extra["max_inflight"] = args.max_inflight
+    if args.no_obs:
+        if args.trace is not None:
+            raise SystemExit("--trace needs observability; drop --no-obs")
+        if args.metrics is not None:
+            raise SystemExit("--metrics needs observability; drop --no-obs")
+    else:
+        # the serve paths observe themselves by default; library callers
+        # (and --no-obs) keep the zero-overhead disabled state
+        extra["obs"] = ObsConfig.on(trace_path=args.trace)
+    if args.metrics is not None and args.listen is None:
+        raise SystemExit("--metrics requires --listen (the exposition "
+                         "listener shares the socket event loop)")
     config = _service_config(args, use_cache=not args.no_cache,
                              race_workers=args.race_workers,
                              cache_snapshot_path=args.cache_snapshot,
@@ -574,7 +613,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.listen is not None:
         from repro.service.asyncserver import serve_listen
         host, port = _parse_listen(args.listen)
-        summary = serve_listen(service, host, port)
+        metrics_host = metrics_port = None
+        if args.metrics is not None:
+            metrics_host, metrics_port = _parse_listen(args.metrics,
+                                                       "--metrics")
+        summary = serve_listen(service, host, port,
+                               metrics_host=metrics_host,
+                               metrics_port=metrics_port)
         stats = service.stats()
         print(f"served {summary['handled']} request(s) on "
               f"{summary['connections']} connection(s), "

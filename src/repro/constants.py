@@ -169,6 +169,34 @@ SHUTDOWN_DRAIN_MS: float = 2000.0
 #: table instead (same rule as eviction sweeps).
 TRANSPOSITION_IMPROVE_LOG_CAP: int = 1 << 16
 
+#: Trace records kept in the in-process ring buffer (queryable via
+#: ``op: trace``).  At slice granularity a heavy request emits a few
+#: hundred records, so 4096 holds the recent history of a busy server
+#: without unbounded growth; ``serve --trace FILE`` streams everything.
+OBS_TRACE_RING_CAP: int = 4096
+
+#: Default number of trace records returned by ``op: trace`` when the
+#: request does not pass an explicit ``limit``.
+OBS_TRACE_DEFAULT_LIMIT: int = 256
+
+#: Upper edges (seconds) for the service latency histograms (queue wait
+#: and end-to-end).  Spans sub-millisecond scheduler turns through the
+#: multi-second heavy searches; the overflow bucket catches the rest.
+OBS_LATENCY_BUCKETS: tuple = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Upper edges (expansions) for the per-turn expansion-slice histogram.
+#: Centered on PORTFOLIO_SLICE_EXPANSIONS times the lane count, with
+#: room below for settling lanes and above for auto-tuned budgets.
+OBS_TURN_EXPANSION_BUCKETS: tuple = (
+    64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Upper edges (seconds) for the deadline-slack-at-settle histogram.
+#: Negative slack means the request settled past its deadline (flush);
+#: positive means it finished with time to spare.
+OBS_DEADLINE_SLACK_BUCKETS: tuple = (
+    -1.0, -0.1, -0.01, 0.0, 0.01, 0.1, 0.5, 1.0, 5.0)
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

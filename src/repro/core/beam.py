@@ -29,6 +29,7 @@ the portfolio-wide best is dead weight in the beam).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.constants import (
     SEARCH_CACHE_CAP,
@@ -79,6 +80,10 @@ class BeamConfig:
     tie_cap: int = SEARCH_TIE_CAP
     perm_cap: int = SEARCH_PERM_CAP
     cache_cap: int = SEARCH_CACHE_CAP
+    #: per-phase wall-clock timers into ``stats.phase_seconds`` — same
+    #: buckets and zero-overhead-when-off contract as
+    #: :class:`~repro.core.engine.SearchConfig.profile`
+    profile: bool = False
     #: optional CouplingMap — same native move-set semantics as
     #: :class:`~repro.core.astar.SearchConfig.topology`; additionally
     #: disables the m-flow completion tail (whose merges are not native)
@@ -130,7 +135,7 @@ class BeamRun(EngineRun):
             include_x_moves=config.include_x_moves,
             cache_cap=config.cache_cap, topology=config.topology,
             time_limit=config.time_limit, heuristic=heuristic,
-            memory=memory)
+            memory=memory, profile=config.profile)
         # the dedup container is read by finalize-time stats, so it must
         # exist before the first step (and before any cancellation);
         # likewise the frontier starts at the target so a deadline flush
@@ -227,6 +232,12 @@ class BeamRun(EngineRun):
         if max_depth is None:
             max_depth = 4 * n * max(2, target.cardinality)
         seen_g = self._seen_g
+        profile = config.profile
+        phases = stats.phase_seconds
+        if profile:
+            phases.setdefault("enumeration", 0.0)
+            phases.setdefault("canonicalization", 0.0)
+            phases.setdefault("heuristic", 0.0)
         try:
             start = ctx.start
             beam = self._beam  # the one-node frontier built in __init__
@@ -258,22 +269,44 @@ class BeamRun(EngineRun):
                     # before this expansion — so hoist it out of the
                     # successor loop
                     cost_limit = self._cost_limit()
-                    for move, nxt in successors_packed(
+                    if profile:
+                        te = perf_counter()
+                        arcs = successors_packed(
                             ctx.pool, node.state,
                             max_merge_controls=config.max_merge_controls,
                             include_x_moves=config.include_x_moves,
-                            topology=ctx.topology):
+                            topology=ctx.topology)
+                        phases["enumeration"] += perf_counter() - te
+                    else:
+                        arcs = successors_packed(
+                            ctx.pool, node.state,
+                            max_merge_controls=config.max_merge_controls,
+                            include_x_moves=config.include_x_moves,
+                            topology=ctx.topology)
+                    for move, nxt in arcs:
                         g2 = node.g + move.cost
                         if g2 >= cost_limit:
                             continue  # cannot improve the incumbent
-                        ckey = canon(nxt)
+                        if profile:
+                            tc = perf_counter()
+                            ckey = canon(nxt)
+                            phases["canonicalization"] += \
+                                perf_counter() - tc
+                        else:
+                            ckey = canon(nxt)
                         prev = seen_g.get(ckey)
                         if prev is not None and prev <= g2:
                             stats.nodes_pruned += 1
                             continue
                         seen_g.put(ckey, g2)
                         stats.nodes_generated += 1
-                        score = g2 + config.heuristic_weight * h_of(nxt)
+                        if profile:
+                            th = perf_counter()
+                            h = h_of(nxt)
+                            phases["heuristic"] += perf_counter() - th
+                        else:
+                            h = h_of(nxt)
+                        score = g2 + config.heuristic_weight * h
                         tiebreak += 1
                         candidates.append(
                             (score, tiebreak,

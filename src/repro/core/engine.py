@@ -210,11 +210,13 @@ class SearchStats:
     h_store_hits: int = 0
     h_store_misses: int = 0
     #: phase-level wall-clock breakdown of the hot loop (seconds), filled
-    #: only under ``SearchConfig(profile=True)``: "enumeration" (successor
-    #: generation + move application + interning), "canonicalization"
-    #: (canonical-key computation, inclusive), "hashing" (the orbit-hash
-    #: portion of canonicalization, a sub-bucket), "heuristic" (h
-    #: evaluation), "containers" (open-heap + dedup-map bookkeeping)
+    #: only under ``SearchConfig(profile=True)`` (beam lanes:
+    #: ``BeamConfig(profile=True)``) by all three engines — A*, IDA*,
+    #: and beam: "enumeration" (successor generation + move application +
+    #: interning), "canonicalization" (canonical-key computation,
+    #: inclusive), "hashing" (the orbit-hash portion of canonicalization,
+    #: a sub-bucket), "heuristic" (h evaluation), "containers" (open-heap
+    #: + dedup-map bookkeeping, A* only)
     phase_seconds: dict = field(default_factory=dict)
 
     @property

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.engine import (
     EngineContext,
@@ -159,6 +160,12 @@ class IDAStarRun(EngineRun):
         h_of = ctx.h_of
         transposition = self._transposition
         record_truncated = self.config.record_truncated
+        profile = shared.profile
+        phases = stats.phase_seconds
+        if profile:
+            phases.setdefault("enumeration", 0.0)
+            phases.setdefault("canonicalization", 0.0)
+            phases.setdefault("heuristic", 0.0)
 
         path_moves: list[Move] = []
         path_stack: list = []
@@ -175,7 +182,12 @@ class IDAStarRun(EngineRun):
             that truncated exploration anywhere in the subtree (empty
             when the exhaustion proof is path-independent — see module
             docstring)."""
-            f = g + h_of(state)
+            if profile:
+                th = perf_counter()
+                f = g + h_of(state)
+                phases["heuristic"] += perf_counter() - th
+            else:
+                f = g + h_of(state)
             if f > bound:
                 # f-pruning is path-independent: the admissible h proves
                 # no goal within the bound through this node from *any*
@@ -192,7 +204,12 @@ class IDAStarRun(EngineRun):
                     f"expansions", lower_bound=proven_lb, stats=stats)
             yield  # slice boundary: one yield per expansion
             remaining = bound - g
-            ckey = canon(state)
+            if profile:
+                tc = perf_counter()
+                ckey = canon(state)
+                phases["canonicalization"] += perf_counter() - tc
+            else:
+                ckey = canon(state)
             condition = transposition.lookup(ckey, remaining,
                                              path_class_set)
             if condition is not None:
@@ -203,13 +220,28 @@ class IDAStarRun(EngineRun):
                 return bound + 1.0, condition
             minimum = float("inf")
             trunc: set | frozenset = _NO_TRUNC
-            for move, nxt in successors_packed(
+            if profile:
+                te = perf_counter()
+                arcs = successors_packed(
                     ctx.pool, state,
                     max_merge_controls=shared.max_merge_controls,
                     include_x_moves=shared.include_x_moves,
-                    topology=ctx.topology):
+                    topology=ctx.topology)
+                phases["enumeration"] += perf_counter() - te
+            else:
+                arcs = successors_packed(
+                    ctx.pool, state,
+                    max_merge_controls=shared.max_merge_controls,
+                    include_x_moves=shared.include_x_moves,
+                    topology=ctx.topology)
+            for move, nxt in arcs:
                 stats.nodes_generated += 1
-                nkey = canon(nxt)
+                if profile:
+                    tc = perf_counter()
+                    nkey = canon(nxt)
+                    phases["canonicalization"] += perf_counter() - tc
+                else:
+                    nkey = canon(nxt)
                 if nkey in path_class_set:
                     # cycle avoidance: sound for this probe, but it
                     # truncates the subtree relative to the path class it

@@ -1,0 +1,323 @@
+"""Observability layer for the serving stack (PR 8).
+
+Two primitives — :mod:`repro.obs.metrics` (counters / gauges /
+histograms with Prometheus text exposition) and :mod:`repro.obs.trace`
+(ring-buffered JSONL span/event records) — plus :class:`ServiceObs`,
+the facade the service/scheduler/portfolio/WAL call sites talk to.
+
+Zero-overhead contract (mirrors ``core.fastcore``'s differential
+stance): with observability *disabled* — :meth:`ObsConfig.disabled`,
+the default for every library caller — no registry or tracer is ever
+constructed and every instrumented module holds ``obs=None``, so each
+hook site is a single ``is not None`` test resolved at call time.
+Costs, node counts, and expansion order are bit-identical either way
+(differential-tested in ``tests/test_server_concurrent.py``); hooks
+live at admission / turn / slice / settle granularity, never inside
+engine hot loops.  The serve CLI paths enable observability by
+default; ``repro-qsp serve --no-obs`` opts back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    OBS_DEADLINE_SLACK_BUCKETS,
+    OBS_LATENCY_BUCKETS,
+    OBS_TRACE_RING_CAP,
+    OBS_TURN_EXPANSION_BUCKETS,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    render_prometheus,
+)
+from .trace import Tracer, read_jsonl, reconstruct_timelines
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Tracer",
+    "ObsConfig", "ServiceObs", "default_registry", "render_prometheus",
+    "read_jsonl", "reconstruct_timelines",
+]
+
+
+@dataclass
+class ObsConfig:
+    """How (and whether) a service instance observes itself.
+
+    ``enabled=False`` is the hard off switch: the service keeps
+    ``obs=None`` everywhere and no instrumentation object exists.
+    ``trace_path`` additionally streams every trace record to a JSONL
+    file (``serve --trace FILE``); ``registry``/``tracer`` let tests and
+    embedders inject their own sinks (a fresh private registry is built
+    otherwise, so co-hosted services never share counters by accident).
+    """
+
+    enabled: bool = False
+    trace_path: str | None = None
+    ring_cap: int = OBS_TRACE_RING_CAP
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
+
+    @classmethod
+    def disabled(cls) -> "ObsConfig":
+        return cls(enabled=False)
+
+    @classmethod
+    def on(cls, trace_path: str | None = None, **kwargs) -> "ObsConfig":
+        return cls(enabled=True, trace_path=trace_path, **kwargs)
+
+
+class ServiceObs:
+    """All instrumentation hooks for one service instance.
+
+    Metric families are declared once here so call sites stay one-line
+    (`obs.turn(...)`) and the registry's schema is documented in a
+    single place.  Naming follows Prometheus conventions: ``_total``
+    counters, ``_seconds`` histograms, bare gauges.
+    """
+
+    def __init__(self, config: ObsConfig):
+        self.config = config
+        self.registry = config.registry or MetricsRegistry()
+        stream = None
+        self._owns_stream = False
+        if config.tracer is not None:
+            self.tracer = config.tracer
+        else:
+            if config.trace_path:
+                stream = open(config.trace_path, "a", encoding="utf-8")
+                self._owns_stream = True
+            self.tracer = Tracer(ring_cap=config.ring_cap, stream=stream)
+        r = self.registry
+        # --- service front door ---
+        self.requests = r.counter(
+            "qsp_requests_total", "Requests handled, by op and outcome",
+            labelnames=("op", "outcome"))
+        self.busy = r.counter(
+            "qsp_busy_rejections_total",
+            "Exact requests rejected because the in-flight cap was full")
+        self.cache_hits = r.counter(
+            "qsp_request_cache_hits_total",
+            "Exact requests answered from the request cache")
+        self.inflight = r.gauge(
+            "qsp_inflight_sessions", "Sessions currently scheduled")
+        self.queue_depth = r.gauge(
+            "qsp_admission_queue_depth",
+            "In-flight sessions observed at the last admission")
+        # --- cross-request scheduler ---
+        self.turns = r.counter(
+            "qsp_scheduler_turns_total", "Scheduler turns, by pick policy",
+            labelnames=("policy",))
+        self.turn_expansions = r.histogram(
+            "qsp_turn_expansions", "Expansions granted per scheduler turn",
+            buckets=OBS_TURN_EXPANSION_BUCKETS)
+        self.queue_wait = r.histogram(
+            "qsp_queue_wait_seconds",
+            "Admission to first scheduled turn, per session",
+            buckets=OBS_LATENCY_BUCKETS)
+        self.e2e = r.histogram(
+            "qsp_request_seconds",
+            "Admission to settle (end-to-end), per session",
+            buckets=OBS_LATENCY_BUCKETS)
+        self.deadline_slack = r.histogram(
+            "qsp_deadline_slack_seconds",
+            "Time left on the deadline at settle (negative = flushed late)",
+            buckets=OBS_DEADLINE_SLACK_BUCKETS)
+        self.session_expansions = r.counter(
+            "qsp_session_expansions_total",
+            "Expansions spent by settled sessions, by outcome",
+            labelnames=("outcome",))
+        self.settled = r.counter(
+            "qsp_sessions_settled_total", "Sessions settled, by outcome",
+            labelnames=("outcome",))
+        # --- portfolio lanes ---
+        self.lane_outcomes = r.counter(
+            "qsp_lane_outcomes_total", "Lane settles, by lane and status",
+            labelnames=("lane", "status"))
+        self.lane_feasibles = r.counter(
+            "qsp_lane_feasibles_total",
+            "Lane settles that held a feasible circuit, by lane",
+            labelnames=("lane",))
+        self.lane_wins = r.counter(
+            "qsp_lane_wins_total", "Requests won (best result), by lane",
+            labelnames=("lane",))
+        self.incumbents = r.counter(
+            "qsp_incumbent_injections_total",
+            "Incumbent bounds broadcast to sibling lanes, by source lane",
+            labelnames=("lane",))
+        # --- WAL ---
+        self.wal_records = r.counter(
+            "qsp_wal_records_total", "Delta records appended to the WAL")
+        self.wal_bytes = r.counter(
+            "qsp_wal_bytes_total", "Bytes appended to the WAL")
+        self.wal_compactions = r.counter(
+            "qsp_wal_compactions_total", "WAL compactions into the snapshot")
+        self.wal_replayed = r.counter(
+            "qsp_wal_replayed_records_total", "Records replayed at boot")
+        self.wal_truncations = r.counter(
+            "qsp_wal_truncations_total",
+            "Torn or corrupt WAL tails truncated at boot, by reason",
+            labelnames=("reason",))
+        # --- memory/cache occupancy (gauges refreshed by collect()) ---
+        self.store = r.gauge(
+            "qsp_store_stat", "SearchMemory store counters, by store/stat",
+            labelnames=("store", "stat"))
+        self.cache = r.gauge(
+            "qsp_request_cache_stat", "Request-cache counters, by mode/stat",
+            labelnames=("mode", "stat"))
+
+    # ---------------- service front door ----------------
+
+    def request(self, op: str, outcome: str):
+        self.requests.labels(op, outcome).inc()
+
+    def busy_rejected(self, rid):
+        self.busy.inc()
+        self.tracer.event("busy_rejected", rid=rid)
+
+    def cache_hit(self, rid, cost):
+        self.cache_hits.inc()
+        self.tracer.event("cache_hit", rid=rid, cost=cost)
+
+    def admission(self, rid, op, deadline_ms, inflight, **attrs):
+        self.queue_depth.set(inflight)
+        self.tracer.begin("request", rid=rid, op=op,
+                          deadline_ms=deadline_ms, **attrs)
+
+    # ---------------- scheduler ----------------
+
+    def turn(self, rid, policy: str):
+        self.turns.labels(policy).inc()
+        self.tracer.event("turn", rid=rid, policy=policy)
+
+    def first_turn(self, rid, wait_seconds: float):
+        self.queue_wait.observe(wait_seconds)
+        self.tracer.event("first_turn", rid=rid, wait_seconds=wait_seconds)
+
+    def turn_done(self, rid, expansions: int):
+        self.turn_expansions.observe(expansions)
+
+    def inflight_now(self, n: int):
+        self.inflight.set(n)
+
+    def settle(self, rid, outcome: str, seconds: float, expansions: int,
+               slack_seconds=None, **attrs):
+        self.settled.labels(outcome).inc()
+        self.e2e.observe(seconds)
+        self.session_expansions.labels(outcome).inc(expansions)
+        if slack_seconds is not None:
+            self.deadline_slack.observe(slack_seconds)
+            attrs["slack_seconds"] = slack_seconds
+        self.tracer.end("request", rid=rid, outcome=outcome,
+                        seconds=seconds, expansions=expansions, **attrs)
+
+    def session_cancelled(self, rid, reason: str, expansions: int):
+        """Abort without settle (client disconnect): close the span."""
+        self.settled.labels("cancelled").inc()
+        self.session_expansions.labels("cancelled").inc(expansions)
+        self.tracer.end("request", rid=rid, outcome="cancelled",
+                        reason=reason, expansions=expansions)
+
+    # ---------------- portfolio lanes ----------------
+
+    def lane_slice(self, rid, lane: str, expansions: int, status: str):
+        self.tracer.event("slice", rid=rid, lane=lane,
+                          expansions=expansions, status=status)
+
+    def incumbent(self, rid, lane: str, cost: int, injected: int = 1):
+        self.incumbents.labels(lane).inc(injected)
+        self.tracer.event("incumbent", rid=rid, lane=lane, cost=cost,
+                          injected=injected)
+
+    def lane_settled(self, rid, lane: str, status: str, stats=None,
+                     feasible: bool = False):
+        self.lane_outcomes.labels(lane, status).inc()
+        if feasible:
+            self.lane_feasibles.labels(lane).inc()
+        attrs = {"feasible": feasible}
+        if stats is not None:
+            attrs.update(expanded=stats.nodes_expanded,
+                         generated=stats.nodes_generated,
+                         seconds=stats.elapsed_seconds)
+            if stats.phase_seconds:
+                attrs["phase_seconds"] = dict(stats.phase_seconds)
+        self.tracer.event("lane_settled", rid=rid, lane=lane,
+                          status=status, **attrs)
+
+    def lane_won(self, rid, lane: str, cost):
+        self.lane_wins.labels(lane).inc()
+        self.tracer.event("lane_won", rid=rid, lane=lane, cost=cost)
+
+    # ---------------- WAL ----------------
+
+    def wal_append(self, nbytes: int):
+        self.wal_records.inc()
+        self.wal_bytes.inc(nbytes)
+
+    def wal_compacted(self, records: int):
+        self.wal_compactions.inc()
+        self.tracer.event("wal_compaction", records=records)
+
+    def wal_boot(self, replayed: int, path):
+        self.wal_replayed.inc(replayed)
+        if replayed:
+            self.tracer.warning("wal_replayed", records=replayed,
+                                path=str(path))
+
+    def wal_truncated(self, reason: str, dropped_bytes: int, path):
+        self.wal_truncations.labels(reason).inc()
+        self.tracer.warning("wal_truncated", reason=reason,
+                            dropped_bytes=dropped_bytes, path=str(path))
+
+    # ---------------- snapshot-time collection ----------------
+
+    def collect(self, service) -> None:
+        """Refresh occupancy gauges from the live stores.
+
+        Pull-based: :class:`~repro.core.memory.HashStore` and the
+        request cache already count hits/misses/evictions internally,
+        so rather than double-counting in the hot path we lift their
+        totals into gauges whenever a snapshot or exposition is asked
+        for.
+        """
+        self.inflight.set(len(service.scheduler.sessions))
+        if service.memory is not None:
+            snap = service.memory.snapshot()
+            for store in ("canon_store", "h_store", "transposition"):
+                for stat, value in snap[store].items():
+                    if isinstance(value, (int, float)):
+                        self.store.labels(store, stat).set(value)
+        if service.cache is not None:
+            for mode, stats in service.cache.snapshot().items():
+                for stat, value in stats.items():
+                    if isinstance(value, (int, float)):
+                        self.cache.labels(mode, stat).set(value)
+
+    def metrics_snapshot(self, service=None) -> dict:
+        if service is not None:
+            self.collect(service)
+        return self.registry.snapshot()
+
+    def render_prometheus(self, service=None) -> str:
+        if service is not None:
+            self.collect(service)
+        return self.registry.render_prometheus()
+
+    def trace_tail(self, n=None) -> list:
+        return self.tracer.last(n)
+
+    def close(self):
+        if self._owns_stream and self.tracer.stream is not None:
+            self.tracer.stream.close()
+            self.tracer.stream = None
+
+
+def build_obs(config: "ObsConfig | None") -> "ServiceObs | None":
+    """``None`` when disabled — the zero-overhead off state."""
+    if config is None or not config.enabled:
+        return None
+    return ServiceObs(config)

@@ -1,0 +1,355 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The serving stack (PR 8) records its operational state here — request
+outcomes, scheduler pick policy, latency distributions, lane win rates,
+WAL activity — and exposes it two ways:
+
+- :meth:`MetricsRegistry.snapshot` — a JSON-safe dict embedded in the
+  ``metrics`` section of ``op: stats`` replies and benchmark reports;
+- :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``text/plain; version=0.0.4``) served by
+  ``repro-qsp serve --metrics HOST:PORT``.
+
+Design notes.  Metric *families* are registered once by name and carry a
+fixed tuple of label names; :meth:`_Family.labels` resolves one labelled
+child (a plain counter cell) per distinct label-value tuple.  Histograms
+use fixed upper-edge buckets chosen at registration (no dynamic
+rebucketing), matching Prometheus' cumulative ``le`` convention on
+export while storing per-bucket counts internally so
+:meth:`Histogram.quantile` can interpolate percentiles for benchmark
+reports.  Everything is plain-Python and allocation-light: the serving
+path calls ``inc``/``observe`` at turn/slice granularity (hundreds of
+expansions per call), never inside engine hot loops, and library callers
+with observability disabled never construct a registry at all (see
+:mod:`repro.obs` for the zero-overhead contract).
+
+This module intentionally has no locks: the service is single-threaded
+by design (asyncio front end + synchronous scheduler), matching the rest
+of the serving stack.
+"""
+
+from __future__ import annotations
+
+from ..constants import OBS_LATENCY_BUCKETS
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "default_registry", "render_prometheus",
+]
+
+
+def _format_value(v) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if isinstance(v, bool):  # pragma: no cover - defensive; bools never stored
+        return "1" if v else "0"
+    if isinstance(v, int):
+        return str(v)
+    f = float(v)
+    if f != f:
+        return "NaN"
+    if f == float("inf"):
+        return "+Inf"
+    if f == float("-inf"):
+        return "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format spec."""
+    return (str(value).replace("\\", "\\\\")
+            .replace("\n", "\\n").replace('"', '\\"'))
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class _Child:
+    """One labelled cell of a counter or gauge family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def set(self, value):
+        self.value = value
+
+
+class _HistogramChild:
+    """One labelled cell of a histogram family."""
+
+    __slots__ = ("edges", "counts", "sum", "count")
+
+    def __init__(self, edges: tuple):
+        self.edges = edges
+        # counts[i] observations in (edges[i-1], edges[i]]; last slot is
+        # the +Inf overflow bucket.
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        self.sum += value
+        self.count += 1
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile by linear interpolation.
+
+        Assumes observations are uniform within each bucket (the standard
+        Prometheus ``histogram_quantile`` model).  Values landing in the
+        overflow bucket clamp to the largest finite edge; an empty
+        histogram returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, edge in enumerate(self.edges):
+            in_bucket = self.counts[i]
+            if seen + in_bucket >= rank and in_bucket > 0:
+                lo = self.edges[i - 1] if i > 0 else min(0.0, edge)
+                frac = (rank - seen) / in_bucket
+                return lo + (edge - lo) * frac
+            seen += in_bucket
+        return float(self.edges[-1]) if self.edges else 0.0
+
+
+class _Family:
+    """Shared family plumbing: name, help text, labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict = {}
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values):
+        """Resolve (creating on first use) the child for a label tuple."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"values {self.labelnames}, got {len(values)}")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def _unlabelled(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} has labels {self.labelnames}; use .labels()")
+        return self.labels()
+
+    def _rows(self):
+        """Yield ``(label_values, child)`` sorted for stable output."""
+        for key in sorted(self._children):
+            yield key, self._children[key]
+
+    def _label_str(self, values, extra: str = "") -> str:
+        parts = [f'{n}="{_escape_label(v)}"'
+                 for n, v in zip(self.labelnames, values)]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter(_Family):
+    """Monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def _make_child(self):
+        return _Child()
+
+    def inc(self, amount=1):
+        self._unlabelled().inc(amount)
+
+    @property
+    def value(self):
+        child = self._children.get(())
+        return child.value if child is not None else 0
+
+    def snapshot(self):
+        if not self.labelnames:
+            return {"type": self.kind, "help": self.help, "value": self.value}
+        return {"type": self.kind, "help": self.help,
+                "labels": list(self.labelnames),
+                "values": [{"labels": list(k), "value": c.value}
+                           for k, c in self._rows()]}
+
+    def render(self, out: list):
+        out.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        out.append(f"# TYPE {self.name} {self.kind}")
+        if not self._children and not self.labelnames:
+            out.append(f"{self.name} 0")
+        for key, child in self._rows():
+            out.append(f"{self.name}{self._label_str(key)} "
+                       f"{_format_value(child.value)}")
+
+
+class Gauge(Counter):
+    """Point-in-time value, settable up or down."""
+
+    kind = "gauge"
+
+    def set(self, value):
+        self._unlabelled().set(value)
+
+    def dec(self, amount=1):
+        self._unlabelled().inc(-amount)
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution with Prometheus-style exposition."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple = (),
+                 buckets: tuple = OBS_LATENCY_BUCKETS):
+        super().__init__(name, help, labelnames)
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"{name}: bucket edges must strictly increase")
+        self.edges = edges
+
+    def _make_child(self):
+        return _HistogramChild(self.edges)
+
+    def observe(self, value):
+        self._unlabelled().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._unlabelled().quantile(q)
+
+    @property
+    def count(self):
+        child = self._children.get(())
+        return child.count if child is not None else 0
+
+    @property
+    def sum(self):
+        child = self._children.get(())
+        return child.sum if child is not None else 0.0
+
+    def _child_snapshot(self, child: _HistogramChild):
+        return {"buckets": [[e, c] for e, c in zip(child.edges, child.counts)],
+                "overflow": child.counts[-1],
+                "sum": child.sum, "count": child.count}
+
+    def snapshot(self):
+        base = {"type": self.kind, "help": self.help,
+                "edges": list(self.edges)}
+        if not self.labelnames:
+            child = self._children.get(())
+            base.update(self._child_snapshot(child) if child is not None
+                        else {"buckets": [[e, 0] for e in self.edges],
+                              "overflow": 0, "sum": 0.0, "count": 0})
+            return base
+        base["labels"] = list(self.labelnames)
+        base["values"] = [dict(self._child_snapshot(c), labels=list(k))
+                          for k, c in self._rows()]
+        return base
+
+    def render(self, out: list):
+        out.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        out.append(f"# TYPE {self.name} {self.kind}")
+        rows = list(self._rows()) or ([((), _HistogramChild(self.edges))]
+                                      if not self.labelnames else [])
+        for key, child in rows:
+            cumulative = 0
+            for edge, n in zip(child.edges, child.counts):
+                cumulative += n
+                le = self._label_str(key, f'le="{_format_value(edge)}"')
+                out.append(f"{self.name}_bucket{le} {cumulative}")
+            le = self._label_str(key, 'le="+Inf"')
+            out.append(f"{self.name}_bucket{le} {child.count}")
+            lab = self._label_str(key)
+            out.append(f"{self.name}_sum{lab} {_format_value(child.sum)}")
+            out.append(f"{self.name}_count{lab} {child.count}")
+
+
+class MetricsRegistry:
+    """Named collection of metric families.
+
+    Registration is idempotent per name: asking again for an existing
+    family returns it (so modules can declare their metrics lazily),
+    while re-registering a name with a different kind or label set is a
+    programming error and raises.
+    """
+
+    def __init__(self):
+        self._families: dict = {}
+
+    def _register(self, cls, name, help, labelnames, **kwargs):
+        existing = self._families.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.labelnames != tuple(labelnames)):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}{existing.labelnames}")
+            return existing
+        fam = cls(name, help, labelnames, **kwargs)
+        self._families[name] = fam
+        return fam
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name, help="", labelnames=(),
+                  buckets=OBS_LATENCY_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    def get(self, name):
+        return self._families.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-safe dict of every family (``op: stats`` ``metrics``)."""
+        return {name: fam.snapshot()
+                for name, fam in sorted(self._families.items())}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every registered family."""
+        out: list = []
+        for _, fam in sorted(self._families.items()):
+            fam.render(out)
+        return "\n".join(out) + "\n" if out else ""
+
+
+#: Process-global default registry for callers that want one shared
+#: sink; the service deliberately builds a private registry per instance
+#: so tests and co-hosted services do not bleed counters into each other.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    return (registry or _DEFAULT).render_prometheus()

@@ -1,0 +1,138 @@
+"""Request tracing: JSONL span/event records for the serving path.
+
+Every record is one JSON object with a monotonic timestamp and, where
+applicable, the request id (``rid``), session tag, and lane name:
+
+    {"ts": 12.345678, "kind": "begin", "name": "request", "rid": "a1",
+     "op": "exact", "deadline_ms": 500}
+    {"ts": 12.345902, "kind": "event", "name": "slice", "rid": "a1",
+     "lane": "beam", "expansions": 256, "status": "running"}
+    {"ts": 12.349001, "kind": "event", "name": "incumbent", "rid": "a1",
+     "lane": "beam", "cost": 9}
+    {"ts": 12.401214, "kind": "end", "name": "request", "rid": "a1",
+     "outcome": "ok", "expansions": 1824}
+
+``kind`` is one of ``begin``/``end`` (span boundaries, paired by
+``(rid, name)`` nesting order) or ``event``/``warning`` (instants).  The
+serving path emits a ``request`` span per admitted request bracketing
+its whole admission → settle lifetime, with scheduler turns, lane
+slices, incumbent broadcasts, lane settles, and flush/cancel decisions
+as events in between — see :func:`reconstruct_timelines` for turning a
+record stream back into per-request timelines.
+
+Records land in a bounded in-process ring (queryable via ``op: trace``)
+and, when a stream is attached (``serve --trace FILE``), are appended to
+it as JSONL, one object per line, flushed per record so a crash loses at
+most the final line (the same torn-tail stance as the WAL).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+from ..constants import OBS_TRACE_RING_CAP
+
+__all__ = ["Tracer", "read_jsonl", "reconstruct_timelines"]
+
+
+class Tracer:
+    """Ring-buffered JSONL span/event recorder.
+
+    ``clock`` defaults to :func:`time.monotonic`; tests may inject a fake
+    for deterministic timestamps.  ``stream`` is any writable text file
+    object; the tracer never opens or closes paths itself (ownership
+    stays with the caller — see ``ServiceObs``).
+    """
+
+    __slots__ = ("ring", "stream", "clock", "emitted")
+
+    def __init__(self, ring_cap: int = OBS_TRACE_RING_CAP, stream=None,
+                 clock=time.monotonic):
+        self.ring: deque = deque(maxlen=ring_cap)
+        self.stream = stream
+        self.clock = clock
+        self.emitted = 0
+
+    def emit(self, kind: str, name: str, rid=None, **attrs) -> dict:
+        record = {"ts": self.clock(), "kind": kind, "name": name}
+        if rid is not None:
+            record["rid"] = rid
+        record.update(attrs)
+        self.ring.append(record)
+        self.emitted += 1
+        if self.stream is not None:
+            self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self.stream.flush()
+        return record
+
+    def begin(self, name: str, rid=None, **attrs) -> dict:
+        return self.emit("begin", name, rid=rid, **attrs)
+
+    def end(self, name: str, rid=None, **attrs) -> dict:
+        return self.emit("end", name, rid=rid, **attrs)
+
+    def event(self, name: str, rid=None, **attrs) -> dict:
+        return self.emit("event", name, rid=rid, **attrs)
+
+    def warning(self, name: str, rid=None, **attrs) -> dict:
+        return self.emit("warning", name, rid=rid, **attrs)
+
+    def last(self, n: int | None = None) -> list:
+        """The most recent ``n`` ring records (all, when ``n`` is None)."""
+        if n is None or n >= len(self.ring):
+            return list(self.ring)
+        return list(self.ring)[len(self.ring) - n:]
+
+
+def read_jsonl(path) -> list:
+    """Parse a ``serve --trace`` file back into a list of records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def reconstruct_timelines(records) -> dict:
+    """Group a record stream into per-request timelines.
+
+    Returns ``{rid: {"spans": [...], "events": [...], "open": [...],
+    "balanced": bool}}``.  Spans pair each ``begin`` with the matching
+    ``end`` of the same name in LIFO (proper nesting) order per rid;
+    ``balanced`` is True when every ``begin`` found its ``end`` and no
+    ``end`` arrived without one.  Records without a ``rid`` are grouped
+    under ``None`` (boot/shutdown events, WAL warnings).
+    """
+    timelines: dict = {}
+    for rec in records:
+        rid = rec.get("rid")
+        tl = timelines.get(rid)
+        if tl is None:
+            tl = timelines[rid] = {"spans": [], "events": [], "open": [],
+                                   "balanced": True}
+        kind = rec.get("kind")
+        if kind == "begin":
+            tl["open"].append(rec)
+        elif kind == "end":
+            if tl["open"] and tl["open"][-1].get("name") == rec.get("name"):
+                start = tl["open"].pop()
+                span = dict(start)
+                span.update({k: v for k, v in rec.items() if k != "ts"})
+                span["start_ts"] = start["ts"]
+                span["end_ts"] = rec["ts"]
+                span["duration"] = rec["ts"] - start["ts"]
+                del span["kind"]
+                span.pop("ts", None)
+                tl["spans"].append(span)
+            else:
+                tl["balanced"] = False
+        else:
+            tl["events"].append(rec)
+    for tl in timelines.values():
+        if tl["open"]:
+            tl["balanced"] = False
+    return timelines

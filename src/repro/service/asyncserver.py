@@ -25,6 +25,13 @@ Lifecycle:
   in-flight sessions (every pending caller still gets its best-so-far
   answer), compact the WAL into a final full snapshot, persist the
   request cache, exit 0.
+
+With ``serve --metrics HOST:PORT`` (and an observability-enabled
+service) a second listener on the same event loop serves the metrics
+registry's Prometheus text exposition over minimal HTTP/1.0 — any GET
+gets the full registry, ``curl http://HOST:PORT/metrics`` style.  It is
+read-only, allocates nothing per scrape beyond the rendered text, and
+shuts down with the main listener.
 """
 
 from __future__ import annotations
@@ -44,16 +51,26 @@ class AsyncFrontEnd:
     """One listening socket in front of a :class:`SynthesisService`."""
 
     def __init__(self, service: SynthesisService, host: str, port: int,
-                 drain_ms: float = SHUTDOWN_DRAIN_MS) -> None:
+                 drain_ms: float = SHUTDOWN_DRAIN_MS,
+                 metrics_host: str | None = None,
+                 metrics_port: int | None = None) -> None:
+        if metrics_host is not None and service.obs is None:
+            raise ValueError(
+                "--metrics requires an observability-enabled service "
+                "(drop --no-obs)")
         self.service = service
         self.host = host
         self.port = port
         self.drain_ms = drain_ms
+        self.metrics_host = metrics_host
+        self.metrics_port = metrics_port
         self.handled = 0
         self.connections = 0
+        self.scrapes = 0
         self._work = asyncio.Event()
         self._closing = asyncio.Event()
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
 
     # -- client side -----------------------------------------------------
@@ -117,6 +134,31 @@ class AsyncFrontEnd:
                 with contextlib.suppress(Exception):
                     writer.close()
 
+    # -- metrics exposition ----------------------------------------------
+
+    async def _handle_scrape(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.0: any complete GET gets the full exposition."""
+        try:
+            # read the request head (line + headers) up to the blank line
+            with contextlib.suppress(asyncio.IncompleteReadError,
+                                     asyncio.LimitOverrunError,
+                                     ConnectionError):
+                await reader.readuntil(b"\r\n\r\n")
+            body = self.service.obs.render_prometheus(
+                self.service).encode("utf-8")
+            writer.write(b"HTTP/1.0 200 OK\r\n"
+                         b"Content-Type: text/plain; version=0.0.4; "
+                         b"charset=utf-8\r\n"
+                         b"Content-Length: " + str(len(body)).encode()
+                         + b"\r\n\r\n" + body)
+            self.scrapes += 1
+            with contextlib.suppress(Exception):
+                await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
     # -- scheduler side --------------------------------------------------
 
     async def _driver(self) -> None:
@@ -152,6 +194,9 @@ class AsyncFrontEnd:
         """Listen until shutdown; returns the shutdown summary dict."""
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port)
+        if self.metrics_host is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_scrape, self.metrics_host, self.metrics_port)
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             with contextlib.suppress(NotImplementedError, ValueError):
@@ -163,6 +208,10 @@ class AsyncFrontEnd:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+            if self._metrics_server is not None:
+                self._metrics_server.close()
+                with contextlib.suppress(Exception):
+                    await self._metrics_server.wait_closed()
             self._begin_shutdown()
             with contextlib.suppress(asyncio.CancelledError):
                 await driver
@@ -180,6 +229,8 @@ class AsyncFrontEnd:
                 writer.close()
         summary["handled"] = self.handled
         summary["connections"] = self.connections
+        if self.metrics_host is not None:
+            summary["metrics_scrapes"] = self.scrapes
         return summary
 
     @property
@@ -189,9 +240,20 @@ class AsyncFrontEnd:
             return None
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def bound_metrics_port(self) -> int | None:
+        """The metrics listener's actual port (port-0 friendly)."""
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
 
 def serve_listen(service: SynthesisService, host: str, port: int,
-                 drain_ms: float = SHUTDOWN_DRAIN_MS) -> dict:
+                 drain_ms: float = SHUTDOWN_DRAIN_MS,
+                 metrics_host: str | None = None,
+                 metrics_port: int | None = None) -> dict:
     """Blocking entry point for ``serve --listen`` (runs the event loop)."""
     return asyncio.run(AsyncFrontEnd(service, host, port,
-                                     drain_ms=drain_ms).run())
+                                     drain_ms=drain_ms,
+                                     metrics_host=metrics_host,
+                                     metrics_port=metrics_port).run())

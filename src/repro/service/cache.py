@@ -95,6 +95,20 @@ class RequestCache:
         return {mode: store.snapshot()
                 for mode, store in sorted(self._stores.items())}
 
+    def totals(self) -> dict:
+        """Hit/miss/eviction/occupancy totals across all modes.
+
+        The observability layer lifts these into gauges at snapshot time
+        (pull-based) instead of double-counting in the lookup path — the
+        per-mode :class:`HashStore` s already count every get/put.
+        """
+        totals = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+        for store in self._stores.values():
+            row = store.snapshot()
+            for key in totals:
+                totals[key] += row.get(key, 0)
+        return totals
+
 
 # ----------------------------------------------------------------------
 # Disk persistence (serve --cache-snapshot)

@@ -166,7 +166,8 @@ class MemoryWAL:
     """
 
     def __init__(self, path: str | os.PathLike, memory: SearchMemory,
-                 compact_interval: int = WAL_COMPACT_INTERVAL) -> None:
+                 compact_interval: int = WAL_COMPACT_INTERVAL,
+                 obs=None) -> None:
         if str(path).endswith(".gz"):
             raise ValueError(
                 "the memory WAL is append-only JSONL and cannot be "
@@ -177,10 +178,20 @@ class MemoryWAL:
             self._path.name + ".snapshot")
         self.memory = memory
         self.compact_interval = max(0, int(compact_interval))
+        #: :class:`repro.obs.ServiceObs` or ``None`` — boot replays and
+        #: torn-tail truncations become structured warning events, and
+        #: appends/compactions feed the metrics registry
+        self.obs = obs
         self.seq = 0
         #: records in the live log (replayed + appended since compaction)
         self.records = 0
         self.compactions = 0
+        #: boot-time crash-recovery visibility (also surfaced via obs):
+        #: records replayed on top of the sidecar, and torn/corrupt tail
+        #: truncations by reason
+        self.replayed = 0
+        self.truncations: dict = {}
+        self.bytes_appended = 0
         self._handle = None
         self._header_written = False
         self._baseline = memory_baseline(memory)
@@ -189,7 +200,7 @@ class MemoryWAL:
     def boot(cls, path: str | os.PathLike,
              fallback_snapshot: str | os.PathLike | None = None,
              compact_interval: int = WAL_COMPACT_INTERVAL,
-             ) -> tuple[SearchMemory, "MemoryWAL"]:
+             obs=None) -> tuple[SearchMemory, "MemoryWAL"]:
         """Boot a memory from the WAL: sidecar snapshot + replayed records.
 
         The compacted sidecar wins when it exists; otherwise
@@ -206,8 +217,10 @@ class MemoryWAL:
             memory = load_memory_snapshot(fallback_snapshot)
         else:
             memory = SearchMemory()
-        wal = cls(path, memory, compact_interval=compact_interval)
+        wal = cls(path, memory, compact_interval=compact_interval, obs=obs)
         wal._replay_and_open()
+        if obs is not None:
+            obs.wal_boot(wal.replayed, path)
         return memory, wal
 
     # -- boot path -------------------------------------------------------
@@ -220,12 +233,21 @@ class MemoryWAL:
                 self._replay(handle)
         self._handle = open(self._path, "a", encoding="utf-8")
 
+    def _truncated(self, reason: str, dropped_bytes: int) -> None:
+        """Record one boot-time tail truncation (crash signature)."""
+        self.truncations[reason] = self.truncations.get(reason, 0) + 1
+        if self.obs is not None:
+            self.obs.wal_truncated(reason, dropped_bytes, self._path)
+
     def _replay(self, handle) -> None:
         header_line = handle.readline()
         if not header_line.endswith("\n"):
             # the log died inside its very first line: nothing replayable
             handle.seek(0)
             handle.truncate(0)
+            if header_line:
+                self._truncated("torn_header",
+                                len(header_line.encode("utf-8")))
             return
         try:
             header = json.loads(header_line)
@@ -239,10 +261,14 @@ class MemoryWAL:
             self.memory.pin(fp)
         self._header_written = True
         good = handle.tell()
+        reason = None
         while True:
             line = handle.readline()
-            if not line or not line.endswith("\n"):
-                break  # EOF, or a torn final line (mid-append crash)
+            if not line:
+                break  # clean EOF
+            if not line.endswith("\n"):
+                reason = "torn_final_line"  # mid-append crash signature
+                break
             stripped = line.strip()
             if not stripped:
                 good = handle.tell()
@@ -251,11 +277,16 @@ class MemoryWAL:
                 seq, delta = wal_record_from_dict(json.loads(stripped))
                 memory_merge_dict(self.memory, delta)
             except (ValueError, MemoryCompatibilityError):
-                break  # corrupt tail: drop it and everything after
+                reason = "corrupt_tail"  # drop it and everything after
+                break
             self.seq = max(self.seq, seq)
             self.records += 1
             good = handle.tell()
-        handle.truncate(good)
+        end = handle.seek(0, os.SEEK_END)
+        if end > good:
+            handle.truncate(good)
+            self._truncated(reason or "corrupt_tail", end - good)
+        self.replayed = self.records
         self._baseline = memory_baseline(self.memory)
 
     # -- append path -----------------------------------------------------
@@ -270,10 +301,13 @@ class MemoryWAL:
         """Append one delta record (and maybe auto-compact); returns seq."""
         self.seq += 1
         self._ensure_header()
-        self._handle.write(json.dumps(
-            wal_record_to_dict(self.seq, delta)) + "\n")
+        payload = json.dumps(wal_record_to_dict(self.seq, delta)) + "\n"
+        self._handle.write(payload)
         self._handle.flush()
         self.records += 1
+        self.bytes_appended += len(payload)
+        if self.obs is not None:
+            self.obs.wal_append(len(payload))
         if self.compact_interval and self.records >= self.compact_interval:
             self.compact()
         return self.seq
@@ -299,6 +333,8 @@ class MemoryWAL:
 
     def compact(self) -> str:
         """Fold the log into a fresh full snapshot; truncate to header."""
+        if self.obs is not None:
+            self.obs.wal_compacted(self.records)
         save_memory_snapshot(self.memory, self.snapshot_path)
         # snapshot lands first (atomically): a crash before the truncate
         # below leaves old records that replay as idempotent no-ops
@@ -328,4 +364,7 @@ class MemoryWAL:
         """WAL counters for the ``stats`` op."""
         return {"path": str(self._path), "seq": self.seq,
                 "records": self.records, "compactions": self.compactions,
-                "compact_interval": self.compact_interval}
+                "compact_interval": self.compact_interval,
+                "replayed": self.replayed,
+                "bytes_appended": self.bytes_appended,
+                "truncations": dict(self.truncations)}

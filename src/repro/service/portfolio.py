@@ -235,7 +235,8 @@ def build_engine_run(spec: EngineSpec, state: QState, search: SearchConfig,
         max_merge_controls=search.max_merge_controls,
         include_x_moves=search.include_x_moves,
         tie_cap=search.tie_cap, perm_cap=search.perm_cap,
-        cache_cap=search.cache_cap, topology=search.topology)
+        cache_cap=search.cache_cap, topology=search.topology,
+        profile=search.profile)
     return BeamRun(state, beam_config, memory=memory)
 
 
@@ -381,8 +382,11 @@ class LaneScheduler:
                  deadline_ms: float | None = None,
                  slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
                  slice_budgets: dict[str, int] | None = None,
-                 tag: object | None = None) -> None:
+                 tag: object | None = None, obs=None) -> None:
         self.memory = memory
+        #: :class:`repro.obs.ServiceObs` or ``None`` — slice/incumbent/
+        #: settle hooks only; never consulted in the expansion hot loop
+        self.obs = obs
         # no deadline -> no Stopwatch at all, so step() keeps its
         # deadline-is-None fast path in the per-expansion hot loop
         self.deadline = None if deadline_ms is None \
@@ -416,9 +420,14 @@ class LaneScheduler:
         feasible = lane.run.best_feasible()
         if feasible is not None and _better(feasible, self.best):
             self.best, self.winner = feasible, lane.spec.name
+            injected = 0
             for other in self.lanes:
                 if other is not lane and not other.run.status.terminal:
                     other.run.inject_incumbent(self.best.cnot_cost)
+                    injected += 1
+            if self.obs is not None and injected:
+                self.obs.incumbent(self.tag, lane.spec.name,
+                                   self.best.cnot_cost, injected=injected)
 
     def _settle(self, lane: _Lane, status: RunStatus) -> None:
         """Record one terminated (or cancelled) lane's audit row."""
@@ -448,6 +457,12 @@ class LaneScheduler:
             row["timeout"] = isinstance(error, SearchBudgetExceeded)
             row["lower_bound"] = getattr(error, "lower_bound", 0)
         self.attempts.append(row)
+        if self.obs is not None:
+            # engine profiling promotion: the lane's SearchStats (and its
+            # profile phase timers, when enabled) become span attributes
+            self.obs.lane_settled(self.tag, lane.spec.name, status.value,
+                                  stats=lane.run.stats,
+                                  feasible=row["feasible"])
 
     def run_round(self) -> bool:
         """Advance every active lane one slice; ``True`` while running.
@@ -469,6 +484,10 @@ class LaneScheduler:
             lane.seconds += time.perf_counter() - start
             lane.slices += 1
             self.expansions += lane.run.last_slice_expansions
+            if self.obs is not None:
+                self.obs.lane_slice(self.tag, lane.spec.name,
+                                    lane.run.last_slice_expansions,
+                                    status.value)
             self._harvest(lane)
             if status is RunStatus.RUNNING:
                 if self._expired():
@@ -505,6 +524,10 @@ class LaneScheduler:
             self._settle(lane, RunStatus.CANCELLED)
         self.active = []
         _record_lane_outcomes(self.memory, self.attempts, self.winner)
+        if self.obs is not None and self.winner is not None:
+            self.obs.lane_won(self.tag, self.winner,
+                              None if self.best is None
+                              else self.best.cnot_cost)
         return PortfolioOutcome(result=self.best, winner=self.winner,
                                 attempts=self.attempts,
                                 deadline_expired=self.deadline_expired)

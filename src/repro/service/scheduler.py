@@ -89,9 +89,14 @@ class RequestScheduler:
     """Fair-share turn-taking across all in-flight request sessions."""
 
     def __init__(self, max_inflight: int = SERVICE_MAX_INFLIGHT,
-                 fairness_stride: int = SCHEDULER_FAIRNESS_STRIDE) -> None:
+                 fairness_stride: int = SCHEDULER_FAIRNESS_STRIDE,
+                 obs=None) -> None:
         self.max_inflight = max(1, int(max_inflight))
         self.fairness_stride = max(2, int(fairness_stride))
+        #: :class:`repro.obs.ServiceObs` or ``None`` (the no-op state) —
+        #: hooks fire at turn/settle granularity and never alter the
+        #: pick policy or lane schedules
+        self.obs = obs
         self.sessions: list[RequestSession] = []
         self.turns = 0
         self.settled = 0
@@ -99,6 +104,7 @@ class RequestScheduler:
         self.peak_inflight = 0
         self._seq = 0
         self._rr = 0
+        self._last_policy = "edf"
 
     def __len__(self) -> int:
         return len(self.sessions)
@@ -123,6 +129,8 @@ class RequestScheduler:
                 session.lanes.deadline.limit_seconds
         self.sessions.append(session)
         self.peak_inflight = max(self.peak_inflight, len(self.sessions))
+        if self.obs is not None:
+            self.obs.inflight_now(len(self.sessions))
         return True
 
     def cancel_client(self, client: object) -> int:
@@ -132,6 +140,11 @@ class RequestScheduler:
             self.sessions.remove(session)
             session.lanes.abort()
             self.cancelled += 1
+            if self.obs is not None:
+                self.obs.session_cancelled(session.rid, "client_disconnect",
+                                           session.lanes.expansions)
+        if mine and self.obs is not None:
+            self.obs.inflight_now(len(self.sessions))
         return len(mine)
 
     # -- turn taking -----------------------------------------------------
@@ -154,8 +167,10 @@ class RequestScheduler:
                             self.turns % self.fairness_stride == 0):
             session = undeadlined[self._rr % len(undeadlined)]
             self._rr += 1
+            self._last_policy = "fairness" if deadlined else "rr"
             return session
         if deadlined:
+            self._last_policy = "edf"
             return min(deadlined, key=lambda s: (s.deadline_at, s.seq))
         return None
 
@@ -172,7 +187,17 @@ class RequestScheduler:
         if session is None:
             return False
         session.turns += 1
-        if not session.lanes.run_round():
+        obs = self.obs
+        if obs is not None:
+            obs.turn(session.rid, self._last_policy)
+            if session.turns == 1:
+                obs.first_turn(session.rid,
+                               time.perf_counter() - session.start)
+        before = session.lanes.expansions if obs is not None else 0
+        more = session.lanes.run_round()
+        if obs is not None:
+            obs.turn_done(session.rid, session.lanes.expansions - before)
+        if not more:
             self._settle(session)
         return True
 
@@ -185,6 +210,17 @@ class RequestScheduler:
         except Exception as exc:  # the hook must not sink other sessions
             response = {"id": session.rid, "ok": False,
                         "error": f"{type(exc).__name__}: {exc}"}
+        if self.obs is not None:
+            slack = None
+            if session.deadline_at is not None:
+                slack = session.deadline_at - time.monotonic()
+            label = ("deadline_flush" if response.get("deadline_expired")
+                     else "ok" if response.get("ok") else "error")
+            self.obs.settle(session.rid, label,
+                            time.perf_counter() - session.start,
+                            session.lanes.expansions, slack_seconds=slack,
+                            turns=session.turns, winner=outcome.winner)
+            self.obs.inflight_now(len(self.sessions))
         try:
             session.reply(response)
         except Exception:  # client gone mid-settle: nothing left to tell

@@ -43,6 +43,7 @@ alike)::
     {"id": 5, "op": "stats"}
     {"id": 6, "op": "snapshot", "path": "warm.qspmem.json"}
     {"id": 7, "op": "cache_snapshot", "path": "cache.qspreq.json"}
+    {"id": 8, "op": "trace", "limit": 100}
     {"op": "shutdown"}
 
 The target state may be given as a serialized state (``"state": {...}``
@@ -82,6 +83,30 @@ written.  ``op: cache_snapshot`` (or ``serve --cache-snapshot`` at
 shutdown) persists the exact-hit request cache the same way.  All of it
 is gated by format-version + regime-fingerprint checks.
 
+**Observability.**  With an enabled :class:`~repro.obs.ObsConfig`
+(``ServiceConfig.obs`` — the serve CLI paths enable it by default,
+``--no-obs`` opts out; library callers default to off), the service
+instruments itself end to end: every request/turn/slice/settle lands in
+a metrics registry and a ring-buffered JSONL tracer.  ``op: stats``
+replies then grow a ``metrics`` section (the registry snapshot),
+``op: trace`` returns the last ``limit`` trace records::
+
+    {"id": 8, "op": "trace", "limit": 2}
+    {"id": 8, "ok": true, "op": "trace", "emitted": 512, "records": [
+      {"ts": 12.3459, "kind": "event", "name": "slice", "rid": 4,
+       "lane": "beam", "expansions": 256, "status": "running"},
+      {"ts": 12.4012, "kind": "end", "name": "request", "rid": 4,
+       "outcome": "ok", "seconds": 0.055, "expansions": 1824}]}
+
+``serve --trace FILE`` streams every record to a JSONL file (each
+request reconstructs to a balanced admission → settle span via
+:func:`repro.obs.trace.reconstruct_timelines`), and ``serve --metrics
+HOST:PORT`` serves the Prometheus text exposition of the registry over
+HTTP.  Observability *off* is the library default and is differentially
+guaranteed free: costs, node counts, and expansion order are
+bit-identical to an uninstrumented build (``tests/test_server_concurrent
+.py``).
+
 A service boots against at most one device topology
 (``ServiceConfig.search.topology``, CLI ``--topology ...
 --topology-size ...``): synthesis then runs topology-natively and the
@@ -101,11 +126,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.constants import (
+    OBS_TRACE_DEFAULT_LIMIT,
     SERVICE_MAX_INFLIGHT,
     SERVICE_REQUEST_CACHE_CAP,
     SHUTDOWN_DRAIN_MS,
     WAL_COMPACT_INTERVAL,
 )
+from repro.obs import ObsConfig, build_obs
 from repro.core.astar import SearchConfig, SearchResult
 from repro.core.kernel import StatePool
 from repro.core.memory import SearchMemory
@@ -191,6 +218,12 @@ class ServiceConfig:
     #: scheduler sessions only — the single-request paths keep their
     #: historical schedules bit-identical.
     autotune_lanes: bool = True
+    #: observability (:mod:`repro.obs`): ``None`` / disabled (the library
+    #: default) keeps every hook a no-op and the serving path
+    #: bit-identical to an uninstrumented build; the serve CLI paths pass
+    #: an enabled config by default (``--no-obs`` opts out, ``--trace``
+    #: adds the JSONL stream).
+    obs: ObsConfig | None = None
 
     def __post_init__(self) -> None:
         if self.portfolio_mode not in ("sequential", "interleaved"):
@@ -211,6 +244,8 @@ class SynthesisService:
         # disconnected map fails here, not at the first request
         self.config.search.topology = \
             native_topology(self.config.search.topology)
+        # obs first: WAL boot already wants to report replay/truncation
+        self.obs = build_obs(self.config.obs)
         self.wal: MemoryWAL | None = None
         if self.config.wal_path is not None:
             # the WAL's compacted sidecar + replayed records win over the
@@ -220,7 +255,8 @@ class SynthesisService:
                 fallback = None
             self.memory, self.wal = MemoryWAL.boot(
                 self.config.wal_path, fallback_snapshot=fallback,
-                compact_interval=self.config.wal_compact_interval)
+                compact_interval=self.config.wal_compact_interval,
+                obs=self.obs)
         elif self.config.snapshot_path is not None:
             self.memory = load_memory_snapshot(self.config.snapshot_path)
         else:
@@ -242,7 +278,7 @@ class SynthesisService:
             else:
                 self.cache = RequestCache(regime, self.config.cache_cap)
         self.scheduler = RequestScheduler(
-            max_inflight=self.config.max_inflight)
+            max_inflight=self.config.max_inflight, obs=self.obs)
         self.requests = 0
         self.cache_hits = 0
         self.errors = 0
@@ -322,31 +358,46 @@ class SynthesisService:
         op = request.get("op", "prepare")
         self.requests += 1
         try:
-            if op == "stats":
-                return dict(self.stats(), id=rid, ok=True, op="stats")
-            if op == "snapshot":
-                data = save_memory_snapshot(self.memory, request["path"])
-                return {"id": rid, "ok": True, "op": "snapshot",
-                        "path": request["path"],
-                        "entries": len(data["canon_store"]) +
-                        len(data["h_store"])}
-            if op == "cache_snapshot":
-                path = self.save_cache_snapshot(request.get("path"))
-                return {"id": rid, "ok": path is not None,
-                        "op": "cache_snapshot", "path": path,
-                        "entries": 0 if self.cache is None
-                        else len(self.cache)}
-            state = self._parse_state(request)
-            self._check_topology(request, state)
-            if op == "prepare":
-                return self._handle_prepare(rid, state, request)
-            if op == "exact":
-                return self._handle_exact(rid, state, request)
-            raise ValueError(f"unknown op {op!r}")
+            response = self._dispatch(rid, op, request)
         except Exception as exc:
             self.errors += 1
-            return {"id": rid, "ok": False,
-                    "error": f"{type(exc).__name__}: {exc}"}
+            response = {"id": rid, "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        if self.obs is not None:
+            self.obs.request(op, _outcome_of(response))
+        return response
+
+    def _dispatch(self, rid, op: str, request: dict) -> dict:
+        if op == "stats":
+            return dict(self.stats(), id=rid, ok=True, op="stats")
+        if op == "trace":
+            if self.obs is None:
+                raise ValueError(
+                    "observability is disabled on this service; boot with "
+                    "an enabled ObsConfig (serve does by default)")
+            limit = request.get("limit", OBS_TRACE_DEFAULT_LIMIT)
+            return {"id": rid, "ok": True, "op": "trace",
+                    "emitted": self.obs.tracer.emitted,
+                    "records": self.obs.trace_tail(int(limit))}
+        if op == "snapshot":
+            data = save_memory_snapshot(self.memory, request["path"])
+            return {"id": rid, "ok": True, "op": "snapshot",
+                    "path": request["path"],
+                    "entries": len(data["canon_store"]) +
+                    len(data["h_store"])}
+        if op == "cache_snapshot":
+            path = self.save_cache_snapshot(request.get("path"))
+            return {"id": rid, "ok": path is not None,
+                    "op": "cache_snapshot", "path": path,
+                    "entries": 0 if self.cache is None
+                    else len(self.cache)}
+        state = self._parse_state(request)
+        self._check_topology(request, state)
+        if op == "prepare":
+            return self._handle_prepare(rid, state, request)
+        if op == "exact":
+            return self._handle_exact(rid, state, request)
+        raise ValueError(f"unknown op {op!r}")
 
     # -- synthesis paths -------------------------------------------------
 
@@ -386,6 +437,8 @@ class SynthesisService:
             result = self.cache.get("exact", state)
             if result is not None:
                 self.cache_hits += 1
+                if self.obs is not None:
+                    self.obs.cache_hit(rid, result.cnot_cost)
                 return self._cached_exact_response(rid, request, result,
                                                    start)
         if self.config.race_workers >= 2 and deadline_ms is None:
@@ -471,6 +524,14 @@ class SynthesisService:
         if op != "exact":
             reply(self.handle(request))
             return False
+        if self.obs is not None:
+            # count every exact admission outcome, immediate or settled,
+            # through the one reply funnel
+            inner_reply = reply
+
+            def reply(response, _inner=inner_reply):
+                self.obs.request("exact", _outcome_of(response))
+                _inner(response)
         self.requests += 1
         start = time.perf_counter()
         try:
@@ -486,11 +547,15 @@ class SynthesisService:
             result = self.cache.get("exact", state)
             if result is not None:
                 self.cache_hits += 1
+                if self.obs is not None:
+                    self.obs.cache_hit(rid, result.cnot_cost)
                 reply(self._cached_exact_response(rid, request, result,
                                                   start))
                 return False
         if self.scheduler.full:
             self.busy_rejections += 1
+            if self.obs is not None:
+                self.obs.busy_rejected(rid)
             reply({"id": rid, "ok": False, "busy": True, "op": "exact",
                    "error": f"service at max in-flight requests "
                             f"({self.scheduler.max_inflight})"})
@@ -500,9 +565,12 @@ class SynthesisService:
         else:
             specs = order_specs(self.config.specs, self.memory)
             budgets = None
+        if self.obs is not None:
+            self.obs.admission(rid, op, deadline_ms,
+                               len(self.scheduler.sessions))
         lanes = LaneScheduler(state, self.config.search, specs,
                               memory=self.memory, deadline_ms=deadline_ms,
-                              slice_budgets=budgets, tag=rid)
+                              slice_budgets=budgets, tag=rid, obs=self.obs)
         session = RequestSession(rid=rid, request=request, state=state,
                                  lanes=lanes, reply=reply,
                                  on_settle=self._settle_session,
@@ -529,6 +597,9 @@ class SynthesisService:
         if self.wal is not None:
             self.wal.close()  # compacts into the sidecar snapshot
         cache_path = self.save_cache_snapshot()
+        if self.obs is not None:
+            self.obs.tracer.event("shutdown", drained=flushed)
+            self.obs.close()
         return {"drained": flushed, "cache_snapshot": cache_path,
                 "wal_snapshot": None if self.wal is None
                 else str(self.wal.snapshot_path)}
@@ -547,6 +618,8 @@ class SynthesisService:
             "memory": self.memory.snapshot(),
             "scheduler": self.scheduler.snapshot(),
             "wal": None if self.wal is None else self.wal.snapshot(),
+            "metrics": None if self.obs is None
+            else self.obs.metrics_snapshot(self),
         }
 
     # -- batch mode ------------------------------------------------------
@@ -671,6 +744,19 @@ class SynthesisService:
         if with_circuit:
             row["circuit"] = circuit_to_dict(result.circuit)
         return row
+
+
+def _outcome_of(response: dict) -> str:
+    """Classify a response for the ``qsp_requests_total`` counter."""
+    if response.get("busy"):
+        return "busy"
+    if not response.get("ok"):
+        return "error"
+    if response.get("deadline_expired"):
+        return "deadline_flush"
+    if response.get("cached"):
+        return "cached"
+    return "ok"
 
 
 def parse_request_line(line: str) -> dict:

@@ -103,6 +103,64 @@ class TestConcurrentEqualsSerial:
 
 
 # ----------------------------------------------------------------------
+# observability zero-overhead differential
+# ----------------------------------------------------------------------
+
+class TestObsZeroOverhead:
+    """Obs disabled (the default) must be bit-identical to obs enabled:
+    same costs, same optimality flags, same turn counts, same expansion
+    counts, same settle order — the hard contract of ``repro.obs``."""
+
+    @staticmethod
+    def _drive_recording(service, requests):
+        settled: dict = {}
+        order: list = []
+        scheduler = service.scheduler
+        original = scheduler._settle
+
+        def record(session):
+            settled[session.rid] = (session.turns,
+                                    session.lanes.expansions)
+            order.append(session.rid)
+            original(session)
+
+        scheduler._settle = record
+        replies = _drive(service, requests)
+        return replies, settled, order
+
+    def test_disabled_obs_is_differentially_invisible(self):
+        from repro.obs import ObsConfig
+        from repro.obs.trace import reconstruct_timelines
+
+        plain_service = SynthesisService(_config(use_cache=False))
+        assert plain_service.obs is None  # library default: no obs at all
+        plain, plain_settled, plain_order = self._drive_recording(
+            plain_service, _requests())
+
+        observed_service = SynthesisService(_config(
+            use_cache=False, obs=ObsConfig.on()))
+        assert observed_service.obs is not None
+        rich, rich_settled, rich_order = self._drive_recording(
+            observed_service, _requests())
+
+        assert set(plain) == set(rich)
+        for rid in plain:
+            assert plain[rid]["ok"] == rich[rid]["ok"], rid
+            assert plain[rid]["cnot_cost"] == rich[rid]["cnot_cost"], rid
+            assert plain[rid]["optimal"] == rich[rid]["optimal"], rid
+            assert plain[rid]["engine"] == rich[rid]["engine"], rid
+        assert plain_order == rich_order
+        assert plain_settled == rich_settled  # per-rid turns + expansions
+        assert plain_service.scheduler.turns == \
+            observed_service.scheduler.turns
+        # and the observed run actually observed: every settle traced
+        timelines = reconstruct_timelines(
+            observed_service.obs.trace_tail())
+        for rid in rich:
+            assert timelines[rid]["balanced"], rid
+
+
+# ----------------------------------------------------------------------
 # scheduler policy (stub sessions: no real searches)
 # ----------------------------------------------------------------------
 
