@@ -113,6 +113,25 @@ Batch with the interleaved scheduler and a per-request latency budget
 
     repro-qsp batch requests.jsonl results.jsonl \
         --portfolio interleaved --deadline-ms 500
+
+Serve latency-first with ``op: fast`` — answer from the cache, else
+adapt the nearest cached circuit that shares the target's entanglement
+signature (deadline-bounded suffix re-search, simulator-verified before
+serving), else fall back to a search driven by the pattern database's
+learned bound tier.  The same tiers back ``prepare --mode fast``::
+
+    echo '{"id": 1, "op": "fast", "w": 5, "deadline_ms": 250}' | \
+        repro-qsp serve --portfolio interleaved
+    repro-qsp prepare --w 5 --mode fast --snapshot warm.qspmem.gz \
+        --cache-snapshot cache.qspreq.gz --deadline-ms 250
+
+Distill a request-cache snapshot into a pattern-database memory
+snapshot offline — cached solved costs become signature-keyed evidence
+(learned tier), proven-optimal ones become audited proof evidence — and
+boot the service warm from it::
+
+    repro-qsp distill cache.qspreq.gz --snapshot-out pdb.qspmem.gz
+    repro-qsp serve --snapshot pdb.qspmem.gz
 """
 
 from __future__ import annotations
@@ -203,6 +222,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write OpenQASM 2.0 to FILE ('-' for stdout)")
     prep.add_argument("--draw", action="store_true",
                       help="print an ASCII rendering of the circuit")
+    prep.add_argument("--mode", default="exact",
+                      choices=("exact", "fast"),
+                      help="exact = the full synthesis workflow (seed "
+                           "behavior); fast = latency-first serving "
+                           "through the service's cache -> near-hit -> "
+                           "learned-bound tiers (always simulator-"
+                           "verified, not necessarily optimal)")
+    prep.add_argument("--snapshot", metavar="FILE", default=None,
+                      help="fast mode: warm-start SearchMemory snapshot "
+                           "(pattern database rides in it; see "
+                           "'repro-qsp distill')")
+    prep.add_argument("--cache-snapshot", metavar="FILE", default=None,
+                      help="fast mode: request-cache snapshot whose "
+                           "signature index nominates near-hit donors")
+    prep.add_argument("--deadline-ms", type=float, default=None,
+                      metavar="MS",
+                      help="fast mode: wall-clock budget; bounds the "
+                           "near-hit suffix re-search and the fallback "
+                           "learned-tier search")
 
     comp = sub.add_parser("compare", help="compare all synthesis methods")
     _add_state_options(comp)
@@ -268,6 +306,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="synthesize every row topology-natively on a "
                              "device of this family sized to the row "
                              "(one warm memory per register size)")
+
+    distill = sub.add_parser(
+        "distill",
+        help="distill a request-cache snapshot into a pattern-database "
+             "memory snapshot (signature -> cost evidence)")
+    distill.add_argument("cache", metavar="CACHE_SNAPSHOT",
+                         help="request-cache snapshot to distill (see "
+                              "'serve --cache-snapshot')")
+    distill.add_argument("--snapshot-out", metavar="FILE", required=True,
+                         help="SearchMemory snapshot to write; the "
+                              "pattern database rides in it and 'serve "
+                              "--snapshot FILE' boots warm")
+    distill.add_argument("--snapshot-in", metavar="FILE", default=None,
+                         help="existing memory snapshot to layer the "
+                              "distilled evidence on top of (regimes "
+                              "must match)")
 
     serve = sub.add_parser(
         "serve",
@@ -404,6 +458,8 @@ def _add_topology_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_prepare(args: argparse.Namespace, state: QState) -> int:
+    if args.mode == "fast":
+        return _cmd_prepare_fast(args, state)
     result = prepare_state(state, QSPConfig())
     print(f"target : {state.pretty()}")
     print(f"qubits : {state.num_qubits}   cardinality: "
@@ -422,6 +478,115 @@ def _cmd_prepare(args: argparse.Namespace, state: QState) -> int:
             with open(args.qasm, "w", encoding="utf-8") as handle:
                 handle.write(text)
             print(f"QASM written to {args.qasm}")
+    return 0
+
+
+def _cmd_prepare_fast(args: argparse.Namespace, state: QState) -> int:
+    """``prepare --mode fast``: one request through the serving tiers.
+
+    Boots an in-process :class:`SynthesisService` (optionally warm from
+    ``--snapshot`` / ``--cache-snapshot``) and submits a single ``fast``
+    op — cache hit, near-hit adaptation, or learned-bound search,
+    whichever answers first.  The served circuit is always simulator-
+    verified; it is only marked optimal when a sound bound certifies it.
+    """
+    from repro.service.server import ServiceConfig, SynthesisService
+    from repro.utils.serialization import circuit_from_dict, state_to_dict
+
+    config = ServiceConfig(snapshot_path=args.snapshot,
+                           cache_snapshot_path=args.cache_snapshot,
+                           portfolio_mode="interleaved")
+    service = SynthesisService(config)
+    request: dict = {"id": 0, "op": "fast", "state": state_to_dict(state)}
+    if args.deadline_ms is not None:
+        request["deadline_ms"] = args.deadline_ms
+    if args.qasm or args.draw:
+        request["return_circuit"] = True
+    response = service.handle(request)
+    if not response.get("ok"):
+        raise SystemExit(f"fast synthesis failed: {response.get('error')}")
+    print(f"target : {state.pretty()}")
+    print(f"qubits : {state.num_qubits}   cardinality: "
+          f"{state.cardinality}")
+    if "cnot_cost" in response:
+        flag = " (proven optimal)" if response.get("optimal") else ""
+        print(f"CNOTs  : {response['cnot_cost']}{flag}")
+    else:
+        bound = response.get("lower_bound")
+        tail = f" (cost >= {bound})" if bound is not None else ""
+        print(f"CNOTs  : unsolved within budget{tail}")
+    tier = "cache" if response.get("cached") \
+        else response.get("engine", "search")
+    near = " (near-hit adaptation)" if response.get("near_hit") else ""
+    print(f"tier   : {tier}{near}")
+    if response.get("verified"):
+        print("checked: simulator-verified against the target")
+    if response.get("deadline_expired"):
+        print("note   : deadline expired; best feasible answer served")
+    print(f"seconds: {response.get('seconds', 0.0):.6f}")
+    circuit_data = response.get("circuit")
+    if circuit_data is not None:
+        circuit = circuit_from_dict(circuit_data)
+        if args.draw:
+            print(circuit.draw())
+        if args.qasm:
+            from repro.circuits.qasm import to_qasm
+            text = to_qasm(circuit)
+            if args.qasm == "-":
+                print(text)
+            else:
+                with open(args.qasm, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                print(f"QASM written to {args.qasm}")
+    return 0
+
+
+def _cmd_distill(args: argparse.Namespace) -> int:
+    """``distill``: request-cache snapshot -> pattern-database snapshot.
+
+    Every cached solved result becomes cost evidence for its target's
+    entanglement signature: solved costs feed the learned (inadmissible)
+    bound tier, proven-optimal ones additionally become proof evidence
+    the admissibility audit checks against.  The structural admissible
+    tier is recomputed from signatures alone, so distillation can never
+    make an exact search inadmissible.
+    """
+    from repro.core.memory import SearchMemory
+    from repro.core.pdb import entanglement_signature, state_from_payload
+    from repro.service.persistence import (
+        load_memory_snapshot,
+        load_request_cache,
+        save_memory_snapshot,
+    )
+
+    cache = load_request_cache(args.cache)
+    if args.snapshot_in:
+        memory = load_memory_snapshot(args.snapshot_in)
+    else:
+        memory = SearchMemory()
+    pdb = memory.pdb
+    scanned = 0
+    for _mode, payload, result in cache.items():
+        cost = getattr(result, "cnot_cost", None)
+        if cost is None:
+            continue
+        optimal = bool(getattr(result, "optimal", False)
+                       or getattr(result, "exact_optimal", False))
+        signature = entanglement_signature(state_from_payload(payload))
+        pdb.observe(signature, solved_cost=int(cost), optimal=optimal)
+        scanned += 1
+    violations = pdb.audit()
+    if violations:
+        raise SystemExit(
+            f"distilled pattern database failed the admissibility audit "
+            f"({len(violations)} violation(s)); refusing to write "
+            f"{args.snapshot_out}: {violations[:3]!r}")
+    save_memory_snapshot(memory, args.snapshot_out)
+    snap = pdb.snapshot()
+    print(f"distilled {scanned} cached result(s) from {args.cache}")
+    print(f"pattern database: {snap['entries']} signature(s), "
+          f"audit clean")
+    print(f"memory snapshot written to {args.snapshot_out}")
     return 0
 
 
@@ -678,6 +843,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "family":
         return _cmd_family(args)
+    if args.command == "distill":
+        return _cmd_distill(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "batch":

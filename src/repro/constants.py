@@ -197,6 +197,52 @@ OBS_TURN_EXPANSION_BUCKETS: tuple = (
 OBS_DEADLINE_SLACK_BUCKETS: tuple = (
     -1.0, -0.1, -0.01, 0.0, 0.01, 0.1, 0.5, 1.0, 5.0)
 
+# ----------------------------------------------------------------------
+# Pattern database + near-hit serving (repro.core.pdb / service)
+# ----------------------------------------------------------------------
+
+#: Mutual-information floor above which a qubit pair counts as entangled
+#: in :func:`repro.states.analysis.entangled_pairs_mi`.  Entanglement
+#: signatures (``repro.core.pdb``) key on the MI-cluster shape, so this
+#: one constant pins signature identity everywhere a signature is built,
+#: compared, or persisted.
+MI_PAIR_THRESHOLD: float = 1e-9
+
+#: Canonical-cut cap of the entanglement signature's Schmidt-rank
+#: profile: registers up to ``_EXACT_CUT_QUBITS`` enumerate every cut,
+#: wider ones take this many deterministic cuts (contiguous + seeded
+#: random, the same family the Schmidt-cut heuristic samples).  Signature
+#: identity depends on this being one shared constant.
+PDB_SIGNATURE_CUT_CAP: int = 16
+
+#: Entry cap of the pattern database (distinct entanglement signatures).
+#: Signatures are tiny abstractions of states, so the PDB saturates far
+#: below this on any real workload; the cap only bounds adversarial
+#: traffic.  Evicting is always sound (a missing signature falls back to
+#: the structural bound computed on demand).
+PDB_CAP: int = 1 << 16
+
+#: Newly touched PDB signatures tracked for delta snapshots (WAL
+#: records) before the log overflows and the next delta ships the whole
+#: database instead (same rule as the transposition improvement logs).
+PDB_IMPROVE_LOG_CAP: int = 1 << 14
+
+#: Entry cap of the request cache's signature index (cached results per
+#: signature bucket kept as near-hit adaptation donors).
+SIGNATURE_INDEX_CAP: int = 1 << 12
+
+#: Default wall-clock budget (ms) of the near-hit suffix re-search: the
+#: deadline-bounded anytime portfolio run from the closest intermediate
+#: of an adapted donor circuit.  Small by design — a near hit is only
+#: worth serving when it undercuts full synthesis by orders of
+#: magnitude; requests may override via their own ``deadline_ms``.
+NEARHIT_SUFFIX_DEADLINE_MS: float = 250.0
+
+#: Donor circuits the near-hit path will attempt to adapt per request
+#: before falling back to a full search — each try costs a move replay
+#: plus a (deadline-bounded) suffix search, so the list stays short.
+NEARHIT_DONOR_CANDIDATES: int = 4
+
 #: CNOT cost of a multi-controlled Ry with ``k`` controls (Table I):
 #: 0 controls -> plain Ry (free), 1 control -> 2, k controls -> 2**k.
 

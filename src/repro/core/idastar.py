@@ -79,6 +79,7 @@ from repro.core.kernel import (
 )
 from repro.core.memory import TranspositionTable
 from repro.core.moves import Move, moves_to_circuit
+from repro.core.pdb import entanglement_signature
 from repro.exceptions import SearchBudgetExceeded
 from repro.states.qstate import QState
 
@@ -104,6 +105,18 @@ class IDAStarConfig:
     search: SearchConfig = field(default_factory=SearchConfig)
     transposition_cap: int = 200_000
     record_truncated: bool = False
+    #: Pattern-database root-bound tier (needs a ``SearchMemory`` with a
+    #: ``pdb``; silently off otherwise).  ``"admissible"`` seeds the first
+    #: deepening bound *and* the proven lower bound with the signature's
+    #: structural bound — sound, so results are unchanged and rounds below
+    #: it are skipped.  ``"learned"`` additionally seeds the *deepening
+    #: bound only* with the class's observed evidence (cheapest solved
+    #: member cost / strongest member exhaustion bound) — inadmissible, so
+    #: the first found solution may be suboptimal; the run reports
+    #: ``optimal`` only when the sound lower bound reaches the found cost.
+    #: This is the service's ``fast`` mode; exact modes never use it.
+    #: ``"off"`` ignores the PDB entirely.
+    pdb_tier: str = "admissible"
 
 
 def idastar_search(target: QState, config: IDAStarConfig | None = None,
@@ -136,6 +149,8 @@ class IDAStarRun(EngineRun):
                  heuristic: HeuristicFn | None = None, memory=None,
                  incumbent=None):
         config = config or IDAStarConfig()
+        if config.pdb_tier not in ("off", "admissible", "learned"):
+            raise ValueError(f"unknown pdb_tier {config.pdb_tier!r}")
         self.config = config
         shared = config.search
         ctx = EngineContext.from_search_config(target, shared,
@@ -146,6 +161,19 @@ class IDAStarRun(EngineRun):
         else:
             self._transposition = TranspositionTable(
                 config.transposition_cap)
+        # Pattern-database root bounds (see ``IDAStarConfig.pdb_tier``):
+        # the admissible one joins the *proven* lower bound, the hint only
+        # seeds the deepening bound.  Computed once per run — the
+        # signature is a property of the target, not of search state.
+        self._pdb_admissible = 0
+        self._pdb_hint = 0
+        pdb = getattr(memory, "pdb", None)
+        if pdb is not None and config.pdb_tier != "off":
+            signature = entanglement_signature(target)
+            self._pdb_admissible = pdb.admissible_bound(signature)
+            self._pdb_hint = (pdb.learned_bound(signature)
+                              if config.pdb_tier == "learned"
+                              else self._pdb_admissible)
         super().__init__(ctx)
         if incumbent is not None:
             self.inject_incumbent(incumbent if isinstance(incumbent, int)
@@ -286,17 +314,25 @@ class IDAStarRun(EngineRun):
 
         try:
             start = ctx.start
-            bound = h_of(start)
+            h_root = h_of(start)
+            # The deepening bound may start above h(start) via the PDB
+            # hint; for the learned tier the hint is inadmissible, so the
+            # proven lower bound below only folds in the admissible PDB
+            # bound — exhausting an inflated round is still a sound
+            # ``OPT > bound`` proof (the probe is complete under its
+            # f-cap), only the bound's *starting point* is unproven.
+            bound = max(h_root, float(self._pdb_hint))
             # Proven lower bound, maintained round-by-round: admissibility
-            # proves ``OPT >= h(start)`` up front (A*'s ceil convention —
-            # the old code truncated ``int(bound)``); each fully exhausted
-            # round then proves ``OPT > bound``, i.e. ``OPT >=
-            # floor(bound) + 1`` with integer move costs.  The
+            # proves ``OPT >= max(h(start), pdb)`` up front (A*'s ceil
+            # convention — the old code truncated ``int(bound)``); each
+            # fully exhausted round then proves ``OPT > bound``, i.e.
+            # ``OPT >= floor(bound) + 1`` with integer move costs.  The
             # *next-round* bound itself is not used as a claim: a
             # transposition hit reports ``bound + 1.0``, which with
             # fractional heuristics may overstate the subtree's true
             # minimal exceeded f.
-            proven_lb = int(math.ceil(bound - 1e-9))
+            proven_lb = int(math.ceil(
+                max(h_root, float(self._pdb_admissible)) - 1e-9))
             start_class = canon(start)
             while True:
                 if self._ub is not None:
@@ -329,8 +365,16 @@ class IDAStarRun(EngineRun):
                         moves, goal_state[0].to_qstate(),
                         ctx.target.num_qubits)
                     cost = sum(m.cost for m in moves)
+                    # With admissible bounds only, the find round's bound
+                    # never exceeds the proven lower bound's round, so
+                    # ``cost <= proven_lb`` always holds and this is the
+                    # old unconditional ``optimal=True``.  A learned
+                    # (inadmissible) PDB hint can inflate the first round
+                    # past optimal; then the flag honestly reports whether
+                    # the sound bound certifies the found cost.
                     self._finish(RunStatus.SOLVED, result=SearchResult(
-                        circuit=circuit, cnot_cost=cost, optimal=True,
+                        circuit=circuit, cnot_cost=cost,
+                        optimal=cost <= proven_lb,
                         moves=moves, stats=stats))
                     return
                 proven_lb = max(proven_lb, int(bound) + 1)

@@ -63,6 +63,7 @@ from repro.constants import (
 )
 from repro.core import fastcore as _fastcore
 from repro.core.kernel import PackedState, StatePool, state_hash64
+from repro.core.pdb import PatternDatabase
 from repro.exceptions import MemoryCompatibilityError
 
 __all__ = [
@@ -435,7 +436,7 @@ class SearchMemory:
     silently mixing entries whose meaning differs.
     """
 
-    __slots__ = ("pool", "canon_store", "h_store", "transposition",
+    __slots__ = ("pool", "canon_store", "h_store", "transposition", "pdb",
                  "pool_rotate_cap", "pool_rotations", "searches",
                  "lane_stats", "_fingerprint")
 
@@ -446,6 +447,12 @@ class SearchMemory:
         self.canon_store = HashStore(store_cap)
         self.h_store = HashStore(store_cap)
         self.transposition = TranspositionTable(transposition_cap)
+        #: abstraction-keyed pattern database (entanglement signature ->
+        #: structural bound memo + settled-cost evidence); distilled from
+        #: the service's finished requests and consulted by IDA*'s root
+        #: deepening bound — admissibly in exact modes, evidence-raised in
+        #: the service's ``fast`` mode (`repro.core.pdb`)
+        self.pdb = PatternDatabase()
         self.pool_rotate_cap = max(1, int(pool_rotate_cap))
         self.pool_rotations = 0
         self.searches = 0
@@ -528,6 +535,7 @@ class SearchMemory:
             "canon_store": self.canon_store.snapshot(),
             "h_store": self.h_store.snapshot(),
             "transposition": self.transposition.snapshot(),
+            "pdb": self.pdb.snapshot(),
             "lane_stats": {name: dict(row)
                            for name, row in self.lane_stats.items()},
         }

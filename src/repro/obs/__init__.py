@@ -162,6 +162,11 @@ class ServiceObs:
             "qsp_wal_truncations_total",
             "Torn or corrupt WAL tails truncated at boot, by reason",
             labelnames=("reason",))
+        # --- near-hit serving (op: fast) ---
+        self.nearhits = r.counter(
+            "qsp_nearhit_total",
+            "Near-hit serving outcomes (served/verify_failed/truncated/"
+            "no_neighbor)", labelnames=("outcome",))
         # --- memory/cache occupancy (gauges refreshed by collect()) ---
         self.store = r.gauge(
             "qsp_store_stat", "SearchMemory store counters, by store/stat",
@@ -169,6 +174,12 @@ class ServiceObs:
         self.cache = r.gauge(
             "qsp_request_cache_stat", "Request-cache counters, by mode/stat",
             labelnames=("mode", "stat"))
+        self.cache_entries = r.gauge(
+            "qsp_cache_entries", "Request-cache occupancy, by mode",
+            labelnames=("mode",))
+        self.cache_evictions = r.gauge(
+            "qsp_cache_evictions_total", "Request-cache evictions, by mode",
+            labelnames=("mode",))
 
     # ---------------- service front door ----------------
 
@@ -187,6 +198,11 @@ class ServiceObs:
         self.queue_depth.set(inflight)
         self.tracer.begin("request", rid=rid, op=op,
                           deadline_ms=deadline_ms, **attrs)
+
+    def near_hit(self, outcome: str):
+        """One near-hit serving attempt settled (``op: fast`` tier 2)."""
+        self.nearhits.labels(outcome).inc()
+        self.tracer.event("near_hit", outcome=outcome)
 
     # ---------------- scheduler ----------------
 
@@ -287,7 +303,7 @@ class ServiceObs:
         self.inflight.set(len(service.scheduler.sessions))
         if service.memory is not None:
             snap = service.memory.snapshot()
-            for store in ("canon_store", "h_store", "transposition"):
+            for store in ("canon_store", "h_store", "transposition", "pdb"):
                 for stat, value in snap[store].items():
                     if isinstance(value, (int, float)):
                         self.store.labels(store, stat).set(value)
@@ -296,6 +312,10 @@ class ServiceObs:
                 for stat, value in stats.items():
                     if isinstance(value, (int, float)):
                         self.cache.labels(mode, stat).set(value)
+                self.cache_entries.labels(mode).set(
+                    stats.get("entries", 0))
+                self.cache_evictions.labels(mode).set(
+                    stats.get("evictions", 0))
 
     def metrics_snapshot(self, service=None) -> dict:
         if service is not None:

@@ -34,9 +34,15 @@ from __future__ import annotations
 from repro.constants import (
     REQUEST_CACHE_SNAPSHOT_VERSION,
     SERVICE_REQUEST_CACHE_CAP,
+    SIGNATURE_INDEX_CAP,
 )
 from repro.core.kernel import StatePool
 from repro.core.memory import HashStore
+from repro.core.pdb import (
+    coarse_signature,
+    signature_from_list,
+    signature_to_list,
+)
 from repro.exceptions import MemoryCompatibilityError
 from repro.states.qstate import QState
 
@@ -49,9 +55,20 @@ _POOL_ROTATE_CAP = 1 << 16
 
 
 class RequestCache:
-    """Exact-hit result cache over target states, pinned to one regime."""
+    """Exact-hit result cache over target states, pinned to one regime.
 
-    __slots__ = ("cap", "regime", "_stores", "_pool")
+    On top of the exact tier, a *signature index* groups cached entries
+    by their entanglement signature (:mod:`repro.core.pdb`) so the
+    server's near-hit path can nominate donor circuits for targets that
+    miss exactly but share structure with something already solved.  The
+    index only ever *nominates*: an adapted circuit is simulator-verified
+    before serving, so a wrong neighbor costs time, never correctness.
+    Donor move lists live in-process only (results loaded from a snapshot
+    travel without moves and count toward occupancy, not adaptation).
+    """
+
+    __slots__ = ("cap", "regime", "_stores", "_pool",
+                 "_sig_index", "_coarse_index", "_donors", "sig_entries")
 
     def __init__(self, regime: dict | None = None,
                  cap: int = SERVICE_REQUEST_CACHE_CAP):
@@ -59,6 +76,14 @@ class RequestCache:
         self.regime = regime
         self._stores: dict[str, HashStore] = {}
         self._pool = StatePool()
+        #: mode -> full signature -> payloads of cached member states
+        self._sig_index: dict[str, dict[tuple, list[bytes]]] = {}
+        #: mode -> coarse key (signature minus rank profile) -> payloads
+        self._coarse_index: dict[str, dict[tuple, list[bytes]]] = {}
+        #: (mode, payload) -> in-process result still carrying its move
+        #: list — the only entries the near-hit path can actually adapt
+        self._donors: dict[tuple[str, bytes], object] = {}
+        self.sig_entries = 0
 
     def pin(self, regime: dict) -> None:
         """Pin (or re-check) the regime the cached results were made under."""
@@ -84,8 +109,75 @@ class RequestCache:
         """Cached result for ``state`` under ``mode``, or ``None``."""
         return self._store(mode).get(self._key(state))
 
-    def put(self, mode: str, state: QState, result) -> None:
-        self._store(mode).put(self._key(state), result)
+    def put(self, mode: str, state: QState, result,
+            signature: tuple | None = None) -> None:
+        key = self._key(state)
+        self._store(mode).put(key, result)
+        if signature is not None:
+            self._register(mode, bytes(key.payload), signature, result)
+
+    def _register(self, mode: str, payload: bytes, signature: tuple,
+                  result=None) -> None:
+        """Index one cached payload under its entanglement signature."""
+        if self.sig_entries >= SIGNATURE_INDEX_CAP:
+            return
+        rows = self._sig_index.setdefault(mode, {}) \
+            .setdefault(signature, [])
+        if payload in rows:
+            return
+        rows.append(payload)
+        self._coarse_index.setdefault(mode, {}) \
+            .setdefault(coarse_signature(signature), []).append(payload)
+        self.sig_entries += 1
+        if result is not None and getattr(result, "moves", None):
+            self._donors[(mode, payload)] = result
+
+    def near(self, mode: str, signature: tuple) -> list[tuple[bytes, object]]:
+        """Adaptable donors near ``signature``: ``(payload, result)`` rows.
+
+        Exact-signature members first, then coarse-key neighbors (same
+        register size, entangled support, and MI-cluster shape — the rank
+        profile is the one component that shifts under small amplitude
+        perturbations, so it is dropped for the fallback).  Only donors
+        whose in-process results still carry move lists are returned;
+        callers must adapt *and verify* before serving.
+        """
+        rows: list[tuple[bytes, object]] = []
+        seen: set[bytes] = set()
+        exact = self._sig_index.get(mode, {}).get(signature, ())
+        coarse = self._coarse_index.get(mode, {}).get(
+            coarse_signature(signature), ())
+        for payload in (*exact, *coarse):
+            if payload in seen:
+                continue
+            seen.add(payload)
+            donor = self._donors.get((mode, payload))
+            if donor is not None:
+                rows.append((payload, donor))
+        return rows
+
+    def signature_occupancy(self) -> dict:
+        """Signature-index counters for ``op: stats`` (flywheel fill)."""
+        return {
+            "entries": self.sig_entries,
+            "signatures": sum(len(index)
+                              for index in self._sig_index.values()),
+            "coarse_keys": sum(len(index)
+                               for index in self._coarse_index.values()),
+            "donors": len(self._donors),
+            "cap": SIGNATURE_INDEX_CAP,
+        }
+
+    def items(self):
+        """Iterate ``(mode, payload, result)`` over every cached entry.
+
+        The offline distiller (``repro-qsp distill``) walks this to turn
+        solved results into pattern-database evidence without reaching
+        into per-mode stores.
+        """
+        for mode, store in sorted(self._stores.items()):
+            for payload, result in store.items_payload():
+                yield mode, bytes(payload), result
 
     def __len__(self) -> int:
         return sum(len(store) for store in self._stores.values())
@@ -150,12 +242,23 @@ def request_cache_to_dict(cache: RequestCache) -> dict:
         entries[mode] = [
             [base64.b64encode(payload).decode("ascii"), _result_enc(value)]
             for payload, value in store.items_payload()]
+    signatures: dict[str, list] = {}
+    for mode, index in sorted(cache._sig_index.items()):
+        signatures[mode] = [
+            [signature_to_list(signature),
+             [base64.b64encode(payload).decode("ascii")
+              for payload in payloads]]
+            for signature, payloads in index.items()]
     return {
         "kind": "request_cache",
         "version": REQUEST_CACHE_SNAPSHOT_VERSION,
         "regime": cache.regime,
         "cap": cache.cap,
         "entries": entries,
+        # additive section: the signature index (near-hit nomination).
+        # Loaded entries come back without move lists, so they count
+        # toward occupancy but cannot be adapted until re-solved.
+        "signatures": signatures,
     }
 
 
@@ -205,6 +308,15 @@ def request_cache_from_dict(data: dict,
                 payload = base64.b64decode(payload_b64.encode("ascii"),
                                            validate=True)
                 store.put_payload(payload, _result_dec(result_enc))
+        # additive: snapshots from before the signature index simply
+        # lack the section and load with an empty index
+        for mode, rows in (data.get("signatures") or {}).items():
+            for sig_enc, payloads_b64 in rows:
+                signature = signature_from_list(sig_enc)
+                for payload_b64 in payloads_b64:
+                    payload = base64.b64decode(
+                        payload_b64.encode("ascii"), validate=True)
+                    cache._register(str(mode), payload, signature)
     except (KeyError, ValueError, TypeError, AttributeError,
             binascii.Error) as exc:
         raise MemoryCompatibilityError(

@@ -325,7 +325,8 @@ class MemoryWAL:
         delta = memory_to_dict(self.memory, since=self._baseline)
         table = delta["transposition"]
         if not (delta["canon_store"] or delta["h_store"] or table["data"]
-                or table["cond"] or delta["lane_stats"]):
+                or table["cond"] or delta["lane_stats"]
+                or delta["pdb"]["entries"]):
             return None
         seq = self.append(delta)
         self._baseline = memory_baseline(self.memory)

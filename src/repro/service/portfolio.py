@@ -213,21 +213,27 @@ class PortfolioOutcome:
 
 def build_engine_run(spec: EngineSpec, state: QState, search: SearchConfig,
                      memory: SearchMemory | None = None,
-                     incumbent=None) -> EngineRun:
+                     incumbent=None,
+                     pdb_tier: str = "admissible") -> EngineRun:
     """Arm one lane as a stepwise :class:`~repro.core.engine.EngineRun`.
 
     Lane configs derive from the shared ``search`` so every lane attaches
     to the same memory regime; ``incumbent`` seeds branch-and-bound for
     A* lanes only (the sequential mode's historical contract — in the
     interleaved scheduler every lane instead receives incumbents live via
-    ``inject_incumbent``).
+    ``inject_incumbent``).  ``pdb_tier`` selects the IDA* lane's
+    pattern-database root-bound tier (``"learned"`` only for the
+    service's ``fast`` mode — its inadmissible seed trades the optimality
+    proof for fewer deepening rounds; exact modes keep the sound
+    default).
     """
     if spec.engine == "astar":
         config = search if spec.weight == search.weight \
             else replace(search, weight=spec.weight)
         return AStarRun(state, config, memory=memory, incumbent=incumbent)
     if spec.engine == "idastar":
-        return IDAStarRun(state, IDAStarConfig(search=search),
+        return IDAStarRun(state,
+                          IDAStarConfig(search=search, pdb_tier=pdb_tier),
                           memory=memory)
     beam_config = BeamConfig(
         width=spec.width, heuristic_weight=spec.weight,
@@ -382,7 +388,8 @@ class LaneScheduler:
                  deadline_ms: float | None = None,
                  slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
                  slice_budgets: dict[str, int] | None = None,
-                 tag: object | None = None, obs=None) -> None:
+                 tag: object | None = None, obs=None,
+                 pdb_tier: str = "admissible") -> None:
         self.memory = memory
         #: :class:`repro.obs.ServiceObs` or ``None`` — slice/incumbent/
         #: settle hooks only; never consulted in the expansion hot loop
@@ -393,7 +400,8 @@ class LaneScheduler:
             else Stopwatch(max(0.0, deadline_ms) / 1000.0)
         self.lanes = []
         for spec in specs:
-            run = build_engine_run(spec, state, search, memory=memory)
+            run = build_engine_run(spec, state, search, memory=memory,
+                                   pdb_tier=pdb_tier)
             run.tag = tag
             budget = max(1, int((slice_budgets or {}).get(
                 spec.name, slice_expansions)))
@@ -554,6 +562,7 @@ def interleaved_portfolio(
         memory: SearchMemory | None = None,
         deadline_ms: float | None = None,
         slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
+        pdb_tier: str = "admissible",
 ) -> PortfolioOutcome:
     """Round-robin time-sliced portfolio in one process (see module docs).
 
@@ -569,7 +578,7 @@ def interleaved_portfolio(
         state, search or SearchConfig(),
         order_specs(specs or default_portfolio(), memory),
         memory=memory, deadline_ms=deadline_ms,
-        slice_expansions=slice_expansions)
+        slice_expansions=slice_expansions, pdb_tier=pdb_tier)
     while scheduler.run_round():
         pass
     return scheduler.finish()
@@ -739,7 +748,8 @@ def race_portfolio(state: QState, search: SearchConfig | None = None,
 def run_mode_portfolio(state: QState, search: SearchConfig,
                        specs: tuple[EngineSpec, ...],
                        memory: SearchMemory | None, mode: str,
-                       deadline_ms: float | None) -> PortfolioOutcome:
+                       deadline_ms: float | None,
+                       pdb_tier: str = "admissible") -> PortfolioOutcome:
     """Dispatch to the in-process scheduler a request asked for.
 
     The single policy point shared by the server's ``exact`` path and the
@@ -751,7 +761,8 @@ def run_mode_portfolio(state: QState, search: SearchConfig,
     """
     if mode == "interleaved" or deadline_ms is not None:
         return interleaved_portfolio(state, search, specs, memory=memory,
-                                     deadline_ms=deadline_ms)
+                                     deadline_ms=deadline_ms,
+                                     pdb_tier=pdb_tier)
     return run_portfolio(state, search, specs, memory=memory)
 
 

@@ -72,6 +72,23 @@ Under the concurrent front end a deadline also sets the request's EDF
 priority, and keeps running while other sessions hold the CPU — it is a
 caller-facing latency bound, not a CPU budget.
 
+``op: fast`` is the latency-first tier over the same target shapes
+(``{"op": "fast", "dicke": [6, 3]}``): it tries the ``fast`` and
+``exact`` cache namespaces, then the *near-hit* path — the request
+cache's signature index (:mod:`repro.core.pdb`) nominates cached donor
+circuits whose targets share the state's entanglement signature, the
+donor's backward move path is replayed on the new target with merge
+angles re-derived from the target's own amplitudes, and a
+deadline-bounded suffix search finishes from the most-promising
+intermediate — and only then falls back to a full interleaved search
+seeded with the pattern database's *learned* (inadmissible) bound tier.
+Every circuit served by the near-hit or fallback path is verified
+against the target with the simulator before the response leaves
+(``verified: true``); a failed verification silently falls through to
+the next tier.  ``fast`` results are never marked ``optimal`` unless a
+*sound* bound certifies the cost, land in their own cache namespace
+(never ``exact``), and deadline-truncated ones are never cached at all.
+
 **Persistence.**  ``op: snapshot`` writes a full memory snapshot on
 demand; ``serve --wal FILE`` keeps an incremental write-ahead log
 instead (:class:`~repro.service.persistence.MemoryWAL`): each settled
@@ -123,9 +140,11 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.constants import (
+    NEARHIT_DONOR_CANDIDATES,
+    NEARHIT_SUFFIX_DEADLINE_MS,
     OBS_TRACE_DEFAULT_LIMIT,
     SERVICE_MAX_INFLIGHT,
     SERVICE_REQUEST_CACHE_CAP,
@@ -133,9 +152,11 @@ from repro.constants import (
     WAL_COMPACT_INTERVAL,
 )
 from repro.obs import ObsConfig, build_obs
+from repro.circuits.circuit import QCircuit
 from repro.core.astar import SearchConfig, SearchResult
 from repro.core.kernel import StatePool
 from repro.core.memory import SearchMemory
+from repro.core.pdb import entanglement_signature
 from repro.exceptions import MemoryCompatibilityError
 from repro.qsp.config import QSPConfig
 from repro.service.cache import RequestCache
@@ -146,6 +167,7 @@ from repro.service.portfolio import (
     LaneScheduler,
     autotune_specs,
     default_portfolio,
+    interleaved_portfolio,
     order_specs,
     race_portfolio,
     run_batch,
@@ -232,6 +254,114 @@ class ServiceConfig:
                 f"'sequential' or 'interleaved'")
 
 
+# ----------------------------------------------------------------------
+# Near-hit adaptation (the fast op's middle tier)
+# ----------------------------------------------------------------------
+
+def _reangle_move(move, state: QState):
+    """One donor move adapted to ``state``; returns ``(move, next_state)``.
+
+    X and CX moves are amplitude-pattern-independent and replay as-is.  A
+    :class:`~repro.core.moves.MergeMove`'s angle, however, was derived
+    from the *donor's* amplitudes — on a perturbed near-neighbor the same
+    rotation would only approximately merge.  So the angle is re-derived
+    from the current state's own amplitude pair inside the move's control
+    cube (both merge directions are tried, plus the donor's original
+    angle), keeping whichever candidate shrinks the state most
+    (cardinality, then entangled-qubit count).  The application itself is
+    the exact sparse gate, so whatever angle wins, the state evolution —
+    and hence the final verification — stays exact.
+    """
+    from repro.core.moves import MergeMove, merge_angle
+    from repro.states.analysis import num_entangled_qubits
+    from repro.utils.bits import bit_of
+
+    if not isinstance(move, MergeMove):
+        return move, move.apply(state)
+    n = state.num_qubits
+    target_bit = 1 << (n - 1 - move.target)
+    thetas = [move.theta]
+    for idx, _amp in state.items():
+        if all(bit_of(idx, q, n) == p for q, p in move.controls):
+            base = idx & ~target_bit
+            a0 = state.amplitude(base)
+            a1 = state.amplitude(base | target_bit)
+            # one pair suffices: in the adaptable regime (a perturbed
+            # sibling of the donor target) every selected pair shares
+            # the ratio, exactly as the donor's own merge did
+            thetas.append(merge_angle(a0, a1, 0))
+            thetas.append(merge_angle(a0, a1, 1))
+            break
+    best = None
+    for theta in thetas:
+        candidate = replace(move, theta=theta)
+        nxt = candidate.apply(state)
+        if nxt.cardinality == 0:
+            continue  # numerically annihilated — not a usable branch
+        score = (nxt.cardinality, num_entangled_qubits(nxt))
+        if best is None or score < best[0]:
+            best = (score, candidate, nxt)
+    if best is None:
+        return move, move.apply(state)
+    return best[1], best[2]
+
+
+def _adapt_near_hit(state: QState, donor: SearchResult,
+                    search: SearchConfig, specs: tuple[EngineSpec, ...],
+                    memory: SearchMemory | None,
+                    deadline_ms: float | None):
+    """Adapt a donor's backward move path to a near-neighbor target.
+
+    Replays the donor's moves on ``state`` (merge angles re-derived, see
+    :func:`_reangle_move`), scores every intermediate by ``prefix cost +
+    admissible remaining bound``, and runs a deadline-bounded suffix
+    search from the most promising one.  Returns ``(result, truncated)``
+    — the assembled circuit is *candidate* output only; the caller must
+    simulator-verify it before serving — or ``None`` when the donor path
+    does not lead anywhere a suffix search can finish from in time.
+    """
+    from repro.states.analysis import entanglement_lower_bound
+
+    moves = list(getattr(donor, "moves", ()) or ())
+    if not moves:
+        return None
+    prefix_states = [state]
+    adapted: list = []
+    costs = [0]
+    current = state
+    for move in moves:
+        move, current = _reangle_move(move, current)
+        adapted.append(move)
+        prefix_states.append(current)
+        costs.append(costs[-1] + move.cost)
+    best_i, best_score = None, None
+    for i in range(1, len(prefix_states)):
+        score = costs[i] + entanglement_lower_bound(prefix_states[i])
+        if best_score is None or score < best_score:
+            best_score, best_i = score, i
+    if best_i is None:
+        return None
+    outcome = interleaved_portfolio(prefix_states[best_i], search, specs,
+                                    memory=memory, deadline_ms=deadline_ms)
+    if not outcome.solved:
+        return None
+    suffix = outcome.result
+    prefix = adapted[:best_i]
+    # suffix.circuit prepares the intermediate from |0..0>; undoing the
+    # prefix moves (their forward gates, newest first) then carries it on
+    # to the requested target — the exact assembly rule of
+    # :func:`repro.core.moves.moves_to_circuit`
+    circuit = QCircuit(state.num_qubits, suffix.circuit.gates)
+    for move in reversed(prefix):
+        circuit.extend(move.forward_gates())
+    full_moves = prefix + list(suffix.moves) if suffix.moves else []
+    result = SearchResult(circuit=circuit,
+                          cnot_cost=costs[best_i] + suffix.cnot_cost,
+                          optimal=False, moves=full_moves,
+                          stats=suffix.stats)
+    return result, outcome.deadline_expired
+
+
 class SynthesisService:
     """Request-level orchestration over memory + portfolio + cache."""
 
@@ -283,6 +413,10 @@ class SynthesisService:
         self.cache_hits = 0
         self.errors = 0
         self.busy_rejections = 0
+        #: near-hit path outcomes (``op: fast``), mirrored to obs when
+        #: enabled: served / verify_failed / truncated / no_neighbor
+        self.nearhits = {"served": 0, "verify_failed": 0,
+                         "truncated": 0, "no_neighbor": 0}
 
     def save_cache_snapshot(self, path=None) -> str | None:
         """Persist the request cache (no-op without a cache or a path)."""
@@ -397,6 +531,8 @@ class SynthesisService:
             return self._handle_prepare(rid, state, request)
         if op == "exact":
             return self._handle_exact(rid, state, request)
+        if op == "fast":
+            return self._handle_fast(rid, state, request)
         raise ValueError(f"unknown op {op!r}")
 
     # -- synthesis paths -------------------------------------------------
@@ -456,6 +592,96 @@ class SynthesisService:
                 self.memory, self.config.portfolio_mode, deadline_ms)
         return self._finish_exact(rid, request, state, outcome, start)
 
+    def _handle_fast(self, rid, state: QState, request: dict) -> dict:
+        """Latency-first serving: cache → near-hit → learned-tier search.
+
+        Tier 1 answers from the ``fast`` and ``exact`` cache namespaces.
+        Tier 2 adapts a signature-indexed donor circuit
+        (:func:`_adapt_near_hit`) and serves it only after the simulator
+        confirms it prepares the requested state — a failed verification
+        or an unusable donor silently falls through.  Tier 3 is a full
+        interleaved search with the pattern database's learned
+        (inadmissible) bound tier, also verified before serving.  Results
+        land only in the ``fast`` namespace (they may be non-optimal, so
+        they must never answer ``exact`` traffic), and deadline-truncated
+        ones are never cached at all.
+        """
+        from repro.sim.verify import prepares_state
+
+        start = time.perf_counter()
+        deadline_ms = self._request_deadline(request)
+        signature = entanglement_signature(state)
+        if self.cache is not None:
+            for namespace in ("fast", "exact"):
+                result = self.cache.get(namespace, state)
+                if result is not None:
+                    self.cache_hits += 1
+                    if self.obs is not None:
+                        self.obs.cache_hit(rid, result.cnot_cost)
+                    response = self._cached_exact_response(
+                        rid, request, result, start)
+                    response["op"] = "fast"
+                    return response
+            suffix_ms = NEARHIT_SUFFIX_DEADLINE_MS \
+                if deadline_ms is None else deadline_ms
+            donors = (self.cache.near("exact", signature)
+                      + self.cache.near("fast", signature))
+            for _payload, donor in donors[:NEARHIT_DONOR_CANDIDATES]:
+                adapted = _adapt_near_hit(
+                    state, donor, self.config.search, self.config.specs,
+                    self.memory, suffix_ms)
+                if adapted is None:
+                    continue
+                result, truncated = adapted
+                if not prepares_state(result.circuit, state):
+                    self._note_nearhit("verify_failed")
+                    continue
+                if result.cnot_cost <= \
+                        self.memory.pdb.admissible_bound(signature):
+                    # a sound structural bound certifies the adapted cost
+                    result = replace(result, optimal=True)
+                self._note_nearhit("truncated" if truncated else "served")
+                self.memory.pdb.observe(signature,
+                                        solved_cost=result.cnot_cost,
+                                        optimal=result.optimal)
+                if not truncated:
+                    self.cache.put("fast", state, result,
+                                   signature=signature)
+                self._wal_record()
+                response = {"id": rid, "ok": True, "op": "fast",
+                            "cnot_cost": result.cnot_cost,
+                            "optimal": result.optimal,
+                            "engine": "nearhit", "cached": False,
+                            "near_hit": True, "verified": True,
+                            "seconds": round(
+                                time.perf_counter() - start, 6)}
+                if truncated:
+                    response["deadline_expired"] = True
+                if request.get("return_circuit"):
+                    response["circuit"] = circuit_to_dict(result.circuit)
+                return response
+            if not donors:
+                self._note_nearhit("no_neighbor")
+        outcome = run_mode_portfolio(
+            state, self.config.search, self.config.specs, self.memory,
+            "interleaved", deadline_ms, pdb_tier="learned")
+        if outcome.solved and \
+                not prepares_state(outcome.result.circuit, state):
+            # never expected (move replay is exact); refuse to serve an
+            # unverified fast-mode circuit rather than trust it
+            raise RuntimeError(
+                "fast-mode search result failed simulator verification")
+        response = self._finish_exact(rid, request, state, outcome, start,
+                                      mode="fast")
+        if outcome.solved:
+            response["verified"] = True
+        return response
+
+    def _note_nearhit(self, outcome: str) -> None:
+        self.nearhits[outcome] += 1
+        if self.obs is not None:
+            self.obs.near_hit(outcome)
+
     def _cached_exact_response(self, rid, request: dict,
                                result: SearchResult, start: float) -> dict:
         response = {"id": rid, "ok": True, "op": "exact",
@@ -468,15 +694,23 @@ class SynthesisService:
         return response
 
     def _finish_exact(self, rid, request: dict, state: QState,
-                      outcome, start: float) -> dict:
+                      outcome, start: float, mode: str = "exact") -> dict:
         """Portfolio outcome → response: the settle path shared by the
-        synchronous exact handler and the cross-request scheduler
-        (cache put, WAL append, response shape all live here, so the two
-        paths can never drift apart)."""
+        synchronous exact/fast handlers and the cross-request scheduler
+        (cache put, WAL append, PDB evidence distillation, response shape
+        all live here, so the paths can never drift apart).  ``mode`` is
+        both the response op and the cache namespace — fast-mode results
+        may be non-optimal and must never land under ``exact``."""
         deadline_expired = outcome.deadline_expired
+        signature = entanglement_signature(state)
         if not outcome.solved:
+            if outcome.lower_bound and not deadline_expired:
+                # an exhausted search's bound is member evidence for the
+                # signature's learned tier (never the admissible one)
+                self.memory.pdb.observe(signature,
+                                        lower_bound=outcome.lower_bound)
             self._wal_record()
-            response = {"id": rid, "ok": False, "op": "exact",
+            response = {"id": rid, "ok": False, "op": mode,
                         "lower_bound": outcome.lower_bound,
                         "error": "no portfolio lane produced a "
                                  "circuit within budget"}
@@ -484,13 +718,15 @@ class SynthesisService:
                 response["deadline_expired"] = True
             return response
         result = outcome.result
+        self.memory.pdb.observe(signature, solved_cost=result.cnot_cost,
+                                optimal=result.optimal)
         if self.cache is not None and not deadline_expired:
             # a deadline-truncated answer reflects a wall-clock
             # cutoff, not the request's search budgets — caching it
             # would serve the truncation to later, unhurried requests
-            self.cache.put("exact", state, result)
+            self.cache.put(mode, state, result, signature=signature)
         self._wal_record()
-        response = {"id": rid, "ok": True, "op": "exact",
+        response = {"id": rid, "ok": True, "op": mode,
                     "cnot_cost": result.cnot_cost,
                     "optimal": result.optimal, "engine": outcome.winner,
                     "cached": False,
@@ -614,7 +850,10 @@ class SynthesisService:
             "busy_rejections": self.busy_rejections,
             "topology": None if topology is None
             else topology.to_canonical_dict(),
+            "nearhit": dict(self.nearhits),
             "cache": None if self.cache is None else self.cache.snapshot(),
+            "signature_index": None if self.cache is None
+            else self.cache.signature_occupancy(),
             "memory": self.memory.snapshot(),
             "scheduler": self.scheduler.snapshot(),
             "wal": None if self.wal is None else self.wal.snapshot(),

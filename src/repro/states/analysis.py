@@ -19,7 +19,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.constants import ATOL
+from repro.constants import ATOL, MI_PAIR_THRESHOLD
 from repro.states.qstate import QState
 from repro.utils.bits import bit_of
 
@@ -159,10 +159,14 @@ def mutual_information_matrix(state: QState) -> np.ndarray:
     return out
 
 
-def entangled_pairs_mi(state: QState, threshold: float = 1e-9
+def entangled_pairs_mi(state: QState, threshold: float = MI_PAIR_THRESHOLD
                        ) -> list[tuple[int, int]]:
     """Qubit pairs whose basis-measurement mutual information exceeds the
-    threshold — the paper's "number of entangled qubit pairs" probe."""
+    threshold — the paper's "number of entangled qubit pairs" probe.
+
+    The default threshold is the shared :data:`repro.constants
+    .MI_PAIR_THRESHOLD` — entanglement signatures key on this pair set,
+    so the floor must be one pinned constant, not a per-call literal."""
     mi = mutual_information_matrix(state)
     n = state.num_qubits
     return [(a, b) for a in range(n) for b in range(a + 1, n)

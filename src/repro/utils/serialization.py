@@ -249,6 +249,7 @@ def memory_baseline(memory) -> dict[str, Any]:
         "transposition_cond": len(memory.transposition.cond),
         "transposition_evictions": memory.transposition.evictions,
         "transposition_improved": memory.transposition.improve_marker(),
+        "pdb": memory.pdb.marker(),
         "lane_stats": {name: dict(row)
                        for name, row in memory.lane_stats.items()},
     }
@@ -369,6 +370,12 @@ def memory_to_dict(memory, since: dict[str, Any] | None = None
                       transposition.cond_gen.get(key, 0)]
                      for key, (budget, required) in cond_items],
         },
+        # additive section (still v2): the pattern database's evidence.
+        # Signatures are process-independent by construction, so no
+        # re-keying is needed; the delta marker mirrors the transposition
+        # improvement-log discipline (eviction/overflow -> whole dump).
+        "pdb": memory.pdb.to_dict(
+            since=None if since is None else since.get("pdb")),
         "lane_stats": lane_stats,
     }
 
@@ -428,6 +435,11 @@ def _fill_memory(memory, data: dict[str, Any]) -> None:
                 _canon_key_dec(key_enc), float(budget),
                 frozenset(_canon_key_dec(c) for c in required_enc),
                 generation=gen)
+        # additive: snapshots from before the pattern database simply
+        # lack the section (v1, or early v2) and load with an empty PDB
+        pdb_section = data.get("pdb")
+        if pdb_section is not None:
+            memory.pdb.merge_dict(pdb_section)
         for name, row in data.get("lane_stats", {}).items():
             stats_row = memory.lane_stats.setdefault(
                 str(name), {"runs": 0, "wins": 0, "feasible": 0,

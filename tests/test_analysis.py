@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.states.analysis import (
+    entangled_pairs_mi,
     entangled_qubits,
     entanglement_lower_bound,
     mutual_information,
@@ -14,6 +15,7 @@ from repro.states.analysis import (
     pair_distribution,
     qubit_marginal,
     qubit_separable,
+    schmidt_coefficients,
     schmidt_rank,
     separable_qubits,
 )
@@ -100,3 +102,61 @@ class TestSchmidtRank:
 
     def test_w_rank_two(self):
         assert schmidt_rank(w_state(4), [0]) == 2
+
+
+class TestEdgeCases:
+    """Degenerate registers and borderline spectra (signature substrate).
+
+    The pattern database keys abstractions on these functions, so their
+    behavior at the edges — empty entanglement, one-qubit registers,
+    rank decisions at the tolerance — must be pinned down, not
+    incidental.
+    """
+
+    def test_fully_separable_product_state(self):
+        # |+>^4: every qubit separable, no MI pairs, every cut rank 1.
+        s = QState.uniform(4, list(range(16)))
+        assert separable_qubits(s) == [0, 1, 2, 3]
+        assert entanglement_lower_bound(s) == 0
+        assert entangled_pairs_mi(s) == []
+        assert schmidt_rank(s, [0, 1]) == 1
+
+    def test_single_qubit_register(self):
+        s = QState.uniform(1, [0, 1])  # |+> on one qubit
+        assert qubit_separable(s, 0)
+        assert entangled_qubits(s) == []
+        assert entanglement_lower_bound(s) == 0
+        assert entangled_pairs_mi(s) == []
+
+    def test_single_qubit_full_subset_coefficients(self):
+        # The full-register "cut" has no other side: one coefficient,
+        # the state's norm.
+        s = QState.uniform(1, [0, 1])
+        coeffs = schmidt_coefficients(s, [0])
+        assert len(coeffs) == 1
+        assert abs(coeffs[0] - 1.0) < 1e-12
+
+    def test_near_degenerate_coefficients_keep_rank(self):
+        # Almost-equal Schmidt coefficients (split ~1e-4) are both far
+        # above the rank tolerance: the rank must stay 2, not collapse.
+        eps = 1e-4
+        s = QState(2, {0b00: np.sqrt(0.5 + eps), 0b11: np.sqrt(0.5 - eps)},
+                   normalize=False)
+        assert schmidt_rank(s, [0]) == 2
+        coeffs = schmidt_coefficients(s, [0])
+        assert len([c for c in coeffs if c > 1e-9]) == 2
+        assert abs(coeffs[0] - coeffs[1]) < 1e-3
+
+    def test_sub_tolerance_coefficient_drops_rank(self):
+        # A Schmidt coefficient below the 1e-9 rank tolerance is
+        # quantization noise, not structure: rank 1, and the signature
+        # built on it stays stable under such perturbations.
+        s = QState(2, {0b00: 1.0, 0b11: 1e-10}, normalize=False)
+        assert schmidt_rank(s, [0]) == 1
+
+    def test_mi_threshold_is_wired(self):
+        # Default threshold reports all GHZ pairs; an absurdly high one
+        # reports none — the pinned constant actually gates the edges.
+        s = ghz_state(3)
+        assert len(entangled_pairs_mi(s)) == 3
+        assert entangled_pairs_mi(s, threshold=2.0) == []
