@@ -30,13 +30,14 @@ class QCircuit:
     1
     """
 
-    __slots__ = ("_n", "_gates")
+    __slots__ = ("_n", "_gates", "_cost")
 
     def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()):
         if num_qubits < 1:
             raise CircuitError(f"need at least one qubit, got {num_qubits}")
         self._n = num_qubits
         self._gates: list[Gate] = []
+        self._cost: int | None = None
         for g in gates:
             self.append(g)
 
@@ -78,6 +79,7 @@ class QCircuit:
                 raise CircuitError(
                     f"gate {gate} touches qubit {q}, register has {self._n}")
         self._gates.append(gate)
+        self._cost = None
         return self
 
     def extend(self, gates: Iterable[Gate]) -> "QCircuit":
@@ -126,8 +128,16 @@ class QCircuit:
     # ------------------------------------------------------------------
 
     def cnot_cost(self) -> int:
-        """Total CNOT cost under the paper's Table-I model."""
-        return sum(g.cnot_cost() for g in self._gates)
+        """Total CNOT cost under the paper's Table-I model.
+
+        Memoized: gates are immutable and :meth:`append` is the sole
+        mutation funnel, so the sum is cached until the next append (the
+        workflow's best-of comparisons and the portfolio settle paths
+        re-read it repeatedly).
+        """
+        if self._cost is None:
+            self._cost = sum(g.cnot_cost() for g in self._gates)
+        return self._cost
 
     def count_by_name(self) -> dict[str, int]:
         """Histogram of gate mnemonics."""

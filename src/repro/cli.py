@@ -77,6 +77,20 @@ snapshot every ``--wal-compact-every`` records and at shutdown::
     repro-qsp serve --listen 127.0.0.1:7700 --wal service.qspwal \
         --wal-compact-every 64 --deadline-ms 500
 
+Scale the socket server across processes: ``--workers N`` puts N
+scheduler processes behind the one acceptor, routed least-inflight with
+signature-affinity stickiness (a traffic cluster's flywheel caches heat
+up in one worker).  Each worker owns its own WAL shard — ``--wal
+service.qspwal`` becomes ``service.qspwal.w0`` … ``service.qspwal.w3``,
+each with its own ``.snapshot`` sidecar — and what one worker learns
+periodically cross-merges into the others (improve-only deltas, so the
+merged memories never regress).  A dense ``prepare`` on one worker no
+longer delays a light ``exact`` routed to another::
+
+    repro-qsp serve --listen 127.0.0.1:7700 --workers 4 \
+        --wal service.qspwal --portfolio interleaved
+    echo '{"id": 1, "op": "stats"}'  # reports per-worker + pool sections
+
 Serving observes itself by default (metrics registry + ring-buffered
 request tracing; ``--no-obs`` opts out — library callers are always
 off).  ``--trace`` streams every span/event record to a JSONL file,
@@ -357,6 +371,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "fair-shares expansion slices across all "
                             "in-flight exact requests, and answers out "
                             "of request order (match responses by id)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="multi-process serving tier (requires "
+                            "--listen): N scheduler processes behind the "
+                            "one acceptor, routed by least-inflight with "
+                            "signature-affinity stickiness; each worker "
+                            "owns its own WAL shard (--wal FILE becomes "
+                            "FILE.w0..FILE.w<N-1>) and learned-memory "
+                            "deltas cross-merge periodically (default 1 "
+                            "= inline single-process service)")
     serve.add_argument("--wal", metavar="FILE", default=None,
                        help="incremental SearchMemory write-ahead log: "
                             "learned deltas appended per settled request, "
@@ -768,12 +791,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics is not None and args.listen is None:
         raise SystemExit("--metrics requires --listen (the exposition "
                          "listener shares the socket event loop)")
+    workers = max(1, args.workers)
+    if workers >= 2:
+        if args.listen is None:
+            raise SystemExit("--workers needs --listen (the pool fans a "
+                             "socket acceptor out across processes; the "
+                             "stdin loop is inherently one process)")
+        if args.race_workers >= 2:
+            raise SystemExit("--workers and --race-workers do not "
+                             "compose (pool workers already parallelize "
+                             "across requests; racing inside each would "
+                             "oversubscribe every core)")
     config = _service_config(args, use_cache=not args.no_cache,
                              race_workers=args.race_workers,
                              cache_snapshot_path=args.cache_snapshot,
                              wal_path=args.wal,
                              autotune_lanes=not args.no_autotune,
                              **extra)
+    if workers >= 2:
+        from repro.service.asyncserver import serve_listen
+        from repro.service.pool import WorkerPool
+
+        host, port = _parse_listen(args.listen)
+        metrics_host = metrics_port = None
+        if args.metrics is not None:
+            metrics_host, metrics_port = _parse_listen(args.metrics,
+                                                       "--metrics")
+        pool = WorkerPool(config, workers, obs_config=config.obs)
+        summary = serve_listen(pool, host, port,
+                               metrics_host=metrics_host,
+                               metrics_port=metrics_port)
+        print(f"served {summary['handled']} request(s) on "
+              f"{summary['connections']} connection(s) across "
+              f"{workers} worker(s), {summary['drained']} drained at "
+              f"shutdown", file=sys.stderr)
+        for index, worker in sorted(summary.get("workers", {}).items()):
+            if worker.get("wal_snapshot"):
+                print(f"worker {index}: WAL compacted into "
+                      f"{worker['wal_snapshot']}", file=sys.stderr)
+        return 0
     service = SynthesisService(config)
     if args.listen is not None:
         from repro.service.asyncserver import serve_listen

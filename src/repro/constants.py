@@ -198,6 +198,24 @@ OBS_DEADLINE_SLACK_BUCKETS: tuple = (
     -1.0, -0.1, -0.01, 0.0, 0.01, 0.1, 0.5, 1.0, 5.0)
 
 # ----------------------------------------------------------------------
+# Multi-process worker pool (repro.service.pool)
+# ----------------------------------------------------------------------
+
+#: Settled requests between cross-merge rounds in the worker pool: after
+#: this many settles the router pulls each worker's learned memory delta
+#: (WAL-record shaped) and fans it out to every *other* worker.  Deltas
+#: are improve-only and idempotent, so the interval trades only learning
+#: propagation latency against IPC volume — never correctness.
+POOL_CROSS_MERGE_INTERVAL: int = 16
+
+#: Signature-affinity stickiness slack of the pool router: a request
+#: whose entanglement signature was last served by worker ``w`` stays on
+#: ``w`` (its flywheel caches are hot) as long as ``w``'s in-flight count
+#: is within this many requests of the least-loaded worker; beyond the
+#: slack, load balance wins over affinity.
+POOL_STICKY_SLACK: int = 2
+
+# ----------------------------------------------------------------------
 # Pattern database + near-hit serving (repro.core.pdb / service)
 # ----------------------------------------------------------------------
 

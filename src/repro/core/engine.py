@@ -80,6 +80,7 @@ __all__ = [
     "SearchResult",
     "EngineContext",
     "EngineRun",
+    "StepwiseRun",
 ]
 
 
@@ -452,58 +453,63 @@ class EngineContext:
                             self._store_marks)
 
 
-class EngineRun:
-    """Base class of the stepwise engine runs (see module docstring).
+class StepwiseRun:
+    """Generator-driven stepwise run protocol (engine-agnostic base).
 
     Subclasses implement ``_main()`` as a generator that yields exactly
-    once per node expansion and terminates by calling :meth:`_finish`
-    (every terminal path) before returning.  The base class provides the
-    driver surface the portfolio scheduler programs against:
+    once per unit of work (a node expansion for the kernel engines, an
+    inner-engine expansion for composite runs like the QSP workflow) and
+    terminates by calling :meth:`_finish` (every terminal path) before
+    returning.  The base class provides the driver surface the portfolio
+    and request schedulers program against:
 
     ``step(max_expansions)``
-        Resume the search for at most ``max_expansions`` expansions;
+        Resume the run for at most ``max_expansions`` work units;
         returns the (possibly terminal) :class:`RunStatus`.
     ``inject_incumbent(cost)``
         Tighten the run's branch-and-bound upper bound to ``cost`` (a
         feasible cost some sibling achieved).  Monotone: only ever
-        tightens.  Engines consume it at their next sound opportunity
+        tightens.  Consumed at the run's next sound opportunity
         (A*/beam immediately, IDA* at the next deepening round).
     ``result() / error / best_feasible()``
         The terminal artifacts; ``best_feasible()`` additionally exposes
-        anytime intermediate circuits (beam) while still ``RUNNING``.
+        anytime intermediate results while still ``RUNNING``.
     ``cancel()``
-        Abandon the run (stats finalized, status ``CANCELLED``).
+        Abandon the run (``_finalize`` runs, status ``CANCELLED``).
+
+    The optional ``stopwatch`` is the run's own compute-budget clock: it
+    is suspended between slices so ``time_limit`` stays a per-run budget
+    under interleaved scheduling, exactly as in a sequential line.
+    ``_finalize()`` is the terminal hook (stats flushing for the kernel
+    engines); the base default is a no-op.
     """
 
-    #: subclass tag ("astar" / "idastar" / "beam") for audit rows
-    engine = "engine"
+    #: subclass tag ("astar" / "idastar" / "beam" / "workflow") for audits
+    engine = "run"
 
-    def __init__(self, ctx: EngineContext):
-        self._ctx = ctx
+    def __init__(self, stopwatch: Stopwatch | None = None):
         self._status = RunStatus.RUNNING
-        self._result: SearchResult | None = None
+        self._result = None
         self._error: Exception | None = None
         self._ub: int | None = None
+        self._stopwatch = stopwatch
         self._gen = self._main()
-        # scheduler hooks (no effect on the search itself): an opaque
+        # scheduler hooks (no effect on the run itself): an opaque
         # owner tag a scheduler may stamp on the run for audit rows and
         # per-session accounting, and the expansion count of the most
         # recent step() slice for fair-share bookkeeping
         self.tag: object | None = None
         self.last_slice_expansions: int = 0
-        # setup time (above, inside the context) has been charged; the
+        # setup time (in the subclass constructor) has been charged; the
         # clock now waits for the first slice
-        ctx.stopwatch.suspend()
+        if stopwatch is not None:
+            stopwatch.suspend()
 
     # -- driver surface --------------------------------------------------
 
     @property
     def status(self) -> RunStatus:
         return self._status
-
-    @property
-    def stats(self) -> SearchStats:
-        return self._ctx.stats
 
     @property
     def error(self) -> Exception | None:
@@ -515,27 +521,28 @@ class EngineRun:
         """The tightest injected/initial incumbent cost bound (or None)."""
         return self._ub
 
-    def result(self) -> SearchResult:
+    def result(self):
         if self._result is None:
             raise SynthesisError(
                 f"run is {self._status.value} and holds no result")
         return self._result
 
-    def best_feasible(self) -> SearchResult | None:
-        """Best feasible circuit so far (anytime peek; None if none yet).
+    def best_feasible(self):
+        """Best feasible result so far (anytime peek; None if none yet).
 
-        Terminal ``SOLVED`` runs report their result; anytime engines
-        (beam) override this to expose intermediate incumbents while
-        still ``RUNNING`` so a scheduler can share them immediately.
+        Terminal ``SOLVED`` runs report their result; anytime runs
+        (beam, workflow) override this to expose intermediate incumbents
+        while still ``RUNNING`` so a scheduler can share them immediately.
         """
         return self._result
 
-    def flush_feasible(self) -> SearchResult | None:
-        """Best feasible circuit obtainable *right now*, computing a cheap
-        completion if the engine supports one (beam's m-flow tail over the
-        current frontier).  Called by the scheduler at deadline expiry so
-        an anytime lane can still hand over a valid circuit; the default
-        is just :meth:`best_feasible`."""
+    def flush_feasible(self):
+        """Best feasible result obtainable *right now*, computing a cheap
+        completion if the run supports one (beam's m-flow tail over the
+        current frontier; the workflow's reduction-only fallback).  Called
+        by the scheduler at deadline expiry so an anytime run can still
+        hand over a valid circuit; the default is just
+        :meth:`best_feasible`."""
         return self.best_feasible()
 
     def inject_incumbent(self, cost: int) -> None:
@@ -545,7 +552,7 @@ class EngineRun:
 
     def step(self, max_expansions: int,
              deadline: Stopwatch | None = None) -> RunStatus:
-        """Advance by at most ``max_expansions`` node expansions.
+        """Advance by at most ``max_expansions`` work units.
 
         ``deadline`` (an expiring :class:`~repro.utils.timing.Stopwatch`)
         ends the slice early mid-way: the overshoot past a wall-clock
@@ -558,7 +565,8 @@ class EngineRun:
         # the run's own time_limit clock only ticks while the run holds
         # the CPU: suspended between slices, a lane's budget keeps
         # sequential-mode semantics under interleaved scheduling
-        self._ctx.stopwatch.resume()
+        if self._stopwatch is not None:
+            self._stopwatch.resume()
         expansions = 0
         try:
             for _ in range(max(1, max_expansions)):
@@ -573,10 +581,11 @@ class EngineRun:
                     break
         finally:
             self.last_slice_expansions = expansions
-            self._ctx.stopwatch.suspend()
+            if self._stopwatch is not None:
+                self._stopwatch.suspend()
         return self._status
 
-    def run_to_completion(self) -> SearchResult:
+    def run_to_completion(self):
         """Drive to a terminal status; return or raise like the one-shot
         functions always did (this *is* their implementation)."""
         while not self.step(1 << 20).terminal:
@@ -588,11 +597,11 @@ class EngineRun:
         raise self._error
 
     def cancel(self) -> None:
-        """Abandon the run; stats are finalized, partials stay readable."""
+        """Abandon the run; ``_finalize`` runs, partials stay readable."""
         if self._status.terminal:
             return
         self._gen.close()  # GeneratorExit -> engine finally-blocks run
-        self._ctx.finalize_stats()
+        self._finalize()
         self._status = RunStatus.CANCELLED
 
     # -- subclass protocol -----------------------------------------------
@@ -600,10 +609,37 @@ class EngineRun:
     def _main(self):
         raise NotImplementedError
 
-    def _finish(self, status: RunStatus, *, result: SearchResult | None = None,
+    def _finalize(self) -> None:
+        """Terminal hook (kernel engines flush stats here); default no-op."""
+
+    def _finish(self, status: RunStatus, *, result=None,
                 error: Exception | None = None) -> None:
-        """Terminal transition: finalize stats on *every* exit path."""
-        self._ctx.finalize_stats()
+        """Terminal transition: ``_finalize`` runs on *every* exit path."""
+        self._finalize()
         self._status = status
         self._result = result
         self._error = error
+
+
+class EngineRun(StepwiseRun):
+    """Base class of the stepwise *kernel-engine* runs (see module
+    docstring).  Adds to :class:`StepwiseRun` the pieces every kernel
+    engine shares: the :class:`EngineContext` (whose stopwatch is the
+    run's compute-budget clock) and the stats lifecycle — ``_finalize``
+    flushes elapsed time and cache/store counters so no exit path ever
+    reports half-finished stats.  Results are :class:`SearchResult`.
+    """
+
+    #: subclass tag ("astar" / "idastar" / "beam") for audit rows
+    engine = "engine"
+
+    def __init__(self, ctx: EngineContext):
+        self._ctx = ctx
+        super().__init__(stopwatch=ctx.stopwatch)
+
+    @property
+    def stats(self) -> SearchStats:
+        return self._ctx.stats
+
+    def _finalize(self) -> None:
+        self._ctx.finalize_stats()

@@ -134,6 +134,9 @@ class ServiceObs:
         self.settled = r.counter(
             "qsp_sessions_settled_total", "Sessions settled, by outcome",
             labelnames=("outcome",))
+        self.sched_queue_depth = r.gauge(
+            "qsp_scheduler_queue_depth",
+            "Runnable sessions in the scheduler queues at the last turn")
         # --- portfolio lanes ---
         self.lane_outcomes = r.counter(
             "qsp_lane_outcomes_total", "Lane settles, by lane and status",
@@ -162,6 +165,23 @@ class ServiceObs:
             "qsp_wal_truncations_total",
             "Torn or corrupt WAL tails truncated at boot, by reason",
             labelnames=("reason",))
+        # --- worker pool (repro.service.pool) ---
+        self.pool_inflight = r.gauge(
+            "qsp_pool_worker_inflight",
+            "Requests in flight on each pool worker",
+            labelnames=("worker",))
+        self.pool_routed = r.counter(
+            "qsp_pool_routed_total",
+            "Requests routed to each worker, by routing policy",
+            labelnames=("worker", "policy"))
+        self.pool_delta_pulls = r.counter(
+            "qsp_pool_delta_pulls_total",
+            "Non-empty learned-memory delta records pulled from each "
+            "worker at cross-merge", labelnames=("worker",))
+        self.pool_delta_merges = r.counter(
+            "qsp_pool_delta_merges_total",
+            "Cross-merge delta records shipped into each worker",
+            labelnames=("worker",))
         # --- near-hit serving (op: fast) ---
         self.nearhits = r.counter(
             "qsp_nearhit_total",
@@ -219,6 +239,27 @@ class ServiceObs:
 
     def inflight_now(self, n: int):
         self.inflight.set(n)
+
+    def queue_depth_now(self, n: int):
+        self.sched_queue_depth.set(n)
+
+    # ---------------- worker pool ----------------
+
+    def pool_routed_to(self, worker: int, policy: str, inflight: int):
+        """One request routed to pool worker ``worker``."""
+        self.pool_routed.labels(str(worker), policy).inc()
+        self.pool_inflight.labels(str(worker)).set(inflight)
+        self.tracer.event("pool_route", worker=worker, policy=policy,
+                          inflight=inflight)
+
+    def pool_worker_inflight(self, worker: int, n: int):
+        self.pool_inflight.labels(str(worker)).set(n)
+
+    def pool_delta_pulled(self, worker: int, records: int = 1):
+        self.pool_delta_pulls.labels(str(worker)).inc(records)
+
+    def pool_delta_merged(self, worker: int, records: int = 1):
+        self.pool_delta_merges.labels(str(worker)).inc(records)
 
     def settle(self, rid, outcome: str, seconds: float, expansions: int,
                slack_seconds=None, **attrs):

@@ -1,4 +1,4 @@
-"""The scalable synthesis workflow (paper Fig. 5).
+"""The scalable synthesis workflow (paper Fig. 5), as a stepwise run.
 
 Given a target with ``n`` qubits and cardinality ``m``:
 
@@ -12,25 +12,45 @@ Given a target with ``n`` qubits and cardinality ``m``:
 Every path ends in the exact engine (unless ``use_exact`` is off, the
 ablation mode), and the assembled full-register circuit is verified by
 simulation for small ``n``.
+
+Since PR 10 the workflow is a first-class stepwise run:
+:class:`WorkflowRun` subclasses :class:`repro.core.engine.StepwiseRun`, so
+a ``prepare`` request can be time-sliced by the request scheduler exactly
+like ``exact`` traffic — paused at flow boundaries and between inner-engine
+expansions, fed incumbents, cancelled on disconnect, and flushed to a
+verified best-so-far circuit at a deadline (falling back to the
+reduction-only completion when the exact core is cut short).  The one-shot
+:func:`prepare_state` is nothing but ``WorkflowRun(...).run_to_completion()``
+and stays differential-identical (same costs, same trace) to the pre-PR-10
+inline workflow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.baselines.mflow import mflow_reduction_moves
 from repro.baselines.nflow import nflow_synthesize, qubit_reduction_prefix
 from repro.circuits.circuit import QCircuit
-from repro.core.exact import ExactSynthesizer
+from repro.core.astar import AStarRun
+from repro.core.beam import BeamRun
+from repro.core.engine import RunStatus, SearchStats, StepwiseRun
+from repro.core.exact import _VERIFY_MAX_QUBITS, ExactSynthesizer
+from repro.core.kernel import StatePool
 from repro.core.moves import Move
-from repro.exceptions import SynthesisError
+from repro.exceptions import (
+    MemoryCompatibilityError,
+    SearchBudgetExceeded,
+    SynthesisError,
+)
 from repro.qsp.config import QSPConfig
 from repro.qsp.extraction import embed_core_circuit, extract_core
 from repro.qsp.reduction import reduce_cardinality
 from repro.states.analysis import num_entangled_qubits
 from repro.states.qstate import QState
+from repro.utils.timing import Stopwatch
 
-__all__ = ["QSPResult", "prepare_state"]
+__all__ = ["QSPResult", "WorkflowRun", "prepare_state"]
 
 
 @dataclass
@@ -47,36 +67,6 @@ class QSPResult:
     sparse_path: bool
     exact_optimal: bool | None = None
     trace: list[str] = field(default_factory=list)
-
-
-def _exact_core_circuit(state: QState, config: QSPConfig,
-                        trace: list[str],
-                        memory=None) -> tuple[QCircuit, bool | None]:
-    """Exact-synthesize the entangled core of ``state`` and re-embed."""
-    extraction = extract_core(state)
-    if extraction.core is None:
-        trace.append("core: fully separable, free gates only")
-        return embed_core_circuit(extraction, None), None
-    core = extraction.core
-    trace.append(f"core: n_eff={core.num_qubits} m={core.cardinality}")
-    if config.use_exact:
-        result = ExactSynthesizer(config.exact).synthesize(core,
-                                                           memory=memory)
-        best_circuit, optimal = result.circuit, result.optimal
-        if not optimal:
-            # Budgeted search fell back to the anytime engine; never let the
-            # core cost exceed what the reduction flows achieve on it.
-            for alternative in (nflow_synthesize(core, prune=True),
-                                _reduction_only_circuit(core)):
-                if alternative.cnot_cost() < best_circuit.cnot_cost():
-                    best_circuit = alternative
-        trace.append(f"exact: {best_circuit.cnot_cost()} CNOTs "
-                     f"(optimal={optimal})")
-        return embed_core_circuit(extraction, best_circuit), optimal
-    # Ablation: finish the core with the baseline reduction instead.
-    core_circuit = _reduction_only_circuit(core)
-    trace.append(f"reduction-only core: {core_circuit.cnot_cost()} CNOTs")
-    return embed_core_circuit(extraction, core_circuit), None
 
 
 def _reduction_only_circuit(state: QState) -> QCircuit:
@@ -101,89 +91,425 @@ def _gh_reduction_to_thresholds(state: QState, config: QSPConfig
     return moves, reduced
 
 
-def _sparse_path(state: QState, config: QSPConfig, trace: list[str],
-                 memory=None) -> tuple[QCircuit, bool | None]:
-    trace.append(f"sparse path: n={state.num_qubits} m={state.cardinality}")
-    # Candidate reductions: the improved multi-pair greedy and the plain GH
-    # baseline steps.  Both end at the exact-synthesis thresholds; the
-    # cheaper assembled circuit wins, so the workflow never regresses below
-    # the m-flow baseline.
-    candidates: list[tuple[str, list[Move], QState]] = []
-    if config.improved_reduction:
-        moves, reduced = reduce_cardinality(
-            state,
-            stop_cardinality=config.exact_cardinality,
-            stop_entangled=config.exact_qubits,
-            config=config.reduction)
-        candidates.append(("multi-pair", moves, reduced))
-    gh_moves, gh_reduced = _gh_reduction_to_thresholds(state, config)
-    candidates.append(("gh", gh_moves, gh_reduced))
+class WorkflowRun(StepwiseRun):
+    """The Fig.-5 workflow as a pausable, cancellable stepwise run.
 
-    best: tuple[QCircuit, bool | None] | None = None
-    best_label = ""
-    for label, moves, reduced in candidates:
-        sub_trace: list[str] = []
-        core_circuit, optimal = _exact_core_circuit(reduced, config,
-                                                    sub_trace,
-                                                    memory=memory)
-        circuit = QCircuit(state.num_qubits)
-        circuit.compose(core_circuit)
-        for move in reversed(moves):
-            circuit.extend(move.forward_gates())
-        if best is None or circuit.cnot_cost() < best[0].cnot_cost():
-            best = (circuit, optimal)
-            best_label = label
-            reduction_cost = sum(m.cost for m in moves)
-            chosen_trace = [
-                f"reduction ({label}): {len(moves)} moves, "
-                f"{reduction_cost} CNOTs, core m={reduced.cardinality}",
-                *sub_trace,
-            ]
-    trace.extend(chosen_trace)
-    trace.append(f"selected reduction strategy: {best_label}")
-    assert best is not None
-    return best
+    The generator body mirrors the pre-stepwise inline workflow statement
+    for statement — same engine constructions, same configs, same trace
+    strings — with ``yield`` points at every flow boundary (before each
+    reduction candidate, before each exact core, before assembly/verify)
+    and one yield per inner-engine expansion (each inner
+    :class:`~repro.core.engine.EngineRun` is driven in single-expansion
+    slices, which PR 5 guarantees is node-for-node identical to a one-shot
+    run).  Results are :class:`QSPResult`, not ``SearchResult`` — the one
+    deliberate deviation from the kernel-engine runs.
 
+    ``inject_incumbent(cost)`` takes a *full-register* feasible cost and
+    forwards it to the active inner engine minus the fixed prefix cost of
+    the surrounding stage (reduction moves / qubit-reduction suffix), so
+    branch-and-bound stays sound.  If every candidate core is pruned by
+    an injected bound the run finishes ``PROVEN`` with no result of its
+    own, exactly like the kernel engines.
 
-def _dense_path(state: QState, config: QSPConfig, trace: list[str],
-                memory=None) -> tuple[QCircuit, bool | None]:
-    n = state.num_qubits
-    trace.append(f"dense path: n={n} m={state.cardinality}")
-    keep = min(n, max(1, config.exact_qubits))
-    core, suffix = qubit_reduction_prefix(state, keep)
-    trace.append(f"qubit reduction to {keep} wires: "
-                 f"{suffix.cnot_cost()} CNOTs")
-    core_circuit, optimal = _exact_core_circuit(core, config, trace,
-                                                memory=memory)
-    circuit = QCircuit(n)
-    circuit.compose(core_circuit.embedded(n, list(range(keep))))
-    circuit.compose(suffix)
-    return circuit, optimal
+    ``flush_feasible()`` (deadline expiry / drain) returns the best
+    verified circuit obtainable *now*: the best fully-assembled candidate
+    so far, the active engine's anytime flush completed through the
+    stage's assembly, the reduction-only completion of the active core,
+    or — last resort — the plain m-flow circuit on the full register.
+    Topology-native runs skip the reduction fallbacks (their moves are
+    not native) and may flush nothing, mirroring the one-shot contract.
 
-
-def _native_path(state: QState, config: QSPConfig, trace: list[str],
-                 memory, topology) -> tuple[QCircuit, bool | None]:
-    """Topology-native synthesis: search directly on the restricted move
-    set, full register, no reduction prefix.
-
-    The reduction flows emit merges with arbitrary control cubes and CX on
-    arbitrary pairs — none of which are native — so a device-constrained
-    request goes straight to the exact engines, whose restricted
-    enumeration guarantees every emitted CNOT sits on a coupled pair.
-    The beam fallback searches natively too, but its m-flow completion
-    tail is disabled under a topology (the tail's moves are not native),
-    so unlike the unrestricted pipeline it is *not* guaranteed to return
-    a feasible circuit within tight budgets — a hard request can fail
-    loudly with :class:`~repro.exceptions.SynthesisError` rather than be
-    answered with an unroutable circuit.
+    The sparse path dedupes exact core searches by the core's structural
+    identity (interned payload): when the multi-pair and GH reductions
+    land on the same core, the second candidate reuses the first search's
+    circuit — the trace still reports both candidates.
     """
-    trace.append(f"native path: topology={topology.name} "
-                 f"n={state.num_qubits} m={state.cardinality}")
-    result = ExactSynthesizer(config.exact).synthesize(
-        state, memory=memory, topology=topology)
-    trace.append(f"exact (native): {result.circuit.cnot_cost()} CNOTs "
-                 f"(optimal={result.optimal})")
-    return result.circuit, result.optimal
+
+    engine = "workflow"
+
+    def __init__(self, state: QState, config: QSPConfig | None = None,
+                 memory=None, topology=None):
+        self.state = state
+        self.config = config or QSPConfig()
+        self.memory = memory
+        self.topology = topology
+        self._sparse = state.is_sparse()
+        self._native = topology is not None and not topology.is_full()
+        self._trace: list[str] = []
+        self._stats = SearchStats()
+        # active inner engine run + its stage context (for incumbent
+        # forwarding and deadline flushes)
+        self._active: StepwiseRun | None = None
+        self._active_prefix = 0
+        self._active_assemble = None
+        self._active_fallback = None
+        #: best fully-assembled (circuit, exact_optimal) candidate so far
+        self._best_partial: tuple[QCircuit, bool | None] | None = None
+        # sparse-path core dedupe: structural core identity -> search output
+        self._core_cache: dict = {}
+        self._core_pool = StatePool()
+        #: exact-core searches skipped because an earlier candidate in
+        #: this run produced a structurally identical core
+        self.core_reuse = 0
+        super().__init__(stopwatch=Stopwatch(None))
+
+    # -- driver surface extensions ---------------------------------------
+
+    @property
+    def stats(self) -> SearchStats:
+        """Aggregated inner-engine counters (all cores, all candidates)."""
+        return self._stats
+
+    def inject_incumbent(self, cost: int) -> None:
+        super().inject_incumbent(cost)
+        if self._active is not None and self._ub is not None:
+            self._active.inject_incumbent(
+                max(0, self._ub - self._active_prefix))
+
+    def flush_feasible(self):
+        if self._result is not None:
+            return self._result
+        candidates: list[tuple[QCircuit, bool | None]] = []
+        if self._best_partial is not None:
+            candidates.append(self._best_partial)
+        if self._active is not None and self._active_assemble is not None:
+            partial = self._active.flush_feasible()
+            if partial is not None:
+                candidates.append(
+                    (self._active_assemble(partial.circuit), None))
+        if self._active_fallback is not None:
+            candidates.append((self._active_fallback(), None))
+        if not candidates and not self._native:
+            # nothing reached the exact stage yet: the baseline m-flow
+            # circuit on the full register is always feasible
+            candidates.append((_reduction_only_circuit(self.state), None))
+        if not candidates:
+            return None  # native runs have no routable fallback
+        circuit, optimal = min(candidates, key=lambda c: c[0].cnot_cost())
+        trace = list(self._trace)
+        trace.append(f"deadline flush: best-so-far "
+                     f"{circuit.cnot_cost()} CNOTs")
+        if self.state.num_qubits <= self.config.verify_max_qubits:
+            from repro.sim.verify import assert_prepares
+            assert_prepares(circuit, self.state)
+            trace.append("verified by simulation")
+        return QSPResult(circuit=circuit, cnot_cost=circuit.cnot_cost(),
+                         sparse_path=self._sparse, exact_optimal=optimal,
+                         trace=trace)
+
+    def _finalize(self) -> None:
+        self._stats.elapsed_seconds = self._stopwatch.elapsed()
+
+    # -- workflow body ----------------------------------------------------
+
+    def _main(self):
+        try:
+            state, config, trace = self.state, self.config, self._trace
+            if self._native:
+                outcome = yield from self._native_stage(trace)
+            elif state.num_qubits <= config.exact_qubits or \
+                    (self._sparse and
+                     state.cardinality <= config.exact_cardinality and
+                     num_entangled_qubits(state) <= config.exact_qubits):
+                outcome = yield from self._core_stage(state, trace)
+            elif self._sparse:
+                outcome = yield from self._sparse_stage(trace)
+            else:
+                outcome = yield from self._dense_stage(trace)
+            if outcome is None:
+                # every candidate was pruned by an injected incumbent:
+                # whoever injected it holds the (now proven) best circuit
+                self._finish(RunStatus.PROVEN)
+                return
+            circuit, optimal = outcome
+            yield  # flow boundary: assembly done, verification ahead
+            if state.num_qubits <= config.verify_max_qubits:
+                from repro.sim.verify import assert_prepares
+                assert_prepares(circuit, state)
+                trace.append("verified by simulation")
+            self._finish(RunStatus.SOLVED, result=QSPResult(
+                circuit=circuit, cnot_cost=circuit.cnot_cost(),
+                sparse_path=self._sparse, exact_optimal=optimal,
+                trace=trace))
+        except Exception as exc:  # GeneratorExit (cancel) passes through
+            self._finish(RunStatus.EXHAUSTED, error=exc)
+
+    def _drive(self, run: StepwiseRun, prefix_cost: int = 0,
+               assemble=None, fallback=None):
+        """Drive an inner engine run in single-expansion slices.
+
+        Yields once per inner expansion so the outer ``step`` budget and
+        deadline apply at expansion granularity; registers the run as the
+        active flush/incumbent target for the duration.  PR 5's slice-size
+        invariance makes this node-for-node identical to the engine's own
+        ``run_to_completion``.
+        """
+        self._active = run
+        self._active_prefix = prefix_cost
+        self._active_assemble = assemble
+        self._active_fallback = fallback
+        if self._ub is not None:
+            run.inject_incumbent(max(0, self._ub - prefix_cost))
+        try:
+            while True:
+                status = run.step(1)
+                self._stats.nodes_expanded += run.last_slice_expansions
+                if status.terminal:
+                    break
+                yield
+        finally:
+            self._active = None
+            self._active_assemble = None
+            self._active_fallback = None
+            if not run.status.terminal:
+                run.cancel()  # outer cancel() closed our generator
+            self._absorb(run.stats)
+
+    def _absorb(self, s: SearchStats) -> None:
+        """Fold a finished inner run's counters into the aggregate."""
+        agg = self._stats
+        agg.nodes_generated += s.nodes_generated
+        agg.nodes_pruned += s.nodes_pruned
+        agg.max_queue = max(agg.max_queue, s.max_queue)
+        agg.canon_cache_hits += s.canon_cache_hits
+        agg.canon_cache_misses += s.canon_cache_misses
+        agg.h_cache_hits += s.h_cache_hits
+        agg.h_cache_misses += s.h_cache_misses
+        agg.dedup_evictions += s.dedup_evictions
+        agg.transposition_hits += s.transposition_hits
+        agg.transposition_writes += s.transposition_writes
+        agg.incumbent_prunes += s.incumbent_prunes
+        agg.bnb_transposition_prunes += s.bnb_transposition_prunes
+        agg.transposition_poisoned += s.transposition_poisoned
+        agg.canon_store_hits += s.canon_store_hits
+        agg.canon_store_misses += s.canon_store_misses
+        agg.h_store_hits += s.h_store_hits
+        agg.h_store_misses += s.h_store_misses
+        for phase, seconds in s.phase_seconds.items():
+            agg.phase_seconds[phase] = \
+                agg.phase_seconds.get(phase, 0.0) + seconds
+
+    def _synthesize_exact(self, state: QState, prefix_cost: int = 0,
+                          topology=None, assemble=None, fallback=None):
+        """Stepwise replica of :meth:`ExactSynthesizer.synthesize`.
+
+        Same construction order, same configs, same fallback/verify
+        semantics; returns the ``SearchResult`` (or ``None`` when an
+        injected incumbent pruned the whole candidate — ``PROVEN``).
+        """
+        exact = self.config.exact
+        search_config, beam_config = exact.search, exact.beam
+        if topology is not None:
+            search_config = replace(search_config, topology=topology)
+            beam_config = replace(beam_config, topology=topology)
+        if not search_config.use_kernel:
+            # the legacy dict-based A* loop has no stepwise form: run the
+            # facade inline (one generator turn), identical results
+            result = ExactSynthesizer(exact).synthesize(
+                state, memory=self.memory, topology=topology)
+            self._stats.nodes_expanded += result.stats.nodes_expanded
+            self._absorb(result.stats)
+            return result
+        run = AStarRun(state, search_config, memory=self.memory)
+        yield from self._drive(run, prefix_cost, assemble=assemble,
+                               fallback=fallback)
+        if run.status is RunStatus.SOLVED:
+            result = run.result()
+        elif run.status is RunStatus.PROVEN:
+            return None
+        else:
+            error = run.error
+            if not (exact.beam_fallback and
+                    isinstance(error, SearchBudgetExceeded)):
+                raise error
+            try:
+                brun = BeamRun(state, beam_config, memory=self.memory)
+            except MemoryCompatibilityError:
+                brun = BeamRun(state, beam_config)
+            yield from self._drive(brun, prefix_cost, assemble=assemble,
+                                   fallback=fallback)
+            if brun.status is RunStatus.SOLVED:
+                result = brun.result()
+            elif brun.status is RunStatus.PROVEN:
+                return None
+            else:
+                raise brun.error
+            result = replace(result, optimal=False)
+        if exact.verify and state.num_qubits <= _VERIFY_MAX_QUBITS:
+            from repro.sim.verify import assert_prepares
+            assert_prepares(result.circuit, state)
+        return result
+
+    def _core_stage(self, state: QState, trace: list[str],
+                    prefix_cost: int = 0, finish=None):
+        """Exact-synthesize the entangled core of ``state`` and re-embed.
+
+        ``finish`` maps the re-embedded core circuit to the full-register
+        circuit of the surrounding stage (identity when ``state`` *is*
+        the full register); it contextualizes deadline flushes.  Returns
+        ``(circuit, optimal)`` on ``state``'s register, or ``None`` when
+        the candidate was incumbent-pruned.
+        """
+        config = self.config
+        extraction = extract_core(state)
+        if extraction.core is None:
+            trace.append("core: fully separable, free gates only")
+            return embed_core_circuit(extraction, None), None
+        core = extraction.core
+        trace.append(f"core: n_eff={core.num_qubits} m={core.cardinality}")
+        if config.use_exact:
+            key = self._core_pool.from_qstate(core)
+            cached = self._core_cache.get(key)
+            if cached is not None:
+                self.core_reuse += 1
+                best_circuit, optimal = cached
+            else:
+                def assemble(core_circuit: QCircuit) -> QCircuit:
+                    embedded = embed_core_circuit(extraction, core_circuit)
+                    return finish(embedded) if finish else embedded
+
+                def fallback() -> QCircuit:
+                    return assemble(_reduction_only_circuit(core))
+
+                result = yield from self._synthesize_exact(
+                    core, prefix_cost=prefix_cost, assemble=assemble,
+                    fallback=fallback)
+                if result is None:
+                    return None
+                best_circuit, optimal = result.circuit, result.optimal
+                if not optimal:
+                    # Budgeted search fell back to the anytime engine;
+                    # never let the core cost exceed what the reduction
+                    # flows achieve on it.
+                    for alternative in (nflow_synthesize(core, prune=True),
+                                        _reduction_only_circuit(core)):
+                        if alternative.cnot_cost() < \
+                                best_circuit.cnot_cost():
+                            best_circuit = alternative
+                self._core_cache[key] = (best_circuit, optimal)
+            trace.append(f"exact: {best_circuit.cnot_cost()} CNOTs "
+                         f"(optimal={optimal})")
+            return embed_core_circuit(extraction, best_circuit), optimal
+        # Ablation: finish the core with the baseline reduction instead.
+        core_circuit = _reduction_only_circuit(core)
+        trace.append(f"reduction-only core: {core_circuit.cnot_cost()} CNOTs")
+        return embed_core_circuit(extraction, core_circuit), None
+
+    def _sparse_stage(self, trace: list[str]):
+        state, config = self.state, self.config
+        n = state.num_qubits
+        trace.append(f"sparse path: n={n} m={state.cardinality}")
+        # Candidate reductions: the improved multi-pair greedy and the
+        # plain GH baseline steps.  Both end at the exact-synthesis
+        # thresholds; the cheaper assembled circuit wins, so the workflow
+        # never regresses below the m-flow baseline.
+        candidates: list[tuple[str, list[Move], QState]] = []
+        yield  # flow boundary: reduction candidates next
+        if config.improved_reduction:
+            moves, reduced = reduce_cardinality(
+                state,
+                stop_cardinality=config.exact_cardinality,
+                stop_entangled=config.exact_qubits,
+                config=config.reduction)
+            candidates.append(("multi-pair", moves, reduced))
+            yield  # flow boundary between candidate reductions
+        gh_moves, gh_reduced = _gh_reduction_to_thresholds(state, config)
+        candidates.append(("gh", gh_moves, gh_reduced))
+
+        best: tuple[QCircuit, bool | None] | None = None
+        best_label = ""
+        chosen_trace: list[str] = []
+        for label, moves, reduced in candidates:
+            yield  # flow boundary: this candidate's exact core next
+            sub_trace: list[str] = []
+            reduction_cost = sum(m.cost for m in moves)
+
+            def finish(core_circuit: QCircuit,
+                       moves=moves) -> QCircuit:
+                circuit = QCircuit(n)
+                circuit.compose(core_circuit)
+                for move in reversed(moves):
+                    circuit.extend(move.forward_gates())
+                return circuit
+
+            outcome = yield from self._core_stage(
+                reduced, sub_trace, prefix_cost=reduction_cost,
+                finish=finish)
+            if outcome is None:
+                continue  # incumbent-pruned candidate
+            core_circuit, optimal = outcome
+            circuit = finish(core_circuit)
+            if self._best_partial is None or circuit.cnot_cost() < \
+                    self._best_partial[0].cnot_cost():
+                self._best_partial = (circuit, optimal)
+            if best is None or circuit.cnot_cost() < best[0].cnot_cost():
+                best = (circuit, optimal)
+                best_label = label
+                chosen_trace = [
+                    f"reduction ({label}): {len(moves)} moves, "
+                    f"{reduction_cost} CNOTs, core m={reduced.cardinality}",
+                    *sub_trace,
+                ]
+        if best is None:
+            return None
+        trace.extend(chosen_trace)
+        trace.append(f"selected reduction strategy: {best_label}")
+        return best
+
+    def _dense_stage(self, trace: list[str]):
+        state, config = self.state, self.config
+        n = state.num_qubits
+        trace.append(f"dense path: n={n} m={state.cardinality}")
+        yield  # flow boundary: qubit reduction next
+        keep = min(n, max(1, config.exact_qubits))
+        core, suffix = qubit_reduction_prefix(state, keep)
+        trace.append(f"qubit reduction to {keep} wires: "
+                     f"{suffix.cnot_cost()} CNOTs")
+
+        def finish(core_circuit: QCircuit) -> QCircuit:
+            circuit = QCircuit(n)
+            circuit.compose(core_circuit.embedded(n, list(range(keep))))
+            circuit.compose(suffix)
+            return circuit
+
+        outcome = yield from self._core_stage(
+            core, trace, prefix_cost=suffix.cnot_cost(), finish=finish)
+        if outcome is None:
+            return None
+        core_circuit, optimal = outcome
+        circuit = finish(core_circuit)
+        self._best_partial = (circuit, optimal)
+        return circuit, optimal
+
+    def _native_stage(self, trace: list[str]):
+        """Topology-native synthesis: search directly on the restricted
+        move set, full register, no reduction prefix.
+
+        The reduction flows emit merges with arbitrary control cubes and
+        CX on arbitrary pairs — none of which are native — so a
+        device-constrained request goes straight to the exact engines,
+        whose restricted enumeration guarantees every emitted CNOT sits
+        on a coupled pair.  The beam fallback searches natively too, but
+        its m-flow completion tail is disabled under a topology (the
+        tail's moves are not native), so unlike the unrestricted pipeline
+        it is *not* guaranteed to return a feasible circuit within tight
+        budgets — a hard request can fail loudly with
+        :class:`~repro.exceptions.SynthesisError` rather than be answered
+        with an unroutable circuit.
+        """
+        state, topology = self.state, self.topology
+        trace.append(f"native path: topology={topology.name} "
+                     f"n={state.num_qubits} m={state.cardinality}")
+        yield  # flow boundary: native exact search next
+        result = yield from self._synthesize_exact(
+            state, prefix_cost=0, topology=topology,
+            assemble=lambda circuit: circuit, fallback=None)
+        if result is None:
+            return None
+        trace.append(f"exact (native): {result.circuit.cnot_cost()} CNOTs "
+                     f"(optimal={result.optimal})")
+        self._best_partial = (result.circuit, result.optimal)
+        return result.circuit, result.optimal
 
 
 def prepare_state(state: QState, config: QSPConfig | None = None,
@@ -201,30 +527,11 @@ def prepare_state(state: QState, config: QSPConfig | None = None,
 
     ``topology`` optionally constrains synthesis to a device coupling map:
     the whole register is then searched natively (restricted move set, see
-    :func:`_native_path`) and the returned circuit needs no routing.
-    ``None`` or a full map is the paper's unrestricted model.
+    :meth:`WorkflowRun._native_stage`) and the returned circuit needs no
+    routing.  ``None`` or a full map is the paper's unrestricted model.
+
+    This is the one-shot wrapper over :class:`WorkflowRun` — identical to
+    driving the run to completion in a single step.
     """
-    config = config or QSPConfig()
-    trace: list[str] = []
-    sparse = state.is_sparse()
-    if topology is not None and not topology.is_full():
-        circuit, optimal = _native_path(state, config, trace, memory,
-                                        topology)
-    elif state.num_qubits <= config.exact_qubits or \
-            (sparse and state.cardinality <= config.exact_cardinality and
-             num_entangled_qubits(state) <= config.exact_qubits):
-        circuit, optimal = _exact_core_circuit(state, config, trace,
-                                               memory=memory)
-    elif sparse:
-        circuit, optimal = _sparse_path(state, config, trace, memory=memory)
-    else:
-        circuit, optimal = _dense_path(state, config, trace, memory=memory)
-
-    if state.num_qubits <= config.verify_max_qubits:
-        from repro.sim.verify import assert_prepares
-        assert_prepares(circuit, state)
-        trace.append("verified by simulation")
-
-    return QSPResult(circuit=circuit, cnot_cost=circuit.cnot_cost(),
-                     sparse_path=sparse,
-                     exact_optimal=optimal, trace=trace)
+    return WorkflowRun(state, config, memory=memory,
+                       topology=topology).run_to_completion()

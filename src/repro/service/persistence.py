@@ -39,6 +39,7 @@ __all__ = [
     "save_memory_snapshot",
     "load_memory_snapshot",
     "merge_memory_snapshot",
+    "merge_wal_delta",
     "save_request_cache",
     "load_request_cache",
     "MemoryWAL",
@@ -98,6 +99,27 @@ def merge_memory_snapshot(memory: SearchMemory,
                           path: str | os.PathLike) -> None:
     """Merge a snapshot file's entries into an existing memory."""
     memory_merge_dict(memory, _read_snapshot_dict(path))
+
+
+def merge_wal_delta(memory: SearchMemory, record: dict) -> int:
+    """Merge one WAL-shaped delta record into a live memory; returns seq.
+
+    ``record`` is the wire shape of :func:`repro.utils.serialization
+    .wal_record_to_dict` — the same envelope :class:`MemoryWAL` appends
+    to disk, here traveling between processes instead.  The worker-pool
+    tier uses this for cross-merge: each worker periodically ships what
+    it learned since its last pull (``memory_to_dict(memory, since=...)``
+    wrapped in a record), and every *other* worker folds it in here.
+    Merges are improve-only and idempotent (the same guarantees the WAL
+    boot replay relies on), so records may be re-shipped, arrive in any
+    order, or cross with a worker's own learning without ever regressing
+    an entry.  Malformed records raise
+    :class:`MemoryCompatibilityError`/:class:`ValueError` before
+    anything is merged.
+    """
+    seq, delta = wal_record_from_dict(record)
+    memory_merge_dict(memory, delta)
+    return seq
 
 
 def save_request_cache(cache, path: str | os.PathLike) -> dict:

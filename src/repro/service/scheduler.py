@@ -48,25 +48,128 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.constants import (
+    PORTFOLIO_SLICE_EXPANSIONS,
     SCHEDULER_FAIRNESS_STRIDE,
     SERVICE_MAX_INFLIGHT,
     SHUTDOWN_DRAIN_MS,
 )
+from repro.core.engine import RunStatus, StepwiseRun
+from repro.exceptions import SearchBudgetExceeded
 from repro.service.portfolio import LaneScheduler, PortfolioOutcome
 from repro.states.qstate import QState
 from repro.utils.timing import Stopwatch
 
-__all__ = ["RequestSession", "RequestScheduler"]
+__all__ = ["RequestSession", "RequestScheduler", "WorkflowLanes"]
+
+
+class WorkflowLanes:
+    """A single stepwise run dressed in the :class:`LaneScheduler` surface.
+
+    ``prepare`` sessions carry one
+    :class:`~repro.qsp.workflow.WorkflowRun` instead of a portfolio of
+    engine lanes, but the cross-request scheduler only ever talks to the
+    lane surface — ``deadline`` / ``run_round`` / ``expansions`` /
+    ``finish`` / ``abort`` / ``deadline_expired`` — so this adapter is
+    all it takes for workflow traffic to time-share, honor deadlines,
+    and cancel on disconnect exactly like ``exact`` traffic.  The
+    settled :class:`~repro.service.portfolio.PortfolioOutcome` carries
+    the run's :class:`~repro.qsp.workflow.QSPResult` (the one lane is
+    named ``"workflow"`` in the audit row); at deadline expiry or drain,
+    :meth:`finish` flushes the run's verified best-so-far circuit.
+    """
+
+    def __init__(self, run: StepwiseRun, deadline_ms: float | None = None,
+                 slice_expansions: int = PORTFOLIO_SLICE_EXPANSIONS,
+                 tag: object | None = None, obs=None) -> None:
+        self.run = run
+        run.tag = tag
+        self.tag = tag
+        self.obs = obs
+        # no deadline -> no Stopwatch at all, keeping step()'s
+        # deadline-is-None fast path (same contract as LaneScheduler)
+        self.deadline = None if deadline_ms is None \
+            else Stopwatch(max(0.0, deadline_ms) / 1000.0)
+        self.slice_expansions = max(1, int(slice_expansions))
+        self.deadline_expired = False
+        self.expansions = 0
+        self._seconds = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.run.status.terminal or self.deadline_expired
+
+    def _expired(self) -> bool:
+        return self.deadline is not None and self.deadline.expired()
+
+    def run_round(self) -> bool:
+        """Advance the run one slice; ``True`` while it is still going."""
+        if self.run.status.terminal:
+            return False
+        if self._expired():
+            self.deadline_expired = True
+            return False
+        start = time.perf_counter()
+        status = self.run.step(self.slice_expansions,
+                               deadline=self.deadline)
+        self._seconds += time.perf_counter() - start
+        self.expansions += self.run.last_slice_expansions
+        if self.obs is not None:
+            self.obs.lane_slice(self.tag, "workflow",
+                                self.run.last_slice_expansions,
+                                status.value)
+        if status is RunStatus.RUNNING and self._expired():
+            self.deadline_expired = True
+            return False
+        return not status.terminal
+
+    def finish(self) -> PortfolioOutcome:
+        """Collect the outcome; flush best-so-far on deadline/drain."""
+        run = self.run
+        result = None
+        status = run.status
+        if not status.terminal:
+            # deadline expiry or shutdown drain cut the workflow short:
+            # hand over the verified best-so-far circuit, then cancel
+            self.deadline_expired = True
+            result = run.flush_feasible()
+            run.cancel()
+            status = RunStatus.CANCELLED
+        elif status is RunStatus.SOLVED:
+            result = run.result()
+        row: dict = {"name": "workflow", "status": status.value,
+                     "solved": status is RunStatus.SOLVED,
+                     "feasible": result is not None,
+                     "nodes_expanded": run.stats.nodes_expanded,
+                     "seconds": round(self._seconds, 6)}
+        if status is RunStatus.EXHAUSTED:
+            error = run.error
+            row["timeout"] = isinstance(error, SearchBudgetExceeded)
+            row["error"] = f"{type(error).__name__}: {error}"
+        if self.obs is not None:
+            self.obs.lane_settled(self.tag, "workflow", status.value,
+                                  stats=run.stats,
+                                  feasible=result is not None)
+            if result is not None:
+                self.obs.lane_won(self.tag, "workflow", result.cnot_cost)
+        return PortfolioOutcome(
+            result=result,
+            winner="workflow" if result is not None else None,
+            attempts=[row], deadline_expired=self.deadline_expired)
+
+    def abort(self) -> None:
+        """Client gone: cancel the run, record nothing."""
+        if not self.run.status.terminal:
+            self.run.cancel()
 
 
 @dataclass
 class RequestSession:
-    """One admitted ``exact`` request riding the cross-request scheduler."""
+    """One admitted ``exact``/``prepare`` request riding the scheduler."""
 
     rid: object
     request: dict
     state: QState
-    lanes: LaneScheduler
+    lanes: "LaneScheduler | WorkflowLanes"
     #: called with the final response dict (exactly once, unless the
     #: session is aborted by client cancellation first)
     reply: Callable[[dict], None]
@@ -190,6 +293,7 @@ class RequestScheduler:
         obs = self.obs
         if obs is not None:
             obs.turn(session.rid, self._last_policy)
+            obs.queue_depth_now(len(self.sessions))
             if session.turns == 1:
                 obs.first_turn(session.rid,
                                time.perf_counter() - session.start)

@@ -56,9 +56,13 @@ on the (small) target.  Responses mirror the request ``id`` and carry
 ``ok``, ``cnot_cost``, optimality flags, ``cached``, ``seconds``, and the
 circuit when ``return_circuit`` is set.  On the socket front end
 responses arrive *out of request order* (a light request overtakes a
-heavy one) — match them by ``id``.  ``prepare`` requests run inline at
-admission (the workflow is not stepwise yet — ROADMAP); ``exact`` is the
-op the scheduler time-shares.
+heavy one) — match them by ``id``.  ``prepare`` and ``exact`` both ride
+the cross-request scheduler: a ``prepare`` session carries the whole
+workflow as one stepwise :class:`~repro.qsp.workflow.WorkflowRun`
+(wrapped in :class:`~repro.service.scheduler.WorkflowLanes`), so a dense
+``prepare`` no longer blocks every caller at admission — it time-shares,
+honors ``deadline_ms`` with a verified best-so-far flush (never cached),
+and cancels on disconnect exactly like ``exact`` traffic.
 
 ``exact`` requests may carry a wall-clock budget ``deadline_ms`` (or the
 service may set a default via ``serve --deadline-ms``): the interleaved
@@ -159,6 +163,7 @@ from repro.core.memory import SearchMemory
 from repro.core.pdb import entanglement_signature
 from repro.exceptions import MemoryCompatibilityError
 from repro.qsp.config import QSPConfig
+from repro.qsp.workflow import WorkflowRun
 from repro.service.cache import RequestCache
 from repro.service.persistence import MemoryWAL, load_memory_snapshot, \
     save_memory_snapshot
@@ -173,7 +178,11 @@ from repro.service.portfolio import (
     run_batch,
     run_mode_portfolio,
 )
-from repro.service.scheduler import RequestScheduler, RequestSession
+from repro.service.scheduler import (
+    RequestScheduler,
+    RequestSession,
+    WorkflowLanes,
+)
 from repro.states.families import dicke_state, ghz_state, w_state
 from repro.states.qstate import QState
 from repro.utils.fingerprint import fingerprint_from_dict, \
@@ -185,7 +194,31 @@ from repro.utils.serialization import (
 )
 
 __all__ = ["ServiceConfig", "SynthesisService", "serve_loop",
-           "parse_request_line"]
+           "parse_request_line", "parse_request_state"]
+
+
+def parse_request_state(request: dict) -> QState:
+    """The request's target state; raises ``ValueError`` when absent.
+
+    Module-level so the worker-pool router can parse (for
+    signature-affinity routing) with exactly the service's semantics —
+    a state the router accepts is a state every worker accepts.
+    """
+    if "state" in request:
+        return state_from_dict(request["state"])
+    if "dicke" in request:
+        n, k = request["dicke"]
+        return dicke_state(int(n), int(k))
+    if "ghz" in request:
+        return ghz_state(int(request["ghz"]))
+    if "w" in request:
+        return w_state(int(request["w"]))
+    if "terms" in request:
+        return QState.from_bitstring_weights(
+            {bits: float(w) for bits, w in request["terms"].items()})
+    raise ValueError(
+        "request carries no target state (need one of: state, dicke, "
+        "ghz, w, terms)")
 
 
 @dataclass
@@ -430,21 +463,7 @@ class SynthesisService:
     # -- request plumbing ------------------------------------------------
 
     def _parse_state(self, request: dict) -> QState:
-        if "state" in request:
-            return state_from_dict(request["state"])
-        if "dicke" in request:
-            n, k = request["dicke"]
-            return dicke_state(int(n), int(k))
-        if "ghz" in request:
-            return ghz_state(int(request["ghz"]))
-        if "w" in request:
-            return w_state(int(request["w"]))
-        if "terms" in request:
-            return QState.from_bitstring_weights(
-                {bits: float(w) for bits, w in request["terms"].items()})
-        raise ValueError(
-            "request carries no target state (need one of: state, dicke, "
-            "ghz, w, terms)")
+        return parse_request_state(request)
 
     def _request_deadline(self, request: dict) -> float | None:
         """Effective wall-clock budget of one request (ms or ``None``).
@@ -682,6 +701,20 @@ class SynthesisService:
         if self.obs is not None:
             self.obs.near_hit(outcome)
 
+    def _cached_prepare_response(self, rid, request: dict, result,
+                                 start: float) -> dict:
+        """Cache-hit response for a ``prepare`` request (QSPResult)."""
+        response = {"id": rid, "ok": True, "op": "prepare",
+                    "cnot_cost": result.cnot_cost,
+                    "exact_optimal": result.exact_optimal,
+                    "sparse_path": result.sparse_path, "cached": True,
+                    "seconds": round(time.perf_counter() - start, 6)}
+        if request.get("trace"):
+            response["trace"] = list(result.trace)
+        if request.get("return_circuit"):
+            response["circuit"] = circuit_to_dict(result.circuit)
+        return response
+
     def _cached_exact_response(self, rid, request: dict,
                                result: SearchResult, start: float) -> dict:
         response = {"id": rid, "ok": True, "op": "exact",
@@ -747,26 +780,29 @@ class SynthesisService:
     def submit(self, request: dict, reply, client: object = None) -> bool:
         """Non-blocking admission for the concurrent front end.
 
-        Control ops, ``prepare`` (the workflow is not stepwise),
-        parse/validation errors, and cache hits are answered immediately
-        through ``reply`` and the method returns ``False``.  An ``exact``
-        cache miss registers a :class:`RequestSession` with the
-        scheduler and returns ``True`` — the reply arrives later, when
-        the scheduler settles the session.  Beyond the admission cap the
-        request is answered ``ok: false, busy: true`` right away.
+        Control ops, parse/validation errors, and cache hits are answered
+        immediately through ``reply`` and the method returns ``False``.
+        An ``exact`` or ``prepare`` cache miss registers a
+        :class:`RequestSession` with the scheduler and returns ``True`` —
+        the reply arrives later, when the scheduler settles the session.
+        A ``prepare`` session wraps the whole workflow in a stepwise
+        :class:`~repro.qsp.workflow.WorkflowRun`, so a dense preparation
+        time-shares with light ``exact`` traffic instead of blocking the
+        admission loop.  Beyond the admission cap the request is answered
+        ``ok: false, busy: true`` right away.
         """
         rid = request.get("id")
         op = request.get("op", "prepare")
-        if op != "exact":
+        if op not in ("exact", "prepare"):
             reply(self.handle(request))
             return False
         if self.obs is not None:
-            # count every exact admission outcome, immediate or settled,
+            # count every admission outcome, immediate or settled,
             # through the one reply funnel
             inner_reply = reply
 
-            def reply(response, _inner=inner_reply):
-                self.obs.request("exact", _outcome_of(response))
+            def reply(response, _inner=inner_reply, _op=op):
+                self.obs.request(_op, _outcome_of(response))
                 _inner(response)
         self.requests += 1
         start = time.perf_counter()
@@ -780,36 +816,51 @@ class SynthesisService:
                    "error": f"{type(exc).__name__}: {exc}"})
             return False
         if self.cache is not None:
-            result = self.cache.get("exact", state)
+            result = self.cache.get(op, state)
             if result is not None:
                 self.cache_hits += 1
                 if self.obs is not None:
                     self.obs.cache_hit(rid, result.cnot_cost)
-                reply(self._cached_exact_response(rid, request, result,
-                                                  start))
+                if op == "prepare":
+                    reply(self._cached_prepare_response(rid, request,
+                                                        result, start))
+                else:
+                    reply(self._cached_exact_response(rid, request, result,
+                                                      start))
                 return False
         if self.scheduler.full:
             self.busy_rejections += 1
             if self.obs is not None:
                 self.obs.busy_rejected(rid)
-            reply({"id": rid, "ok": False, "busy": True, "op": "exact",
+            reply({"id": rid, "ok": False, "busy": True, "op": op,
                    "error": f"service at max in-flight requests "
                             f"({self.scheduler.max_inflight})"})
             return False
-        if self.config.autotune_lanes:
-            specs, budgets = autotune_specs(self.config.specs, self.memory)
-        else:
-            specs = order_specs(self.config.specs, self.memory)
-            budgets = None
         if self.obs is not None:
             self.obs.admission(rid, op, deadline_ms,
                                len(self.scheduler.sessions))
-        lanes = LaneScheduler(state, self.config.search, specs,
-                              memory=self.memory, deadline_ms=deadline_ms,
-                              slice_budgets=budgets, tag=rid, obs=self.obs)
+        if op == "prepare":
+            run = WorkflowRun(state, self.config.qsp, memory=self.memory,
+                              topology=self.config.search.topology)
+            lanes = WorkflowLanes(run, deadline_ms=deadline_ms, tag=rid,
+                                  obs=self.obs)
+            on_settle = self._settle_prepare
+        else:
+            if self.config.autotune_lanes:
+                specs, budgets = autotune_specs(self.config.specs,
+                                                self.memory)
+            else:
+                specs = order_specs(self.config.specs, self.memory)
+                budgets = None
+            lanes = LaneScheduler(state, self.config.search, specs,
+                                  memory=self.memory,
+                                  deadline_ms=deadline_ms,
+                                  slice_budgets=budgets, tag=rid,
+                                  obs=self.obs)
+            on_settle = self._settle_session
         session = RequestSession(rid=rid, request=request, state=state,
                                  lanes=lanes, reply=reply,
-                                 on_settle=self._settle_session,
+                                 on_settle=on_settle,
                                  client=client, start=start)
         self.scheduler.submit(session)
         return True
@@ -818,6 +869,43 @@ class SynthesisService:
         """Scheduler settle hook: same finish path as the sync handler."""
         return self._finish_exact(session.rid, session.request,
                                   session.state, outcome, session.start)
+
+    def _settle_prepare(self, session: RequestSession, outcome) -> dict:
+        """Settle hook for scheduler-admitted ``prepare`` sessions.
+
+        Mirrors :meth:`_handle_prepare`'s response shape; a
+        deadline-flushed best-so-far answer is marked
+        ``deadline_expired`` and never enters the request cache (it
+        reflects the wall-clock cutoff, not the configured budgets)."""
+        rid, request, state = session.rid, session.request, session.state
+        deadline_expired = outcome.deadline_expired
+        self._wal_record()
+        if not outcome.solved:
+            error = next((row.get("error") for row in outcome.attempts
+                          if row.get("error")),
+                         "the workflow produced no circuit within the "
+                         "deadline")
+            response = {"id": rid, "ok": False, "op": "prepare",
+                        "error": error}
+            if deadline_expired:
+                response["deadline_expired"] = True
+            return response
+        result = outcome.result
+        if self.cache is not None and not deadline_expired:
+            self.cache.put("prepare", state, result)
+        response = {"id": rid, "ok": True, "op": "prepare",
+                    "cnot_cost": result.cnot_cost,
+                    "exact_optimal": result.exact_optimal,
+                    "sparse_path": result.sparse_path, "cached": False,
+                    "seconds": round(
+                        time.perf_counter() - session.start, 6)}
+        if deadline_expired:
+            response["deadline_expired"] = True
+        if request.get("trace"):
+            response["trace"] = list(result.trace)
+        if request.get("return_circuit"):
+            response["circuit"] = circuit_to_dict(result.circuit)
+        return response
 
     def shutdown(self, drain_ms: float = SHUTDOWN_DRAIN_MS) -> dict:
         """Graceful shutdown: drain sessions, compact the WAL, persist.

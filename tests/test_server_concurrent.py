@@ -23,13 +23,13 @@ import pytest
 
 from repro.core.astar import SearchConfig
 from repro.core.memory import SearchMemory
-from repro.service.persistence import MemoryWAL, save_memory_snapshot, \
-    load_memory_snapshot
+from repro.service.persistence import MemoryWAL, merge_wal_delta, \
+    save_memory_snapshot, load_memory_snapshot
 from repro.service.portfolio import autotune_specs, default_portfolio
 from repro.service.scheduler import RequestScheduler, RequestSession
 from repro.service.server import ServiceConfig, SynthesisService, serve_loop
 from repro.utils.serialization import memory_baseline, memory_to_dict, \
-    memory_merge_dict
+    memory_merge_dict, wal_record_to_dict
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -500,6 +500,192 @@ class TestServeLoopRobustness:
 
 
 # ----------------------------------------------------------------------
+# prepare as a scheduler session (stepwise WorkflowRun)
+# ----------------------------------------------------------------------
+
+class TestConcurrentPrepare:
+    def test_prepare_registers_a_session(self):
+        service = SynthesisService(_config(use_cache=False))
+        replies: list[dict] = []
+        registered = service.submit(
+            {"id": "p1", "op": "prepare", "dicke": [5, 2]}, replies.append)
+        assert registered is True  # scheduled, not answered at admission
+        assert not replies
+        while service.scheduler.pending:
+            service.scheduler.run_turn()
+        [row] = replies
+        assert row["ok"] and row["op"] == "prepare"
+        assert row["cnot_cost"] > 0 and row["cached"] is False
+
+    def test_stepwise_equals_one_shot_differential(self):
+        """Scheduler-driven prepare == inline prepare: costs AND trace."""
+        requests = [
+            {"id": "g", "op": "prepare", "ghz": 4, "trace": True},
+            {"id": "w", "op": "prepare", "w": 5, "trace": True},
+            {"id": "d", "op": "prepare", "dicke": [5, 2], "trace": True},
+        ]
+        inline = SynthesisService(_config(use_cache=False))
+        rows = {r["id"]: inline.handle(r) for r in requests}
+        concurrent = SynthesisService(_config(use_cache=False))
+        got = _drive(concurrent, requests)
+        assert set(got) == set(rows)
+        for rid, row in rows.items():
+            assert got[rid]["ok"] and row["ok"], rid
+            assert got[rid]["cnot_cost"] == row["cnot_cost"], rid
+            assert got[rid]["exact_optimal"] == row["exact_optimal"], rid
+            assert got[rid]["sparse_path"] == row["sparse_path"], rid
+            assert got[rid]["trace"] == row["trace"], rid
+
+    def test_prepare_interleaves_with_exact(self):
+        """A light exact settles while a dense prepare is still running
+        (the head-of-line contract the PR-10 pool bench gates on)."""
+        service = SynthesisService(_config(use_cache=False))
+        order: list = []
+        service.submit({"id": "dense", "op": "prepare", "dicke": [6, 3]},
+                       lambda r: order.append(r["id"]))
+        service.submit({"id": "light", "op": "exact", "ghz": 4},
+                       lambda r: order.append(r["id"]))
+        while service.scheduler.pending:
+            service.scheduler.run_turn()
+        assert order.index("light") < order.index("dense")
+
+    def test_prepare_deadline_flush_verified_never_cached(self, rng=None):
+        service = SynthesisService(_config())  # cache ON
+        assert service.cache is not None
+        replies: list[dict] = []
+        request = {"id": "slow", "op": "prepare", "dicke": [6, 3],
+                   "deadline_ms": 1.0, "trace": True,
+                   "return_circuit": True}
+        assert service.submit(request, replies.append) is True
+        while service.scheduler.pending:
+            service.scheduler.run_turn()
+        [row] = replies
+        assert row["ok"] is True
+        assert row["deadline_expired"] is True
+        assert any("deadline flush" in line for line in row["trace"])
+        assert "verified by simulation" in row["trace"][-1]
+        # the flushed circuit really prepares the state
+        from repro.sim.verify import prepares_state
+        from repro.states.families import dicke_state
+        from repro.utils.serialization import circuit_from_dict
+        assert prepares_state(circuit_from_dict(row["circuit"]),
+                              dicke_state(6, 3))
+        # a truncated answer must never enter the request cache
+        again: list[dict] = []
+        registered = service.submit(
+            {"id": "again", "op": "prepare", "dicke": [6, 3]}, again.append)
+        assert registered is True  # cache miss: a fresh session, no hit
+        service.scheduler.drain(0.0)
+
+    def test_prepare_cancelled_mid_flow_on_disconnect(self):
+        service = SynthesisService(_config(use_cache=False))
+        replies: list[dict] = []
+        service.submit({"id": "gone", "op": "prepare", "dicke": [6, 3]},
+                       replies.append, client="dropper")
+        for _ in range(2):
+            service.scheduler.run_turn()
+        assert service.scheduler.pending  # still mid-flow
+        run = service.scheduler.sessions[0].lanes.run
+        assert service.scheduler.cancel_client("dropper") == 1
+        assert run.status.terminal
+        assert not service.scheduler.pending
+        assert not replies  # a vanished client is never answered
+
+
+# ----------------------------------------------------------------------
+# worker pool: in-band delta cross-merge + routing
+# ----------------------------------------------------------------------
+
+class TestPoolCrossMerge:
+    def test_delta_merge_replay_exact_commutative_idempotent(self):
+        """The pool's cross-merge records reproduce worker memories
+        exactly, in any order, any number of times (improve-only)."""
+        worker_a = SynthesisService(_config(use_cache=False))
+        worker_b = SynthesisService(_config(use_cache=False))
+        for request in _requests()[:2]:
+            worker_a.handle(request)
+        for request in _requests()[2:]:
+            worker_b.handle(request)
+        record_a = wal_record_to_dict(1, memory_to_dict(worker_a.memory))
+        record_b = wal_record_to_dict(1, memory_to_dict(worker_b.memory))
+        # replay-exact: one worker's record rebuilds its memory
+        solo = SearchMemory()
+        assert merge_wal_delta(solo, record_a) == 1
+        assert _memory_state(solo) == _memory_state(worker_a.memory)
+        # commutative: merge order cannot matter
+        ab, ba = SearchMemory(), SearchMemory()
+        merge_wal_delta(ab, record_a)
+        merge_wal_delta(ab, record_b)
+        merge_wal_delta(ba, record_b)
+        merge_wal_delta(ba, record_a)
+        assert _memory_state(ab) == _memory_state(ba)
+        # idempotent for the improve-only stores (canon/h/transposition/
+        # pdb): re-shipping a record never regresses an entry.  Lane
+        # stats are deliberately additive advisory counters, so they are
+        # excluded here.
+        merge_wal_delta(ab, record_a)
+        assert _memory_state(ab)[:4] == _memory_state(ba)[:4]
+
+    def test_malformed_record_rejected_before_merge(self):
+        memory = SearchMemory()
+        with pytest.raises(Exception):
+            merge_wal_delta(memory, {"kind": "nonsense"})
+        assert _memory_state(memory) == _memory_state(SearchMemory())
+
+
+class TestWorkerPool:
+    def test_pool_costs_identical_and_cross_merges(self, monkeypatch,
+                                                   tmp_path):
+        from repro.service import pool as pool_module
+
+        monkeypatch.setattr(pool_module, "POOL_CROSS_MERGE_INTERVAL", 2)
+        inline = SynthesisService(_config(use_cache=False))
+        requests = [
+            {"id": "p-g", "op": "prepare", "ghz": 4},
+            {"id": "e-w", "op": "exact", "w": 4},
+            {"id": "p-d", "op": "prepare", "dicke": [4, 2]},
+            {"id": "e-g", "op": "exact", "ghz": 5},
+        ]
+        rows = {r["id"]: inline.handle(r) for r in requests}
+        pool = pool_module.WorkerPool(
+            _config(use_cache=False,
+                    wal_path=str(tmp_path / "pool.qspwal")), 2)
+        try:
+            replies: list[dict] = []
+            for request in requests:
+                assert pool.submit(request, replies.append) is True
+            deadline = time.time() + 120
+            while pool.scheduler.pending and time.time() < deadline:
+                pool.scheduler.run_turn()
+            got = {r["id"]: r for r in replies}
+            assert set(got) == set(rows)
+            for rid, row in rows.items():
+                assert got[rid]["ok"] and row["ok"], rid
+                assert got[rid]["cnot_cost"] == row["cnot_cost"], rid
+            assert sum(pool.routed) == len(requests)
+            assert pool.merge_rounds >= 1
+            stats: list[dict] = []
+            pool.submit({"id": "s", "op": "stats"}, stats.append)
+            assert stats[0]["ok"] and stats[0]["pool"]["live"] == 2
+            assert set(stats[0]["workers"]) == {"0", "1"}
+        finally:
+            summary = pool.shutdown(drain_ms=100.0)
+        # every worker flushed its own WAL shard + sidecar at drain
+        assert set(summary["workers"]) == {"0", "1"}
+        for index in (0, 1):
+            assert (tmp_path / f"pool.qspwal.w{index}").exists()
+            assert (tmp_path / f"pool.qspwal.w{index}.snapshot").exists()
+        # cross-merged shards: what one worker learned reached the other
+        merged = [load_memory_snapshot(
+            tmp_path / f"pool.qspwal.w{index}.snapshot")
+            for index in (0, 1)]
+        if pool.deltas_shipped:
+            for memory in merged:
+                payload = memory_to_dict(memory)
+                assert payload["canon_store"] or payload["h_store"]
+
+
+# ----------------------------------------------------------------------
 # graceful shutdown: kill a real server mid-burst, warm-boot after
 # ----------------------------------------------------------------------
 
@@ -509,7 +695,6 @@ def _free_port() -> int:
         return sock.getsockname()[1]
 
 
-@pytest.mark.slow
 class TestGracefulShutdown:
     def test_sigterm_mid_burst_drains_and_compacts(self, tmp_path):
         port = _free_port()

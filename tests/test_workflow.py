@@ -5,10 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.qsp.workflow as workflow_module
+
 from repro.baselines.mflow import mflow_cnot_count
 from repro.baselines.nflow import nflow_cnot_count
+from repro.core.engine import RunStatus
+from repro.exceptions import SynthesisError
 from repro.qsp.config import QSPConfig
-from repro.qsp.workflow import prepare_state
+from repro.qsp.reduction import reduce_cardinality
+from repro.qsp.workflow import WorkflowRun, prepare_state
 from repro.sim.verify import prepares_state
 from repro.states.families import dicke_state, ghz_state, w_state
 from repro.states.qstate import QState
@@ -118,3 +123,78 @@ class TestConfig:
         res = prepare_state(random_sparse_state(6, seed=15))
         assert any("sparse path" in t for t in res.trace)
         assert any("exact" in t for t in res.trace)
+
+
+class TestWorkflowRun:
+    """Stepwise surface of the Fig.-5 flow (PR 10)."""
+
+    @pytest.mark.parametrize("state", [
+        ghz_state(4), w_state(5), dicke_state(5, 2),
+        random_sparse_state(6, seed=1), random_dense_state(5, seed=1),
+    ], ids=["ghz4", "w5", "dicke52", "sparse6", "dense5"])
+    def test_stepwise_equals_one_shot(self, state):
+        """Driving a run one expansion at a time must be differentially
+        identical to ``prepare_state``: costs, flags, and full trace."""
+        one_shot = prepare_state(state)
+        run = WorkflowRun(state)
+        steps = 0
+        while not run.status.terminal:
+            run.step(1)
+            steps += 1
+        assert steps > 1  # genuinely stepwise, not one opaque blob
+        stepped = run.result()
+        assert stepped.cnot_cost == one_shot.cnot_cost
+        assert stepped.exact_optimal == one_shot.exact_optimal
+        assert stepped.sparse_path == one_shot.sparse_path
+        assert stepped.trace == one_shot.trace
+
+    def test_cancel_mid_flow(self):
+        run = WorkflowRun(dicke_state(6, 3))
+        status = run.step(1)
+        assert status is RunStatus.RUNNING
+        run.cancel()
+        assert run.status is RunStatus.CANCELLED
+        with pytest.raises(SynthesisError):
+            run.result()
+        # cancelling twice is harmless
+        run.cancel()
+        assert run.status is RunStatus.CANCELLED
+
+    def test_deadline_flush_returns_verified_best_so_far(self):
+        state = dicke_state(6, 3)
+        run = WorkflowRun(state)
+        run.step(1)
+        assert not run.status.terminal
+        result = run.flush_feasible()
+        assert result is not None
+        assert prepares_state(result.circuit, state)
+        assert any("deadline flush" in line for line in result.trace)
+        assert result.trace[-1] == "verified by simulation"
+
+    def test_incumbent_injection_is_monotone(self):
+        run = WorkflowRun(random_sparse_state(6, seed=1))
+        run.step(1)
+        run.inject_incumbent(100)
+        run.inject_incumbent(200)  # looser bound must not regress
+        result = run.run_to_completion()
+        assert result.cnot_cost <= 100 or not result.exact_optimal
+
+    def test_identical_cores_searched_once(self, monkeypatch):
+        """Satellite (a): when two reduction candidates end at the same
+        entangled core, the second exact search is a cache hit — and the
+        trace still reports both candidates."""
+        state = random_sparse_state(6, seed=1)
+        config = QSPConfig()
+        moves, reduced = reduce_cardinality(
+            state,
+            stop_cardinality=config.exact_cardinality,
+            stop_entangled=config.exact_qubits,
+            config=config.reduction)
+        monkeypatch.setattr(workflow_module, "_gh_reduction_to_thresholds",
+                            lambda s, c: (moves, reduced))
+        run = WorkflowRun(state, config)
+        result = run.run_to_completion()
+        assert run.core_reuse == 1
+        assert prepares_state(result.circuit, state)
+        assert any("selected reduction strategy" in line
+                   for line in result.trace)
